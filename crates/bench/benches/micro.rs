@@ -1,0 +1,170 @@
+//! Criterion microbenchmarks for the core primitives: lock manager
+//! operations, minidb access paths (index probe vs table scan), and the
+//! DLFM link/unlink/2PC cycle.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dlfm::{DlfmRequest, DlfmResponse};
+use minidb::{lock::LockMode, lock::Res, Database, DbConfig, Session, TableId, TxnId, Value};
+
+fn bench_lock_manager(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lock_manager");
+    g.bench_function("acquire_release_row_x", |b| {
+        let lm = minidb::lock::LockManager::new(
+            Duration::from_secs(1),
+            None,
+            1_000_000,
+            true,
+        );
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let txn = TxnId(i);
+            lm.lock(txn, Res::Row(TableId(1), i % 128), LockMode::X).unwrap();
+            lm.release_all(txn);
+        });
+    });
+    g.bench_function("shared_lock_fanin", |b| {
+        let lm = minidb::lock::LockManager::new(
+            Duration::from_secs(1),
+            None,
+            1_000_000,
+            true,
+        );
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let txn = TxnId(i);
+            for r in 0..8 {
+                lm.lock(txn, Res::Row(TableId(1), r), LockMode::S).unwrap();
+            }
+            lm.release_all(txn);
+        });
+    });
+    g.finish();
+}
+
+fn populated_db(rows: i64) -> Database {
+    let db = Database::new(DbConfig::dlfm_tuned());
+    let mut s = Session::new(&db);
+    s.exec("CREATE TABLE t (id BIGINT NOT NULL, name VARCHAR, v BIGINT)").unwrap();
+    s.exec("CREATE UNIQUE INDEX ix_t ON t (id)").unwrap();
+    s.begin().unwrap();
+    for i in 0..rows {
+        s.exec_params(
+            "INSERT INTO t (id, name, v) VALUES (?, ?, 0)",
+            &[Value::Int(i), Value::str(format!("n{i}"))],
+        )
+        .unwrap();
+    }
+    s.commit().unwrap();
+    db
+}
+
+fn bench_minidb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("minidb");
+    g.bench_function("insert_indexed", |b| {
+        let db = populated_db(0);
+        let mut s = Session::new(&db);
+        let mut i = 1_000_000i64;
+        b.iter(|| {
+            i += 1;
+            s.exec_params(
+                "INSERT INTO t (id, name, v) VALUES (?, 'x', 0)",
+                &[Value::Int(i)],
+            )
+            .unwrap();
+        });
+    });
+    // The access-path gap the optimizer experiments build on.
+    let db = populated_db(4_000);
+    db.set_table_stats("t", 1_000_000).unwrap();
+    db.set_index_stats("ix_t", 1_000_000).unwrap();
+    g.bench_function("point_select_ixscan_4k_rows", |b| {
+        let mut s = Session::new(&db);
+        b.iter(|| {
+            s.query("SELECT v FROM t WHERE id = 2000", &[]).unwrap();
+        });
+    });
+    let db_scan = populated_db(4_000);
+    db_scan.runstats("t").unwrap();
+    db_scan.set_table_stats("t", 0).unwrap(); // force the TBSCAN choice
+    g.bench_function("point_select_tbscan_4k_rows", |b| {
+        let mut s = Session::new(&db_scan);
+        b.iter(|| {
+            s.query("SELECT v FROM t WHERE id = 2000", &[]).unwrap();
+        });
+    });
+    g.bench_function("prepared_point_select", |b| {
+        let p = db.prepare("SELECT v FROM t WHERE id = ?").unwrap();
+        let mut s = Session::new(&db);
+        b.iter(|| {
+            s.exec_prepared(&p, &[Value::Int(2000)]).unwrap();
+        });
+    });
+    g.finish();
+}
+
+fn bench_dlfm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dlfm");
+    g.sample_size(40);
+    let fs = Arc::new(filesys::FileSystem::new());
+    let archive = Arc::new(archive::ArchiveServer::new());
+    let mut config = dlfm::DlfmConfig::default();
+    config.daemon_poll_interval = Duration::from_millis(5);
+    let server = dlfm::DlfmServer::start(config, fs.clone(), archive);
+    let conn = server.connector().connect().unwrap();
+    conn.call(DlfmRequest::Connect { dbid: 1 }).unwrap();
+    conn.call(DlfmRequest::RegisterGroup(dlfm::GroupSpec {
+        grp_id: 1,
+        dbid: 1,
+        table_name: "b".into(),
+        column_name: "c".into(),
+        access: dlfm::AccessControl::Partial,
+        recovery: false,
+    }))
+    .unwrap();
+
+    let mut i = 0i64;
+    g.bench_function("link_prepare_commit_cycle", |b| {
+        b.iter_batched(
+            || {
+                i += 1;
+                let path = format!("/bench/f{i}");
+                fs.create(&path, "u", b"x").unwrap();
+                (i, path)
+            },
+            |(xid, path)| {
+                conn.call(DlfmRequest::LinkFile {
+                    xid,
+                    rec_id: xid * 10,
+                    grp_id: 1,
+                    filename: path,
+                    in_backout: false,
+                })
+                .unwrap();
+                match conn.call(DlfmRequest::Prepare { xid }).unwrap() {
+                    DlfmResponse::Prepared { .. } => {}
+                    other => panic!("{other:?}"),
+                }
+                conn.call(DlfmRequest::Commit { xid }).unwrap();
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("upcall_query", |b| {
+        b.iter(|| {
+            conn.call(DlfmRequest::UpcallQuery { filename: "/bench/f1".into() }).unwrap();
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    targets = bench_lock_manager, bench_minidb, bench_dlfm
+}
+criterion_main!(benches);

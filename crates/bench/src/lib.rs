@@ -1,0 +1,139 @@
+//! Shared scaffolding for the experiment binaries (E1-E10).
+//!
+//! Every binary prints a self-contained report: the paper's claim, the
+//! configuration, and the measured numbers, as aligned text tables that
+//! EXPERIMENTS.md records. Durations and client counts can be scaled with
+//! environment variables:
+//!
+//! * `RUN_SECS` — measured seconds per arm (default experiment-specific);
+//! * `CLIENTS` — concurrent clients where applicable;
+//! * `SCALE` — global workload multiplier for the slow experiments.
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use archive::ArchiveServer;
+use dlfm::{AccessControl, DlfmConfig, DlfmRequest, DlfmResponse, DlfmServer, GroupSpec};
+use filesys::FileSystem;
+
+/// Read an env var as seconds, with a default.
+pub fn env_secs(name: &str, default: f64) -> Duration {
+    let secs = std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(default);
+    Duration::from_secs_f64(secs)
+}
+
+/// Read an env var as a number, with a default.
+pub fn env_num(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Print the experiment banner.
+pub fn banner(id: &str, title: &str, paper_claim: &str) {
+    println!("==================================================================");
+    println!("{id}: {title}");
+    println!("paper: {paper_claim}");
+    println!("==================================================================");
+}
+
+/// Print one aligned table row.
+pub fn row(cols: &[&str], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cols.iter().zip(widths) {
+        line.push_str(&format!("{c:<w$}  ", w = w));
+    }
+    println!("{}", line.trim_end());
+}
+
+/// A DLFM test stand: file server + archive + server, with one registered
+/// file group.
+pub struct Stand {
+    /// The file server.
+    pub fs: Arc<FileSystem>,
+    /// The archive server.
+    pub archive: Arc<ArchiveServer>,
+    /// The DLFM under test.
+    pub server: DlfmServer,
+    /// The registered group id.
+    pub grp_id: i64,
+}
+
+impl Stand {
+    /// Build a stand with the given DLFM config; registers group 1 with
+    /// the given access/recovery options.
+    pub fn new(config: DlfmConfig, access: AccessControl, recovery: bool) -> Stand {
+        let fs = Arc::new(FileSystem::new());
+        let archive_server = Arc::new(ArchiveServer::new());
+        let server = DlfmServer::start(config, fs.clone(), archive_server.clone());
+        let conn = server.connector().connect().expect("connect");
+        conn.call(DlfmRequest::Connect { dbid: 1 }).expect("connect call");
+        let resp = conn
+            .call(DlfmRequest::RegisterGroup(GroupSpec {
+                grp_id: 1,
+                dbid: 1,
+                table_name: "bench".into(),
+                column_name: "doc".into(),
+                access,
+                recovery,
+            }))
+            .expect("register group");
+        assert_eq!(resp, DlfmResponse::Ok);
+        Stand { fs, archive: archive_server, server, grp_id: 1 }
+    }
+
+    /// A tuned stand (all the paper's fixes applied) with a short lock
+    /// timeout suitable for benchmarks.
+    pub fn tuned(lock_timeout: Duration) -> Stand {
+        let mut config = DlfmConfig::default();
+        config.db.lock_timeout = lock_timeout;
+        config.daemon_poll_interval = Duration::from_millis(2);
+        config.commit_retry_backoff = Duration::from_millis(1);
+        Stand::new(config, AccessControl::Partial, false)
+    }
+
+    /// An untuned stand (next-key locking on, no hand-crafted statistics).
+    pub fn untuned(lock_timeout: Duration) -> Stand {
+        let mut config = DlfmConfig::untuned();
+        config.db.lock_timeout = lock_timeout;
+        config.daemon_poll_interval = Duration::from_millis(2);
+        config.commit_retry_backoff = Duration::from_millis(1);
+        Stand::new(config, AccessControl::Partial, false)
+    }
+}
+
+/// Normalise a rate to "per 1000 committed transactions".
+pub fn per_1k(count: u64, committed: u64) -> f64 {
+    if committed == 0 {
+        return 0.0;
+    }
+    count as f64 * 1000.0 / committed as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stand_builds_and_registers_group() {
+        let stand = Stand::tuned(Duration::from_millis(200));
+        assert_eq!(stand.grp_id, 1);
+        assert!(stand.server.db().is_online());
+    }
+
+    #[test]
+    fn per_1k_math() {
+        assert_eq!(per_1k(5, 1000), 5.0);
+        assert_eq!(per_1k(1, 500), 2.0);
+        assert_eq!(per_1k(7, 0), 0.0);
+    }
+
+    #[test]
+    fn env_parsing_defaults() {
+        assert_eq!(env_num("BENCH_NO_SUCH_VAR", 7), 7);
+        assert_eq!(env_secs("BENCH_NO_SUCH_VAR", 1.5), Duration::from_secs_f64(1.5));
+    }
+}

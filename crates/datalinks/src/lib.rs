@@ -1,0 +1,96 @@
+//! # datalinks — the full DataLinks reproduction stack
+//!
+//! Facade crate re-exporting every layer of this reproduction of *DLFM: A
+//! Transactional Resource Manager* (Hsiao & Narang, SIGMOD 2000):
+//!
+//! * [`minidb`] — the embedded relational engine DLFM uses as its local
+//!   "black box" persistent store;
+//! * [`filesys`] — the in-memory file server plus the DLFF filter;
+//! * [`archive`] — the ADSM-like archive server;
+//! * [`dlrpc`] — the agent connection fabric;
+//! * [`dlfm`] — the DataLinks File Manager itself (the paper's system);
+//! * [`hostdb`] — the host database with the datalink engine and
+//!   two-phase-commit coordinator;
+//! * [`workload`] — multi-client drivers regenerating the paper's
+//!   evaluation numbers.
+//!
+//! See `examples/quickstart.rs` for the 60-second tour and `DESIGN.md` for
+//! the system inventory.
+
+#![warn(missing_docs)]
+
+pub use archive;
+pub use dlfm;
+pub use dlrpc;
+pub use filesys;
+pub use hostdb;
+pub use minidb;
+pub use workload;
+
+use std::sync::Arc;
+
+/// Everything a single-file-server deployment needs, wired together.
+pub struct Deployment {
+    /// The file server.
+    pub fs: Arc<filesys::FileSystem>,
+    /// The archive server.
+    pub archive: Arc<archive::ArchiveServer>,
+    /// The running DLFM.
+    pub dlfm: dlfm::DlfmServer,
+    /// The host database, already attached to the DLFM.
+    pub host: hostdb::HostDb,
+    /// Name the host knows the file server by (for datalink URLs).
+    pub server_name: String,
+}
+
+impl Deployment {
+    /// Stand up a file server + archive + DLFM + host database.
+    pub fn new(
+        server_name: &str,
+        dlfm_config: dlfm::DlfmConfig,
+        host_config: hostdb::HostConfig,
+    ) -> Deployment {
+        let fs = Arc::new(filesys::FileSystem::new());
+        let archive_server = Arc::new(archive::ArchiveServer::new());
+        let dlfm_server = dlfm::DlfmServer::start(dlfm_config, fs.clone(), archive_server.clone());
+        let host = hostdb::HostDb::new(host_config);
+        host.attach_dlfm(server_name, dlfm_server.connector());
+        Deployment {
+            fs,
+            archive: archive_server,
+            dlfm: dlfm_server,
+            host,
+            server_name: server_name.to_string(),
+        }
+    }
+
+    /// Default test-friendly deployment.
+    pub fn for_tests(server_name: &str) -> Deployment {
+        Deployment::new(
+            server_name,
+            dlfm::DlfmConfig::for_tests(),
+            hostdb::HostConfig::for_tests(),
+        )
+    }
+
+    /// Datalink URL for a path on this deployment's file server.
+    pub fn url(&self, path: &str) -> String {
+        format!("dlfs://{}{}", self.server_name, path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deployment_wires_the_stack_together() {
+        let dep = Deployment::for_tests("fs9");
+        assert_eq!(dep.url("/a/b"), "dlfs://fs9/a/b");
+        assert!(dep.dlfm.db().is_online());
+        assert_eq!(dep.host.servers(), vec!["fs9".to_string()]);
+        // The DLFF is installed over the same file system.
+        dep.fs.create("/x", "u", b"1").unwrap();
+        assert!(dep.dlfm.dlff().raw().exists("/x"));
+    }
+}

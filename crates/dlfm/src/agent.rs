@@ -1,0 +1,582 @@
+//! The DLFM child agent: one per host connection (paper §3.5).
+//!
+//! Forward processing (link/unlink/delete-group) runs inside a single local
+//! database transaction per host transaction; Prepare hardens it with a
+//! local COMMIT; phase 2 is handled by [`crate::twopc`]. Long-running
+//! transactions are chunked: after every N operations the agent issues a
+//! local commit, keeping the transaction marked in-flight in the
+//! transaction table (paper §4).
+
+use std::sync::Arc;
+
+use minidb::{Session, Value};
+
+use crate::api::{
+    AccessControl, DlfmError, DlfmRequest, DlfmResponse, DlfmResult, GroupSpec, LinkStatus,
+};
+use crate::chown::encode_mode;
+use crate::meta::{FileEntry, G_DELETE_PENDING, G_NORMAL, LNK_LINKED, XS_INFLIGHT, XS_PREPARED};
+use crate::metrics::DlfmMetrics;
+use crate::server::{now_micros, DlfmShared};
+use crate::twopc;
+
+/// State of the in-progress host transaction on this connection.
+struct CurTxn {
+    xid: i64,
+    /// Operations since the last chunk commit.
+    ops_since_chunk: usize,
+    /// Total operations in the transaction.
+    total_ops: usize,
+    /// Whether an in-flight transaction-table entry exists (chunked).
+    chunked: bool,
+    /// Groups marked deleted by this transaction.
+    groups_deleted: i64,
+}
+
+/// A child agent serving one host connection.
+pub struct Agent {
+    shared: Arc<DlfmShared>,
+    session: Session,
+    dbid: i64,
+    cur: Option<CurTxn>,
+}
+
+impl Agent {
+    /// New agent over the shared DLFM state.
+    pub fn new(shared: Arc<DlfmShared>) -> Agent {
+        let session = Session::new(&shared.db);
+        Agent { shared, session, dbid: 0, cur: None }
+    }
+
+    /// Dispatch one request.
+    pub fn handle(&mut self, req: DlfmRequest) -> DlfmResponse {
+        match self.dispatch(req) {
+            Ok(resp) => resp,
+            Err(e) => {
+                if let DlfmError::Db { retryable: true, .. } = &e {
+                    // A deadlock/timeout in the local database rolled back
+                    // the whole sub-transaction; the host must roll back the
+                    // full transaction (paper §3.2).
+                    self.cur = None;
+                    self.session.rollback();
+                    DlfmMetrics::bump(&self.shared.metrics.forced_rollbacks);
+                }
+                DlfmResponse::Err(e)
+            }
+        }
+    }
+
+    fn dispatch(&mut self, req: DlfmRequest) -> DlfmResult<DlfmResponse> {
+        match req {
+            DlfmRequest::Connect { dbid } => {
+                self.dbid = dbid;
+                Ok(DlfmResponse::Ok)
+            }
+            DlfmRequest::BeginTxn { xid } => {
+                self.ensure_txn(xid)?;
+                Ok(DlfmResponse::Ok)
+            }
+            DlfmRequest::LinkFile { xid, rec_id, grp_id, filename, in_backout } => {
+                self.link_file(xid, rec_id, grp_id, &filename, in_backout)?;
+                Ok(DlfmResponse::Ok)
+            }
+            DlfmRequest::UnlinkFile { xid, rec_id, grp_id, filename, in_backout } => {
+                self.unlink_file(xid, rec_id, grp_id, &filename, in_backout)?;
+                Ok(DlfmResponse::Ok)
+            }
+            DlfmRequest::Prepare { xid } => self.prepare(xid),
+            DlfmRequest::Commit { xid } => self.commit(xid),
+            DlfmRequest::Abort { xid } => self.abort(xid),
+            DlfmRequest::RegisterGroup(spec) => {
+                self.register_group(&spec)?;
+                Ok(DlfmResponse::Ok)
+            }
+            DlfmRequest::DeleteGroup { xid, grp_id, rec_id } => {
+                self.delete_group(xid, grp_id, rec_id)?;
+                Ok(DlfmResponse::Ok)
+            }
+            DlfmRequest::IssueToken { filename } => self.issue_token(&filename),
+            DlfmRequest::ListIndoubt => self.list_indoubt(),
+            DlfmRequest::BeginBackup { backup_id, rec_id } => {
+                crate::backup::begin_backup(&self.shared, self.dbid, backup_id, rec_id)?;
+                Ok(DlfmResponse::Ok)
+            }
+            DlfmRequest::EndBackup { backup_id, success } => {
+                crate::backup::end_backup(&self.shared, self.dbid, backup_id, success)?;
+                Ok(DlfmResponse::Ok)
+            }
+            DlfmRequest::RestoreTo { rec_id } => {
+                crate::backup::restore_to(&self.shared, self.dbid, rec_id)?;
+                Ok(DlfmResponse::Ok)
+            }
+            DlfmRequest::Reconcile { entries } => {
+                let (broken, orphans) =
+                    crate::backup::reconcile(&self.shared, self.dbid, &entries)?;
+                Ok(DlfmResponse::ReconcileReport {
+                    broken_host_refs: broken,
+                    orphans_unlinked: orphans,
+                })
+            }
+            DlfmRequest::UpcallQuery { filename } => {
+                DlfmMetrics::bump(&self.shared.metrics.upcalls);
+                Ok(DlfmResponse::LinkState(query_link_state(&self.shared, &filename)))
+            }
+            DlfmRequest::PendingCopies => {
+                let stmts = self.shared.statements();
+                let mut s = Session::new(&self.shared.db);
+                let n = s.exec_prepared(&stmts.cnt_archive, &[])?.rows()[0][0].as_int()?;
+                Ok(DlfmResponse::Count(n))
+            }
+            DlfmRequest::Ping => Ok(DlfmResponse::Ok),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction plumbing
+    // ------------------------------------------------------------------
+
+    fn ensure_txn(&mut self, xid: i64) -> DlfmResult<()> {
+        match &self.cur {
+            Some(cur) if cur.xid == xid => Ok(()),
+            Some(cur) => Err(DlfmError::Protocol(format!(
+                "transaction {} already open on this connection, got request for {}",
+                cur.xid, xid
+            ))),
+            None => {
+                self.session.begin()?;
+                self.cur = Some(CurTxn {
+                    xid,
+                    ops_since_chunk: 0,
+                    total_ops: 0,
+                    chunked: false,
+                    groups_deleted: 0,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    /// Account one forward operation; issue a chunked local commit when the
+    /// long-transaction threshold is crossed (paper §4).
+    fn account_op(&mut self, xid: i64) -> DlfmResult<()> {
+        let Some(chunk_every) = self.shared.config.chunk_commit_every else {
+            if let Some(cur) = self.cur.as_mut() {
+                cur.ops_since_chunk += 1;
+                cur.total_ops += 1;
+            }
+            return Ok(());
+        };
+        let (needs_chunk, first_chunk, groups_deleted) = {
+            let cur = self.cur.as_mut().ok_or(DlfmError::UnknownTxn(xid))?;
+            cur.ops_since_chunk += 1;
+            cur.total_ops += 1;
+            (
+                cur.ops_since_chunk >= chunk_every,
+                !cur.chunked,
+                cur.groups_deleted,
+            )
+        };
+        if !needs_chunk {
+            return Ok(());
+        }
+        let stmts = self.shared.statements();
+        if first_chunk {
+            // First chunk commit: insert the in-flight transaction entry so
+            // a crash can find and abort the hardened chunks.
+            self.session.exec_prepared(
+                &stmts.ins_xact,
+                &[
+                    Value::Int(xid),
+                    Value::Int(self.dbid),
+                    Value::Int(XS_INFLIGHT),
+                    Value::Int(groups_deleted),
+                    Value::Int(now_micros()),
+                ],
+            )?;
+        }
+        self.session.commit()?;
+        DlfmMetrics::bump(&self.shared.metrics.chunk_commits);
+        self.session.begin()?;
+        if let Some(cur) = self.cur.as_mut() {
+            cur.ops_since_chunk = 0;
+            cur.chunked = true;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Link / Unlink (paper §3.2)
+    // ------------------------------------------------------------------
+
+    fn link_file(
+        &mut self,
+        xid: i64,
+        rec_id: i64,
+        grp_id: i64,
+        filename: &str,
+        in_backout: bool,
+    ) -> DlfmResult<()> {
+        self.ensure_txn(xid)?;
+        let stmts = self.shared.statements();
+        if in_backout {
+            // Undo of a previous link in a savepoint backout: delete the
+            // entry this transaction inserted.
+            self.session.exec_prepared(
+                &stmts.del_backout_link,
+                &[Value::str(filename), Value::Int(xid)],
+            )?;
+            return Ok(());
+        }
+
+        // Check 1: the group exists and is live.
+        let group = self.load_group(grp_id)?;
+        if group.state != G_NORMAL {
+            return Err(DlfmError::NoSuchGroup(grp_id));
+        }
+        // Check 2: the file exists on this file server.
+        let meta = self
+            .shared
+            .chown
+            .get_info(filename)
+            .map_err(|_| DlfmError::NoSuchFile(filename.to_string()))?;
+        // Check 3: no unresolved unlink of the same file by another
+        // transaction (re-linking before that outcome is known could make
+        // its abort unrestorable).
+        let rows = self
+            .session
+            .exec_prepared(&stmts.sel_by_name, &[Value::str(filename)])?
+            .rows();
+        for row in &rows {
+            let e = FileEntry::from_row(row)?;
+            if e.lnk_state == LNK_LINKED {
+                return Err(DlfmError::AlreadyLinked(filename.to_string()));
+            }
+            if let Some(unlink_xid) = e.unlink_xid {
+                if unlink_xid != xid && self.unresolved(unlink_xid)? {
+                    return Err(DlfmError::FileBusy(filename.to_string()));
+                }
+            }
+        }
+
+        // Insert the linked entry; the unique (filename, check_flag) index
+        // closes the race two concurrent linkers would otherwise have.
+        let result = self.session.exec_prepared(
+            &stmts.ins_file,
+            &[
+                Value::Int(self.dbid),
+                Value::str(filename),
+                Value::Int(grp_id),
+                Value::Int(LNK_LINKED),
+                Value::Int(0), // check_flag = 0 for linked entries
+                Value::Int(xid),
+                Value::Int(rec_id),
+                Value::Int(group.access.code()),
+                Value::Int(group.recovery as i64),
+                Value::str(meta.owner.clone()),
+                Value::Int(encode_mode(meta.mode)),
+                Value::Int(meta.fsid as i64),
+                Value::Int(meta.inode as i64),
+            ],
+        );
+        match result {
+            Ok(_) => {}
+            Err(minidb::DbError::UniqueViolation { .. }) => {
+                return Err(DlfmError::AlreadyLinked(filename.to_string()));
+            }
+            Err(e) => return Err(e.into()),
+        }
+        DlfmMetrics::bump(&self.shared.metrics.links);
+        self.account_op(xid)
+    }
+
+    fn unlink_file(
+        &mut self,
+        xid: i64,
+        rec_id: i64,
+        _grp_id: i64,
+        filename: &str,
+        in_backout: bool,
+    ) -> DlfmResult<()> {
+        self.ensure_txn(xid)?;
+        let stmts = self.shared.statements();
+        if in_backout {
+            // Undo of a previous unlink: restore the entry to linked state.
+            self.session.exec_prepared(
+                &stmts.upd_backout_unlink,
+                &[Value::str(filename), Value::Int(xid)],
+            )?;
+            return Ok(());
+        }
+        // Delayed update (paper §4): mark the linked entry unlinked; the
+        // physical delete happens in commit phase 2 (or never, if the file
+        // needs point-in-time recovery).
+        let updated = self.session.exec_prepared(
+            &stmts.upd_unlink,
+            &[
+                Value::Int(rec_id), // check_flag becomes the unlink recovery id
+                Value::Int(xid),
+                Value::Int(rec_id),
+                Value::Int(now_micros()),
+                Value::str(filename),
+            ],
+        )?;
+        if updated.count() == 0 {
+            return Err(DlfmError::NotLinked(filename.to_string()));
+        }
+        DlfmMetrics::bump(&self.shared.metrics.unlinks);
+        self.account_op(xid)
+    }
+
+    /// Is the transaction that unlinked a file still unresolved
+    /// (in-flight or prepared)?
+    fn unresolved(&mut self, xid: i64) -> DlfmResult<bool> {
+        let stmts = self.shared.statements();
+        let rows = self
+            .session
+            .exec_prepared(&stmts.sel_xact, &[Value::Int(self.dbid), Value::Int(xid)])?
+            .rows();
+        match rows.first() {
+            None => Ok(false), // fully resolved and cleaned up
+            Some(row) => {
+                let state = row[2].as_int()?;
+                Ok(state == XS_INFLIGHT || state == XS_PREPARED)
+            }
+        }
+    }
+
+    fn load_group(&mut self, grp_id: i64) -> DlfmResult<GroupInfo> {
+        let rows = self.session.exec_params(
+            "SELECT grp_id, access_ctl, recovery, state FROM dfm_grp WHERE grp_id = ?",
+            &[Value::Int(grp_id)],
+        )?;
+        let rows = rows.rows();
+        let Some(row) = rows.first() else {
+            return Err(DlfmError::NoSuchGroup(grp_id));
+        };
+        Ok(GroupInfo {
+            grp_id: row[0].as_int()?,
+            access: AccessControl::from_code(row[1].as_int()?),
+            recovery: row[2].as_int()? != 0,
+            state: row[3].as_int()?,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Two-phase commit (paper §3.3)
+    // ------------------------------------------------------------------
+
+    fn prepare(&mut self, xid: i64) -> DlfmResult<DlfmResponse> {
+        let Some(cur) = self.cur.take() else {
+            // No work arrived for this transaction: read-only vote.
+            DlfmMetrics::bump(&self.shared.metrics.prepares);
+            return Ok(DlfmResponse::Prepared { read_only: true });
+        };
+        if cur.xid != xid {
+            self.cur = Some(cur);
+            return Err(DlfmError::UnknownTxn(xid));
+        }
+        if cur.total_ops == 0 && cur.groups_deleted == 0 && !cur.chunked {
+            self.session.rollback();
+            DlfmMetrics::bump(&self.shared.metrics.prepares);
+            return Ok(DlfmResponse::Prepared { read_only: true });
+        }
+        let stmts = self.shared.statements();
+        let result = (|| -> DlfmResult<()> {
+            if cur.chunked {
+                self.session.exec_prepared(
+                    &stmts.upd_xact_state,
+                    &[
+                        Value::Int(XS_PREPARED),
+                        Value::Int(cur.groups_deleted),
+                        Value::Int(self.dbid),
+                        Value::Int(xid),
+                    ],
+                )?;
+            } else {
+                self.session.exec_prepared(
+                    &stmts.ins_xact,
+                    &[
+                        Value::Int(xid),
+                        Value::Int(self.dbid),
+                        Value::Int(XS_PREPARED),
+                        Value::Int(cur.groups_deleted),
+                        Value::Int(now_micros()),
+                    ],
+                )?;
+            }
+            // The local COMMIT is what makes the prepare durable ("changes
+            // to metadata are hardened during the prepare phase", §4).
+            self.session.commit()?;
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                DlfmMetrics::bump(&self.shared.metrics.prepares);
+                Ok(DlfmResponse::Prepared { read_only: false })
+            }
+            Err(e) => {
+                self.session.rollback();
+                // Chunk-committed work is already hardened; the host will
+                // send Abort, whose phase 2 undoes it.
+                Err(e)
+            }
+        }
+    }
+
+    fn commit(&mut self, xid: i64) -> DlfmResult<DlfmResponse> {
+        // One-phase optimisation: commit on an open, unprepared transaction
+        // prepares it first.
+        if self.cur.as_ref().map(|c| c.xid) == Some(xid) {
+            match self.prepare(xid)? {
+                DlfmResponse::Prepared { read_only: true } => return Ok(DlfmResponse::Ok),
+                DlfmResponse::Prepared { read_only: false } => {}
+                other => return Ok(other),
+            }
+        }
+        twopc::run_phase2_commit(&self.shared, self.dbid, xid)?;
+        Ok(DlfmResponse::Ok)
+    }
+
+    fn abort(&mut self, xid: i64) -> DlfmResult<DlfmResponse> {
+        if self.cur.as_ref().map(|c| c.xid) == Some(xid) {
+            // Forward processing still open: a plain local rollback undoes
+            // the unhardened tail ...
+            let cur = self.cur.take().expect("cur checked above");
+            self.session.rollback();
+            // ... and phase 2 undoes any chunk-committed work.
+            if cur.chunked {
+                twopc::run_phase2_abort(&self.shared, self.dbid, xid)?;
+            }
+            DlfmMetrics::bump(&self.shared.metrics.aborts);
+            return Ok(DlfmResponse::Ok);
+        }
+        twopc::run_phase2_abort(&self.shared, self.dbid, xid)?;
+        Ok(DlfmResponse::Ok)
+    }
+
+    // ------------------------------------------------------------------
+    // Groups
+    // ------------------------------------------------------------------
+
+    fn register_group(&mut self, spec: &GroupSpec) -> DlfmResult<()> {
+        // Host DDL is auto-committed; group registration follows suit.
+        let mut s = Session::new(&self.shared.db);
+        let result = s.exec_params(
+            "INSERT INTO dfm_grp (grp_id, dbid, table_name, column_name, access_ctl, \
+             recovery, state, delete_xid, delete_rec_id, expiry) \
+             VALUES (?, ?, ?, ?, ?, ?, ?, NULL, NULL, NULL)",
+            &[
+                Value::Int(spec.grp_id),
+                Value::Int(spec.dbid),
+                Value::str(spec.table_name.clone()),
+                Value::str(spec.column_name.clone()),
+                Value::Int(spec.access.code()),
+                Value::Int(spec.recovery as i64),
+                Value::Int(G_NORMAL),
+            ],
+        );
+        match result {
+            Ok(_) => Ok(()),
+            // Idempotent: re-registration of the same group is fine.
+            Err(minidb::DbError::UniqueViolation { .. }) => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn delete_group(&mut self, xid: i64, grp_id: i64, rec_id: i64) -> DlfmResult<()> {
+        self.ensure_txn(xid)?;
+        let updated = self.session.exec_params(
+            "UPDATE dfm_grp SET state = ?, delete_xid = ?, delete_rec_id = ? \
+             WHERE grp_id = ? AND state = ?",
+            &[
+                Value::Int(G_DELETE_PENDING),
+                Value::Int(xid),
+                Value::Int(rec_id),
+                Value::Int(grp_id),
+                Value::Int(G_NORMAL),
+            ],
+        )?;
+        if updated.count() == 0 {
+            return Err(DlfmError::NoSuchGroup(grp_id));
+        }
+        if let Some(cur) = self.cur.as_mut() {
+            cur.groups_deleted += 1;
+            cur.total_ops += 1;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Tokens & indoubt
+    // ------------------------------------------------------------------
+
+    fn issue_token(&mut self, filename: &str) -> DlfmResult<DlfmResponse> {
+        let stmts = self.shared.statements();
+        let mut s = Session::new(&self.shared.db);
+        let rows = s.exec_prepared(&stmts.sel_linked, &[Value::str(filename)])?.rows();
+        let Some(row) = rows.first() else {
+            return Err(DlfmError::NotLinked(filename.to_string()));
+        };
+        let entry = FileEntry::from_row(row)?;
+        if AccessControl::from_code(entry.access_ctl) != AccessControl::Full {
+            // Tokens are only meaningful under full access control; other
+            // files are readable through normal permissions.
+            return Ok(DlfmResponse::Token(String::new()));
+        }
+        let token = format!("dl-{:016x}", rand::random::<u64>());
+        self.shared.dlff.register_token(filename, &token);
+        Ok(DlfmResponse::Token(token))
+    }
+
+    fn list_indoubt(&mut self) -> DlfmResult<DlfmResponse> {
+        let mut s = Session::new(&self.shared.db);
+        let rows = s.query(
+            "SELECT xid FROM dfm_xact WHERE state = ? AND dbid = ?",
+            &[Value::Int(XS_PREPARED), Value::Int(self.dbid)],
+        )?;
+        let mut xids: Vec<i64> = rows
+            .iter()
+            .map(|r| r[0].as_int())
+            .collect::<Result<_, _>>()?;
+        xids.sort_unstable();
+        Ok(DlfmResponse::Indoubt(xids))
+    }
+}
+
+/// Decoded `dfm_grp` row (subset the agent needs).
+pub struct GroupInfo {
+    /// Group id.
+    pub grp_id: i64,
+    /// Access-control mode.
+    pub access: AccessControl,
+    /// Whether DLFM handles recovery for files in this group.
+    pub recovery: bool,
+    /// Group state.
+    pub state: i64,
+}
+
+/// Query a file's committed link state (the Upcall path, also used by the
+/// Upcall daemon). Conservative: a lock conflict reports "linked" so the
+/// DLFF denies the destructive operation rather than corrupting a link.
+pub fn query_link_state(shared: &DlfmShared, filename: &str) -> LinkStatus {
+    let stmts = shared.statements();
+    let mut s = Session::new(&shared.db);
+    match s.exec_prepared(&stmts.sel_linked, &[Value::str(filename)]) {
+        Ok(r) => {
+            let rows = r.rows();
+            match rows.first() {
+                None => LinkStatus::NotLinked,
+                Some(row) => match FileEntry::from_row(row) {
+                    Ok(e) if AccessControl::from_code(e.access_ctl) == AccessControl::Full => {
+                        LinkStatus::LinkedFull
+                    }
+                    Ok(_) => LinkStatus::LinkedPartial,
+                    Err(_) => LinkStatus::LinkedPartial,
+                },
+            }
+        }
+        // In doubt (e.g. the linking transaction holds the row lock):
+        // deny-by-default.
+        Err(_) => LinkStatus::LinkedPartial,
+    }
+}

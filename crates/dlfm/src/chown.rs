@@ -1,0 +1,247 @@
+//! The Chown daemon (paper §3.5).
+//!
+//! A separate privileged process whose effective user id is root: it is the
+//! only component that manipulates file ownership and permission bits.
+//! Child agents talk to it over a channel and must authenticate — the
+//! daemon rejects requests that do not carry the shared secret ("it is
+//! important to safeguard unauthorized requests").
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use filesys::{FileMeta, FileSystem, Mode};
+
+/// Mode-bit encoding stored in `dfm_file.orig_mode`.
+pub fn encode_mode(m: Mode) -> i64 {
+    (m.owner_write as i64) | ((m.world_read as i64) << 1) | ((m.world_write as i64) << 2)
+}
+
+/// Decode mode bits from the metadata encoding.
+pub fn decode_mode(bits: i64) -> Mode {
+    Mode {
+        owner_write: bits & 1 != 0,
+        world_read: bits & 2 != 0,
+        world_write: bits & 4 != 0,
+    }
+}
+
+/// Operations the daemon performs.
+#[derive(Debug, Clone)]
+pub enum ChownOp {
+    /// Stat a file (fsid, inode, owner, mode, mtime — what the child agent
+    /// records at link time).
+    GetInfo {
+        /// File path.
+        path: String,
+    },
+    /// Take the file over for the database: under full control, transfer
+    /// ownership to the DLFM admin user and mark read-only. Idempotent.
+    Takeover {
+        /// File path.
+        path: String,
+        /// Full (vs partial) access control.
+        full: bool,
+    },
+    /// Release the file back to its original owner and mode. Idempotent.
+    Release {
+        /// File path.
+        path: String,
+        /// Owner to restore.
+        owner: String,
+        /// Encoded mode bits to restore.
+        mode_bits: i64,
+    },
+}
+
+struct ChownRequest {
+    op: ChownOp,
+    auth: u64,
+    reply: Sender<Result<Option<FileMeta>, String>>,
+}
+
+/// Authenticated client handle used by child agents and daemons.
+#[derive(Clone)]
+pub struct ChownClient {
+    tx: Sender<ChownRequest>,
+    auth: u64,
+}
+
+impl ChownClient {
+    /// Execute an operation, waiting for the daemon's answer.
+    pub fn call(&self, op: ChownOp) -> Result<Option<FileMeta>, String> {
+        let (rtx, rrx) = unbounded();
+        self.tx
+            .send(ChownRequest { op, auth: self.auth, reply: rtx })
+            .map_err(|_| "chown daemon is down".to_string())?;
+        rrx.recv().map_err(|_| "chown daemon is down".to_string())?
+    }
+
+    /// Stat helper.
+    pub fn get_info(&self, path: &str) -> Result<FileMeta, String> {
+        self.call(ChownOp::GetInfo { path: path.into() })?
+            .ok_or_else(|| "no metadata returned".into())
+    }
+
+    /// Construct a client with a *wrong* secret (for the authentication
+    /// test — mirrors the paper's concern about unauthorized requests).
+    pub fn with_bad_auth(&self) -> ChownClient {
+        ChownClient { tx: self.tx.clone(), auth: self.auth.wrapping_add(1) }
+    }
+}
+
+/// The running daemon.
+pub struct ChownDaemon {
+    tx: Sender<ChownRequest>,
+    auth: u64,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ChownDaemon {
+    /// Spawn the daemon over a file system, with the admin user that
+    /// full-control takeover transfers files to.
+    pub fn spawn(fs: Arc<FileSystem>, dlfm_admin: &str) -> ChownDaemon {
+        let (tx, rx): (Sender<ChownRequest>, Receiver<ChownRequest>) = unbounded();
+        let auth: u64 = rand::random();
+        let admin = dlfm_admin.to_string();
+        let handle = std::thread::spawn(move || {
+            while let Ok(req) = rx.recv() {
+                let result = if req.auth != auth {
+                    Err("authentication failure: request rejected".to_string())
+                } else {
+                    serve(&fs, &admin, &req.op)
+                };
+                let _ = req.reply.send(result);
+            }
+        });
+        ChownDaemon { tx, auth, handle: Some(handle) }
+    }
+
+    /// An authenticated client for agents.
+    pub fn client(&self) -> ChownClient {
+        ChownClient { tx: self.tx.clone(), auth: self.auth }
+    }
+}
+
+impl Drop for ChownDaemon {
+    fn drop(&mut self) {
+        // Closing the channel ends the daemon loop.
+        let (tx, _) = unbounded();
+        self.tx = tx;
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve(fs: &FileSystem, admin: &str, op: &ChownOp) -> Result<Option<FileMeta>, String> {
+    match op {
+        ChownOp::GetInfo { path } => {
+            let meta = fs.stat(path).map_err(|e| e.to_string())?;
+            Ok(Some(meta))
+        }
+        ChownOp::Takeover { path, full } => {
+            if *full {
+                fs.chown(path, admin, "dlfm").map_err(|e| e.to_string())?;
+                fs.chmod(path, Mode::read_only()).map_err(|e| e.to_string())?;
+            }
+            // Partial control: no FS changes; the DLFF upcall enforces the
+            // constraints (paper §3.5).
+            Ok(None)
+        }
+        ChownOp::Release { path, owner, mode_bits } => {
+            // The file may have been removed meanwhile (e.g. restore took a
+            // different path); releasing a missing file is not an error.
+            if fs.exists(path) {
+                fs.chown(path, owner, "users").map_err(|e| e.to_string())?;
+                fs.chmod(path, decode_mode(*mode_bits)).map_err(|e| e.to_string())?;
+            }
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_codec_roundtrip() {
+        for m in [
+            Mode::user_default(),
+            Mode::read_only(),
+            Mode { owner_write: true, world_read: false, world_write: false },
+        ] {
+            assert_eq!(decode_mode(encode_mode(m)), m);
+        }
+    }
+
+    #[test]
+    fn takeover_and_release_roundtrip() {
+        let fs = Arc::new(FileSystem::new());
+        fs.create("/f", "alice", b"x").unwrap();
+        let original = fs.stat("/f").unwrap();
+        let daemon = ChownDaemon::spawn(fs.clone(), "dlfm_admin");
+        let client = daemon.client();
+
+        client.call(ChownOp::Takeover { path: "/f".into(), full: true }).unwrap();
+        let m = fs.stat("/f").unwrap();
+        assert_eq!(m.owner, "dlfm_admin");
+        assert!(!m.mode.owner_write);
+
+        client
+            .call(ChownOp::Release {
+                path: "/f".into(),
+                owner: original.owner.clone(),
+                mode_bits: encode_mode(original.mode),
+            })
+            .unwrap();
+        let m = fs.stat("/f").unwrap();
+        assert_eq!(m.owner, "alice");
+        assert!(m.mode.owner_write);
+    }
+
+    #[test]
+    fn partial_takeover_leaves_fs_untouched() {
+        let fs = Arc::new(FileSystem::new());
+        fs.create("/f", "alice", b"x").unwrap();
+        let daemon = ChownDaemon::spawn(fs.clone(), "dlfm_admin");
+        daemon.client().call(ChownOp::Takeover { path: "/f".into(), full: false }).unwrap();
+        let m = fs.stat("/f").unwrap();
+        assert_eq!(m.owner, "alice");
+        assert!(m.mode.owner_write);
+    }
+
+    #[test]
+    fn unauthenticated_requests_rejected() {
+        let fs = Arc::new(FileSystem::new());
+        fs.create("/f", "alice", b"x").unwrap();
+        let daemon = ChownDaemon::spawn(fs.clone(), "dlfm_admin");
+        let bad = daemon.client().with_bad_auth();
+        let err = bad.call(ChownOp::Takeover { path: "/f".into(), full: true }).unwrap_err();
+        assert!(err.contains("authentication"), "{err}");
+        // File untouched.
+        assert_eq!(fs.stat("/f").unwrap().owner, "alice");
+    }
+
+    #[test]
+    fn get_info_returns_metadata() {
+        let fs = Arc::new(FileSystem::new());
+        fs.create("/f", "alice", b"hello").unwrap();
+        let daemon = ChownDaemon::spawn(fs.clone(), "dlfm_admin");
+        let meta = daemon.client().get_info("/f").unwrap();
+        assert_eq!(meta.owner, "alice");
+        assert_eq!(meta.size, 5);
+        assert!(meta.inode > 0);
+    }
+
+    #[test]
+    fn release_of_missing_file_is_noop() {
+        let fs = Arc::new(FileSystem::new());
+        let daemon = ChownDaemon::spawn(fs, "dlfm_admin");
+        daemon
+            .client()
+            .call(ChownOp::Release { path: "/gone".into(), owner: "a".into(), mode_bits: 7 })
+            .unwrap();
+    }
+}

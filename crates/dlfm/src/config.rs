@@ -1,0 +1,101 @@
+//! DLFM configuration.
+
+use std::time::Duration;
+
+use minidb::DbConfig;
+
+/// Tunable DLFM behaviour. Defaults follow the paper's production settings
+/// (scaled for laptop experiments where noted).
+#[derive(Debug, Clone)]
+pub struct DlfmConfig {
+    /// Configuration of the local ("black box") database.
+    pub db: DbConfig,
+    /// Name of the DLFM administrative user that owns fully-controlled
+    /// files after takeover.
+    pub dlfm_admin: String,
+    /// Long-running-transaction chunking: issue a local commit after this
+    /// many link/unlink operations in one transaction, marking the
+    /// transaction in-flight in the transaction table (paper §4).
+    /// `None` disables chunking (every op stays in one local transaction).
+    pub chunk_commit_every: Option<usize>,
+    /// Delete-group daemon: unlink this many files per local commit
+    /// ("we issue commits to local DB2 periodically after processing every
+    /// N records", §4).
+    pub delete_group_batch: usize,
+    /// Backoff between phase-2 commit/abort retries.
+    pub commit_retry_backoff: Duration,
+    /// Safety valve on phase-2 retries (the paper retries forever; tests
+    /// need an eventual stop). Generous by default.
+    pub commit_retry_limit: usize,
+    /// Poll interval of the background daemons.
+    pub daemon_poll_interval: Duration,
+    /// Keep the last N backups' worth of unlinked entries and archive
+    /// copies (paper §3.5: "policy of keeping last N backups").
+    pub backups_retained: usize,
+    /// Lifetime of a deleted group before the Garbage Collector removes its
+    /// metadata and archive copies, in microseconds of logical time.
+    pub group_life_span_micros: i64,
+    /// Apply the paper's optimizer fix: hand-craft catalog statistics before
+    /// binding the DLFM's SQL statements, and re-apply + rebind when a
+    /// RUNSTATS overwrites them (§3.2.1, §4).
+    pub hand_craft_stats: bool,
+}
+
+impl Default for DlfmConfig {
+    fn default() -> Self {
+        DlfmConfig {
+            db: DbConfig::dlfm_tuned(),
+            dlfm_admin: "dlfm_admin".into(),
+            chunk_commit_every: Some(1000),
+            delete_group_batch: 100,
+            commit_retry_backoff: Duration::from_millis(5),
+            commit_retry_limit: 10_000,
+            daemon_poll_interval: Duration::from_millis(10),
+            backups_retained: 2,
+            group_life_span_micros: 60_000_000,
+            hand_craft_stats: true,
+        }
+    }
+}
+
+impl DlfmConfig {
+    /// A configuration with *none* of the paper's fixes applied: next-key
+    /// locking on, no hand-crafted statistics. Used as the "before" arm of
+    /// the ablation experiments.
+    pub fn untuned() -> Self {
+        DlfmConfig {
+            db: DbConfig::default(),
+            hand_craft_stats: false,
+            ..DlfmConfig::default()
+        }
+    }
+
+    /// Fast-timeout variant for tests.
+    pub fn for_tests() -> Self {
+        let mut c = DlfmConfig::default();
+        c.db.lock_timeout = Duration::from_millis(500);
+        c.daemon_poll_interval = Duration::from_millis(2);
+        c.commit_retry_backoff = Duration::from_millis(1);
+        c.group_life_span_micros = 20_000; // 20 ms of wall-clock
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_tuned() {
+        let c = DlfmConfig::default();
+        assert!(!c.db.next_key_locking, "tuned DLFM disables next-key locking");
+        assert!(c.hand_craft_stats);
+    }
+
+    #[test]
+    fn untuned_reverts_the_fixes() {
+        let c = DlfmConfig::untuned();
+        assert!(c.db.next_key_locking);
+        assert!(!c.hand_craft_stats);
+    }
+}

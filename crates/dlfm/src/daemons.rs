@@ -1,0 +1,396 @@
+//! The DLFM service daemons (paper §3.5, Figure 5): Copy, Delete-Group,
+//! Garbage Collector, Retrieve, and Upcall. (The privileged Chown daemon
+//! lives in [`crate::chown`].)
+//!
+//! All daemons follow the paper's discipline for long-running work: they
+//! operate in small batches and **commit frequently** so they never hold
+//! enough row locks to trigger lock escalation (§4), and they treat
+//! deadlock/timeout errors as retryable.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{Receiver, Sender};
+use minidb::{Session, Value};
+
+use crate::api::{AccessControl, DlfmResult};
+use crate::chown::ChownOp;
+use crate::meta::{FileEntry, G_DELETED, LNK_LINKED, LNK_UNLINKED};
+use crate::metrics::DlfmMetrics;
+use crate::server::{now_micros, DlfmShared};
+use crate::twopc::release_file;
+
+/// The Copy daemon: drains the Archive table, copying linked files to the
+/// archive server asynchronously after commit (§3.4). Each queue entry is
+/// removed in its own small transaction.
+pub fn spawn_copy_daemon(shared: Arc<DlfmShared>) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let poll = shared.config.daemon_poll_interval;
+        while !shared.shutting_down() {
+            if !shared.db.is_online() {
+                std::thread::sleep(poll);
+                continue;
+            }
+            shared.ensure_plans();
+            match copy_pass(&shared) {
+                Ok(0) => std::thread::sleep(poll),
+                Ok(_) => {}
+                Err(_) => std::thread::sleep(poll), // retry next pass
+            }
+        }
+    })
+}
+
+fn copy_pass(shared: &DlfmShared) -> DlfmResult<usize> {
+    let stmts = shared.statements();
+    let mut s = Session::new(&shared.db);
+    let rows = s.exec_prepared(&stmts.sel_archive_all, &[])?.rows();
+    let mut copied = 0usize;
+    for row in rows {
+        if shared.shutting_down() {
+            break;
+        }
+        let filename = row[0].as_str()?.to_string();
+        let rec_id = row[1].as_int()?;
+        let priority = row[3].as_int()?;
+        // Read the (now read-only) file; asynchronous copy is safe because
+        // commit processing removed the write permission (§3.4).
+        let content = shared
+            .fs
+            .read(&filename, &shared.config.dlfm_admin)
+            .unwrap_or_default();
+        shared.archive.store(&filename, rec_id, &content, priority > 0);
+        // Delete the queue entry in its own transaction: commit frequently,
+        // never escalate (§4). Deadlocks with child agents inserting into
+        // the same table are retried on the next pass.
+        s.exec_prepared(
+            &stmts.del_archive,
+            &[Value::str(filename.clone()), Value::Int(rec_id)],
+        )?;
+        DlfmMetrics::bump(&shared.metrics.files_archived);
+        copied += 1;
+    }
+    Ok(copied)
+}
+
+/// The Delete-Group daemon: asynchronously unlinks every file of the
+/// groups a committed transaction dropped. Work is found through the
+/// transaction table, so a DLFM restart resumes it (§3.5).
+pub fn spawn_group_delete_daemon(
+    shared: Arc<DlfmShared>,
+    rx: Receiver<(i64, i64)>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let poll = shared.config.daemon_poll_interval;
+        let mut last_scan = Instant::now();
+        while !shared.shutting_down() {
+            let job = rx.recv_timeout(poll).ok();
+            if !shared.db.is_online() {
+                continue;
+            }
+            match job {
+                Some((dbid, xid)) => {
+                    let _ = process_deleted_groups(&shared, dbid, xid);
+                }
+                None => {
+                    // Periodic rescan catches work whose notification was
+                    // lost (e.g. across a crash).
+                    if last_scan.elapsed() >= poll * 20 {
+                        last_scan = Instant::now();
+                        let _ = rescan(&shared);
+                    }
+                }
+            }
+        }
+    })
+}
+
+fn rescan(shared: &DlfmShared) -> DlfmResult<()> {
+    let mut s = Session::new(&shared.db);
+    let rows = s.query(
+        "SELECT dbid, xid FROM dfm_xact WHERE state = 3 AND groups_deleted > 0",
+        &[],
+    )?;
+    for row in rows {
+        process_deleted_groups(shared, row[0].as_int()?, row[1].as_int()?)?;
+    }
+    Ok(())
+}
+
+fn process_deleted_groups(shared: &DlfmShared, dbid: i64, xid: i64) -> DlfmResult<()> {
+    let mut s = Session::new(&shared.db);
+    let groups = s.query(
+        "SELECT grp_id, delete_rec_id FROM dfm_grp WHERE delete_xid = ? AND state = 2",
+        &[Value::Int(xid)],
+    )?;
+    for row in &groups {
+        let grp_id = row[0].as_int()?;
+        let delete_rec_id = match &row[1] {
+            Value::Int(r) => *r,
+            _ => now_micros(),
+        };
+        unlink_group_files(shared, grp_id, xid, delete_rec_id)?;
+        // The group entry is only marked deleted after all its files are
+        // unlinked; the Garbage Collector removes it at life-span expiry.
+        s.exec_params(
+            "UPDATE dfm_grp SET state = ?, expiry = ? WHERE grp_id = ?",
+            &[
+                Value::Int(G_DELETED),
+                Value::Int(now_micros() + shared.config.group_life_span_micros),
+                Value::Int(grp_id),
+            ],
+        )?;
+    }
+    // All groups processed: the transaction entry is no longer needed.
+    let stmts = shared.statements();
+    s.exec_prepared(&stmts.del_xact, &[Value::Int(dbid), Value::Int(xid)])?;
+    Ok(())
+}
+
+/// Unlink every linked file of a group, `delete_group_batch` files per
+/// local commit — a single huge transaction would hit log-full (§4).
+fn unlink_group_files(
+    shared: &DlfmShared,
+    grp_id: i64,
+    xid: i64,
+    delete_rec_id: i64,
+) -> DlfmResult<()> {
+    let batch = shared.config.delete_group_batch.max(1);
+    let stmts = shared.statements();
+    let mut s = Session::new(&shared.db);
+    loop {
+        if shared.shutting_down() {
+            return Ok(());
+        }
+        let rows = s.query(
+            "SELECT * FROM dfm_file WHERE grp_id = ? AND lnk_state = ?",
+            &[Value::Int(grp_id), Value::Int(LNK_LINKED)],
+        )?;
+        if rows.is_empty() {
+            return Ok(());
+        }
+        s.begin()?;
+        let result = (|| -> DlfmResult<()> {
+            for row in rows.iter().take(batch) {
+                let e = FileEntry::from_row(row)?;
+                release_file(shared, &e)?;
+                if e.recovery != 0 {
+                    // Keep an unlinked entry for point-in-time recovery.
+                    s.exec_params(
+                        "UPDATE dfm_file SET lnk_state = ?, check_flag = ?, unlink_xid = ?, \
+                         unlink_rec_id = ?, unlink_ts = ? WHERE filename = ? AND check_flag = 0",
+                        &[
+                            Value::Int(LNK_UNLINKED),
+                            Value::Int(delete_rec_id),
+                            Value::Int(xid),
+                            Value::Int(delete_rec_id),
+                            Value::Int(now_micros()),
+                            Value::str(e.filename.clone()),
+                        ],
+                    )?;
+                } else {
+                    s.exec_prepared(
+                        &stmts.del_entry,
+                        &[Value::str(e.filename.clone()), Value::Int(e.check_flag)],
+                    )?;
+                }
+                DlfmMetrics::bump(&shared.metrics.group_files_unlinked);
+            }
+            Ok(())
+        })();
+        match result {
+            Ok(()) => s.commit()?,
+            Err(e) => {
+                s.rollback();
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// The Garbage Collector daemon (§3.5): two cleanups — (a) unlinked file
+/// entries and archive copies older than the last N retained backups, and
+/// (b) deleted groups whose life span expired.
+pub fn spawn_gc_daemon(shared: Arc<DlfmShared>) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let poll = shared.config.daemon_poll_interval;
+        while !shared.shutting_down() {
+            std::thread::sleep(poll * 5);
+            if !shared.db.is_online() {
+                continue;
+            }
+            let _ = gc_pass(&shared);
+        }
+    })
+}
+
+/// One GC pass; public so tests and benches can drive it deterministically.
+pub fn gc_pass(shared: &DlfmShared) -> DlfmResult<(u64, u64)> {
+    let mut entries_removed = 0u64;
+    let mut copies_removed = 0u64;
+    let mut s = Session::new(&shared.db);
+    let stmts = shared.statements();
+
+    // (a) Backup retention: keep the last N completed backups; unlinked
+    // entries older than the oldest retained backup cannot be needed by any
+    // restorable state.
+    let backups = s.query(
+        "SELECT backup_id, rec_id FROM dfm_backup WHERE complete = 1 ORDER BY backup_id DESC",
+        &[],
+    )?;
+    let retained = shared.config.backups_retained;
+    if backups.len() > retained && retained > 0 {
+        let cutoff_rec = backups[retained - 1][1].as_int()?;
+        let cutoff_backup = backups[retained - 1][0].as_int()?;
+        let old = s.query(
+            "SELECT * FROM dfm_file WHERE lnk_state = ? AND unlink_rec_id < ?",
+            &[Value::Int(LNK_UNLINKED), Value::Int(cutoff_rec)],
+        )?;
+        for row in &old {
+            let e = FileEntry::from_row(row)?;
+            if shared.archive.delete(&e.filename, e.rec_id) {
+                copies_removed += 1;
+            }
+            s.exec_prepared(
+                &stmts.del_entry,
+                &[Value::str(e.filename.clone()), Value::Int(e.check_flag)],
+            )?;
+            entries_removed += 1;
+        }
+        s.exec_params(
+            "DELETE FROM dfm_backup WHERE backup_id < ?",
+            &[Value::Int(cutoff_backup)],
+        )?;
+    }
+
+    // (b) Deleted groups past their life span: remove their unlinked
+    // entries, archive copies, and finally the group entry itself.
+    let expired = s.query(
+        "SELECT grp_id FROM dfm_grp WHERE state = ? AND expiry < ?",
+        &[Value::Int(G_DELETED), Value::Int(now_micros())],
+    )?;
+    for row in &expired {
+        let grp_id = row[0].as_int()?;
+        let entries = s.query(
+            "SELECT * FROM dfm_file WHERE grp_id = ? AND lnk_state = ?",
+            &[Value::Int(grp_id), Value::Int(LNK_UNLINKED)],
+        )?;
+        for erow in &entries {
+            let e = FileEntry::from_row(erow)?;
+            if shared.archive.delete(&e.filename, e.rec_id) {
+                copies_removed += 1;
+            }
+            s.exec_prepared(
+                &stmts.del_entry,
+                &[Value::str(e.filename.clone()), Value::Int(e.check_flag)],
+            )?;
+            entries_removed += 1;
+        }
+        s.exec_params("DELETE FROM dfm_grp WHERE grp_id = ?", &[Value::Int(grp_id)])?;
+    }
+
+    DlfmMetrics::add(&shared.metrics.gc_entries_removed, entries_removed);
+    DlfmMetrics::add(&shared.metrics.gc_archive_removed, copies_removed);
+    Ok((entries_removed, copies_removed))
+}
+
+/// One unit of Retrieve-daemon work: restore a file from the archive.
+pub struct RetrieveJob {
+    /// File to restore.
+    pub filename: String,
+    /// Restore the newest archived version at or before this recovery id.
+    pub rec_id: i64,
+    /// Owner to create the file as.
+    pub owner: String,
+    /// Whether the file is under full access control (re-takeover after
+    /// restore).
+    pub full_control: bool,
+    /// Completion signal.
+    pub done: Sender<Result<(), String>>,
+}
+
+/// The Retrieve daemon: restores files from the archive server after the
+/// host database was restored to a point in the past (§3.5).
+pub fn spawn_retrieve_daemon(
+    shared: Arc<DlfmShared>,
+    rx: Receiver<RetrieveJob>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let poll = shared.config.daemon_poll_interval;
+        while !shared.shutting_down() {
+            let Ok(job) = rx.recv_timeout(poll) else { continue };
+            let result = retrieve_one(&shared, &job);
+            if result.is_ok() {
+                DlfmMetrics::bump(&shared.metrics.files_retrieved);
+            }
+            let _ = job.done.send(result);
+        }
+    })
+}
+
+fn retrieve_one(shared: &DlfmShared, job: &RetrieveJob) -> Result<(), String> {
+    let Some((_, content)) = shared.archive.retrieve_as_of(&job.filename, job.rec_id) else {
+        return Err(format!(
+            "no archived version of {} at or before recovery id {}",
+            job.filename, job.rec_id
+        ));
+    };
+    if shared.fs.exists(&job.filename) {
+        // Make it writable long enough to restore the content.
+        shared
+            .fs
+            .chmod(&job.filename, filesys::Mode::user_default())
+            .map_err(|e| e.to_string())?;
+        shared
+            .fs
+            .chown(&job.filename, &job.owner, "users")
+            .map_err(|e| e.to_string())?;
+        shared.fs.write(&job.filename, &job.owner, &content).map_err(|e| e.to_string())?;
+    } else {
+        shared.fs.create(&job.filename, &job.owner, &content).map_err(|e| e.to_string())?;
+    }
+    shared
+        .chown
+        .call(ChownOp::Takeover { path: job.filename.clone(), full: job.full_control })
+        .map_err(|e| format!("takeover after retrieve failed: {e}"))?;
+    Ok(())
+}
+
+/// The Upcall daemon: answers DLFF link-state queries from committed DLFM
+/// metadata (§3.5). Needed only for partial access control — full-control
+/// files are recognisable from their ownership.
+///
+/// Holds the shared state weakly: the DLFF (owned by the shared state)
+/// holds the upcall handler, so a strong reference here would form a cycle
+/// that keeps the whole server alive.
+pub struct UpcallDaemon {
+    shared: std::sync::Weak<DlfmShared>,
+}
+
+impl UpcallDaemon {
+    /// New upcall daemon over shared state.
+    pub fn new(shared: &Arc<DlfmShared>) -> UpcallDaemon {
+        UpcallDaemon { shared: Arc::downgrade(shared) }
+    }
+}
+
+impl filesys::UpcallHandler for UpcallDaemon {
+    fn link_state(&self, path: &str) -> filesys::LinkState {
+        let Some(shared) = self.shared.upgrade() else {
+            // Server is gone; nothing is linked any more.
+            return filesys::LinkState::NotLinked;
+        };
+        DlfmMetrics::bump(&shared.metrics.upcalls);
+        match crate::agent::query_link_state(&shared, path) {
+            crate::api::LinkStatus::NotLinked => filesys::LinkState::NotLinked,
+            crate::api::LinkStatus::LinkedPartial => filesys::LinkState::LinkedPartial,
+            crate::api::LinkStatus::LinkedFull => filesys::LinkState::LinkedFull,
+        }
+    }
+}
+
+/// Map an access-control code to whether takeover is "full".
+pub fn is_full(access: i64) -> bool {
+    AccessControl::from_code(access) == AccessControl::Full
+}

@@ -1,0 +1,242 @@
+//! The DLFM server: shared state, startup, crash/restart, and the main
+//! daemon's accept loop (paper §3.5, Figure 5).
+//!
+//! Process model: a main daemon accepts connections from host-database
+//! agents and spawns one child agent per connection; six service daemons
+//! (Copy, Retrieve, Delete-Group, Garbage Collector, Chown, Upcall) run
+//! alongside.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use archive::ArchiveServer;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use dlrpc::{fabric, serve, Connector, ServerHandle};
+use filesys::{Dlff, FileSystem};
+use minidb::{Database, Session, Value};
+use parking_lot::RwLock;
+
+use crate::agent::Agent;
+use crate::api::{DlfmRequest, DlfmResponse};
+use crate::chown::{ChownClient, ChownDaemon};
+use crate::config::DlfmConfig;
+use crate::daemons;
+use crate::meta::{self, Statements, XS_INFLIGHT};
+use crate::metrics::DlfmMetrics;
+use crate::twopc;
+
+/// Microseconds since the UNIX epoch — the timestamps stored in DLFM
+/// metadata (unlink times, group expiry, backup times).
+pub fn now_micros() -> i64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as i64)
+        .unwrap_or(0)
+}
+
+/// State shared by child agents and daemons.
+pub struct DlfmShared {
+    /// The local "black box" database.
+    pub db: Database,
+    /// Raw file system of this file server.
+    pub fs: Arc<FileSystem>,
+    /// The DLFF filter over the file system.
+    pub dlff: Arc<Dlff>,
+    /// The archive server used for coordinated backup.
+    pub archive: Arc<ArchiveServer>,
+    /// Authenticated client to the Chown daemon.
+    pub chown: ChownClient,
+    /// Configuration.
+    pub config: DlfmConfig,
+    /// Operation counters.
+    pub metrics: Arc<DlfmMetrics>,
+    /// Bound SQL statements, swapped atomically on rebind.
+    pub stmts: RwLock<Arc<Statements>>,
+    /// Work queue feeding the Delete-Group daemon.
+    pub groupd_tx: Sender<(i64, i64)>,
+    /// Shutdown flag polled by all daemons.
+    pub shutdown: AtomicBool,
+    /// Retrieve-daemon work queue.
+    pub retrieve_tx: Sender<daemons::RetrieveJob>,
+}
+
+impl DlfmShared {
+    /// Current bound statements.
+    pub fn statements(&self) -> Arc<Statements> {
+        self.stmts.read().clone()
+    }
+
+    /// Run the statistics guard: re-apply hand-crafted stats and rebind if a
+    /// RUNSTATS overwrote them (paper §4). Safe to call from any thread.
+    pub fn ensure_plans(&self) {
+        if !self.config.hand_craft_stats {
+            return;
+        }
+        let current = self.statements();
+        if let Ok(Some(fresh)) = meta::ensure_plans(&self.db, &current, &self.metrics) {
+            *self.stmts.write() = Arc::new(fresh);
+        }
+    }
+
+    /// Is the server shutting down?
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A running DLFM instance.
+pub struct DlfmServer {
+    shared: Arc<DlfmShared>,
+    connector: Connector<DlfmRequest, DlfmResponse>,
+    rpc: Option<ServerHandle>,
+    daemons: Vec<JoinHandle<()>>,
+    _chown: ChownDaemon,
+}
+
+impl DlfmServer {
+    /// Start a DLFM over the given file server and archive server.
+    pub fn start(
+        config: DlfmConfig,
+        fs: Arc<FileSystem>,
+        archive_server: Arc<ArchiveServer>,
+    ) -> DlfmServer {
+        let db = Database::new(config.db.clone());
+        let mut session = Session::new(&db);
+        meta::create_schema(&mut session).expect("DLFM schema creation cannot fail");
+        if config.hand_craft_stats {
+            meta::hand_craft_stats(&db).expect("hand-crafting stats cannot fail");
+        }
+        let stmts = Statements::prepare(&db).expect("statement binding cannot fail");
+
+        let dlff = Arc::new(Dlff::new(fs.clone(), &config.dlfm_admin));
+        let chown_daemon = ChownDaemon::spawn(fs.clone(), &config.dlfm_admin);
+        let (groupd_tx, groupd_rx): (Sender<(i64, i64)>, Receiver<(i64, i64)>) = unbounded();
+        let (retrieve_tx, retrieve_rx) = unbounded();
+
+        let shared = Arc::new(DlfmShared {
+            db,
+            fs,
+            dlff: dlff.clone(),
+            archive: archive_server,
+            chown: chown_daemon.client(),
+            config,
+            metrics: Arc::new(DlfmMetrics::default()),
+            stmts: RwLock::new(Arc::new(stmts)),
+            groupd_tx,
+            shutdown: AtomicBool::new(false),
+            retrieve_tx,
+        });
+
+        // Install the Upcall daemon as the DLFF's handler.
+        dlff.set_upcall(Arc::new(daemons::UpcallDaemon::new(&shared)));
+
+        // Service daemons.
+        let mut handles = Vec::new();
+        handles.push(daemons::spawn_copy_daemon(shared.clone()));
+        handles.push(daemons::spawn_group_delete_daemon(shared.clone(), groupd_rx));
+        handles.push(daemons::spawn_gc_daemon(shared.clone()));
+        handles.push(daemons::spawn_retrieve_daemon(shared.clone(), retrieve_rx));
+
+        // The main daemon: accept connections, one child agent each.
+        let (listener, connector) = fabric();
+        let agent_shared = shared.clone();
+        let rpc = serve(listener, move || {
+            let mut agent = Agent::new(agent_shared.clone());
+            move |req: DlfmRequest, slot: dlrpc::ReplySlot<DlfmResponse>| {
+                let resp = agent.handle(req);
+                slot.send(resp);
+            }
+        });
+
+        DlfmServer { shared, connector, rpc: Some(rpc), daemons: handles, _chown: chown_daemon }
+    }
+
+    /// Endpoint host databases connect to.
+    pub fn connector(&self) -> Connector<DlfmRequest, DlfmResponse> {
+        self.connector.clone()
+    }
+
+    /// Shared state (tests and benchmarks).
+    pub fn shared(&self) -> &Arc<DlfmShared> {
+        &self.shared
+    }
+
+    /// The local database (diagnostics).
+    pub fn db(&self) -> &Database {
+        &self.shared.db
+    }
+
+    /// Operation counters.
+    pub fn metrics(&self) -> &DlfmMetrics {
+        &self.shared.metrics
+    }
+
+    /// The DLFF filter applications should go through.
+    pub fn dlff(&self) -> &Arc<Dlff> {
+        &self.shared.dlff
+    }
+
+    /// Take a local-database checkpoint (bounds restart recovery work).
+    pub fn checkpoint(&self) {
+        self.shared.db.checkpoint();
+    }
+
+    /// Simulate a DLFM crash: the local database loses its volatile state.
+    /// (The file system and archive server are separate boxes and survive.)
+    pub fn crash(&self) {
+        self.shared.db.crash();
+    }
+
+    /// Restart after a crash: recover the local database, abort in-flight
+    /// chunked transactions (they were never prepared, so presumed abort),
+    /// re-apply statistics, rebind plans, and requeue unfinished
+    /// delete-group work. Prepared transactions remain indoubt for the host
+    /// resolver (paper §3.3).
+    pub fn restart(&self) -> Result<(), minidb::DbError> {
+        self.shared.db.restart()?;
+        // Statistics are not logged; re-apply and rebind.
+        if self.shared.config.hand_craft_stats {
+            meta::hand_craft_stats(&self.shared.db)?;
+        }
+        *self.shared.stmts.write() =
+            Arc::new(Statements::prepare(&self.shared.db)?);
+
+        let mut session = Session::new(&self.shared.db);
+        // Presumed abort for in-flight chunked transactions.
+        let inflight = session.query(
+            "SELECT dbid, xid FROM dfm_xact WHERE state = ?",
+            &[Value::Int(XS_INFLIGHT)],
+        )?;
+        for row in inflight {
+            let dbid = row[0].as_int()?;
+            let xid = row[1].as_int()?;
+            let _ = twopc::run_phase2_abort(&self.shared, dbid, xid);
+        }
+        // Resume asynchronous group deletion for committed transactions.
+        let pending = session.query(
+            "SELECT dbid, xid FROM dfm_xact WHERE state = 3 AND groups_deleted > 0",
+            &[],
+        )?;
+        for row in pending {
+            let _ = self
+                .shared
+                .groupd_tx
+                .send((row[0].as_int()?, row[1].as_int()?));
+        }
+        Ok(())
+    }
+}
+
+impl Drop for DlfmServer {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(mut rpc) = self.rpc.take() {
+            rpc.shutdown();
+        }
+        for h in self.daemons.drain(..) {
+            let _ = h.join();
+        }
+    }
+}

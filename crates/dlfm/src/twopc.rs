@@ -1,0 +1,198 @@
+//! Phase-2 (commit/abort) processing — the heart of the paper's design.
+//!
+//! Unlike a database SQL commit, which only releases locks, DLFM's phase-2
+//! processing issues SQL update/delete calls against the local database and
+//! therefore *acquires new locks* (Figure 4). Deadlocks and timeouts are
+//! possible; since the outcome of the transaction can no longer change, the
+//! operation is **retried until it succeeds** (§3.3).
+//!
+//! Rolling back after the prepare-time local commit is done with the
+//! **delayed-update scheme** (§4): unlink marks entries rather than
+//! deleting them, so commit performs the physical deletes and abort flips
+//! the marks back. File-system actions (takeover/release via the Chown
+//! daemon) happen here in phase 2 because the file system is not
+//! transactional (§3.2); they are idempotent so retries are safe.
+
+use minidb::{Session, Value};
+
+use crate::api::{AccessControl, DlfmError, DlfmResult};
+use crate::chown::ChownOp;
+use crate::meta::{FileEntry, XS_COMMITTED};
+use crate::metrics::DlfmMetrics;
+use crate::server::DlfmShared;
+
+/// Run phase-2 commit with the retry-until-success loop. Returns the number
+/// of retries that were needed.
+pub fn run_phase2_commit(shared: &DlfmShared, dbid: i64, xid: i64) -> DlfmResult<u64> {
+    run_with_retry(shared, "commit", || commit_attempt(shared, dbid, xid)).inspect(|_r| {
+        DlfmMetrics::bump(&shared.metrics.commits);
+    })
+}
+
+/// Run phase-2 abort with the retry-until-success loop.
+pub fn run_phase2_abort(shared: &DlfmShared, dbid: i64, xid: i64) -> DlfmResult<u64> {
+    run_with_retry(shared, "abort", || abort_attempt(shared, dbid, xid)).inspect(|_r| {
+        DlfmMetrics::bump(&shared.metrics.aborts);
+    })
+}
+
+/// The retry loop of Figure 4: phase-2 work acquires locks, may deadlock or
+/// time out, and is repeated until it succeeds. The configured limit is a
+/// test-friendly safety valve — effectively "forever" in production.
+fn run_with_retry(
+    shared: &DlfmShared,
+    what: &str,
+    mut attempt: impl FnMut() -> DlfmResult<Option<(i64, i64)>>,
+) -> DlfmResult<u64> {
+    let mut retries = 0u64;
+    loop {
+        match attempt() {
+            Ok(notify) => {
+                if let Some((dbid, xid)) = notify {
+                    // Hand committed group-deletion work to the daemon.
+                    let _ = shared.groupd_tx.send((dbid, xid));
+                }
+                return Ok(retries);
+            }
+            Err(DlfmError::Db { retryable: true, .. }) => {
+                retries += 1;
+                DlfmMetrics::bump(&shared.metrics.phase2_retries);
+                if retries as usize >= shared.config.commit_retry_limit {
+                    return Err(DlfmError::Db {
+                        msg: format!("phase-2 {what} exceeded retry limit"),
+                        retryable: true,
+                        kind: crate::api::DbErrorKind::LockTimeout,
+                    });
+                }
+                std::thread::sleep(shared.config.commit_retry_backoff);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One commit attempt. Returns `Some((dbid, xid))` when the Delete-Group
+/// daemon must be notified after success.
+fn commit_attempt(shared: &DlfmShared, dbid: i64, xid: i64) -> DlfmResult<Option<(i64, i64)>> {
+    let stmts = shared.statements();
+    let mut s = Session::new(&shared.db);
+    s.begin()?;
+
+    // Files linked by this transaction: take them over and queue archive
+    // copies for recovery-managed groups.
+    let linked = s.exec_prepared(&stmts.sel_by_link_xid, &[Value::Int(xid)])?.rows();
+    for row in &linked {
+        let e = FileEntry::from_row(row)?;
+        let full = AccessControl::from_code(e.access_ctl) == AccessControl::Full;
+        shared
+            .chown
+            .call(ChownOp::Takeover { path: e.filename.clone(), full })
+            .map_err(DlfmError::Fs)?;
+        if e.recovery != 0 {
+            // The separate Archive table keeps copy-queue traffic out of
+            // the big File table (§3.4). Unique (filename, rec_id) makes
+            // requeueing on retry a no-op.
+            match s.exec_prepared(
+                &stmts.ins_archive,
+                &[
+                    Value::str(e.filename.clone()),
+                    Value::Int(e.rec_id),
+                    Value::Int(e.grp_id),
+                    Value::Int(0),
+                ],
+            ) {
+                Ok(_) | Err(minidb::DbError::UniqueViolation { .. }) => {}
+                Err(err) => return Err(err.into()),
+            }
+        }
+    }
+
+    // Files unlinked by this transaction: release them; physically delete
+    // entries that need no point-in-time recovery (delayed update, §4).
+    // Exception: a file this same transaction *re-linked* (unlink from one
+    // column + link to another, §3.2) stays under database control — its
+    // takeover above must not be undone by the release below.
+    let relinked: std::collections::HashSet<String> = linked
+        .iter()
+        .map(|row| FileEntry::from_row(row).map(|e| e.filename))
+        .collect::<Result<_, _>>()?;
+    let unlinked = s.exec_prepared(&stmts.sel_unlinked_by_xid, &[Value::Int(xid)])?.rows();
+    for row in &unlinked {
+        let e = FileEntry::from_row(row)?;
+        if !relinked.contains(&e.filename) {
+            release_file(shared, &e)?;
+        }
+        if e.recovery == 0 {
+            s.exec_prepared(
+                &stmts.del_entry,
+                &[Value::str(e.filename.clone()), Value::Int(e.check_flag)],
+            )?;
+        }
+    }
+
+    // Transaction-table entry: keep it (COMMITTED) while asynchronous group
+    // deletion still needs it, else delete it.
+    let xact = s.exec_prepared(&stmts.sel_xact, &[Value::Int(dbid), Value::Int(xid)])?.rows();
+    let mut notify = None;
+    if let Some(row) = xact.first() {
+        let groups_deleted = row[3].as_int()?;
+        if groups_deleted > 0 {
+            s.exec_prepared(
+                &stmts.upd_xact_state,
+                &[
+                    Value::Int(XS_COMMITTED),
+                    Value::Int(groups_deleted),
+                    Value::Int(dbid),
+                    Value::Int(xid),
+                ],
+            )?;
+            notify = Some((dbid, xid));
+        } else {
+            s.exec_prepared(&stmts.del_xact, &[Value::Int(dbid), Value::Int(xid)])?;
+        }
+    }
+    s.commit()?;
+    Ok(notify)
+}
+
+/// One abort attempt: undo hardened work with the delayed-update scheme.
+fn abort_attempt(shared: &DlfmShared, dbid: i64, xid: i64) -> DlfmResult<Option<(i64, i64)>> {
+    let stmts = shared.statements();
+    let mut s = Session::new(&shared.db);
+    s.begin()?;
+
+    // Entries inserted by this transaction's links: physically delete.
+    // (No file-system undo is needed — takeover only happens at commit.)
+    s.exec_prepared(&stmts.del_by_link_xid, &[Value::Int(xid)])?;
+
+    // Entries this transaction unlinked: restore to linked state.
+    s.exec_prepared(&stmts.upd_restore_by_unlink_xid, &[Value::Int(xid)])?;
+
+    // Groups this transaction marked for deletion: back to normal.
+    s.exec_params(
+        "UPDATE dfm_grp SET state = 1, delete_xid = NULL, delete_rec_id = NULL \
+         WHERE delete_xid = ? AND state = 2",
+        &[Value::Int(xid)],
+    )?;
+
+    s.exec_prepared(&stmts.del_xact, &[Value::Int(dbid), Value::Int(xid)])?;
+    s.commit()?;
+    Ok(None)
+}
+
+/// Release an unlinked file back to its original owner and permissions and
+/// revoke any outstanding read tokens. Idempotent.
+pub fn release_file(shared: &DlfmShared, e: &FileEntry) -> DlfmResult<()> {
+    shared.dlff.revoke_tokens(&e.filename);
+    if let (Some(owner), Some(mode)) = (&e.orig_owner, e.orig_mode) {
+        shared
+            .chown
+            .call(ChownOp::Release {
+                path: e.filename.clone(),
+                owner: owner.clone(),
+                mode_bits: mode,
+            })
+            .map_err(DlfmError::Fs)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,374 @@
+//! A POSIX-flavoured in-memory file system.
+//!
+//! Paths are absolute, `/`-separated, and normalised. Directories are
+//! implicit (created on demand, like object stores) but file metadata is
+//! fully modelled: owner, group, mode bits, mtime, fsid/inode — everything
+//! the DLFM child agent asks the Chown daemon for (paper §3.5).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+/// Errors from file-system operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// Path does not exist.
+    NotFound(String),
+    /// Path already exists (create/rename target).
+    AlreadyExists(String),
+    /// Caller lacks permission for the operation.
+    PermissionDenied {
+        /// Path involved.
+        path: String,
+        /// What was attempted.
+        op: String,
+    },
+    /// Operation rejected by the DLFF filter (file is linked).
+    FilterRejected {
+        /// Path involved.
+        path: String,
+        /// What was attempted.
+        op: String,
+    },
+    /// Malformed path.
+    InvalidPath(String),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "no such file: {p}"),
+            FsError::AlreadyExists(p) => write!(f, "file exists: {p}"),
+            FsError::PermissionDenied { path, op } => {
+                write!(f, "permission denied: {op} on {path}")
+            }
+            FsError::FilterRejected { path, op } => {
+                write!(f, "operation rejected by DLFF: {op} on {path} (file is linked)")
+            }
+            FsError::InvalidPath(p) => write!(f, "invalid path: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// Result alias for file-system calls.
+pub type FsResult<T> = Result<T, FsError>;
+
+/// Permission bits (simplified: owner-write and world-read/write).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mode {
+    /// Owner may write.
+    pub owner_write: bool,
+    /// Anyone may read.
+    pub world_read: bool,
+    /// Anyone may write.
+    pub world_write: bool,
+}
+
+impl Mode {
+    /// Typical user file: rw-rw- (owner write, world read+write).
+    pub fn user_default() -> Mode {
+        Mode { owner_write: true, world_read: true, world_write: true }
+    }
+
+    /// Read-only (what DLFM sets after full-control takeover).
+    pub fn read_only() -> Mode {
+        Mode { owner_write: false, world_read: true, world_write: false }
+    }
+}
+
+/// Metadata of one file — the answer to a Chown-daemon "get file info"
+/// request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileMeta {
+    /// File-system id (one per FileSystem instance).
+    pub fsid: u64,
+    /// Inode number, unique within the file system.
+    pub inode: u64,
+    /// Owning user.
+    pub owner: String,
+    /// Owning group.
+    pub group: String,
+    /// Permission bits.
+    pub mode: Mode,
+    /// Last-modification counter (logical clock).
+    pub mtime: u64,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+#[derive(Debug, Clone)]
+struct File {
+    meta: FileMeta,
+    content: Vec<u8>,
+}
+
+static NEXT_FSID: AtomicU64 = AtomicU64::new(1);
+
+/// An in-memory file system (one per file server).
+pub struct FileSystem {
+    fsid: u64,
+    files: RwLock<HashMap<String, File>>,
+    next_inode: AtomicU64,
+    clock: AtomicU64,
+}
+
+impl Default for FileSystem {
+    fn default() -> Self {
+        FileSystem::new()
+    }
+}
+
+impl FileSystem {
+    /// Create an empty file system with a fresh fsid.
+    pub fn new() -> FileSystem {
+        FileSystem {
+            fsid: NEXT_FSID.fetch_add(1, Ordering::Relaxed),
+            files: RwLock::new(HashMap::new()),
+            next_inode: AtomicU64::new(1),
+            clock: AtomicU64::new(1),
+        }
+    }
+
+    /// This file system's id.
+    pub fn fsid(&self) -> u64 {
+        self.fsid
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Normalise and validate a path.
+    pub fn normalize(path: &str) -> FsResult<String> {
+        if !path.starts_with('/') || path.contains("//") || path.ends_with('/') {
+            return Err(FsError::InvalidPath(path.to_string()));
+        }
+        if path.split('/').any(|seg| seg == "." || seg == "..") {
+            return Err(FsError::InvalidPath(path.to_string()));
+        }
+        Ok(path.to_string())
+    }
+
+    /// Create a file owned by `owner` with default user permissions.
+    pub fn create(&self, path: &str, owner: &str, content: &[u8]) -> FsResult<FileMeta> {
+        let path = Self::normalize(path)?;
+        let mut files = self.files.write();
+        if files.contains_key(&path) {
+            return Err(FsError::AlreadyExists(path));
+        }
+        let meta = FileMeta {
+            fsid: self.fsid,
+            inode: self.next_inode.fetch_add(1, Ordering::Relaxed),
+            owner: owner.to_string(),
+            group: "users".to_string(),
+            mode: Mode::user_default(),
+            mtime: self.tick(),
+            size: content.len() as u64,
+        };
+        files.insert(path, File { meta: meta.clone(), content: content.to_vec() });
+        Ok(meta)
+    }
+
+    /// Does the file exist?
+    pub fn exists(&self, path: &str) -> bool {
+        Self::normalize(path).map(|p| self.files.read().contains_key(&p)).unwrap_or(false)
+    }
+
+    /// Stat a file.
+    pub fn stat(&self, path: &str) -> FsResult<FileMeta> {
+        let path = Self::normalize(path)?;
+        self.files
+            .read()
+            .get(&path)
+            .map(|f| f.meta.clone())
+            .ok_or(FsError::NotFound(path))
+    }
+
+    /// Read file contents, enforcing read permission for `user`.
+    pub fn read(&self, path: &str, user: &str) -> FsResult<Vec<u8>> {
+        let path = Self::normalize(path)?;
+        let files = self.files.read();
+        let f = files.get(&path).ok_or_else(|| FsError::NotFound(path.clone()))?;
+        if !f.meta.mode.world_read && f.meta.owner != user {
+            return Err(FsError::PermissionDenied { path, op: "read".into() });
+        }
+        Ok(f.content.clone())
+    }
+
+    /// Overwrite file contents, enforcing write permission for `user`.
+    pub fn write(&self, path: &str, user: &str, content: &[u8]) -> FsResult<()> {
+        let path = Self::normalize(path)?;
+        let mtime = self.tick();
+        let mut files = self.files.write();
+        let f = files.get_mut(&path).ok_or_else(|| FsError::NotFound(path.clone()))?;
+        let allowed = f.meta.mode.world_write
+            || (f.meta.owner == user && f.meta.mode.owner_write);
+        if !allowed {
+            return Err(FsError::PermissionDenied { path, op: "write".into() });
+        }
+        f.content = content.to_vec();
+        f.meta.size = f.content.len() as u64;
+        f.meta.mtime = mtime;
+        Ok(())
+    }
+
+    /// Delete a file (no permission model beyond existence — the DLFF layer
+    /// is what protects linked files).
+    pub fn delete(&self, path: &str) -> FsResult<()> {
+        let path = Self::normalize(path)?;
+        self.files
+            .write()
+            .remove(&path)
+            .map(|_| ())
+            .ok_or(FsError::NotFound(path))
+    }
+
+    /// Rename/move a file.
+    pub fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        let from = Self::normalize(from)?;
+        let to = Self::normalize(to)?;
+        let mtime = self.tick();
+        let mut files = self.files.write();
+        if files.contains_key(&to) {
+            return Err(FsError::AlreadyExists(to));
+        }
+        let mut f = files.remove(&from).ok_or(FsError::NotFound(from))?;
+        f.meta.mtime = mtime;
+        files.insert(to, f);
+        Ok(())
+    }
+
+    /// Change owner (Chown-daemon privilege; no permission check here —
+    /// the daemon runs as root, paper §3.5).
+    pub fn chown(&self, path: &str, owner: &str, group: &str) -> FsResult<()> {
+        let path = Self::normalize(path)?;
+        let mut files = self.files.write();
+        let f = files.get_mut(&path).ok_or_else(|| FsError::NotFound(path.clone()))?;
+        f.meta.owner = owner.to_string();
+        f.meta.group = group.to_string();
+        Ok(())
+    }
+
+    /// Change permission bits (Chown-daemon privilege).
+    pub fn chmod(&self, path: &str, mode: Mode) -> FsResult<()> {
+        let path = Self::normalize(path)?;
+        let mut files = self.files.write();
+        let f = files.get_mut(&path).ok_or_else(|| FsError::NotFound(path.clone()))?;
+        f.meta.mode = mode;
+        Ok(())
+    }
+
+    /// List all paths under a prefix (diagnostics / reconcile scans).
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        let files = self.files.read();
+        let mut out: Vec<String> =
+            files.keys().filter(|p| p.starts_with(prefix)).cloned().collect();
+        out.sort();
+        out
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.read().len()
+    }
+
+    /// True when no files exist.
+    pub fn is_empty(&self) -> bool {
+        self.files.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_stat_read_write() {
+        let fs = FileSystem::new();
+        let meta = fs.create("/data/a.mpg", "alice", b"hello").unwrap();
+        assert_eq!(meta.owner, "alice");
+        assert_eq!(meta.size, 5);
+        assert_eq!(fs.read("/data/a.mpg", "bob").unwrap(), b"hello");
+        fs.write("/data/a.mpg", "alice", b"world!").unwrap();
+        let meta2 = fs.stat("/data/a.mpg").unwrap();
+        assert_eq!(meta2.size, 6);
+        assert!(meta2.mtime > meta.mtime);
+        assert_eq!(meta2.inode, meta.inode);
+    }
+
+    #[test]
+    fn create_duplicate_rejected() {
+        let fs = FileSystem::new();
+        fs.create("/a", "u", b"").unwrap();
+        assert!(matches!(fs.create("/a", "u", b""), Err(FsError::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn path_validation() {
+        let fs = FileSystem::new();
+        assert!(matches!(fs.create("rel/path", "u", b""), Err(FsError::InvalidPath(_))));
+        assert!(matches!(fs.create("/a//b", "u", b""), Err(FsError::InvalidPath(_))));
+        assert!(matches!(fs.create("/a/../b", "u", b""), Err(FsError::InvalidPath(_))));
+        assert!(matches!(fs.create("/a/", "u", b""), Err(FsError::InvalidPath(_))));
+    }
+
+    #[test]
+    fn read_only_mode_blocks_writes() {
+        let fs = FileSystem::new();
+        fs.create("/f", "alice", b"x").unwrap();
+        fs.chmod("/f", Mode::read_only()).unwrap();
+        // Even the owner cannot write once DLFM marks it read-only.
+        assert!(matches!(
+            fs.write("/f", "alice", b"y"),
+            Err(FsError::PermissionDenied { .. })
+        ));
+        assert_eq!(fs.read("/f", "bob").unwrap(), b"x");
+    }
+
+    #[test]
+    fn chown_transfers_ownership() {
+        let fs = FileSystem::new();
+        fs.create("/f", "alice", b"x").unwrap();
+        fs.chown("/f", "dlfm_admin", "dlfm").unwrap();
+        let m = fs.stat("/f").unwrap();
+        assert_eq!(m.owner, "dlfm_admin");
+        assert_eq!(m.group, "dlfm");
+    }
+
+    #[test]
+    fn rename_and_delete() {
+        let fs = FileSystem::new();
+        fs.create("/a", "u", b"1").unwrap();
+        fs.rename("/a", "/b").unwrap();
+        assert!(!fs.exists("/a"));
+        assert!(fs.exists("/b"));
+        fs.create("/c", "u", b"2").unwrap();
+        assert!(matches!(fs.rename("/b", "/c"), Err(FsError::AlreadyExists(_))));
+        fs.delete("/b").unwrap();
+        assert!(matches!(fs.delete("/b"), Err(FsError::NotFound(_))));
+    }
+
+    #[test]
+    fn distinct_fsids_and_inodes() {
+        let a = FileSystem::new();
+        let b = FileSystem::new();
+        assert_ne!(a.fsid(), b.fsid());
+        let m1 = a.create("/x", "u", b"").unwrap();
+        let m2 = a.create("/y", "u", b"").unwrap();
+        assert_ne!(m1.inode, m2.inode);
+    }
+
+    #[test]
+    fn list_by_prefix() {
+        let fs = FileSystem::new();
+        fs.create("/video/a.mpg", "u", b"").unwrap();
+        fs.create("/video/b.mpg", "u", b"").unwrap();
+        fs.create("/audio/c.mp3", "u", b"").unwrap();
+        assert_eq!(fs.list("/video/").len(), 2);
+        assert_eq!(fs.list("/").len(), 3);
+    }
+}

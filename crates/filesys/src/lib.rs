@@ -1,0 +1,23 @@
+//! # filesys — in-memory file server + DLFF filter
+//!
+//! The file-server substrate for the DLFM reproduction. The paper's file
+//! server is an ordinary (AIX/NT) file system with a kernel filter driver —
+//! the **DataLinks File System Filter (DLFF)** — layered on top. This crate
+//! provides both:
+//!
+//! * [`FileSystem`] — a POSIX-flavoured in-memory file system with inodes,
+//!   owners, groups, permission bits, and modification times. Crucially it
+//!   is **not transactional**: changes are immediate and cannot be rolled
+//!   back, which is why DLFM defers file takeover/release to phase 2 of
+//!   commit processing (paper §3.2).
+//! * [`dlff::Dlff`] — the filter layer that intercepts rename/delete/move
+//!   (and reads, under full access control), consulting the DLFM through an
+//!   [`dlff::UpcallHandler`] and validating host-issued access tokens.
+
+#![warn(missing_docs)]
+
+pub mod dlff;
+pub mod fs;
+
+pub use dlff::{AccessDecision, Dlff, LinkState, UpcallHandler};
+pub use fs::{FileMeta, FileSystem, FsError, FsResult, Mode};

@@ -1,0 +1,146 @@
+//! The two-phase-commit coordinator log.
+//!
+//! Presumed abort (paper §3.3, reference 8): the coordinator force-writes a
+//! commit record *after* all participants prepared and *before* telling
+//! anyone to commit. On restart, transactions with a commit record but no
+//! end record are re-driven to commit; prepared participant transactions
+//! with no commit record are aborted.
+
+use parking_lot::Mutex;
+
+/// One coordinator log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordRecord {
+    /// Decision record: this transaction commits on the listed servers.
+    Commit {
+        /// Host transaction id.
+        xid: i64,
+        /// DLFM servers that prepared.
+        servers: Vec<String>,
+    },
+    /// All participants acknowledged phase 2.
+    End {
+        /// Host transaction id.
+        xid: i64,
+    },
+}
+
+#[derive(Default)]
+struct Inner {
+    records: Vec<CoordRecord>,
+    durable: usize,
+}
+
+/// The coordinator log with an explicit durability watermark, so a host
+/// crash can lose the volatile tail.
+#[derive(Default)]
+pub struct CoordLog {
+    inner: Mutex<Inner>,
+}
+
+impl CoordLog {
+    /// New empty log.
+    pub fn new() -> CoordLog {
+        CoordLog::default()
+    }
+
+    /// Append a record (volatile until forced).
+    pub fn append(&self, rec: CoordRecord) {
+        self.inner.lock().records.push(rec);
+    }
+
+    /// Append and force in one step (used for the commit decision).
+    pub fn append_forced(&self, rec: CoordRecord) {
+        let mut inner = self.inner.lock();
+        inner.records.push(rec);
+        inner.durable = inner.records.len();
+    }
+
+    /// Make all appended records durable.
+    pub fn force(&self) {
+        let mut inner = self.inner.lock();
+        inner.durable = inner.records.len();
+    }
+
+    /// Crash: discard the volatile tail. Returns records lost.
+    pub fn crash(&self) -> usize {
+        let mut inner = self.inner.lock();
+        let lost = inner.records.len() - inner.durable;
+        let durable = inner.durable;
+        inner.records.truncate(durable);
+        lost
+    }
+
+    /// Transactions with a durable commit decision but no end record —
+    /// phase 2 must be re-driven for these after a restart.
+    pub fn unfinished_commits(&self) -> Vec<(i64, Vec<String>)> {
+        let inner = self.inner.lock();
+        let mut open: Vec<(i64, Vec<String>)> = Vec::new();
+        for rec in &inner.records {
+            match rec {
+                CoordRecord::Commit { xid, servers } => {
+                    open.push((*xid, servers.clone()));
+                }
+                CoordRecord::End { xid } => {
+                    open.retain(|(x, _)| x != xid);
+                }
+            }
+        }
+        open
+    }
+
+    /// Was a commit decision durably recorded for `xid`?
+    pub fn committed(&self, xid: i64) -> bool {
+        self.inner
+            .lock()
+            .records
+            .iter()
+            .any(|r| matches!(r, CoordRecord::Commit { xid: x, .. } if *x == xid))
+    }
+
+    /// Total records retained (diagnostics).
+    pub fn len(&self) -> usize {
+        self.inner.lock().records.len()
+    }
+
+    /// True when no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unfinished_commits_tracks_ends() {
+        let log = CoordLog::new();
+        log.append_forced(CoordRecord::Commit { xid: 1, servers: vec!["fs1".into()] });
+        log.append_forced(CoordRecord::Commit { xid: 2, servers: vec!["fs2".into()] });
+        log.append(CoordRecord::End { xid: 1 });
+        let open = log.unfinished_commits();
+        assert_eq!(open.len(), 1);
+        assert_eq!(open[0].0, 2);
+    }
+
+    #[test]
+    fn crash_loses_unforced_tail() {
+        let log = CoordLog::new();
+        log.append_forced(CoordRecord::Commit { xid: 1, servers: vec![] });
+        log.append(CoordRecord::End { xid: 1 });
+        let lost = log.crash();
+        assert_eq!(lost, 1);
+        // The commit decision survived; the end record did not — phase 2
+        // re-drives transaction 1.
+        assert_eq!(log.unfinished_commits(), vec![(1, vec![])]);
+    }
+
+    #[test]
+    fn committed_lookup() {
+        let log = CoordLog::new();
+        assert!(!log.committed(5));
+        log.append_forced(CoordRecord::Commit { xid: 5, servers: vec![] });
+        assert!(log.committed(5));
+    }
+}

@@ -1,0 +1,1134 @@
+//! The host database with its datalink engine.
+//!
+//! [`HostDb`] wraps a [`minidb::Database`] and intercepts every statement
+//! that touches a DATALINK column (paper §2): inserts link files, deletes
+//! unlink them, updates do both, DROP TABLE deletes the file groups. The
+//! host also owns the transaction machinery the DLFM relies on:
+//! monotonically increasing transaction ids and recovery ids (§3.3), and
+//! the presumed-abort two-phase-commit coordinator (§3.3).
+//!
+//! Internal bookkeeping lives in two system tables kept transactionally
+//! consistent with user data:
+//!
+//! * `sys_dlcols(tbl, col, grp_id, server_any, access, recovery)` — one row
+//!   per DATALINK column (the file group);
+//! * `sys_datalinks(tbl, col, server, filename, rec_id)` — one row per
+//!   currently linked file, carrying the recovery id the Reconcile and
+//!   Restore utilities need.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dlfm::{AccessControl, DlfmError, DlfmRequest, DlfmResponse, GroupSpec};
+use dlrpc::{ClientConn, Connector};
+use minidb::sql::ast::{Expr, Projection, SelectItem, SelectStmt, Stmt};
+use minidb::{Database, DbConfig, ExecResult, Row, Session, Value};
+use parking_lot::{Mutex, RwLock};
+
+use crate::coordlog::{CoordLog, CoordRecord};
+use crate::error::{HostError, HostResult};
+use crate::url::DatalinkUrl;
+
+/// Connection type to a DLFM.
+pub type DlfmConn = ClientConn<DlfmRequest, DlfmResponse>;
+
+/// Host configuration.
+#[derive(Debug, Clone)]
+pub struct HostConfig {
+    /// This database's id (embedded in recovery ids).
+    pub dbid: i64,
+    /// Configuration of the host's own storage engine.
+    pub db: DbConfig,
+    /// Synchronous phase-2 commit (the paper's conclusion: this must be
+    /// true; the `false` mode exists to reproduce the §4 distributed
+    /// deadlock).
+    pub synchronous_commit: bool,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig { dbid: 1, db: DbConfig::default(), synchronous_commit: true }
+    }
+}
+
+impl HostConfig {
+    /// Fast-timeout variant for tests.
+    pub fn for_tests() -> Self {
+        HostConfig { dbid: 1, db: DbConfig::for_tests(), ..HostConfig::default() }
+    }
+}
+
+/// Per-column datalink metadata (one file group per column, paper §3).
+#[derive(Debug, Clone)]
+pub struct DlColumn {
+    /// File-group id.
+    pub grp_id: i64,
+    /// Access control applied to linked files.
+    pub access: AccessControl,
+    /// Whether DLFM handles backup/recovery for this group.
+    pub recovery: bool,
+}
+
+/// Options for one DATALINK column at table-creation time.
+#[derive(Debug, Clone)]
+pub struct DatalinkSpec {
+    /// Column name.
+    pub column: String,
+    /// Access control.
+    pub access: AccessControl,
+    /// Recovery option ("RECOVERY YES").
+    pub recovery: bool,
+}
+
+/// Host-side operation counters.
+#[derive(Debug, Default)]
+pub struct HostMetrics {
+    /// Committed transactions.
+    pub commits: AtomicU64,
+    /// Rolled-back transactions.
+    pub rollbacks: AtomicU64,
+    /// Two-phase commits (at least one DLFM involved).
+    pub twopc_commits: AtomicU64,
+    /// Prepare-phase failures (global abort).
+    pub prepare_failures: AtomicU64,
+    /// LinkFile requests issued.
+    pub links: AtomicU64,
+    /// UnlinkFile requests issued.
+    pub unlinks: AtomicU64,
+    /// Indoubt transactions resolved after failures.
+    pub indoubts_resolved: AtomicU64,
+}
+
+struct HostInner {
+    db: Database,
+    dbid: i64,
+    dlfms: RwLock<HashMap<String, Connector<DlfmRequest, DlfmResponse>>>,
+    xid_seq: AtomicI64,
+    rec_seq: AtomicI64,
+    grp_seq: AtomicI64,
+    dl_cols: RwLock<HashMap<(String, String), DlColumn>>,
+    coord_log: CoordLog,
+    sync_commit: AtomicBool,
+    metrics: HostMetrics,
+    backups: Mutex<Vec<crate::utilities::HostBackup>>,
+}
+
+/// A shared handle to the host database. Cheap to clone.
+#[derive(Clone)]
+pub struct HostDb {
+    inner: Arc<HostInner>,
+}
+
+impl HostDb {
+    /// Create a host database.
+    pub fn new(config: HostConfig) -> HostDb {
+        let db = Database::new(config.db.clone());
+        let host = HostDb {
+            inner: Arc::new(HostInner {
+                db,
+                dbid: config.dbid,
+                dlfms: RwLock::new(HashMap::new()),
+                xid_seq: AtomicI64::new(1),
+                rec_seq: AtomicI64::new(1),
+                grp_seq: AtomicI64::new(1),
+                dl_cols: RwLock::new(HashMap::new()),
+                coord_log: CoordLog::new(),
+                sync_commit: AtomicBool::new(config.synchronous_commit),
+                metrics: HostMetrics::default(),
+                backups: Mutex::new(Vec::new()),
+            }),
+        };
+        host.create_sys_tables();
+        host
+    }
+
+    fn create_sys_tables(&self) {
+        let mut s = Session::new(&self.inner.db);
+        s.exec(
+            "CREATE TABLE sys_dlcols (tbl VARCHAR NOT NULL, col VARCHAR NOT NULL, \
+             grp_id BIGINT NOT NULL, access_ctl INTEGER NOT NULL, recovery INTEGER NOT NULL)",
+        )
+        .expect("sys table creation");
+        s.exec("CREATE UNIQUE INDEX ix_sys_dlcols ON sys_dlcols (tbl, col)")
+            .expect("sys index creation");
+        s.exec(
+            "CREATE TABLE sys_datalinks (tbl VARCHAR NOT NULL, col VARCHAR NOT NULL, \
+             server VARCHAR NOT NULL, filename VARCHAR NOT NULL, rec_id BIGINT NOT NULL)",
+        )
+        .expect("sys table creation");
+        s.exec("CREATE UNIQUE INDEX ix_sys_dl_file ON sys_datalinks (server, filename)")
+            .expect("sys index creation");
+        s.exec("CREATE INDEX ix_sys_dl_tbl ON sys_datalinks (tbl, col)")
+            .expect("sys index creation");
+        // System tables are hot paths of the datalink engine: make sure the
+        // optimizer probes them by index (the DLFM lesson applies here too).
+        self.inner.db.set_table_stats("sys_dlcols", 1_000_000).expect("stats");
+        self.inner.db.set_table_stats("sys_datalinks", 1_000_000).expect("stats");
+        self.inner.db.set_index_stats("ix_sys_dlcols", 1_000_000).expect("stats");
+        self.inner.db.set_index_stats("ix_sys_dl_file", 1_000_000).expect("stats");
+        self.inner.db.set_index_stats("ix_sys_dl_tbl", 1_000_000).expect("stats");
+    }
+
+    /// Register a DLFM (file server) under a name used in datalink URLs.
+    pub fn attach_dlfm(&self, server: &str, connector: Connector<DlfmRequest, DlfmResponse>) {
+        self.inner.dlfms.write().insert(server.to_string(), connector);
+    }
+
+    /// Open an application session.
+    pub fn session(&self) -> HostSession {
+        HostSession {
+            host: self.clone(),
+            session: Session::new(&self.inner.db),
+            conns: HashMap::new(),
+            txn: None,
+        }
+    }
+
+    /// This host's database id.
+    pub fn dbid(&self) -> i64 {
+        self.inner.dbid
+    }
+
+    /// Next transaction id (monotonically increasing, paper §3.3).
+    pub fn next_xid(&self) -> i64 {
+        self.inner.xid_seq.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Next recovery id: dbid in the high bits, a monotonic timestamp
+    /// sequence in the low bits — globally unique and monotonically
+    /// increasing per host (paper §3.2).
+    pub fn next_rec_id(&self) -> i64 {
+        (self.inner.dbid << 48) | self.inner.rec_seq.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Current recovery-id watermark: the last id assigned. Everything
+    /// `<=` this watermark happened before "now" (used by Backup).
+    pub fn current_rec_id(&self) -> i64 {
+        (self.inner.dbid << 48) | (self.inner.rec_seq.load(Ordering::SeqCst) - 1)
+    }
+
+    /// The underlying storage engine (diagnostics and utilities).
+    pub fn db(&self) -> &Database {
+        &self.inner.db
+    }
+
+    /// Host counters.
+    pub fn metrics(&self) -> &HostMetrics {
+        &self.inner.metrics
+    }
+
+    /// The coordinator log (diagnostics).
+    pub fn coord_log(&self) -> &CoordLog {
+        &self.inner.coord_log
+    }
+
+    /// Toggle synchronous phase-2 commit (the §4 ablation knob).
+    pub fn set_synchronous_commit(&self, on: bool) {
+        self.inner.sync_commit.store(on, Ordering::SeqCst);
+    }
+
+    /// Is phase-2 commit synchronous?
+    pub fn synchronous_commit(&self) -> bool {
+        self.inner.sync_commit.load(Ordering::SeqCst)
+    }
+
+    /// Datalink metadata for a column, if it is a DATALINK column.
+    pub fn dl_column(&self, table: &str, column: &str) -> Option<DlColumn> {
+        self.inner
+            .dl_cols
+            .read()
+            .get(&(table.to_ascii_lowercase(), column.to_ascii_lowercase()))
+            .cloned()
+    }
+
+    /// All datalink columns of a table.
+    pub fn dl_columns_of(&self, table: &str) -> Vec<(String, DlColumn)> {
+        let lc = table.to_ascii_lowercase();
+        self.inner
+            .dl_cols
+            .read()
+            .iter()
+            .filter(|((t, _), _)| *t == lc)
+            .map(|((_, c), info)| (c.clone(), info.clone()))
+            .collect()
+    }
+
+    pub(crate) fn register_dl_column(&self, table: &str, column: &str, info: DlColumn) {
+        self.inner
+            .dl_cols
+            .write()
+            .insert((table.to_ascii_lowercase(), column.to_ascii_lowercase()), info);
+    }
+
+    pub(crate) fn forget_dl_columns(&self, table: &str) {
+        let lc = table.to_ascii_lowercase();
+        self.inner.dl_cols.write().retain(|(t, _), _| *t != lc);
+    }
+
+    pub(crate) fn connector_for(&self, server: &str) -> HostResult<Connector<DlfmRequest, DlfmResponse>> {
+        self.inner
+            .dlfms
+            .read()
+            .get(server)
+            .cloned()
+            .ok_or_else(|| HostError::Usage(format!("no DLFM attached for server {server}")))
+    }
+
+    /// Names of all attached DLFM servers.
+    pub fn servers(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.dlfms.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    pub(crate) fn next_grp_id(&self) -> i64 {
+        self.inner.grp_seq.fetch_add(1, Ordering::SeqCst)
+    }
+
+    pub(crate) fn backups(&self) -> &Mutex<Vec<crate::utilities::HostBackup>> {
+        &self.inner.backups
+    }
+
+    // ------------------------------------------------------------------
+    // Crash / restart / indoubt resolution
+    // ------------------------------------------------------------------
+
+    /// Simulate a host crash: the storage engine and the unforced tail of
+    /// the coordinator log are lost.
+    pub fn crash(&self) {
+        self.inner.db.crash();
+        self.inner.coord_log.crash();
+    }
+
+    /// Restart after a crash: recover storage, reload datalink metadata,
+    /// and resolve indoubt sub-transactions at every DLFM (paper §3.3:
+    /// "host database restart processing does it").
+    pub fn restart(&self) -> HostResult<()> {
+        self.inner.db.restart()?;
+        self.reload_dl_columns()?;
+        // Advance sequences past everything recorded anywhere durable.
+        let mut s = Session::new(&self.inner.db);
+        let max_rec = s.query_int("SELECT MAX(rec_id) FROM sys_datalinks", &[]).unwrap_or(0);
+        let low = max_rec & 0xFFFF_FFFF_FFFF;
+        let cur = self.inner.rec_seq.load(Ordering::SeqCst);
+        self.inner.rec_seq.store(cur.max(low + 1), Ordering::SeqCst);
+        self.resolve_indoubts()?;
+        Ok(())
+    }
+
+    pub(crate) fn reload_dl_columns(&self) -> HostResult<()> {
+        let mut s = Session::new(&self.inner.db);
+        let rows = s.query("SELECT tbl, col, grp_id, access_ctl, recovery FROM sys_dlcols", &[])?;
+        let mut map = HashMap::new();
+        let mut max_grp = 0i64;
+        for row in rows {
+            let grp_id = row[2].as_int()?;
+            max_grp = max_grp.max(grp_id);
+            map.insert(
+                (row[0].as_str()?.to_string(), row[1].as_str()?.to_string()),
+                DlColumn {
+                    grp_id,
+                    access: AccessControl::from_code(row[3].as_int()?),
+                    recovery: row[4].as_int()? != 0,
+                },
+            );
+        }
+        *self.inner.dl_cols.write() = map;
+        let cur = self.inner.grp_seq.load(Ordering::SeqCst);
+        self.inner.grp_seq.store(cur.max(max_grp + 1), Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Resolve indoubt sub-transactions on every attached DLFM: commit
+    /// those with a durable coordinator commit record, abort the rest
+    /// (presumed abort). Also re-drives unfinished commits.
+    pub fn resolve_indoubts(&self) -> HostResult<usize> {
+        let mut resolved = 0usize;
+        // Re-drive commit decisions that never finished phase 2.
+        for (xid, servers) in self.inner.coord_log.unfinished_commits() {
+            for server in &servers {
+                let conn = self.fresh_conn(server)?;
+                let _ = conn.call(DlfmRequest::Commit { xid });
+                resolved += 1;
+            }
+            self.inner.coord_log.append(CoordRecord::End { xid });
+        }
+        // Ask each DLFM for its indoubt list and resolve by presumed abort.
+        for server in self.servers() {
+            let conn = self.fresh_conn(&server)?;
+            let resp = conn.call(DlfmRequest::ListIndoubt)?;
+            if let DlfmResponse::Indoubt(xids) = resp {
+                for xid in xids {
+                    let decision = if self.inner.coord_log.committed(xid) {
+                        DlfmRequest::Commit { xid }
+                    } else {
+                        DlfmRequest::Abort { xid }
+                    };
+                    let _ = conn.call(decision);
+                    resolved += 1;
+                    self.inner.metrics.indoubts_resolved.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        Ok(resolved)
+    }
+
+    /// Spawn the indoubt-resolver daemon: polls the DLFMs and resolves
+    /// indoubt transactions when they come back up (paper §3.3).
+    pub fn spawn_resolver(
+        &self,
+        interval: std::time::Duration,
+        shutdown: Arc<AtomicBool>,
+    ) -> std::thread::JoinHandle<()> {
+        let host = self.clone();
+        std::thread::spawn(move || {
+            while !shutdown.load(Ordering::SeqCst) {
+                std::thread::sleep(interval);
+                let _ = host.resolve_indoubts();
+            }
+        })
+    }
+
+    pub(crate) fn fresh_conn(&self, server: &str) -> HostResult<DlfmConn> {
+        let connector = self.connector_for(server)?;
+        let conn = connector.connect()?;
+        match conn.call(DlfmRequest::Connect { dbid: self.inner.dbid })? {
+            DlfmResponse::Ok => Ok(conn),
+            other => Err(HostError::Rpc(format!("connect failed: {other:?}"))),
+        }
+    }
+}
+
+/// One datalink operation performed in the current transaction, tracked so
+/// savepoint rollback can send the matching `in_backout` request (§3.2).
+#[derive(Debug, Clone)]
+pub(crate) struct DlOp {
+    pub link: bool,
+    pub url: DatalinkUrl,
+    pub rec_id: i64,
+    pub grp_id: i64,
+}
+
+pub(crate) struct HostTxn {
+    pub xid: i64,
+    pub touched: BTreeSet<String>,
+    pub dl_ops: Vec<DlOp>,
+}
+
+/// A savepoint covering both local data and datalink operations.
+pub struct HostSavepoint {
+    db_sp: minidb::Savepoint,
+    dl_ops_len: usize,
+}
+
+/// An application session on the host database.
+pub struct HostSession {
+    host: HostDb,
+    session: Session,
+    conns: HashMap<String, DlfmConn>,
+    txn: Option<HostTxn>,
+}
+
+impl HostSession {
+    /// The host handle.
+    pub fn host(&self) -> &HostDb {
+        &self.host
+    }
+
+    /// Id of the open transaction, if any.
+    pub fn xid(&self) -> Option<i64> {
+        self.txn.as_ref().map(|t| t.xid)
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions & 2PC
+    // ------------------------------------------------------------------
+
+    /// Begin an explicit transaction.
+    pub fn begin(&mut self) -> HostResult<()> {
+        if self.txn.is_some() {
+            return Err(HostError::Usage("transaction already open".into()));
+        }
+        self.session.begin()?;
+        self.txn = Some(HostTxn {
+            xid: self.host.next_xid(),
+            touched: BTreeSet::new(),
+            dl_ops: Vec::new(),
+        });
+        Ok(())
+    }
+
+    /// Commit: presumed-abort two-phase commit across every DLFM this
+    /// transaction touched, with the host's own commit in the middle.
+    pub fn commit(&mut self) -> HostResult<()> {
+        let txn = self
+            .txn
+            .take()
+            .ok_or_else(|| HostError::Usage("no transaction open".into()))?;
+        let xid = txn.xid;
+
+        // Phase 1: prepare every touched DLFM.
+        let mut participants = Vec::new();
+        for server in &txn.touched {
+            let conn = self.conn(server)?;
+            match conn.call(DlfmRequest::Prepare { xid })? {
+                DlfmResponse::Prepared { read_only: false } => {
+                    participants.push(server.clone())
+                }
+                DlfmResponse::Prepared { read_only: true } => {}
+                DlfmResponse::Err(e) => {
+                    // Global abort: tell everyone (even already-prepared
+                    // participants) and roll back locally (paper §3.3).
+                    self.host.inner.metrics.prepare_failures.fetch_add(1, Ordering::Relaxed);
+                    self.abort_everywhere(&txn);
+                    self.session.rollback();
+                    self.host.inner.metrics.rollbacks.fetch_add(1, Ordering::Relaxed);
+                    return Err(HostError::PrepareFailed {
+                        server: server.clone(),
+                        reason: e.to_string(),
+                    });
+                }
+                other => {
+                    self.abort_everywhere(&txn);
+                    self.session.rollback();
+                    return Err(HostError::Rpc(format!("unexpected prepare response {other:?}")));
+                }
+            }
+        }
+
+        if participants.is_empty() {
+            // Local-only transaction.
+            self.session.commit()?;
+            self.host.inner.metrics.commits.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+
+        // Decision: force the commit record, then commit locally.
+        self.host.inner.coord_log.append_forced(CoordRecord::Commit {
+            xid,
+            servers: participants.clone(),
+        });
+        self.session.commit()?;
+
+        // Phase 2: synchronous by default — the paper found the commit
+        // request *must* be synchronous or distributed deadlocks form (§4).
+        let synchronous = self.host.synchronous_commit();
+        for server in &participants {
+            let conn = self.conn(server)?;
+            if synchronous {
+                let _ = conn.call(DlfmRequest::Commit { xid })?;
+            } else {
+                conn.post(DlfmRequest::Commit { xid })?;
+            }
+        }
+        self.host.inner.coord_log.append(CoordRecord::End { xid });
+        self.host.inner.metrics.commits.fetch_add(1, Ordering::Relaxed);
+        self.host.inner.metrics.twopc_commits.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Roll back the open transaction everywhere.
+    pub fn rollback(&mut self) {
+        if let Some(txn) = self.txn.take() {
+            self.abort_everywhere(&txn);
+            self.session.rollback();
+            self.host.inner.metrics.rollbacks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn abort_everywhere(&mut self, txn: &HostTxn) {
+        for server in &txn.touched {
+            if let Ok(conn) = self.conn(server) {
+                let _ = conn.call(DlfmRequest::Abort { xid: txn.xid });
+            }
+        }
+    }
+
+    /// Create a savepoint covering local data and datalink operations.
+    pub fn savepoint(&mut self) -> HostResult<HostSavepoint> {
+        let txn = self
+            .txn
+            .as_ref()
+            .ok_or_else(|| HostError::Usage("no transaction open".into()))?;
+        Ok(HostSavepoint {
+            db_sp: self.session.savepoint()?,
+            dl_ops_len: txn.dl_ops.len(),
+        })
+    }
+
+    /// Roll back to a savepoint: local undo plus `in_backout` requests for
+    /// the datalink operations performed since (§3.2).
+    pub fn rollback_to(&mut self, sp: &HostSavepoint) -> HostResult<()> {
+        let (xid, to_undo) = {
+            let txn = self
+                .txn
+                .as_mut()
+                .ok_or_else(|| HostError::Usage("no transaction open".into()))?;
+            let to_undo: Vec<DlOp> = txn.dl_ops.split_off(sp.dl_ops_len);
+            (txn.xid, to_undo)
+        };
+        // Undo newest-first; an error here forces full rollback (the paper:
+        // "it is not possible to rollback a rollback").
+        for op in to_undo.iter().rev() {
+            let req = if op.link {
+                DlfmRequest::LinkFile {
+                    xid,
+                    rec_id: op.rec_id,
+                    grp_id: op.grp_id,
+                    filename: op.url.path.clone(),
+                    in_backout: true,
+                }
+            } else {
+                DlfmRequest::UnlinkFile {
+                    xid,
+                    rec_id: op.rec_id,
+                    grp_id: op.grp_id,
+                    filename: op.url.path.clone(),
+                    in_backout: true,
+                }
+            };
+            let conn = self.conn(&op.url.server)?;
+            match conn.call(req)? {
+                DlfmResponse::Ok => {}
+                DlfmResponse::Err(e) => {
+                    self.rollback();
+                    return Err(HostError::Dlfm { error: e, txn_rolled_back: true });
+                }
+                other => {
+                    self.rollback();
+                    return Err(HostError::Rpc(format!("unexpected backout response {other:?}")));
+                }
+            }
+        }
+        self.session.rollback_to(sp.db_sp)?;
+        Ok(())
+    }
+
+    fn rollback_to_db_only(&mut self, sp: &minidb::Savepoint) {
+        let _ = self.session.rollback_to(*sp);
+    }
+
+    // ------------------------------------------------------------------
+    // Statement execution with datalink interception
+    // ------------------------------------------------------------------
+
+    /// Execute a statement.
+    pub fn exec(&mut self, sql: &str) -> HostResult<ExecResult> {
+        self.exec_params(sql, &[])
+    }
+
+    /// Execute a statement with parameters, routing datalink side effects
+    /// to the right DLFMs.
+    pub fn exec_params(&mut self, sql: &str, params: &[Value]) -> HostResult<ExecResult> {
+        let stmt = minidb::sql::parser::parse(sql).map_err(HostError::Db)?;
+        let autocommit = self.txn.is_none();
+        if autocommit {
+            self.begin()?;
+        }
+        let result = self.exec_stmt(&stmt, params);
+        match result {
+            Ok(r) => {
+                if autocommit {
+                    self.commit()?;
+                }
+                Ok(r)
+            }
+            Err(e) => {
+                if autocommit || self.txn_lost(&e) {
+                    self.rollback();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Did this error force the loss of the transaction?
+    fn txn_lost(&self, e: &HostError) -> bool {
+        match e {
+            HostError::Db(db) => db.is_rollback_forced(),
+            // A severe (retryable-class) DLFM error means the DLFM's local
+            // database already rolled the sub-transaction back: the host
+            // must roll back the full transaction (paper §3.2).
+            HostError::Dlfm { error: DlfmError::Db { retryable, .. }, .. } => *retryable,
+            _ => false,
+        }
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt, params: &[Value]) -> HostResult<ExecResult> {
+        match stmt {
+            Stmt::Insert { table, .. } if !self.host.dl_columns_of(table).is_empty() => {
+                self.exec_insert_with_datalinks(stmt, params)
+            }
+            Stmt::Delete { table, filter } if !self.host.dl_columns_of(table).is_empty() => {
+                self.exec_delete_with_datalinks(table, filter.as_ref(), stmt, params)
+            }
+            Stmt::Update { table, sets, filter }
+                if sets
+                    .iter()
+                    .any(|(c, _)| self.host.dl_column(table, c).is_some()) =>
+            {
+                self.exec_update_with_datalinks(table, sets, filter.as_ref(), stmt, params)
+            }
+            Stmt::DropTable { name } if !self.host.dl_columns_of(name).is_empty() => {
+                Err(HostError::Usage(format!(
+                    "use HostSession::drop_table to drop {name}: it has DATALINK columns"
+                )))
+            }
+            _ => Ok(self.session.exec_ast(stmt, params)?),
+        }
+    }
+
+    fn exec_insert_with_datalinks(
+        &mut self,
+        stmt: &Stmt,
+        params: &[Value],
+    ) -> HostResult<ExecResult> {
+        let Stmt::Insert { table, columns, values } = stmt else { unreachable!() };
+        let schema = self.host.db().table_schema(table)?;
+        // Figure out which value expression feeds each datalink column.
+        let col_names: Vec<String> = match columns {
+            Some(cols) => cols.clone(),
+            None => schema.column_names(),
+        };
+        let mut links: Vec<(String, DlColumn, DatalinkUrl)> = Vec::new();
+        for (cname, vexpr) in col_names.iter().zip(values) {
+            if let Some(info) = self.host.dl_column(table, cname) {
+                let v = minidb::eval::eval_standalone(vexpr, params)?;
+                if let Value::Str(url) = v {
+                    links.push((cname.clone(), info, DatalinkUrl::parse(&url)?));
+                } else if !v.is_null() {
+                    return Err(HostError::Usage(format!(
+                        "datalink column {cname} must be a URL string or NULL"
+                    )));
+                }
+            }
+        }
+        // Statement atomicity: remember where we started.
+        let sp = self.session.savepoint()?;
+        let mut performed: Vec<DlOp> = Vec::new();
+        let result = (|| -> HostResult<ExecResult> {
+            for (cname, info, url) in &links {
+                let op = self.link(url, info)?;
+                performed.push(op.clone());
+                self.session.exec_params(
+                    "INSERT INTO sys_datalinks (tbl, col, server, filename, rec_id) \
+                     VALUES (?, ?, ?, ?, ?)",
+                    &[
+                        Value::str(table.clone()),
+                        Value::str(cname.clone()),
+                        Value::str(url.server.clone()),
+                        Value::str(url.path.clone()),
+                        Value::Int(op.rec_id),
+                    ],
+                )?;
+            }
+            Ok(self.session.exec_ast(stmt, params)?)
+        })();
+        match result {
+            Ok(r) => Ok(r),
+            Err(e) => {
+                // Undo the statement: local savepoint + in_backout links.
+                if !self.txn_lost(&e) {
+                    self.backout_ops(&performed);
+                    self.rollback_to_db_only(&sp);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn exec_delete_with_datalinks(
+        &mut self,
+        table: &str,
+        filter: Option<&Expr>,
+        stmt: &Stmt,
+        params: &[Value],
+    ) -> HostResult<ExecResult> {
+        let dl_cols = self.host.dl_columns_of(table);
+        let old = self.probe_dl_values(table, &dl_cols, filter, params)?;
+        let sp = self.session.savepoint()?;
+        let mut performed: Vec<DlOp> = Vec::new();
+        let result = (|| -> HostResult<ExecResult> {
+            for (cname, info, url) in &old {
+                let op = self.unlink(url, info)?;
+                performed.push(op.clone());
+                self.session.exec_params(
+                    "DELETE FROM sys_datalinks WHERE server = ? AND filename = ?",
+                    &[Value::str(url.server.clone()), Value::str(url.path.clone())],
+                )?;
+                let _ = cname;
+            }
+            Ok(self.session.exec_ast(stmt, params)?)
+        })();
+        match result {
+            Ok(r) => Ok(r),
+            Err(e) => {
+                if !self.txn_lost(&e) {
+                    self.backout_ops(&performed);
+                    self.rollback_to_db_only(&sp);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn exec_update_with_datalinks(
+        &mut self,
+        table: &str,
+        sets: &[(String, Expr)],
+        filter: Option<&Expr>,
+        stmt: &Stmt,
+        params: &[Value],
+    ) -> HostResult<ExecResult> {
+        // Only the datalink columns being SET participate.
+        let dl_cols: Vec<(String, DlColumn)> = sets
+            .iter()
+            .filter_map(|(c, _)| self.host.dl_column(table, c).map(|i| (c.clone(), i)))
+            .collect();
+        let old = self.probe_dl_values(table, &dl_cols, filter, params)?;
+        let sp = self.session.savepoint()?;
+        let mut performed: Vec<DlOp> = Vec::new();
+        let result = (|| -> HostResult<ExecResult> {
+            // Unlink every old value of the updated datalink columns.
+            for (_, info, url) in &old {
+                let op = self.unlink(url, info)?;
+                performed.push(op.clone());
+                self.session.exec_params(
+                    "DELETE FROM sys_datalinks WHERE server = ? AND filename = ?",
+                    &[Value::str(url.server.clone()), Value::str(url.path.clone())],
+                )?;
+            }
+            // Link the new values (once per matched row).
+            let matched = old.len().max(1);
+            for (cname, new_expr) in sets {
+                let Some(info) = self.host.dl_column(table, cname) else { continue };
+                let v = minidb::eval::eval_standalone(new_expr, params)?;
+                let Value::Str(url) = v else { continue };
+                let url = DatalinkUrl::parse(&url)?;
+                for _ in 0..matched.min(1) {
+                    let op = self.link(&url, &info)?;
+                    performed.push(op.clone());
+                    self.session.exec_params(
+                        "INSERT INTO sys_datalinks (tbl, col, server, filename, rec_id) \
+                         VALUES (?, ?, ?, ?, ?)",
+                        &[
+                            Value::str(table),
+                            Value::str(cname.clone()),
+                            Value::str(url.server.clone()),
+                            Value::str(url.path.clone()),
+                            Value::Int(op.rec_id),
+                        ],
+                    )?;
+                }
+            }
+            Ok(self.session.exec_ast(stmt, params)?)
+        })();
+        match result {
+            Ok(r) => Ok(r),
+            Err(e) => {
+                if !self.txn_lost(&e) {
+                    self.backout_ops(&performed);
+                    self.rollback_to_db_only(&sp);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Read current datalink values of the rows a WHERE clause matches.
+    fn probe_dl_values(
+        &mut self,
+        table: &str,
+        dl_cols: &[(String, DlColumn)],
+        filter: Option<&Expr>,
+        params: &[Value],
+    ) -> HostResult<Vec<(String, DlColumn, DatalinkUrl)>> {
+        if dl_cols.is_empty() {
+            return Ok(Vec::new());
+        }
+        let probe = Stmt::Select(SelectStmt {
+            projection: Projection::Items(
+                dl_cols
+                    .iter()
+                    .map(|(c, _)| SelectItem::Expr(Expr::Col(c.clone())))
+                    .collect(),
+            ),
+            table: table.to_string(),
+            filter: filter.cloned(),
+            order_by: Vec::new(),
+            for_update: true,
+            except: None,
+        });
+        let rows = self.session.exec_ast(&probe, params)?.rows();
+        let mut out = Vec::new();
+        for row in rows {
+            for ((cname, info), v) in dl_cols.iter().zip(&row) {
+                if let Value::Str(url) = v {
+                    out.push((cname.clone(), info.clone(), DatalinkUrl::parse(url)?));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn backout_ops(&mut self, performed: &[DlOp]) {
+        let Some(xid) = self.txn.as_ref().map(|t| t.xid) else { return };
+        for op in performed.iter().rev() {
+            let req = if op.link {
+                DlfmRequest::LinkFile {
+                    xid,
+                    rec_id: op.rec_id,
+                    grp_id: op.grp_id,
+                    filename: op.url.path.clone(),
+                    in_backout: true,
+                }
+            } else {
+                DlfmRequest::UnlinkFile {
+                    xid,
+                    rec_id: op.rec_id,
+                    grp_id: op.grp_id,
+                    filename: op.url.path.clone(),
+                    in_backout: true,
+                }
+            };
+            if let Ok(conn) = self.conn(&op.url.server) {
+                let _ = conn.call(req);
+            }
+        }
+        if let Some(txn) = self.txn.as_mut() {
+            let keep = txn.dl_ops.len().saturating_sub(performed.len());
+            txn.dl_ops.truncate(keep);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Datalink primitives
+    // ------------------------------------------------------------------
+
+    fn link(&mut self, url: &DatalinkUrl, info: &DlColumn) -> HostResult<DlOp> {
+        let rec_id = self.host.next_rec_id();
+        let op = DlOp { link: true, url: url.clone(), rec_id, grp_id: info.grp_id };
+        self.dl_request(
+            &url.server,
+            DlfmRequest::LinkFile {
+                xid: self.require_xid()?,
+                rec_id,
+                grp_id: info.grp_id,
+                filename: url.path.clone(),
+                in_backout: false,
+            },
+        )?;
+        self.host.inner.metrics.links.fetch_add(1, Ordering::Relaxed);
+        if let Some(txn) = self.txn.as_mut() {
+            txn.dl_ops.push(op.clone());
+        }
+        Ok(op)
+    }
+
+    fn unlink(&mut self, url: &DatalinkUrl, info: &DlColumn) -> HostResult<DlOp> {
+        let rec_id = self.host.next_rec_id();
+        let op = DlOp { link: false, url: url.clone(), rec_id, grp_id: info.grp_id };
+        self.dl_request(
+            &url.server,
+            DlfmRequest::UnlinkFile {
+                xid: self.require_xid()?,
+                rec_id,
+                grp_id: info.grp_id,
+                filename: url.path.clone(),
+                in_backout: false,
+            },
+        )?;
+        self.host.inner.metrics.unlinks.fetch_add(1, Ordering::Relaxed);
+        if let Some(txn) = self.txn.as_mut() {
+            txn.dl_ops.push(op.clone());
+        }
+        Ok(op)
+    }
+
+    fn require_xid(&self) -> HostResult<i64> {
+        self.txn
+            .as_ref()
+            .map(|t| t.xid)
+            .ok_or_else(|| HostError::Usage("datalink operation outside a transaction".into()))
+    }
+
+    pub(crate) fn dl_request(&mut self, server: &str, req: DlfmRequest) -> HostResult<DlfmResponse> {
+        let xid = self.require_xid()?;
+        // First touch: make the sub-transaction explicit.
+        let first_touch = self
+            .txn
+            .as_ref()
+            .map(|t| !t.touched.contains(server))
+            .unwrap_or(false);
+        let conn = self.conn(server)?;
+        if first_touch {
+            match conn.call(DlfmRequest::BeginTxn { xid })? {
+                DlfmResponse::Ok => {}
+                DlfmResponse::Err(e) => {
+                    return Err(HostError::Dlfm { error: e, txn_rolled_back: false })
+                }
+                other => return Err(HostError::Rpc(format!("unexpected {other:?}"))),
+            }
+            if let Some(txn) = self.txn.as_mut() {
+                txn.touched.insert(server.to_string());
+            }
+        }
+        let conn = self.conn(server)?;
+        match conn.call(req)? {
+            DlfmResponse::Err(e) => {
+                let severe = matches!(&e, DlfmError::Db { retryable: true, .. });
+                Err(HostError::Dlfm { error: e, txn_rolled_back: severe })
+            }
+            other => Ok(other),
+        }
+    }
+
+    pub(crate) fn conn(&mut self, server: &str) -> HostResult<&DlfmConn> {
+        if !self.conns.contains_key(server) {
+            let conn = self.host.fresh_conn(server)?;
+            self.conns.insert(server.to_string(), conn);
+        }
+        Ok(&self.conns[server])
+    }
+
+    // ------------------------------------------------------------------
+    // Queries & conveniences
+    // ------------------------------------------------------------------
+
+    /// Query rows.
+    pub fn query(&mut self, sql: &str, params: &[Value]) -> HostResult<Vec<Row>> {
+        Ok(self.exec_params(sql, params)?.rows())
+    }
+
+    /// Query one integer.
+    pub fn query_int(&mut self, sql: &str, params: &[Value]) -> HostResult<i64> {
+        Ok(self.session.query_int(sql, params)?)
+    }
+
+    /// Ask the DLFM for a read token for a fully-controlled linked file
+    /// (applications then read through the DLFF with it — Figure 3's
+    /// "direct file access" with an access token).
+    pub fn read_token(&mut self, url: &str) -> HostResult<String> {
+        let url = DatalinkUrl::parse(url)?;
+        let conn = self.conn(&url.server)?;
+        match conn.call(DlfmRequest::IssueToken { filename: url.path.clone() })? {
+            DlfmResponse::Token(t) => Ok(t),
+            DlfmResponse::Err(e) => Err(HostError::Dlfm { error: e, txn_rolled_back: false }),
+            other => Err(HostError::Rpc(format!("unexpected {other:?}"))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // DDL with datalink columns
+    // ------------------------------------------------------------------
+
+    /// CREATE TABLE with datalink column options. Registers one file group
+    /// per DATALINK column on every attached DLFM.
+    pub fn create_table(&mut self, sql: &str, dl_specs: &[DatalinkSpec]) -> HostResult<()> {
+        let stmt = minidb::sql::parser::parse(sql).map_err(HostError::Db)?;
+        let Stmt::CreateTable { name, columns } = &stmt else {
+            return Err(HostError::Usage("create_table requires a CREATE TABLE".into()));
+        };
+        self.session.exec_ast(&stmt, &[])?;
+        for (cname, ty, _) in columns {
+            if *ty != minidb::DataType::Datalink {
+                continue;
+            }
+            let spec = dl_specs.iter().find(|s| s.column.eq_ignore_ascii_case(cname));
+            let (access, recovery) = match spec {
+                Some(s) => (s.access, s.recovery),
+                None => (AccessControl::Full, true),
+            };
+            let grp_id = self.host.next_grp_id();
+            self.session.exec_params(
+                "INSERT INTO sys_dlcols (tbl, col, grp_id, access_ctl, recovery) \
+                 VALUES (?, ?, ?, ?, ?)",
+                &[
+                    Value::str(name.clone()),
+                    Value::str(cname.clone()),
+                    Value::Int(grp_id),
+                    Value::Int(access.code()),
+                    Value::Int(recovery as i64),
+                ],
+            )?;
+            self.host.register_dl_column(
+                name,
+                cname,
+                DlColumn { grp_id, access, recovery },
+            );
+            let spec = GroupSpec {
+                grp_id,
+                dbid: self.host.dbid(),
+                table_name: name.clone(),
+                column_name: cname.clone(),
+                access,
+                recovery,
+            };
+            for server in self.host.servers() {
+                let conn = self.conn(&server)?;
+                match conn.call(DlfmRequest::RegisterGroup(spec.clone()))? {
+                    DlfmResponse::Ok => {}
+                    DlfmResponse::Err(e) => {
+                        return Err(HostError::Dlfm { error: e, txn_rolled_back: false })
+                    }
+                    other => return Err(HostError::Rpc(format!("unexpected {other:?}"))),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// DROP TABLE with datalink columns: deletes the file groups at every
+    /// DLFM inside a dedicated two-phase-committed transaction, then drops
+    /// the table (paper §3.5: the unlinking itself is asynchronous).
+    pub fn drop_table(&mut self, table: &str) -> HostResult<()> {
+        if self.txn.is_some() {
+            return Err(HostError::Usage(
+                "drop_table must run outside an explicit transaction".into(),
+            ));
+        }
+        let dl_cols = self.host.dl_columns_of(table);
+        self.begin()?;
+        let result = (|| -> HostResult<()> {
+            for (_, info) in &dl_cols {
+                let rec_id = self.host.next_rec_id();
+                for server in self.host.servers() {
+                    let xid = self.require_xid()?;
+                    let resp = self.dl_request(
+                        &server,
+                        DlfmRequest::DeleteGroup { xid, grp_id: info.grp_id, rec_id },
+                    )?;
+                    let _ = resp;
+                }
+            }
+            self.session
+                .exec_params("DELETE FROM sys_dlcols WHERE tbl = ?", &[Value::str(table)])?;
+            self.session.exec_params(
+                "DELETE FROM sys_datalinks WHERE tbl = ?",
+                &[Value::str(table)],
+            )?;
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                self.commit()?;
+                // The local DDL is auto-committed after the group deletion
+                // committed globally.
+                self.session.exec_params(&format!("DROP TABLE {table}"), &[])?;
+                self.host.forget_dl_columns(table);
+                Ok(())
+            }
+            Err(e) => {
+                self.rollback();
+                Err(e)
+            }
+        }
+    }
+}
+
+impl Drop for HostSession {
+    fn drop(&mut self) {
+        self.rollback();
+    }
+}

@@ -1,0 +1,91 @@
+//! Host-side error model.
+
+use std::fmt;
+
+use crate::url::UrlError;
+use dlfm::DlfmError;
+use minidb::DbError;
+
+/// Errors surfaced to host-database applications.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HostError {
+    /// Local (host) database error.
+    Db(DbError),
+    /// Error reported by a DLFM. Severe (retryable-class) DLFM errors force
+    /// a full-transaction rollback on the host (paper §3.2); when that has
+    /// happened `txn_rolled_back` is true.
+    Dlfm {
+        /// The DLFM error.
+        error: DlfmError,
+        /// Whether the host transaction was rolled back as a result.
+        txn_rolled_back: bool,
+    },
+    /// RPC failure talking to a DLFM.
+    Rpc(String),
+    /// Malformed datalink URL.
+    Url(UrlError),
+    /// API misuse (e.g. commit without a transaction).
+    Usage(String),
+    /// Two-phase commit could not complete (a participant voted no).
+    PrepareFailed {
+        /// Server that refused.
+        server: String,
+        /// Its reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for HostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HostError::Db(e) => write!(f, "host database error: {e}"),
+            HostError::Dlfm { error, txn_rolled_back } => {
+                write!(f, "DLFM error (txn rolled back: {txn_rolled_back}): {error}")
+            }
+            HostError::Rpc(m) => write!(f, "rpc error: {m}"),
+            HostError::Url(e) => write!(f, "{e}"),
+            HostError::Usage(m) => write!(f, "usage error: {m}"),
+            HostError::PrepareFailed { server, reason } => {
+                write!(f, "prepare failed on {server}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HostError {}
+
+impl From<DbError> for HostError {
+    fn from(e: DbError) -> Self {
+        HostError::Db(e)
+    }
+}
+
+impl From<UrlError> for HostError {
+    fn from(e: UrlError) -> Self {
+        HostError::Url(e)
+    }
+}
+
+impl From<dlrpc::RpcError> for HostError {
+    fn from(e: dlrpc::RpcError) -> Self {
+        HostError::Rpc(e.to_string())
+    }
+}
+
+/// Result alias for host operations.
+pub type HostResult<T> = Result<T, HostError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let e: HostError = DbError::NotFound("t".into()).into();
+        assert!(matches!(e, HostError::Db(_)));
+        let e: HostError = UrlError("bad".into()).into();
+        assert!(matches!(e, HostError::Url(_)));
+        let e: HostError = dlrpc::RpcError::Disconnected.into();
+        assert!(matches!(e, HostError::Rpc(_)));
+    }
+}

@@ -1,0 +1,181 @@
+//! The Load utility (paper §4).
+//!
+//! "Load and reconcile utilities tend to run for a long time and involve
+//! large number of link/unlink operations. Like any other long running
+//! transactions, there is potential for running out of system resources
+//! such as log file or lock table entry. Since very long running
+//! transactions are always triggered by database utilities that can be
+//! broken into pieces (undo of completed piece is not needed in case of the
+//! utility failure), we put intelligence in DLFM to recognize such
+//! transactions and to do local commit after finishing processing of each
+//! piece."
+//!
+//! The host-side half of that story: `load` bulk-populates a table with
+//! datalink rows, committing every `piece_size` rows in its own host
+//! transaction (each a full two-phase commit). A failure mid-load keeps
+//! the completed pieces — the utility is restartable, not atomic, by
+//! design. The DLFM side additionally chunks *within* each piece (see
+//! `dlfm::config::DlfmConfig::chunk_commit_every`).
+
+use minidb::Value;
+
+use crate::engine::HostSession;
+use crate::error::{HostError, HostResult};
+
+/// One row of a bulk load: values for the target columns.
+pub type LoadRow = Vec<Value>;
+
+/// Outcome of a [`HostSession::load`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Rows successfully loaded (and committed).
+    pub rows_loaded: usize,
+    /// Host transactions (pieces) committed.
+    pub pieces_committed: usize,
+    /// Index of the first failed row, if the load stopped early.
+    pub failed_at: Option<usize>,
+}
+
+impl HostSession {
+    /// Bulk-load `rows` into `table (columns...)`, committing every
+    /// `piece_size` rows. Returns how far it got; on a row failure the
+    /// current piece is rolled back and the report carries the failing
+    /// index (completed pieces stay committed — the utility semantics the
+    /// paper relies on).
+    pub fn load(
+        &mut self,
+        table: &str,
+        columns: &[&str],
+        rows: &[LoadRow],
+        piece_size: usize,
+    ) -> HostResult<LoadReport> {
+        if self.xid().is_some() {
+            return Err(HostError::Usage("load must run outside a transaction".into()));
+        }
+        let piece_size = piece_size.max(1);
+        let sql = format!(
+            "INSERT INTO {table} ({}) VALUES ({})",
+            columns.join(", "),
+            vec!["?"; columns.len()].join(", ")
+        );
+        let mut report =
+            LoadReport { rows_loaded: 0, pieces_committed: 0, failed_at: None };
+        for (piece_idx, piece) in rows.chunks(piece_size).enumerate() {
+            self.begin()?;
+            let mut failed = None;
+            for (offset, row) in piece.iter().enumerate() {
+                if let Err(e) = self.exec_params(&sql, row) {
+                    failed = Some((piece_idx * piece_size + offset, e));
+                    break;
+                }
+            }
+            match failed {
+                None => {
+                    self.commit()?;
+                    report.rows_loaded += piece.len();
+                    report.pieces_committed += 1;
+                }
+                Some((index, _err)) => {
+                    self.rollback();
+                    report.failed_at = Some(index);
+                    return Ok(report);
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{DatalinkSpec, HostConfig, HostDb};
+    use dlfm::{AccessControl, DlfmConfig, DlfmServer};
+    use std::sync::Arc;
+
+    fn rig() -> (Arc<filesys::FileSystem>, DlfmServer, HostDb) {
+        let fs = Arc::new(filesys::FileSystem::new());
+        let dlfm = DlfmServer::start(
+            DlfmConfig::for_tests(),
+            fs.clone(),
+            Arc::new(archive::ArchiveServer::new()),
+        );
+        let host = HostDb::new(HostConfig::for_tests());
+        host.attach_dlfm("fs1", dlfm.connector());
+        (fs, dlfm, host)
+    }
+
+    fn table(host: &HostDb) -> crate::engine::HostSession {
+        let mut s = host.session();
+        s.create_table(
+            "CREATE TABLE docs (id BIGINT NOT NULL, doc DATALINK)",
+            &[DatalinkSpec {
+                column: "doc".into(),
+                access: AccessControl::Partial,
+                recovery: false,
+            }],
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn load_commits_in_pieces() {
+        let (fs, dlfm, host) = rig();
+        let mut s = table(&host);
+        let rows: Vec<LoadRow> = (0..25)
+            .map(|i| {
+                let p = format!("/l/f{i}");
+                fs.create(&p, "u", b"x").unwrap();
+                vec![Value::Int(i), Value::str(format!("dlfs://fs1{p}"))]
+            })
+            .collect();
+        let report = s.load("docs", &["id", "doc"], &rows, 10).unwrap();
+        assert_eq!(report.rows_loaded, 25);
+        assert_eq!(report.pieces_committed, 3);
+        assert_eq!(report.failed_at, None);
+        assert_eq!(s.query_int("SELECT COUNT(*) FROM docs", &[]).unwrap(), 25);
+        let mut dl = minidb::Session::new(dlfm.db());
+        assert_eq!(
+            dl.query_int("SELECT COUNT(*) FROM dfm_file WHERE lnk_state = 1", &[]).unwrap(),
+            25
+        );
+    }
+
+    #[test]
+    fn failure_mid_piece_keeps_completed_pieces() {
+        let (fs, dlfm, host) = rig();
+        let mut s = table(&host);
+        let mut rows: Vec<LoadRow> = (0..10)
+            .map(|i| {
+                let p = format!("/l/f{i}");
+                fs.create(&p, "u", b"x").unwrap();
+                vec![Value::Int(i), Value::str(format!("dlfs://fs1{p}"))]
+            })
+            .collect();
+        // Row 7 references a file that does not exist -> piece 2 fails.
+        rows[7][1] = Value::str("dlfs://fs1/l/missing");
+        let report = s.load("docs", &["id", "doc"], &rows, 5).unwrap();
+        assert_eq!(report.rows_loaded, 5, "first piece committed");
+        assert_eq!(report.pieces_committed, 1);
+        assert_eq!(report.failed_at, Some(7));
+        assert_eq!(s.query_int("SELECT COUNT(*) FROM docs", &[]).unwrap(), 5);
+        // The failed piece left nothing behind on the DLFM either.
+        let mut dl = minidb::Session::new(dlfm.db());
+        assert_eq!(
+            dl.query_int("SELECT COUNT(*) FROM dfm_file WHERE lnk_state = 1", &[]).unwrap(),
+            5
+        );
+        assert_eq!(dl.query_int("SELECT COUNT(*) FROM dfm_xact", &[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn load_rejected_inside_transaction() {
+        let (_fs, _dlfm, host) = rig();
+        let mut s = table(&host);
+        s.begin().unwrap();
+        let e = s.load("docs", &["id", "doc"], &[], 10).unwrap_err();
+        assert!(matches!(e, HostError::Usage(_)));
+        s.rollback();
+    }
+}

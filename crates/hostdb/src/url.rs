@@ -1,0 +1,83 @@
+//! DATALINK URL handling.
+//!
+//! The value of a datalink column is a URL naming a file server and a path
+//! on it (paper §1): `dlfs://<server>/<path>`. The datalink engine parses
+//! these to route link/unlink requests to the right DLFM.
+
+use std::fmt;
+
+/// A parsed datalink URL.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DatalinkUrl {
+    /// File-server name (which DLFM manages the file).
+    pub server: String,
+    /// Absolute path on that server.
+    pub path: String,
+}
+
+/// URL scheme used by this reproduction.
+pub const SCHEME: &str = "dlfs://";
+
+/// Errors parsing a datalink value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UrlError(pub String);
+
+impl fmt::Display for UrlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid datalink URL: {}", self.0)
+    }
+}
+
+impl std::error::Error for UrlError {}
+
+impl DatalinkUrl {
+    /// Parse `dlfs://server/path`.
+    pub fn parse(url: &str) -> Result<DatalinkUrl, UrlError> {
+        let rest = url
+            .strip_prefix(SCHEME)
+            .ok_or_else(|| UrlError(format!("{url}: expected {SCHEME} scheme")))?;
+        let slash = rest
+            .find('/')
+            .ok_or_else(|| UrlError(format!("{url}: missing path")))?;
+        let (server, path) = rest.split_at(slash);
+        if server.is_empty() {
+            return Err(UrlError(format!("{url}: empty server name")));
+        }
+        if path.len() < 2 {
+            return Err(UrlError(format!("{url}: empty path")));
+        }
+        Ok(DatalinkUrl { server: server.to_string(), path: path.to_string() })
+    }
+
+    /// Render back to URL form.
+    pub fn to_url(&self) -> String {
+        format!("{SCHEME}{}{}", self.server, self.path)
+    }
+}
+
+impl fmt::Display for DatalinkUrl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_url())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let u = DatalinkUrl::parse("dlfs://fs1/video/ads/q3.mpg").unwrap();
+        assert_eq!(u.server, "fs1");
+        assert_eq!(u.path, "/video/ads/q3.mpg");
+        assert_eq!(u.to_url(), "dlfs://fs1/video/ads/q3.mpg");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(DatalinkUrl::parse("http://x/y").is_err());
+        assert!(DatalinkUrl::parse("dlfs://noslash").is_err());
+        assert!(DatalinkUrl::parse("dlfs:///path").is_err());
+        assert!(DatalinkUrl::parse("dlfs://srv/").is_err());
+    }
+}

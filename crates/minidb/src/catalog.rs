@@ -1,0 +1,250 @@
+//! The catalog: schemas, name resolution, and statistics.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{DbError, DbResult};
+use crate::schema::{ColumnDef, IndexId, IndexSchema, TableId, TableSchema};
+use crate::stats::StatsRegistry;
+
+/// Database catalog. Wrapped in a `RwLock` by the engine.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Catalog {
+    tables: HashMap<u32, TableSchema>,
+    indexes: HashMap<u32, IndexSchema>,
+    table_names: HashMap<String, u32>,
+    index_names: HashMap<String, u32>,
+    /// Index ids per table, in creation order (the order modifications
+    /// touch them — relevant to lock-ordering behaviour).
+    table_indexes: HashMap<u32, Vec<u32>>,
+    next_table: u32,
+    next_index: u32,
+    /// Optimizer statistics.
+    pub stats: StatsRegistry,
+}
+
+impl Catalog {
+    /// Register a new table.
+    pub fn create_table(
+        &mut self,
+        name: &str,
+        columns: Vec<ColumnDef>,
+    ) -> DbResult<TableSchema> {
+        let lc = name.to_ascii_lowercase();
+        if self.table_names.contains_key(&lc) {
+            return Err(DbError::AlreadyExists(format!("table {lc}")));
+        }
+        if columns.is_empty() {
+            return Err(DbError::Plan(format!("table {lc} must have columns")));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for c in &columns {
+            if !seen.insert(c.name.clone()) {
+                return Err(DbError::Plan(format!("duplicate column {} in {lc}", c.name)));
+            }
+        }
+        self.next_table += 1;
+        let id = TableId(self.next_table);
+        let schema = TableSchema { id, name: lc.clone(), columns };
+        self.tables.insert(id.0, schema.clone());
+        self.table_names.insert(lc, id.0);
+        self.table_indexes.insert(id.0, Vec::new());
+        Ok(schema)
+    }
+
+    /// Register a table recovered from the log with its original id.
+    pub fn adopt_table(&mut self, schema: TableSchema) {
+        self.next_table = self.next_table.max(schema.id.0);
+        self.table_names.insert(schema.name.clone(), schema.id.0);
+        self.table_indexes.entry(schema.id.0).or_default();
+        self.tables.insert(schema.id.0, schema);
+    }
+
+    /// Register a new index.
+    pub fn create_index(
+        &mut self,
+        name: &str,
+        table: &str,
+        key_columns: &[String],
+        unique: bool,
+    ) -> DbResult<IndexSchema> {
+        let lc = name.to_ascii_lowercase();
+        if self.index_names.contains_key(&lc) {
+            return Err(DbError::AlreadyExists(format!("index {lc}")));
+        }
+        let tschema = self.table(table)?.clone();
+        let mut cols = Vec::with_capacity(key_columns.len());
+        for c in key_columns {
+            cols.push(tschema.col_index(c)?);
+        }
+        if cols.is_empty() {
+            return Err(DbError::Plan(format!("index {lc} must have key columns")));
+        }
+        self.next_index += 1;
+        let id = IndexId(self.next_index);
+        let schema =
+            IndexSchema { id, name: lc.clone(), table: tschema.id, key_columns: cols, unique };
+        self.indexes.insert(id.0, schema.clone());
+        self.index_names.insert(lc, id.0);
+        self.table_indexes.entry(tschema.id.0).or_default().push(id.0);
+        Ok(schema)
+    }
+
+    /// Register an index recovered from the log with its original id.
+    pub fn adopt_index(&mut self, schema: IndexSchema) {
+        self.next_index = self.next_index.max(schema.id.0);
+        self.index_names.insert(schema.name.clone(), schema.id.0);
+        self.table_indexes.entry(schema.table.0).or_default().push(schema.id.0);
+        self.indexes.insert(schema.id.0, schema);
+    }
+
+    /// Drop a table and all of its indexes, returning the dropped index ids.
+    pub fn drop_table(&mut self, name: &str) -> DbResult<(TableId, Vec<IndexId>)> {
+        let schema = self.table(name)?.clone();
+        let idxs = self.table_indexes.remove(&schema.id.0).unwrap_or_default();
+        for ix in &idxs {
+            if let Some(s) = self.indexes.remove(ix) {
+                self.index_names.remove(&s.name);
+            }
+            self.stats.forget_index(IndexId(*ix));
+        }
+        self.tables.remove(&schema.id.0);
+        self.table_names.remove(&schema.name);
+        self.stats.forget_table(schema.id);
+        Ok((schema.id, idxs.into_iter().map(IndexId).collect()))
+    }
+
+    /// Drop a single index by name.
+    pub fn drop_index(&mut self, name: &str) -> DbResult<IndexId> {
+        let schema = self.index(name)?.clone();
+        self.indexes.remove(&schema.id.0);
+        self.index_names.remove(&schema.name);
+        if let Some(v) = self.table_indexes.get_mut(&schema.table.0) {
+            v.retain(|i| *i != schema.id.0);
+        }
+        self.stats.forget_index(schema.id);
+        Ok(schema.id)
+    }
+
+    /// Resolve a table schema by name.
+    pub fn table(&self, name: &str) -> DbResult<&TableSchema> {
+        let lc = name.to_ascii_lowercase();
+        self.table_names
+            .get(&lc)
+            .and_then(|id| self.tables.get(id))
+            .ok_or_else(|| DbError::NotFound(format!("table {lc}")))
+    }
+
+    /// Resolve a table schema by id.
+    pub fn table_by_id(&self, id: TableId) -> DbResult<&TableSchema> {
+        self.tables.get(&id.0).ok_or_else(|| DbError::NotFound(format!("table#{}", id.0)))
+    }
+
+    /// Resolve an index schema by name.
+    pub fn index(&self, name: &str) -> DbResult<&IndexSchema> {
+        let lc = name.to_ascii_lowercase();
+        self.index_names
+            .get(&lc)
+            .and_then(|id| self.indexes.get(id))
+            .ok_or_else(|| DbError::NotFound(format!("index {lc}")))
+    }
+
+    /// Resolve an index schema by id.
+    pub fn index_by_id(&self, id: IndexId) -> DbResult<&IndexSchema> {
+        self.indexes.get(&id.0).ok_or_else(|| DbError::NotFound(format!("index#{}", id.0)))
+    }
+
+    /// Index schemas on a table, in creation order.
+    pub fn indexes_of(&self, table: TableId) -> Vec<&IndexSchema> {
+        self.table_indexes
+            .get(&table.0)
+            .map(|ids| ids.iter().filter_map(|i| self.indexes.get(i)).collect())
+            .unwrap_or_default()
+    }
+
+    /// All table schemas (diagnostics / reconcile).
+    pub fn all_tables(&self) -> Vec<&TableSchema> {
+        let mut v: Vec<&TableSchema> = self.tables.values().collect();
+        v.sort_by_key(|s| s.id);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn cols() -> Vec<ColumnDef> {
+        vec![
+            ColumnDef::not_null("id", DataType::BigInt),
+            ColumnDef::not_null("name", DataType::Varchar),
+        ]
+    }
+
+    #[test]
+    fn create_and_resolve_table() {
+        let mut c = Catalog::default();
+        let s = c.create_table("DFM_FILE", cols()).unwrap();
+        assert_eq!(s.name, "dfm_file");
+        assert_eq!(c.table("dfm_File").unwrap().id, s.id);
+        assert!(matches!(c.create_table("dfm_file", cols()), Err(DbError::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let mut c = Catalog::default();
+        let bad = vec![
+            ColumnDef::new("x", DataType::BigInt),
+            ColumnDef::new("X", DataType::Varchar),
+        ];
+        assert!(c.create_table("t", bad).is_err());
+    }
+
+    #[test]
+    fn indexes_tracked_per_table_in_creation_order() {
+        let mut c = Catalog::default();
+        c.create_table("t", cols()).unwrap();
+        let i1 = c.create_index("ix_id", "t", &["id".into()], true).unwrap();
+        let i2 = c.create_index("ix_name", "t", &["name".into()], false).unwrap();
+        let t = c.table("t").unwrap().id;
+        let idxs = c.indexes_of(t);
+        assert_eq!(idxs.len(), 2);
+        assert_eq!(idxs[0].id, i1.id);
+        assert_eq!(idxs[1].id, i2.id);
+        assert!(idxs[0].unique);
+        assert!(!idxs[1].unique);
+    }
+
+    #[test]
+    fn index_on_missing_column_rejected() {
+        let mut c = Catalog::default();
+        c.create_table("t", cols()).unwrap();
+        assert!(c.create_index("ix", "t", &["nope".into()], false).is_err());
+    }
+
+    #[test]
+    fn drop_table_cascades_indexes() {
+        let mut c = Catalog::default();
+        c.create_table("t", cols()).unwrap();
+        c.create_index("ix_id", "t", &["id".into()], true).unwrap();
+        let (_, dropped) = c.drop_table("t").unwrap();
+        assert_eq!(dropped.len(), 1);
+        assert!(c.table("t").is_err());
+        assert!(c.index("ix_id").is_err());
+        // Name can be reused.
+        c.create_table("t", cols()).unwrap();
+    }
+
+    #[test]
+    fn adopt_preserves_ids() {
+        let mut c = Catalog::default();
+        let s = TableSchema { id: TableId(7), name: "t".into(), columns: cols() };
+        c.adopt_table(s.clone());
+        assert_eq!(c.table("t").unwrap().id, TableId(7));
+        // Next created table gets a higher id.
+        let s2 = c.create_table("u", cols()).unwrap();
+        assert!(s2.id.0 > 7);
+    }
+}

@@ -1,0 +1,1398 @@
+//! The database engine: statement execution, locking protocol, logging,
+//! crash and restart.
+//!
+//! Locking protocol (DB2-flavoured):
+//!
+//! * every read takes a table IS lock plus S locks on the rows it touches;
+//!   under cursor stability those S locks are released at statement end;
+//! * every write takes a table IX lock plus X row locks held to commit
+//!   (strict 2PL);
+//! * when **next-key locking** is enabled, index probes additionally S/X
+//!   lock the index keys they traverse and modifications X-lock the key and
+//!   its *next* key (ARIES/KVL-style), which is what makes concurrent
+//!   multi-index DML deadlock-prone (paper §3.2.1);
+//! * a full scan row-locks everything it reads — with an UPDATE/DELETE this
+//!   means X locks on the whole table's rows, the "havoc" of §4 when the
+//!   optimizer picks a table scan.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::catalog::Catalog;
+use crate::config::{DbConfig, Isolation};
+use crate::error::{DbError, DbResult};
+use crate::eval::{eval, eval_pred, eval_standalone};
+use crate::lock::{LockManager, LockMetrics, LockMode, Res};
+use crate::plan::{plan_access, AccessPath, TablePlan};
+use crate::schema::{ColumnDef, IndexSchema, TableId, TableSchema};
+use crate::sql::ast::{AggFn, Expr, OrderKey, Projection, SelectItem, SelectStmt, Stmt};
+use crate::sql::parser::parse;
+use crate::stats::StatsRegistry;
+use crate::storage::{Storage, StorageSnapshot};
+use crate::txn::{Savepoint, Txn, TxnId, TxnState, UndoOp};
+use crate::value::{Row, Value};
+use crate::wal::{LogPayload, LogRecord, Lsn, Wal};
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecResult {
+    /// SELECT result: column names and rows.
+    Rows {
+        /// Output column names.
+        columns: Vec<String>,
+        /// Result rows.
+        rows: Vec<Row>,
+    },
+    /// Rows affected by INSERT/UPDATE/DELETE.
+    Count(usize),
+    /// DDL succeeded.
+    Unit,
+}
+
+impl ExecResult {
+    /// Rows of a SELECT result (empty for other results).
+    pub fn rows(self) -> Vec<Row> {
+        match self {
+            ExecResult::Rows { rows, .. } => rows,
+            _ => Vec::new(),
+        }
+    }
+
+    /// Affected-row count (0 for other results).
+    pub fn count(&self) -> usize {
+        match self {
+            ExecResult::Count(n) => *n,
+            ExecResult::Rows { rows, .. } => rows.len(),
+            ExecResult::Unit => 0,
+        }
+    }
+}
+
+/// A statement prepared ("bound") against the catalog. The access plan is
+/// chosen at prepare time and *pinned*, mirroring DB2 static SQL: a later
+/// RUNSTATS does not change the plan until the statement is rebound.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// Original SQL text.
+    pub sql: String,
+    stmt: Stmt,
+    plan: Option<TablePlan>,
+    /// Plan for the EXCEPT arm of a SELECT, when present.
+    except_plan: Option<TablePlan>,
+}
+
+impl Prepared {
+    /// The plan bound at prepare time, if the statement has one.
+    pub fn plan(&self) -> Option<&TablePlan> {
+        self.plan.as_ref()
+    }
+
+    /// EXPLAIN-style rendering of the bound plan.
+    pub fn explain(&self, db: &Database) -> String {
+        let catalog = db.inner.catalog.read();
+        match &self.plan {
+            Some(p) => p.render(&catalog),
+            None => "NO PLAN (DDL or INSERT)".into(),
+        }
+    }
+}
+
+/// A full backup image of a database: catalog plus all table/index data.
+/// Produced by [`Database::backup_image`], consumed by
+/// [`Database::restore_image`].
+#[derive(Clone)]
+pub struct DbImage {
+    catalog: Catalog,
+    storage: StorageSnapshot,
+}
+
+/// Checkpoint image: catalog + storage at a known LSN.
+struct Checkpoint {
+    lsn: Lsn,
+    catalog: Catalog,
+    storage: StorageSnapshot,
+}
+
+struct DbInner {
+    catalog: RwLock<Catalog>,
+    storage: Storage,
+    lm: LockManager,
+    wal: Wal,
+    next_txn: AtomicU64,
+    online: AtomicBool,
+    isolation: Isolation,
+    next_key_locking: AtomicBool,
+    checkpoint: Mutex<Option<Checkpoint>>,
+}
+
+/// A shared handle to one database. Cheap to clone; thread-safe.
+#[derive(Clone)]
+pub struct Database {
+    inner: Arc<DbInner>,
+}
+
+impl Database {
+    /// Create an empty database with the given configuration.
+    pub fn new(config: DbConfig) -> Database {
+        Database {
+            inner: Arc::new(DbInner {
+                catalog: RwLock::new(Catalog::default()),
+                storage: Storage::default(),
+                lm: LockManager::new(
+                    config.lock_timeout,
+                    config.lock_escalation_threshold,
+                    config.lock_list_capacity,
+                    config.deadlock_detection,
+                ),
+                wal: Wal::new(config.log_capacity_records, config.log_force_latency),
+                next_txn: AtomicU64::new(1),
+                online: AtomicBool::new(true),
+                isolation: config.isolation,
+                next_key_locking: AtomicBool::new(config.next_key_locking),
+                checkpoint: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Create a database with default configuration.
+    pub fn new_default() -> Database {
+        Database::new(DbConfig::default())
+    }
+
+    fn check_online(&self) -> DbResult<()> {
+        if self.inner.online.load(AtomicOrdering::Acquire) {
+            Ok(())
+        } else {
+            Err(DbError::Offline)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Begin a new transaction.
+    pub fn begin(&self) -> Txn {
+        let id = TxnId(self.inner.next_txn.fetch_add(1, AtomicOrdering::SeqCst));
+        Txn::new(id)
+    }
+
+    /// Commit: force the log, release all locks.
+    pub fn commit(&self, txn: &mut Txn) -> DbResult<()> {
+        self.check_online()?;
+        txn.check_active()?;
+        // A read-only transaction needs no log records.
+        if !txn.undo.is_empty() {
+            self.inner.wal.append(txn.id, LogPayload::Commit)?;
+            self.inner.wal.force();
+        }
+        // Slots of rows this transaction deleted become reusable only now:
+        // until commit they are still X-locked under their old identity.
+        for op in &txn.undo {
+            if let UndoOp::Delete { table, rowid, .. } = op {
+                let _ = self
+                    .inner
+                    .storage
+                    .with_table_mut(*table, |t| t.release_slot(*rowid));
+            }
+        }
+        txn.undo.clear();
+        txn.state = TxnState::Committed;
+        self.inner.lm.release_all(txn.id);
+        Ok(())
+    }
+
+    /// Roll back the whole transaction and release all locks.
+    pub fn rollback(&self, txn: &mut Txn) {
+        if txn.state == TxnState::Active {
+            let ops = txn.drain_all();
+            self.apply_undo(txn.id, &ops);
+            if !ops.is_empty() {
+                // Abort records are always admitted (terminal).
+                let _ = self.inner.wal.append(txn.id, LogPayload::Abort);
+            }
+            txn.state = TxnState::Aborted;
+        }
+        self.inner.lm.release_all(txn.id);
+    }
+
+    /// Roll back to a savepoint. Locks are retained (DB2 semantics).
+    pub fn rollback_to(&self, txn: &mut Txn, sp: Savepoint) -> DbResult<()> {
+        txn.check_active()?;
+        let ops = txn.drain_to_savepoint(sp);
+        self.apply_undo(txn.id, &ops);
+        Ok(())
+    }
+
+    /// Apply undo operations (newest-first) with compensation log records.
+    fn apply_undo(&self, txn: TxnId, ops: &[UndoOp]) {
+        for op in ops {
+            match op {
+                UndoOp::Insert { table, rowid } => {
+                    let keys = self.index_keys_for_row(*table, *rowid);
+                    let _ = self.inner.storage.with_table_mut(*table, |t| {
+                        if let Some(old) = t.remove(*rowid) {
+                            let _ = self.inner.wal.append(
+                                txn,
+                                LogPayload::Delete { table: table.0, rowid: *rowid, row: old },
+                            );
+                        }
+                    });
+                    for (ix, key) in keys {
+                        let _ = self.inner.storage.with_index_mut(ix, |t| {
+                            t.remove(&key, *rowid);
+                        });
+                    }
+                }
+                UndoOp::Delete { table, rowid, row } => {
+                    let _ = self.inner.storage.with_table_mut(*table, |t| {
+                        t.put(*rowid, row.clone());
+                    });
+                    let _ = self.inner.wal.append(
+                        txn,
+                        LogPayload::Insert { table: table.0, rowid: *rowid, row: row.clone() },
+                    );
+                    let idxs = self.indexes_of_snapshot(*table);
+                    for ix in idxs {
+                        let key = extract_key(&ix, row);
+                        let _ = self.inner.storage.with_index_mut(ix.id, |t| {
+                            t.insert(key.clone(), *rowid);
+                        });
+                    }
+                }
+                UndoOp::Update { table, rowid, old } => {
+                    let idxs = self.indexes_of_snapshot(*table);
+                    let _ = self.inner.storage.with_table_mut(*table, |t| {
+                        if let Some(cur) = t.replace(*rowid, old.clone()) {
+                            let _ = self.inner.wal.append(
+                                txn,
+                                LogPayload::Update {
+                                    table: table.0,
+                                    rowid: *rowid,
+                                    old: cur.clone(),
+                                    new: old.clone(),
+                                },
+                            );
+                            for ix in &idxs {
+                                let ck = extract_key(ix, &cur);
+                                let ok = extract_key(ix, old);
+                                if ck != ok {
+                                    let _ = self.inner.storage.with_index_mut(ix.id, |t| {
+                                        t.remove(&ck, *rowid);
+                                        t.insert(ok.clone(), *rowid);
+                                    });
+                                }
+                            }
+                        }
+                    });
+                }
+            }
+        }
+    }
+
+    /// Index keys currently pointing at a row (for undo of insert).
+    fn index_keys_for_row(&self, table: TableId, rowid: u64) -> Vec<(crate::schema::IndexId, Vec<Value>)> {
+        let row = self
+            .inner
+            .storage
+            .with_table(table, |t| t.get(rowid).cloned())
+            .ok()
+            .flatten();
+        let Some(row) = row else { return Vec::new() };
+        self.indexes_of_snapshot(table)
+            .into_iter()
+            .map(|ix| {
+                let k = extract_key(&ix, &row);
+                (ix.id, k)
+            })
+            .collect()
+    }
+
+    fn indexes_of_snapshot(&self, table: TableId) -> Vec<IndexSchema> {
+        let catalog = self.inner.catalog.read();
+        catalog.indexes_of(table).into_iter().cloned().collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Statement execution
+    // ------------------------------------------------------------------
+
+    /// Parse and execute `sql` inside `txn`.
+    pub fn exec(&self, txn: &mut Txn, sql: &str, params: &[Value]) -> DbResult<ExecResult> {
+        let stmt = parse(sql)?;
+        self.exec_stmt(txn, &stmt, params, None)
+    }
+
+    /// Execute an already-parsed statement inside `txn` (used by layers —
+    /// like the datalink engine — that inspect and rewrite statements).
+    pub fn execute(&self, txn: &mut Txn, stmt: &Stmt, params: &[Value]) -> DbResult<ExecResult> {
+        self.exec_stmt(txn, stmt, params, None)
+    }
+
+    /// Schema of a table (public lookup for engine layers).
+    pub fn table_schema(&self, table: &str) -> DbResult<TableSchema> {
+        Ok(self.inner.catalog.read().table(table)?.clone())
+    }
+
+    /// Names of all user tables.
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner.catalog.read().all_tables().iter().map(|s| s.name.clone()).collect()
+    }
+
+    /// Prepare (bind) a statement: parse and pin its access plan now.
+    pub fn prepare(&self, sql: &str) -> DbResult<Prepared> {
+        let stmt = parse(sql)?;
+        let catalog = self.inner.catalog.read();
+        let (plan, except_plan) = match &stmt {
+            Stmt::Select(sel) => {
+                let p = plan_access(&catalog, &sel.table, sel.filter.as_ref())?;
+                let ep = match &sel.except {
+                    Some(e) => Some(plan_access(&catalog, &e.table, e.filter.as_ref())?),
+                    None => None,
+                };
+                (Some(p), ep)
+            }
+            Stmt::Update { table, filter, .. } | Stmt::Delete { table, filter } => {
+                (Some(plan_access(&catalog, table, filter.as_ref())?), None)
+            }
+            _ => (None, None),
+        };
+        Ok(Prepared { sql: sql.to_string(), stmt, plan, except_plan })
+    }
+
+    /// Re-bind a prepared statement against current statistics.
+    pub fn rebind(&self, p: &mut Prepared) -> DbResult<()> {
+        let fresh = self.prepare(&p.sql)?;
+        *p = fresh;
+        Ok(())
+    }
+
+    /// True when the plan was bound against statistics that have since
+    /// changed (DLFM checks this to know when to re-apply its hand-crafted
+    /// stats and rebind).
+    pub fn plan_is_stale(&self, p: &Prepared) -> bool {
+        match &p.plan {
+            Some(plan) => plan.stats_generation != self.inner.catalog.read().stats.generation,
+            None => false,
+        }
+    }
+
+    /// Execute a prepared statement with its pinned plan.
+    pub fn exec_prepared(
+        &self,
+        txn: &mut Txn,
+        p: &Prepared,
+        params: &[Value],
+    ) -> DbResult<ExecResult> {
+        self.exec_stmt(txn, &p.stmt, params, p.plan.clone().map(|pl| (pl, p.except_plan.clone())))
+    }
+
+    fn exec_stmt(
+        &self,
+        txn: &mut Txn,
+        stmt: &Stmt,
+        params: &[Value],
+        pinned: Option<(TablePlan, Option<TablePlan>)>,
+    ) -> DbResult<ExecResult> {
+        self.check_online()?;
+        txn.check_active()?;
+        txn.statements += 1;
+        let result = match stmt {
+            Stmt::CreateTable { name, columns } => self.ddl_create_table(name, columns),
+            Stmt::CreateIndex { name, table, columns, unique } => {
+                self.ddl_create_index(name, table, columns, *unique)
+            }
+            Stmt::DropTable { name } => self.ddl_drop_table(name),
+            Stmt::Insert { table, columns, values } => {
+                self.exec_insert(txn, table, columns.as_deref(), values, params)
+            }
+            Stmt::Select(sel) => self.exec_select(txn, sel, params, pinned),
+            Stmt::Update { table, sets, filter } => {
+                self.exec_update(txn, table, sets, filter.as_ref(), params, pinned.map(|p| p.0))
+            }
+            Stmt::Delete { table, filter } => {
+                self.exec_delete(txn, table, filter.as_ref(), params, pinned.map(|p| p.0))
+            }
+            Stmt::Explain(inner) => self.exec_explain(inner),
+        };
+        // Cursor stability: read locks do not survive the statement.
+        if self.inner.isolation == Isolation::CursorStability {
+            self.inner.lm.release_shared(txn.id);
+        }
+        result
+    }
+
+    fn exec_explain(&self, stmt: &Stmt) -> DbResult<ExecResult> {
+        let catalog = self.inner.catalog.read();
+        let plan = match stmt {
+            Stmt::Select(sel) => plan_access(&catalog, &sel.table, sel.filter.as_ref())?,
+            Stmt::Update { table, filter, .. } | Stmt::Delete { table, filter } => {
+                plan_access(&catalog, table, filter.as_ref())?
+            }
+            _ => return Err(DbError::Plan("EXPLAIN supports SELECT/UPDATE/DELETE".into())),
+        };
+        Ok(ExecResult::Rows {
+            columns: vec!["plan".into()],
+            rows: vec![vec![Value::Str(plan.render(&catalog))]],
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // DDL (auto-committed in an internal transaction)
+    // ------------------------------------------------------------------
+
+    fn ddl_create_table(&self, name: &str, columns: &[(String, crate::value::DataType, bool)]) -> DbResult<ExecResult> {
+        let ddl_txn = self.begin();
+        let cols: Vec<ColumnDef> = columns
+            .iter()
+            .map(|(n, t, nn)| ColumnDef { name: n.clone(), ty: *t, not_null: *nn })
+            .collect();
+        let schema = {
+            let mut catalog = self.inner.catalog.write();
+            catalog.create_table(name, cols)?
+        };
+        self.inner.storage.create_table(schema.id);
+        self.inner.wal.append(ddl_txn.id, LogPayload::CreateTable { schema })?;
+        self.inner.wal.append(ddl_txn.id, LogPayload::Commit)?;
+        self.inner.wal.force();
+        Ok(ExecResult::Unit)
+    }
+
+    fn ddl_create_index(
+        &self,
+        name: &str,
+        table: &str,
+        columns: &[String],
+        unique: bool,
+    ) -> DbResult<ExecResult> {
+        let ddl_txn = self.begin();
+        let schema = {
+            let mut catalog = self.inner.catalog.write();
+            catalog.create_index(name, table, columns, unique)?
+        };
+        self.inner.storage.create_index(schema.id);
+        // Backfill from existing rows.
+        let rows: Vec<(u64, Row)> = self
+            .inner
+            .storage
+            .with_table(schema.table, |t| t.iter().map(|(id, r)| (id, r.clone())).collect())?;
+        let mut seen = std::collections::HashSet::new();
+        for (rowid, row) in &rows {
+            let key = extract_key(&schema, row);
+            if unique && !seen.insert(key.clone()) {
+                // Roll the DDL back.
+                self.inner.catalog.write().drop_index(&schema.name)?;
+                self.inner.storage.drop_index(schema.id);
+                return Err(DbError::UniqueViolation {
+                    index: schema.name.clone(),
+                    key: format!("{key:?}"),
+                });
+            }
+            self.inner.storage.with_index_mut(schema.id, |t| {
+                t.insert(key.clone(), *rowid);
+            })?;
+        }
+        self.inner.wal.append(ddl_txn.id, LogPayload::CreateIndex { schema })?;
+        self.inner.wal.append(ddl_txn.id, LogPayload::Commit)?;
+        self.inner.wal.force();
+        Ok(ExecResult::Unit)
+    }
+
+    fn ddl_drop_table(&self, name: &str) -> DbResult<ExecResult> {
+        let ddl_txn = self.begin();
+        let (tid, idxs) = {
+            let mut catalog = self.inner.catalog.write();
+            catalog.drop_table(name)?
+        };
+        self.inner.storage.drop_table(tid);
+        for ix in idxs {
+            self.inner.storage.drop_index(ix);
+        }
+        self.inner.wal.append(ddl_txn.id, LogPayload::DropTable { table: tid.0 })?;
+        self.inner.wal.append(ddl_txn.id, LogPayload::Commit)?;
+        self.inner.wal.force();
+        Ok(ExecResult::Unit)
+    }
+
+    // ------------------------------------------------------------------
+    // DML
+    // ------------------------------------------------------------------
+
+    fn exec_insert(
+        &self,
+        txn: &mut Txn,
+        table: &str,
+        columns: Option<&[String]>,
+        values: &[Expr],
+        params: &[Value],
+    ) -> DbResult<ExecResult> {
+        let (schema, indexes) = self.table_meta(table)?;
+        // Build the full row in schema order.
+        let mut row: Row = vec![Value::Null; schema.columns.len()];
+        match columns {
+            Some(cols) => {
+                if cols.len() != values.len() {
+                    return Err(DbError::Plan(format!(
+                        "{} columns but {} values",
+                        cols.len(),
+                        values.len()
+                    )));
+                }
+                for (c, v) in cols.iter().zip(values) {
+                    let i = schema.col_index(c)?;
+                    row[i] = eval_standalone(v, params)?;
+                }
+            }
+            None => {
+                if values.len() != schema.columns.len() {
+                    return Err(DbError::Plan(format!(
+                        "table {} has {} columns but {} values given",
+                        schema.name,
+                        schema.columns.len(),
+                        values.len()
+                    )));
+                }
+                for (i, v) in values.iter().enumerate() {
+                    row[i] = eval_standalone(v, params)?;
+                }
+            }
+        }
+        self.validate_row(&schema, &row)?;
+        self.insert_row(txn, &schema, &indexes, row)?;
+        Ok(ExecResult::Count(1))
+    }
+
+    /// Insert a validated row: locking, logging, physical apply.
+    fn insert_row(
+        &self,
+        txn: &mut Txn,
+        schema: &TableSchema,
+        indexes: &[IndexSchema],
+        row: Row,
+    ) -> DbResult<u64> {
+        let nkl = self.inner.next_key_locking.load(AtomicOrdering::Relaxed);
+        self.inner.lm.lock(txn.id, Res::Table(schema.id), LockMode::IX)?;
+
+        // Key locks, in index-creation order (the order DB2 updates them).
+        if nkl {
+            for ix in indexes {
+                let key = extract_key(ix, &row);
+                self.inner.lm.lock(txn.id, Res::Key(schema.id, ix.id, key.clone()), LockMode::X)?;
+                let next = self.inner.storage.with_index(ix.id, |t| t.next_key(&key))?;
+                match next {
+                    Some(nk) => {
+                        self.inner.lm.lock(txn.id, Res::Key(schema.id, ix.id, nk), LockMode::X)?
+                    }
+                    None => {
+                        self.inner.lm.lock(txn.id, Res::KeyEof(schema.id, ix.id), LockMode::X)?
+                    }
+                }
+            }
+        }
+
+        // Physical apply: atomic unique check + mutation under the table's
+        // apply mutex.
+        let guard = self.inner.storage.apply_guard(schema.id);
+        let _g = guard.lock();
+        for ix in indexes {
+            if ix.unique {
+                let key = extract_key(ix, &row);
+                let clash = self.inner.storage.with_index(ix.id, |t| t.contains_key(&key))?;
+                if clash {
+                    return Err(DbError::UniqueViolation {
+                        index: ix.name.clone(),
+                        key: render_key(&extract_key(ix, &row)),
+                    });
+                }
+            }
+        }
+        let rowid = self.inner.storage.with_table_mut(schema.id, |t| t.reserve())?;
+        // The row is invisible to others until inserted; the X lock is
+        // uncontended but required so later readers block until commit.
+        self.inner.lm.lock(txn.id, Res::Row(schema.id, rowid), LockMode::X)?;
+        self.inner.wal.append(
+            txn.id,
+            LogPayload::Insert { table: schema.id.0, rowid, row: row.clone() },
+        )?;
+        self.inner.storage.with_table_mut(schema.id, |t| t.put(rowid, row.clone()))?;
+        for ix in indexes {
+            let key = extract_key(ix, &row);
+            self.inner.storage.with_index_mut(ix.id, |t| {
+                t.insert(key.clone(), rowid);
+            })?;
+        }
+        txn.undo.push(UndoOp::Insert { table: schema.id, rowid });
+        Ok(rowid)
+    }
+
+    fn exec_select(
+        &self,
+        txn: &mut Txn,
+        sel: &SelectStmt,
+        params: &[Value],
+        pinned: Option<(TablePlan, Option<TablePlan>)>,
+    ) -> DbResult<ExecResult> {
+        let (pinned_main, pinned_except) = match pinned {
+            Some((p, e)) => (Some(p), e),
+            None => (None, None),
+        };
+        let (schema, _) = self.table_meta(&sel.table)?;
+        let mut matched = self.find_matching(txn, &sel.table, sel.filter.as_ref(), params, sel.for_update, pinned_main)?;
+        sort_rows(&schema, &mut matched, &sel.order_by)?;
+
+        // Aggregates short-circuit projection.
+        if let Projection::Items(items) = &sel.projection {
+            if items.iter().any(|i| !matches!(i, SelectItem::Expr(_))) {
+                let row = compute_aggregates(&schema, items, &matched, params)?;
+                return Ok(ExecResult::Rows {
+                    columns: items.iter().map(render_item_name).collect(),
+                    rows: vec![row],
+                });
+            }
+        }
+
+        let (columns, mut rows) = project(&schema, &sel.projection, &matched, params)?;
+
+        if let Some(except) = &sel.except {
+            let sub = self.exec_select(txn, except, params, pinned_except.map(|p| (p, None)))?;
+            let exclude: std::collections::HashSet<Row> = sub.rows().into_iter().collect();
+            let mut seen = std::collections::HashSet::new();
+            rows.retain(|r| !exclude.contains(r) && seen.insert(r.clone()));
+        }
+
+        Ok(ExecResult::Rows { columns, rows })
+    }
+
+    fn exec_update(
+        &self,
+        txn: &mut Txn,
+        table: &str,
+        sets: &[(String, Expr)],
+        filter: Option<&Expr>,
+        params: &[Value],
+        pinned: Option<TablePlan>,
+    ) -> DbResult<ExecResult> {
+        let (schema, indexes) = self.table_meta(table)?;
+        let matched = self.find_matching(txn, table, filter, params, true, pinned)?;
+        let nkl = self.inner.next_key_locking.load(AtomicOrdering::Relaxed);
+        let mut count = 0usize;
+        for (rowid, old) in matched {
+            let mut new = old.clone();
+            for (col, e) in sets {
+                let i = schema.col_index(col)?;
+                new[i] = eval(e, &schema, &old, params)?;
+            }
+            self.validate_row(&schema, &new)?;
+            // Key locks for changed index entries.
+            if nkl {
+                for ix in &indexes {
+                    let ok = extract_key(ix, &old);
+                    let nk = extract_key(ix, &new);
+                    if ok != nk {
+                        self.inner.lm.lock(txn.id, Res::Key(schema.id, ix.id, ok.clone()), LockMode::X)?;
+                        let next_of_old =
+                            self.inner.storage.with_index(ix.id, |t| t.next_key(&ok))?;
+                        if let Some(n) = next_of_old {
+                            self.inner.lm.lock(txn.id, Res::Key(schema.id, ix.id, n), LockMode::X)?;
+                        }
+                        self.inner.lm.lock(txn.id, Res::Key(schema.id, ix.id, nk.clone()), LockMode::X)?;
+                        let next_of_new =
+                            self.inner.storage.with_index(ix.id, |t| t.next_key(&nk))?;
+                        match next_of_new {
+                            Some(n) => self.inner.lm.lock(txn.id, Res::Key(schema.id, ix.id, n), LockMode::X)?,
+                            None => self.inner.lm.lock(txn.id, Res::KeyEof(schema.id, ix.id), LockMode::X)?,
+                        }
+                    }
+                }
+            }
+            // Physical apply with unique checks.
+            let guard = self.inner.storage.apply_guard(schema.id);
+            let _g = guard.lock();
+            for ix in &indexes {
+                if !ix.unique {
+                    continue;
+                }
+                let ok = extract_key(ix, &old);
+                let nk = extract_key(ix, &new);
+                if ok != nk {
+                    let clash = self
+                        .inner
+                        .storage
+                        .with_index(ix.id, |t| t.get(&nk).iter().any(|r| *r != rowid))?;
+                    if clash {
+                        return Err(DbError::UniqueViolation {
+                            index: ix.name.clone(),
+                            key: render_key(&nk),
+                        });
+                    }
+                }
+            }
+            self.inner.wal.append(
+                txn.id,
+                LogPayload::Update {
+                    table: schema.id.0,
+                    rowid,
+                    old: old.clone(),
+                    new: new.clone(),
+                },
+            )?;
+            self.inner.storage.with_table_mut(schema.id, |t| t.replace(rowid, new.clone()))?;
+            for ix in &indexes {
+                let ok = extract_key(ix, &old);
+                let nk = extract_key(ix, &new);
+                if ok != nk {
+                    self.inner.storage.with_index_mut(ix.id, |t| {
+                        t.remove(&ok, rowid);
+                        t.insert(nk.clone(), rowid);
+                    })?;
+                }
+            }
+            txn.undo.push(UndoOp::Update { table: schema.id, rowid, old });
+            count += 1;
+        }
+        Ok(ExecResult::Count(count))
+    }
+
+    fn exec_delete(
+        &self,
+        txn: &mut Txn,
+        table: &str,
+        filter: Option<&Expr>,
+        params: &[Value],
+        pinned: Option<TablePlan>,
+    ) -> DbResult<ExecResult> {
+        let (schema, indexes) = self.table_meta(table)?;
+        let matched = self.find_matching(txn, table, filter, params, true, pinned)?;
+        let nkl = self.inner.next_key_locking.load(AtomicOrdering::Relaxed);
+        let mut count = 0usize;
+        for (rowid, row) in matched {
+            if nkl {
+                // Deleting a key locks it and its next key (ARIES/KVL).
+                for ix in &indexes {
+                    let key = extract_key(ix, &row);
+                    self.inner.lm.lock(txn.id, Res::Key(schema.id, ix.id, key.clone()), LockMode::X)?;
+                    let next = self.inner.storage.with_index(ix.id, |t| t.next_key(&key))?;
+                    match next {
+                        Some(n) => self.inner.lm.lock(txn.id, Res::Key(schema.id, ix.id, n), LockMode::X)?,
+                        None => self.inner.lm.lock(txn.id, Res::KeyEof(schema.id, ix.id), LockMode::X)?,
+                    }
+                }
+            }
+            let guard = self.inner.storage.apply_guard(schema.id);
+            let _g = guard.lock();
+            let existed = self
+                .inner
+                .storage
+                .with_table(schema.id, |t| t.get(rowid).is_some())?;
+            if !existed {
+                continue;
+            }
+            self.inner.wal.append(
+                txn.id,
+                LogPayload::Delete { table: schema.id.0, rowid, row: row.clone() },
+            )?;
+            self.inner.storage.with_table_mut(schema.id, |t| t.remove(rowid))?;
+            for ix in &indexes {
+                let key = extract_key(ix, &row);
+                self.inner.storage.with_index_mut(ix.id, |t| {
+                    t.remove(&key, rowid);
+                })?;
+            }
+            txn.undo.push(UndoOp::Delete { table: schema.id, rowid, row });
+            count += 1;
+        }
+        Ok(ExecResult::Count(count))
+    }
+
+    /// Locate rows matching `filter`, locking as it goes.
+    ///
+    /// `for_write` controls row lock mode (X vs S) and the table intent
+    /// lock (IX vs IS). Index scans additionally take key locks when
+    /// next-key locking is on — note the *order*: index key first, then
+    /// row; modifications lock row first, then index keys. Two access paths
+    /// to the same data with opposite acquisition orders is exactly the
+    /// multi-index deadlock generator of paper §3.2.1.
+    fn find_matching(
+        &self,
+        txn: &mut Txn,
+        table: &str,
+        filter: Option<&Expr>,
+        params: &[Value],
+        for_write: bool,
+        pinned: Option<TablePlan>,
+    ) -> DbResult<Vec<(u64, Row)>> {
+        let (schema, _) = self.table_meta(table)?;
+        if let Some(f) = filter {
+            crate::plan::check_columns(&self.inner.catalog.read(), table, f)?;
+        }
+        let plan = match pinned {
+            Some(p) => p,
+            None => plan_access(&self.inner.catalog.read(), table, filter)?,
+        };
+        let nkl = self.inner.next_key_locking.load(AtomicOrdering::Relaxed);
+        let table_mode = if for_write { LockMode::IX } else { LockMode::IS };
+        let row_mode = if for_write { LockMode::X } else { LockMode::S };
+        self.inner.lm.lock(txn.id, Res::Table(schema.id), table_mode)?;
+
+        let mut out = Vec::new();
+        match &plan.path {
+            AccessPath::FullScan => {
+                let rowids: Vec<u64> = self
+                    .inner
+                    .storage
+                    .with_table(schema.id, |t| t.iter().map(|(id, _)| id).collect())?;
+                for rowid in rowids {
+                    self.inner.lm.lock(txn.id, Res::Row(schema.id, rowid), row_mode)?;
+                    let row = self
+                        .inner
+                        .storage
+                        .with_table(schema.id, |t| t.get(rowid).cloned())?;
+                    let Some(row) = row else { continue };
+                    let keep = match filter {
+                        Some(f) => eval_pred(f, &schema, &row, params)?,
+                        None => true,
+                    };
+                    if keep {
+                        out.push((rowid, row));
+                    }
+                }
+            }
+            AccessPath::IndexEq { index, probes, .. } => {
+                let prefix: Vec<Value> = probes
+                    .iter()
+                    .map(|e| eval_standalone(e, params))
+                    .collect::<DbResult<_>>()?;
+                let hits = self
+                    .inner
+                    .storage
+                    .with_index(*index, |t| t.prefix_scan(&prefix))?;
+                for (key, rowids) in hits {
+                    if nkl {
+                        // Key-value lock on the traversed key: S for reads,
+                        // X for update-bound scans.
+                        self.inner.lm.lock(
+                            txn.id,
+                            Res::Key(schema.id, *index, key.clone()),
+                            row_mode,
+                        )?;
+                    }
+                    for rowid in rowids {
+                        self.inner.lm.lock(txn.id, Res::Row(schema.id, rowid), row_mode)?;
+                        let row = self
+                            .inner
+                            .storage
+                            .with_table(schema.id, |t| t.get(rowid).cloned())?;
+                        let Some(row) = row else { continue };
+                        // Revalidate: the row may have changed between the
+                        // index probe and lock acquisition.
+                        let keep = match filter {
+                            Some(f) => eval_pred(f, &schema, &row, params)?,
+                            None => true,
+                        };
+                        if keep {
+                            out.push((rowid, row));
+                        }
+                    }
+                }
+                if nkl && self.inner.isolation == Isolation::RepeatableRead && out.is_empty() {
+                    // Phantom protection on a miss: lock the next key.
+                    let next = self
+                        .inner
+                        .storage
+                        .with_index(*index, |t| t.next_key(&prefix))?;
+                    match next {
+                        Some(n) => self
+                            .inner
+                            .lm
+                            .lock(txn.id, Res::Key(schema.id, *index, n), row_mode)?,
+                        None => self
+                            .inner
+                            .lm
+                            .lock(txn.id, Res::KeyEof(schema.id, *index), row_mode)?,
+                    }
+                }
+            }
+            AccessPath::IndexRange { index, probes, lo, hi } => {
+                let prefix: Vec<Value> = probes
+                    .iter()
+                    .map(|e| eval_standalone(e, params))
+                    .collect::<DbResult<_>>()?;
+                let lo_v = match lo {
+                    Some(b) => Some((eval_standalone(&b.value, params)?, b.inclusive)),
+                    None => None,
+                };
+                let hi_v = match hi {
+                    Some(b) => Some((eval_standalone(&b.value, params)?, b.inclusive)),
+                    None => None,
+                };
+                let hits = self.inner.storage.with_index(*index, |t| {
+                    t.range_scan(
+                        &prefix,
+                        lo_v.as_ref().map(|(v, i)| (v, *i)),
+                        hi_v.as_ref().map(|(v, i)| (v, *i)),
+                    )
+                })?;
+                for (key, rowids) in hits {
+                    if nkl {
+                        self.inner.lm.lock(
+                            txn.id,
+                            Res::Key(schema.id, *index, key.clone()),
+                            row_mode,
+                        )?;
+                    }
+                    for rowid in rowids {
+                        self.inner.lm.lock(txn.id, Res::Row(schema.id, rowid), row_mode)?;
+                        let row = self
+                            .inner
+                            .storage
+                            .with_table(schema.id, |t| t.get(rowid).cloned())?;
+                        let Some(row) = row else { continue };
+                        let keep = match filter {
+                            Some(f) => eval_pred(f, &schema, &row, params)?,
+                            None => true,
+                        };
+                        if keep {
+                            out.push((rowid, row));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_by_key(|(id, _)| *id);
+        out.dedup_by_key(|(id, _)| *id);
+        Ok(out)
+    }
+
+    fn table_meta(&self, table: &str) -> DbResult<(TableSchema, Vec<IndexSchema>)> {
+        let catalog = self.inner.catalog.read();
+        let schema = catalog.table(table)?.clone();
+        let indexes = catalog.indexes_of(schema.id).into_iter().cloned().collect();
+        Ok((schema, indexes))
+    }
+
+    fn validate_row(&self, schema: &TableSchema, row: &Row) -> DbResult<()> {
+        for (col, v) in schema.columns.iter().zip(row) {
+            if v.is_null() && col.not_null {
+                return Err(DbError::Constraint(format!(
+                    "column {} of {} is NOT NULL",
+                    col.name, schema.name
+                )));
+            }
+            if !v.fits(col.ty) {
+                return Err(DbError::Type(format!(
+                    "value {v} does not fit column {} ({})",
+                    col.name, col.ty
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Statistics / optimizer utilities
+    // ------------------------------------------------------------------
+
+    /// RUNSTATS: measure real cardinalities, *overwriting* any hand-crafted
+    /// statistics (the paper's hazard).
+    pub fn runstats(&self, table: &str) -> DbResult<()> {
+        let (schema, indexes) = self.table_meta(table)?;
+        let card = self.inner.storage.with_table(schema.id, |t| t.len())? as u64;
+        let mut catalog = self.inner.catalog.write();
+        catalog.stats.runstats_table(schema.id, card);
+        for ix in indexes {
+            let distinct = self.inner.storage.with_index(ix.id, |t| t.distinct_keys())? as u64;
+            catalog.stats.runstats_index(ix.id, distinct);
+        }
+        Ok(())
+    }
+
+    /// Hand-craft table statistics (DLFM's optimizer-influencing utility).
+    pub fn set_table_stats(&self, table: &str, cardinality: u64) -> DbResult<()> {
+        let id = self.inner.catalog.read().table(table)?.id;
+        self.inner.catalog.write().stats.set_table_stats(id, cardinality);
+        Ok(())
+    }
+
+    /// Hand-craft index statistics.
+    pub fn set_index_stats(&self, index: &str, distinct_keys: u64) -> DbResult<()> {
+        let id = self.inner.catalog.read().index(index)?.id;
+        self.inner.catalog.write().stats.set_index_stats(id, distinct_keys);
+        Ok(())
+    }
+
+    /// Whether the table's statistics are currently hand-crafted.
+    pub fn stats_hand_crafted(&self, table: &str) -> DbResult<bool> {
+        let catalog = self.inner.catalog.read();
+        let id = catalog.table(table)?.id;
+        Ok(catalog.stats.hand_crafted(id))
+    }
+
+    /// Current statistics generation (bumped on every stats change).
+    pub fn stats_generation(&self) -> u64 {
+        self.inner.catalog.read().stats.generation
+    }
+
+    /// Read-only access to the statistics registry.
+    pub fn with_stats<R>(&self, f: impl FnOnce(&StatsRegistry) -> R) -> R {
+        f(&self.inner.catalog.read().stats)
+    }
+
+    // ------------------------------------------------------------------
+    // Runtime knobs & metrics
+    // ------------------------------------------------------------------
+
+    /// Toggle next-key locking at runtime (the paper's fix is turning it off).
+    pub fn set_next_key_locking(&self, on: bool) {
+        self.inner.next_key_locking.store(on, AtomicOrdering::Relaxed);
+    }
+
+    /// Current next-key locking setting.
+    pub fn next_key_locking(&self) -> bool {
+        self.inner.next_key_locking.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Change the lock timeout.
+    pub fn set_lock_timeout(&self, d: std::time::Duration) {
+        self.inner.lm.set_timeout(d);
+    }
+
+    /// Change the lock-escalation threshold (`None` disables escalation).
+    pub fn set_lock_escalation_threshold(&self, t: Option<usize>) {
+        self.inner.lm.set_escalation_threshold(t);
+    }
+
+    /// Change the WAL active-window capacity.
+    pub fn set_log_capacity(&self, records: usize) {
+        self.inner.wal.set_capacity(records);
+    }
+
+    /// Simulated log-force latency.
+    pub fn set_log_force_latency(&self, d: std::time::Duration) {
+        self.inner.wal.set_force_latency(d);
+    }
+
+    /// Lock-manager counters.
+    pub fn lock_metrics(&self) -> &LockMetrics {
+        self.inner.lm.metrics()
+    }
+
+    /// Locks currently held by a transaction (diagnostics, Figure 4 trace).
+    pub fn locks_held(&self, txn: TxnId) -> usize {
+        self.inner.lm.held_count(txn)
+    }
+
+    /// WAL active-window size (records pinned by in-flight transactions).
+    pub fn log_active_window(&self) -> usize {
+        self.inner.wal.active_window()
+    }
+
+    /// Number of live rows in a table (diagnostics).
+    pub fn table_len(&self, table: &str) -> DbResult<usize> {
+        let id = self.inner.catalog.read().table(table)?.id;
+        self.inner.storage.with_table(id, |t| t.len())
+    }
+
+    // ------------------------------------------------------------------
+    // Crash / restart / checkpoint
+    // ------------------------------------------------------------------
+
+    /// Produce a full backup image of the database (catalog + all data).
+    pub fn backup_image(&self) -> DbImage {
+        DbImage {
+            catalog: self.inner.catalog.read().clone(),
+            storage: self.inner.storage.snapshot(),
+        }
+    }
+
+    /// Replace the database contents from a backup image (point-in-time
+    /// restore). Takes a checkpoint so crash recovery resumes from the
+    /// restored state.
+    pub fn restore_image(&self, image: &DbImage) {
+        *self.inner.catalog.write() = image.catalog.clone();
+        self.inner.storage.restore(image.storage.clone());
+        self.checkpoint();
+    }
+
+    /// Take a checkpoint: force the log and snapshot catalog + storage.
+    pub fn checkpoint(&self) {
+        self.inner.wal.force();
+        let lsn = self.inner.wal.durable_lsn();
+        let catalog = self.inner.catalog.read().clone();
+        let storage = self.inner.storage.snapshot();
+        *self.inner.checkpoint.lock() = Some(Checkpoint { lsn, catalog, storage });
+    }
+
+    /// Simulate a crash: lose all volatile state (storage, catalog, the
+    /// unforced log tail). Returns the number of log records lost.
+    pub fn crash(&self) -> usize {
+        self.inner.online.store(false, AtomicOrdering::Release);
+        let lost = self.inner.wal.crash();
+        self.inner.storage.clear();
+        self.inner.lm.clear_all();
+        *self.inner.catalog.write() = Catalog::default();
+        lost
+    }
+
+    /// Restart after a crash: rebuild from the last checkpoint plus the
+    /// durable log (redo of committed transactions only — aborted work was
+    /// already compensated in the log).
+    pub fn restart(&self) -> DbResult<()> {
+        let start_lsn = {
+            let cp = self.inner.checkpoint.lock();
+            match cp.as_ref() {
+                Some(c) if c.lsn <= self.inner.wal.durable_lsn() => {
+                    *self.inner.catalog.write() = c.catalog.clone();
+                    self.inner.storage.restore(c.storage.clone());
+                    c.lsn + 1
+                }
+                _ => {
+                    *self.inner.catalog.write() = Catalog::default();
+                    self.inner.storage.clear();
+                    0
+                }
+            }
+        };
+        let records = self.inner.wal.records_from(start_lsn);
+        let committed: std::collections::HashSet<u64> = records
+            .iter()
+            .filter(|r| matches!(r.payload, LogPayload::Commit))
+            .map(|r| r.txn)
+            .collect();
+        let mut max_txn = 0u64;
+        for rec in &records {
+            max_txn = max_txn.max(rec.txn);
+            self.replay(rec, &committed)?;
+        }
+        self.inner
+            .next_txn
+            .store(max_txn + 1, AtomicOrdering::SeqCst);
+        self.inner.online.store(true, AtomicOrdering::Release);
+        Ok(())
+    }
+
+    fn replay(&self, rec: &LogRecord, committed: &std::collections::HashSet<u64>) -> DbResult<()> {
+        // DDL is auto-committed, so its records always carry a committed txn.
+        match &rec.payload {
+            LogPayload::CreateTable { schema } => {
+                if committed.contains(&rec.txn) {
+                    self.inner.catalog.write().adopt_table(schema.clone());
+                    self.inner.storage.create_table(schema.id);
+                }
+            }
+            LogPayload::CreateIndex { schema } => {
+                if committed.contains(&rec.txn) {
+                    self.inner.catalog.write().adopt_index(schema.clone());
+                    self.inner.storage.create_index(schema.id);
+                    // Backfill from whatever the heap holds at this point.
+                    let rows: Vec<(u64, Row)> = self.inner.storage.with_table(schema.table, |t| {
+                        t.iter().map(|(id, r)| (id, r.clone())).collect()
+                    })?;
+                    for (rowid, row) in rows {
+                        let key = extract_key(schema, &row);
+                        self.inner.storage.with_index_mut(schema.id, |t| {
+                            t.insert(key.clone(), rowid);
+                        })?;
+                    }
+                }
+            }
+            LogPayload::DropTable { table } => {
+                if committed.contains(&rec.txn) {
+                    let name = self
+                        .inner
+                        .catalog
+                        .read()
+                        .table_by_id(TableId(*table))
+                        .map(|s| s.name.clone());
+                    if let Ok(name) = name {
+                        let (tid, idxs) = self.inner.catalog.write().drop_table(&name)?;
+                        self.inner.storage.drop_table(tid);
+                        for ix in idxs {
+                            self.inner.storage.drop_index(ix);
+                        }
+                    }
+                }
+            }
+            LogPayload::Insert { table, rowid, row } => {
+                if committed.contains(&rec.txn) {
+                    let tid = TableId(*table);
+                    self.inner.storage.with_table_mut(tid, |t| t.put(*rowid, row.clone()))?;
+                    for ix in self.indexes_of_snapshot(tid) {
+                        let key = extract_key(&ix, row);
+                        self.inner.storage.with_index_mut(ix.id, |t| {
+                            t.insert(key.clone(), *rowid);
+                        })?;
+                    }
+                }
+            }
+            LogPayload::Delete { table, rowid, row } => {
+                if committed.contains(&rec.txn) {
+                    let tid = TableId(*table);
+                    self.inner.storage.with_table_mut(tid, |t| t.remove(*rowid))?;
+                    for ix in self.indexes_of_snapshot(tid) {
+                        let key = extract_key(&ix, row);
+                        self.inner.storage.with_index_mut(ix.id, |t| {
+                            t.remove(&key, *rowid);
+                        })?;
+                    }
+                }
+            }
+            LogPayload::Update { table, rowid, old, new } => {
+                if committed.contains(&rec.txn) {
+                    let tid = TableId(*table);
+                    self.inner.storage.with_table_mut(tid, |t| {
+                        t.replace(*rowid, new.clone());
+                    })?;
+                    for ix in self.indexes_of_snapshot(tid) {
+                        let ok = extract_key(&ix, old);
+                        let nk = extract_key(&ix, new);
+                        if ok != nk {
+                            self.inner.storage.with_index_mut(ix.id, |t| {
+                                t.remove(&ok, *rowid);
+                                t.insert(nk.clone(), *rowid);
+                            })?;
+                        }
+                    }
+                }
+            }
+            LogPayload::Begin | LogPayload::Commit | LogPayload::Abort => {}
+        }
+        Ok(())
+    }
+
+    /// Is the database online?
+    pub fn is_online(&self) -> bool {
+        self.inner.online.load(AtomicOrdering::Acquire)
+    }
+}
+
+/// Extract an index key from a row.
+pub fn extract_key(ix: &IndexSchema, row: &Row) -> Vec<Value> {
+    ix.key_columns.iter().map(|&i| row[i].clone()).collect()
+}
+
+fn render_key(key: &[Value]) -> String {
+    let parts: Vec<String> = key.iter().map(|v| v.to_string()).collect();
+    format!("({})", parts.join(", "))
+}
+
+fn render_item_name(item: &SelectItem) -> String {
+    match item {
+        SelectItem::Expr(Expr::Col(c)) => c.clone(),
+        SelectItem::Expr(_) => "expr".into(),
+        SelectItem::CountStar => "count".into(),
+        SelectItem::Agg(AggFn::Count, c) => format!("count_{c}"),
+        SelectItem::Agg(AggFn::Min, c) => format!("min_{c}"),
+        SelectItem::Agg(AggFn::Max, c) => format!("max_{c}"),
+        SelectItem::Agg(AggFn::Sum, c) => format!("sum_{c}"),
+    }
+}
+
+fn sort_rows(
+    schema: &TableSchema,
+    rows: &mut [(u64, Row)],
+    order_by: &[OrderKey],
+) -> DbResult<()> {
+    if order_by.is_empty() {
+        return Ok(());
+    }
+    let keys: Vec<(usize, bool)> = order_by
+        .iter()
+        .map(|k| Ok((schema.col_index(&k.column)?, k.desc)))
+        .collect::<DbResult<_>>()?;
+    rows.sort_by(|(_, a), (_, b)| {
+        for &(i, desc) in &keys {
+            let ord = a[i].cmp(&b[i]);
+            if ord != std::cmp::Ordering::Equal {
+                return if desc { ord.reverse() } else { ord };
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(())
+}
+
+fn project(
+    schema: &TableSchema,
+    projection: &Projection,
+    matched: &[(u64, Row)],
+    params: &[Value],
+) -> DbResult<(Vec<String>, Vec<Row>)> {
+    match projection {
+        Projection::Star => Ok((
+            schema.column_names(),
+            matched.iter().map(|(_, r)| r.clone()).collect(),
+        )),
+        Projection::Items(items) => {
+            let mut columns = Vec::with_capacity(items.len());
+            let mut exprs = Vec::with_capacity(items.len());
+            for item in items {
+                match item {
+                    SelectItem::Expr(e) => {
+                        columns.push(render_item_name(item));
+                        exprs.push(e.clone());
+                    }
+                    other => {
+                        return Err(DbError::Plan(format!(
+                            "aggregate {other:?} mixed with row projection"
+                        )))
+                    }
+                }
+            }
+            let mut rows = Vec::with_capacity(matched.len());
+            for (_, r) in matched {
+                let mut out = Vec::with_capacity(exprs.len());
+                for e in &exprs {
+                    out.push(eval(e, schema, r, params)?);
+                }
+                rows.push(out);
+            }
+            Ok((columns, rows))
+        }
+    }
+}
+
+fn compute_aggregates(
+    schema: &TableSchema,
+    items: &[SelectItem],
+    matched: &[(u64, Row)],
+    _params: &[Value],
+) -> DbResult<Row> {
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        match item {
+            SelectItem::CountStar => out.push(Value::Int(matched.len() as i64)),
+            SelectItem::Agg(f, col) => {
+                let i = schema.col_index(col)?;
+                let vals: Vec<&Value> =
+                    matched.iter().map(|(_, r)| &r[i]).filter(|v| !v.is_null()).collect();
+                let v = match f {
+                    AggFn::Count => Value::Int(vals.len() as i64),
+                    AggFn::Min => vals.iter().min().map(|v| (*v).clone()).unwrap_or(Value::Null),
+                    AggFn::Max => vals.iter().max().map(|v| (*v).clone()).unwrap_or(Value::Null),
+                    AggFn::Sum => {
+                        if vals.is_empty() {
+                            Value::Null
+                        } else {
+                            let mut acc = 0i64;
+                            for v in vals {
+                                acc = acc
+                                    .checked_add(v.as_int()?)
+                                    .ok_or_else(|| DbError::Type("SUM overflow".into()))?;
+                            }
+                            Value::Int(acc)
+                        }
+                    }
+                };
+                out.push(v);
+            }
+            SelectItem::Expr(_) => {
+                return Err(DbError::Plan(
+                    "plain expressions mixed with aggregates are unsupported".into(),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,220 @@
+//! Expression evaluation with SQL three-valued logic.
+
+use crate::error::{DbError, DbResult};
+use crate::schema::TableSchema;
+use crate::sql::ast::{ArithOp, Expr};
+use crate::value::{Row, Value};
+
+/// Evaluate `expr` against a row. Comparison/logic operators follow SQL
+/// three-valued logic; unknown is represented as `Value::Null`.
+pub fn eval(expr: &Expr, schema: &TableSchema, row: &Row, params: &[Value]) -> DbResult<Value> {
+    match expr {
+        Expr::Lit(v) => Ok(v.clone()),
+        Expr::Col(name) => {
+            let i = schema.col_index(name)?;
+            Ok(row[i].clone())
+        }
+        Expr::Param(i) => params
+            .get(*i)
+            .cloned()
+            .ok_or(DbError::MissingParam(*i)),
+        Expr::Cmp(l, op, r) => {
+            let lv = eval(l, schema, row, params)?;
+            let rv = eval(r, schema, row, params)?;
+            match lv.sql_cmp(&rv) {
+                None => Ok(Value::Null),
+                Some(ord) => Ok(Value::Bool(op.eval(ord))),
+            }
+        }
+        Expr::And(l, r) => {
+            let lv = eval(l, schema, row, params)?;
+            let rv = eval(r, schema, row, params)?;
+            Ok(three_valued_and(lv, rv)?)
+        }
+        Expr::Or(l, r) => {
+            let lv = eval(l, schema, row, params)?;
+            let rv = eval(r, schema, row, params)?;
+            Ok(three_valued_or(lv, rv)?)
+        }
+        Expr::Not(inner) => match eval(inner, schema, row, params)? {
+            Value::Null => Ok(Value::Null),
+            Value::Bool(b) => Ok(Value::Bool(!b)),
+            other => Err(DbError::Type(format!("NOT applied to {other}"))),
+        },
+        Expr::IsNull(inner, negated) => {
+            let v = eval(inner, schema, row, params)?;
+            let is_null = v.is_null();
+            Ok(Value::Bool(if *negated { !is_null } else { is_null }))
+        }
+        Expr::Arith(l, op, r) => {
+            let lv = eval(l, schema, row, params)?;
+            let rv = eval(r, schema, row, params)?;
+            if lv.is_null() || rv.is_null() {
+                return Ok(Value::Null);
+            }
+            let a = lv.as_int()?;
+            let b = rv.as_int()?;
+            let out = match op {
+                ArithOp::Add => a.checked_add(b),
+                ArithOp::Sub => a.checked_sub(b),
+            }
+            .ok_or_else(|| DbError::Type("integer overflow".into()))?;
+            Ok(Value::Int(out))
+        }
+    }
+}
+
+fn three_valued_and(l: Value, r: Value) -> DbResult<Value> {
+    match (as_tv(l)?, as_tv(r)?) {
+        (Some(false), _) | (_, Some(false)) => Ok(Value::Bool(false)),
+        (Some(true), Some(true)) => Ok(Value::Bool(true)),
+        _ => Ok(Value::Null),
+    }
+}
+
+fn three_valued_or(l: Value, r: Value) -> DbResult<Value> {
+    match (as_tv(l)?, as_tv(r)?) {
+        (Some(true), _) | (_, Some(true)) => Ok(Value::Bool(true)),
+        (Some(false), Some(false)) => Ok(Value::Bool(false)),
+        _ => Ok(Value::Null),
+    }
+}
+
+fn as_tv(v: Value) -> DbResult<Option<bool>> {
+    match v {
+        Value::Null => Ok(None),
+        Value::Bool(b) => Ok(Some(b)),
+        other => Err(DbError::Type(format!("boolean expected, found {other}"))),
+    }
+}
+
+/// Evaluate a predicate: unknown (NULL) filters the row out, as in SQL.
+pub fn eval_pred(
+    expr: &Expr,
+    schema: &TableSchema,
+    row: &Row,
+    params: &[Value],
+) -> DbResult<bool> {
+    match eval(expr, schema, row, params)? {
+        Value::Bool(b) => Ok(b),
+        Value::Null => Ok(false),
+        other => Err(DbError::Type(format!("predicate evaluated to {other}"))),
+    }
+}
+
+/// Evaluate an expression that must not reference columns (e.g. INSERT
+/// values, index probe values).
+pub fn eval_standalone(expr: &Expr, params: &[Value]) -> DbResult<Value> {
+    static EMPTY_SCHEMA: std::sync::OnceLock<TableSchema> = std::sync::OnceLock::new();
+    let schema = EMPTY_SCHEMA.get_or_init(|| TableSchema {
+        id: crate::schema::TableId(0),
+        name: "<standalone>".into(),
+        columns: Vec::new(),
+    });
+    eval(expr, schema, &Vec::new(), params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, TableId};
+    use crate::sql::ast::CmpOp;
+    use crate::value::DataType;
+
+    fn schema() -> TableSchema {
+        TableSchema {
+            id: TableId(1),
+            name: "t".into(),
+            columns: vec![
+                ColumnDef::not_null("a", DataType::BigInt),
+                ColumnDef::new("b", DataType::Varchar),
+            ],
+        }
+    }
+
+    fn cmp(l: Expr, op: CmpOp, r: Expr) -> Expr {
+        Expr::Cmp(Box::new(l), op, Box::new(r))
+    }
+
+    #[test]
+    fn column_and_literal() {
+        let s = schema();
+        let row = vec![Value::Int(5), Value::str("x")];
+        let e = cmp(Expr::Col("a".into()), CmpOp::Gt, Expr::Lit(Value::Int(3)));
+        assert_eq!(eval(&e, &s, &row, &[]).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn null_propagates_through_comparison() {
+        let s = schema();
+        let row = vec![Value::Int(5), Value::Null];
+        let e = cmp(Expr::Col("b".into()), CmpOp::Eq, Expr::Lit(Value::str("x")));
+        assert_eq!(eval(&e, &s, &row, &[]).unwrap(), Value::Null);
+        assert!(!eval_pred(&e, &s, &row, &[]).unwrap());
+    }
+
+    #[test]
+    fn three_valued_logic_tables() {
+        let s = schema();
+        let row = vec![Value::Int(1), Value::Null];
+        let null_pred =
+            cmp(Expr::Col("b".into()), CmpOp::Eq, Expr::Lit(Value::str("x")));
+        let true_pred = cmp(Expr::Col("a".into()), CmpOp::Eq, Expr::Lit(Value::Int(1)));
+        let false_pred = cmp(Expr::Col("a".into()), CmpOp::Eq, Expr::Lit(Value::Int(2)));
+        // NULL AND FALSE = FALSE
+        let e = Expr::And(Box::new(null_pred.clone()), Box::new(false_pred.clone()));
+        assert_eq!(eval(&e, &s, &row, &[]).unwrap(), Value::Bool(false));
+        // NULL AND TRUE = NULL
+        let e = Expr::And(Box::new(null_pred.clone()), Box::new(true_pred.clone()));
+        assert_eq!(eval(&e, &s, &row, &[]).unwrap(), Value::Null);
+        // NULL OR TRUE = TRUE
+        let e = Expr::Or(Box::new(null_pred.clone()), Box::new(true_pred));
+        assert_eq!(eval(&e, &s, &row, &[]).unwrap(), Value::Bool(true));
+        // NOT NULL = NULL
+        let e = Expr::Not(Box::new(null_pred));
+        assert_eq!(eval(&e, &s, &row, &[]).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn is_null_predicates() {
+        let s = schema();
+        let row = vec![Value::Int(1), Value::Null];
+        let e = Expr::IsNull(Box::new(Expr::Col("b".into())), false);
+        assert_eq!(eval(&e, &s, &row, &[]).unwrap(), Value::Bool(true));
+        let e = Expr::IsNull(Box::new(Expr::Col("b".into())), true);
+        assert_eq!(eval(&e, &s, &row, &[]).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn params_resolve() {
+        let s = schema();
+        let row = vec![Value::Int(7), Value::Null];
+        let e = cmp(Expr::Col("a".into()), CmpOp::Eq, Expr::Param(0));
+        assert_eq!(eval(&e, &s, &row, &[Value::Int(7)]).unwrap(), Value::Bool(true));
+        assert!(matches!(eval(&e, &s, &row, &[]), Err(DbError::MissingParam(0))));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = Expr::Arith(
+            Box::new(Expr::Lit(Value::Int(40))),
+            ArithOp::Add,
+            Box::new(Expr::Lit(Value::Int(2))),
+        );
+        assert_eq!(eval_standalone(&e, &[]).unwrap(), Value::Int(42));
+        let o = Expr::Arith(
+            Box::new(Expr::Lit(Value::Int(i64::MAX))),
+            ArithOp::Add,
+            Box::new(Expr::Lit(Value::Int(1))),
+        );
+        assert!(eval_standalone(&o, &[]).is_err());
+    }
+
+    #[test]
+    fn type_errors_reported() {
+        let s = schema();
+        let row = vec![Value::Int(1), Value::str("x")];
+        let e = Expr::Not(Box::new(Expr::Col("a".into())));
+        assert!(matches!(eval(&e, &s, &row, &[]), Err(DbError::Type(_))));
+    }
+}

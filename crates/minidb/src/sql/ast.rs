@@ -1,0 +1,228 @@
+//! Abstract syntax tree for the supported SQL subset.
+
+use crate::value::{DataType, Value};
+
+/// Comparison operators.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate against an `Ordering`.
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+/// Arithmetic operators (integer only).
+#[allow(missing_docs)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+}
+
+/// Scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Lit(Value),
+    /// Column reference (unqualified, lowercased by the parser).
+    Col(String),
+    /// Positional parameter marker (0-based).
+    Param(usize),
+    /// Comparison.
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// `expr IS NULL` (`negated` for IS NOT NULL).
+    IsNull(Box<Expr>, bool),
+    /// Integer arithmetic.
+    Arith(Box<Expr>, ArithOp, Box<Expr>),
+}
+
+impl Expr {
+    /// Helper: `col = literal`.
+    pub fn col_eq(col: &str, v: impl Into<Value>) -> Expr {
+        Expr::Cmp(
+            Box::new(Expr::Col(col.to_ascii_lowercase())),
+            CmpOp::Eq,
+            Box::new(Expr::Lit(v.into())),
+        )
+    }
+
+    /// Flatten a conjunction tree into its leaves.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        match self {
+            Expr::And(a, b) => {
+                let mut v = a.conjuncts();
+                v.extend(b.conjuncts());
+                v
+            }
+            other => vec![other],
+        }
+    }
+}
+
+/// Aggregate functions (no GROUP BY; whole-result aggregates only).
+#[allow(missing_docs)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    Count,
+    Min,
+    Max,
+    Sum,
+}
+
+/// One projected item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// Plain expression (usually a column).
+    Expr(Expr),
+    /// `COUNT(*)`.
+    CountStar,
+    /// Aggregate over a column.
+    Agg(AggFn, String),
+}
+
+/// Projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// `*`
+    Star,
+    /// Explicit items.
+    Items(Vec<SelectItem>),
+}
+
+/// ORDER BY key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderKey {
+    /// Column name.
+    pub column: String,
+    /// Descending?
+    pub desc: bool,
+}
+
+/// A SELECT statement (single table; optional EXCEPT chain).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Projection.
+    pub projection: Projection,
+    /// Source table.
+    pub table: String,
+    /// WHERE clause.
+    pub filter: Option<Expr>,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderKey>,
+    /// FOR UPDATE takes X row locks instead of S.
+    pub for_update: bool,
+    /// `EXCEPT <select>` (set difference; used by the Reconcile utility).
+    pub except: Option<Box<SelectStmt>>,
+}
+
+/// Any statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// CREATE TABLE.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// (column, type, not_null).
+        columns: Vec<(String, DataType, bool)>,
+    },
+    /// `CREATE [UNIQUE] INDEX`.
+    CreateIndex {
+        /// Index name.
+        name: String,
+        /// Table name.
+        table: String,
+        /// Key columns in order.
+        columns: Vec<String>,
+        /// Uniqueness.
+        unique: bool,
+    },
+    /// DROP TABLE.
+    DropTable {
+        /// Table name.
+        name: String,
+    },
+    /// INSERT ... VALUES.
+    Insert {
+        /// Table name.
+        table: String,
+        /// Optional explicit column list.
+        columns: Option<Vec<String>>,
+        /// One row of value expressions.
+        values: Vec<Expr>,
+    },
+    /// SELECT.
+    Select(SelectStmt),
+    /// UPDATE ... SET.
+    Update {
+        /// Table name.
+        table: String,
+        /// SET assignments.
+        sets: Vec<(String, Expr)>,
+        /// WHERE clause.
+        filter: Option<Expr>,
+    },
+    /// DELETE FROM.
+    Delete {
+        /// Table name.
+        table: String,
+        /// WHERE clause.
+        filter: Option<Expr>,
+    },
+    /// EXPLAIN of a DML statement: returns the chosen plan as text.
+    Explain(Box<Stmt>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_eval() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Eq.eval(Equal));
+        assert!(CmpOp::Le.eval(Equal));
+        assert!(CmpOp::Le.eval(Less));
+        assert!(!CmpOp::Lt.eval(Equal));
+        assert!(CmpOp::Ne.eval(Greater));
+        assert!(CmpOp::Ge.eval(Greater));
+    }
+
+    #[test]
+    fn conjunct_flattening() {
+        let e = Expr::And(
+            Box::new(Expr::col_eq("a", 1)),
+            Box::new(Expr::And(
+                Box::new(Expr::col_eq("b", 2)),
+                Box::new(Expr::col_eq("c", 3)),
+            )),
+        );
+        assert_eq!(e.conjuncts().len(), 3);
+        // OR does not flatten.
+        let o = Expr::Or(Box::new(Expr::col_eq("a", 1)), Box::new(Expr::col_eq("b", 2)));
+        assert_eq!(o.conjuncts().len(), 1);
+    }
+}

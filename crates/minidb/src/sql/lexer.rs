@@ -1,0 +1,242 @@
+//! Hand-written SQL lexer.
+
+use crate::error::{DbError, DbResult};
+
+/// A lexical token. Identifiers are kept verbatim; keyword recognition
+/// happens in the parser (case-insensitively).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal with quotes removed and `''` unescaped.
+    Str(String),
+    /// `?` parameter marker.
+    Param,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+}
+
+/// Split `input` into tokens.
+pub fn lex(input: &str) -> DbResult<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '?' => {
+                out.push(Token::Param);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(DbError::Parse(format!("unexpected '!' at offset {i}")));
+                }
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some('=') => {
+                        out.push(Token::Le);
+                        i += 2;
+                    }
+                    Some('>') => {
+                        out.push(Token::Ne);
+                        i += 2;
+                    }
+                    _ => {
+                        out.push(Token::Lt);
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '-' => {
+                // `--` starts a line comment.
+                if bytes.get(i + 1) == Some(&'-') {
+                    while i < bytes.len() && bytes[i] != '\n' {
+                        i += 1;
+                    }
+                } else {
+                    out.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(DbError::Parse("unterminated string literal".into())),
+                        Some('\'') => {
+                            if bytes.get(i + 1) == Some(&'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let n = text
+                    .parse::<i64>()
+                    .map_err(|_| DbError::Parse(format!("integer literal too large: {text}")))?;
+                out.push(Token::Int(n));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(bytes[start..i].iter().collect()));
+            }
+            other => {
+                return Err(DbError::Parse(format!("unexpected character '{other}' at offset {i}")))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_basic_statement() {
+        let toks = lex("SELECT * FROM dfm_file WHERE filename = 'a''b' AND n >= 10").unwrap();
+        assert!(toks.contains(&Token::Star));
+        assert!(toks.contains(&Token::Str("a'b".into())));
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::Int(10)));
+    }
+
+    #[test]
+    fn lex_operators() {
+        assert_eq!(lex("<>").unwrap(), vec![Token::Ne]);
+        assert_eq!(lex("!=").unwrap(), vec![Token::Ne]);
+        assert_eq!(lex("<=").unwrap(), vec![Token::Le]);
+        assert_eq!(lex("<").unwrap(), vec![Token::Lt]);
+        assert_eq!(lex("+ -").unwrap(), vec![Token::Plus, Token::Minus]);
+    }
+
+    #[test]
+    fn lex_comments_skipped() {
+        let toks = lex("SELECT 1 -- trailing comment\n, 2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Int(1),
+                Token::Comma,
+                Token::Int(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_params() {
+        let toks = lex("VALUES (?, ?, 3)").unwrap();
+        assert_eq!(toks.iter().filter(|t| **t == Token::Param).count(), 2);
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("a ! b").is_err());
+        assert!(lex("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn identifiers_with_underscores() {
+        let toks = lex("dfm_file_2 _x").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Ident("dfm_file_2".into()), Token::Ident("_x".into())]
+        );
+    }
+}

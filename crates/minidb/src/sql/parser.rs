@@ -1,0 +1,565 @@
+//! Recursive-descent parser for the SQL subset.
+
+use crate::error::{DbError, DbResult};
+use crate::value::{DataType, Value};
+
+use super::ast::*;
+use super::lexer::{lex, Token};
+
+/// Parse one statement.
+pub fn parse(sql: &str) -> DbResult<Stmt> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_if(&Token::Semi);
+    if !p.at_end() {
+        return Err(DbError::Parse(format!("trailing tokens after statement: {:?}", p.peek())));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> DbResult<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| DbError::Parse("unexpected end of statement".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, t: &Token) -> DbResult<()> {
+        let got = self.next()?;
+        if &got == t {
+            Ok(())
+        } else {
+            Err(DbError::Parse(format!("expected {t:?}, found {got:?}")))
+        }
+    }
+
+    fn eat_if(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume a keyword (case-insensitive identifier match).
+    fn keyword(&mut self, kw: &str) -> DbResult<()> {
+        match self.next()? {
+            Token::Ident(s) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(DbError::Parse(format!("expected {kw}, found {other:?}"))),
+        }
+    }
+
+    /// Peek: is the next token the given keyword?
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> DbResult<String> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s.to_ascii_lowercase()),
+            other => Err(DbError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn statement(&mut self) -> DbResult<Stmt> {
+        if self.at_keyword("CREATE") {
+            return self.create();
+        }
+        if self.at_keyword("DROP") {
+            self.keyword("DROP")?;
+            self.keyword("TABLE")?;
+            let name = self.ident()?;
+            return Ok(Stmt::DropTable { name });
+        }
+        if self.at_keyword("INSERT") {
+            return self.insert();
+        }
+        if self.at_keyword("SELECT") {
+            return Ok(Stmt::Select(self.select()?));
+        }
+        if self.at_keyword("UPDATE") {
+            return self.update();
+        }
+        if self.at_keyword("DELETE") {
+            return self.delete();
+        }
+        if self.at_keyword("EXPLAIN") {
+            self.keyword("EXPLAIN")?;
+            let inner = self.statement()?;
+            return Ok(Stmt::Explain(Box::new(inner)));
+        }
+        Err(DbError::Parse(format!("unsupported statement start: {:?}", self.peek())))
+    }
+
+    fn create(&mut self) -> DbResult<Stmt> {
+        self.keyword("CREATE")?;
+        let unique = self.eat_keyword("UNIQUE");
+        if self.eat_keyword("INDEX") {
+            let name = self.ident()?;
+            self.keyword("ON")?;
+            let table = self.ident()?;
+            self.expect(&Token::LParen)?;
+            let mut columns = vec![self.ident()?];
+            while self.eat_if(&Token::Comma) {
+                columns.push(self.ident()?);
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Stmt::CreateIndex { name, table, columns, unique });
+        }
+        if unique {
+            return Err(DbError::Parse("UNIQUE is only valid for CREATE UNIQUE INDEX".into()));
+        }
+        self.keyword("TABLE")?;
+        let name = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let ty = self.data_type()?;
+            let mut not_null = false;
+            if self.eat_keyword("NOT") {
+                self.keyword("NULL")?;
+                not_null = true;
+            }
+            columns.push((col, ty, not_null));
+            if !self.eat_if(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(Stmt::CreateTable { name, columns })
+    }
+
+    fn data_type(&mut self) -> DbResult<DataType> {
+        let name = self.ident()?;
+        let ty = match name.as_str() {
+            "bigint" => DataType::BigInt,
+            "integer" | "int" => DataType::Integer,
+            "varchar" | "text" => DataType::Varchar,
+            "boolean" | "bool" => DataType::Boolean,
+            "timestamp" => DataType::Timestamp,
+            "blob" => DataType::Blob,
+            "datalink" => DataType::Datalink,
+            other => return Err(DbError::Parse(format!("unknown type {other}"))),
+        };
+        // Optional length like VARCHAR(255): parsed and ignored.
+        if self.eat_if(&Token::LParen) {
+            match self.next()? {
+                Token::Int(_) => {}
+                other => return Err(DbError::Parse(format!("expected length, found {other:?}"))),
+            }
+            self.expect(&Token::RParen)?;
+        }
+        Ok(ty)
+    }
+
+    fn insert(&mut self) -> DbResult<Stmt> {
+        self.keyword("INSERT")?;
+        self.keyword("INTO")?;
+        let table = self.ident()?;
+        let mut columns = None;
+        if self.eat_if(&Token::LParen) {
+            let mut cols = vec![self.ident()?];
+            while self.eat_if(&Token::Comma) {
+                cols.push(self.ident()?);
+            }
+            self.expect(&Token::RParen)?;
+            columns = Some(cols);
+        }
+        self.keyword("VALUES")?;
+        self.expect(&Token::LParen)?;
+        let mut values = vec![self.expr()?];
+        while self.eat_if(&Token::Comma) {
+            values.push(self.expr()?);
+        }
+        self.expect(&Token::RParen)?;
+        Ok(Stmt::Insert { table, columns, values })
+    }
+
+    fn select(&mut self) -> DbResult<SelectStmt> {
+        self.keyword("SELECT")?;
+        let projection = if self.eat_if(&Token::Star) {
+            Projection::Star
+        } else {
+            let mut items = vec![self.select_item()?];
+            while self.eat_if(&Token::Comma) {
+                items.push(self.select_item()?);
+            }
+            Projection::Items(items)
+        };
+        self.keyword("FROM")?;
+        let table = self.ident()?;
+        let filter = if self.eat_keyword("WHERE") { Some(self.expr()?) } else { None };
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.keyword("BY")?;
+            loop {
+                let column = self.ident()?;
+                let desc = if self.eat_keyword("DESC") {
+                    true
+                } else {
+                    self.eat_keyword("ASC");
+                    false
+                };
+                order_by.push(OrderKey { column, desc });
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut for_update = false;
+        if self.eat_keyword("FOR") {
+            self.keyword("UPDATE")?;
+            for_update = true;
+        }
+        let except = if self.eat_keyword("EXCEPT") {
+            Some(Box::new(self.select()?))
+        } else {
+            None
+        };
+        Ok(SelectStmt { projection, table, filter, order_by, for_update, except })
+    }
+
+    fn select_item(&mut self) -> DbResult<SelectItem> {
+        for (kw, agg) in [
+            ("COUNT", AggFn::Count),
+            ("MIN", AggFn::Min),
+            ("MAX", AggFn::Max),
+            ("SUM", AggFn::Sum),
+        ] {
+            if self.at_keyword(kw) && self.tokens.get(self.pos + 1) == Some(&Token::LParen) {
+                self.keyword(kw)?;
+                self.expect(&Token::LParen)?;
+                if agg == AggFn::Count && self.eat_if(&Token::Star) {
+                    self.expect(&Token::RParen)?;
+                    return Ok(SelectItem::CountStar);
+                }
+                let col = self.ident()?;
+                self.expect(&Token::RParen)?;
+                return Ok(SelectItem::Agg(agg, col));
+            }
+        }
+        Ok(SelectItem::Expr(self.expr()?))
+    }
+
+    fn update(&mut self) -> DbResult<Stmt> {
+        self.keyword("UPDATE")?;
+        let table = self.ident()?;
+        self.keyword("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect(&Token::Eq)?;
+            sets.push((col, self.expr()?));
+            if !self.eat_if(&Token::Comma) {
+                break;
+            }
+        }
+        let filter = if self.eat_keyword("WHERE") { Some(self.expr()?) } else { None };
+        Ok(Stmt::Update { table, sets, filter })
+    }
+
+    fn delete(&mut self) -> DbResult<Stmt> {
+        self.keyword("DELETE")?;
+        self.keyword("FROM")?;
+        let table = self.ident()?;
+        let filter = if self.eat_keyword("WHERE") { Some(self.expr()?) } else { None };
+        Ok(Stmt::Delete { table, filter })
+    }
+
+    // Expression grammar: or_expr > and_expr > not_expr > predicate > arith > primary
+    fn expr(&mut self) -> DbResult<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> DbResult<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let right = self.and_expr()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> DbResult<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let right = self.not_expr()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> DbResult<Expr> {
+        if self.eat_keyword("NOT") {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        self.predicate()
+    }
+
+    fn predicate(&mut self) -> DbResult<Expr> {
+        let left = self.arith()?;
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.keyword("NULL")?;
+            return Ok(Expr::IsNull(Box::new(left), negated));
+        }
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(CmpOp::Eq),
+            Some(Token::Ne) => Some(CmpOp::Ne),
+            Some(Token::Lt) => Some(CmpOp::Lt),
+            Some(Token::Le) => Some(CmpOp::Le),
+            Some(Token::Gt) => Some(CmpOp::Gt),
+            Some(Token::Ge) => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.arith()?;
+            return Ok(Expr::Cmp(Box::new(left), op, Box::new(right)));
+        }
+        Ok(left)
+    }
+
+    fn arith(&mut self) -> DbResult<Expr> {
+        let mut left = self.primary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => ArithOp::Add,
+                Some(Token::Minus) => ArithOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.primary()?;
+            left = Expr::Arith(Box::new(left), op, Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn primary(&mut self) -> DbResult<Expr> {
+        match self.next()? {
+            Token::Int(n) => Ok(Expr::Lit(Value::Int(n))),
+            Token::Minus => match self.next()? {
+                Token::Int(n) => Ok(Expr::Lit(Value::Int(-n))),
+                other => Err(DbError::Parse(format!("expected number after '-', found {other:?}"))),
+            },
+            Token::Str(s) => Ok(Expr::Lit(Value::Str(s))),
+            Token::Param => {
+                // Parameter ordinals are assigned left-to-right by counting
+                // previously seen markers.
+                let idx = self.tokens[..self.pos - 1]
+                    .iter()
+                    .filter(|t| **t == Token::Param)
+                    .count();
+                Ok(Expr::Param(idx))
+            }
+            Token::LParen => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(s) => {
+                if s.eq_ignore_ascii_case("NULL") {
+                    Ok(Expr::Lit(Value::Null))
+                } else if s.eq_ignore_ascii_case("TRUE") {
+                    Ok(Expr::Lit(Value::Bool(true)))
+                } else if s.eq_ignore_ascii_case("FALSE") {
+                    Ok(Expr::Lit(Value::Bool(false)))
+                } else {
+                    Ok(Expr::Col(s.to_ascii_lowercase()))
+                }
+            }
+            other => Err(DbError::Parse(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_create_table() {
+        let s = parse(
+            "CREATE TABLE dfm_file (file_id BIGINT NOT NULL, filename VARCHAR(255) NOT NULL, \
+             lnk_state INTEGER, rec_id TIMESTAMP)",
+        )
+        .unwrap();
+        match s {
+            Stmt::CreateTable { name, columns } => {
+                assert_eq!(name, "dfm_file");
+                assert_eq!(columns.len(), 4);
+                assert_eq!(columns[0], ("file_id".into(), DataType::BigInt, true));
+                assert_eq!(columns[2], ("lnk_state".into(), DataType::Integer, false));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_create_unique_index() {
+        let s = parse("CREATE UNIQUE INDEX ix_f ON dfm_file (filename, check_flag)").unwrap();
+        match s {
+            Stmt::CreateIndex { name, table, columns, unique } => {
+                assert_eq!(name, "ix_f");
+                assert_eq!(table, "dfm_file");
+                assert_eq!(columns, vec!["filename", "check_flag"]);
+                assert!(unique);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_insert_with_params() {
+        let s = parse("INSERT INTO t (a, b, c) VALUES (?, 'x', ? + 1)").unwrap();
+        match s {
+            Stmt::Insert { table, columns, values } => {
+                assert_eq!(table, "t");
+                assert_eq!(columns.unwrap().len(), 3);
+                assert_eq!(values[0], Expr::Param(0));
+                match &values[2] {
+                    Expr::Arith(l, ArithOp::Add, _) => assert_eq!(**l, Expr::Param(1)),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_select_full() {
+        let s = parse(
+            "SELECT filename, rec_id FROM dfm_file WHERE dbid = 3 AND lnk_state = 1 \
+             ORDER BY rec_id DESC, filename FOR UPDATE",
+        )
+        .unwrap();
+        match s {
+            Stmt::Select(sel) => {
+                assert_eq!(sel.table, "dfm_file");
+                assert!(sel.for_update);
+                assert_eq!(sel.order_by.len(), 2);
+                assert!(sel.order_by[0].desc);
+                assert!(!sel.order_by[1].desc);
+                let f = sel.filter.unwrap();
+                assert_eq!(f.conjuncts().len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_select_except() {
+        let s = parse("SELECT filename FROM tmp_recon EXCEPT SELECT filename FROM dfm_file")
+            .unwrap();
+        match s {
+            Stmt::Select(sel) => {
+                assert!(sel.except.is_some());
+                assert_eq!(sel.except.unwrap().table, "dfm_file");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_aggregates() {
+        let s = parse("SELECT COUNT(*), MAX(rec_id) FROM dfm_file WHERE grp_id = 9").unwrap();
+        match s {
+            Stmt::Select(sel) => match sel.projection {
+                Projection::Items(items) => {
+                    assert_eq!(items[0], SelectItem::CountStar);
+                    assert_eq!(items[1], SelectItem::Agg(AggFn::Max, "rec_id".into()));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_update_delete() {
+        let s = parse("UPDATE dfm_file SET lnk_state = 2, unlink_xid = ? WHERE filename = ?")
+            .unwrap();
+        match s {
+            Stmt::Update { sets, filter, .. } => {
+                assert_eq!(sets.len(), 2);
+                assert_eq!(sets[1].1, Expr::Param(0));
+                match filter.unwrap() {
+                    Expr::Cmp(_, CmpOp::Eq, rhs) => assert_eq!(*rhs, Expr::Param(1)),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let d = parse("DELETE FROM dfm_xact WHERE xid = 42").unwrap();
+        assert!(matches!(d, Stmt::Delete { .. }));
+    }
+
+    #[test]
+    fn parse_is_null_and_not() {
+        let s = parse("SELECT * FROM t WHERE a IS NULL AND b IS NOT NULL AND NOT c = 1").unwrap();
+        match s {
+            Stmt::Select(sel) => {
+                let f = sel.filter.unwrap();
+                assert_eq!(f.conjuncts().len(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_explain() {
+        let s = parse("EXPLAIN SELECT * FROM t WHERE a = 1").unwrap();
+        assert!(matches!(s, Stmt::Explain(_)));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("CREATE UNIQUE TABLE t (a INT)").is_err());
+        assert!(parse("INSERT INTO t VALUES (1) garbage").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn parse_negative_literals_and_booleans() {
+        let s = parse("INSERT INTO t (a, b, c) VALUES (-5, TRUE, NULL)").unwrap();
+        match s {
+            Stmt::Insert { values, .. } => {
+                assert_eq!(values[0], Expr::Lit(Value::Int(-5)));
+                assert_eq!(values[1], Expr::Lit(Value::Bool(true)));
+                assert_eq!(values[2], Expr::Lit(Value::Null));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Catalog statistics and the RUNSTATS machinery.
+//!
+//! The cost-based optimizer chooses access paths purely from these numbers.
+//! The paper's lesson (§3.2.1, §4): with fresh/small statistics the
+//! optimizer prefers table scans even when an index exists, which causes
+//! lock storms under concurrency — so DLFM *hand-crafts* the statistics
+//! before binding its plans, and re-asserts them if a user-issued RUNSTATS
+//! overwrites the hand-crafted values.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::schema::{IndexId, TableId};
+
+/// Statistics for one table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct TableStats {
+    /// Estimated row count.
+    pub cardinality: u64,
+    /// True when set by hand (`set_table_stats`) rather than RUNSTATS.
+    pub hand_crafted: bool,
+}
+
+
+/// Statistics for one index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct IndexStats {
+    /// Estimated number of distinct full keys.
+    pub distinct_keys: u64,
+    /// True when set by hand.
+    pub hand_crafted: bool,
+}
+
+
+/// All statistics of a database. Owned by the catalog.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct StatsRegistry {
+    tables: HashMap<u32, TableStats>,
+    indexes: HashMap<u32, IndexStats>,
+    /// Bumped on every mutation; plan caches compare generations to notice
+    /// stats changes (DLFM's "check for changes in metadata statistics").
+    pub generation: u64,
+}
+
+impl StatsRegistry {
+    /// Stats for a table (default if never collected).
+    pub fn table(&self, id: TableId) -> TableStats {
+        self.tables.get(&id.0).copied().unwrap_or_default()
+    }
+
+    /// Stats for an index (default if never collected).
+    pub fn index(&self, id: IndexId) -> IndexStats {
+        self.indexes.get(&id.0).copied().unwrap_or_default()
+    }
+
+    /// Hand-craft table statistics (the paper's utility). Marks them so a
+    /// later RUNSTATS overwrite is detectable.
+    pub fn set_table_stats(&mut self, id: TableId, cardinality: u64) {
+        self.tables.insert(id.0, TableStats { cardinality, hand_crafted: true });
+        self.generation += 1;
+    }
+
+    /// Hand-craft index statistics.
+    pub fn set_index_stats(&mut self, id: IndexId, distinct_keys: u64) {
+        self.indexes.insert(id.0, IndexStats { distinct_keys, hand_crafted: true });
+        self.generation += 1;
+    }
+
+    /// Record measured statistics (RUNSTATS). Clears the hand-crafted flag —
+    /// this is the overwrite hazard the paper warns about.
+    pub fn runstats_table(&mut self, id: TableId, cardinality: u64) {
+        self.tables.insert(id.0, TableStats { cardinality, hand_crafted: false });
+        self.generation += 1;
+    }
+
+    /// Record measured index statistics.
+    pub fn runstats_index(&mut self, id: IndexId, distinct_keys: u64) {
+        self.indexes.insert(id.0, IndexStats { distinct_keys, hand_crafted: false });
+        self.generation += 1;
+    }
+
+    /// Remove stats for dropped objects.
+    pub fn forget_table(&mut self, id: TableId) {
+        self.tables.remove(&id.0);
+        self.generation += 1;
+    }
+
+    /// Remove stats for a dropped index.
+    pub fn forget_index(&mut self, id: IndexId) {
+        self.indexes.remove(&id.0);
+        self.generation += 1;
+    }
+
+    /// True when any previously hand-crafted statistic has been replaced by
+    /// measured values — the trigger for DLFM to re-apply its overrides and
+    /// rebind plans.
+    pub fn hand_crafted(&self, id: TableId) -> bool {
+        self.table(id).hand_crafted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_model_fresh_tables() {
+        let s = StatsRegistry::default();
+        assert_eq!(s.table(TableId(1)).cardinality, 0);
+        assert_eq!(s.index(IndexId(1)).distinct_keys, 0);
+    }
+
+    #[test]
+    fn hand_crafted_flag_survives_until_runstats() {
+        let mut s = StatsRegistry::default();
+        s.set_table_stats(TableId(1), 1_000_000);
+        assert!(s.hand_crafted(TableId(1)));
+        assert_eq!(s.table(TableId(1)).cardinality, 1_000_000);
+        s.runstats_table(TableId(1), 12);
+        assert!(!s.hand_crafted(TableId(1)));
+        assert_eq!(s.table(TableId(1)).cardinality, 12);
+    }
+
+    #[test]
+    fn generation_bumps_on_every_mutation() {
+        let mut s = StatsRegistry::default();
+        let g0 = s.generation;
+        s.set_table_stats(TableId(1), 5);
+        s.set_index_stats(IndexId(2), 5);
+        s.runstats_table(TableId(1), 6);
+        assert_eq!(s.generation, g0 + 3);
+    }
+}

@@ -1,0 +1,455 @@
+//! Physical storage: row heaps and B-tree indexes, guarded by short-lived
+//! latches (`parking_lot::RwLock`). Logical concurrency control lives in the
+//! lock manager; latches are never held across a lock wait.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{DbError, DbResult};
+use crate::schema::{IndexId, TableId};
+use crate::value::{Row, Value};
+
+/// Heap of one table. Row ids are slot positions and are stable for the
+/// table lifetime (slots are reused only after a delete).
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct TableData {
+    rows: Vec<Option<Row>>,
+    free: Vec<u64>,
+    live: usize,
+}
+
+impl TableData {
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no live rows exist.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Reserve a slot for an insert, returning its row id.
+    pub fn reserve(&mut self) -> u64 {
+        match self.free.pop() {
+            Some(id) => id,
+            None => {
+                self.rows.push(None);
+                (self.rows.len() - 1) as u64
+            }
+        }
+    }
+
+    /// Place a row at a previously reserved (or recovered) slot.
+    pub fn put(&mut self, rowid: u64, row: Row) {
+        let idx = rowid as usize;
+        if idx >= self.rows.len() {
+            self.rows.resize(idx + 1, None);
+        }
+        if self.rows[idx].is_none() {
+            self.live += 1;
+        }
+        self.rows[idx] = Some(row);
+        self.free.retain(|&f| f != rowid);
+    }
+
+    /// Fetch a row by id.
+    pub fn get(&self, rowid: u64) -> Option<&Row> {
+        self.rows.get(rowid as usize).and_then(|r| r.as_ref())
+    }
+
+    /// Remove a row, returning its image.
+    ///
+    /// The slot is NOT recycled yet: the deleting transaction still holds
+    /// the row's X lock, and reusing the slot before that transaction
+    /// resolves would hand a new row a locked identity (and an abort would
+    /// restore the old image over it). [`TableData::release_slot`] recycles
+    /// it at commit time.
+    pub fn remove(&mut self, rowid: u64) -> Option<Row> {
+        let slot = self.rows.get_mut(rowid as usize)?;
+        let old = slot.take();
+        if old.is_some() {
+            self.live -= 1;
+        }
+        old
+    }
+
+    /// Recycle a deleted slot once the deleting transaction has committed.
+    pub fn release_slot(&mut self, rowid: u64) {
+        let idx = rowid as usize;
+        if idx < self.rows.len() && self.rows[idx].is_none() && !self.free.contains(&rowid) {
+            self.free.push(rowid);
+        }
+    }
+
+    /// Replace a row in place, returning the old image.
+    pub fn replace(&mut self, rowid: u64, row: Row) -> Option<Row> {
+        let slot = self.rows.get_mut(rowid as usize)?;
+        let old = slot.replace(row);
+        if old.is_none() {
+            self.live += 1;
+        }
+        old
+    }
+
+    /// Iterate live `(rowid, row)` pairs in row-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &Row)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|row| (i as u64, row)))
+    }
+}
+
+/// One B-tree index: ordered map from key to the set of row ids.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct IndexData {
+    tree: BTreeMap<Vec<Value>, BTreeSet<u64>>,
+}
+
+impl IndexData {
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Total (key, rowid) entries.
+    pub fn entries(&self) -> usize {
+        self.tree.values().map(|s| s.len()).sum()
+    }
+
+    /// Row ids for an exact key.
+    pub fn get(&self, key: &[Value]) -> Vec<u64> {
+        self.tree.get(key).map(|s| s.iter().copied().collect()).unwrap_or_default()
+    }
+
+    /// True if the key has at least one entry.
+    pub fn contains_key(&self, key: &[Value]) -> bool {
+        self.tree.contains_key(key)
+    }
+
+    /// Insert an entry. Returns `false` if (key,rowid) already existed.
+    pub fn insert(&mut self, key: Vec<Value>, rowid: u64) -> bool {
+        self.tree.entry(key).or_default().insert(rowid)
+    }
+
+    /// Remove an entry; prunes empty key nodes.
+    pub fn remove(&mut self, key: &[Value], rowid: u64) -> bool {
+        if let Some(set) = self.tree.get_mut(key) {
+            let removed = set.remove(&rowid);
+            if set.is_empty() {
+                self.tree.remove(key);
+            }
+            removed
+        } else {
+            false
+        }
+    }
+
+    /// The smallest key strictly greater than `key`, i.e. the *next key*
+    /// ARIES/KVL-style next-key locking protects.
+    pub fn next_key(&self, key: &[Value]) -> Option<Vec<Value>> {
+        use std::ops::Bound;
+        self.tree
+            .range::<[Value], _>((Bound::Excluded(key), Bound::Unbounded))
+            .next()
+            .map(|(k, _)| k.clone())
+    }
+
+    /// All `(key, rowids)` whose key has `prefix` as its leading columns,
+    /// in key order.
+    pub fn prefix_scan(&self, prefix: &[Value]) -> Vec<(Vec<Value>, Vec<u64>)> {
+        use std::ops::Bound;
+        let mut out = Vec::new();
+        for (k, set) in
+            self.tree.range::<[Value], _>((Bound::Included(prefix), Bound::Unbounded))
+        {
+            if k.len() < prefix.len() || &k[..prefix.len()] != prefix {
+                break;
+            }
+            out.push((k.clone(), set.iter().copied().collect()));
+        }
+        out
+    }
+
+    /// Every `(key, rowids)` pair in key order.
+    pub fn full_scan(&self) -> Vec<(Vec<Value>, Vec<u64>)> {
+        self.tree.iter().map(|(k, s)| (k.clone(), s.iter().copied().collect())).collect()
+    }
+
+    /// Keys matching `prefix` on the leading columns with the next key
+    /// column bounded by `lo`/`hi` (each `(value, inclusive)`), in key
+    /// order. With an empty prefix this is a range over the first column.
+    pub fn range_scan(
+        &self,
+        prefix: &[Value],
+        lo: Option<(&Value, bool)>,
+        hi: Option<(&Value, bool)>,
+    ) -> Vec<(Vec<Value>, Vec<u64>)> {
+        let in_range = |v: &Value| {
+            if let Some((bound, inclusive)) = &lo {
+                match v.cmp(bound) {
+                    std::cmp::Ordering::Less => return false,
+                    std::cmp::Ordering::Equal if !inclusive => return false,
+                    _ => {}
+                }
+            }
+            if let Some((bound, inclusive)) = &hi {
+                match v.cmp(bound) {
+                    std::cmp::Ordering::Greater => return false,
+                    std::cmp::Ordering::Equal if !inclusive => return false,
+                    _ => {}
+                }
+            }
+            true
+        };
+        self.prefix_scan(prefix)
+            .into_iter()
+            .filter(|(k, _)| match k.get(prefix.len()) {
+                Some(v) => in_range(v),
+                None => false,
+            })
+            .collect()
+    }
+}
+
+/// All heaps and index trees of a database.
+#[derive(Default)]
+pub struct Storage {
+    tables: RwLock<HashMap<TableId, RwLock<TableData>>>,
+    indexes: RwLock<HashMap<IndexId, RwLock<IndexData>>>,
+    /// Per-table apply mutex: serialises the short *physical* apply phase of
+    /// a modification (unique checks + heap/index mutation) so it is atomic
+    /// without juggling multiple latches. Never held across lock-manager
+    /// waits.
+    apply: RwLock<HashMap<TableId, std::sync::Arc<parking_lot::Mutex<()>>>>,
+}
+
+/// Serializable snapshot of all storage (checkpoint image).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StorageSnapshot {
+    /// Heap images by table id.
+    pub tables: Vec<(u32, TableData)>,
+    /// Index images by index id.
+    pub indexes: Vec<(u32, IndexData)>,
+}
+
+impl Storage {
+    /// Register an empty heap for a new table.
+    pub fn create_table(&self, id: TableId) {
+        self.tables.write().insert(id, RwLock::new(TableData::default()));
+        self.apply.write().insert(id, std::sync::Arc::new(parking_lot::Mutex::new(())));
+    }
+
+    /// The apply mutex for a table (created lazily for recovered tables).
+    pub fn apply_guard(&self, id: TableId) -> std::sync::Arc<parking_lot::Mutex<()>> {
+        if let Some(g) = self.apply.read().get(&id) {
+            return g.clone();
+        }
+        self.apply
+            .write()
+            .entry(id)
+            .or_insert_with(|| std::sync::Arc::new(parking_lot::Mutex::new(())))
+            .clone()
+    }
+
+    /// Register an empty tree for a new index.
+    pub fn create_index(&self, id: IndexId) {
+        self.indexes.write().insert(id, RwLock::new(IndexData::default()));
+    }
+
+    /// Drop a table heap.
+    pub fn drop_table(&self, id: TableId) {
+        self.tables.write().remove(&id);
+        self.apply.write().remove(&id);
+    }
+
+    /// Drop an index tree.
+    pub fn drop_index(&self, id: IndexId) {
+        self.indexes.write().remove(&id);
+    }
+
+    /// Run `f` with a read latch on the table heap.
+    pub fn with_table<R>(&self, id: TableId, f: impl FnOnce(&TableData) -> R) -> DbResult<R> {
+        let tables = self.tables.read();
+        let t = tables.get(&id).ok_or_else(|| DbError::Internal(format!("no heap for table#{}", id.0)))?;
+        let guard = t.read();
+        Ok(f(&guard))
+    }
+
+    /// Run `f` with a write latch on the table heap.
+    pub fn with_table_mut<R>(
+        &self,
+        id: TableId,
+        f: impl FnOnce(&mut TableData) -> R,
+    ) -> DbResult<R> {
+        let tables = self.tables.read();
+        let t = tables.get(&id).ok_or_else(|| DbError::Internal(format!("no heap for table#{}", id.0)))?;
+        let mut guard = t.write();
+        Ok(f(&mut guard))
+    }
+
+    /// Run `f` with a read latch on an index tree.
+    pub fn with_index<R>(&self, id: IndexId, f: impl FnOnce(&IndexData) -> R) -> DbResult<R> {
+        let idx = self.indexes.read();
+        let t = idx.get(&id).ok_or_else(|| DbError::Internal(format!("no tree for index#{}", id.0)))?;
+        let guard = t.read();
+        Ok(f(&guard))
+    }
+
+    /// Run `f` with a write latch on an index tree.
+    pub fn with_index_mut<R>(
+        &self,
+        id: IndexId,
+        f: impl FnOnce(&mut IndexData) -> R,
+    ) -> DbResult<R> {
+        let idx = self.indexes.read();
+        let t = idx.get(&id).ok_or_else(|| DbError::Internal(format!("no tree for index#{}", id.0)))?;
+        let mut guard = t.write();
+        Ok(f(&mut guard))
+    }
+
+    /// Deep-copy everything into a checkpoint snapshot.
+    pub fn snapshot(&self) -> StorageSnapshot {
+        let tables = self.tables.read();
+        let indexes = self.indexes.read();
+        StorageSnapshot {
+            tables: tables.iter().map(|(id, t)| (id.0, t.read().clone())).collect(),
+            indexes: indexes.iter().map(|(id, t)| (id.0, t.read().clone())).collect(),
+        }
+    }
+
+    /// Replace all contents from a snapshot.
+    pub fn restore(&self, snap: StorageSnapshot) {
+        let mut tables = self.tables.write();
+        let mut indexes = self.indexes.write();
+        let mut apply = self.apply.write();
+        tables.clear();
+        indexes.clear();
+        apply.clear();
+        for (id, data) in snap.tables {
+            tables.insert(TableId(id), RwLock::new(data));
+            apply.insert(TableId(id), std::sync::Arc::new(parking_lot::Mutex::new(())));
+        }
+        for (id, data) in snap.indexes {
+            indexes.insert(IndexId(id), RwLock::new(data));
+        }
+    }
+
+    /// Drop all contents (crash simulation).
+    pub fn clear(&self) {
+        self.tables.write().clear();
+        self.indexes.write().clear();
+        self.apply.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    #[test]
+    fn heap_reserve_put_get_remove() {
+        let mut t = TableData::default();
+        let r0 = t.reserve();
+        t.put(r0, vec![v(10)]);
+        let r1 = t.reserve();
+        t.put(r1, vec![v(11)]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(r0).unwrap()[0], v(10));
+        let old = t.remove(r0).unwrap();
+        assert_eq!(old[0], v(10));
+        assert_eq!(t.len(), 1);
+        // The slot is not recycled until the deleting txn commits.
+        let r2 = t.reserve();
+        assert_ne!(r2, r0);
+        t.release_slot(r0);
+        let r3 = t.reserve();
+        assert_eq!(r3, r0);
+        // Releasing twice or releasing a live slot is a no-op.
+        t.put(r3, vec![v(9)]);
+        t.release_slot(r3);
+        let r4 = t.reserve();
+        assert_ne!(r4, r3);
+    }
+
+    #[test]
+    fn heap_put_at_recovered_slot_beyond_len() {
+        let mut t = TableData::default();
+        t.put(5, vec![v(1)]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(5).unwrap()[0], v(1));
+        assert!(t.get(0).is_none());
+    }
+
+    #[test]
+    fn heap_iter_order() {
+        let mut t = TableData::default();
+        for i in 0..5 {
+            let r = t.reserve();
+            t.put(r, vec![v(i)]);
+        }
+        t.remove(2);
+        let ids: Vec<u64> = t.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn index_insert_remove_next_key() {
+        let mut ix = IndexData::default();
+        ix.insert(vec![Value::str("b")], 1);
+        ix.insert(vec![Value::str("d")], 2);
+        ix.insert(vec![Value::str("d")], 3);
+        assert_eq!(ix.distinct_keys(), 2);
+        assert_eq!(ix.entries(), 3);
+        assert_eq!(ix.next_key(&[Value::str("a")]), Some(vec![Value::str("b")]));
+        assert_eq!(ix.next_key(&[Value::str("b")]), Some(vec![Value::str("d")]));
+        assert_eq!(ix.next_key(&[Value::str("d")]), None);
+        ix.remove(&[Value::str("d")], 2);
+        assert_eq!(ix.get(&[Value::str("d")]), vec![3]);
+        ix.remove(&[Value::str("d")], 3);
+        assert!(!ix.contains_key(&[Value::str("d")]));
+    }
+
+    #[test]
+    fn index_prefix_scan() {
+        let mut ix = IndexData::default();
+        ix.insert(vec![v(1), Value::str("a")], 1);
+        ix.insert(vec![v(1), Value::str("b")], 2);
+        ix.insert(vec![v(2), Value::str("a")], 3);
+        let hits = ix.prefix_scan(&[v(1)]);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].1, vec![1]);
+        assert_eq!(hits[1].1, vec![2]);
+        assert_eq!(ix.prefix_scan(&[v(3)]).len(), 0);
+    }
+
+    #[test]
+    fn storage_snapshot_roundtrip() {
+        let s = Storage::default();
+        s.create_table(TableId(1));
+        s.create_index(IndexId(1));
+        s.with_table_mut(TableId(1), |t| {
+            let r = t.reserve();
+            t.put(r, vec![v(42)]);
+        })
+        .unwrap();
+        s.with_index_mut(IndexId(1), |ix| {
+            ix.insert(vec![v(42)], 0);
+        })
+        .unwrap();
+        let snap = s.snapshot();
+        let s2 = Storage::default();
+        s2.restore(snap);
+        let n = s2.with_table(TableId(1), |t| t.len()).unwrap();
+        assert_eq!(n, 1);
+        let keys = s2.with_index(IndexId(1), |ix| ix.distinct_keys()).unwrap();
+        assert_eq!(keys, 1);
+    }
+}

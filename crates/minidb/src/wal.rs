@@ -1,0 +1,283 @@
+//! Write-ahead log with a bounded active window and crash simulation.
+//!
+//! The log provides the two properties DLFM leans on (paper §1, §3.3):
+//! *persistence* (a forced record survives a crash) and *recoverability*
+//! (replaying committed work reconstructs the database). It also models the
+//! failure mode of §4: a long-running transaction pins the active log
+//! window; once the window exceeds `capacity` further writes fail with
+//! `LogFull`, which is why DLFM chunks utility transactions into periodic
+//! local commits.
+//!
+//! Durability model: records are appended to a volatile tail; [`Wal::force`]
+//! advances the durable watermark. A simulated crash discards everything
+//! after the watermark. Checkpoints snapshot the storage so the log can be
+//! replayed from the snapshot LSN instead of from the beginning.
+
+use std::collections::HashMap;
+use std::thread;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{DbError, DbResult};
+use crate::schema::{IndexSchema, TableSchema};
+use crate::txn::TxnId;
+use crate::value::Row;
+
+/// Log sequence number.
+pub type Lsn = u64;
+
+/// Payload of one log record.
+#[allow(missing_docs)] // payload fields are self-describing
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum LogPayload {
+    /// Transaction start.
+    Begin,
+    /// Row inserted.
+    Insert { table: u32, rowid: u64, row: Row },
+    /// Row deleted (old image kept for completeness/diagnostics).
+    Delete { table: u32, rowid: u64, row: Row },
+    /// Row updated in place.
+    Update { table: u32, rowid: u64, old: Row, new: Row },
+    /// DDL: table created.
+    CreateTable { schema: TableSchema },
+    /// DDL: index created.
+    CreateIndex { schema: IndexSchema },
+    /// DDL: table dropped (with its indexes).
+    DropTable { table: u32 },
+    /// Transaction committed (forced).
+    Commit,
+    /// Transaction rolled back.
+    Abort,
+}
+
+/// One log record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogRecord {
+    /// Sequence number, dense from 1.
+    pub lsn: Lsn,
+    /// Owning transaction.
+    pub txn: u64,
+    /// What happened.
+    pub payload: LogPayload,
+}
+
+#[derive(Default)]
+struct WalInner {
+    records: Vec<LogRecord>,
+    next_lsn: Lsn,
+    durable_lsn: Lsn,
+    /// First LSN written by each in-flight transaction.
+    active_first_lsn: HashMap<u64, Lsn>,
+}
+
+impl WalInner {
+    /// Size of the active window: records that cannot be reclaimed because
+    /// an in-flight transaction might still need them.
+    fn active_window(&self) -> usize {
+        match self.active_first_lsn.values().min() {
+            Some(&oldest) => (self.next_lsn.saturating_sub(oldest)) as usize,
+            None => 0,
+        }
+    }
+}
+
+/// The write-ahead log.
+pub struct Wal {
+    inner: Mutex<WalInner>,
+    capacity: Mutex<usize>,
+    force_latency: Mutex<Duration>,
+}
+
+impl Wal {
+    /// New empty log with the given active-window capacity (in records).
+    pub fn new(capacity: usize, force_latency: Duration) -> Wal {
+        Wal {
+            inner: Mutex::new(WalInner { next_lsn: 1, ..WalInner::default() }),
+            capacity: Mutex::new(capacity),
+            force_latency: Mutex::new(force_latency),
+        }
+    }
+
+    /// Change the active-window capacity at runtime (E8 sweeps this).
+    pub fn set_capacity(&self, capacity: usize) {
+        *self.capacity.lock() = capacity;
+    }
+
+    /// Change the per-force latency at runtime.
+    pub fn set_force_latency(&self, d: Duration) {
+        *self.force_latency.lock() = d;
+    }
+
+    /// Append a record for `txn`. Fails with `LogFull` when the active
+    /// window would exceed capacity.
+    pub fn append(&self, txn: TxnId, payload: LogPayload) -> DbResult<Lsn> {
+        let mut inner = self.inner.lock();
+        let capacity = *self.capacity.lock();
+        let is_terminal = matches!(payload, LogPayload::Commit | LogPayload::Abort);
+        if !is_terminal && inner.active_window() >= capacity {
+            return Err(DbError::LogFull { pinned: inner.active_window(), capacity });
+        }
+        let lsn = inner.next_lsn;
+        inner.next_lsn += 1;
+        inner.active_first_lsn.entry(txn.0).or_insert(lsn);
+        inner.records.push(LogRecord { lsn, txn: txn.0, payload });
+        if is_terminal {
+            inner.active_first_lsn.remove(&txn.0);
+        }
+        Ok(lsn)
+    }
+
+    /// Make everything appended so far durable.
+    pub fn force(&self) {
+        let latency = *self.force_latency.lock();
+        if latency > Duration::ZERO {
+            thread::sleep(latency);
+        }
+        let mut inner = self.inner.lock();
+        inner.durable_lsn = inner.next_lsn.saturating_sub(1);
+    }
+
+    /// Current size of the active (pinned) window, in records.
+    pub fn active_window(&self) -> usize {
+        self.inner.lock().active_window()
+    }
+
+    /// Highest durable LSN.
+    pub fn durable_lsn(&self) -> Lsn {
+        self.inner.lock().durable_lsn
+    }
+
+    /// Highest appended LSN (durable or not).
+    pub fn last_lsn(&self) -> Lsn {
+        self.inner.lock().next_lsn.saturating_sub(1)
+    }
+
+    /// Total records currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().records.len()
+    }
+
+    /// True when no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Simulate a crash: discard the volatile tail (records past the durable
+    /// watermark) and forget in-flight transaction tracking. Returns the
+    /// number of records lost.
+    pub fn crash(&self) -> usize {
+        let mut inner = self.inner.lock();
+        let durable = inner.durable_lsn;
+        let before = inner.records.len();
+        inner.records.retain(|r| r.lsn <= durable);
+        let lost = before - inner.records.len();
+        inner.next_lsn = durable + 1;
+        inner.active_first_lsn.clear();
+        lost
+    }
+
+    /// All retained records at or after `from_lsn`, in order.
+    pub fn records_from(&self, from_lsn: Lsn) -> Vec<LogRecord> {
+        self.inner.lock().records.iter().filter(|r| r.lsn >= from_lsn).cloned().collect()
+    }
+
+    /// Drop records strictly below `lsn` (after a checkpoint made them
+    /// unnecessary for recovery).
+    pub fn truncate_before(&self, lsn: Lsn) {
+        self.inner.lock().records.retain(|r| r.lsn >= lsn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wal(cap: usize) -> Wal {
+        Wal::new(cap, Duration::ZERO)
+    }
+
+    #[test]
+    fn lsns_are_dense_and_monotonic() {
+        let w = wal(100);
+        let a = w.append(TxnId(1), LogPayload::Begin).unwrap();
+        let b = w.append(TxnId(1), LogPayload::Commit).unwrap();
+        assert_eq!(b, a + 1);
+        assert_eq!(w.last_lsn(), b);
+    }
+
+    #[test]
+    fn log_full_when_one_txn_pins_window() {
+        let w = wal(5);
+        w.append(TxnId(7), LogPayload::Begin).unwrap();
+        for i in 0..4 {
+            w.append(TxnId(7), LogPayload::Insert { table: 1, rowid: i, row: vec![] }).unwrap();
+        }
+        let err = w
+            .append(TxnId(7), LogPayload::Insert { table: 1, rowid: 99, row: vec![] })
+            .unwrap_err();
+        assert!(matches!(err, DbError::LogFull { .. }));
+        // Commit is always allowed so the window can drain.
+        w.append(TxnId(7), LogPayload::Commit).unwrap();
+        assert_eq!(w.active_window(), 0);
+        // And new transactions can write again.
+        w.append(TxnId(8), LogPayload::Begin).unwrap();
+    }
+
+    #[test]
+    fn chunked_commits_bound_the_window() {
+        let w = wal(10);
+        // 100 records in chunks of 5 never trip LogFull.
+        for chunk in 0..20u64 {
+            let t = TxnId(chunk + 1);
+            w.append(t, LogPayload::Begin).unwrap();
+            for i in 0..5 {
+                w.append(t, LogPayload::Insert { table: 1, rowid: chunk * 5 + i, row: vec![] })
+                    .unwrap();
+            }
+            w.append(t, LogPayload::Commit).unwrap();
+        }
+        assert_eq!(w.active_window(), 0);
+    }
+
+    #[test]
+    fn crash_discards_unforced_tail() {
+        let w = wal(100);
+        w.append(TxnId(1), LogPayload::Begin).unwrap();
+        w.append(TxnId(1), LogPayload::Commit).unwrap();
+        w.force();
+        w.append(TxnId(2), LogPayload::Begin).unwrap();
+        w.append(TxnId(2), LogPayload::Insert { table: 1, rowid: 0, row: vec![] }).unwrap();
+        let lost = w.crash();
+        assert_eq!(lost, 2);
+        assert_eq!(w.last_lsn(), 2);
+        let recs = w.records_from(0);
+        assert_eq!(recs.len(), 2);
+        assert!(matches!(recs[1].payload, LogPayload::Commit));
+    }
+
+    #[test]
+    fn truncate_before_keeps_tail() {
+        let w = wal(100);
+        for _ in 0..5 {
+            let t = TxnId(1);
+            w.append(t, LogPayload::Begin).unwrap();
+            w.append(t, LogPayload::Commit).unwrap();
+        }
+        w.truncate_before(7);
+        assert_eq!(w.records_from(0).len(), 4);
+    }
+
+    #[test]
+    fn multiple_active_txns_pin_oldest() {
+        let w = wal(100);
+        w.append(TxnId(1), LogPayload::Begin).unwrap(); // lsn 1
+        w.append(TxnId(2), LogPayload::Begin).unwrap(); // lsn 2
+        w.append(TxnId(2), LogPayload::Commit).unwrap(); // lsn 3
+        // Window measured from txn1's first record.
+        assert_eq!(w.active_window(), 3);
+        w.append(TxnId(1), LogPayload::Commit).unwrap();
+        assert_eq!(w.active_window(), 0);
+    }
+}

@@ -1,0 +1,234 @@
+//! SQL semantics edge cases: NULL handling, ordering, EXCEPT, aggregates,
+//! parameter markers, and error reporting.
+
+use minidb::{Database, DbConfig, DbError, Session, Value};
+
+fn db() -> Database {
+    let db = Database::new(DbConfig::for_tests());
+    let mut s = Session::new(&db);
+    s.exec("CREATE TABLE t (id BIGINT NOT NULL, name VARCHAR, n BIGINT)").unwrap();
+    s.exec("CREATE UNIQUE INDEX ix_id ON t (id)").unwrap();
+    db
+}
+
+#[test]
+fn null_comparisons_are_unknown() {
+    let d = db();
+    let mut s = Session::new(&d);
+    s.exec("INSERT INTO t (id, name, n) VALUES (1, NULL, 5)").unwrap();
+    s.exec("INSERT INTO t (id, name, n) VALUES (2, 'x', NULL)").unwrap();
+    // NULL = 'x' is unknown: filtered out, not matched.
+    assert_eq!(s.query_int("SELECT COUNT(*) FROM t WHERE name = 'x'", &[]).unwrap(), 1);
+    // <> also excludes NULLs.
+    assert_eq!(s.query_int("SELECT COUNT(*) FROM t WHERE name <> 'x'", &[]).unwrap(), 0);
+    // IS NULL / IS NOT NULL are the only way to see them.
+    assert_eq!(s.query_int("SELECT COUNT(*) FROM t WHERE name IS NULL", &[]).unwrap(), 1);
+    assert_eq!(s.query_int("SELECT COUNT(*) FROM t WHERE n IS NOT NULL", &[]).unwrap(), 1);
+    // Arithmetic with NULL yields NULL (row filtered in predicates).
+    assert_eq!(s.query_int("SELECT COUNT(*) FROM t WHERE n + 1 > 0", &[]).unwrap(), 1);
+}
+
+#[test]
+fn order_by_multiple_keys_mixed_direction() {
+    let d = db();
+    let mut s = Session::new(&d);
+    for (id, name, n) in [(1, "b", 1), (2, "a", 2), (3, "b", 3), (4, "a", 1)] {
+        s.exec_params(
+            "INSERT INTO t (id, name, n) VALUES (?, ?, ?)",
+            &[Value::Int(id), Value::str(name), Value::Int(n)],
+        )
+        .unwrap();
+    }
+    let rows = s.query("SELECT id FROM t ORDER BY name ASC, n DESC", &[]).unwrap();
+    let ids: Vec<i64> = rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+    assert_eq!(ids, vec![2, 4, 3, 1]);
+}
+
+#[test]
+fn nulls_sort_first() {
+    let d = db();
+    let mut s = Session::new(&d);
+    s.exec("INSERT INTO t (id, name, n) VALUES (1, 'z', 0)").unwrap();
+    s.exec("INSERT INTO t (id, name, n) VALUES (2, NULL, 0)").unwrap();
+    let rows = s.query("SELECT id FROM t ORDER BY name", &[]).unwrap();
+    assert_eq!(rows[0][0].as_int().unwrap(), 2, "NULL sorts lowest");
+}
+
+#[test]
+fn except_removes_duplicates_and_differences() {
+    let d = db();
+    let mut s = Session::new(&d);
+    s.exec("CREATE TABLE u (name VARCHAR)").unwrap();
+    for (id, name) in [(1, "a"), (2, "a"), (3, "b"), (4, "c")] {
+        s.exec_params(
+            "INSERT INTO t (id, name, n) VALUES (?, ?, 0)",
+            &[Value::Int(id), Value::str(name)],
+        )
+        .unwrap();
+    }
+    s.exec("INSERT INTO u (name) VALUES ('c')").unwrap();
+    let rows = s.query("SELECT name FROM t EXCEPT SELECT name FROM u", &[]).unwrap();
+    let mut names: Vec<String> =
+        rows.iter().map(|r| r[0].as_str().unwrap().to_string()).collect();
+    names.sort();
+    // 'a' appears once (set semantics), 'c' removed.
+    assert_eq!(names, vec!["a", "b"]);
+}
+
+#[test]
+fn aggregates_over_empty_and_null_sets() {
+    let d = db();
+    let mut s = Session::new(&d);
+    let row = s
+        .query_opt("SELECT COUNT(*), MIN(n), MAX(n), SUM(n) FROM t", &[])
+        .unwrap()
+        .unwrap();
+    assert_eq!(row[0], Value::Int(0));
+    assert_eq!(row[1], Value::Null);
+    assert_eq!(row[2], Value::Null);
+    assert_eq!(row[3], Value::Null);
+    // NULLs are ignored by column aggregates but counted by COUNT(*).
+    s.exec("INSERT INTO t (id, name, n) VALUES (1, 'a', NULL)").unwrap();
+    s.exec("INSERT INTO t (id, name, n) VALUES (2, 'b', 7)").unwrap();
+    let row = s
+        .query_opt("SELECT COUNT(*), COUNT(n), SUM(n) FROM t", &[])
+        .unwrap()
+        .unwrap();
+    assert_eq!(row[0], Value::Int(2));
+    assert_eq!(row[1], Value::Int(1));
+    assert_eq!(row[2], Value::Int(7));
+}
+
+#[test]
+fn parameter_markers_are_positional_across_the_statement() {
+    let d = db();
+    let mut s = Session::new(&d);
+    s.exec_params(
+        "INSERT INTO t (id, name, n) VALUES (?, ?, ?)",
+        &[Value::Int(1), Value::str("x"), Value::Int(10)],
+    )
+    .unwrap();
+    // Marker 0 in SET, marker 1 in WHERE.
+    let count = s
+        .exec_params(
+            "UPDATE t SET n = ? WHERE id = ?",
+            &[Value::Int(99), Value::Int(1)],
+        )
+        .unwrap()
+        .count();
+    assert_eq!(count, 1);
+    assert_eq!(s.query_int("SELECT n FROM t WHERE id = 1", &[]).unwrap(), 99);
+    // Missing parameter is a clean error.
+    let e = s.exec_params("SELECT * FROM t WHERE id = ?", &[]).unwrap_err();
+    assert!(matches!(e, DbError::MissingParam(0)), "{e:?}");
+}
+
+#[test]
+fn projection_expressions_evaluate() {
+    let d = db();
+    let mut s = Session::new(&d);
+    s.exec("INSERT INTO t (id, name, n) VALUES (1, 'x', 40)").unwrap();
+    let row = s.query_opt("SELECT n + 2, id FROM t WHERE id = 1", &[]).unwrap().unwrap();
+    assert_eq!(row[0], Value::Int(42));
+    assert_eq!(row[1], Value::Int(1));
+}
+
+#[test]
+fn type_and_constraint_errors_are_statement_level() {
+    let d = db();
+    let mut s = Session::new(&d);
+    s.begin().unwrap();
+    s.exec("INSERT INTO t (id, name, n) VALUES (1, 'ok', 0)").unwrap();
+    // NOT NULL violation.
+    let e = s.exec("INSERT INTO t (name, n) VALUES ('bad', 0)").unwrap_err();
+    assert!(matches!(e, DbError::Constraint(_)));
+    // Type violation.
+    let e = s.exec("INSERT INTO t (id, name, n) VALUES ('oops', 'bad', 0)").unwrap_err();
+    assert!(matches!(e, DbError::Type(_)));
+    // Unknown column in predicate.
+    let e = s.exec("SELECT * FROM t WHERE nope = 1").unwrap_err();
+    assert!(matches!(e, DbError::Plan(_)));
+    // The transaction survived all three statement failures.
+    s.exec("INSERT INTO t (id, name, n) VALUES (2, 'ok2', 0)").unwrap();
+    s.commit().unwrap();
+    assert_eq!(s.query_int("SELECT COUNT(*) FROM t", &[]).unwrap(), 2);
+}
+
+#[test]
+fn boolean_literals_and_not() {
+    let d = db();
+    let mut s = Session::new(&d);
+    s.exec("CREATE TABLE flags (id BIGINT, ok BOOLEAN)").unwrap();
+    s.exec("INSERT INTO flags (id, ok) VALUES (1, TRUE)").unwrap();
+    s.exec("INSERT INTO flags (id, ok) VALUES (2, FALSE)").unwrap();
+    assert_eq!(s.query_int("SELECT COUNT(*) FROM flags WHERE ok = TRUE", &[]).unwrap(), 1);
+    assert_eq!(
+        s.query_int("SELECT COUNT(*) FROM flags WHERE NOT ok = TRUE", &[]).unwrap(),
+        1
+    );
+}
+
+#[test]
+fn or_predicates_and_parentheses() {
+    let d = db();
+    let mut s = Session::new(&d);
+    for i in 0..6 {
+        s.exec_params(
+            "INSERT INTO t (id, name, n) VALUES (?, 'x', ?)",
+            &[Value::Int(i), Value::Int(i)],
+        )
+        .unwrap();
+    }
+    assert_eq!(
+        s.query_int("SELECT COUNT(*) FROM t WHERE n = 1 OR n = 4", &[]).unwrap(),
+        2
+    );
+    assert_eq!(
+        s.query_int(
+            "SELECT COUNT(*) FROM t WHERE (n = 1 OR n = 4) AND id > 2",
+            &[]
+        )
+        .unwrap(),
+        1
+    );
+}
+
+#[test]
+fn string_escapes_round_trip() {
+    let d = db();
+    let mut s = Session::new(&d);
+    s.exec("INSERT INTO t (id, name, n) VALUES (1, 'O''Hara', 0)").unwrap();
+    let row = s.query_opt("SELECT name FROM t WHERE name = 'O''Hara'", &[]).unwrap().unwrap();
+    assert_eq!(row[0].as_str().unwrap(), "O'Hara");
+}
+
+#[test]
+fn unknown_table_and_duplicate_ddl_errors() {
+    let d = db();
+    let mut s = Session::new(&d);
+    assert!(matches!(
+        s.exec("SELECT * FROM missing"),
+        Err(DbError::NotFound(_))
+    ));
+    assert!(matches!(
+        s.exec("CREATE TABLE t (x BIGINT)"),
+        Err(DbError::AlreadyExists(_))
+    ));
+    assert!(matches!(
+        s.exec("CREATE UNIQUE INDEX ix_id ON t (id)"),
+        Err(DbError::AlreadyExists(_))
+    ));
+}
+
+#[test]
+fn create_unique_index_on_duplicated_data_fails_cleanly() {
+    let d = db();
+    let mut s = Session::new(&d);
+    s.exec("INSERT INTO t (id, name, n) VALUES (1, 'a', 0)").unwrap();
+    s.exec("INSERT INTO t (id, name, n) VALUES (2, 'a', 0)").unwrap();
+    let e = s.exec("CREATE UNIQUE INDEX ix_name ON t (name)").unwrap_err();
+    assert!(matches!(e, DbError::UniqueViolation { .. }));
+    // The failed index is fully rolled back: name reusable, plans unaffected.
+    s.exec("CREATE INDEX ix_name ON t (name)").unwrap();
+    assert_eq!(s.query_int("SELECT COUNT(*) FROM t WHERE name = 'a'", &[]).unwrap(), 2);
+}

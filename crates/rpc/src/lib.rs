@@ -1,0 +1,358 @@
+//! # dlrpc — the agent connection fabric
+//!
+//! Models the remote-procedure-call mechanism between host-database agents
+//! and DLFM child agents (paper §2, §3.5):
+//!
+//! * the DLFM **main daemon** listens for connects and spawns one **child
+//!   agent** per connection; all requests on that connection are served by
+//!   that agent;
+//! * requests are strictly **synchronous**: the request channel is a
+//!   rendezvous, so a sender blocks until the child agent actually issues
+//!   its message receive. This is load-bearing — the distributed-deadlock
+//!   scenario of §4 hinges on "T11 is blocked on message send as the DLFM
+//!   child is still doing the commit processing for T1 (and has not issued
+//!   msg receive)";
+//! * [`ClientConn::post`] is a fire-and-forget send used to model the
+//!   **asynchronous commit** design the paper rejects.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+
+/// RPC-level failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// The peer hung up.
+    Disconnected,
+    /// A timed call did not complete in time.
+    Timeout,
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Disconnected => f.write_str("peer disconnected"),
+            RpcError::Timeout => f.write_str("rpc timeout"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+/// One request in flight. `reply` is `None` for posted (fire-and-forget)
+/// requests.
+struct Envelope<Req, Resp> {
+    req: Req,
+    reply: Option<Sender<Resp>>,
+}
+
+/// Client side of one connection (held by a host-database agent).
+pub struct ClientConn<Req, Resp> {
+    tx: Sender<Envelope<Req, Resp>>,
+}
+
+impl<Req, Resp> ClientConn<Req, Resp> {
+    /// Synchronous call: blocks until the child agent receives the request
+    /// *and* sends the response.
+    pub fn call(&self, req: Req) -> Result<Resp, RpcError> {
+        let (rtx, rrx) = bounded(1);
+        self.tx
+            .send(Envelope { req, reply: Some(rtx) })
+            .map_err(|_| RpcError::Disconnected)?;
+        rrx.recv().map_err(|_| RpcError::Disconnected)
+    }
+
+    /// Synchronous call with a deadline. Note the *send* still blocks until
+    /// the agent issues its receive (rendezvous); only the response wait is
+    /// bounded.
+    pub fn call_timeout(&self, req: Req, timeout: Duration) -> Result<Resp, RpcError> {
+        let (rtx, rrx) = bounded(1);
+        self.tx
+            .send_timeout(Envelope { req, reply: Some(rtx) }, timeout)
+            .map_err(|_| RpcError::Timeout)?;
+        match rrx.recv_timeout(timeout) {
+            Ok(r) => Ok(r),
+            Err(RecvTimeoutError::Timeout) => Err(RpcError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(RpcError::Disconnected),
+        }
+    }
+
+    /// Fire-and-forget post: returns as soon as the agent *receives* the
+    /// request, without waiting for processing (the unsafe asynchronous
+    /// commit mode of §4).
+    pub fn post(&self, req: Req) -> Result<(), RpcError> {
+        self.tx.send(Envelope { req, reply: None }).map_err(|_| RpcError::Disconnected)
+    }
+}
+
+/// Server side of one connection (held by a DLFM child agent).
+pub struct ServerConn<Req, Resp> {
+    rx: Receiver<Envelope<Req, Resp>>,
+}
+
+/// Where to send the response for a received request (`None` for posts).
+pub struct ReplySlot<Resp> {
+    tx: Option<Sender<Resp>>,
+}
+
+impl<Resp> ReplySlot<Resp> {
+    /// Send the response. A dropped client is not an error for the agent.
+    pub fn send(self, resp: Resp) {
+        if let Some(tx) = self.tx {
+            let _ = tx.send(resp);
+        }
+    }
+
+    /// Was a reply requested (synchronous call) or not (post)?
+    pub fn expects_reply(&self) -> bool {
+        self.tx.is_some()
+    }
+}
+
+impl<Req, Resp> ServerConn<Req, Resp> {
+    /// Receive the next request; blocks until one arrives. Returns
+    /// `Disconnected` when the client is gone.
+    pub fn recv(&self) -> Result<(Req, ReplySlot<Resp>), RpcError> {
+        let env = self.rx.recv().map_err(|_| RpcError::Disconnected)?;
+        Ok((env.req, ReplySlot { tx: env.reply }))
+    }
+
+    /// Receive with a timeout (lets agent loops poll a shutdown flag).
+    pub fn recv_timeout(
+        &self,
+        timeout: Duration,
+    ) -> Result<Option<(Req, ReplySlot<Resp>)>, RpcError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(env) => Ok(Some((env.req, ReplySlot { tx: env.reply }))),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(RpcError::Disconnected),
+        }
+    }
+}
+
+/// The listener held by the DLFM main daemon.
+pub struct Listener<Req, Resp> {
+    rx: Receiver<ServerConn<Req, Resp>>,
+}
+
+impl<Req, Resp> Listener<Req, Resp> {
+    /// Accept the next connection; blocks. Returns `Disconnected` when the
+    /// connector endpoint is gone.
+    pub fn accept(&self) -> Result<ServerConn<Req, Resp>, RpcError> {
+        self.rx.recv().map_err(|_| RpcError::Disconnected)
+    }
+
+    /// Accept with a timeout.
+    pub fn accept_timeout(
+        &self,
+        timeout: Duration,
+    ) -> Result<Option<ServerConn<Req, Resp>>, RpcError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(c) => Ok(Some(c)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(RpcError::Disconnected),
+        }
+    }
+}
+
+/// The connector endpoint host agents use to reach a DLFM.
+#[derive(Clone)]
+pub struct Connector<Req, Resp> {
+    tx: Sender<ServerConn<Req, Resp>>,
+}
+
+impl<Req, Resp> Connector<Req, Resp> {
+    /// Establish a new connection, to be served by a fresh child agent.
+    pub fn connect(&self) -> Result<ClientConn<Req, Resp>, RpcError> {
+        // Rendezvous request channel: sends block until the agent receives.
+        let (tx, rx) = bounded(0);
+        self.tx.send(ServerConn { rx }).map_err(|_| RpcError::Disconnected)?;
+        Ok(ClientConn { tx })
+    }
+}
+
+/// Create a listener/connector pair (one per DLFM instance).
+pub fn fabric<Req, Resp>() -> (Listener<Req, Resp>, Connector<Req, Resp>) {
+    let (tx, rx) = bounded(64);
+    (Listener { rx }, Connector { tx })
+}
+
+/// Handle to a running server (main daemon + child agents).
+pub struct ServerHandle {
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    /// Child agents spawned so far (diagnostics; matches the paper's
+    /// "separate child agent per connection" process model).
+    pub agents_spawned: Arc<AtomicU64>,
+}
+
+impl ServerHandle {
+    /// Ask the main daemon and all child agents to stop, then join the
+    /// accept loop.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Run a main daemon: accept connections and spawn one child-agent thread
+/// per connection. `factory` builds the per-connection handler, which is
+/// invoked once per request.
+pub fn serve<Req, Resp, H, F>(listener: Listener<Req, Resp>, mut factory: F) -> ServerHandle
+where
+    Req: Send + 'static,
+    Resp: Send + 'static,
+    H: FnMut(Req, ReplySlot<Resp>) + Send + 'static,
+    F: FnMut() -> H + Send + 'static,
+{
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let agents = Arc::new(AtomicU64::new(0));
+    let sd = shutdown.clone();
+    let ag = agents.clone();
+    let accept_thread = std::thread::spawn(move || {
+        while !sd.load(Ordering::SeqCst) {
+            match listener.accept_timeout(Duration::from_millis(20)) {
+                Ok(Some(conn)) => {
+                    ag.fetch_add(1, Ordering::Relaxed);
+                    let mut handler = factory();
+                    let child_sd = sd.clone();
+                    std::thread::spawn(move || loop {
+                        if child_sd.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        match conn.recv_timeout(Duration::from_millis(20)) {
+                            Ok(Some((req, slot))) => handler(req, slot),
+                            Ok(None) => continue,
+                            Err(_) => break,
+                        }
+                    });
+                }
+                Ok(None) => continue,
+                Err(_) => break,
+            }
+        }
+    });
+    ServerHandle { shutdown, accept_thread: Some(accept_thread), agents_spawned: agents }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn call_roundtrip() {
+        let (listener, connector) = fabric::<i32, i32>();
+        let mut handle = serve(listener, || |req: i32, slot: ReplySlot<i32>| slot.send(req * 2));
+        let conn = connector.connect().unwrap();
+        assert_eq!(conn.call(21).unwrap(), 42);
+        assert_eq!(conn.call(5).unwrap(), 10);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn each_connection_gets_its_own_agent() {
+        let (listener, connector) = fabric::<i32, i32>();
+        let handle = serve(listener, || {
+            // Per-agent state: a counter proving requests stay on one agent.
+            let mut count = 0;
+            move |_req: i32, slot: ReplySlot<i32>| {
+                count += 1;
+                slot.send(count)
+            }
+        });
+        let c1 = connector.connect().unwrap();
+        let c2 = connector.connect().unwrap();
+        assert_eq!(c1.call(0).unwrap(), 1);
+        assert_eq!(c1.call(0).unwrap(), 2);
+        assert_eq!(c2.call(0).unwrap(), 1, "second connection has a fresh agent");
+        // Give the accept loop a moment to register both agents.
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(handle.agents_spawned.load(Ordering::Relaxed), 2);
+        drop(handle);
+    }
+
+    #[test]
+    fn send_blocks_while_agent_is_busy() {
+        // The §4 scenario: a posted (async) commit keeps the agent busy and
+        // the next synchronous call blocks on message send.
+        let (listener, connector) = fabric::<&'static str, &'static str>();
+        let mut handle = serve(listener, || {
+            |req: &'static str, slot: ReplySlot<&'static str>| {
+                if req == "commit" {
+                    thread::sleep(Duration::from_millis(200));
+                }
+                slot.send("done");
+            }
+        });
+        let conn = connector.connect().unwrap();
+        conn.post("commit").unwrap();
+        let started = std::time::Instant::now();
+        // The agent is mid-commit and has not issued its receive, so this
+        // send blocks until it finishes.
+        assert_eq!(conn.call("link").unwrap(), "done");
+        assert!(
+            started.elapsed() >= Duration::from_millis(150),
+            "call should have blocked behind the in-flight commit"
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn call_timeout_fires_when_agent_stalls() {
+        let (listener, connector) = fabric::<u8, u8>();
+        let mut handle = serve(listener, || {
+            |_req: u8, slot: ReplySlot<u8>| {
+                thread::sleep(Duration::from_millis(300));
+                slot.send(0);
+            }
+        });
+        let conn = connector.connect().unwrap();
+        conn.post(0).unwrap(); // occupy the agent
+        let err = conn.call_timeout(1, Duration::from_millis(50)).unwrap_err();
+        assert_eq!(err, RpcError::Timeout);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn disconnect_reported() {
+        let (listener, connector) = fabric::<u8, u8>();
+        let conn = connector.connect().unwrap();
+        let server = listener.accept().unwrap();
+        drop(server);
+        assert_eq!(conn.call(1).unwrap_err(), RpcError::Disconnected);
+    }
+
+    #[test]
+    fn post_does_not_wait_for_processing() {
+        let (listener, connector) = fabric::<u8, u8>();
+        let mut handle = serve(listener, || {
+            |_req: u8, slot: ReplySlot<u8>| {
+                thread::sleep(Duration::from_millis(150));
+                slot.send(0);
+            }
+        });
+        let conn = connector.connect().unwrap();
+        let started = std::time::Instant::now();
+        conn.post(1).unwrap();
+        assert!(
+            started.elapsed() < Duration::from_millis(100),
+            "post should return once the agent receives, not when it finishes"
+        );
+        handle.shutdown();
+    }
+}

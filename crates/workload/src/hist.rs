@@ -1,0 +1,108 @@
+//! A small latency histogram with percentile reporting.
+
+/// Collects latency samples (microseconds) and reports percentiles.
+#[derive(Debug, Default, Clone)]
+pub struct Histogram {
+    samples: Vec<u64>,
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample in microseconds.
+    pub fn record(&mut self, micros: u64) {
+        self.samples.push(micros);
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Value at a percentile in `[0, 100]`, or 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).floor() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// Arithmetic mean, or 0 when empty.
+    pub fn mean(&self) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        (self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64) as u64
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Render `p50/p95/p99/max` in milliseconds.
+    pub fn summary(&self) -> String {
+        format!(
+            "p50={:.1}ms p95={:.1}ms p99={:.1}ms max={:.1}ms (n={})",
+            self.percentile(50.0) as f64 / 1000.0,
+            self.percentile(95.0) as f64 / 1000.0,
+            self.percentile(99.0) as f64 / 1000.0,
+            self.max() as f64 / 1000.0,
+            self.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_on_known_data() {
+        let mut h = Histogram::new();
+        for i in 1..=100 {
+            h.record(i);
+        }
+        assert_eq!(h.percentile(50.0), 50);
+        assert_eq!(h.percentile(99.0), 99);
+        assert_eq!(h.percentile(100.0), 100);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.mean(), 50);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.max(), 0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = Histogram::new();
+        a.record(10);
+        let mut b = Histogram::new();
+        b.record(30);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.max(), 30);
+    }
+}

@@ -1,0 +1,222 @@
+//! Full-stack workload through the host database's SQL surface.
+//!
+//! This is the shape of the paper's 100-client system test: database
+//! applications inserting, updating, and deleting rows with DATALINK
+//! columns, with the datalink engine and two-phase commit underneath.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dlfm::{DbErrorKind, DlfmError};
+use filesys::FileSystem;
+use hostdb::{HostDb, HostError};
+use minidb::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dlfm_driver::OpMix;
+use crate::report::WorkloadReport;
+
+/// Configuration of the host-level workload.
+#[derive(Debug, Clone)]
+pub struct HostWorkloadConfig {
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Measured duration.
+    pub duration: Duration,
+    /// Operation mix.
+    pub mix: OpMix,
+    /// RNG seed.
+    pub seed: u64,
+    /// User table with a `clip DATALINK` column (created by the caller).
+    pub table: String,
+    /// File-server name (datalink URLs point here).
+    pub server: String,
+    /// Base directory for generated files.
+    pub base_dir: String,
+    /// Think time between transactions.
+    pub think_time: Duration,
+    /// Unmeasured warm-up inserts per client before the measured window
+    /// (gives every client a working set so the op mix is honoured from
+    /// the first measured transaction).
+    pub warmup_ops: usize,
+}
+
+impl Default for HostWorkloadConfig {
+    fn default() -> Self {
+        HostWorkloadConfig {
+            clients: 8,
+            duration: Duration::from_secs(2),
+            mix: OpMix::paper_mix(),
+            seed: 7,
+            table: "media".into(),
+            server: "fs1".into(),
+            base_dir: "/wl".into(),
+            think_time: Duration::ZERO,
+            warmup_ops: 0,
+        }
+    }
+}
+
+/// Run the workload against a prepared host database.
+pub fn run_host_workload(
+    host: &HostDb,
+    fs: &Arc<FileSystem>,
+    config: &HostWorkloadConfig,
+) -> WorkloadReport {
+    let row_seq = Arc::new(AtomicU64::new(1));
+    let mut handles = Vec::new();
+    for client in 0..config.clients {
+        let host = host.clone();
+        let fs = fs.clone();
+        let config = config.clone();
+        let row_seq = row_seq.clone();
+        handles.push(std::thread::spawn(move || {
+            client_loop(client, &host, &fs, &config, &row_seq)
+        }));
+    }
+    let mut aggregate = WorkloadReport::default();
+    for h in handles {
+        aggregate.merge(&h.join().expect("client thread must not panic"));
+    }
+    aggregate
+}
+
+fn classify_host_err(e: &HostError, report: &mut WorkloadReport) {
+    match e {
+        HostError::Db(minidb::DbError::Deadlock { .. }) => report.deadlocks += 1,
+        HostError::Db(minidb::DbError::LockTimeout { .. }) => report.timeouts += 1,
+        HostError::Dlfm { error: DlfmError::Db { kind: DbErrorKind::Deadlock, .. }, .. } => {
+            report.deadlocks += 1
+        }
+        HostError::Dlfm { error: DlfmError::Db { kind: DbErrorKind::LockTimeout, .. }, .. } => {
+            report.timeouts += 1
+        }
+        HostError::PrepareFailed { reason, .. } => {
+            if reason.contains("deadlock") {
+                report.deadlocks += 1;
+            } else if reason.contains("timeout") {
+                report.timeouts += 1;
+            } else {
+                report.errors += 1;
+            }
+        }
+        _ => report.errors += 1,
+    }
+}
+
+fn client_loop(
+    client: usize,
+    host: &HostDb,
+    fs: &Arc<FileSystem>,
+    config: &HostWorkloadConfig,
+    row_seq: &Arc<AtomicU64>,
+) -> WorkloadReport {
+    let mut report = WorkloadReport::default();
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(client as u64));
+    let mut session = host.session();
+    // Rows this client inserted: (row id, linked url).
+    let mut rows: Vec<(i64, String)> = Vec::new();
+    let mut created = 0u64;
+    // Warm-up: seed the client's working set outside the measured window.
+    for _ in 0..config.warmup_ops {
+        created += 1;
+        let id = row_seq.fetch_add(1, Ordering::SeqCst) as i64;
+        let path = format!("{}/h{client}/w{created}", config.base_dir);
+        let _ = fs.create(&path, "user", b"content");
+        let url = format!("dlfs://{}{}", config.server, path);
+        if session
+            .exec_params(
+                &format!("INSERT INTO {} (id, title, clip) VALUES (?, ?, ?)", config.table),
+                &[Value::Int(id), Value::str(format!("clip {id}")), Value::str(url.clone())],
+            )
+            .is_ok()
+        {
+            rows.push((id, url));
+        }
+    }
+    let start = Instant::now();
+
+    while start.elapsed() < config.duration {
+        let r = rng.gen_range(0..100u32);
+        let t0 = Instant::now();
+        enum Kind {
+            Ins,
+            Upd,
+            Del,
+            Sel,
+        }
+        let (kind, result) = if r < config.mix.insert_pct || rows.is_empty() {
+            created += 1;
+            let id = row_seq.fetch_add(1, Ordering::SeqCst) as i64;
+            let path = format!("{}/h{client}/f{created}", config.base_dir);
+            let _ = fs.create(&path, "user", b"content");
+            let url = format!("dlfs://{}{}", config.server, path);
+            let res = session.exec_params(
+                &format!("INSERT INTO {} (id, title, clip) VALUES (?, ?, ?)", config.table),
+                &[
+                    Value::Int(id),
+                    Value::str(format!("clip {id}")),
+                    Value::str(url.clone()),
+                ],
+            );
+            if res.is_ok() {
+                rows.push((id, url));
+            }
+            (Kind::Ins, res.map(|_| ()))
+        } else if r < config.mix.insert_pct + config.mix.update_pct {
+            let idx = rng.gen_range(0..rows.len());
+            let (id, _) = rows[idx];
+            created += 1;
+            let path = format!("{}/h{client}/f{created}", config.base_dir);
+            let _ = fs.create(&path, "user", b"content2");
+            let url = format!("dlfs://{}{}", config.server, path);
+            let res = session.exec_params(
+                &format!("UPDATE {} SET clip = ? WHERE id = ?", config.table),
+                &[Value::str(url.clone()), Value::Int(id)],
+            );
+            if res.is_ok() {
+                rows[idx].1 = url;
+            }
+            (Kind::Upd, res.map(|_| ()))
+        } else if r < config.mix.insert_pct + config.mix.update_pct + config.mix.delete_pct {
+            let idx = rng.gen_range(0..rows.len());
+            let (id, _) = rows[idx];
+            let res = session.exec_params(
+                &format!("DELETE FROM {} WHERE id = ?", config.table),
+                &[Value::Int(id)],
+            );
+            if res.is_ok() {
+                rows.swap_remove(idx);
+            }
+            (Kind::Del, res.map(|_| ()))
+        } else {
+            let idx = rng.gen_range(0..rows.len());
+            let (id, _) = rows[idx];
+            let res = session.exec_params(
+                &format!("SELECT clip FROM {} WHERE id = ?", config.table),
+                &[Value::Int(id)],
+            );
+            (Kind::Sel, res.map(|_| ()))
+        };
+        let micros = t0.elapsed().as_micros() as u64;
+        match result {
+            Ok(()) => {
+                report.latency.record(micros);
+                match kind {
+                    Kind::Ins => report.inserts += 1,
+                    Kind::Upd => report.updates += 1,
+                    Kind::Del => report.deletes += 1,
+                    Kind::Sel => report.selects += 1,
+                }
+            }
+            Err(e) => classify_host_err(&e, &mut report),
+        }
+        if config.think_time > Duration::ZERO {
+            std::thread::sleep(config.think_time);
+        }
+    }
+    report.elapsed = start.elapsed();
+    report
+}

@@ -1,0 +1,25 @@
+//! # workload — multi-client drivers and metrics for the DLFM experiments
+//!
+//! Two closed-loop drivers reproduce the paper's system-test shape:
+//!
+//! * [`dlfm_driver`] drives a DLFM directly through its RPC API (link /
+//!   unlink-relink / unlink / link-state queries) — the granularity the
+//!   locking experiments (E2, E9) need;
+//! * [`host_driver`] runs the full stack through the host database's SQL
+//!   surface with DATALINK columns and two-phase commit — the shape of the
+//!   paper's 100-client system test (E1).
+//!
+//! Both classify failures into deadlocks, lock timeouts, and other errors
+//! and report per-minute rates plus latency percentiles.
+
+#![warn(missing_docs)]
+
+pub mod dlfm_driver;
+pub mod hist;
+pub mod host_driver;
+pub mod report;
+
+pub use dlfm_driver::{run_dlfm_workload, DlfmWorkloadConfig, IdSource, OpMix};
+pub use hist::Histogram;
+pub use host_driver::{run_host_workload, HostWorkloadConfig};
+pub use report::WorkloadReport;

@@ -1,0 +1,332 @@
+//! Property-based tests over the core invariants.
+//!
+//! * The DLFM link/unlink state machine against a reference model: after
+//!   any sequence of transactions (randomly committed or aborted), the set
+//!   of linked files equals the model, and no file ever has two linked
+//!   entries.
+//! * The minidb engine against a HashMap model under random CRUD, with
+//!   index/heap consistency checks.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use datalinks::{dlfm, Deployment};
+use dlfm::{DlfmRequest, DlfmResponse};
+use minidb::{Session, Value};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum DlAction {
+    Link(u8),
+    Unlink(u8),
+}
+
+fn dl_txn_strategy() -> impl Strategy<Value = (Vec<DlAction>, bool)> {
+    let action = prop_oneof![
+        (0u8..12).prop_map(DlAction::Link),
+        (0u8..12).prop_map(DlAction::Unlink),
+    ];
+    (proptest::collection::vec(action, 1..5), any::<bool>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    #[test]
+    fn dlfm_state_machine_matches_model(txns in proptest::collection::vec(dl_txn_strategy(), 1..12)) {
+        let dep = Deployment::for_tests("fs1");
+        let mut s = dep.host.session();
+        s.create_table(
+            "CREATE TABLE t (id BIGINT NOT NULL, doc DATALINK)",
+            &[hostdb::DatalinkSpec {
+                column: "doc".into(),
+                access: dlfm::AccessControl::Partial,
+                recovery: false,
+            }],
+        ).unwrap();
+        let grp_id = dep.host.dl_column("t", "doc").unwrap().grp_id;
+        for f in 0..12u8 {
+            dep.fs.create(&format!("/f{f}"), "u", b"x").unwrap();
+        }
+
+        let conn = dep.dlfm.connector().connect().unwrap();
+        conn.call(DlfmRequest::Connect { dbid: 1 }).unwrap();
+
+        // Reference model: the committed set of linked files.
+        let mut model: BTreeSet<u8> = BTreeSet::new();
+
+        for (actions, commit) in txns {
+            let xid = dep.host.next_xid();
+            // Transaction-local view.
+            let mut local = model.clone();
+            let mut failed = false;
+            for a in &actions {
+                match a {
+                    DlAction::Link(f) => {
+                        let resp = conn.call(DlfmRequest::LinkFile {
+                            xid,
+                            rec_id: dep.host.next_rec_id(),
+                            grp_id,
+                            filename: format!("/f{f}"),
+                            in_backout: false,
+                        }).unwrap();
+                        match resp {
+                            DlfmResponse::Ok => {
+                                prop_assert!(!local.contains(f),
+                                    "link of already-linked /f{f} must fail");
+                                local.insert(*f);
+                            }
+                            DlfmResponse::Err(_) => {
+                                // Model says it should only fail when
+                                // already linked (in this single-client run).
+                                prop_assert!(local.contains(f),
+                                    "link of free /f{f} must succeed");
+                            }
+                            other => prop_assert!(false, "unexpected {other:?}"),
+                        }
+                    }
+                    DlAction::Unlink(f) => {
+                        let resp = conn.call(DlfmRequest::UnlinkFile {
+                            xid,
+                            rec_id: dep.host.next_rec_id(),
+                            grp_id,
+                            filename: format!("/f{f}"),
+                            in_backout: false,
+                        }).unwrap();
+                        match resp {
+                            DlfmResponse::Ok => {
+                                prop_assert!(local.contains(f),
+                                    "unlink of unlinked /f{f} must fail");
+                                local.remove(f);
+                            }
+                            DlfmResponse::Err(_) => {
+                                prop_assert!(!local.contains(f),
+                                    "unlink of linked /f{f} must succeed");
+                            }
+                            other => prop_assert!(false, "unexpected {other:?}"),
+                        }
+                    }
+                }
+            }
+            if commit && !failed {
+                match conn.call(DlfmRequest::Prepare { xid }).unwrap() {
+                    DlfmResponse::Prepared { .. } => {
+                        conn.call(DlfmRequest::Commit { xid }).unwrap();
+                        model = local;
+                    }
+                    _ => failed = true,
+                }
+            }
+            if !commit || failed {
+                conn.call(DlfmRequest::Abort { xid }).unwrap();
+            }
+        }
+
+        // Invariant 1: committed linked set equals the model.
+        let mut dl = Session::new(dep.dlfm.db());
+        let rows = dl.query(
+            "SELECT filename FROM dfm_file WHERE lnk_state = 1 ORDER BY filename", &[]
+        ).unwrap();
+        let got: BTreeSet<String> =
+            rows.iter().map(|r| r[0].as_str().unwrap().to_string()).collect();
+        let want: BTreeSet<String> = model.iter().map(|f| format!("/f{f}")).collect();
+        prop_assert_eq!(got, want);
+
+        // Invariant 2: never two linked entries for one file.
+        let per_file = dl.query(
+            "SELECT filename FROM dfm_file WHERE lnk_state = 1", &[]
+        ).unwrap();
+        let mut seen = BTreeSet::new();
+        for row in per_file {
+            prop_assert!(seen.insert(row[0].as_str().unwrap().to_string()),
+                "duplicate linked entry");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// minidb vs a HashMap model
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum DbAction {
+    Insert { id: u8, val: i64 },
+    Update { id: u8, val: i64 },
+    Delete { id: u8 },
+}
+
+fn db_action() -> impl Strategy<Value = DbAction> {
+    prop_oneof![
+        (any::<u8>(), any::<i64>()).prop_map(|(id, val)| DbAction::Insert { id: id % 32, val }),
+        (any::<u8>(), any::<i64>()).prop_map(|(id, val)| DbAction::Update { id: id % 32, val }),
+        any::<u8>().prop_map(|id| DbAction::Delete { id: id % 32 }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn minidb_matches_model_under_random_crud(
+        actions in proptest::collection::vec(db_action(), 1..60),
+        use_index_stats in any::<bool>(),
+    ) {
+        let db = minidb::Database::new(minidb::DbConfig::for_tests());
+        let mut s = Session::new(&db);
+        s.exec("CREATE TABLE kv (id BIGINT NOT NULL, val BIGINT)").unwrap();
+        s.exec("CREATE UNIQUE INDEX ix_kv ON kv (id)").unwrap();
+        if use_index_stats {
+            db.set_table_stats("kv", 1_000_000).unwrap();
+            db.set_index_stats("ix_kv", 1_000_000).unwrap();
+        }
+
+        let mut model: BTreeMap<u8, i64> = BTreeMap::new();
+        for a in actions {
+            match a {
+                DbAction::Insert { id, val } => {
+                    let r = s.exec_params(
+                        "INSERT INTO kv (id, val) VALUES (?, ?)",
+                        &[Value::Int(id as i64), Value::Int(val)],
+                    );
+                    if let std::collections::btree_map::Entry::Vacant(e) = model.entry(id) {
+                        prop_assert!(r.is_ok(), "fresh insert must succeed: {r:?}");
+                        e.insert(val);
+                    } else {
+                        prop_assert!(r.is_err(), "duplicate insert must fail");
+                    }
+                }
+                DbAction::Update { id, val } => {
+                    let n = s.exec_params(
+                        "UPDATE kv SET val = ? WHERE id = ?",
+                        &[Value::Int(val), Value::Int(id as i64)],
+                    ).unwrap().count();
+                    if let std::collections::btree_map::Entry::Occupied(mut e) = model.entry(id) {
+                        prop_assert_eq!(n, 1);
+                        e.insert(val);
+                    } else {
+                        prop_assert_eq!(n, 0);
+                    }
+                }
+                DbAction::Delete { id } => {
+                    let n = s.exec_params(
+                        "DELETE FROM kv WHERE id = ?",
+                        &[Value::Int(id as i64)],
+                    ).unwrap().count();
+                    prop_assert_eq!(n, usize::from(model.remove(&id).is_some()));
+                }
+            }
+        }
+
+        // Full contents match the model.
+        let rows = s.query("SELECT id, val FROM kv ORDER BY id", &[]).unwrap();
+        prop_assert_eq!(rows.len(), model.len());
+        for ((mid, mval), row) in model.iter().zip(&rows) {
+            prop_assert_eq!(row[0].as_int().unwrap(), *mid as i64);
+            prop_assert_eq!(row[1].as_int().unwrap(), *mval);
+        }
+        // Point lookups agree too (exercises the index path when stats are
+        // hand-crafted).
+        for (mid, mval) in &model {
+            let got = s.query_int(
+                &format!("SELECT val FROM kv WHERE id = {mid}"), &[]
+            ).unwrap();
+            prop_assert_eq!(got, *mval);
+        }
+    }
+
+    #[test]
+    fn minidb_rollback_restores_model(
+        committed in proptest::collection::vec(db_action(), 1..20),
+        rolled_back in proptest::collection::vec(db_action(), 1..20),
+    ) {
+        let db = minidb::Database::new(minidb::DbConfig::for_tests());
+        let mut s = Session::new(&db);
+        s.exec("CREATE TABLE kv (id BIGINT NOT NULL, val BIGINT)").unwrap();
+        s.exec("CREATE UNIQUE INDEX ix_kv ON kv (id)").unwrap();
+
+        let mut model: BTreeMap<u8, i64> = BTreeMap::new();
+        s.begin().unwrap();
+        for a in committed {
+            apply(&mut s, &mut model, a);
+        }
+        s.commit().unwrap();
+
+        // A transaction full of random changes, then rollback.
+        let mut scratch = model.clone();
+        s.begin().unwrap();
+        for a in rolled_back {
+            apply(&mut s, &mut scratch, a);
+        }
+        s.rollback();
+
+        let rows = s.query("SELECT id, val FROM kv ORDER BY id", &[]).unwrap();
+        prop_assert_eq!(rows.len(), model.len());
+        for ((mid, mval), row) in model.iter().zip(&rows) {
+            prop_assert_eq!(row[0].as_int().unwrap(), *mid as i64);
+            prop_assert_eq!(row[1].as_int().unwrap(), *mval);
+        }
+    }
+
+    #[test]
+    fn minidb_crash_recovery_preserves_committed_state(
+        batches in proptest::collection::vec(proptest::collection::vec(db_action(), 1..8), 1..6),
+        checkpoint_after in any::<Option<u8>>(),
+    ) {
+        let db = minidb::Database::new(minidb::DbConfig::for_tests());
+        let mut s = Session::new(&db);
+        s.exec("CREATE TABLE kv (id BIGINT NOT NULL, val BIGINT)").unwrap();
+        s.exec("CREATE UNIQUE INDEX ix_kv ON kv (id)").unwrap();
+
+        let mut model: BTreeMap<u8, i64> = BTreeMap::new();
+        for (i, batch) in batches.iter().enumerate() {
+            s.begin().unwrap();
+            for a in batch.clone() {
+                apply(&mut s, &mut model, a);
+            }
+            s.commit().unwrap();
+            if checkpoint_after.map(|c| c as usize % batches.len()) == Some(i) {
+                db.checkpoint();
+            }
+        }
+        drop(s);
+        db.crash();
+        db.restart().unwrap();
+
+        let mut s = Session::new(&db);
+        let rows = s.query("SELECT id, val FROM kv ORDER BY id", &[]).unwrap();
+        prop_assert_eq!(rows.len(), model.len());
+        for ((mid, mval), row) in model.iter().zip(&rows) {
+            prop_assert_eq!(row[0].as_int().unwrap(), *mid as i64);
+            prop_assert_eq!(row[1].as_int().unwrap(), *mval);
+        }
+    }
+}
+
+fn apply(s: &mut Session, model: &mut BTreeMap<u8, i64>, a: DbAction) {
+    match a {
+        DbAction::Insert { id, val } => {
+            let r = s.exec_params(
+                "INSERT INTO kv (id, val) VALUES (?, ?)",
+                &[Value::Int(id as i64), Value::Int(val)],
+            );
+            if r.is_ok() {
+                model.insert(id, val);
+            }
+        }
+        DbAction::Update { id, val } => {
+            let n = s
+                .exec_params(
+                    "UPDATE kv SET val = ? WHERE id = ?",
+                    &[Value::Int(val), Value::Int(id as i64)],
+                )
+                .unwrap()
+                .count();
+            if n > 0 {
+                model.insert(id, val);
+            }
+        }
+        DbAction::Delete { id } => {
+            s.exec_params("DELETE FROM kv WHERE id = ?", &[Value::Int(id as i64)]).unwrap();
+            model.remove(&id);
+        }
+    }
+}
