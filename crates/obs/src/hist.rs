@@ -1,0 +1,334 @@
+//! Fixed-bucket log-scale histograms (HdrHistogram-style).
+//!
+//! Values are bucketed by power of two with [`SUB_BUCKETS`] linear
+//! sub-buckets per octave, bounding the relative quantile error at
+//! `1/SUB_BUCKETS` (6.25%). All mutation is `Relaxed` atomic increments,
+//! so one histogram can be shared across worker threads with no locking,
+//! and shards can be [`merge`](Histogram::merge)d.
+//!
+//! The unit is up to the call site; the workspace records microseconds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the number of linear sub-buckets per power-of-two octave.
+pub const SUB_BUCKET_BITS: u32 = 4;
+
+/// Linear sub-buckets per octave; also the size of the exact range
+/// `0..SUB_BUCKETS` at the bottom of the histogram.
+pub const SUB_BUCKETS: u64 = 1 << SUB_BUCKET_BITS;
+
+/// Total bucket count covering the full `u64` range:
+/// `SUB_BUCKETS` exact low buckets plus `(64 - SUB_BUCKET_BITS)` octaves.
+pub const NUM_BUCKETS: usize = ((64 - SUB_BUCKET_BITS as usize) + 1) << SUB_BUCKET_BITS as usize;
+
+/// Bucket index for a value.
+fn index_of(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let octave = (msb - SUB_BUCKET_BITS + 1) as u64;
+        let sub = (v >> (msb - SUB_BUCKET_BITS)) & (SUB_BUCKETS - 1);
+        ((octave << SUB_BUCKET_BITS) + sub) as usize
+    }
+}
+
+/// Lowest value mapping to bucket `idx` (the quantile estimate reported
+/// for any value recorded in that bucket).
+pub fn bucket_low(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB_BUCKETS {
+        idx
+    } else {
+        let octave = idx >> SUB_BUCKET_BITS;
+        let sub = idx & (SUB_BUCKETS - 1);
+        (SUB_BUCKETS + sub) << (octave - 1)
+    }
+}
+
+/// One-pass percentile summary (see [`Histogram::report`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Report {
+    /// Recorded values.
+    pub count: u64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 95th-percentile estimate.
+    pub p95: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+    /// Largest recorded value (exact).
+    pub max: u64,
+}
+
+/// A mergeable, shardable log-scale histogram.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        // A boxed array avoids blowing the stack (NUM_BUCKETS ≈ 1k words).
+        let buckets: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets = buckets.into_boxed_slice().try_into().ok().unwrap();
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&self, v: u64) {
+        self.buckets[index_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration in microseconds.
+    pub fn record_micros(&self, d: std::time::Duration) {
+        self.record(d.as_micros() as u64);
+    }
+
+    /// Recorded values so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded value (exact), 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Is the histogram empty?
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Estimate of the `p`-th percentile (0 < p <= 100): the lower bound
+    /// of the bucket holding that rank. 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            cumulative += b.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return bucket_low(idx);
+            }
+        }
+        self.max()
+    }
+
+    /// p50/p95/p99/max in one pass over the buckets.
+    pub fn report(&self) -> Report {
+        let n = self.count();
+        if n == 0 {
+            return Report::default();
+        }
+        let ranks = [
+            (0.50f64, 0usize), // (quantile, slot in `out`)
+            (0.95, 1),
+            (0.99, 2),
+        ];
+        let mut out = [0u64; 3];
+        let mut next = 0usize;
+        let mut cumulative = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            cumulative += b.load(Ordering::Relaxed);
+            while next < ranks.len() {
+                let rank = ((ranks[next].0 * n as f64).ceil() as u64).max(1);
+                if cumulative < rank {
+                    break;
+                }
+                out[ranks[next].1] = bucket_low(idx);
+                next += 1;
+            }
+            if next == ranks.len() {
+                break;
+            }
+        }
+        Report { count: n, p50: out[0], p95: out[1], p99: out[2], max: self.max() }
+    }
+
+    /// Add all of `other`'s recorded values into `self`.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let v = theirs.load(Ordering::Relaxed);
+            if v > 0 {
+                mine.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum(), Ordering::Relaxed);
+        self.max.fetch_max(other.max(), Ordering::Relaxed);
+    }
+
+    /// Cumulative count of values recorded at or below `bound`
+    /// (approximate at bucket granularity; used for Prometheus `le`
+    /// buckets).
+    pub fn count_at_or_below(&self, bound: u64) -> u64 {
+        let last = index_of(bound);
+        let mut cumulative = 0u64;
+        for b in &self.buckets[..=last] {
+            cumulative += b.load(Ordering::Relaxed);
+        }
+        cumulative
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let r = self.report();
+        write!(
+            f,
+            "Histogram {{ count: {}, p50: {}, p95: {}, p99: {}, max: {} }}",
+            r.count, r.p50, r.p95, r.p99, r.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_values_are_exact() {
+        for v in 0..SUB_BUCKETS {
+            assert_eq!(bucket_low(index_of(v)), v);
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries_are_contiguous_and_monotonic() {
+        // Every value maps into a bucket whose range contains it, and
+        // bucket indexes never decrease as values grow.
+        let mut values: Vec<u64> = (0..60)
+            .flat_map(|shift| [0u64, 1, 7].map(|off| (1u64 << shift) + off))
+            .collect();
+        values.sort_unstable();
+        let mut prev_idx = 0usize;
+        for v in values {
+            let idx = index_of(v);
+            assert!(idx >= prev_idx, "index must be monotonic in the value ({v})");
+            prev_idx = idx;
+            let low = bucket_low(idx);
+            assert!(low <= v, "bucket low {low} must be <= value {v}");
+            // The next bucket's low bound must be above the value.
+            assert!(
+                idx + 1 >= NUM_BUCKETS || bucket_low(idx + 1) > v,
+                "value {v} must be below the next bucket's low bound"
+            );
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let h = Histogram::new();
+        for v in [100u64, 1_000, 10_000, 1_000_000, 123_456_789] {
+            let est = bucket_low(index_of(v));
+            let err = (v - est) as f64 / v as f64;
+            assert!(err <= 1.0 / SUB_BUCKETS as f64 + 1e-9, "error {err} too big for {v}");
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 123_456_789);
+    }
+
+    #[test]
+    fn percentiles_of_uniform_range() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let r = h.report();
+        assert_eq!(r.count, 1000);
+        // Bucketed estimates: within one sub-bucket (6.25%) below truth.
+        for (est, truth) in [(r.p50, 500u64), (r.p95, 950), (r.p99, 990)] {
+            assert!(est <= truth, "estimate {est} must not exceed {truth}");
+            assert!(
+                (truth - est) as f64 <= truth as f64 / SUB_BUCKETS as f64 + 1.0,
+                "estimate {est} too far below {truth}"
+            );
+        }
+        assert_eq!(r.max, 1000);
+        assert_eq!(h.percentile(50.0), r.p50);
+        assert_eq!(h.percentile(100.0), bucket_low(index_of(1000)));
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let whole = Histogram::new();
+        for v in 0..500u64 {
+            a.record(v * 3);
+            whole.record(v * 3);
+        }
+        for v in 0..500u64 {
+            b.record(v * 7 + 1);
+            whole.record(v * 7 + 1);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.sum(), whole.sum());
+        assert_eq!(a.max(), whole.max());
+        assert_eq!(a.report(), whole.report());
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.report(), Report::default());
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let h = h.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    h.record(t * 1_000 + (i % 97));
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+    }
+}

@@ -1,0 +1,47 @@
+//! # obs — observability substrate
+//!
+//! The sensory system of the DataLinks reproduction, std-only:
+//!
+//! * [`trace`] — `TraceCtx { trace_id, span_id }` allocated at the host
+//!   statement boundary and carried across the RPC fabric into DLFM child
+//!   agents and down into minidb, plus a bounded ring buffer of span
+//!   events that tests and bench binaries can drain and assert on;
+//! * [`hist`] — fixed-bucket log-scale latency histograms
+//!   (HdrHistogram-style power-of-two sub-buckets, `Relaxed` atomics,
+//!   mergeable) for per-operation latency, lock waits, and WAL forces;
+//! * [`registry`] — a metrics registry rendering counters, gauges, and
+//!   histograms in the Prometheus text exposition format;
+//! * [`log`](crate::logging) — leveled event logging to stderr
+//!   (`error!`/`warn!`/`info!`/`debug!`), filterable with the `DLFM_LOG`
+//!   environment variable, prefixed with the current trace id.
+//!
+//! The paper's lessons (§3.2.1, §4) were found in production telemetry;
+//! this crate is what lets the reproduction see the same pathologies —
+//! deadlock storms, escalation collapse, phase-2 retries — directly.
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod logging;
+pub mod registry;
+pub mod trace;
+
+pub use hist::{Histogram, Report};
+pub use registry::Registry;
+pub use trace::{
+    current_ctx, drain_spans, set_current_ctx, span, span_root, Layer, Outcome, SpanEvent,
+    SpanGuard, TraceCtx,
+};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A 64-bit draw from OS-seeded process entropy (`RandomState`'s keys are
+/// randomized per construction). Used for trace/span ids; not crypto.
+pub(crate) fn entropy() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let state = std::collections::hash_map::RandomState::new();
+    let mut hasher = state.build_hasher();
+    hasher.write_u64(COUNTER.fetch_add(1, Ordering::Relaxed));
+    hasher.finish() | 1 // never zero
+}

@@ -1,0 +1,163 @@
+//! Prometheus-text-format metrics registry.
+//!
+//! A [`Registry`] is a builder: each layer contributes counters, gauges,
+//! and histograms, and [`Registry::render`] produces one exposition-format
+//! string (`# HELP`/`# TYPE` headers once per family, then
+//! `name{labels} value` samples). Histograms render the conventional
+//! cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+
+use std::collections::HashSet;
+use std::fmt::Write;
+
+use crate::hist::Histogram;
+
+/// Cumulative `le` boundaries for rendered histograms, in the recorded
+/// unit (the workspace records microseconds: 10us .. 100s).
+pub const LE_BOUNDS: [u64; 8] =
+    [10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000];
+
+/// A metrics registry that renders to Prometheus text format.
+#[derive(Default)]
+pub struct Registry {
+    buf: String,
+    seen: HashSet<String>,
+}
+
+fn fmt_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", v.replace('"', "'"))).collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        if self.seen.insert(name.to_string()) {
+            let _ = writeln!(self.buf, "# HELP {name} {help}");
+            let _ = writeln!(self.buf, "# TYPE {name} {kind}");
+        }
+    }
+
+    /// Add a monotonic counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.header(name, help, "counter");
+        let _ = writeln!(self.buf, "{name}{} {value}", fmt_labels(labels));
+    }
+
+    /// Add a gauge sample (a value that can go up and down).
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: i64) {
+        self.header(name, help, "gauge");
+        let _ = writeln!(self.buf, "{name}{} {value}", fmt_labels(labels));
+    }
+
+    /// Add a histogram family member: cumulative buckets at [`LE_BOUNDS`]
+    /// plus `+Inf`, `_sum`, and `_count`.
+    pub fn histogram(&mut self, name: &str, help: &str, labels: &[(&str, &str)], h: &Histogram) {
+        self.header(name, help, "histogram");
+        for le in LE_BOUNDS {
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            let le_s = le.to_string();
+            with_le.push(("le", &le_s));
+            let _ = writeln!(
+                self.buf,
+                "{name}_bucket{} {}",
+                fmt_labels(&with_le),
+                h.count_at_or_below(le)
+            );
+        }
+        let mut with_inf: Vec<(&str, &str)> = labels.to_vec();
+        with_inf.push(("le", "+Inf"));
+        let _ = writeln!(self.buf, "{name}_bucket{} {}", fmt_labels(&with_inf), h.count());
+        let _ = writeln!(self.buf, "{name}_sum{} {}", fmt_labels(labels), h.sum());
+        let _ = writeln!(self.buf, "{name}_count{} {}", fmt_labels(labels), h.count());
+    }
+
+    /// Finish and return the exposition text.
+    pub fn render(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal Prometheus text-format line check: every non-comment,
+    /// non-blank line must be `name{labels}? value` with a parseable
+    /// float value and balanced braces.
+    pub fn assert_parseable(text: &str) {
+        for line in text.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (name_part, value) =
+                line.rsplit_once(' ').unwrap_or_else(|| panic!("no value in {line:?}"));
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "unparseable value {value:?} in {line:?}"
+            );
+            let metric = name_part;
+            let name_end = metric.find('{').unwrap_or(metric.len());
+            let name = &metric[..name_end];
+            assert!(
+                !name.is_empty()
+                    && name
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name in {line:?}"
+            );
+            if name_end < metric.len() {
+                assert!(metric.ends_with('}'), "unbalanced braces in {line:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn renders_counters_gauges_histograms() {
+        let h = Histogram::new();
+        for v in [5u64, 50, 5_000, 500_000] {
+            h.record(v);
+        }
+        let mut r = Registry::new();
+        r.counter("dlfm_links_total", "Files linked.", &[], 17);
+        r.counter("dlfm_ops_total", "Ops by kind.", &[("op", "link")], 9);
+        r.counter("dlfm_ops_total", "Ops by kind.", &[("op", "unlink")], 8);
+        r.gauge("rpc_in_flight", "Calls in flight.", &[], 3);
+        r.histogram("op_latency_micros", "Latency.", &[("op", "link")], &h);
+        let text = r.render();
+
+        assert_parseable(&text);
+        // Headers appear exactly once per family.
+        assert_eq!(text.matches("# TYPE dlfm_ops_total counter").count(), 1);
+        assert!(text.contains("dlfm_ops_total{op=\"link\"} 9"));
+        assert!(text.contains("dlfm_ops_total{op=\"unlink\"} 8"));
+        assert!(text.contains("rpc_in_flight 3"));
+        // Histogram: cumulative buckets, +Inf equals count.
+        assert!(text.contains("op_latency_micros_bucket{op=\"link\",le=\"10\"} 1"));
+        assert!(text.contains("op_latency_micros_bucket{op=\"link\",le=\"+Inf\"} 4"));
+        assert!(text.contains("op_latency_micros_count{op=\"link\"} 4"));
+        assert!(text.contains("op_latency_micros_sum{op=\"link\"} 505055"));
+    }
+
+    #[test]
+    fn le_buckets_are_cumulative_and_monotonic() {
+        let h = Histogram::new();
+        for v in 0..10_000u64 {
+            h.record(v * 13);
+        }
+        let mut prev = 0;
+        for le in LE_BOUNDS {
+            let c = h.count_at_or_below(le);
+            assert!(c >= prev, "bucket counts must be cumulative");
+            prev = c;
+        }
+        assert!(h.count() >= prev);
+    }
+}

@@ -1,0 +1,446 @@
+//! MPMC channels with the `crossbeam::channel` API surface used by this
+//! workspace: `bounded` (including capacity 0 = rendezvous), `unbounded`,
+//! blocking and deadline-bounded send/recv, `len`, and clone/drop-based
+//! disconnection.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Sender::send_timeout`].
+pub enum SendTimeoutError<T> {
+    /// The deadline passed before a receiver took the message.
+    Timeout(T),
+    /// All receivers are gone.
+    Disconnected(T),
+}
+
+impl<T> fmt::Debug for SendTimeoutError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendTimeoutError::Timeout(_) => f.write_str("SendTimeoutError::Timeout(..)"),
+            SendTimeoutError::Disconnected(_) => {
+                f.write_str("SendTimeoutError::Disconnected(..)")
+            }
+        }
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when all senders are gone and the
+/// queue is drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline passed with no message available.
+    Timeout,
+    /// All senders are gone and the queue is drained.
+    Disconnected,
+}
+
+struct State<T> {
+    // Queue entries carry the sequence number assigned at push so a
+    // rendezvous sender can tell when *its* message has been taken.
+    queue: VecDeque<(u64, T)>,
+    pushed: u64,
+    // Sequence numbers below this have left the queue (taken or reclaimed).
+    taken: u64,
+    senders: usize,
+    receivers: usize,
+    // Receivers currently blocked in recv — a rendezvous send may only
+    // push when one of these is free to take it.
+    recv_waiting: usize,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    cap: Option<usize>,
+    // Receivers wait here for messages.
+    not_empty: Condvar,
+    // Senders wait here for room (bounded), a waiting receiver or the
+    // completion of their handoff (rendezvous).
+    room: Condvar,
+}
+
+/// Wait on `cv`, optionally bounded by `deadline`. `Err` means timed out.
+#[allow(clippy::type_complexity)]
+fn wait_on<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, State<T>>,
+    deadline: Option<Instant>,
+) -> Result<MutexGuard<'a, State<T>>, MutexGuard<'a, State<T>>> {
+    match deadline {
+        None => Ok(cv.wait(guard).unwrap_or_else(|e| e.into_inner())),
+        Some(d) => {
+            let now = Instant::now();
+            if now >= d {
+                return Err(guard);
+            }
+            let (guard, res) =
+                cv.wait_timeout(guard, d - now).unwrap_or_else(|e| e.into_inner());
+            if res.timed_out() {
+                Err(guard)
+            } else {
+                Ok(guard)
+            }
+        }
+    }
+}
+
+impl<T> Inner<T> {
+    fn send_deadline(
+        &self,
+        value: T,
+        deadline: Option<Instant>,
+    ) -> Result<(), SendTimeoutError<T>> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if st.receivers == 0 {
+                return Err(SendTimeoutError::Disconnected(value));
+            }
+            let ready = match self.cap {
+                None => true,
+                Some(0) => st.recv_waiting > st.queue.len(),
+                Some(c) => st.queue.len() < c,
+            };
+            if ready {
+                break;
+            }
+            st = match wait_on(&self.room, st, deadline) {
+                Ok(g) => g,
+                Err(_) => return Err(SendTimeoutError::Timeout(value)),
+            };
+        }
+        let seq = st.pushed;
+        st.pushed += 1;
+        st.queue.push_back((seq, value));
+        self.not_empty.notify_one();
+        if self.cap == Some(0) {
+            // Rendezvous: block until a receiver takes this message.
+            while st.taken <= seq {
+                let reclaim = |mut g: MutexGuard<'_, State<T>>| {
+                    let pos = g
+                        .queue
+                        .iter()
+                        .position(|(s, _)| *s == seq)
+                        .expect("untaken rendezvous message must still be queued");
+                    g.queue.remove(pos).map(|(_, v)| v).unwrap()
+                };
+                if st.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(reclaim(st)));
+                }
+                st = match wait_on(&self.room, st, deadline) {
+                    Ok(g) => g,
+                    Err(g) => {
+                        if g.taken > seq {
+                            return Ok(()); // taken right at the deadline
+                        }
+                        return Err(SendTimeoutError::Timeout(reclaim(g)));
+                    }
+                };
+            }
+        }
+        Ok(())
+    }
+
+    fn recv_deadline(&self, deadline: Option<Instant>) -> Result<T, RecvTimeoutError> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.recv_waiting += 1;
+        self.room.notify_all();
+        let finish = |g: &mut MutexGuard<'_, State<T>>| -> Option<T> {
+            g.queue.pop_front().map(|(seq, v)| {
+                g.taken = seq + 1;
+                v
+            })
+        };
+        loop {
+            if let Some(v) = finish(&mut st) {
+                st.recv_waiting -= 1;
+                self.room.notify_all();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                st.recv_waiting -= 1;
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            st = match wait_on(&self.not_empty, st, deadline) {
+                Ok(g) => g,
+                Err(mut g) => {
+                    // Deadline passed; take anything that slipped in.
+                    if let Some(v) = finish(&mut g) {
+                        g.recv_waiting -= 1;
+                        self.room.notify_all();
+                        return Ok(v);
+                    }
+                    g.recv_waiting -= 1;
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            };
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).queue.len()
+    }
+}
+
+/// The sending half of a channel.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Send, blocking while the channel is full (bounded) or until a
+    /// receiver takes the message (rendezvous). Fails if all receivers
+    /// are gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        match self.inner.send_deadline(value, None) {
+            Ok(()) => Ok(()),
+            Err(SendTimeoutError::Disconnected(v)) | Err(SendTimeoutError::Timeout(v)) => {
+                Err(SendError(v))
+            }
+        }
+    }
+
+    /// [`Sender::send`] bounded by a deadline `timeout` from now.
+    pub fn send_timeout(
+        &self,
+        value: T,
+        timeout: Duration,
+    ) -> Result<(), SendTimeoutError<T>> {
+        self.inner.send_deadline(value, Some(Instant::now() + timeout))
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().unwrap_or_else(|e| e.into_inner()).senders += 1;
+        Sender { inner: self.inner.clone() }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.senders -= 1;
+        if st.senders == 0 {
+            drop(st);
+            self.inner.not_empty.notify_all();
+        }
+    }
+}
+
+/// The receiving half of a channel.
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Receive, blocking until a message arrives. Fails once all senders
+    /// are gone and the queue is drained.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.recv_deadline(None).map_err(|_| RecvError)
+    }
+
+    /// [`Receiver::recv`] bounded by a deadline `timeout` from now.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.inner.recv_deadline(Some(Instant::now() + timeout))
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().unwrap_or_else(|e| e.into_inner()).receivers += 1;
+        Receiver { inner: self.inner.clone() }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            drop(st);
+            self.inner.room.notify_all();
+        }
+    }
+}
+
+fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            pushed: 0,
+            taken: 0,
+            senders: 1,
+            receivers: 1,
+            recv_waiting: 0,
+        }),
+        cap,
+        not_empty: Condvar::new(),
+        room: Condvar::new(),
+    });
+    (Sender { inner: inner.clone() }, Receiver { inner })
+}
+
+/// A channel holding at most `cap` queued messages. `cap == 0` is a
+/// rendezvous channel: `send` blocks until a receiver takes the message.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(cap))
+}
+
+/// A channel with an unbounded queue; `send` never blocks.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn unbounded_fifo() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn rendezvous_send_blocks_until_received() {
+        let (tx, rx) = bounded(0);
+        let start = Instant::now();
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(100));
+            rx.recv().unwrap()
+        });
+        tx.send(7u8).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(80), "send returned early");
+        assert_eq!(h.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn rendezvous_send_timeout_fires_without_receiver_ready() {
+        let (tx, rx) = bounded(0);
+        let err = tx.send_timeout(1u8, Duration::from_millis(30));
+        assert!(matches!(err, Err(SendTimeoutError::Timeout(1))));
+        drop(rx);
+    }
+
+    #[test]
+    fn recv_timeout_and_disconnect() {
+        let (tx, rx) = bounded::<u8>(4);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)).unwrap_err(),
+            RecvTimeoutError::Timeout
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)).unwrap_err(),
+            RecvTimeoutError::Disconnected
+        );
+    }
+
+    #[test]
+    fn send_fails_when_receiver_gone() {
+        let (tx, rx) = bounded(0);
+        drop(rx);
+        assert!(tx.send(1u8).is_err());
+    }
+
+    #[test]
+    fn bounded_backpressure() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let err = tx.send_timeout(2, Duration::from_millis(20));
+        assert!(matches!(err, Err(SendTimeoutError::Timeout(2))));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.send(3).unwrap();
+        assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn mpmc_all_messages_arrive_once() {
+        let (tx, rx) = unbounded();
+        let mut senders = Vec::new();
+        for s in 0..4u64 {
+            let tx = tx.clone();
+            senders.push(thread::spawn(move || {
+                for i in 0..100u64 {
+                    tx.send(s * 1000 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut receivers = Vec::new();
+        for _ in 0..3 {
+            let rx = rx.clone();
+            receivers.push(thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        drop(rx);
+        for s in senders {
+            s.join().unwrap();
+        }
+        let mut all: Vec<u64> = Vec::new();
+        for r in receivers {
+            all.extend(r.join().unwrap());
+        }
+        all.sort_unstable();
+        let expect: Vec<u64> =
+            (0..4u64).flat_map(|s| (0..100u64).map(move |i| s * 1000 + i)).collect();
+        assert_eq!(all, expect);
+    }
+}

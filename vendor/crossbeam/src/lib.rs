@@ -1,0 +1,9 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace uses.
+//!
+//! Only [`channel`] is provided: MPMC bounded/unbounded channels built on
+//! `std::sync` primitives. Capacity-0 channels are true rendezvous
+//! channels — `send` completes only once a receiver has taken the
+//! message — which the RPC fabric's synchronous-commit semantics (paper
+//! §4) depend on.
+
+pub mod channel;

@@ -1,0 +1,303 @@
+//! Offline stand-in for the subset of `parking_lot` this workspace uses:
+//! [`Mutex`], [`RwLock`], and [`Condvar`] wrapping the `std::sync`
+//! primitives with parking_lot's ergonomics — no lock poisoning, guards
+//! passed to [`Condvar::wait`] by `&mut`, and deadline-based waits
+//! returning a [`WaitTimeoutResult`].
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::time::{Duration, Instant};
+
+/// A mutual-exclusion lock that ignores poisoning.
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// RAII guard for [`Mutex`]. The inner std guard lives in an `Option` so
+/// [`Condvar`] waits can temporarily take it.
+pub struct MutexGuard<'a, T: ?Sized> {
+    guard: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until it is free.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard { guard: Some(self.0.lock().unwrap_or_else(|e| e.into_inner())) }
+    }
+
+    /// Acquire the lock only if it is free right now.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(MutexGuard { guard: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(e)) => {
+                Some(MutexGuard { guard: Some(e.into_inner()) })
+            }
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_tuple("Mutex").field(&&*g).finish(),
+            None => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard taken by a Condvar wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard taken by a Condvar wait")
+    }
+}
+
+/// Result of a deadline-bounded [`Condvar`] wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Did the wait end because the deadline passed?
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable usable with [`Mutex`] guards.
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Condvar {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Block until notified. Spurious wakeups are possible, as with std.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.guard.take().expect("guard already taken");
+        guard.guard = Some(self.0.wait(inner).unwrap_or_else(|e| e.into_inner()));
+    }
+
+    /// Block until notified or `deadline` passes.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        self.wait_for(guard, timeout)
+    }
+
+    /// Block until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.guard.take().expect("guard already taken");
+        let (inner, res) =
+            self.0.wait_timeout(inner, timeout).unwrap_or_else(|e| e.into_inner());
+        guard.guard = Some(inner);
+        WaitTimeoutResult(res.timed_out())
+    }
+
+    /// Wake one waiter. Returns whether a thread could have been woken
+    /// (std does not report this; `true` is always returned).
+    pub fn notify_one(&self) -> bool {
+        self.0.notify_one();
+        true
+    }
+
+    /// Wake all waiters. Returns the number of woken threads (std does
+    /// not report this; `0` is always returned).
+    pub fn notify_all(&self) -> usize {
+        self.0.notify_all();
+        0
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+/// A reader-writer lock that ignores poisoning.
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+/// RAII read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized>(std::sync::RwLockReadGuard<'a, T>);
+
+/// RAII write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized>(std::sync::RwLockWriteGuard<'a, T>);
+
+impl<T> RwLock<T> {
+    /// Create a new lock.
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire a shared read lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.0.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Acquire an exclusive write lock.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.0.write().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Acquire a read lock only if no writer holds the lock right now.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(g) => Some(RwLockReadGuard(g)),
+            Err(std::sync::TryLockError::Poisoned(e)) => {
+                Some(RwLockReadGuard(e.into_inner()))
+            }
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Acquire a write lock only if the lock is free right now.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(g) => Some(RwLockWriteGuard(g)),
+            Err(std::sync::TryLockError::Poisoned(e)) => {
+                Some(RwLockWriteGuard(e.into_inner()))
+            }
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_read() {
+            Some(g) => f.debug_tuple("RwLock").field(&&*g).finish(),
+            None => f.write_str("RwLock(<locked>)"),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn condvar_wait_until_times_out() {
+        let m = Mutex::new(false);
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_until(&mut g, Instant::now() + Duration::from_millis(30));
+        assert!(res.timed_out());
+        assert!(!*g, "guard usable after a timed-out wait");
+    }
+
+    #[test]
+    fn condvar_notified_before_deadline() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            *p2.0.lock() = true;
+            p2.1.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut g = m.lock();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !*g {
+            assert!(!cv.wait_until(&mut g, deadline).timed_out(), "missed the notify");
+        }
+        drop(g);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn rwlock_readers_and_writer() {
+        let l = RwLock::new(vec![1, 2]);
+        {
+            let r1 = l.read();
+            let r2 = l.read();
+            assert_eq!(r1.len() + r2.len(), 4);
+            assert!(l.try_write().is_none());
+        }
+        l.write().push(3);
+        assert_eq!(l.read().len(), 3);
+    }
+}

@@ -1,0 +1,150 @@
+//! Offline stand-in for the subset of `rand` this workspace uses:
+//! [`rngs::StdRng`] seeded with [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over half-open integer ranges, and [`random`].
+//!
+//! The generator is splitmix64 — statistically fine for workload mixing
+//! and id generation, not cryptographic.
+
+use std::ops::Range;
+
+/// Types constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Build an RNG from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types [`Rng::gen_range`] can sample uniformly.
+pub trait UniformInt: Copy {
+    /// Map a raw 64-bit draw into `[lo, hi)`.
+    fn from_draw(draw: u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl UniformInt for $t {
+            fn from_draw(draw: u64, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128;
+                assert!(span > 0, "gen_range called with an empty range");
+                ((lo as i128) + ((draw as u128 % span) as i128)) as $t
+            }
+        }
+    )*};
+}
+
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The random-value surface used by the drivers.
+pub trait Rng {
+    /// Next raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from the half-open range `lo..hi` (modulo method;
+    /// the tiny bias is irrelevant at these range sizes).
+    fn gen_range<T: UniformInt>(&mut self, range: Range<T>) -> T {
+        T::from_draw(self.next_u64(), range.start, range.end)
+    }
+
+    /// A bool that is `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Named RNG types.
+pub mod rngs {
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// The workspace's standard deterministic RNG (splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+}
+
+/// Types [`random`] can produce.
+pub trait Standard {
+    /// Build a value from a raw 64-bit draw.
+    fn from_draw(draw: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_draw(draw: u64) -> Self {
+        draw
+    }
+}
+
+impl Standard for u32 {
+    fn from_draw(draw: u64) -> Self {
+        (draw >> 32) as u32
+    }
+}
+
+/// A fresh value from OS-seeded process entropy (each call draws from
+/// `RandomState`, whose keys the OS randomizes per construction).
+pub fn random<T: Standard>() -> T {
+    use std::hash::{BuildHasher, Hasher};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let state = std::collections::hash_map::RandomState::new();
+    let mut hasher = state.build_hasher();
+    hasher.write_u64(COUNTER.fetch_add(1, Ordering::Relaxed));
+    T::from_draw(hasher.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_hits_all_values() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0..10usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..10 should appear in 1000 draws");
+        for _ in 0..1000 {
+            let v = rng.gen_range(5..8u32);
+            assert!((5..8).contains(&v));
+        }
+    }
+
+    #[test]
+    fn random_values_vary() {
+        let a: u64 = random();
+        let b: u64 = random();
+        let c: u64 = random();
+        assert!(a != b || b != c, "three identical OS-entropy draws are implausible");
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`. The workspace derives
+//! `Serialize`/`Deserialize` to mark WAL records, catalog rows, and values
+//! as wire-representable, but never instantiates a serializer — so the
+//! traits here are satisfied-by-everything markers and the derives expand
+//! to nothing.
+
+/// Marker for serializable types. Blanket-implemented: any bound on it is
+/// satisfied.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types. Blanket-implemented: any bound on it
+/// is satisfied.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
