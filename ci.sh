@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Local CI: everything must pass before a change merges.
+#   ./ci.sh            full gate (build, tests, clippy, fmt)
+#   ./ci.sh fast       skip the release build
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n==> %s\n' "$*"; }
+
+if [[ "${1:-}" != "fast" ]]; then
+  step "release build"
+  cargo build --release --offline --workspace
+fi
+
+step "tests"
+cargo test -q --offline --workspace
+
+step "clippy (-D warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+step "rustfmt check"
+cargo fmt --check
+
+step "OK"

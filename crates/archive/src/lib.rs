@@ -104,10 +104,9 @@ impl ArchiveServer {
         if high_priority {
             self.metrics.priority_stores.fetch_add(1, Ordering::Relaxed);
         }
-        self.objects.write().insert(
-            key.clone(),
-            ArchivedObject { key, content: content.to_vec(), high_priority },
-        );
+        self.objects
+            .write()
+            .insert(key.clone(), ArchivedObject { key, content: content.to_vec(), high_priority });
     }
 
     /// Is a version present?

@@ -43,9 +43,7 @@ fn snapshot(dep: &Deployment) -> Consistency {
         .fs
         .list("/")
         .into_iter()
-        .filter(|p| {
-            dep.fs.stat(p).map(|m| m.owner == "dlfm_admin").unwrap_or(false)
-        })
+        .filter(|p| dep.fs.stat(p).map(|m| m.owner == "dlfm_admin").unwrap_or(false))
         .map(|p| format!("dlfs://{}{}", dep.server_name, p))
         .collect();
     Consistency { host_rows, dlfm_linked, fs_owned }
@@ -60,12 +58,14 @@ fn main() {
     let churn_per_phase = env_num("SCALE", 1) * 40;
     let phases = 3usize;
 
-    let mut dlfm_config = dlfm::DlfmConfig::default();
-    dlfm_config.daemon_poll_interval = Duration::from_millis(1);
-    // Retain as many backup cycles as we take: restoring past the retention
-    // window is undefined by design (the GC reclaims older unlinked entries
-    // and archive copies, paper §3.5).
-    dlfm_config.backups_retained = 3;
+    let dlfm_config = dlfm::DlfmConfig {
+        daemon_poll_interval: Duration::from_millis(1),
+        // Retain as many backup cycles as we take: restoring past the
+        // retention window is undefined by design (the GC reclaims older
+        // unlinked entries and archive copies, paper §3.5).
+        backups_retained: 3,
+        ..dlfm::DlfmConfig::default()
+    };
     let dep = Deployment::new("fs1", dlfm_config, hostdb::HostConfig::default());
     let mut s = dep.host.session();
     s.create_table(
@@ -163,4 +163,5 @@ fn main() {
             "MISMATCH found — investigate"
         }
     );
+    bench::dump_metrics(&dep.dlfm.metrics_text());
 }

@@ -36,7 +36,7 @@ fn main() {
     // The tuned configuration the paper converged on.
     let mut dlfm_config = dlfm::DlfmConfig::default();
     dlfm_config.db.lock_timeout = Duration::from_secs(6); // 60 s scaled 10x down
-    // Model ~1999 hardware: each local log force costs a disk write.
+                                                          // Model ~1999 hardware: each local log force costs a disk write.
     dlfm_config.db.log_force_latency = Duration::from_millis(10);
     let mut host_config = hostdb::HostConfig::default();
     host_config.db.lock_timeout = Duration::from_secs(6);
@@ -78,23 +78,14 @@ fn main() {
         think_time: Duration::from_millis(8_000),
         warmup_ops: 3,
     };
-    println!(
-        "{clients} clients, {:?} measured, think 8s, log force 10ms\n",
-        duration
-    );
+    println!("{clients} clients, {:?} measured, think 8s, log force 10ms\n", duration);
     let report = run_host_workload(&dep.host, &dep.fs, &config);
 
     let w = [22, 14, 14];
     row(&["metric", "measured", "paper"], &w);
     row(&["--------------------", "----------", "----------"], &w);
-    row(
-        &["inserts/min", &format!("{:.0}", report.inserts_per_min()), "300"],
-        &w,
-    );
-    row(
-        &["updates/min", &format!("{:.0}", report.updates_per_min()), "150"],
-        &w,
-    );
+    row(&["inserts/min", &format!("{:.0}", report.inserts_per_min()), "300"], &w);
+    row(&["updates/min", &format!("{:.0}", report.updates_per_min()), "150"], &w);
     row(
         &[
             "insert:update ratio",
@@ -135,8 +126,13 @@ fn main() {
     let stable = bench::per_1k(report.forced_rollbacks(), report.committed()) < 10.0;
     println!(
         "\nverdict: run {} (forced rollbacks {:.2}/1k committed)",
-        if stable { "STABLE — matches the paper's 'without much deadlock/timeout problem'" } else { "UNSTABLE" },
+        if stable {
+            "STABLE — matches the paper's 'without much deadlock/timeout problem'"
+        } else {
+            "UNSTABLE"
+        },
         bench::per_1k(report.forced_rollbacks(), report.committed())
     );
+    bench::dump_metrics(&dep.dlfm.metrics_text());
     let _ = Arc::strong_count(&dep.fs);
 }

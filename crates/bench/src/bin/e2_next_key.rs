@@ -17,7 +17,7 @@ use std::time::Duration;
 use bench::{banner, env_num, env_secs, per_1k, row, Stand};
 use workload::{run_dlfm_workload, DlfmWorkloadConfig, IdSource, OpMix};
 
-fn run_arm(next_key: bool, clients: usize, duration: Duration) -> (f64, f64, f64, u64) {
+fn run_arm(next_key: bool, clients: usize, duration: Duration) -> (f64, f64, f64, u64, String) {
     let stand = Stand::tuned(Duration::from_millis(250));
     // Isolate the next-key variable; everything else stays tuned.
     stand.server.db().set_next_key_locking(next_key);
@@ -39,6 +39,7 @@ fn run_arm(next_key: bool, clients: usize, duration: Duration) -> (f64, f64, f64
         per_1k(report.deadlocks + lock.deadlocks, report.committed()),
         per_1k(report.timeouts, report.committed()),
         lock.deadlocks,
+        stand.server.metrics_text(),
     )
 }
 
@@ -52,16 +53,16 @@ fn main() {
     let clients_list = [4, env_num("CLIENTS", 16)];
 
     let w = [8, 10, 14, 18, 18, 14];
-    row(
-        &["clients", "next-key", "txns/sec", "deadlocks/1k", "timeouts/1k", "lm deadlocks"],
-        &w,
-    );
+    row(&["clients", "next-key", "txns/sec", "deadlocks/1k", "timeouts/1k", "lm deadlocks"], &w);
     row(&["-------", "--------", "--------", "------------", "-----------", "------------"], &w);
     let mut on_rate = vec![];
     let mut off_rate = vec![];
+    let mut last_metrics = String::new();
     for &clients in &clients_list {
         for next_key in [true, false] {
-            let (tps, dl_per_1k, to_per_1k, lm_deadlocks) = run_arm(next_key, clients, duration);
+            let (tps, dl_per_1k, to_per_1k, lm_deadlocks, metrics) =
+                run_arm(next_key, clients, duration);
+            last_metrics = metrics;
             row(
                 &[
                     &clients.to_string(),
@@ -91,4 +92,5 @@ fn main() {
             "inconclusive at this scale — raise RUN_SECS/CLIENTS"
         }
     );
+    bench::dump_metrics(&last_metrics);
 }

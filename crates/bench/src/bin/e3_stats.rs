@@ -37,16 +37,12 @@ fn main() {
     // the measured difference is purely the access plan.
     fresh.server.db().set_next_key_locking(false);
     let mut s = Session::new(fresh.server.db());
-    let plan = s
-        .query("EXPLAIN SELECT * FROM dfm_file WHERE filename = '/f'", &[])
-        .unwrap()[0][0]
+    let plan = s.query("EXPLAIN SELECT * FROM dfm_file WHERE filename = '/f'", &[]).unwrap()[0][0]
         .to_string();
     println!("fresh statistics:        {plan}");
     let tuned = Stand::tuned(Duration::from_millis(250));
     let mut s = Session::new(tuned.server.db());
-    let plan = s
-        .query("EXPLAIN SELECT * FROM dfm_file WHERE filename = '/f'", &[])
-        .unwrap()[0][0]
+    let plan = s.query("EXPLAIN SELECT * FROM dfm_file WHERE filename = '/f'", &[]).unwrap()[0][0]
         .to_string();
     println!("hand-crafted statistics: {plan}");
 
@@ -89,10 +85,7 @@ fn main() {
         );
         results.push(tps);
     }
-    println!(
-        "\nindex plans vs table scans: {:.1}x throughput",
-        results[1] / results[0].max(1e-9)
-    );
+    println!("\nindex plans vs table scans: {:.1}x throughput", results[1] / results[0].max(1e-9));
 
     // ---- (c) the RUNSTATS hazard -----------------------------------------
     println!("\n--- (c) RUNSTATS overwrites the hand-crafted statistics ---");
@@ -111,10 +104,7 @@ fn main() {
     stand.server.shared().ensure_plans();
     let stmts = stand.server.shared().statements();
     println!("after DLFM stats guard:     {}", stmts.sel_linked.explain(&db));
-    println!(
-        "guard re-applications:      {}",
-        stand.server.metrics().snapshot().stats_reapplied
-    );
+    println!("guard re-applications:      {}", stand.server.metrics().snapshot().stats_reapplied);
     println!(
         "\nverdict: {}",
         if results[1] > results[0] {
@@ -123,4 +113,5 @@ fn main() {
             "inconclusive at this scale"
         }
     );
+    bench::dump_metrics(&stand.server.metrics_text());
 }

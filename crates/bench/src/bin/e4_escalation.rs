@@ -29,10 +29,12 @@ use minidb::{Database, DbConfig, Session, Value};
 const ROWS: i64 = 1600;
 
 fn make_db(threshold: Option<usize>) -> Database {
-    let mut config = DbConfig::default();
-    config.lock_timeout = Duration::from_millis(250);
-    config.next_key_locking = false;
-    config.lock_escalation_threshold = threshold;
+    let config = DbConfig {
+        lock_timeout: Duration::from_millis(250),
+        next_key_locking: false,
+        lock_escalation_threshold: threshold,
+        ..DbConfig::default()
+    };
     let db = Database::new(config);
     let mut s = Session::new(&db);
     s.exec("CREATE TABLE meta (id BIGINT NOT NULL, state BIGINT)").unwrap();
@@ -85,9 +87,16 @@ struct ArmOutcome {
     client_tps: f64,
     timeouts_per_1k: f64,
     escalations: u64,
+    /// Prometheus text captured before the arm's database is torn down.
+    metrics: String,
 }
 
-fn run_arm(threshold: Option<usize>, batch: usize, clients: usize, duration: Duration) -> ArmOutcome {
+fn run_arm(
+    threshold: Option<usize>,
+    batch: usize,
+    clients: usize,
+    duration: Duration,
+) -> ArmOutcome {
     let db = make_db(threshold);
     let stop = Arc::new(AtomicBool::new(false));
     let daemon = spawn_daemon(db.clone(), batch, stop.clone());
@@ -138,6 +147,7 @@ fn run_arm(threshold: Option<usize>, batch: usize, clients: usize, duration: Dur
             (committed + timeouts.load(Ordering::Relaxed)).max(1),
         ),
         escalations: lock.escalations,
+        metrics: bench::minidb_metrics_text(&db),
     }
 }
 
@@ -193,4 +203,6 @@ fn main() {
         },
         fixed.escalations
     );
+    // Dump the escalation-collapse arm: its counters show the pathology.
+    bench::dump_metrics(&collapse.metrics);
 }

@@ -33,6 +33,8 @@ struct Outcome {
     retries_in_window: u64,
     /// Total wall-clock until every actor finished.
     total: Duration,
+    /// Prometheus text captured before the deployment is torn down.
+    metrics: String,
 }
 
 fn run_arm(synchronous: bool) -> Outcome {
@@ -49,7 +51,11 @@ fn run_arm(synchronous: bool) -> Outcome {
     setup
         .create_table(
             "CREATE TABLE media (id BIGINT NOT NULL, clip DATALINK)",
-            &[DatalinkSpec { column: "clip".into(), access: AccessControl::Partial, recovery: false }],
+            &[DatalinkSpec {
+                column: "clip".into(),
+                access: AccessControl::Partial,
+                recovery: false,
+            }],
         )
         .unwrap();
     setup.exec("CREATE TABLE acct (id BIGINT NOT NULL, bal BIGINT)").unwrap();
@@ -67,11 +73,8 @@ fn run_arm(synchronous: bool) -> Outcome {
     // --- Session A: T1 insert+link, left uncommitted for a moment. -------
     let mut a = dep.host.session();
     a.begin().unwrap();
-    a.exec_params(
-        "INSERT INTO media (id, clip) VALUES (1, ?)",
-        &[Value::str(dep.url("/t1"))],
-    )
-    .unwrap();
+    a.exec_params("INSERT INTO media (id, clip) VALUES (1, ?)", &[Value::str(dep.url("/t1"))])
+        .unwrap();
     let t1_xid = a.xid().unwrap();
 
     // --- T2's DLFM-side lock: an interloper transaction in the DLFM's
@@ -109,11 +112,8 @@ fn run_arm(synchronous: bool) -> Outcome {
         a.begin().unwrap();
         a.exec("UPDATE acct SET bal = 1 WHERE id = 99").unwrap();
         a_tx.send("t11-holds-x").unwrap();
-        a.exec_params(
-            "INSERT INTO media (id, clip) VALUES (2, ?)",
-            &[Value::str(dep_url)],
-        )
-        .unwrap();
+        a.exec_params("INSERT INTO media (id, clip) VALUES (2, ?)", &[Value::str(dep_url)])
+            .unwrap();
         a.commit().unwrap();
         a_tx.send("t11-done").unwrap();
     });
@@ -144,7 +144,7 @@ fn run_arm(synchronous: bool) -> Outcome {
         events.push(e);
     }
     let t11_done = events.contains(&"t11-done");
-    let retries_in_window = metrics_mid.phase2_retries - metrics0.phase2_retries;
+    let retries_in_window = metrics_mid.delta(&metrics0).phase2_retries;
     let livelocked = !t11_done && retries_in_window >= 2;
 
     // Let everything drain (the host lock timeout breaks the async cycle).
@@ -152,7 +152,7 @@ fn run_arm(synchronous: bool) -> Outcome {
     b_thread.join().unwrap();
     interloper.join().unwrap();
     let total = started.elapsed();
-    Outcome { livelocked, retries_in_window, total }
+    Outcome { livelocked, retries_in_window, total, metrics: dep.dlfm.metrics_text() }
 }
 
 fn main() {
@@ -187,7 +187,8 @@ fn main() {
     );
     println!(
         "\nverdict: {}",
-        if async_outcome.livelocked && !sync_outcome.livelocked
+        if async_outcome.livelocked
+            && !sync_outcome.livelocked
             && sync_outcome.total < async_outcome.total
         {
             "REPRODUCED — async commit livelocks until the host lock timeout fires; \
@@ -196,4 +197,5 @@ fn main() {
             "inconclusive — timing-sensitive; re-run"
         }
     );
+    bench::dump_metrics(&sync_outcome.metrics);
 }

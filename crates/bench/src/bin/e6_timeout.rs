@@ -27,10 +27,12 @@ use bench::{banner, env_secs, row};
 use minidb::{Database, DbConfig, Session, Value};
 
 fn make_db(timeout: Duration) -> Database {
-    let mut config = DbConfig::default();
-    config.lock_timeout = timeout;
-    config.deadlock_detection = false; // distributed deadlocks are invisible
-    config.next_key_locking = false;
+    let config = DbConfig {
+        lock_timeout: timeout,
+        deadlock_detection: false, // distributed deadlocks are invisible
+        next_key_locking: false,
+        ..DbConfig::default()
+    };
     let db = Database::new(config);
     let mut s = Session::new(&db);
     s.exec("CREATE TABLE r (id BIGINT NOT NULL, v BIGINT)").unwrap();
@@ -47,6 +49,8 @@ struct ArmResult {
     committed: u64,
     timeouts: u64,
     p_max_stall_ms: u64,
+    /// Prometheus text captured before the arm's database is torn down.
+    metrics: String,
 }
 
 /// Deadlock-prone workload: each transaction updates a pair of rows; half
@@ -70,11 +74,8 @@ fn deadlock_arm(timeout: Duration, duration: Duration) -> ArmResult {
             while !stop.load(Ordering::SeqCst) {
                 n += 1;
                 let pair = (n % 8) as i64;
-                let (first, second) = if c % 2 == 0 {
-                    (pair * 2, pair * 2 + 1)
-                } else {
-                    (pair * 2 + 1, pair * 2)
-                };
+                let (first, second) =
+                    if c % 2 == 0 { (pair * 2, pair * 2 + 1) } else { (pair * 2 + 1, pair * 2) };
                 let t0 = Instant::now();
                 if s.begin().is_err() {
                     continue;
@@ -110,6 +111,7 @@ fn deadlock_arm(timeout: Duration, duration: Duration) -> ArmResult {
         committed: committed.load(Ordering::Relaxed),
         timeouts: timeouts.load(Ordering::Relaxed),
         p_max_stall_ms: max_stall.load(Ordering::Relaxed),
+        metrics: bench::minidb_metrics_text(&db),
     }
 }
 
@@ -159,6 +161,7 @@ fn slow_holder_arm(timeout: Duration, duration: Duration) -> ArmResult {
         committed: committed.load(Ordering::Relaxed),
         timeouts: timeouts.load(Ordering::Relaxed),
         p_max_stall_ms: 0,
+        metrics: bench::minidb_metrics_text(&db),
     }
 }
 
@@ -184,12 +187,26 @@ fn main() {
         ],
         &w,
     );
-    row(&["-------", "-----------", "------------", "-----------", "--------------", "--------------"], &w);
+    row(
+        &[
+            "-------",
+            "-----------",
+            "------------",
+            "-----------",
+            "--------------",
+            "--------------",
+        ],
+        &w,
+    );
+    let mut picked_metrics = String::new();
     for &ms in &timeouts_ms {
         let t = Duration::from_millis(ms);
         let dl = deadlock_arm(t, duration);
         let healthy = slow_holder_arm(t, duration);
         let marker = if ms == 600 { "  <- paper's pick (scaled)" } else { "" };
+        if ms == 600 {
+            picked_metrics = dl.metrics.clone();
+        }
         println!(
             "{:<12}  {:<13}  {:<16}  {:<15}  {:<17}  {:<18}{}",
             format!("{ms}ms"),
@@ -207,4 +224,6 @@ fn main() {
          deadlocked pairs stalled for the full timeout; the middle of the sweep \
          resolves deadlocks promptly with no false aborts."
     );
+    // Dump the paper's-pick deadlock arm (captured before its db teardown).
+    bench::dump_metrics(&picked_metrics);
 }

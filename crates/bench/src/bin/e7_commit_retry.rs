@@ -43,7 +43,9 @@ fn main() {
     s.commit().unwrap();
     let after = db.lock_metrics().snapshot();
     let sql_commit_locks = after.acquisitions - before.acquisitions;
-    println!("SQL COMMIT:          {sql_commit_locks} new lock acquisitions (locks are only released)");
+    println!(
+        "SQL COMMIT:          {sql_commit_locks} new lock acquisitions (locks are only released)"
+    );
 
     // DLFM phase-2 commit for a transaction with one link + one unlink.
     let conn = stand.server.connector().connect().unwrap();
@@ -149,10 +151,7 @@ fn main() {
     row(&["phase-2 commits completed", &commits.to_string()], &w);
     row(&["phase-2 retries needed", &m.phase2_retries.to_string()], &w);
     row(
-        &[
-            "retries per commit",
-            &format!("{:.3}", m.phase2_retries as f64 / commits.max(1) as f64),
-        ],
+        &["retries per commit", &format!("{:.3}", m.phase2_retries as f64 / commits.max(1) as f64)],
         &w,
     );
     row(&["phase-2 failures", "0 (by construction: assert)"], &w);
@@ -162,4 +161,5 @@ fn main() {
          ('keeps retrying until it succeeds' — and the paper found this was not a problem).",
         commits, m.phase2_retries
     );
+    bench::dump_metrics(&stand.server.metrics_text());
 }

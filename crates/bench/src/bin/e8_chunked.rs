@@ -25,14 +25,18 @@ struct ArmOutcome {
     chunk_commits: u64,
     peak_window: usize,
     links_done: usize,
+    /// Prometheus text captured before the stand is torn down.
+    metrics: String,
 }
 
 fn run_arm(chunk: Option<usize>, files: usize) -> ArmOutcome {
-    let mut config = DlfmConfig::default();
-    config.chunk_commit_every = chunk;
+    let mut config = DlfmConfig {
+        chunk_commit_every: chunk,
+        daemon_poll_interval: Duration::from_millis(2),
+        ..DlfmConfig::default()
+    };
     config.db.log_capacity_records = LOG_CAPACITY;
     config.db.lock_timeout = Duration::from_millis(500);
-    config.daemon_poll_interval = Duration::from_millis(2);
     let stand = Stand::new(config, AccessControl::Partial, false);
     let conn = stand.server.connector().connect().unwrap();
     conn.call(DlfmRequest::Connect { dbid: 1 }).unwrap();
@@ -77,6 +81,7 @@ fn run_arm(chunk: Option<usize>, files: usize) -> ArmOutcome {
         chunk_commits: stand.server.metrics().snapshot().chunk_commits,
         peak_window: peak,
         links_done,
+        metrics: stand.server.metrics_text(),
     }
 }
 
@@ -94,8 +99,10 @@ fn main() {
     row(&["------------", "------", "----------", "-------------", "------------", "--------"], &w);
     let mut no_chunk_failed = false;
     let mut chunked_ok = true;
+    let mut last_metrics = String::new();
     for chunk in [None, Some(1000), Some(250), Some(50), Some(10)] {
         let o = run_arm(chunk, files);
+        last_metrics = o.metrics.clone();
         let label = match chunk {
             None => "none (1 txn)".to_string(),
             Some(n) => n.to_string(),
@@ -133,4 +140,5 @@ fn main() {
             "inconclusive — adjust SCALE/LOG capacity"
         }
     );
+    bench::dump_metrics(&last_metrics);
 }

@@ -27,6 +27,8 @@ struct ArmOutcome {
     archived: u64,
     lm_deadlocks: u64,
     lock_waits: u64,
+    /// Prometheus text captured before the stand is torn down.
+    metrics: String,
 }
 
 fn run_arm(next_key: bool, clients: usize, duration: Duration) -> ArmOutcome {
@@ -60,6 +62,7 @@ fn run_arm(next_key: bool, clients: usize, duration: Duration) -> ArmOutcome {
         archived: m.files_archived,
         lm_deadlocks: lock.deadlocks,
         lock_waits: lock.waits,
+        metrics: stand.server.metrics_text(),
     }
 }
 
@@ -75,10 +78,29 @@ fn main() {
 
     let w = [10, 10, 14, 16, 12, 12, 12];
     row(
-        &["next-key", "txns/sec", "rollbacks/1k", "phase2 retries", "archived", "deadlocks", "lock waits"],
+        &[
+            "next-key",
+            "txns/sec",
+            "rollbacks/1k",
+            "phase2 retries",
+            "archived",
+            "deadlocks",
+            "lock waits",
+        ],
         &w,
     );
-    row(&["--------", "--------", "------------", "--------------", "--------", "---------", "----------"], &w);
+    row(
+        &[
+            "--------",
+            "--------",
+            "------------",
+            "--------------",
+            "--------",
+            "---------",
+            "----------",
+        ],
+        &w,
+    );
     let on = run_arm(true, clients, duration);
     let off = run_arm(false, clients, duration);
     for (label, o) in [("ON", &on), ("OFF", &off)] {
@@ -114,4 +136,6 @@ fn main() {
             "inconclusive at this scale — raise RUN_SECS/CLIENTS"
         }
     );
+    // Dump the contended (next-key ON) arm: the pathology under study.
+    bench::dump_metrics(&on.metrics);
 }

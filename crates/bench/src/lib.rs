@@ -20,10 +20,7 @@ use filesys::FileSystem;
 
 /// Read an env var as seconds, with a default.
 pub fn env_secs(name: &str, default: f64) -> Duration {
-    let secs = std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .unwrap_or(default);
+    let secs = std::env::var(name).ok().and_then(|v| v.parse::<f64>().ok()).unwrap_or(default);
     Duration::from_secs_f64(secs)
 }
 
@@ -103,6 +100,54 @@ impl Stand {
         config.commit_retry_backoff = Duration::from_millis(1);
         Stand::new(config, AccessControl::Partial, false)
     }
+}
+
+/// Print a Prometheus-text metrics dump at the end of an experiment.
+/// Disable with `BENCH_METRICS=0` (the tables above stay the primary
+/// output; this section is for scraping and debugging).
+pub fn dump_metrics(text: &str) {
+    if std::env::var("BENCH_METRICS").as_deref() == Ok("0") {
+        return;
+    }
+    println!("\n--- metrics (prometheus text) ---");
+    print!("{text}");
+    println!("--- end metrics ---");
+}
+
+/// Render metrics for experiments that drive a raw minidb [`Database`]
+/// without a DLFM server (E4, E6): lock-manager counters and the
+/// lock-wait / WAL-force latency histograms.
+pub fn minidb_metrics_text(db: &minidb::Database) -> String {
+    let mut r = obs::Registry::new();
+    let lm = db.lock_metrics().snapshot();
+    for (kind, value) in [
+        ("immediate_grants", lm.immediate_grants),
+        ("waits", lm.waits),
+        ("deadlocks", lm.deadlocks),
+        ("timeouts", lm.timeouts),
+        ("escalations", lm.escalations),
+        ("acquisitions", lm.acquisitions),
+    ] {
+        r.counter(
+            "minidb_lock_events_total",
+            "Lock-manager events by kind (paper section 4).",
+            &[("kind", kind)],
+            value,
+        );
+    }
+    r.histogram(
+        "minidb_lock_wait_micros",
+        "Time spent blocked in the lock manager before grant, timeout, or deadlock abort.",
+        &[],
+        db.lock_wait_hist(),
+    );
+    r.histogram(
+        "minidb_wal_force_micros",
+        "WAL force (simulated fsync) latency.",
+        &[],
+        db.wal_force_hist(),
+    );
+    r.render()
 }
 
 /// Normalise a rate to "per 1000 committed transactions".

@@ -66,11 +66,7 @@ impl Deployment {
 
     /// Default test-friendly deployment.
     pub fn for_tests(server_name: &str) -> Deployment {
-        Deployment::new(
-            server_name,
-            dlfm::DlfmConfig::for_tests(),
-            hostdb::HostConfig::for_tests(),
-        )
+        Deployment::new(server_name, dlfm::DlfmConfig::for_tests(), hostdb::HostConfig::for_tests())
     }
 
     /// Datalink URL for a path on this deployment's file server.

@@ -48,18 +48,31 @@ impl Agent {
         Agent { shared, session, dbid: 0, cur: None }
     }
 
-    /// Dispatch one request.
+    /// Dispatch one request, tracing it and recording per-op latency.
     pub fn handle(&mut self, req: DlfmRequest) -> DlfmResponse {
-        match self.dispatch(req) {
+        let op = op_name(&req);
+        let metrics = self.shared.metrics.clone();
+        let mut span = obs::span(obs::Layer::Dlfm, op);
+        let started = std::time::Instant::now();
+        let result = self.dispatch(req);
+        if let Some(hist) = op_hist(&metrics.op_hists, op) {
+            hist.record_micros(started.elapsed());
+        }
+        match result {
             Ok(resp) => resp,
             Err(e) => {
+                span.fail();
                 if let DlfmError::Db { retryable: true, .. } = &e {
                     // A deadlock/timeout in the local database rolled back
                     // the whole sub-transaction; the host must roll back the
                     // full transaction (paper §3.2).
+                    obs::warn!(
+                        "dlfm::agent",
+                        "{op} hit retryable error, forcing host rollback: {e}"
+                    );
                     self.cur = None;
                     self.session.rollback();
-                    DlfmMetrics::bump(&self.shared.metrics.forced_rollbacks);
+                    DlfmMetrics::bump(&metrics.forced_rollbacks);
                 }
                 DlfmResponse::Err(e)
             }
@@ -170,11 +183,7 @@ impl Agent {
             let cur = self.cur.as_mut().ok_or(DlfmError::UnknownTxn(xid))?;
             cur.ops_since_chunk += 1;
             cur.total_ops += 1;
-            (
-                cur.ops_since_chunk >= chunk_every,
-                !cur.chunked,
-                cur.groups_deleted,
-            )
+            (cur.ops_since_chunk >= chunk_every, !cur.chunked, cur.groups_deleted)
         };
         if !needs_chunk {
             return Ok(());
@@ -221,10 +230,8 @@ impl Agent {
         if in_backout {
             // Undo of a previous link in a savepoint backout: delete the
             // entry this transaction inserted.
-            self.session.exec_prepared(
-                &stmts.del_backout_link,
-                &[Value::str(filename), Value::Int(xid)],
-            )?;
+            self.session
+                .exec_prepared(&stmts.del_backout_link, &[Value::str(filename), Value::Int(xid)])?;
             return Ok(());
         }
 
@@ -242,10 +249,7 @@ impl Agent {
         // Check 3: no unresolved unlink of the same file by another
         // transaction (re-linking before that outcome is known could make
         // its abort unrestorable).
-        let rows = self
-            .session
-            .exec_prepared(&stmts.sel_by_name, &[Value::str(filename)])?
-            .rows();
+        let rows = self.session.exec_prepared(&stmts.sel_by_name, &[Value::str(filename)])?.rows();
         for row in &rows {
             let e = FileEntry::from_row(row)?;
             if e.lnk_state == LNK_LINKED {
@@ -534,12 +538,48 @@ impl Agent {
             "SELECT xid FROM dfm_xact WHERE state = ? AND dbid = ?",
             &[Value::Int(XS_PREPARED), Value::Int(self.dbid)],
         )?;
-        let mut xids: Vec<i64> = rows
-            .iter()
-            .map(|r| r[0].as_int())
-            .collect::<Result<_, _>>()?;
+        let mut xids: Vec<i64> = rows.iter().map(|r| r[0].as_int()).collect::<Result<_, _>>()?;
         xids.sort_unstable();
         Ok(DlfmResponse::Indoubt(xids))
+    }
+}
+
+/// Stable span/metric operation name for a request.
+fn op_name(req: &DlfmRequest) -> &'static str {
+    match req {
+        DlfmRequest::Connect { .. } => "Connect",
+        DlfmRequest::BeginTxn { .. } => "BeginTxn",
+        DlfmRequest::LinkFile { .. } => "LinkFile",
+        DlfmRequest::UnlinkFile { .. } => "UnlinkFile",
+        DlfmRequest::Prepare { .. } => "Prepare",
+        DlfmRequest::Commit { .. } => "Commit",
+        DlfmRequest::Abort { .. } => "Abort",
+        DlfmRequest::RegisterGroup(_) => "RegisterGroup",
+        DlfmRequest::DeleteGroup { .. } => "DeleteGroup",
+        DlfmRequest::IssueToken { .. } => "IssueToken",
+        DlfmRequest::ListIndoubt => "ListIndoubt",
+        DlfmRequest::BeginBackup { .. } => "BeginBackup",
+        DlfmRequest::EndBackup { .. } => "EndBackup",
+        DlfmRequest::RestoreTo { .. } => "RestoreTo",
+        DlfmRequest::Reconcile { .. } => "Reconcile",
+        DlfmRequest::UpcallQuery { .. } => "UpcallQuery",
+        DlfmRequest::PendingCopies => "PendingCopies",
+        DlfmRequest::Ping => "Ping",
+    }
+}
+
+/// The latency histogram tracking an operation, if it has one.
+fn op_hist<'m>(hists: &'m crate::metrics::DlfmOpHists, op: &str) -> Option<&'m obs::Histogram> {
+    match op {
+        "LinkFile" => Some(&hists.link),
+        "UnlinkFile" => Some(&hists.unlink),
+        "Prepare" => Some(&hists.prepare),
+        // A Commit/Abort request is phase-2 work (one-phase commits
+        // include the implicit prepare).
+        "Commit" => Some(&hists.phase2_commit),
+        "Abort" => Some(&hists.phase2_abort),
+        "UpcallQuery" => Some(&hists.upcall),
+        _ => None,
     }
 }
 

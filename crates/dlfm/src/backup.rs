@@ -32,21 +32,11 @@ const BACKUP_FLUSH_DEADLINE: Duration = Duration::from_secs(10);
 
 /// Host backup started: record the backup, escalate pending copies, and
 /// wait until every file linked before the backup point is archived.
-pub fn begin_backup(
-    shared: &DlfmShared,
-    dbid: i64,
-    backup_id: i64,
-    rec_id: i64,
-) -> DlfmResult<()> {
+pub fn begin_backup(shared: &DlfmShared, dbid: i64, backup_id: i64, rec_id: i64) -> DlfmResult<()> {
     let mut s = Session::new(&shared.db);
     let inserted = s.exec_params(
         "INSERT INTO dfm_backup (backup_id, dbid, rec_id, complete, ts) VALUES (?, ?, ?, 0, ?)",
-        &[
-            Value::Int(backup_id),
-            Value::Int(dbid),
-            Value::Int(rec_id),
-            Value::Int(now_micros()),
-        ],
+        &[Value::Int(backup_id), Value::Int(dbid), Value::Int(rec_id), Value::Int(now_micros())],
     );
     match inserted {
         Ok(_) => {}
@@ -79,12 +69,7 @@ pub fn begin_backup(
 }
 
 /// Host backup finished.
-pub fn end_backup(
-    shared: &DlfmShared,
-    dbid: i64,
-    backup_id: i64,
-    success: bool,
-) -> DlfmResult<()> {
+pub fn end_backup(shared: &DlfmShared, dbid: i64, backup_id: i64, success: bool) -> DlfmResult<()> {
     let mut s = Session::new(&shared.db);
     if success {
         s.exec_params(
@@ -132,33 +117,21 @@ pub fn restore_to(shared: &DlfmShared, dbid: i64, rec_id: i64) -> DlfmResult<()>
     let resurrect = s.query(
         "SELECT * FROM dfm_file WHERE dbid = ? AND lnk_state = ? AND rec_id <= ? \
          AND unlink_rec_id > ?",
-        &[
-            Value::Int(dbid),
-            Value::Int(LNK_UNLINKED),
-            Value::Int(rec_id),
-            Value::Int(rec_id),
-        ],
+        &[Value::Int(dbid), Value::Int(LNK_UNLINKED), Value::Int(rec_id), Value::Int(rec_id)],
     )?;
     for row in &resurrect {
         let e = FileEntry::from_row(row)?;
         s.exec_params(
             "UPDATE dfm_file SET lnk_state = ?, check_flag = 0, unlink_xid = NULL, \
              unlink_rec_id = NULL, unlink_ts = NULL WHERE filename = ? AND check_flag = ?",
-            &[
-                Value::Int(LNK_LINKED),
-                Value::str(e.filename.clone()),
-                Value::Int(e.check_flag),
-            ],
+            &[Value::Int(LNK_LINKED), Value::str(e.filename.clone()), Value::Int(e.check_flag)],
         )?;
         if shared.fs.exists(&e.filename) {
             // File still present: re-apply takeover (it was released at
             // unlink commit).
             shared
                 .chown
-                .call(ChownOp::Takeover {
-                    path: e.filename.clone(),
-                    full: is_full(e.access_ctl),
-                })
+                .call(ChownOp::Takeover { path: e.filename.clone(), full: is_full(e.access_ctl) })
                 .map_err(DlfmError::Fs)?;
         } else if e.recovery != 0 {
             // File gone: restore content from the archive.
@@ -182,6 +155,9 @@ pub fn restore_to(shared: &DlfmShared, dbid: i64, rec_id: i64) -> DlfmResult<()>
     Ok(())
 }
 
+/// What [`reconcile`] found: `(broken_host_refs, orphans_unlinked)`.
+pub type ReconcileReport = (Vec<(String, i64)>, Vec<String>);
+
 /// The Reconcile utility's DLFM half (§3.4): load the host's references
 /// into a temp table, diff with EXCEPT, fix the DLFM side, and report what
 /// the host must fix. Returns `(broken_host_refs, orphans_unlinked)`.
@@ -189,15 +165,13 @@ pub fn reconcile(
     shared: &DlfmShared,
     dbid: i64,
     entries: &[(String, i64)],
-) -> DlfmResult<(Vec<(String, i64)>, Vec<String>)> {
+) -> DlfmResult<ReconcileReport> {
     let mut s = Session::new(&shared.db);
     let tmp = format!("tmp_recon_{dbid}");
     // Temp table per reconcile run ("they are first stored in a temp table
     // in the local database to reduce the number of messages").
     let _ = s.exec(&format!("DROP TABLE {tmp}"));
-    s.exec(&format!(
-        "CREATE TABLE {tmp} (filename VARCHAR NOT NULL, rec_id BIGINT NOT NULL)"
-    ))?;
+    s.exec(&format!("CREATE TABLE {tmp} (filename VARCHAR NOT NULL, rec_id BIGINT NOT NULL)"))?;
     for chunk in entries.chunks(256) {
         s.begin()?;
         for (filename, rec_id) in chunk {

@@ -19,11 +19,7 @@ pub fn encode_mode(m: Mode) -> i64 {
 
 /// Decode mode bits from the metadata encoding.
 pub fn decode_mode(bits: i64) -> Mode {
-    Mode {
-        owner_write: bits & 1 != 0,
-        world_read: bits & 2 != 0,
-        world_write: bits & 4 != 0,
-    }
+    Mode { owner_write: bits & 1 != 0, world_read: bits & 2 != 0, world_write: bits & 4 != 0 }
 }
 
 /// Operations the daemon performs.

@@ -63,11 +63,7 @@ impl DlfmConfig {
     /// locking on, no hand-crafted statistics. Used as the "before" arm of
     /// the ablation experiments.
     pub fn untuned() -> Self {
-        DlfmConfig {
-            db: DbConfig::default(),
-            hand_craft_stats: false,
-            ..DlfmConfig::default()
-        }
+        DlfmConfig { db: DbConfig::default(), hand_craft_stats: false, ..DlfmConfig::default() }
     }
 
     /// Fast-timeout variant for tests.

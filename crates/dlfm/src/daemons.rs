@@ -36,7 +36,11 @@ pub fn spawn_copy_daemon(shared: Arc<DlfmShared>) -> JoinHandle<()> {
             match copy_pass(&shared) {
                 Ok(0) => std::thread::sleep(poll),
                 Ok(_) => {}
-                Err(_) => std::thread::sleep(poll), // retry next pass
+                Err(e) => {
+                    // Retry next pass.
+                    obs::warn!("dlfm::daemons", "copy pass failed, will retry: {e}");
+                    std::thread::sleep(poll);
+                }
             }
         }
     })
@@ -56,18 +60,12 @@ fn copy_pass(shared: &DlfmShared) -> DlfmResult<usize> {
         let priority = row[3].as_int()?;
         // Read the (now read-only) file; asynchronous copy is safe because
         // commit processing removed the write permission (§3.4).
-        let content = shared
-            .fs
-            .read(&filename, &shared.config.dlfm_admin)
-            .unwrap_or_default();
+        let content = shared.fs.read(&filename, &shared.config.dlfm_admin).unwrap_or_default();
         shared.archive.store(&filename, rec_id, &content, priority > 0);
         // Delete the queue entry in its own transaction: commit frequently,
         // never escalate (§4). Deadlocks with child agents inserting into
         // the same table are retried on the next pass.
-        s.exec_prepared(
-            &stmts.del_archive,
-            &[Value::str(filename.clone()), Value::Int(rec_id)],
-        )?;
+        s.exec_prepared(&stmts.del_archive, &[Value::str(filename.clone()), Value::Int(rec_id)])?;
         DlfmMetrics::bump(&shared.metrics.files_archived);
         copied += 1;
     }
@@ -91,14 +89,21 @@ pub fn spawn_group_delete_daemon(
             }
             match job {
                 Some((dbid, xid)) => {
-                    let _ = process_deleted_groups(&shared, dbid, xid);
+                    if let Err(e) = process_deleted_groups(&shared, dbid, xid) {
+                        obs::warn!(
+                            "dlfm::daemons",
+                            "delete-group pass for xid {xid} failed, rescan will retry: {e}"
+                        );
+                    }
                 }
                 None => {
                     // Periodic rescan catches work whose notification was
                     // lost (e.g. across a crash).
                     if last_scan.elapsed() >= poll * 20 {
                         last_scan = Instant::now();
-                        let _ = rescan(&shared);
+                        if let Err(e) = rescan(&shared) {
+                            obs::warn!("dlfm::daemons", "delete-group rescan failed: {e}");
+                        }
                     }
                 }
             }
@@ -108,10 +113,8 @@ pub fn spawn_group_delete_daemon(
 
 fn rescan(shared: &DlfmShared) -> DlfmResult<()> {
     let mut s = Session::new(&shared.db);
-    let rows = s.query(
-        "SELECT dbid, xid FROM dfm_xact WHERE state = 3 AND groups_deleted > 0",
-        &[],
-    )?;
+    let rows =
+        s.query("SELECT dbid, xid FROM dfm_xact WHERE state = 3 AND groups_deleted > 0", &[])?;
     for row in rows {
         process_deleted_groups(shared, row[0].as_int()?, row[1].as_int()?)?;
     }
@@ -220,7 +223,9 @@ pub fn spawn_gc_daemon(shared: Arc<DlfmShared>) -> JoinHandle<()> {
             if !shared.db.is_online() {
                 continue;
             }
-            let _ = gc_pass(&shared);
+            if let Err(e) = gc_pass(&shared) {
+                obs::warn!("dlfm::daemons", "GC pass failed, will retry: {e}");
+            }
         }
     })
 }
@@ -258,10 +263,7 @@ pub fn gc_pass(shared: &DlfmShared) -> DlfmResult<(u64, u64)> {
             )?;
             entries_removed += 1;
         }
-        s.exec_params(
-            "DELETE FROM dfm_backup WHERE backup_id < ?",
-            &[Value::Int(cutoff_backup)],
-        )?;
+        s.exec_params("DELETE FROM dfm_backup WHERE backup_id < ?", &[Value::Int(cutoff_backup)])?;
     }
 
     // (b) Deleted groups past their life span: remove their unlinked
@@ -312,17 +314,17 @@ pub struct RetrieveJob {
 
 /// The Retrieve daemon: restores files from the archive server after the
 /// host database was restored to a point in the past (§3.5).
-pub fn spawn_retrieve_daemon(
-    shared: Arc<DlfmShared>,
-    rx: Receiver<RetrieveJob>,
-) -> JoinHandle<()> {
+pub fn spawn_retrieve_daemon(shared: Arc<DlfmShared>, rx: Receiver<RetrieveJob>) -> JoinHandle<()> {
     std::thread::spawn(move || {
         let poll = shared.config.daemon_poll_interval;
         while !shared.shutting_down() {
             let Ok(job) = rx.recv_timeout(poll) else { continue };
             let result = retrieve_one(&shared, &job);
-            if result.is_ok() {
-                DlfmMetrics::bump(&shared.metrics.files_retrieved);
+            match &result {
+                Ok(()) => DlfmMetrics::bump(&shared.metrics.files_retrieved),
+                Err(e) => {
+                    obs::warn!("dlfm::daemons", "retrieve of {} failed: {e}", job.filename)
+                }
             }
             let _ = job.done.send(result);
         }
@@ -338,14 +340,8 @@ fn retrieve_one(shared: &DlfmShared, job: &RetrieveJob) -> Result<(), String> {
     };
     if shared.fs.exists(&job.filename) {
         // Make it writable long enough to restore the content.
-        shared
-            .fs
-            .chmod(&job.filename, filesys::Mode::user_default())
-            .map_err(|e| e.to_string())?;
-        shared
-            .fs
-            .chown(&job.filename, &job.owner, "users")
-            .map_err(|e| e.to_string())?;
+        shared.fs.chmod(&job.filename, filesys::Mode::user_default()).map_err(|e| e.to_string())?;
+        shared.fs.chown(&job.filename, &job.owner, "users").map_err(|e| e.to_string())?;
         shared.fs.write(&job.filename, &job.owner, &content).map_err(|e| e.to_string())?;
     } else {
         shared.fs.create(&job.filename, &job.owner, &content).map_err(|e| e.to_string())?;
@@ -381,8 +377,12 @@ impl filesys::UpcallHandler for UpcallDaemon {
             // Server is gone; nothing is linked any more.
             return filesys::LinkState::NotLinked;
         };
+        let _span = obs::span(obs::Layer::Daemon, "upcall");
+        let started = Instant::now();
         DlfmMetrics::bump(&shared.metrics.upcalls);
-        match crate::agent::query_link_state(&shared, path) {
+        let state = crate::agent::query_link_state(&shared, path);
+        shared.metrics.op_hists.upcall.record_micros(started.elapsed());
+        match state {
             crate::api::LinkStatus::NotLinked => filesys::LinkState::NotLinked,
             crate::api::LinkStatus::LinkedPartial => filesys::LinkState::LinkedPartial,
             crate::api::LinkStatus::LinkedFull => filesys::LinkState::LinkedFull,

@@ -298,9 +298,8 @@ impl Statements {
                  recovery, orig_owner, orig_mode, fsid, inode) \
                  VALUES (?, ?, ?, ?, ?, ?, ?, NULL, NULL, NULL, ?, ?, ?, ?, ?, ?)",
             )?,
-            sel_linked: db.prepare(
-                "SELECT * FROM dfm_file WHERE filename = ? AND check_flag = 0",
-            )?,
+            sel_linked: db
+                .prepare("SELECT * FROM dfm_file WHERE filename = ? AND check_flag = 0")?,
             sel_by_name: db.prepare("SELECT * FROM dfm_file WHERE filename = ?")?,
             upd_unlink: db.prepare(
                 "UPDATE dfm_file SET lnk_state = 2, check_flag = ?, unlink_xid = ?, \
@@ -314,18 +313,13 @@ impl Statements {
                  unlink_rec_id = NULL, unlink_ts = NULL \
                  WHERE filename = ? AND unlink_xid = ? AND lnk_state = 2",
             )?,
-            sel_by_link_xid: db.prepare(
-                "SELECT * FROM dfm_file WHERE link_xid = ? AND lnk_state = 1",
-            )?,
-            sel_unlinked_by_xid: db.prepare(
-                "SELECT * FROM dfm_file WHERE unlink_xid = ? AND lnk_state = 2",
-            )?,
-            del_entry: db.prepare(
-                "DELETE FROM dfm_file WHERE filename = ? AND check_flag = ?",
-            )?,
-            del_by_link_xid: db.prepare(
-                "DELETE FROM dfm_file WHERE link_xid = ? AND lnk_state = 1",
-            )?,
+            sel_by_link_xid: db
+                .prepare("SELECT * FROM dfm_file WHERE link_xid = ? AND lnk_state = 1")?,
+            sel_unlinked_by_xid: db
+                .prepare("SELECT * FROM dfm_file WHERE unlink_xid = ? AND lnk_state = 2")?,
+            del_entry: db.prepare("DELETE FROM dfm_file WHERE filename = ? AND check_flag = ?")?,
+            del_by_link_xid: db
+                .prepare("DELETE FROM dfm_file WHERE link_xid = ? AND lnk_state = 1")?,
             upd_restore_by_unlink_xid: db.prepare(
                 "UPDATE dfm_file SET lnk_state = 1, check_flag = 0, unlink_xid = NULL, \
                  unlink_rec_id = NULL, unlink_ts = NULL \
@@ -348,12 +342,9 @@ impl Statements {
                 "SELECT filename, rec_id, grp_id, priority FROM dfm_archive \
                  ORDER BY priority DESC",
             )?,
-            del_archive: db.prepare(
-                "DELETE FROM dfm_archive WHERE filename = ? AND rec_id = ?",
-            )?,
-            upd_archive_prio: db.prepare(
-                "UPDATE dfm_archive SET priority = 10 WHERE rec_id <= ?",
-            )?,
+            del_archive: db.prepare("DELETE FROM dfm_archive WHERE filename = ? AND rec_id = ?")?,
+            upd_archive_prio: db
+                .prepare("UPDATE dfm_archive SET priority = 10 WHERE rec_id <= ?")?,
             cnt_archive: db.prepare("SELECT COUNT(*) FROM dfm_archive")?,
         })
     }
@@ -379,6 +370,10 @@ pub fn ensure_plans(
     if overwritten {
         hand_craft_stats(db)?;
         DlfmMetrics::bump(&metrics.stats_reapplied);
+        obs::info!(
+            "dlfm::meta",
+            "statistics guard: RUNSTATS overwrote hand-crafted stats; re-applied and rebinding"
+        );
     }
     let fresh = Statements::prepare(db)?;
     Ok(Some(fresh))
@@ -435,20 +430,18 @@ mod tests {
     fn hand_crafted_stats_flip_plans_to_index_scans() {
         let db = fresh_db();
         let mut s = Session::new(&db);
-        let plan = s
-            .query("EXPLAIN SELECT * FROM dfm_file WHERE filename = '/f'", &[])
-            .unwrap()[0][0]
-            .as_str()
-            .unwrap()
-            .to_string();
+        let plan = s.query("EXPLAIN SELECT * FROM dfm_file WHERE filename = '/f'", &[]).unwrap()[0]
+            [0]
+        .as_str()
+        .unwrap()
+        .to_string();
         assert!(plan.starts_with("TBSCAN"), "fresh stats should table-scan: {plan}");
         hand_craft_stats(&db).unwrap();
-        let plan = s
-            .query("EXPLAIN SELECT * FROM dfm_file WHERE filename = '/f'", &[])
-            .unwrap()[0][0]
-            .as_str()
-            .unwrap()
-            .to_string();
+        let plan = s.query("EXPLAIN SELECT * FROM dfm_file WHERE filename = '/f'", &[]).unwrap()[0]
+            [0]
+        .as_str()
+        .unwrap()
+        .to_string();
         assert!(plan.starts_with("IXSCAN"), "hand-crafted stats should index-scan: {plan}");
     }
 

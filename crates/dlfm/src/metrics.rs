@@ -1,6 +1,40 @@
-//! Operation counters exported for the experiment harness.
+//! Operation counters and per-operation latency histograms exported for
+//! the experiment harness and [`crate::server::DlfmServer::metrics_text`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-operation latency histograms (microseconds), recorded at the agent
+/// dispatch boundary and in phase-2 processing.
+#[derive(Debug, Default)]
+pub struct DlfmOpHists {
+    /// LinkFile forward processing.
+    pub link: obs::Histogram,
+    /// UnlinkFile forward processing.
+    pub unlink: obs::Histogram,
+    /// Prepare (including the hardening local commit).
+    pub prepare: obs::Histogram,
+    /// Phase-2 commit, including all retries.
+    pub phase2_commit: obs::Histogram,
+    /// Phase-2 abort, including all retries.
+    pub phase2_abort: obs::Histogram,
+    /// Upcall link-state queries.
+    pub upcall: obs::Histogram,
+}
+
+impl DlfmOpHists {
+    /// Iterate `(op label, histogram)` pairs for metric exposition.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &obs::Histogram)> {
+        [
+            ("link", &self.link),
+            ("unlink", &self.unlink),
+            ("prepare", &self.prepare),
+            ("phase2_commit", &self.phase2_commit),
+            ("phase2_abort", &self.phase2_abort),
+            ("upcall", &self.upcall),
+        ]
+        .into_iter()
+    }
+}
 
 /// Monotonic DLFM counters. All relaxed; read via [`DlfmMetrics::snapshot`].
 #[derive(Debug, Default)]
@@ -38,6 +72,8 @@ pub struct DlfmMetrics {
     /// Times the statistics guard re-applied hand-crafted statistics after
     /// a RUNSTATS overwrote them.
     pub stats_reapplied: AtomicU64,
+    /// Per-operation latency histograms.
+    pub op_hists: DlfmOpHists,
 }
 
 /// Plain-value snapshot of [`DlfmMetrics`].
@@ -94,6 +130,31 @@ impl DlfmMetrics {
     }
 }
 
+impl DlfmMetricsSnapshot {
+    /// Component-wise difference (self - earlier), mirroring
+    /// [`minidb::LockMetricsSnapshot::delta`]. Experiments snapshot before
+    /// and after a phase and report only that phase's activity.
+    pub fn delta(&self, earlier: &DlfmMetricsSnapshot) -> DlfmMetricsSnapshot {
+        DlfmMetricsSnapshot {
+            links: self.links - earlier.links,
+            unlinks: self.unlinks - earlier.unlinks,
+            prepares: self.prepares - earlier.prepares,
+            commits: self.commits - earlier.commits,
+            aborts: self.aborts - earlier.aborts,
+            phase2_retries: self.phase2_retries - earlier.phase2_retries,
+            chunk_commits: self.chunk_commits - earlier.chunk_commits,
+            files_archived: self.files_archived - earlier.files_archived,
+            files_retrieved: self.files_retrieved - earlier.files_retrieved,
+            group_files_unlinked: self.group_files_unlinked - earlier.group_files_unlinked,
+            gc_entries_removed: self.gc_entries_removed - earlier.gc_entries_removed,
+            gc_archive_removed: self.gc_archive_removed - earlier.gc_archive_removed,
+            upcalls: self.upcalls - earlier.upcalls,
+            forced_rollbacks: self.forced_rollbacks - earlier.forced_rollbacks,
+            stats_reapplied: self.stats_reapplied - earlier.stats_reapplied,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,5 +169,31 @@ mod tests {
         assert_eq!(s.links, 5);
         assert_eq!(s.commits, 1);
         assert_eq!(s.aborts, 0);
+    }
+
+    #[test]
+    fn snapshot_delta_isolates_a_phase() {
+        let m = DlfmMetrics::default();
+        DlfmMetrics::add(&m.links, 10);
+        DlfmMetrics::bump(&m.phase2_retries);
+        let before = m.snapshot();
+        DlfmMetrics::add(&m.links, 3);
+        DlfmMetrics::add(&m.unlinks, 2);
+        let after = m.snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.links, 3);
+        assert_eq!(d.unlinks, 2);
+        assert_eq!(d.phase2_retries, 0);
+        assert_eq!(after.delta(&after), DlfmMetricsSnapshot::default());
+    }
+
+    #[test]
+    fn op_hists_iter_names_every_histogram() {
+        let m = DlfmMetrics::default();
+        m.op_hists.link.record(5);
+        let names: Vec<&str> = m.op_hists.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["link", "unlink", "prepare", "phase2_commit", "phase2_abort", "upcall"]);
+        let total: u64 = m.op_hists.iter().map(|(_, h)| h.count()).sum();
+        assert_eq!(total, 1);
     }
 }

@@ -12,7 +12,7 @@ use std::thread::JoinHandle;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use archive::ArchiveServer;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Sender};
 use dlrpc::{fabric, serve, Connector, ServerHandle};
 use filesys::{Dlff, FileSystem};
 use minidb::{Database, Session, Value};
@@ -30,10 +30,7 @@ use crate::twopc;
 /// Microseconds since the UNIX epoch — the timestamps stored in DLFM
 /// metadata (unlink times, group expiry, backup times).
 pub fn now_micros() -> i64 {
-    SystemTime::now()
-        .duration_since(UNIX_EPOCH)
-        .map(|d| d.as_micros() as i64)
-        .unwrap_or(0)
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_micros() as i64).unwrap_or(0)
 }
 
 /// State shared by child agents and daemons.
@@ -112,7 +109,7 @@ impl DlfmServer {
 
         let dlff = Arc::new(Dlff::new(fs.clone(), &config.dlfm_admin));
         let chown_daemon = ChownDaemon::spawn(fs.clone(), &config.dlfm_admin);
-        let (groupd_tx, groupd_rx): (Sender<(i64, i64)>, Receiver<(i64, i64)>) = unbounded();
+        let (groupd_tx, groupd_rx) = unbounded::<(i64, i64)>();
         let (retrieve_tx, retrieve_rx) = unbounded();
 
         let shared = Arc::new(DlfmShared {
@@ -133,11 +130,12 @@ impl DlfmServer {
         dlff.set_upcall(Arc::new(daemons::UpcallDaemon::new(&shared)));
 
         // Service daemons.
-        let mut handles = Vec::new();
-        handles.push(daemons::spawn_copy_daemon(shared.clone()));
-        handles.push(daemons::spawn_group_delete_daemon(shared.clone(), groupd_rx));
-        handles.push(daemons::spawn_gc_daemon(shared.clone()));
-        handles.push(daemons::spawn_retrieve_daemon(shared.clone(), retrieve_rx));
+        let handles = vec![
+            daemons::spawn_copy_daemon(shared.clone()),
+            daemons::spawn_group_delete_daemon(shared.clone(), groupd_rx),
+            daemons::spawn_gc_daemon(shared.clone()),
+            daemons::spawn_retrieve_daemon(shared.clone(), retrieve_rx),
+        ];
 
         // The main daemon: accept connections, one child agent each.
         let (listener, connector) = fabric();
@@ -178,6 +176,145 @@ impl DlfmServer {
         &self.shared.dlff
     }
 
+    /// Render every DLFM-side metric in Prometheus text format: operation
+    /// counters, per-op latency histograms, local-database lock and WAL
+    /// statistics, RPC-fabric gauges, and daemon queue depths.
+    pub fn metrics_text(&self) -> String {
+        let mut r = obs::Registry::new();
+
+        let s = self.shared.metrics.snapshot();
+        for (op, value) in [
+            ("link", s.links),
+            ("unlink", s.unlinks),
+            ("prepare", s.prepares),
+            ("phase2_commit", s.commits),
+            ("phase2_abort", s.aborts),
+            ("upcall", s.upcalls),
+        ] {
+            r.counter("dlfm_ops_total", "Completed DLFM operations by kind.", &[("op", op)], value);
+        }
+        r.counter(
+            "dlfm_phase2_retries_total",
+            "Phase-2 attempts retried after a retryable local-database error (Figure 4).",
+            &[],
+            s.phase2_retries,
+        );
+        r.counter(
+            "dlfm_chunk_commits_total",
+            "Chunked local commits inside long-running transactions (paper section 4).",
+            &[],
+            s.chunk_commits,
+        );
+        r.counter(
+            "dlfm_forced_rollbacks_total",
+            "Forward-processing failures that forced a host-side rollback.",
+            &[],
+            s.forced_rollbacks,
+        );
+        r.counter(
+            "dlfm_stats_reapplied_total",
+            "Times the statistics guard re-applied hand-crafted statistics.",
+            &[],
+            s.stats_reapplied,
+        );
+        for (name, help, value) in [
+            ("dlfm_files_archived_total", "Files copied to the archive server.", s.files_archived),
+            ("dlfm_files_retrieved_total", "Files restored from the archive.", s.files_retrieved),
+            (
+                "dlfm_group_files_unlinked_total",
+                "Files unlinked by the Delete-Group daemon.",
+                s.group_files_unlinked,
+            ),
+            (
+                "dlfm_gc_entries_removed_total",
+                "Metadata entries removed by GC.",
+                s.gc_entries_removed,
+            ),
+            (
+                "dlfm_gc_archive_removed_total",
+                "Archive copies removed by GC.",
+                s.gc_archive_removed,
+            ),
+        ] {
+            r.counter(name, help, &[], value);
+        }
+        for (op, hist) in self.shared.metrics.op_hists.iter() {
+            r.histogram(
+                "dlfm_op_latency_micros",
+                "DLFM per-operation latency in microseconds.",
+                &[("op", op)],
+                hist,
+            );
+        }
+
+        let lm = self.shared.db.lock_metrics().snapshot();
+        for (kind, value) in [
+            ("immediate_grants", lm.immediate_grants),
+            ("waits", lm.waits),
+            ("deadlocks", lm.deadlocks),
+            ("timeouts", lm.timeouts),
+            ("escalations", lm.escalations),
+            ("acquisitions", lm.acquisitions),
+        ] {
+            r.counter(
+                "minidb_lock_events_total",
+                "Local-database lock-manager events by kind (paper section 4).",
+                &[("kind", kind)],
+                value,
+            );
+        }
+        r.histogram(
+            "minidb_lock_wait_micros",
+            "Time spent blocked in the lock manager before grant, timeout, or deadlock abort.",
+            &[],
+            self.shared.db.lock_wait_hist(),
+        );
+        r.histogram(
+            "minidb_wal_force_micros",
+            "WAL force (simulated fsync) latency.",
+            &[],
+            self.shared.db.wal_force_hist(),
+        );
+        r.gauge(
+            "minidb_wal_active_window",
+            "WAL records pinned by in-flight transactions.",
+            &[],
+            self.shared.db.log_active_window() as i64,
+        );
+
+        let rpc = self.connector.stats();
+        r.counter("rpc_calls_total", "Round-trip RPC calls issued.", &[], rpc.calls());
+        r.counter("rpc_posts_total", "One-way RPC posts issued.", &[], rpc.posts());
+        r.gauge("rpc_in_flight", "RPC calls currently awaiting a reply.", &[], rpc.in_flight());
+        r.gauge(
+            "rpc_send_blocked",
+            "Senders currently blocked on the rendezvous channel (paper section 4).",
+            &[],
+            rpc.send_blocked(),
+        );
+        r.gauge(
+            "rpc_accept_backlog",
+            "Connections queued at the main daemon's accept loop.",
+            &[],
+            self.connector.accept_backlog() as i64,
+        );
+
+        r.gauge(
+            "dlfm_daemon_queue_depth",
+            "Work items queued for a service daemon.",
+            &[("daemon", "delete_group")],
+            self.shared.groupd_tx.len() as i64,
+        );
+        r.gauge(
+            "dlfm_daemon_queue_depth",
+            "Work items queued for a service daemon.",
+            &[("daemon", "retrieve")],
+            self.shared.retrieve_tx.len() as i64,
+        );
+
+        r.render()
+    }
+
     /// Take a local-database checkpoint (bounds restart recovery work).
     pub fn checkpoint(&self) {
         self.shared.db.checkpoint();
@@ -195,35 +332,28 @@ impl DlfmServer {
     /// delete-group work. Prepared transactions remain indoubt for the host
     /// resolver (paper §3.3).
     pub fn restart(&self) -> Result<(), minidb::DbError> {
+        obs::info!("dlfm::server", "restarting after crash: recovering local database");
         self.shared.db.restart()?;
         // Statistics are not logged; re-apply and rebind.
         if self.shared.config.hand_craft_stats {
             meta::hand_craft_stats(&self.shared.db)?;
         }
-        *self.shared.stmts.write() =
-            Arc::new(Statements::prepare(&self.shared.db)?);
+        *self.shared.stmts.write() = Arc::new(Statements::prepare(&self.shared.db)?);
 
         let mut session = Session::new(&self.shared.db);
         // Presumed abort for in-flight chunked transactions.
-        let inflight = session.query(
-            "SELECT dbid, xid FROM dfm_xact WHERE state = ?",
-            &[Value::Int(XS_INFLIGHT)],
-        )?;
+        let inflight = session
+            .query("SELECT dbid, xid FROM dfm_xact WHERE state = ?", &[Value::Int(XS_INFLIGHT)])?;
         for row in inflight {
             let dbid = row[0].as_int()?;
             let xid = row[1].as_int()?;
             let _ = twopc::run_phase2_abort(&self.shared, dbid, xid);
         }
         // Resume asynchronous group deletion for committed transactions.
-        let pending = session.query(
-            "SELECT dbid, xid FROM dfm_xact WHERE state = 3 AND groups_deleted > 0",
-            &[],
-        )?;
+        let pending = session
+            .query("SELECT dbid, xid FROM dfm_xact WHERE state = 3 AND groups_deleted > 0", &[])?;
         for row in pending {
-            let _ = self
-                .shared
-                .groupd_tx
-                .send((row[0].as_int()?, row[1].as_int()?));
+            let _ = self.shared.groupd_tx.send((row[0].as_int()?, row[1].as_int()?));
         }
         Ok(())
     }

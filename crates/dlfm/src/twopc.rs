@@ -44,20 +44,33 @@ fn run_with_retry(
     what: &str,
     mut attempt: impl FnMut() -> DlfmResult<Option<(i64, i64)>>,
 ) -> DlfmResult<u64> {
+    let mut span = obs::span(obs::Layer::Dlfm, "phase2");
     let mut retries = 0u64;
     loop {
         match attempt() {
             Ok(notify) => {
+                if retries > 0 {
+                    obs::debug!("dlfm::twopc", "phase-2 {what} succeeded after {retries} retries");
+                }
                 if let Some((dbid, xid)) = notify {
                     // Hand committed group-deletion work to the daemon.
                     let _ = shared.groupd_tx.send((dbid, xid));
                 }
                 return Ok(retries);
             }
-            Err(DlfmError::Db { retryable: true, .. }) => {
+            Err(DlfmError::Db { retryable: true, msg, .. }) => {
                 retries += 1;
                 DlfmMetrics::bump(&shared.metrics.phase2_retries);
+                obs::warn!(
+                    "dlfm::twopc",
+                    "phase-2 {what} attempt {retries} hit retryable error, retrying: {msg}"
+                );
                 if retries as usize >= shared.config.commit_retry_limit {
+                    span.fail();
+                    obs::error!(
+                        "dlfm::twopc",
+                        "phase-2 {what} exceeded retry limit ({retries} attempts)"
+                    );
                     return Err(DlfmError::Db {
                         msg: format!("phase-2 {what} exceeded retry limit"),
                         retryable: true,
@@ -66,7 +79,10 @@ fn run_with_retry(
                 }
                 std::thread::sleep(shared.config.commit_retry_backoff);
             }
-            Err(e) => return Err(e),
+            Err(e) => {
+                span.fail();
+                return Err(e);
+            }
         }
     }
 }

@@ -340,10 +340,7 @@ fn unlink_and_relink_in_same_transaction() {
     assert_eq!(unlink(&conn, 81, 810, 1, "/f"), DlfmResponse::Ok);
     assert_eq!(link(&conn, 81, 811, 2, "/f"), DlfmResponse::Ok);
     prepare_commit(&conn, 81);
-    assert_eq!(
-        rig.count("SELECT COUNT(*) FROM dfm_file WHERE lnk_state = 1 AND grp_id = 2"),
-        1
-    );
+    assert_eq!(rig.count("SELECT COUNT(*) FROM dfm_file WHERE lnk_state = 1 AND grp_id = 2"), 1);
 }
 
 #[test]
@@ -396,10 +393,7 @@ fn dlff_blocks_destructive_ops_on_linked_files_and_tokens_gate_reads() {
         DlfmResponse::Token(t) => t,
         other => panic!("expected token, got {other:?}"),
     };
-    assert_eq!(
-        dlff.read("/v/clip.mpg", "alice", Some(&token)).unwrap(),
-        b"secret-video"
-    );
+    assert_eq!(dlff.read("/v/clip.mpg", "alice", Some(&token)).unwrap(), b"secret-video");
 
     // After unlink, everything is allowed again.
     assert_eq!(unlink(&conn, 101, 1010, 1, "/v/clip.mpg"), DlfmResponse::Ok);
@@ -465,9 +459,7 @@ fn delete_group_unlinks_all_files_asynchronously() {
         rig.count("SELECT COUNT(*) FROM dfm_grp WHERE state = 3") == 1
     });
     // Files may be deleted/renamed again.
-    rig.wait_until("dlff allows delete", || {
-        rig.server.dlff().delete("/docs/d0", "bob").is_ok()
-    });
+    rig.wait_until("dlff allows delete", || rig.server.dlff().delete("/docs/d0", "bob").is_ok());
 }
 
 #[test]
@@ -647,9 +639,7 @@ fn reconcile_fixes_both_sides() {
     // (never linked), and no longer references /b or /c.
     let resp = call(
         &conn,
-        DlfmRequest::Reconcile {
-            entries: vec![("/a".into(), 1900), ("/zz".into(), 1950)],
-        },
+        DlfmRequest::Reconcile { entries: vec![("/a".into(), 1900), ("/zz".into(), 1950)] },
     );
     match resp {
         DlfmResponse::ReconcileReport { broken_host_refs, orphans_unlinked } => {
@@ -681,11 +671,8 @@ fn phase2_commit_retries_through_lock_conflicts() {
     let blocker = std::thread::spawn(move || {
         let mut s = Session::new(&db);
         s.begin().unwrap();
-        s.exec_params(
-            "SELECT * FROM dfm_xact WHERE xid = ? FOR UPDATE",
-            &[Value::Int(200)],
-        )
-        .unwrap();
+        s.exec_params("SELECT * FROM dfm_xact WHERE xid = ? FOR UPDATE", &[Value::Int(200)])
+            .unwrap();
         std::thread::sleep(Duration::from_millis(900));
         s.rollback();
     });

@@ -219,9 +219,7 @@ fn gc_backup_retention_purges_old_unlinked_entries_and_copies() {
     wait("gc purges unlinked entries outside retention", || {
         count(&r, "SELECT COUNT(*) FROM dfm_file WHERE lnk_state = 2") == 1
     });
-    wait("gc purges old backup entries", || {
-        count(&r, "SELECT COUNT(*) FROM dfm_backup") == 2
-    });
+    wait("gc purges old backup entries", || count(&r, "SELECT COUNT(*) FROM dfm_backup") == 2);
     assert!(!r.archive.contains("/f1", 10000), "archive copy of /f1 must be GC'd");
     assert!(!r.archive.contains("/f2", 11000), "archive copy of /f2 must be GC'd");
     assert!(r.archive.contains("/f3", 12000));

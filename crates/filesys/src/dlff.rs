@@ -205,10 +205,7 @@ mod tests {
         let (_fs, dlff) = setup(LinkState::LinkedPartial);
         dlff.create("/f", "alice", b"x").unwrap();
         assert!(matches!(dlff.delete("/f", "alice"), Err(FsError::FilterRejected { .. })));
-        assert!(matches!(
-            dlff.rename("/f", "/g", "alice"),
-            Err(FsError::FilterRejected { .. })
-        ));
+        assert!(matches!(dlff.rename("/f", "/g", "alice"), Err(FsError::FilterRejected { .. })));
         // The file is still there.
         assert!(dlff.raw().exists("/f"));
     }

@@ -181,11 +181,7 @@ impl FileSystem {
     /// Stat a file.
     pub fn stat(&self, path: &str) -> FsResult<FileMeta> {
         let path = Self::normalize(path)?;
-        self.files
-            .read()
-            .get(&path)
-            .map(|f| f.meta.clone())
-            .ok_or(FsError::NotFound(path))
+        self.files.read().get(&path).map(|f| f.meta.clone()).ok_or(FsError::NotFound(path))
     }
 
     /// Read file contents, enforcing read permission for `user`.
@@ -205,8 +201,7 @@ impl FileSystem {
         let mtime = self.tick();
         let mut files = self.files.write();
         let f = files.get_mut(&path).ok_or_else(|| FsError::NotFound(path.clone()))?;
-        let allowed = f.meta.mode.world_write
-            || (f.meta.owner == user && f.meta.mode.owner_write);
+        let allowed = f.meta.mode.world_write || (f.meta.owner == user && f.meta.mode.owner_write);
         if !allowed {
             return Err(FsError::PermissionDenied { path, op: "write".into() });
         }
@@ -220,11 +215,7 @@ impl FileSystem {
     /// is what protects linked files).
     pub fn delete(&self, path: &str) -> FsResult<()> {
         let path = Self::normalize(path)?;
-        self.files
-            .write()
-            .remove(&path)
-            .map(|_| ())
-            .ok_or(FsError::NotFound(path))
+        self.files.write().remove(&path).map(|_| ()).ok_or(FsError::NotFound(path))
     }
 
     /// Rename/move a file.
@@ -322,10 +313,7 @@ mod tests {
         fs.create("/f", "alice", b"x").unwrap();
         fs.chmod("/f", Mode::read_only()).unwrap();
         // Even the owner cannot write once DLFM marks it read-only.
-        assert!(matches!(
-            fs.write("/f", "alice", b"y"),
-            Err(FsError::PermissionDenied { .. })
-        ));
+        assert!(matches!(fs.write("/f", "alice", b"y"), Err(FsError::PermissionDenied { .. })));
         assert_eq!(fs.read("/f", "bob").unwrap(), b"x");
     }
 

@@ -266,7 +266,10 @@ impl HostDb {
         self.inner.dl_cols.write().retain(|(t, _), _| *t != lc);
     }
 
-    pub(crate) fn connector_for(&self, server: &str) -> HostResult<Connector<DlfmRequest, DlfmResponse>> {
+    pub(crate) fn connector_for(
+        &self,
+        server: &str,
+    ) -> HostResult<Connector<DlfmRequest, DlfmResponse>> {
         self.inner
             .dlfms
             .read()
@@ -347,6 +350,11 @@ impl HostDb {
         let mut resolved = 0usize;
         // Re-drive commit decisions that never finished phase 2.
         for (xid, servers) in self.inner.coord_log.unfinished_commits() {
+            obs::info!(
+                "hostdb::resolver",
+                "re-driving unfinished commit for xid {xid} on {} server(s)",
+                servers.len()
+            );
             for server in &servers {
                 let conn = self.fresh_conn(server)?;
                 let _ = conn.call(DlfmRequest::Commit { xid });
@@ -360,7 +368,13 @@ impl HostDb {
             let resp = conn.call(DlfmRequest::ListIndoubt)?;
             if let DlfmResponse::Indoubt(xids) = resp {
                 for xid in xids {
-                    let decision = if self.inner.coord_log.committed(xid) {
+                    let committed = self.inner.coord_log.committed(xid);
+                    obs::info!(
+                        "hostdb::resolver",
+                        "resolving indoubt xid {xid} on {server}: {}",
+                        if committed { "commit" } else { "presumed abort" }
+                    );
+                    let decision = if committed {
                         DlfmRequest::Commit { xid }
                     } else {
                         DlfmRequest::Abort { xid }
@@ -462,10 +476,14 @@ impl HostSession {
     /// Commit: presumed-abort two-phase commit across every DLFM this
     /// transaction touched, with the host's own commit in the middle.
     pub fn commit(&mut self) -> HostResult<()> {
+        // Child of the statement span under autocommit; a fresh root when
+        // the application commits an explicit transaction.
+        let mut span = obs::span(obs::Layer::Host, "commit");
         let txn = self
             .txn
             .take()
-            .ok_or_else(|| HostError::Usage("no transaction open".into()))?;
+            .ok_or_else(|| HostError::Usage("no transaction open".into()))
+            .inspect_err(|_| span.fail())?;
         let xid = txn.xid;
 
         // Phase 1: prepare every touched DLFM.
@@ -473,14 +491,17 @@ impl HostSession {
         for server in &txn.touched {
             let conn = self.conn(server)?;
             match conn.call(DlfmRequest::Prepare { xid })? {
-                DlfmResponse::Prepared { read_only: false } => {
-                    participants.push(server.clone())
-                }
+                DlfmResponse::Prepared { read_only: false } => participants.push(server.clone()),
                 DlfmResponse::Prepared { read_only: true } => {}
                 DlfmResponse::Err(e) => {
                     // Global abort: tell everyone (even already-prepared
                     // participants) and roll back locally (paper §3.3).
                     self.host.inner.metrics.prepare_failures.fetch_add(1, Ordering::Relaxed);
+                    span.fail();
+                    obs::warn!(
+                        "hostdb::twopc",
+                        "prepare failed on {server} for xid {xid}, aborting globally: {e}"
+                    );
                     self.abort_everywhere(&txn);
                     self.session.rollback();
                     self.host.inner.metrics.rollbacks.fetch_add(1, Ordering::Relaxed);
@@ -490,6 +511,7 @@ impl HostSession {
                     });
                 }
                 other => {
+                    span.fail();
                     self.abort_everywhere(&txn);
                     self.session.rollback();
                     return Err(HostError::Rpc(format!("unexpected prepare response {other:?}")));
@@ -505,10 +527,10 @@ impl HostSession {
         }
 
         // Decision: force the commit record, then commit locally.
-        self.host.inner.coord_log.append_forced(CoordRecord::Commit {
-            xid,
-            servers: participants.clone(),
-        });
+        self.host
+            .inner
+            .coord_log
+            .append_forced(CoordRecord::Commit { xid, servers: participants.clone() });
         self.session.commit()?;
 
         // Phase 2: synchronous by default — the paper found the commit
@@ -547,24 +569,17 @@ impl HostSession {
 
     /// Create a savepoint covering local data and datalink operations.
     pub fn savepoint(&mut self) -> HostResult<HostSavepoint> {
-        let txn = self
-            .txn
-            .as_ref()
-            .ok_or_else(|| HostError::Usage("no transaction open".into()))?;
-        Ok(HostSavepoint {
-            db_sp: self.session.savepoint()?,
-            dl_ops_len: txn.dl_ops.len(),
-        })
+        let txn =
+            self.txn.as_ref().ok_or_else(|| HostError::Usage("no transaction open".into()))?;
+        Ok(HostSavepoint { db_sp: self.session.savepoint()?, dl_ops_len: txn.dl_ops.len() })
     }
 
     /// Roll back to a savepoint: local undo plus `in_backout` requests for
     /// the datalink operations performed since (§3.2).
     pub fn rollback_to(&mut self, sp: &HostSavepoint) -> HostResult<()> {
         let (xid, to_undo) = {
-            let txn = self
-                .txn
-                .as_mut()
-                .ok_or_else(|| HostError::Usage("no transaction open".into()))?;
+            let txn =
+                self.txn.as_mut().ok_or_else(|| HostError::Usage("no transaction open".into()))?;
             let to_undo: Vec<DlOp> = txn.dl_ops.split_off(sp.dl_ops_len);
             (txn.xid, to_undo)
         };
@@ -621,20 +636,26 @@ impl HostSession {
     /// Execute a statement with parameters, routing datalink side effects
     /// to the right DLFMs.
     pub fn exec_params(&mut self, sql: &str, params: &[Value]) -> HostResult<ExecResult> {
-        let stmt = minidb::sql::parser::parse(sql).map_err(HostError::Db)?;
+        // The statement boundary starts a fresh trace; everything the
+        // statement causes — RPC calls, DLFM agent work, minidb activity —
+        // carries this trace id.
+        let mut span = obs::span_root(obs::Layer::Host, "stmt");
+        let stmt =
+            minidb::sql::parser::parse(sql).map_err(HostError::Db).inspect_err(|_| span.fail())?;
         let autocommit = self.txn.is_none();
         if autocommit {
-            self.begin()?;
+            self.begin().inspect_err(|_| span.fail())?;
         }
         let result = self.exec_stmt(&stmt, params);
         match result {
             Ok(r) => {
                 if autocommit {
-                    self.commit()?;
+                    self.commit().inspect_err(|_| span.fail())?;
                 }
                 Ok(r)
             }
             Err(e) => {
+                span.fail();
                 if autocommit || self.txn_lost(&e) {
                     self.rollback();
                 }
@@ -664,9 +685,7 @@ impl HostSession {
                 self.exec_delete_with_datalinks(table, filter.as_ref(), stmt, params)
             }
             Stmt::Update { table, sets, filter }
-                if sets
-                    .iter()
-                    .any(|(c, _)| self.host.dl_column(table, c).is_some()) =>
+                if sets.iter().any(|(c, _)| self.host.dl_column(table, c).is_some()) =>
             {
                 self.exec_update_with_datalinks(table, sets, filter.as_ref(), stmt, params)
             }
@@ -849,10 +868,7 @@ impl HostSession {
         }
         let probe = Stmt::Select(SelectStmt {
             projection: Projection::Items(
-                dl_cols
-                    .iter()
-                    .map(|(c, _)| SelectItem::Expr(Expr::Col(c.clone())))
-                    .collect(),
+                dl_cols.iter().map(|(c, _)| SelectItem::Expr(Expr::Col(c.clone()))).collect(),
             ),
             table: table.to_string(),
             filter: filter.cloned(),
@@ -953,14 +969,14 @@ impl HostSession {
             .ok_or_else(|| HostError::Usage("datalink operation outside a transaction".into()))
     }
 
-    pub(crate) fn dl_request(&mut self, server: &str, req: DlfmRequest) -> HostResult<DlfmResponse> {
+    pub(crate) fn dl_request(
+        &mut self,
+        server: &str,
+        req: DlfmRequest,
+    ) -> HostResult<DlfmResponse> {
         let xid = self.require_xid()?;
         // First touch: make the sub-transaction explicit.
-        let first_touch = self
-            .txn
-            .as_ref()
-            .map(|t| !t.touched.contains(server))
-            .unwrap_or(false);
+        let first_touch = self.txn.as_ref().map(|t| !t.touched.contains(server)).unwrap_or(false);
         let conn = self.conn(server)?;
         if first_touch {
             match conn.call(DlfmRequest::BeginTxn { xid })? {
@@ -1052,11 +1068,7 @@ impl HostSession {
                     Value::Int(recovery as i64),
                 ],
             )?;
-            self.host.register_dl_column(
-                name,
-                cname,
-                DlColumn { grp_id, access, recovery },
-            );
+            self.host.register_dl_column(name, cname, DlColumn { grp_id, access, recovery });
             let spec = GroupSpec {
                 grp_id,
                 dbid: self.host.dbid(),
@@ -1104,10 +1116,8 @@ impl HostSession {
             }
             self.session
                 .exec_params("DELETE FROM sys_dlcols WHERE tbl = ?", &[Value::str(table)])?;
-            self.session.exec_params(
-                "DELETE FROM sys_datalinks WHERE tbl = ?",
-                &[Value::str(table)],
-            )?;
+            self.session
+                .exec_params("DELETE FROM sys_datalinks WHERE tbl = ?", &[Value::str(table)])?;
             Ok(())
         })();
         match result {

@@ -21,9 +21,9 @@
 #![warn(missing_docs)]
 
 pub mod coordlog;
-pub mod load;
 pub mod engine;
 pub mod error;
+pub mod load;
 pub mod url;
 pub mod utilities;
 

@@ -58,8 +58,7 @@ impl HostSession {
             columns.join(", "),
             vec!["?"; columns.len()].join(", ")
         );
-        let mut report =
-            LoadReport { rows_loaded: 0, pieces_committed: 0, failed_at: None };
+        let mut report = LoadReport { rows_loaded: 0, pieces_committed: 0, failed_at: None };
         for (piece_idx, piece) in rows.chunks(piece_size).enumerate() {
             self.begin()?;
             let mut failed = None;

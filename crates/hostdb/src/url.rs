@@ -36,9 +36,7 @@ impl DatalinkUrl {
         let rest = url
             .strip_prefix(SCHEME)
             .ok_or_else(|| UrlError(format!("{url}: expected {SCHEME} scheme")))?;
-        let slash = rest
-            .find('/')
-            .ok_or_else(|| UrlError(format!("{url}: missing path")))?;
+        let slash = rest.find('/').ok_or_else(|| UrlError(format!("{url}: missing path")))?;
         let (server, path) = rest.split_at(slash);
         if server.is_empty() {
             return Err(UrlError(format!("{url}: empty server name")));

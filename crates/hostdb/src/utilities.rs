@@ -53,15 +53,16 @@ impl HostSession {
             if let DlfmResponse::Err(e) = resp {
                 // Roll the backup back everywhere.
                 for s in &servers {
-                    let _ = self
-                        .utility_call(s, DlfmRequest::EndBackup { backup_id, success: false });
+                    let _ =
+                        self.utility_call(s, DlfmRequest::EndBackup { backup_id, success: false });
                 }
                 return Err(HostError::Dlfm { error: e, txn_rolled_back: false });
             }
         }
         let image = host.db().backup_image();
         for server in &servers {
-            let _ = self.utility_call(server, DlfmRequest::EndBackup { backup_id, success: true })?;
+            let _ =
+                self.utility_call(server, DlfmRequest::EndBackup { backup_id, success: true })?;
         }
         host.backups().lock().push(HostBackup {
             backup_id,

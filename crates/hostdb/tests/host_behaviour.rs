@@ -17,11 +17,8 @@ struct Rig {
 
 fn rig() -> Rig {
     let fs = Arc::new(FileSystem::new());
-    let dlfm = DlfmServer::start(
-        DlfmConfig::for_tests(),
-        fs.clone(),
-        Arc::new(ArchiveServer::new()),
-    );
+    let dlfm =
+        DlfmServer::start(DlfmConfig::for_tests(), fs.clone(), Arc::new(ArchiveServer::new()));
     let host = HostDb::new(HostConfig::for_tests());
     host.attach_dlfm("fs1", dlfm.connector());
     Rig { fs, dlfm, host }
@@ -72,8 +69,7 @@ fn datalink_column_registration_round_trips() {
 fn bad_urls_are_rejected_before_any_side_effect() {
     let r = rig();
     let mut s = with_table(&r);
-    for bad in ["http://x/y", "dlfs://nopath", "dlfs:///p",
-                "dlfs://unknown_server/p"] {
+    for bad in ["http://x/y", "dlfs://nopath", "dlfs:///p", "dlfs://unknown_server/p"] {
         let e = s
             .exec_params("INSERT INTO docs (id, doc) VALUES (1, ?)", &[Value::str(bad)])
             .unwrap_err();
@@ -98,8 +94,7 @@ fn null_datalink_values_do_not_touch_the_dlfm() {
     assert_eq!(dl.query_int("SELECT COUNT(*) FROM dfm_file", &[]).unwrap(), 0);
     // Updating from NULL to a URL links; back to NULL unlinks.
     r.fs.create("/d1", "u", b"x").unwrap();
-    s.exec_params("UPDATE docs SET doc = ? WHERE id = 1", &[Value::str("dlfs://fs1/d1")])
-        .unwrap();
+    s.exec_params("UPDATE docs SET doc = ? WHERE id = 1", &[Value::str("dlfs://fs1/d1")]).unwrap();
     assert_eq!(r.fs.stat("/d1").unwrap().owner, "dlfm_admin");
     s.exec("UPDATE docs SET doc = NULL WHERE id = 1").unwrap();
     assert_eq!(r.fs.stat("/d1").unwrap().owner, "u");
@@ -121,9 +116,7 @@ fn sys_datalinks_bookkeeping_tracks_linked_files() {
     assert_eq!(s.query_int("SELECT COUNT(*) FROM sys_datalinks", &[]).unwrap(), 3);
     s.exec("DELETE FROM docs WHERE id = 1").unwrap();
     assert_eq!(s.query_int("SELECT COUNT(*) FROM sys_datalinks", &[]).unwrap(), 2);
-    let rows = s
-        .query("SELECT filename FROM sys_datalinks ORDER BY filename", &[])
-        .unwrap();
+    let rows = s.query("SELECT filename FROM sys_datalinks ORDER BY filename", &[]).unwrap();
     assert_eq!(rows[0][0].as_str().unwrap(), "/f0");
     assert_eq!(rows[1][0].as_str().unwrap(), "/f2");
 }
@@ -151,10 +144,7 @@ fn local_only_transactions_skip_two_phase_commit() {
     s.begin().unwrap();
     s.exec("INSERT INTO plain (k) VALUES (1)").unwrap();
     s.commit().unwrap();
-    assert_eq!(
-        r.host.metrics().twopc_commits.load(std::sync::atomic::Ordering::Relaxed),
-        0
-    );
+    assert_eq!(r.host.metrics().twopc_commits.load(std::sync::atomic::Ordering::Relaxed), 0);
     assert!(r.host.coord_log().is_empty());
 }
 
@@ -258,9 +248,7 @@ fn resolver_daemon_cleans_up_abandoned_indoubts() {
     conn.call(dlfm::DlfmRequest::Prepare { xid }).unwrap();
 
     let shutdown = Arc::new(std::sync::atomic::AtomicBool::new(false));
-    let handle = r
-        .host
-        .spawn_resolver(std::time::Duration::from_millis(20), shutdown.clone());
+    let handle = r.host.spawn_resolver(std::time::Duration::from_millis(20), shutdown.clone());
     // The daemon resolves it by presumed abort.
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
     loop {
@@ -289,12 +277,10 @@ fn update_unlinks_old_before_linking_new() {
     r.fs.create("/v2", "u", b"2").unwrap();
     s.exec_params("INSERT INTO docs (id, doc) VALUES (1, ?)", &[Value::str("dlfs://fs1/v1")])
         .unwrap();
-    s.exec_params("UPDATE docs SET doc = ? WHERE id = 1", &[Value::str("dlfs://fs1/v2")])
-        .unwrap();
+    s.exec_params("UPDATE docs SET doc = ? WHERE id = 1", &[Value::str("dlfs://fs1/v2")]).unwrap();
     // Same-transaction unlink+relink of the SAME file also works (the
     // "current and old versions in separate SQL tables" requirement).
-    s.exec_params("UPDATE docs SET doc = ? WHERE id = 1", &[Value::str("dlfs://fs1/v2")])
-        .unwrap();
+    s.exec_params("UPDATE docs SET doc = ? WHERE id = 1", &[Value::str("dlfs://fs1/v2")]).unwrap();
     assert_eq!(r.fs.stat("/v1").unwrap().owner, "u");
     assert_eq!(r.fs.stat("/v2").unwrap().owner, "dlfm_admin");
 }

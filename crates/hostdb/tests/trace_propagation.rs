@@ -1,0 +1,66 @@
+//! End-to-end trace propagation: a trace id allocated at the host
+//! statement boundary must ride the RPC envelope into the DLFM agent and
+//! appear on the spans its local database emits.
+//!
+//! Kept in its own integration-test binary so the process-global span
+//! ring holds only this test's spans.
+
+use std::sync::Arc;
+
+use archive::ArchiveServer;
+use dlfm::{AccessControl, DlfmConfig, DlfmServer};
+use filesys::FileSystem;
+use hostdb::{DatalinkSpec, HostConfig, HostDb};
+use minidb::Value;
+use obs::Layer;
+
+#[test]
+fn host_trace_id_reaches_minidb_spans_through_the_dlfm_agent() {
+    let fs = Arc::new(FileSystem::new());
+    let dlfm =
+        DlfmServer::start(DlfmConfig::for_tests(), fs.clone(), Arc::new(ArchiveServer::new()));
+    let host = HostDb::new(HostConfig::for_tests());
+    host.attach_dlfm("fs1", dlfm.connector());
+    let mut s = host.session();
+    s.create_table(
+        "CREATE TABLE docs (id BIGINT NOT NULL, doc DATALINK)",
+        &[DatalinkSpec { column: "doc".into(), access: AccessControl::Full, recovery: false }],
+    )
+    .unwrap();
+    fs.create("/traced", "u", b"x").unwrap();
+
+    // Setup produced spans of its own; start the measured window clean.
+    obs::drain_spans();
+
+    // One autocommit INSERT: host stmt -> rpc -> agent LinkFile ->
+    // DLFM-local SQL, then host commit -> Prepare/Commit on the agent.
+    s.exec_params("INSERT INTO docs (id, doc) VALUES (1, ?)", &[Value::str("dlfs://fs1/traced")])
+        .unwrap();
+
+    let spans = obs::drain_spans();
+    let host_roots: Vec<_> = spans
+        .iter()
+        .filter(|e| e.layer == Layer::Host && e.op == "stmt" && e.parent_span_id == 0)
+        .collect();
+    assert_eq!(host_roots.len(), 1, "one host statement, one root span: {spans:#?}");
+    let trace = host_roots[0].trace_id;
+
+    // The trace crossed the RPC fabric: a DLFM agent span carries it.
+    let agent: Vec<_> =
+        spans.iter().filter(|e| e.layer == Layer::Dlfm && e.trace_id == trace).collect();
+    assert!(
+        agent.iter().any(|e| e.op == "LinkFile"),
+        "expected a Dlfm LinkFile span under trace {trace:#x}: {agent:#?}"
+    );
+
+    // ... and reached the DLFM's local database: a Minidb span both
+    // carries the trace id and hangs off an agent span, so it cannot be
+    // one of the host database's own spans.
+    let agent_span_ids: Vec<u64> = agent.iter().map(|e| e.span_id).collect();
+    assert!(
+        spans.iter().any(|e| e.layer == Layer::Minidb
+            && e.trace_id == trace
+            && agent_span_ids.contains(&e.parent_span_id)),
+        "expected a Minidb span parented under a Dlfm agent span: {spans:#?}"
+    );
+}

@@ -26,11 +26,7 @@ pub struct Catalog {
 
 impl Catalog {
     /// Register a new table.
-    pub fn create_table(
-        &mut self,
-        name: &str,
-        columns: Vec<ColumnDef>,
-    ) -> DbResult<TableSchema> {
+    pub fn create_table(&mut self, name: &str, columns: Vec<ColumnDef>) -> DbResult<TableSchema> {
         let lc = name.to_ascii_lowercase();
         if self.table_names.contains_key(&lc) {
             return Err(DbError::AlreadyExists(format!("table {lc}")));
@@ -195,10 +191,8 @@ mod tests {
     #[test]
     fn duplicate_columns_rejected() {
         let mut c = Catalog::default();
-        let bad = vec![
-            ColumnDef::new("x", DataType::BigInt),
-            ColumnDef::new("X", DataType::Varchar),
-        ];
+        let bad =
+            vec![ColumnDef::new("x", DataType::BigInt), ColumnDef::new("X", DataType::Varchar)];
         assert!(c.create_table("t", bad).is_err());
     }
 

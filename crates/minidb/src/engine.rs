@@ -181,21 +181,19 @@ impl Database {
 
     /// Commit: force the log, release all locks.
     pub fn commit(&self, txn: &mut Txn) -> DbResult<()> {
-        self.check_online()?;
-        txn.check_active()?;
+        let mut span = obs::span(obs::Layer::Minidb, "commit");
+        self.check_online().inspect_err(|_| span.fail())?;
+        txn.check_active().inspect_err(|_| span.fail())?;
         // A read-only transaction needs no log records.
         if !txn.undo.is_empty() {
-            self.inner.wal.append(txn.id, LogPayload::Commit)?;
+            self.inner.wal.append(txn.id, LogPayload::Commit).inspect_err(|_| span.fail())?;
             self.inner.wal.force();
         }
         // Slots of rows this transaction deleted become reusable only now:
         // until commit they are still X-locked under their old identity.
         for op in &txn.undo {
             if let UndoOp::Delete { table, rowid, .. } = op {
-                let _ = self
-                    .inner
-                    .storage
-                    .with_table_mut(*table, |t| t.release_slot(*rowid));
+                let _ = self.inner.storage.with_table_mut(*table, |t| t.release_slot(*rowid));
             }
         }
         txn.undo.clear();
@@ -293,13 +291,12 @@ impl Database {
     }
 
     /// Index keys currently pointing at a row (for undo of insert).
-    fn index_keys_for_row(&self, table: TableId, rowid: u64) -> Vec<(crate::schema::IndexId, Vec<Value>)> {
-        let row = self
-            .inner
-            .storage
-            .with_table(table, |t| t.get(rowid).cloned())
-            .ok()
-            .flatten();
+    fn index_keys_for_row(
+        &self,
+        table: TableId,
+        rowid: u64,
+    ) -> Vec<(crate::schema::IndexId, Vec<Value>)> {
+        let row = self.inner.storage.with_table(table, |t| t.get(rowid).cloned()).ok().flatten();
         let Some(row) = row else { return Vec::new() };
         self.indexes_of_snapshot(table)
             .into_iter()
@@ -443,7 +440,11 @@ impl Database {
     // DDL (auto-committed in an internal transaction)
     // ------------------------------------------------------------------
 
-    fn ddl_create_table(&self, name: &str, columns: &[(String, crate::value::DataType, bool)]) -> DbResult<ExecResult> {
+    fn ddl_create_table(
+        &self,
+        name: &str,
+        columns: &[(String, crate::value::DataType, bool)],
+    ) -> DbResult<ExecResult> {
         let ddl_txn = self.begin();
         let cols: Vec<ColumnDef> = columns
             .iter()
@@ -612,10 +613,9 @@ impl Database {
         // The row is invisible to others until inserted; the X lock is
         // uncontended but required so later readers block until commit.
         self.inner.lm.lock(txn.id, Res::Row(schema.id, rowid), LockMode::X)?;
-        self.inner.wal.append(
-            txn.id,
-            LogPayload::Insert { table: schema.id.0, rowid, row: row.clone() },
-        )?;
+        self.inner
+            .wal
+            .append(txn.id, LogPayload::Insert { table: schema.id.0, rowid, row: row.clone() })?;
         self.inner.storage.with_table_mut(schema.id, |t| t.put(rowid, row.clone()))?;
         for ix in indexes {
             let key = extract_key(ix, &row);
@@ -639,7 +639,14 @@ impl Database {
             None => (None, None),
         };
         let (schema, _) = self.table_meta(&sel.table)?;
-        let mut matched = self.find_matching(txn, &sel.table, sel.filter.as_ref(), params, sel.for_update, pinned_main)?;
+        let mut matched = self.find_matching(
+            txn,
+            &sel.table,
+            sel.filter.as_ref(),
+            params,
+            sel.for_update,
+            pinned_main,
+        )?;
         sort_rows(&schema, &mut matched, &sel.order_by)?;
 
         // Aggregates short-circuit projection.
@@ -691,18 +698,38 @@ impl Database {
                     let ok = extract_key(ix, &old);
                     let nk = extract_key(ix, &new);
                     if ok != nk {
-                        self.inner.lm.lock(txn.id, Res::Key(schema.id, ix.id, ok.clone()), LockMode::X)?;
+                        self.inner.lm.lock(
+                            txn.id,
+                            Res::Key(schema.id, ix.id, ok.clone()),
+                            LockMode::X,
+                        )?;
                         let next_of_old =
                             self.inner.storage.with_index(ix.id, |t| t.next_key(&ok))?;
                         if let Some(n) = next_of_old {
-                            self.inner.lm.lock(txn.id, Res::Key(schema.id, ix.id, n), LockMode::X)?;
+                            self.inner.lm.lock(
+                                txn.id,
+                                Res::Key(schema.id, ix.id, n),
+                                LockMode::X,
+                            )?;
                         }
-                        self.inner.lm.lock(txn.id, Res::Key(schema.id, ix.id, nk.clone()), LockMode::X)?;
+                        self.inner.lm.lock(
+                            txn.id,
+                            Res::Key(schema.id, ix.id, nk.clone()),
+                            LockMode::X,
+                        )?;
                         let next_of_new =
                             self.inner.storage.with_index(ix.id, |t| t.next_key(&nk))?;
                         match next_of_new {
-                            Some(n) => self.inner.lm.lock(txn.id, Res::Key(schema.id, ix.id, n), LockMode::X)?,
-                            None => self.inner.lm.lock(txn.id, Res::KeyEof(schema.id, ix.id), LockMode::X)?,
+                            Some(n) => self.inner.lm.lock(
+                                txn.id,
+                                Res::Key(schema.id, ix.id, n),
+                                LockMode::X,
+                            )?,
+                            None => self.inner.lm.lock(
+                                txn.id,
+                                Res::KeyEof(schema.id, ix.id),
+                                LockMode::X,
+                            )?,
                         }
                     }
                 }
@@ -772,20 +799,29 @@ impl Database {
                 // Deleting a key locks it and its next key (ARIES/KVL).
                 for ix in &indexes {
                     let key = extract_key(ix, &row);
-                    self.inner.lm.lock(txn.id, Res::Key(schema.id, ix.id, key.clone()), LockMode::X)?;
+                    self.inner.lm.lock(
+                        txn.id,
+                        Res::Key(schema.id, ix.id, key.clone()),
+                        LockMode::X,
+                    )?;
                     let next = self.inner.storage.with_index(ix.id, |t| t.next_key(&key))?;
                     match next {
-                        Some(n) => self.inner.lm.lock(txn.id, Res::Key(schema.id, ix.id, n), LockMode::X)?,
-                        None => self.inner.lm.lock(txn.id, Res::KeyEof(schema.id, ix.id), LockMode::X)?,
+                        Some(n) => self.inner.lm.lock(
+                            txn.id,
+                            Res::Key(schema.id, ix.id, n),
+                            LockMode::X,
+                        )?,
+                        None => self.inner.lm.lock(
+                            txn.id,
+                            Res::KeyEof(schema.id, ix.id),
+                            LockMode::X,
+                        )?,
                     }
                 }
             }
             let guard = self.inner.storage.apply_guard(schema.id);
             let _g = guard.lock();
-            let existed = self
-                .inner
-                .storage
-                .with_table(schema.id, |t| t.get(rowid).is_some())?;
+            let existed = self.inner.storage.with_table(schema.id, |t| t.get(rowid).is_some())?;
             if !existed {
                 continue;
             }
@@ -845,10 +881,8 @@ impl Database {
                     .with_table(schema.id, |t| t.iter().map(|(id, _)| id).collect())?;
                 for rowid in rowids {
                     self.inner.lm.lock(txn.id, Res::Row(schema.id, rowid), row_mode)?;
-                    let row = self
-                        .inner
-                        .storage
-                        .with_table(schema.id, |t| t.get(rowid).cloned())?;
+                    let row =
+                        self.inner.storage.with_table(schema.id, |t| t.get(rowid).cloned())?;
                     let Some(row) = row else { continue };
                     let keep = match filter {
                         Some(f) => eval_pred(f, &schema, &row, params)?,
@@ -860,14 +894,9 @@ impl Database {
                 }
             }
             AccessPath::IndexEq { index, probes, .. } => {
-                let prefix: Vec<Value> = probes
-                    .iter()
-                    .map(|e| eval_standalone(e, params))
-                    .collect::<DbResult<_>>()?;
-                let hits = self
-                    .inner
-                    .storage
-                    .with_index(*index, |t| t.prefix_scan(&prefix))?;
+                let prefix: Vec<Value> =
+                    probes.iter().map(|e| eval_standalone(e, params)).collect::<DbResult<_>>()?;
+                let hits = self.inner.storage.with_index(*index, |t| t.prefix_scan(&prefix))?;
                 for (key, rowids) in hits {
                     if nkl {
                         // Key-value lock on the traversed key: S for reads,
@@ -880,10 +909,8 @@ impl Database {
                     }
                     for rowid in rowids {
                         self.inner.lm.lock(txn.id, Res::Row(schema.id, rowid), row_mode)?;
-                        let row = self
-                            .inner
-                            .storage
-                            .with_table(schema.id, |t| t.get(rowid).cloned())?;
+                        let row =
+                            self.inner.storage.with_table(schema.id, |t| t.get(rowid).cloned())?;
                         let Some(row) = row else { continue };
                         // Revalidate: the row may have changed between the
                         // index probe and lock acquisition.
@@ -898,27 +925,20 @@ impl Database {
                 }
                 if nkl && self.inner.isolation == Isolation::RepeatableRead && out.is_empty() {
                     // Phantom protection on a miss: lock the next key.
-                    let next = self
-                        .inner
-                        .storage
-                        .with_index(*index, |t| t.next_key(&prefix))?;
+                    let next = self.inner.storage.with_index(*index, |t| t.next_key(&prefix))?;
                     match next {
-                        Some(n) => self
-                            .inner
-                            .lm
-                            .lock(txn.id, Res::Key(schema.id, *index, n), row_mode)?,
-                        None => self
-                            .inner
-                            .lm
-                            .lock(txn.id, Res::KeyEof(schema.id, *index), row_mode)?,
+                        Some(n) => {
+                            self.inner.lm.lock(txn.id, Res::Key(schema.id, *index, n), row_mode)?
+                        }
+                        None => {
+                            self.inner.lm.lock(txn.id, Res::KeyEof(schema.id, *index), row_mode)?
+                        }
                     }
                 }
             }
             AccessPath::IndexRange { index, probes, lo, hi } => {
-                let prefix: Vec<Value> = probes
-                    .iter()
-                    .map(|e| eval_standalone(e, params))
-                    .collect::<DbResult<_>>()?;
+                let prefix: Vec<Value> =
+                    probes.iter().map(|e| eval_standalone(e, params)).collect::<DbResult<_>>()?;
                 let lo_v = match lo {
                     Some(b) => Some((eval_standalone(&b.value, params)?, b.inclusive)),
                     None => None,
@@ -944,10 +964,8 @@ impl Database {
                     }
                     for rowid in rowids {
                         self.inner.lm.lock(txn.id, Res::Row(schema.id, rowid), row_mode)?;
-                        let row = self
-                            .inner
-                            .storage
-                            .with_table(schema.id, |t| t.get(rowid).cloned())?;
+                        let row =
+                            self.inner.storage.with_table(schema.id, |t| t.get(rowid).cloned())?;
                         let Some(row) = row else { continue };
                         let keep = match filter {
                             Some(f) => eval_pred(f, &schema, &row, params)?,
@@ -1078,6 +1096,17 @@ impl Database {
         self.inner.lm.metrics()
     }
 
+    /// Lock-wait latency histogram (microseconds spent blocked in the
+    /// lock manager before grant, timeout, or deadlock abort).
+    pub fn lock_wait_hist(&self) -> &obs::Histogram {
+        self.inner.lm.wait_hist()
+    }
+
+    /// WAL force (simulated fsync) latency histogram, in microseconds.
+    pub fn wal_force_hist(&self) -> &obs::Histogram {
+        self.inner.wal.force_hist()
+    }
+
     /// Locks currently held by a transaction (diagnostics, Figure 4 trace).
     pub fn locks_held(&self, txn: TxnId) -> usize {
         self.inner.lm.held_count(txn)
@@ -1165,9 +1194,7 @@ impl Database {
             max_txn = max_txn.max(rec.txn);
             self.replay(rec, &committed)?;
         }
-        self.inner
-            .next_txn
-            .store(max_txn + 1, AtomicOrdering::SeqCst);
+        self.inner.next_txn.store(max_txn + 1, AtomicOrdering::SeqCst);
         self.inner.online.store(true, AtomicOrdering::Release);
         Ok(())
     }
@@ -1186,9 +1213,10 @@ impl Database {
                     self.inner.catalog.write().adopt_index(schema.clone());
                     self.inner.storage.create_index(schema.id);
                     // Backfill from whatever the heap holds at this point.
-                    let rows: Vec<(u64, Row)> = self.inner.storage.with_table(schema.table, |t| {
-                        t.iter().map(|(id, r)| (id, r.clone())).collect()
-                    })?;
+                    let rows: Vec<(u64, Row)> =
+                        self.inner.storage.with_table(schema.table, |t| {
+                            t.iter().map(|(id, r)| (id, r.clone())).collect()
+                        })?;
                     for (rowid, row) in rows {
                         let key = extract_key(schema, &row);
                         self.inner.storage.with_index_mut(schema.id, |t| {
@@ -1289,11 +1317,7 @@ fn render_item_name(item: &SelectItem) -> String {
     }
 }
 
-fn sort_rows(
-    schema: &TableSchema,
-    rows: &mut [(u64, Row)],
-    order_by: &[OrderKey],
-) -> DbResult<()> {
+fn sort_rows(schema: &TableSchema, rows: &mut [(u64, Row)], order_by: &[OrderKey]) -> DbResult<()> {
     if order_by.is_empty() {
         return Ok(());
     }
@@ -1320,10 +1344,9 @@ fn project(
     params: &[Value],
 ) -> DbResult<(Vec<String>, Vec<Row>)> {
     match projection {
-        Projection::Star => Ok((
-            schema.column_names(),
-            matched.iter().map(|(_, r)| r.clone()).collect(),
-        )),
+        Projection::Star => {
+            Ok((schema.column_names(), matched.iter().map(|(_, r)| r.clone()).collect()))
+        }
         Projection::Items(items) => {
             let mut columns = Vec::with_capacity(items.len());
             let mut exprs = Vec::with_capacity(items.len());

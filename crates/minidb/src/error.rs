@@ -135,8 +135,9 @@ mod tests {
     #[test]
     fn forced_rollback_classification() {
         assert!(DbError::Deadlock { cycle: "t1->t2->t1".into() }.is_rollback_forced());
-        assert!(DbError::LockTimeout { resource: "row".into(), waited_ms: 60_000 }
-            .is_rollback_forced());
+        assert!(
+            DbError::LockTimeout { resource: "row".into(), waited_ms: 60_000 }.is_rollback_forced()
+        );
         assert!(!DbError::LogFull { pinned: 10, capacity: 10 }.is_rollback_forced());
         assert!(!DbError::Parse("x".into()).is_rollback_forced());
     }

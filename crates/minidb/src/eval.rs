@@ -14,10 +14,7 @@ pub fn eval(expr: &Expr, schema: &TableSchema, row: &Row, params: &[Value]) -> D
             let i = schema.col_index(name)?;
             Ok(row[i].clone())
         }
-        Expr::Param(i) => params
-            .get(*i)
-            .cloned()
-            .ok_or(DbError::MissingParam(*i)),
+        Expr::Param(i) => params.get(*i).cloned().ok_or(DbError::MissingParam(*i)),
         Expr::Cmp(l, op, r) => {
             let lv = eval(l, schema, row, params)?;
             let rv = eval(r, schema, row, params)?;
@@ -89,12 +86,7 @@ fn as_tv(v: Value) -> DbResult<Option<bool>> {
 }
 
 /// Evaluate a predicate: unknown (NULL) filters the row out, as in SQL.
-pub fn eval_pred(
-    expr: &Expr,
-    schema: &TableSchema,
-    row: &Row,
-    params: &[Value],
-) -> DbResult<bool> {
+pub fn eval_pred(expr: &Expr, schema: &TableSchema, row: &Row, params: &[Value]) -> DbResult<bool> {
     match eval(expr, schema, row, params)? {
         Value::Bool(b) => Ok(b),
         Value::Null => Ok(false),
@@ -157,8 +149,7 @@ mod tests {
     fn three_valued_logic_tables() {
         let s = schema();
         let row = vec![Value::Int(1), Value::Null];
-        let null_pred =
-            cmp(Expr::Col("b".into()), CmpOp::Eq, Expr::Lit(Value::str("x")));
+        let null_pred = cmp(Expr::Col("b".into()), CmpOp::Eq, Expr::Lit(Value::str("x")));
         let true_pred = cmp(Expr::Col("a".into()), CmpOp::Eq, Expr::Lit(Value::Int(1)));
         let false_pred = cmp(Expr::Col("a".into()), CmpOp::Eq, Expr::Lit(Value::Int(2)));
         // NULL AND FALSE = FALSE

@@ -290,11 +290,8 @@ impl Inner {
     fn blockers(&self, txn: TxnId) -> Vec<TxnId> {
         let Some(info) = self.waiting.get(&txn) else { return Vec::new() };
         let Some(state) = self.locks.get(&info.res) else { return Vec::new() };
-        let my_ticket = state
-            .waiters
-            .iter()
-            .find(|w| w.txn == txn)
-            .map(|w| (w.ticket, w.is_conversion));
+        let my_ticket =
+            state.waiters.iter().find(|w| w.txn == txn).map(|w| (w.ticket, w.is_conversion));
         let mut out = Vec::new();
         for g in &state.granted {
             if g.txn != txn && !g.mode.compatible(info.mode) {
@@ -365,6 +362,8 @@ pub struct LockManager {
     inner: Mutex<Inner>,
     cv: Condvar,
     metrics: LockMetrics,
+    // Time spent blocked waiting for a lock, in microseconds.
+    wait_hist: obs::Histogram,
     timeout: Mutex<Duration>,
     escalation_threshold: Mutex<Option<usize>>,
     lock_list_capacity: usize,
@@ -373,11 +372,17 @@ pub struct LockManager {
 
 impl LockManager {
     /// Build a lock manager from configuration.
-    pub fn new(timeout: Duration, escalation_threshold: Option<usize>, lock_list_capacity: usize, deadlock_detection: bool) -> LockManager {
+    pub fn new(
+        timeout: Duration,
+        escalation_threshold: Option<usize>,
+        lock_list_capacity: usize,
+        deadlock_detection: bool,
+    ) -> LockManager {
         LockManager {
             inner: Mutex::new(Inner::default()),
             cv: Condvar::new(),
             metrics: LockMetrics::default(),
+            wait_hist: obs::Histogram::new(),
             timeout: Mutex::new(timeout),
             escalation_threshold: Mutex::new(escalation_threshold),
             lock_list_capacity,
@@ -388,6 +393,11 @@ impl LockManager {
     /// Exported counters.
     pub fn metrics(&self) -> &LockMetrics {
         &self.metrics
+    }
+
+    /// Histogram of time spent blocked waiting for locks (microseconds).
+    pub fn wait_hist(&self) -> &obs::Histogram {
+        &self.wait_hist
     }
 
     /// Change the lock timeout at runtime (used by the timeout-sweep bench).
@@ -465,7 +475,9 @@ impl LockManager {
             }
         }
 
-        if inner.can_grant(&res, txn, target, None) && inner.locks.get(&res).map(|s| s.waiters.is_empty()).unwrap_or(true) {
+        if inner.can_grant(&res, txn, target, None)
+            && inner.locks.get(&res).map(|s| s.waiters.is_empty()).unwrap_or(true)
+        {
             inner.grant(res.clone(), txn, target);
             LockMetrics::bump(&self.metrics.immediate_grants);
             LockMetrics::bump(&self.metrics.acquisitions);
@@ -494,11 +506,8 @@ impl LockManager {
         if self.deadlock_detection.load(AtomicOrdering::Relaxed) {
             if let Some(cycle) = inner.find_cycle(txn) {
                 let victim = cycle.iter().copied().max_by_key(|t| t.0).unwrap_or(txn);
-                let desc = cycle
-                    .iter()
-                    .map(|t| format!("txn{}", t.0))
-                    .collect::<Vec<_>>()
-                    .join(" -> ");
+                let desc =
+                    cycle.iter().map(|t| format!("txn{}", t.0)).collect::<Vec<_>>().join(" -> ");
                 if victim == txn {
                     inner.remove_waiter(&res, txn);
                     LockMetrics::bump(&self.metrics.deadlocks);
@@ -517,6 +526,7 @@ impl LockManager {
                 inner.remove_waiter(&res, txn);
                 LockMetrics::bump(&self.metrics.deadlocks);
                 self.cv.notify_all();
+                self.wait_hist.record_micros(started.elapsed());
                 return Err(DbError::Deadlock { cycle: desc });
             }
             let ticket_opt = if is_conversion { None } else { Some(ticket) };
@@ -526,12 +536,14 @@ impl LockManager {
                 LockMetrics::bump(&self.metrics.acquisitions);
                 self.cv.notify_all();
                 drop(inner);
+                self.wait_hist.record_micros(started.elapsed());
                 return self.maybe_escalate_after_grant(txn, res, mode);
             }
             if Instant::now() >= deadline {
                 inner.remove_waiter(&res, txn);
                 LockMetrics::bump(&self.metrics.timeouts);
                 self.cv.notify_all();
+                self.wait_hist.record_micros(started.elapsed());
                 return Err(DbError::LockTimeout {
                     resource: res.to_string(),
                     waited_ms: started.elapsed().as_millis() as u64,
@@ -588,7 +600,8 @@ impl LockManager {
 
     /// Escalate `txn`'s fine-grained locks on `table` to a single table lock.
     pub fn escalate(&self, txn: TxnId, table: TableId, mode: LockMode) -> DbResult<()> {
-        let table_mode = if mode == LockMode::X || mode == LockMode::IX { LockMode::X } else { LockMode::S };
+        let table_mode =
+            if mode == LockMode::X || mode == LockMode::IX { LockMode::X } else { LockMode::S };
         self.lock(txn, Res::Table(table), table_mode)?;
         let mut inner = self.inner.lock();
         let fine: Vec<Res> = inner
@@ -637,11 +650,8 @@ impl LockManager {
     /// Release every lock held by `txn` (commit/abort).
     pub fn release_all(&self, txn: TxnId) {
         let mut inner = self.inner.lock();
-        let held: Vec<Res> = inner
-            .txns
-            .get(&txn)
-            .map(|t| t.held.keys().cloned().collect())
-            .unwrap_or_default();
+        let held: Vec<Res> =
+            inner.txns.get(&txn).map(|t| t.held.keys().cloned().collect()).unwrap_or_default();
         for r in held {
             Self::release_one(&mut inner, txn, &r);
         }
@@ -800,7 +810,10 @@ mod tests {
         thread::sleep(Duration::from_millis(50));
         let r1 = lm.lock(TxnId(1), Res::Row(T, 2), LockMode::X);
         let r3 = h.join().unwrap();
-        assert!(matches!(r3, Err(DbError::Deadlock { .. })), "younger txn3 should be the victim: {r3:?}");
+        assert!(
+            matches!(r3, Err(DbError::Deadlock { .. })),
+            "younger txn3 should be the victim: {r3:?}"
+        );
         assert!(r1.is_ok(), "older txn1 should survive: {r1:?}");
     }
 

@@ -236,11 +236,7 @@ pub fn plan_access(
             if cost < best.cost {
                 best = TablePlan {
                     table,
-                    path: AccessPath::IndexEq {
-                        index: ix.id,
-                        prefix_len,
-                        probes: probes.clone(),
-                    },
+                    path: AccessPath::IndexEq { index: ix.id, prefix_len, probes: probes.clone() },
                     cost,
                     est_rows,
                     stats_generation: generation,
@@ -408,11 +404,8 @@ mod tests {
         let ix = c.index("ix_name").unwrap().id;
         c.stats.set_table_stats(t, 500_000);
         c.stats.set_index_stats(ix, 500_000);
-        let f = Expr::Cmp(
-            Box::new(Expr::Col("filename".into())),
-            CmpOp::Eq,
-            Box::new(Expr::Param(0)),
-        );
+        let f =
+            Expr::Cmp(Box::new(Expr::Col("filename".into())), CmpOp::Eq, Box::new(Expr::Param(0)));
         let plan = plan_access(&c, "dfm_file", Some(&f)).unwrap();
         assert!(matches!(plan.path, AccessPath::IndexEq { .. }));
     }

@@ -49,10 +49,8 @@ impl Session {
 
     /// Commit the open transaction.
     pub fn commit(&mut self) -> DbResult<()> {
-        let mut txn = self
-            .txn
-            .take()
-            .ok_or_else(|| DbError::TxnState("no transaction open".into()))?;
+        let mut txn =
+            self.txn.take().ok_or_else(|| DbError::TxnState("no transaction open".into()))?;
         self.db.commit(&mut txn)
     }
 
@@ -65,19 +63,15 @@ impl Session {
 
     /// Create a statement savepoint in the open transaction.
     pub fn savepoint(&mut self) -> DbResult<Savepoint> {
-        let txn = self
-            .txn
-            .as_ref()
-            .ok_or_else(|| DbError::TxnState("no transaction open".into()))?;
+        let txn =
+            self.txn.as_ref().ok_or_else(|| DbError::TxnState("no transaction open".into()))?;
         Ok(txn.savepoint())
     }
 
     /// Roll back to a savepoint, keeping the transaction (and its locks) open.
     pub fn rollback_to(&mut self, sp: Savepoint) -> DbResult<()> {
-        let txn = self
-            .txn
-            .as_mut()
-            .ok_or_else(|| DbError::TxnState("no transaction open".into()))?;
+        let txn =
+            self.txn.as_mut().ok_or_else(|| DbError::TxnState("no transaction open".into()))?;
         self.db.rollback_to(txn, sp)
     }
 
@@ -129,6 +123,7 @@ impl Session {
         &mut self,
         f: impl FnOnce(&Database, &mut Txn) -> DbResult<ExecResult>,
     ) -> DbResult<ExecResult> {
+        let mut span = obs::span(obs::Layer::Minidb, "stmt");
         let auto = self.txn.is_none();
         if auto {
             self.txn = Some(self.db.begin());
@@ -140,11 +135,12 @@ impl Session {
             Ok(r) => {
                 if auto {
                     let mut txn = self.txn.take().expect("autocommit txn present");
-                    self.db.commit(&mut txn)?;
+                    self.db.commit(&mut txn).inspect_err(|_| span.fail())?;
                 }
                 Ok(r)
             }
             Err(e) => {
+                span.fail();
                 if auto || e.is_rollback_forced() {
                     // Deadlock/timeout victims have lost the transaction.
                     let mut txn = self.txn.take().expect("txn present");
@@ -300,9 +296,7 @@ mod tests {
             )
             .unwrap();
         }
-        let rows = s
-            .query("SELECT name FROM t EXCEPT SELECT name FROM u", &[])
-            .unwrap();
+        let rows = s.query("SELECT name FROM t EXCEPT SELECT name FROM u", &[]).unwrap();
         let mut names: Vec<String> =
             rows.iter().map(|r| r[0].as_str().unwrap().to_string()).collect();
         names.sort();

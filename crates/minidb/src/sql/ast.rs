@@ -215,10 +215,7 @@ mod tests {
     fn conjunct_flattening() {
         let e = Expr::And(
             Box::new(Expr::col_eq("a", 1)),
-            Box::new(Expr::And(
-                Box::new(Expr::col_eq("b", 2)),
-                Box::new(Expr::col_eq("c", 3)),
-            )),
+            Box::new(Expr::And(Box::new(Expr::col_eq("b", 2)), Box::new(Expr::col_eq("c", 3)))),
         );
         assert_eq!(e.conjuncts().len(), 3);
         // OR does not flatten.

@@ -97,22 +97,20 @@ pub fn lex(input: &str) -> DbResult<Vec<Token>> {
                     return Err(DbError::Parse(format!("unexpected '!' at offset {i}")));
                 }
             }
-            '<' => {
-                match bytes.get(i + 1) {
-                    Some('=') => {
-                        out.push(Token::Le);
-                        i += 2;
-                    }
-                    Some('>') => {
-                        out.push(Token::Ne);
-                        i += 2;
-                    }
-                    _ => {
-                        out.push(Token::Lt);
-                        i += 1;
-                    }
+            '<' => match bytes.get(i + 1) {
+                Some('=') => {
+                    out.push(Token::Le);
+                    i += 2;
                 }
-            }
+                Some('>') => {
+                    out.push(Token::Ne);
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            },
             '>' => {
                 if bytes.get(i + 1) == Some(&'=') {
                     out.push(Token::Ge);
@@ -209,12 +207,7 @@ mod tests {
         let toks = lex("SELECT 1 -- trailing comment\n, 2").unwrap();
         assert_eq!(
             toks,
-            vec![
-                Token::Ident("SELECT".into()),
-                Token::Int(1),
-                Token::Comma,
-                Token::Int(2)
-            ]
+            vec![Token::Ident("SELECT".into()), Token::Int(1), Token::Comma, Token::Int(2)]
         );
     }
 
@@ -234,9 +227,6 @@ mod tests {
     #[test]
     fn identifiers_with_underscores() {
         let toks = lex("dfm_file_2 _x").unwrap();
-        assert_eq!(
-            toks,
-            vec![Token::Ident("dfm_file_2".into()), Token::Ident("_x".into())]
-        );
+        assert_eq!(toks, vec![Token::Ident("dfm_file_2".into()), Token::Ident("_x".into())]);
     }
 }

@@ -240,21 +240,14 @@ impl Parser {
             self.keyword("UPDATE")?;
             for_update = true;
         }
-        let except = if self.eat_keyword("EXCEPT") {
-            Some(Box::new(self.select()?))
-        } else {
-            None
-        };
+        let except = if self.eat_keyword("EXCEPT") { Some(Box::new(self.select()?)) } else { None };
         Ok(SelectStmt { projection, table, filter, order_by, for_update, except })
     }
 
     fn select_item(&mut self) -> DbResult<SelectItem> {
-        for (kw, agg) in [
-            ("COUNT", AggFn::Count),
-            ("MIN", AggFn::Min),
-            ("MAX", AggFn::Max),
-            ("SUM", AggFn::Sum),
-        ] {
+        for (kw, agg) in
+            [("COUNT", AggFn::Count), ("MIN", AggFn::Min), ("MAX", AggFn::Max), ("SUM", AggFn::Sum)]
+        {
             if self.at_keyword(kw) && self.tokens.get(self.pos + 1) == Some(&Token::LParen) {
                 self.keyword(kw)?;
                 self.expect(&Token::LParen)?;
@@ -376,10 +369,8 @@ impl Parser {
             Token::Param => {
                 // Parameter ordinals are assigned left-to-right by counting
                 // previously seen markers.
-                let idx = self.tokens[..self.pos - 1]
-                    .iter()
-                    .filter(|t| **t == Token::Param)
-                    .count();
+                let idx =
+                    self.tokens[..self.pos - 1].iter().filter(|t| **t == Token::Param).count();
                 Ok(Expr::Param(idx))
             }
             Token::LParen => {
@@ -479,8 +470,8 @@ mod tests {
 
     #[test]
     fn parse_select_except() {
-        let s = parse("SELECT filename FROM tmp_recon EXCEPT SELECT filename FROM dfm_file")
-            .unwrap();
+        let s =
+            parse("SELECT filename FROM tmp_recon EXCEPT SELECT filename FROM dfm_file").unwrap();
         match s {
             Stmt::Select(sel) => {
                 assert!(sel.except.is_some());
@@ -507,8 +498,8 @@ mod tests {
 
     #[test]
     fn parse_update_delete() {
-        let s = parse("UPDATE dfm_file SET lnk_state = 2, unlink_xid = ? WHERE filename = ?")
-            .unwrap();
+        let s =
+            parse("UPDATE dfm_file SET lnk_state = 2, unlink_xid = ? WHERE filename = ?").unwrap();
         match s {
             Stmt::Update { sets, filter, .. } => {
                 assert_eq!(sets.len(), 2);

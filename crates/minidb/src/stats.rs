@@ -14,8 +14,7 @@ use serde::{Deserialize, Serialize};
 use crate::schema::{IndexId, TableId};
 
 /// Statistics for one table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct TableStats {
     /// Estimated row count.
     pub cardinality: u64,
@@ -23,17 +22,14 @@ pub struct TableStats {
     pub hand_crafted: bool,
 }
 
-
 /// Statistics for one index.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct IndexStats {
     /// Estimated number of distinct full keys.
     pub distinct_keys: u64,
     /// True when set by hand.
     pub hand_crafted: bool,
 }
-
 
 /// All statistics of a database. Owned by the catalog.
 #[derive(Debug, Default, Clone, Serialize, Deserialize)]

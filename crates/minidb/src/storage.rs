@@ -96,10 +96,7 @@ impl TableData {
 
     /// Iterate live `(rowid, row)` pairs in row-id order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &Row)> {
-        self.rows
-            .iter()
-            .enumerate()
-            .filter_map(|(i, r)| r.as_ref().map(|row| (i as u64, row)))
+        self.rows.iter().enumerate().filter_map(|(i, r)| r.as_ref().map(|row| (i as u64, row)))
     }
 }
 
@@ -163,9 +160,7 @@ impl IndexData {
     pub fn prefix_scan(&self, prefix: &[Value]) -> Vec<(Vec<Value>, Vec<u64>)> {
         use std::ops::Bound;
         let mut out = Vec::new();
-        for (k, set) in
-            self.tree.range::<[Value], _>((Bound::Included(prefix), Bound::Unbounded))
-        {
+        for (k, set) in self.tree.range::<[Value], _>((Bound::Included(prefix), Bound::Unbounded)) {
             if k.len() < prefix.len() || &k[..prefix.len()] != prefix {
                 break;
             }
@@ -274,7 +269,9 @@ impl Storage {
     /// Run `f` with a read latch on the table heap.
     pub fn with_table<R>(&self, id: TableId, f: impl FnOnce(&TableData) -> R) -> DbResult<R> {
         let tables = self.tables.read();
-        let t = tables.get(&id).ok_or_else(|| DbError::Internal(format!("no heap for table#{}", id.0)))?;
+        let t = tables
+            .get(&id)
+            .ok_or_else(|| DbError::Internal(format!("no heap for table#{}", id.0)))?;
         let guard = t.read();
         Ok(f(&guard))
     }
@@ -286,7 +283,9 @@ impl Storage {
         f: impl FnOnce(&mut TableData) -> R,
     ) -> DbResult<R> {
         let tables = self.tables.read();
-        let t = tables.get(&id).ok_or_else(|| DbError::Internal(format!("no heap for table#{}", id.0)))?;
+        let t = tables
+            .get(&id)
+            .ok_or_else(|| DbError::Internal(format!("no heap for table#{}", id.0)))?;
         let mut guard = t.write();
         Ok(f(&mut guard))
     }
@@ -294,7 +293,8 @@ impl Storage {
     /// Run `f` with a read latch on an index tree.
     pub fn with_index<R>(&self, id: IndexId, f: impl FnOnce(&IndexData) -> R) -> DbResult<R> {
         let idx = self.indexes.read();
-        let t = idx.get(&id).ok_or_else(|| DbError::Internal(format!("no tree for index#{}", id.0)))?;
+        let t =
+            idx.get(&id).ok_or_else(|| DbError::Internal(format!("no tree for index#{}", id.0)))?;
         let guard = t.read();
         Ok(f(&guard))
     }
@@ -306,7 +306,8 @@ impl Storage {
         f: impl FnOnce(&mut IndexData) -> R,
     ) -> DbResult<R> {
         let idx = self.indexes.read();
-        let t = idx.get(&id).ok_or_else(|| DbError::Internal(format!("no tree for index#{}", id.0)))?;
+        let t =
+            idx.get(&id).ok_or_else(|| DbError::Internal(format!("no tree for index#{}", id.0)))?;
         let mut guard = t.write();
         Ok(f(&mut guard))
     }

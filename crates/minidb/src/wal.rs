@@ -85,6 +85,8 @@ impl WalInner {
 
 /// The write-ahead log.
 pub struct Wal {
+    // Duration of each force (simulated fsync), in microseconds.
+    force_hist: obs::Histogram,
     inner: Mutex<WalInner>,
     capacity: Mutex<usize>,
     force_latency: Mutex<Duration>,
@@ -97,6 +99,7 @@ impl Wal {
             inner: Mutex::new(WalInner { next_lsn: 1, ..WalInner::default() }),
             capacity: Mutex::new(capacity),
             force_latency: Mutex::new(force_latency),
+            force_hist: obs::Histogram::new(),
         }
     }
 
@@ -131,12 +134,21 @@ impl Wal {
 
     /// Make everything appended so far durable.
     pub fn force(&self) {
+        let started = std::time::Instant::now();
+        let _span = obs::span(obs::Layer::Minidb, "wal_force");
         let latency = *self.force_latency.lock();
         if latency > Duration::ZERO {
             thread::sleep(latency);
         }
         let mut inner = self.inner.lock();
         inner.durable_lsn = inner.next_lsn.saturating_sub(1);
+        drop(inner);
+        self.force_hist.record_micros(started.elapsed());
+    }
+
+    /// Histogram of force (simulated fsync) durations (microseconds).
+    pub fn force_hist(&self) -> &obs::Histogram {
+        &self.force_hist
     }
 
     /// Current size of the active (pinned) window, in records.
@@ -275,7 +287,7 @@ mod tests {
         w.append(TxnId(1), LogPayload::Begin).unwrap(); // lsn 1
         w.append(TxnId(2), LogPayload::Begin).unwrap(); // lsn 2
         w.append(TxnId(2), LogPayload::Commit).unwrap(); // lsn 3
-        // Window measured from txn1's first record.
+                                                         // Window measured from txn1's first record.
         assert_eq!(w.active_window(), 3);
         w.append(TxnId(1), LogPayload::Commit).unwrap();
         assert_eq!(w.active_window(), 0);

@@ -80,10 +80,9 @@ fn concurrent_unique_inserts_one_winner() {
         handles.push(thread::spawn(move || {
             let mut s = Session::new(&db);
             for key in 0..50i64 {
-                match s.exec_params(
-                    "INSERT INTO t (id, a, b) VALUES (?, 'c', 0)",
-                    &[Value::Int(key)],
-                ) {
+                match s
+                    .exec_params("INSERT INTO t (id, a, b) VALUES (?, 'c', 0)", &[Value::Int(key)])
+                {
                     Ok(_) => {
                         wins.fetch_add(1, Ordering::Relaxed);
                     }
@@ -263,10 +262,7 @@ fn high_contention_mixed_workload_converges() {
             for i in 0..80u64 {
                 let id = ((c * 31 + i * 17) % 16) as i64;
                 let r = match i % 3 {
-                    0 => s.exec_params(
-                        "UPDATE t SET b = b + 1 WHERE id = ?",
-                        &[Value::Int(id)],
-                    ),
+                    0 => s.exec_params("UPDATE t SET b = b + 1 WHERE id = ?", &[Value::Int(id)]),
                     1 => s.exec_params("SELECT b FROM t WHERE id = ?", &[Value::Int(id)]),
                     _ => s.exec_params(
                         "UPDATE t SET a = ? WHERE id = ?",
@@ -274,10 +270,7 @@ fn high_contention_mixed_workload_converges() {
                     ),
                 };
                 if let Err(e) = r {
-                    assert!(
-                        e.is_rollback_forced(),
-                        "only transient failures allowed, got {e}"
-                    );
+                    assert!(e.is_rollback_forced(), "only transient failures allowed, got {e}");
                 }
             }
         }));
@@ -289,10 +282,7 @@ fn high_contention_mixed_workload_converges() {
     assert_eq!(s.query_int("SELECT COUNT(*) FROM t", &[]).unwrap(), 16);
     // Index and heap agree for every row.
     for i in 0..16 {
-        assert_eq!(
-            s.query_int(&format!("SELECT COUNT(*) FROM t WHERE id = {i}"), &[]).unwrap(),
-            1
-        );
+        assert_eq!(s.query_int(&format!("SELECT COUNT(*) FROM t WHERE id = {i}"), &[]).unwrap(), 1);
     }
 }
 
@@ -360,9 +350,7 @@ fn range_scans_use_the_index_and_lock_only_matching_rows() {
     }
     // Plan: range over ix_b.
     s.exec("CREATE INDEX ix_b2 ON t (b)").ok();
-    let plan = s
-        .query("EXPLAIN SELECT * FROM t WHERE b >= 40 AND b < 45", &[])
-        .unwrap()[0][0]
+    let plan = s.query("EXPLAIN SELECT * FROM t WHERE b >= 40 AND b < 45", &[]).unwrap()[0][0]
         .as_str()
         .unwrap()
         .to_string();
@@ -386,8 +374,11 @@ fn range_bounds_flip_when_column_is_on_the_right() {
     let db = tuned(false);
     let mut s = Session::new(&db);
     for i in 0..10 {
-        s.exec_params("INSERT INTO t (id, a, b) VALUES (?, 'x', ?)", &[Value::Int(i), Value::Int(i)])
-            .unwrap();
+        s.exec_params(
+            "INSERT INTO t (id, a, b) VALUES (?, 'x', ?)",
+            &[Value::Int(i), Value::Int(i)],
+        )
+        .unwrap();
     }
     // `5 > b` means `b < 5`.
     let rows = s.query("SELECT id FROM t WHERE 5 > b ORDER BY id", &[]).unwrap();

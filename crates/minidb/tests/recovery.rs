@@ -59,11 +59,7 @@ fn updates_and_deletes_replay_correctly() {
     let db = fresh();
     let mut s = Session::new(&db);
     for i in 0..6 {
-        s.exec_params(
-            "INSERT INTO t (id, name, v) VALUES (?, 'x', 0)",
-            &[Value::Int(i)],
-        )
-        .unwrap();
+        s.exec_params("INSERT INTO t (id, name, v) VALUES (?, 'x', 0)", &[Value::Int(i)]).unwrap();
     }
     s.exec("UPDATE t SET v = 99, name = 'upd' WHERE id = 3").unwrap();
     s.exec("DELETE FROM t WHERE id = 1").unwrap();
@@ -158,10 +154,7 @@ fn drop_table_survives_crash() {
     db.crash();
     db.restart().unwrap();
     let mut s = Session::new(&db);
-    assert!(matches!(
-        s.query_int("SELECT COUNT(*) FROM doomed", &[]),
-        Err(DbError::NotFound(_))
-    ));
+    assert!(matches!(s.query_int("SELECT COUNT(*) FROM doomed", &[]), Err(DbError::NotFound(_))));
     // Name reusable after restart.
     s.exec("CREATE TABLE doomed (k BIGINT)").unwrap();
 }
@@ -204,8 +197,7 @@ fn backup_image_restore_roundtrip() {
     let db = fresh();
     let mut s = Session::new(&db);
     for i in 0..4 {
-        s.exec_params("INSERT INTO t (id, name, v) VALUES (?, 'a', 0)", &[Value::Int(i)])
-            .unwrap();
+        s.exec_params("INSERT INTO t (id, name, v) VALUES (?, 'a', 0)", &[Value::Int(i)]).unwrap();
     }
     let image = db.backup_image();
     s.exec("DELETE FROM t WHERE id >= 2").unwrap();

@@ -68,8 +68,7 @@ fn except_removes_duplicates_and_differences() {
     }
     s.exec("INSERT INTO u (name) VALUES ('c')").unwrap();
     let rows = s.query("SELECT name FROM t EXCEPT SELECT name FROM u", &[]).unwrap();
-    let mut names: Vec<String> =
-        rows.iter().map(|r| r[0].as_str().unwrap().to_string()).collect();
+    let mut names: Vec<String> = rows.iter().map(|r| r[0].as_str().unwrap().to_string()).collect();
     names.sort();
     // 'a' appears once (set semantics), 'c' removed.
     assert_eq!(names, vec!["a", "b"]);
@@ -79,10 +78,7 @@ fn except_removes_duplicates_and_differences() {
 fn aggregates_over_empty_and_null_sets() {
     let d = db();
     let mut s = Session::new(&d);
-    let row = s
-        .query_opt("SELECT COUNT(*), MIN(n), MAX(n), SUM(n) FROM t", &[])
-        .unwrap()
-        .unwrap();
+    let row = s.query_opt("SELECT COUNT(*), MIN(n), MAX(n), SUM(n) FROM t", &[]).unwrap().unwrap();
     assert_eq!(row[0], Value::Int(0));
     assert_eq!(row[1], Value::Null);
     assert_eq!(row[2], Value::Null);
@@ -90,10 +86,7 @@ fn aggregates_over_empty_and_null_sets() {
     // NULLs are ignored by column aggregates but counted by COUNT(*).
     s.exec("INSERT INTO t (id, name, n) VALUES (1, 'a', NULL)").unwrap();
     s.exec("INSERT INTO t (id, name, n) VALUES (2, 'b', 7)").unwrap();
-    let row = s
-        .query_opt("SELECT COUNT(*), COUNT(n), SUM(n) FROM t", &[])
-        .unwrap()
-        .unwrap();
+    let row = s.query_opt("SELECT COUNT(*), COUNT(n), SUM(n) FROM t", &[]).unwrap().unwrap();
     assert_eq!(row[0], Value::Int(2));
     assert_eq!(row[1], Value::Int(1));
     assert_eq!(row[2], Value::Int(7));
@@ -110,10 +103,7 @@ fn parameter_markers_are_positional_across_the_statement() {
     .unwrap();
     // Marker 0 in SET, marker 1 in WHERE.
     let count = s
-        .exec_params(
-            "UPDATE t SET n = ? WHERE id = ?",
-            &[Value::Int(99), Value::Int(1)],
-        )
+        .exec_params("UPDATE t SET n = ? WHERE id = ?", &[Value::Int(99), Value::Int(1)])
         .unwrap()
         .count();
     assert_eq!(count, 1);
@@ -162,10 +152,7 @@ fn boolean_literals_and_not() {
     s.exec("INSERT INTO flags (id, ok) VALUES (1, TRUE)").unwrap();
     s.exec("INSERT INTO flags (id, ok) VALUES (2, FALSE)").unwrap();
     assert_eq!(s.query_int("SELECT COUNT(*) FROM flags WHERE ok = TRUE", &[]).unwrap(), 1);
-    assert_eq!(
-        s.query_int("SELECT COUNT(*) FROM flags WHERE NOT ok = TRUE", &[]).unwrap(),
-        1
-    );
+    assert_eq!(s.query_int("SELECT COUNT(*) FROM flags WHERE NOT ok = TRUE", &[]).unwrap(), 1);
 }
 
 #[test]
@@ -179,16 +166,9 @@ fn or_predicates_and_parentheses() {
         )
         .unwrap();
     }
+    assert_eq!(s.query_int("SELECT COUNT(*) FROM t WHERE n = 1 OR n = 4", &[]).unwrap(), 2);
     assert_eq!(
-        s.query_int("SELECT COUNT(*) FROM t WHERE n = 1 OR n = 4", &[]).unwrap(),
-        2
-    );
-    assert_eq!(
-        s.query_int(
-            "SELECT COUNT(*) FROM t WHERE (n = 1 OR n = 4) AND id > 2",
-            &[]
-        )
-        .unwrap(),
+        s.query_int("SELECT COUNT(*) FROM t WHERE (n = 1 OR n = 4) AND id > 2", &[]).unwrap(),
         1
     );
 }
@@ -206,14 +186,8 @@ fn string_escapes_round_trip() {
 fn unknown_table_and_duplicate_ddl_errors() {
     let d = db();
     let mut s = Session::new(&d);
-    assert!(matches!(
-        s.exec("SELECT * FROM missing"),
-        Err(DbError::NotFound(_))
-    ));
-    assert!(matches!(
-        s.exec("CREATE TABLE t (x BIGINT)"),
-        Err(DbError::AlreadyExists(_))
-    ));
+    assert!(matches!(s.exec("SELECT * FROM missing"), Err(DbError::NotFound(_))));
+    assert!(matches!(s.exec("CREATE TABLE t (x BIGINT)"), Err(DbError::AlreadyExists(_))));
     assert!(matches!(
         s.exec("CREATE UNIQUE INDEX ix_id ON t (id)"),
         Err(DbError::AlreadyExists(_))

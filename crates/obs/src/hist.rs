@@ -207,6 +207,15 @@ impl Default for Histogram {
     }
 }
 
+impl Clone for Histogram {
+    /// Deep copy of the current (racy-read, like any snapshot) contents.
+    fn clone(&self) -> Histogram {
+        let h = Histogram::new();
+        h.merge(self);
+        h
+    }
+}
+
 impl std::fmt::Debug for Histogram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let r = self.report();
@@ -233,9 +242,8 @@ mod tests {
     fn bucket_boundaries_are_contiguous_and_monotonic() {
         // Every value maps into a bucket whose range contains it, and
         // bucket indexes never decrease as values grow.
-        let mut values: Vec<u64> = (0..60)
-            .flat_map(|shift| [0u64, 1, 7].map(|off| (1u64 << shift) + off))
-            .collect();
+        let mut values: Vec<u64> =
+            (0..60).flat_map(|shift| [0u64, 1, 7].map(|off| (1u64 << shift) + off)).collect();
         values.sort_unstable();
         let mut prev_idx = 0usize;
         for v in values {

@@ -99,18 +99,13 @@ mod tests {
             }
             let (name_part, value) =
                 line.rsplit_once(' ').unwrap_or_else(|| panic!("no value in {line:?}"));
-            assert!(
-                value.parse::<f64>().is_ok(),
-                "unparseable value {value:?} in {line:?}"
-            );
+            assert!(value.parse::<f64>().is_ok(), "unparseable value {value:?} in {line:?}");
             let metric = name_part;
             let name_end = metric.find('{').unwrap_or(metric.len());
             let name = &metric[..name_end];
             assert!(
                 !name.is_empty()
-                    && name
-                        .chars()
-                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                    && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
                 "bad metric name in {line:?}"
             );
             if name_end < metric.len() {

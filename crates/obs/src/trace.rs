@@ -224,7 +224,15 @@ pub fn span(layer: Layer, op: &'static str) -> SpanGuard {
         None => (TraceCtx::root(), 0),
     };
     set_current_ctx(Some(ctx));
-    SpanGuard { ctx, parent_span_id: parent, prev, layer, op, start: Instant::now(), outcome: Outcome::Ok }
+    SpanGuard {
+        ctx,
+        parent_span_id: parent,
+        prev,
+        layer,
+        op,
+        start: Instant::now(),
+        outcome: Outcome::Ok,
+    }
 }
 
 /// Open a root span: always starts a fresh trace, regardless of the
@@ -233,7 +241,15 @@ pub fn span_root(layer: Layer, op: &'static str) -> SpanGuard {
     let prev = current_ctx();
     let ctx = TraceCtx::root();
     set_current_ctx(Some(ctx));
-    SpanGuard { ctx, parent_span_id: 0, prev, layer, op, start: Instant::now(), outcome: Outcome::Ok }
+    SpanGuard {
+        ctx,
+        parent_span_id: 0,
+        prev,
+        layer,
+        op,
+        start: Instant::now(),
+        outcome: Outcome::Ok,
+    }
 }
 
 #[cfg(test)]

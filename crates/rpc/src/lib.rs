@@ -18,12 +18,13 @@
 #![warn(missing_docs)]
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use obs::trace::{self, Layer, TraceCtx};
 
 /// RPC-level failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,40 +47,130 @@ impl fmt::Display for RpcError {
 impl std::error::Error for RpcError {}
 
 /// One request in flight. `reply` is `None` for posted (fire-and-forget)
-/// requests.
+/// requests. `ctx` is the sender's trace context, installed on the
+/// receiving agent's thread so spans on both sides share one trace id.
 struct Envelope<Req, Resp> {
     req: Req,
     reply: Option<Sender<Resp>>,
+    ctx: Option<TraceCtx>,
+}
+
+/// Fabric-wide instrumentation, shared by the connector, the listener,
+/// and every connection created through them. Makes the paper's §4
+/// backpressure directly visible: a synchronous commit keeps the child
+/// agent busy, so the next sender blocks *on message send* — that is the
+/// `send_blocked` gauge.
+#[derive(Debug, Default)]
+pub struct RpcStats {
+    /// Synchronous calls started and not yet answered (gauge).
+    pub in_flight: AtomicI64,
+    /// Senders currently blocked in a rendezvous send waiting for the
+    /// agent to issue its receive (gauge).
+    pub send_blocked: AtomicI64,
+    /// Synchronous calls issued (counter).
+    pub calls: AtomicU64,
+    /// Fire-and-forget posts issued (counter).
+    pub posts: AtomicU64,
+}
+
+impl RpcStats {
+    /// Current in-flight synchronous calls.
+    pub fn in_flight(&self) -> i64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Senders currently blocked on a rendezvous send.
+    pub fn send_blocked(&self) -> i64 {
+        self.send_blocked.load(Ordering::Relaxed)
+    }
+
+    /// Total synchronous calls issued.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Total posts issued.
+    pub fn posts(&self) -> u64 {
+        self.posts.load(Ordering::Relaxed)
+    }
+}
+
+/// Decrements a gauge on drop (covers every exit path, panics included).
+struct GaugeGuard<'a>(&'a AtomicI64);
+
+impl<'a> GaugeGuard<'a> {
+    fn enter(gauge: &'a AtomicI64) -> GaugeGuard<'a> {
+        gauge.fetch_add(1, Ordering::Relaxed);
+        GaugeGuard(gauge)
+    }
+}
+
+impl Drop for GaugeGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// Client side of one connection (held by a host-database agent).
 pub struct ClientConn<Req, Resp> {
     tx: Sender<Envelope<Req, Resp>>,
+    stats: Arc<RpcStats>,
 }
 
 impl<Req, Resp> ClientConn<Req, Resp> {
+    fn envelope(&self, req: Req, reply: Option<Sender<Resp>>) -> Envelope<Req, Resp> {
+        Envelope { req, reply, ctx: trace::current_ctx() }
+    }
+
     /// Synchronous call: blocks until the child agent receives the request
     /// *and* sends the response.
     pub fn call(&self, req: Req) -> Result<Resp, RpcError> {
+        let mut span = trace::span(Layer::Rpc, "call");
+        self.stats.calls.fetch_add(1, Ordering::Relaxed);
+        let _in_flight = GaugeGuard::enter(&self.stats.in_flight);
         let (rtx, rrx) = bounded(1);
-        self.tx
-            .send(Envelope { req, reply: Some(rtx) })
-            .map_err(|_| RpcError::Disconnected)?;
-        rrx.recv().map_err(|_| RpcError::Disconnected)
+        let env = self.envelope(req, Some(rtx));
+        let sent = {
+            let _blocked = GaugeGuard::enter(&self.stats.send_blocked);
+            self.tx.send(env)
+        };
+        if sent.is_err() {
+            span.fail();
+            return Err(RpcError::Disconnected);
+        }
+        rrx.recv().map_err(|_| {
+            span.fail();
+            RpcError::Disconnected
+        })
     }
 
     /// Synchronous call with a deadline. Note the *send* still blocks until
     /// the agent issues its receive (rendezvous); only the response wait is
     /// bounded.
     pub fn call_timeout(&self, req: Req, timeout: Duration) -> Result<Resp, RpcError> {
+        let mut span = trace::span(Layer::Rpc, "call_timeout");
+        self.stats.calls.fetch_add(1, Ordering::Relaxed);
+        let _in_flight = GaugeGuard::enter(&self.stats.in_flight);
         let (rtx, rrx) = bounded(1);
-        self.tx
-            .send_timeout(Envelope { req, reply: Some(rtx) }, timeout)
-            .map_err(|_| RpcError::Timeout)?;
+        let env = self.envelope(req, Some(rtx));
+        let sent = {
+            let _blocked = GaugeGuard::enter(&self.stats.send_blocked);
+            self.tx.send_timeout(env, timeout)
+        };
+        if sent.is_err() {
+            span.fail();
+            return Err(RpcError::Timeout);
+        }
         match rrx.recv_timeout(timeout) {
             Ok(r) => Ok(r),
-            Err(RecvTimeoutError::Timeout) => Err(RpcError::Timeout),
-            Err(RecvTimeoutError::Disconnected) => Err(RpcError::Disconnected),
+            Err(RecvTimeoutError::Timeout) => {
+                span.fail();
+                Err(RpcError::Timeout)
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                span.fail();
+                Err(RpcError::Disconnected)
+            }
         }
     }
 
@@ -87,7 +178,15 @@ impl<Req, Resp> ClientConn<Req, Resp> {
     /// request, without waiting for processing (the unsafe asynchronous
     /// commit mode of §4).
     pub fn post(&self, req: Req) -> Result<(), RpcError> {
-        self.tx.send(Envelope { req, reply: None }).map_err(|_| RpcError::Disconnected)
+        self.stats.posts.fetch_add(1, Ordering::Relaxed);
+        let env = self.envelope(req, None);
+        let _blocked = GaugeGuard::enter(&self.stats.send_blocked);
+        self.tx.send(env).map_err(|_| RpcError::Disconnected)
+    }
+
+    /// Fabric-wide instrumentation (shared with the connector).
+    pub fn stats(&self) -> &Arc<RpcStats> {
+        &self.stats
     }
 }
 
@@ -118,18 +217,27 @@ impl<Resp> ReplySlot<Resp> {
 impl<Req, Resp> ServerConn<Req, Resp> {
     /// Receive the next request; blocks until one arrives. Returns
     /// `Disconnected` when the client is gone.
+    ///
+    /// As a side effect, the sender's trace context is installed on the
+    /// calling thread, so spans opened while handling the request share
+    /// the originating statement's trace id.
     pub fn recv(&self) -> Result<(Req, ReplySlot<Resp>), RpcError> {
         let env = self.rx.recv().map_err(|_| RpcError::Disconnected)?;
+        trace::set_current_ctx(env.ctx);
         Ok((env.req, ReplySlot { tx: env.reply }))
     }
 
     /// Receive with a timeout (lets agent loops poll a shutdown flag).
+    /// Installs the sender's trace context like [`ServerConn::recv`].
     pub fn recv_timeout(
         &self,
         timeout: Duration,
     ) -> Result<Option<(Req, ReplySlot<Resp>)>, RpcError> {
         match self.rx.recv_timeout(timeout) {
-            Ok(env) => Ok(Some((env.req, ReplySlot { tx: env.reply }))),
+            Ok(env) => {
+                trace::set_current_ctx(env.ctx);
+                Ok(Some((env.req, ReplySlot { tx: env.reply })))
+            }
             Err(RecvTimeoutError::Timeout) => Ok(None),
             Err(RecvTimeoutError::Disconnected) => Err(RpcError::Disconnected),
         }
@@ -139,6 +247,7 @@ impl<Req, Resp> ServerConn<Req, Resp> {
 /// The listener held by the DLFM main daemon.
 pub struct Listener<Req, Resp> {
     rx: Receiver<ServerConn<Req, Resp>>,
+    stats: Arc<RpcStats>,
 }
 
 impl<Req, Resp> Listener<Req, Resp> {
@@ -159,12 +268,23 @@ impl<Req, Resp> Listener<Req, Resp> {
             Err(RecvTimeoutError::Disconnected) => Err(RpcError::Disconnected),
         }
     }
+
+    /// Fabric-wide instrumentation.
+    pub fn stats(&self) -> &Arc<RpcStats> {
+        &self.stats
+    }
+
+    /// Connections waiting to be accepted (gauge).
+    pub fn accept_backlog(&self) -> usize {
+        self.rx.len()
+    }
 }
 
 /// The connector endpoint host agents use to reach a DLFM.
 #[derive(Clone)]
 pub struct Connector<Req, Resp> {
     tx: Sender<ServerConn<Req, Resp>>,
+    stats: Arc<RpcStats>,
 }
 
 impl<Req, Resp> Connector<Req, Resp> {
@@ -173,14 +293,26 @@ impl<Req, Resp> Connector<Req, Resp> {
         // Rendezvous request channel: sends block until the agent receives.
         let (tx, rx) = bounded(0);
         self.tx.send(ServerConn { rx }).map_err(|_| RpcError::Disconnected)?;
-        Ok(ClientConn { tx })
+        Ok(ClientConn { tx, stats: self.stats.clone() })
+    }
+
+    /// Fabric-wide instrumentation (shared with the listener and every
+    /// connection).
+    pub fn stats(&self) -> &Arc<RpcStats> {
+        &self.stats
+    }
+
+    /// Connections waiting to be accepted (gauge).
+    pub fn accept_backlog(&self) -> usize {
+        self.tx.len()
     }
 }
 
 /// Create a listener/connector pair (one per DLFM instance).
 pub fn fabric<Req, Resp>() -> (Listener<Req, Resp>, Connector<Req, Resp>) {
     let (tx, rx) = bounded(64);
-    (Listener { rx }, Connector { tx })
+    let stats = Arc::new(RpcStats::default());
+    (Listener { rx, stats: stats.clone() }, Connector { tx, stats })
 }
 
 /// Handle to a running server (main daemon + child agents).
@@ -335,6 +467,69 @@ mod tests {
         let server = listener.accept().unwrap();
         drop(server);
         assert_eq!(conn.call(1).unwrap_err(), RpcError::Disconnected);
+    }
+
+    #[test]
+    fn stats_count_calls_and_blocked_senders() {
+        let (listener, connector) = fabric::<u8, u8>();
+        let stats = connector.stats().clone();
+        let mut handle = serve(listener, || {
+            |req: u8, slot: ReplySlot<u8>| {
+                if req == 1 {
+                    thread::sleep(Duration::from_millis(120));
+                }
+                slot.send(req)
+            }
+        });
+        let conn = connector.connect().unwrap();
+        conn.post(1).unwrap(); // occupy the agent for ~120ms
+        let c2 = connector.connect().unwrap();
+        let h = thread::spawn(move || c2.call(0).unwrap());
+        // While the post is being processed, a second call through a fresh
+        // connection proceeds, but a call on the busy connection blocks on
+        // send; watch the gauges move.
+        let conn2 = connector.connect().unwrap();
+        drop(conn2);
+        thread::sleep(Duration::from_millis(30));
+        let blocked_seen = {
+            let busy = thread::spawn(move || conn.call(2).unwrap());
+            thread::sleep(Duration::from_millis(30));
+            let seen = stats.send_blocked() >= 1;
+            assert_eq!(busy.join().unwrap(), 2);
+            seen
+        };
+        assert!(blocked_seen, "sender blocked on rendezvous send must show in the gauge");
+        h.join().unwrap();
+        assert!(stats.calls() >= 2);
+        assert_eq!(stats.posts(), 1);
+        assert_eq!(stats.in_flight(), 0, "gauge drains when calls complete");
+        assert_eq!(stats.send_blocked(), 0);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn trace_ctx_propagates_to_agent_thread() {
+        let (listener, connector) = fabric::<u8, u64>();
+        // The handler reports the trace id installed on its thread.
+        let mut handle = serve(listener, || {
+            |_req: u8, slot: ReplySlot<u64>| {
+                let id = obs::trace::current_ctx().map(|c| c.trace_id).unwrap_or(0);
+                slot.send(id)
+            }
+        });
+        let conn = connector.connect().unwrap();
+
+        // Without a caller-side context the RPC span starts a fresh trace.
+        let agent_side = conn.call(0).unwrap();
+        assert_ne!(agent_side, 0, "rpc span should give the agent a trace id");
+
+        // With a root span installed (the host statement boundary), the
+        // agent sees that trace id.
+        let root = obs::trace::span_root(Layer::Host, "stmt");
+        let agent_side = conn.call(0).unwrap();
+        assert_eq!(agent_side, root.ctx().trace_id);
+        drop(root);
+        handle.shutdown();
     }
 
     #[test]

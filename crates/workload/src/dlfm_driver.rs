@@ -120,9 +120,8 @@ pub fn run_dlfm_workload(
         let fs = fs.clone();
         let config = config.clone();
         let ids = ids.clone();
-        handles.push(std::thread::spawn(move || {
-            client_loop(client, &connector, &fs, &config, &ids)
-        }));
+        handles
+            .push(std::thread::spawn(move || client_loop(client, &connector, &fs, &config, &ids)));
     }
     let mut aggregate = WorkloadReport::default();
     for h in handles {

@@ -1,10 +1,16 @@
-//! A small latency histogram with percentile reporting.
+//! Latency histogram for workload drivers — a thin wrapper over
+//! [`obs::Histogram`].
+//!
+//! Earlier versions kept every sample in a `Vec` and re-sorted it on every
+//! `percentile` call; the log-scale bucket histogram answers percentiles in
+//! one pass with bounded (6.25%) relative error, records without `&mut`,
+//! and merges shards cheaply.
+
+pub use obs::Report;
 
 /// Collects latency samples (microseconds) and reports percentiles.
 #[derive(Debug, Default, Clone)]
-pub struct Histogram {
-    samples: Vec<u64>,
-}
+pub struct Histogram(obs::Histogram);
 
 impl Histogram {
     /// New empty histogram.
@@ -12,59 +18,57 @@ impl Histogram {
         Histogram::default()
     }
 
-    /// Record one sample in microseconds.
-    pub fn record(&mut self, micros: u64) {
-        self.samples.push(micros);
+    /// Record one sample in microseconds. Atomic: sharing a histogram
+    /// across threads needs no locking.
+    pub fn record(&self, micros: u64) {
+        self.0.record(micros);
     }
 
     /// Merge another histogram into this one.
-    pub fn merge(&mut self, other: &Histogram) {
-        self.samples.extend_from_slice(&other.samples);
+    pub fn merge(&self, other: &Histogram) {
+        self.0.merge(&other.0);
     }
 
     /// Number of samples.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.0.count() as usize
     }
 
     /// True when no samples were recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.0.is_empty()
     }
 
-    /// Value at a percentile in `[0, 100]`, or 0 when empty.
+    /// Estimated value at a percentile in `(0, 100]`, or 0 when empty.
     pub fn percentile(&self, p: f64) -> u64 {
-        if self.samples.is_empty() {
-            return 0;
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).floor() as usize;
-        sorted[rank.min(sorted.len() - 1)]
+        self.0.percentile(p)
     }
 
     /// Arithmetic mean, or 0 when empty.
     pub fn mean(&self) -> u64 {
-        if self.samples.is_empty() {
-            return 0;
-        }
-        (self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64) as u64
+        self.0.mean() as u64
     }
 
-    /// Largest sample.
+    /// Largest sample (exact).
     pub fn max(&self) -> u64 {
-        self.samples.iter().copied().max().unwrap_or(0)
+        self.0.max()
+    }
+
+    /// p50/p95/p99/max in a single pass over the buckets.
+    pub fn report(&self) -> Report {
+        self.0.report()
     }
 
     /// Render `p50/p95/p99/max` in milliseconds.
     pub fn summary(&self) -> String {
+        let r = self.report();
         format!(
             "p50={:.1}ms p95={:.1}ms p99={:.1}ms max={:.1}ms (n={})",
-            self.percentile(50.0) as f64 / 1000.0,
-            self.percentile(95.0) as f64 / 1000.0,
-            self.percentile(99.0) as f64 / 1000.0,
-            self.max() as f64 / 1000.0,
-            self.len()
+            r.p50 as f64 / 1000.0,
+            r.p95 as f64 / 1000.0,
+            r.p99 as f64 / 1000.0,
+            r.max as f64 / 1000.0,
+            r.count
         )
     }
 }
@@ -75,15 +79,37 @@ mod tests {
 
     #[test]
     fn percentiles_on_known_data() {
-        let mut h = Histogram::new();
+        let h = Histogram::new();
         for i in 1..=100 {
             h.record(i);
         }
-        assert_eq!(h.percentile(50.0), 50);
-        assert_eq!(h.percentile(99.0), 99);
-        assert_eq!(h.percentile(100.0), 100);
+        // Estimates are bucket lower bounds: at or below the true value,
+        // within 6.25%.
+        for (p, truth) in [(50.0, 50u64), (99.0, 99), (100.0, 100)] {
+            let est = h.percentile(p);
+            assert!(est <= truth, "p{p} estimate {est} above true {truth}");
+            assert!(
+                (truth - est) as f64 <= truth as f64 * 0.0625 + 1.0,
+                "p{p} estimate {est} too far below {truth}"
+            );
+        }
         assert_eq!(h.max(), 100);
         assert_eq!(h.mean(), 50);
+        assert_eq!(h.len(), 100);
+    }
+
+    #[test]
+    fn report_matches_percentile_queries() {
+        let h = Histogram::new();
+        for i in 0..10_000u64 {
+            h.record(i * 11);
+        }
+        let r = h.report();
+        assert_eq!(r.count, 10_000);
+        assert_eq!(r.p50, h.percentile(50.0));
+        assert_eq!(r.p95, h.percentile(95.0));
+        assert_eq!(r.p99, h.percentile(99.0));
+        assert_eq!(r.max, h.max());
     }
 
     #[test]
@@ -93,16 +119,27 @@ mod tests {
         assert_eq!(h.mean(), 0);
         assert_eq!(h.max(), 0);
         assert!(h.is_empty());
+        assert_eq!(h.report(), Report::default());
     }
 
     #[test]
     fn merge_combines_samples() {
-        let mut a = Histogram::new();
+        let a = Histogram::new();
         a.record(10);
-        let mut b = Histogram::new();
+        let b = Histogram::new();
         b.record(30);
         a.merge(&b);
         assert_eq!(a.len(), 2);
         assert_eq!(a.max(), 30);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let a = Histogram::new();
+        a.record(5);
+        let b = a.clone();
+        a.record(7);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 1);
     }
 }

@@ -72,9 +72,8 @@ pub fn run_host_workload(
         let fs = fs.clone();
         let config = config.clone();
         let row_seq = row_seq.clone();
-        handles.push(std::thread::spawn(move || {
-            client_loop(client, &host, &fs, &config, &row_seq)
-        }));
+        handles
+            .push(std::thread::spawn(move || client_loop(client, &host, &fs, &config, &row_seq)));
     }
     let mut aggregate = WorkloadReport::default();
     for h in handles {
@@ -155,11 +154,7 @@ fn client_loop(
             let url = format!("dlfs://{}{}", config.server, path);
             let res = session.exec_params(
                 &format!("INSERT INTO {} (id, title, clip) VALUES (?, ?, ?)", config.table),
-                &[
-                    Value::Int(id),
-                    Value::str(format!("clip {id}")),
-                    Value::str(url.clone()),
-                ],
+                &[Value::Int(id), Value::str(format!("clip {id}")), Value::str(url.clone())],
             );
             if res.is_ok() {
                 rows.push((id, url));

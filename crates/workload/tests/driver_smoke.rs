@@ -7,8 +7,7 @@ use std::time::Duration;
 use dlfm::{AccessControl, DlfmConfig, DlfmRequest, DlfmResponse, DlfmServer, GroupSpec};
 use hostdb::{DatalinkSpec, HostConfig, HostDb};
 use workload::{
-    run_dlfm_workload, run_host_workload, DlfmWorkloadConfig, HostWorkloadConfig, IdSource,
-    OpMix,
+    run_dlfm_workload, run_host_workload, DlfmWorkloadConfig, HostWorkloadConfig, IdSource, OpMix,
 };
 
 #[test]
@@ -51,9 +50,7 @@ fn dlfm_driver_commits_and_reports() {
     assert_eq!(report.latency.len() as u64, report.committed());
     // The DLFM agrees on the number of live links.
     let mut dl = minidb::Session::new(server.db());
-    let linked = dl
-        .query_int("SELECT COUNT(*) FROM dfm_file WHERE lnk_state = 1", &[])
-        .unwrap();
+    let linked = dl.query_int("SELECT COUNT(*) FROM dfm_file WHERE lnk_state = 1", &[]).unwrap();
     assert!(linked >= 0);
     assert_eq!(dl.query_int("SELECT COUNT(*) FROM dfm_xact", &[]).unwrap(), 0);
 }
@@ -92,8 +89,6 @@ fn host_driver_commits_and_reports() {
     let mut s = host.session();
     let rows = s.query_int("SELECT COUNT(*) FROM media", &[]).unwrap();
     let mut dl = minidb::Session::new(dlfm_server.db());
-    let linked = dl
-        .query_int("SELECT COUNT(*) FROM dfm_file WHERE lnk_state = 1", &[])
-        .unwrap();
+    let linked = dl.query_int("SELECT COUNT(*) FROM dfm_file WHERE lnk_state = 1", &[]).unwrap();
     assert_eq!(rows, linked, "host rows and DLFM links must agree after the run");
 }

@@ -25,11 +25,7 @@ fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
 }
 
 fn main() {
-    let dep = Deployment::new(
-        "fs1",
-        dlfm::DlfmConfig::default(),
-        hostdb::HostConfig::default(),
-    );
+    let dep = Deployment::new("fs1", dlfm::DlfmConfig::default(), hostdb::HostConfig::default());
     let mut s = dep.host.session();
     s.create_table(
         "CREATE TABLE reports (id BIGINT NOT NULL, quarter VARCHAR, doc DATALINK)",
@@ -77,8 +73,7 @@ fn main() {
     // Host state: Q1 and Q2 rows are back, Q3 is gone.
     let mut s = dep.host.session(); // fresh session after restore
     let rows = s.query("SELECT quarter FROM reports ORDER BY id", &[]).unwrap();
-    let quarters: Vec<String> =
-        rows.iter().map(|r| r[0].as_str().unwrap().to_string()).collect();
+    let quarters: Vec<String> = rows.iter().map(|r| r[0].as_str().unwrap().to_string()).collect();
     println!("host rows after restore: {quarters:?}");
     assert_eq!(quarters, vec!["Q1", "Q2"]);
 

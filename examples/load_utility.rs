@@ -20,10 +20,12 @@ use minidb::Value;
 const FILES: usize = 2000;
 
 fn main() {
-    let mut dlfm_config = dlfm::DlfmConfig::default();
-    dlfm_config.chunk_commit_every = Some(250); // local commit every 250 ops
-    dlfm_config.delete_group_batch = 100; // unlink 100 files per commit
-    dlfm_config.group_life_span_micros = 100_000; // 100ms for the demo
+    let mut dlfm_config = dlfm::DlfmConfig {
+        chunk_commit_every: Some(250),   // local commit every 250 ops
+        delete_group_batch: 100,         // unlink 100 files per commit
+        group_life_span_micros: 100_000, // 100ms for the demo
+        ..dlfm::DlfmConfig::default()
+    };
     dlfm_config.db.log_capacity_records = 5_000; // a small active log window
     let dep = Deployment::new("fs1", dlfm_config, hostdb::HostConfig::default());
 

@@ -13,11 +13,7 @@ use minidb::Value;
 
 fn main() {
     // One file server ("fs1") with its DLFM, one host database.
-    let dep = Deployment::new(
-        "fs1",
-        dlfm::DlfmConfig::default(),
-        hostdb::HostConfig::default(),
-    );
+    let dep = Deployment::new("fs1", dlfm::DlfmConfig::default(), hostdb::HostConfig::default());
 
     // A user puts a video on the file server, outside the database.
     dep.fs.create("/video/launch.mpg", "alice", b"\x00MPEG fake payload").unwrap();
@@ -29,11 +25,7 @@ fn main() {
     session
         .create_table(
             "CREATE TABLE media (id BIGINT NOT NULL, title VARCHAR, clip DATALINK)",
-            &[DatalinkSpec {
-                column: "clip".into(),
-                access: AccessControl::Full,
-                recovery: true,
-            }],
+            &[DatalinkSpec { column: "clip".into(), access: AccessControl::Full, recovery: true }],
         )
         .unwrap();
     println!("created table media (id, title, clip DATALINK)");
@@ -59,9 +51,7 @@ fn main() {
 
     // Applications search via SQL, then access the file directly with a
     // host-issued token (paper Figure 3).
-    let rows = session
-        .query("SELECT clip FROM media WHERE title = 'Product launch'", &[])
-        .unwrap();
+    let rows = session.query("SELECT clip FROM media WHERE title = 'Product launch'", &[]).unwrap();
     let found_url = rows[0][0].as_str().unwrap().to_string();
     let token = session.read_token(&found_url).unwrap();
     let bytes = dlff.read("/video/launch.mpg", "any_app", Some(&token)).unwrap();

@@ -183,10 +183,7 @@ fn unlink_crash_after_prepare_then_commit_deletes_or_keeps_correctly() {
     assert_eq!(d.linked_count(), 0);
     // Recovery group: the unlinked entry is retained for PIT restore.
     let mut s = Session::new(d.dep.dlfm.db());
-    assert_eq!(
-        s.query_int("SELECT COUNT(*) FROM dfm_file WHERE lnk_state = 2", &[]).unwrap(),
-        1
-    );
+    assert_eq!(s.query_int("SELECT COUNT(*) FROM dfm_file WHERE lnk_state = 2", &[]).unwrap(), 1);
     // And the file was released.
     assert_eq!(d.dep.fs.stat("/a").unwrap().owner, "u");
 }
@@ -246,20 +243,14 @@ fn host_crash_loses_nothing_committed_and_aborts_the_rest() {
     let d = Driver::new();
     let mut s = d.dep.host.session();
     d.dep.fs.create("/h1", "u", b"1").unwrap();
-    s.exec_params(
-        "INSERT INTO t (id, doc) VALUES (1, ?)",
-        &[Value::str(d.dep.url("/h1"))],
-    )
-    .unwrap();
+    s.exec_params("INSERT INTO t (id, doc) VALUES (1, ?)", &[Value::str(d.dep.url("/h1"))])
+        .unwrap();
 
     // An open transaction at crash time must vanish entirely.
     d.dep.fs.create("/h2", "u", b"2").unwrap();
     s.begin().unwrap();
-    s.exec_params(
-        "INSERT INTO t (id, doc) VALUES (2, ?)",
-        &[Value::str(d.dep.url("/h2"))],
-    )
-    .unwrap();
+    s.exec_params("INSERT INTO t (id, doc) VALUES (2, ?)", &[Value::str(d.dep.url("/h2"))])
+        .unwrap();
 
     d.dep.host.crash();
     drop(s);

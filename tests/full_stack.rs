@@ -58,11 +58,8 @@ fn update_swaps_link_atomically() {
         &[Value::str(dep.url("/v/v1.mpg"))],
     )
     .unwrap();
-    s.exec_params(
-        "UPDATE media SET clip = ? WHERE id = 1",
-        &[Value::str(dep.url("/v/v2.mpg"))],
-    )
-    .unwrap();
+    s.exec_params("UPDATE media SET clip = ? WHERE id = 1", &[Value::str(dep.url("/v/v2.mpg"))])
+        .unwrap();
     assert_eq!(dep.fs.stat("/v/v1.mpg").unwrap().owner, "alice", "old version released");
     assert_eq!(dep.fs.stat("/v/v2.mpg").unwrap().owner, "dlfm_admin", "new version linked");
     let url = s.query("SELECT clip FROM media WHERE id = 1", &[]).unwrap()[0][0]
@@ -223,10 +220,7 @@ fn drop_table_deletes_groups_and_files_get_released() {
     // Asynchronous group deletion releases every file.
     wait_until("all files released", || {
         (0..5).all(|i| {
-            dep.fs
-                .stat(&format!("/v/f{i}.mpg"))
-                .map(|m| m.owner == "alice")
-                .unwrap_or(false)
+            dep.fs.stat(&format!("/v/f{i}.mpg")).map(|m| m.owner == "alice").unwrap_or(false)
         })
     });
     // Host side: table and bookkeeping rows gone.
@@ -385,10 +379,7 @@ fn concurrent_hosts_sessions_share_one_dlfm() {
     let mut s = dep.host.session();
     assert_eq!(s.query_int("SELECT COUNT(*) FROM media", &[]).unwrap(), 20);
     let mut dl = minidb::Session::new(dep.dlfm.db());
-    assert_eq!(
-        dl.query_int("SELECT COUNT(*) FROM dfm_file WHERE lnk_state = 1", &[]).unwrap(),
-        20
-    );
+    assert_eq!(dl.query_int("SELECT COUNT(*) FROM dfm_file WHERE lnk_state = 1", &[]).unwrap(), 20);
 }
 
 #[test]
@@ -407,18 +398,12 @@ fn two_host_databases_share_one_dlfm_with_isolated_dbids() {
     host_b.attach_dlfm("fs1", dlfm_server.connector());
 
     let spec = |col: &str| {
-        vec![DatalinkSpec {
-            column: col.into(),
-            access: AccessControl::Partial,
-            recovery: false,
-        }]
+        vec![DatalinkSpec { column: col.into(), access: AccessControl::Partial, recovery: false }]
     };
     let mut sa = host_a.session();
-    sa.create_table("CREATE TABLE ta (id BIGINT NOT NULL, doc DATALINK)", &spec("doc"))
-        .unwrap();
+    sa.create_table("CREATE TABLE ta (id BIGINT NOT NULL, doc DATALINK)", &spec("doc")).unwrap();
     let mut sb = host_b.session();
-    sb.create_table("CREATE TABLE tb (id BIGINT NOT NULL, doc DATALINK)", &spec("doc"))
-        .unwrap();
+    sb.create_table("CREATE TABLE tb (id BIGINT NOT NULL, doc DATALINK)", &spec("doc")).unwrap();
 
     fs.create("/a", "u", b"a").unwrap();
     fs.create("/b", "u", b"b").unwrap();
@@ -438,12 +423,6 @@ fn two_host_databases_share_one_dlfm_with_isolated_dbids() {
 
     // The DLFM tracks both databases' files.
     let mut dl = minidb::Session::new(dlfm_server.db());
-    assert_eq!(
-        dl.query_int("SELECT COUNT(*) FROM dfm_file WHERE dbid = 1", &[]).unwrap(),
-        1
-    );
-    assert_eq!(
-        dl.query_int("SELECT COUNT(*) FROM dfm_file WHERE dbid = 2", &[]).unwrap(),
-        1
-    );
+    assert_eq!(dl.query_int("SELECT COUNT(*) FROM dfm_file WHERE dbid = 1", &[]).unwrap(), 1);
+    assert_eq!(dl.query_int("SELECT COUNT(*) FROM dfm_file WHERE dbid = 2", &[]).unwrap(), 1);
 }

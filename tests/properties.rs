@@ -110,17 +110,11 @@ fn dlfm_state_machine_matches_model() {
                             .unwrap();
                         match resp {
                             DlfmResponse::Ok => {
-                                assert!(
-                                    local.contains(f),
-                                    "unlink of unlinked /f{f} must fail"
-                                );
+                                assert!(local.contains(f), "unlink of unlinked /f{f} must fail");
                                 local.remove(f);
                             }
                             DlfmResponse::Err(_) => {
-                                assert!(
-                                    !local.contains(f),
-                                    "unlink of linked /f{f} must succeed"
-                                );
+                                assert!(!local.contains(f), "unlink of linked /f{f} must succeed");
                             }
                             other => panic!("unexpected {other:?}"),
                         }
@@ -155,10 +149,7 @@ fn dlfm_state_machine_matches_model() {
         let per_file = dl.query("SELECT filename FROM dfm_file WHERE lnk_state = 1", &[]).unwrap();
         let mut seen = BTreeSet::new();
         for row in per_file {
-            assert!(
-                seen.insert(row[0].as_str().unwrap().to_string()),
-                "duplicate linked entry"
-            );
+            assert!(seen.insert(row[0].as_str().unwrap().to_string()), "duplicate linked entry");
         }
     }
 }
@@ -228,8 +219,7 @@ fn minidb_matches_model_under_random_crud() {
                         )
                         .unwrap()
                         .count();
-                    if let std::collections::btree_map::Entry::Occupied(mut e) = model.entry(id)
-                    {
+                    if let std::collections::btree_map::Entry::Occupied(mut e) = model.entry(id) {
                         assert_eq!(n, 1);
                         e.insert(val);
                     } else {
@@ -304,11 +294,8 @@ fn minidb_crash_recovery_preserves_committed_state() {
         let mut rng = StdRng::seed_from_u64(0xCAFE_0000 + case);
         let batches: Vec<Vec<DbAction>> =
             (0..rng.gen_range(1..6usize)).map(|_| db_actions(&mut rng, 1, 8)).collect();
-        let checkpoint_after = if rng.gen_range(0..2u8) == 0 {
-            Some(rng.gen_range(0..batches.len()))
-        } else {
-            None
-        };
+        let checkpoint_after =
+            if rng.gen_range(0..2u8) == 0 { Some(rng.gen_range(0..batches.len())) } else { None };
 
         let db = minidb::Database::new(minidb::DbConfig::for_tests());
         let mut s = Session::new(&db);

@@ -35,9 +35,7 @@ impl<T> fmt::Debug for SendTimeoutError<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SendTimeoutError::Timeout(_) => f.write_str("SendTimeoutError::Timeout(..)"),
-            SendTimeoutError::Disconnected(_) => {
-                f.write_str("SendTimeoutError::Disconnected(..)")
-            }
+            SendTimeoutError::Disconnected(_) => f.write_str("SendTimeoutError::Disconnected(..)"),
         }
     }
 }
@@ -100,8 +98,7 @@ fn wait_on<'a, T>(
             if now >= d {
                 return Err(guard);
             }
-            let (guard, res) =
-                cv.wait_timeout(guard, d - now).unwrap_or_else(|e| e.into_inner());
+            let (guard, res) = cv.wait_timeout(guard, d - now).unwrap_or_else(|e| e.into_inner());
             if res.timed_out() {
                 Err(guard)
             } else {
@@ -227,11 +224,7 @@ impl<T> Sender<T> {
     }
 
     /// [`Sender::send`] bounded by a deadline `timeout` from now.
-    pub fn send_timeout(
-        &self,
-        value: T,
-        timeout: Duration,
-    ) -> Result<(), SendTimeoutError<T>> {
+    pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
         self.inner.send_deadline(value, Some(Instant::now() + timeout))
     }
 

@@ -123,8 +123,7 @@ impl Condvar {
         timeout: Duration,
     ) -> WaitTimeoutResult {
         let inner = guard.guard.take().expect("guard already taken");
-        let (inner, res) =
-            self.0.wait_timeout(inner, timeout).unwrap_or_else(|e| e.into_inner());
+        let (inner, res) = self.0.wait_timeout(inner, timeout).unwrap_or_else(|e| e.into_inner());
         guard.guard = Some(inner);
         WaitTimeoutResult(res.timed_out())
     }
@@ -186,9 +185,7 @@ impl<T: ?Sized> RwLock<T> {
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
         match self.0.try_read() {
             Ok(g) => Some(RwLockReadGuard(g)),
-            Err(std::sync::TryLockError::Poisoned(e)) => {
-                Some(RwLockReadGuard(e.into_inner()))
-            }
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(RwLockReadGuard(e.into_inner())),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -197,9 +194,7 @@ impl<T: ?Sized> RwLock<T> {
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
         match self.0.try_write() {
             Ok(g) => Some(RwLockWriteGuard(g)),
-            Err(std::sync::TryLockError::Poisoned(e)) => {
-                Some(RwLockWriteGuard(e.into_inner()))
-            }
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(RwLockWriteGuard(e.into_inner())),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
