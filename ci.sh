@@ -1,11 +1,30 @@
 #!/usr/bin/env bash
 # Local CI: everything must pass before a change merges.
-#   ./ci.sh            full gate (build, tests, clippy, fmt)
-#   ./ci.sh fast       skip the release build
+#   ./ci.sh            full gate (build, tests, clippy, fmt, commit-path smoke)
+#   ./ci.sh fast       skip the release build and the smoke benches
+#   ./ci.sh smoke      only the commit-path smoke benches (e5 + tiny e11)
 set -euo pipefail
 cd "$(dirname "$0")"
 
 step() { printf '\n==> %s\n' "$*"; }
+
+# Exercise the commit path end to end with tiny parameters: the E5
+# sync-commit scenario and a two-point E11 group-commit sweep. Bench JSON
+# summaries land in target/ so the tree stays clean.
+smoke() {
+  step "commit-path smoke: e11_group_commit (tiny sweep)"
+  RUN_SECS=0.2 CLIENTS=8 FORCE_MS=1 BENCH_METRICS=0 BENCH_JSON_DIR=target \
+    cargo run -q --offline --release -p bench --bin e11_group_commit
+  step "commit-path smoke: e5_sync_commit"
+  BENCH_METRICS=0 BENCH_JSON_DIR=target \
+    cargo run -q --offline --release -p bench --bin e5_sync_commit
+}
+
+if [[ "${1:-}" == "smoke" ]]; then
+  smoke
+  step "OK"
+  exit 0
+fi
 
 if [[ "${1:-}" != "fast" ]]; then
   step "release build"
@@ -20,5 +39,9 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 
 step "rustfmt check"
 cargo fmt --check
+
+if [[ "${1:-}" != "fast" ]]; then
+  smoke
+fi
 
 step "OK"

@@ -133,6 +133,25 @@ fn main() {
         },
         bench::per_1k(report.forced_rollbacks(), report.committed())
     );
+    let lr = report.latency.report();
+    bench::write_json_summary(
+        "E1",
+        "100-client system test",
+        &[bench::JsonArm {
+            label: format!("{clients}clients"),
+            ops_per_sec: report.committed() as f64 / duration.as_secs_f64().max(1e-9),
+            p50_us: lr.p50,
+            p95_us: lr.p95,
+            p99_us: lr.p99,
+            extra: vec![
+                ("inserts_per_min".into(), report.inserts_per_min()),
+                ("updates_per_min".into(), report.updates_per_min()),
+                ("errors".into(), report.errors as f64),
+                ("deadlocks_per_1k".into(), bench::per_1k(report.deadlocks, report.committed())),
+                ("timeouts_per_1k".into(), bench::per_1k(report.timeouts, report.committed())),
+            ],
+        }],
+    );
     bench::dump_metrics(&dep.dlfm.metrics_text());
     let _ = Arc::strong_count(&dep.fs);
 }

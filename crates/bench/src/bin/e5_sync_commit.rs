@@ -197,5 +197,23 @@ fn main() {
             "inconclusive — timing-sensitive; re-run"
         }
     );
+    let arm = |label: &str, o: &Outcome| bench::JsonArm {
+        label: label.to_string(),
+        // Scenario completions per second: how quickly all actors drained.
+        ops_per_sec: 1.0 / o.total.as_secs_f64().max(1e-9),
+        p50_us: 0,
+        p95_us: 0,
+        p99_us: 0,
+        extra: vec![
+            ("livelocked".into(), if o.livelocked { 1.0 } else { 0.0 }),
+            ("phase2_retries".into(), o.retries_in_window as f64),
+            ("total_secs".into(), o.total.as_secs_f64()),
+        ],
+    };
+    bench::write_json_summary(
+        "E5",
+        "synchronous vs asynchronous commit API",
+        &[arm("async", &async_outcome), arm("sync", &sync_outcome)],
+    );
     bench::dump_metrics(&sync_outcome.metrics);
 }

@@ -100,13 +100,30 @@ fn main() {
     let mut no_chunk_failed = false;
     let mut chunked_ok = true;
     let mut last_metrics = String::new();
+    let mut arms = Vec::new();
     for chunk in [None, Some(1000), Some(250), Some(50), Some(10)] {
+        let arm_started = std::time::Instant::now();
         let o = run_arm(chunk, files);
+        let arm_elapsed = arm_started.elapsed();
         last_metrics = o.metrics.clone();
         let label = match chunk {
             None => "none (1 txn)".to_string(),
             Some(n) => n.to_string(),
         };
+        arms.push(bench::JsonArm {
+            label: format!("chunk={label}"),
+            ops_per_sec: o.links_done as f64 / arm_elapsed.as_secs_f64().max(1e-9),
+            p50_us: 0,
+            p95_us: 0,
+            p99_us: 0,
+            extra: vec![
+                ("ok".into(), if o.ok { 1.0 } else { 0.0 }),
+                ("log_full".into(), if o.log_full { 1.0 } else { 0.0 }),
+                ("links_done".into(), o.links_done as f64),
+                ("chunk_commits".into(), o.chunk_commits as f64),
+                ("peak_log_window".into(), o.peak_window as f64),
+            ],
+        });
         row(
             &[
                 &label,
@@ -140,5 +157,6 @@ fn main() {
             "inconclusive — adjust SCALE/LOG capacity"
         }
     );
+    bench::write_json_summary("E8", "chunked local commits", &arms);
     bench::dump_metrics(&last_metrics);
 }

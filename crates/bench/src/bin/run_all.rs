@@ -15,6 +15,7 @@ const EXPERIMENTS: &[&str] = &[
     "e8_chunked",
     "e9_archive_table",
     "e10_backup_restore",
+    "e11_group_commit",
 ];
 
 fn main() {

@@ -147,7 +147,126 @@ pub fn minidb_metrics_text(db: &minidb::Database) -> String {
         &[],
         db.wal_force_hist(),
     );
+    r.counter(
+        "minidb_wal_forces_total",
+        "WAL forces performed (one simulated fsync each).",
+        &[],
+        db.wal_forces_total(),
+    );
+    r.counter(
+        "minidb_wal_commits_total",
+        "Commit records appended to the WAL.",
+        &[],
+        db.wal_commits_total(),
+    );
+    r.histogram(
+        "minidb_wal_force_batch_commits",
+        "Commit records made durable per WAL force (group-commit batch size).",
+        &[],
+        db.wal_force_batch_hist(),
+    );
     r.render()
+}
+
+/// One arm of a benchmark in the machine-readable summary: a label, a
+/// throughput, latency percentiles, and any extra numeric fields.
+pub struct JsonArm {
+    /// Arm label, e.g. `"grouped/8thr"`.
+    pub label: String,
+    /// Operations per second for this arm.
+    pub ops_per_sec: f64,
+    /// Median operation latency, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile operation latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile operation latency, microseconds.
+    pub p99_us: u64,
+    /// Extra per-arm numbers, e.g. `("wal_forces", 412.0)`.
+    pub extra: Vec<(String, f64)>,
+}
+
+impl JsonArm {
+    /// Build an arm from an [`obs::Histogram`] latency report.
+    pub fn from_hist(label: impl Into<String>, ops_per_sec: f64, h: &obs::Histogram) -> JsonArm {
+        let r = h.report();
+        JsonArm {
+            label: label.into(),
+            ops_per_sec,
+            p50_us: r.p50,
+            p95_us: r.p95,
+            p99_us: r.p99,
+            extra: Vec::new(),
+        }
+    }
+
+    /// Attach an extra numeric field.
+    pub fn with(mut self, key: impl Into<String>, value: f64) -> JsonArm {
+        self.extra.push((key.into(), value));
+        self
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Write a machine-readable summary to `BENCH_<ID>.json` in the current
+/// directory (override the directory with `BENCH_JSON_DIR`; disable with
+/// `BENCH_JSON=0`). The workspace has no JSON dependency, so this emits
+/// the format by hand — flat enough that string escaping and `%.3f`
+/// numbers cover it.
+pub fn write_json_summary(id: &str, title: &str, arms: &[JsonArm]) {
+    if std::env::var("BENCH_JSON").as_deref() == Ok("0") {
+        return;
+    }
+    let dir = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", id.to_uppercase()));
+    match std::fs::write(&path, json_summary_string(id, title, arms)) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+/// The JSON document [`write_json_summary`] writes (separate for tests).
+pub fn json_summary_string(id: &str, title: &str, arms: &[JsonArm]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"experiment\": \"{}\",\n  \"title\": \"{}\",\n  \"arms\": [\n",
+        json_escape(id),
+        json_escape(title)
+    ));
+    for (i, arm) in arms.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"ops_per_sec\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}",
+            json_escape(&arm.label),
+            json_num(arm.ops_per_sec),
+            arm.p50_us,
+            arm.p95_us,
+            arm.p99_us
+        ));
+        for (k, v) in &arm.extra {
+            out.push_str(&format!(", \"{}\": {}", json_escape(k), json_num(*v)));
+        }
+        out.push_str(if i + 1 < arms.len() { "},\n" } else { "}\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Normalise a rate to "per 1000 committed transactions".
@@ -180,5 +299,26 @@ mod tests {
     fn env_parsing_defaults() {
         assert_eq!(env_num("BENCH_NO_SUCH_VAR", 7), 7);
         assert_eq!(env_secs("BENCH_NO_SUCH_VAR", 1.5), Duration::from_secs_f64(1.5));
+    }
+
+    #[test]
+    fn json_summary_shape() {
+        let h = obs::Histogram::new();
+        for v in [100u64, 200, 300] {
+            h.record(v);
+        }
+        let arms = vec![
+            JsonArm::from_hist("grouped/8thr", 1234.5678, &h).with("wal_forces", 42.0),
+            JsonArm::from_hist("serial \"quoted\"", 10.0, &h),
+        ];
+        let text = json_summary_string("e11", "group commit", &arms);
+        assert!(text.contains("\"experiment\": \"e11\""));
+        assert!(text.contains("\"label\": \"grouped/8thr\""));
+        assert!(text.contains("\"ops_per_sec\": 1234.568"));
+        assert!(text.contains("\"wal_forces\": 42.000"));
+        assert!(text.contains("\\\"quoted\\\""));
+        assert!(text.contains("\"p95_us\": 288")); // bucket lower bound of 300
+                                                   // Every quote is escaped: the document parses as flat JSON lines.
+        assert_eq!(text.matches("\"arms\"").count(), 1);
     }
 }

@@ -275,6 +275,24 @@ impl DlfmServer {
             &[],
             self.shared.db.wal_force_hist(),
         );
+        r.counter(
+            "minidb_wal_forces_total",
+            "WAL forces performed (one simulated fsync each; group commit batches committers under one force).",
+            &[],
+            self.shared.db.wal_forces_total(),
+        );
+        r.counter(
+            "minidb_wal_commits_total",
+            "Commit records appended to the WAL.",
+            &[],
+            self.shared.db.wal_commits_total(),
+        );
+        r.histogram(
+            "minidb_wal_force_batch_commits",
+            "Commit records made durable per WAL force (group-commit batch size).",
+            &[],
+            self.shared.db.wal_force_batch_hist(),
+        );
         r.gauge(
             "minidb_wal_active_window",
             "WAL records pinned by in-flight transactions.",

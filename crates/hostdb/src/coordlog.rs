@@ -5,8 +5,16 @@
 //! anyone to commit. On restart, transactions with a commit record but no
 //! end record are re-driven to commit; prepared participant transactions
 //! with no commit record are aborted.
+//!
+//! Like the minidb WAL, forces go through a simulated single-force-at-a-time
+//! device (`force_latency`) and group commit batches concurrent commit
+//! decisions under one leader force (see `minidb::wal` for the protocol).
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::thread;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
 
 /// One coordinator log record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,43 +39,159 @@ struct Inner {
     durable: usize,
 }
 
+#[derive(Default)]
+struct GroupState {
+    leader_active: bool,
+}
+
 /// The coordinator log with an explicit durability watermark, so a host
 /// crash can lose the volatile tail.
 #[derive(Default)]
 pub struct CoordLog {
     inner: Mutex<Inner>,
+    /// Mirror of `inner.durable` for lock-free waiter checks.
+    durable: AtomicUsize,
+    /// Bumped on crash so blocked committers never report false durability.
+    epoch: AtomicU64,
+    force_latency_nanos: AtomicU64,
+    group_commit: AtomicBool,
+    forces: AtomicU64,
+    decisions: AtomicU64,
+    batch_hist: obs::Histogram,
+    /// The simulated force device: one force in flight at a time.
+    device: Mutex<()>,
+    group: Mutex<GroupState>,
+    group_cv: Condvar,
 }
 
 impl CoordLog {
-    /// New empty log.
+    /// New empty log with group commit on and zero force latency.
     pub fn new() -> CoordLog {
-        CoordLog::default()
+        let log = CoordLog::default();
+        log.group_commit.store(true, Ordering::Relaxed);
+        log
     }
 
-    /// Append a record (volatile until forced).
-    pub fn append(&self, rec: CoordRecord) {
-        self.inner.lock().records.push(rec);
+    /// Simulated per-force latency (commit-decision durability cost).
+    pub fn set_force_latency(&self, d: Duration) {
+        self.force_latency_nanos.store(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Toggle group commit for coordinator-log forces.
+    pub fn set_group_commit(&self, on: bool) {
+        self.group_commit.store(on, Ordering::Relaxed);
+    }
+
+    /// Append a record (volatile until forced). Returns its sequence
+    /// number (1-based count), usable with [`CoordLog::force_up_to`].
+    pub fn append(&self, rec: CoordRecord) -> usize {
+        if matches!(rec, CoordRecord::Commit { .. }) {
+            self.decisions.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut inner = self.inner.lock();
+        inner.records.push(rec);
+        inner.records.len()
     }
 
     /// Append and force in one step (used for the commit decision).
-    pub fn append_forced(&self, rec: CoordRecord) {
-        let mut inner = self.inner.lock();
-        inner.records.push(rec);
-        inner.durable = inner.records.len();
+    /// Returns `false` when a simulated crash raced the force and the
+    /// record may be lost.
+    pub fn append_forced(&self, rec: CoordRecord) -> bool {
+        let seq = self.append(rec);
+        self.force_up_to(seq)
     }
 
-    /// Make all appended records durable.
-    pub fn force(&self) {
-        let mut inner = self.inner.lock();
-        inner.durable = inner.records.len();
+    /// Make all appended records durable. Returns `false` when a crash
+    /// raced the force (see [`CoordLog::force_up_to`]).
+    pub fn force(&self) -> bool {
+        self.force_up_to(self.inner.lock().records.len())
     }
 
-    /// Crash: discard the volatile tail. Returns records lost.
+    /// Block until the first `seq` records are durable: the same
+    /// leader/follower group-commit protocol as `minidb::wal`. Returns
+    /// `false` if a simulated crash intervened.
+    pub fn force_up_to(&self, seq: usize) -> bool {
+        if !self.group_commit.load(Ordering::Relaxed) {
+            let epoch = self.epoch.load(Ordering::Acquire);
+            let ok = self.force_device(epoch);
+            return ok && self.durable.load(Ordering::Acquire) >= seq;
+        }
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let mut group = self.group.lock();
+        loop {
+            if self.durable.load(Ordering::Acquire) >= seq {
+                return true;
+            }
+            if self.epoch.load(Ordering::Acquire) != epoch {
+                return false;
+            }
+            if group.leader_active {
+                self.group_cv.wait(&mut group);
+                continue;
+            }
+            group.leader_active = true;
+            drop(group);
+            let ok = self.force_device(epoch);
+            group = self.group.lock();
+            group.leader_active = false;
+            self.group_cv.notify_all();
+            if !ok {
+                return false;
+            }
+        }
+    }
+
+    /// One pass over the simulated force device: capture the target, sleep
+    /// the device latency, publish durability.
+    fn force_device(&self, epoch: u64) -> bool {
+        let _device = self.device.lock();
+        let target = self.inner.lock().records.len();
+        let latency = self.force_latency_nanos.load(Ordering::Relaxed);
+        if latency > 0 {
+            thread::sleep(Duration::from_nanos(latency));
+        }
+        let mut inner = self.inner.lock();
+        if self.epoch.load(Ordering::Acquire) != epoch {
+            return false;
+        }
+        let target = target.min(inner.records.len());
+        let covered = inner.records[inner.durable.min(target)..target]
+            .iter()
+            .filter(|r| matches!(r, CoordRecord::Commit { .. }))
+            .count();
+        inner.durable = inner.durable.max(target);
+        self.durable.store(inner.durable, Ordering::Release);
+        drop(inner);
+        self.forces.fetch_add(1, Ordering::Relaxed);
+        self.batch_hist.record(covered as u64);
+        true
+    }
+
+    /// Total forces performed.
+    pub fn forces_total(&self) -> u64 {
+        self.forces.load(Ordering::Relaxed)
+    }
+
+    /// Total commit-decision records appended.
+    pub fn decisions_total(&self) -> u64 {
+        self.decisions.load(Ordering::Relaxed)
+    }
+
+    /// Histogram of commit decisions made durable per force (batch size).
+    pub fn batch_hist(&self) -> &obs::Histogram {
+        &self.batch_hist
+    }
+
+    /// Crash: discard the volatile tail. Returns records lost. Blocked
+    /// committers are woken and observe the epoch bump.
     pub fn crash(&self) -> usize {
         let mut inner = self.inner.lock();
         let lost = inner.records.len() - inner.durable;
         let durable = inner.durable;
         inner.records.truncate(durable);
+        self.epoch.fetch_add(1, Ordering::Release);
+        drop(inner);
+        self.group_cv.notify_all();
         lost
     }
 
@@ -142,5 +266,47 @@ mod tests {
         assert!(!log.committed(5));
         log.append_forced(CoordRecord::Commit { xid: 5, servers: vec![] });
         assert!(log.committed(5));
+    }
+
+    #[test]
+    fn one_force_covers_earlier_appends() {
+        let log = CoordLog::new();
+        let s1 = log.append(CoordRecord::Commit { xid: 1, servers: vec![] });
+        let s2 = log.append(CoordRecord::Commit { xid: 2, servers: vec![] });
+        assert!(s1 < s2);
+        assert!(log.force_up_to(s2));
+        assert_eq!(log.forces_total(), 1);
+        assert_eq!(log.decisions_total(), 2);
+        assert_eq!(log.batch_hist().max(), 2);
+        // Already durable: no new force.
+        assert!(log.force_up_to(s1));
+        assert_eq!(log.forces_total(), 1);
+    }
+
+    #[test]
+    fn concurrent_decisions_batch_under_one_leader() {
+        use std::sync::Arc;
+        let log = Arc::new(CoordLog::new());
+        log.set_force_latency(Duration::from_millis(2));
+        let mut handles = Vec::new();
+        for t in 0..4i64 {
+            let log = log.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..5 {
+                    assert!(log
+                        .append_forced(CoordRecord::Commit { xid: t * 100 + i, servers: vec![] }));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(log.decisions_total(), 20);
+        assert!(
+            log.forces_total() < log.decisions_total(),
+            "grouped forces ({}) must undercut decisions ({})",
+            log.forces_total(),
+            log.decisions_total()
+        );
     }
 }

@@ -44,11 +44,23 @@ pub struct HostConfig {
     /// true; the `false` mode exists to reproduce the §4 distributed
     /// deadlock).
     pub synchronous_commit: bool,
+    /// Simulated latency of each coordinator-log force (the commit-decision
+    /// fsync of presumed-abort 2PC).
+    pub coord_force_latency: std::time::Duration,
+    /// Group commit for coordinator-log forces: one force covers every
+    /// commit decision waiting at that moment.
+    pub coord_group_commit: bool,
 }
 
 impl Default for HostConfig {
     fn default() -> Self {
-        HostConfig { dbid: 1, db: DbConfig::default(), synchronous_commit: true }
+        HostConfig {
+            dbid: 1,
+            db: DbConfig::default(),
+            synchronous_commit: true,
+            coord_force_latency: std::time::Duration::ZERO,
+            coord_group_commit: true,
+        }
     }
 }
 
@@ -133,7 +145,12 @@ impl HostDb {
                 rec_seq: AtomicI64::new(1),
                 grp_seq: AtomicI64::new(1),
                 dl_cols: RwLock::new(HashMap::new()),
-                coord_log: CoordLog::new(),
+                coord_log: {
+                    let log = CoordLog::new();
+                    log.set_force_latency(config.coord_force_latency);
+                    log.set_group_commit(config.coord_group_commit);
+                    log
+                },
                 sync_commit: AtomicBool::new(config.synchronous_commit),
                 metrics: HostMetrics::default(),
                 backups: Mutex::new(Vec::new()),
@@ -221,6 +238,101 @@ impl HostDb {
     /// The coordinator log (diagnostics).
     pub fn coord_log(&self) -> &CoordLog {
         &self.inner.coord_log
+    }
+
+    /// Host metrics in Prometheus text format: operation counters, the 2PC
+    /// coordinator log (forces vs decisions, group-commit batch sizes), and
+    /// the host-local storage engine's commit path.
+    pub fn metrics_text(&self) -> String {
+        let m = &self.inner.metrics;
+        let db = &self.inner.db;
+        let coord = &self.inner.coord_log;
+        let mut r = obs::Registry::new();
+        r.counter(
+            "hostdb_commits_total",
+            "Committed host transactions.",
+            &[],
+            m.commits.load(Ordering::Relaxed),
+        );
+        r.counter(
+            "hostdb_rollbacks_total",
+            "Rolled-back host transactions.",
+            &[],
+            m.rollbacks.load(Ordering::Relaxed),
+        );
+        r.counter(
+            "hostdb_twopc_commits_total",
+            "Two-phase commits.",
+            &[],
+            m.twopc_commits.load(Ordering::Relaxed),
+        );
+        r.counter(
+            "hostdb_prepare_failures_total",
+            "Prepare-phase failures.",
+            &[],
+            m.prepare_failures.load(Ordering::Relaxed),
+        );
+        r.counter(
+            "hostdb_links_total",
+            "LinkFile requests issued.",
+            &[],
+            m.links.load(Ordering::Relaxed),
+        );
+        r.counter(
+            "hostdb_unlinks_total",
+            "UnlinkFile requests issued.",
+            &[],
+            m.unlinks.load(Ordering::Relaxed),
+        );
+        r.counter(
+            "hostdb_indoubts_resolved_total",
+            "Indoubt transactions resolved.",
+            &[],
+            m.indoubts_resolved.load(Ordering::Relaxed),
+        );
+        r.counter(
+            "coordlog_forces_total",
+            "Coordinator-log forces (one per leader).",
+            &[],
+            coord.forces_total(),
+        );
+        r.counter(
+            "coordlog_commit_decisions_total",
+            "Commit-decision records appended.",
+            &[],
+            coord.decisions_total(),
+        );
+        r.histogram(
+            "coordlog_force_batch_decisions",
+            "Commit decisions made durable per coordinator-log force.",
+            &[],
+            coord.batch_hist(),
+        );
+        r.counter(
+            "minidb_wal_forces_total",
+            "Host-local WAL forces (one simulated fsync each).",
+            &[],
+            db.wal_forces_total(),
+        );
+        r.counter(
+            "minidb_wal_commits_total",
+            "Commit records appended to the host-local WAL.",
+            &[],
+            db.wal_commits_total(),
+        );
+        r.histogram(
+            "minidb_wal_force_micros",
+            "Host-local WAL force durations.",
+            &[],
+            db.wal_force_hist(),
+        );
+        r.histogram(
+            "minidb_wal_force_batch_commits",
+            "Commit records made durable per host-local WAL force.",
+            &[],
+            db.wal_force_batch_hist(),
+        );
+        r.render()
     }
 
     /// Toggle synchronous phase-2 commit (the §4 ablation knob).
@@ -526,11 +638,21 @@ impl HostSession {
             return Ok(());
         }
 
-        // Decision: force the commit record, then commit locally.
-        self.host
+        // Decision: force the commit record, then commit locally. One
+        // coordinator-log force may cover many concurrent decisions (group
+        // commit); `false` means a simulated host crash raced the force,
+        // so the decision cannot be claimed durable.
+        if !self
+            .host
             .inner
             .coord_log
-            .append_forced(CoordRecord::Commit { xid, servers: participants.clone() });
+            .append_forced(CoordRecord::Commit { xid, servers: participants.clone() })
+        {
+            self.abort_everywhere(&txn);
+            self.session.rollback();
+            self.host.inner.metrics.rollbacks.fetch_add(1, Ordering::Relaxed);
+            return Err(HostError::Db(minidb::DbError::Offline));
+        }
         self.session.commit()?;
 
         // Phase 2: synchronous by default — the paper found the commit

@@ -48,6 +48,17 @@ pub struct DbConfig {
     /// Simulated latency added to each log force (commit durability cost).
     /// Used by the benchmark harness to model ~1999 disk behaviour.
     pub log_force_latency: Duration,
+    /// When true (the default), commits use the leader/follower group-commit
+    /// protocol: one log force covers every committer waiting at that
+    /// moment. When false each committer performs its own force,
+    /// serialised at the simulated log device — the historical behaviour,
+    /// kept so E11 can measure the gap.
+    pub group_commit: bool,
+    /// How long a group-commit leader lingers before forcing, to let more
+    /// committers join the batch. Zero (the default) forces immediately;
+    /// the natural batching from the force latency itself is usually
+    /// enough.
+    pub group_commit_wait: Duration,
 }
 
 impl Default for DbConfig {
@@ -61,6 +72,8 @@ impl Default for DbConfig {
             log_capacity_records: 1_000_000,
             isolation: Isolation::CursorStability,
             log_force_latency: Duration::ZERO,
+            group_commit: true,
+            group_commit_wait: Duration::ZERO,
         }
     }
 }
@@ -79,6 +92,8 @@ impl DbConfig {
             log_capacity_records: 1_000_000,
             isolation: Isolation::CursorStability,
             log_force_latency: Duration::ZERO,
+            group_commit: true,
+            group_commit_wait: Duration::ZERO,
         }
     }
 

@@ -146,7 +146,12 @@ impl Database {
                     config.lock_list_capacity,
                     config.deadlock_detection,
                 ),
-                wal: Wal::new(config.log_capacity_records, config.log_force_latency),
+                wal: {
+                    let wal = Wal::new(config.log_capacity_records, config.log_force_latency);
+                    wal.set_group_commit(config.group_commit);
+                    wal.set_group_commit_wait(config.group_commit_wait);
+                    wal
+                },
                 next_txn: AtomicU64::new(1),
                 online: AtomicBool::new(true),
                 isolation: config.isolation,
@@ -186,8 +191,18 @@ impl Database {
         txn.check_active().inspect_err(|_| span.fail())?;
         // A read-only transaction needs no log records.
         if !txn.undo.is_empty() {
-            self.inner.wal.append(txn.id, LogPayload::Commit).inspect_err(|_| span.fail())?;
-            self.inner.wal.force();
+            let lsn =
+                self.inner.wal.append(txn.id, LogPayload::Commit).inspect_err(|_| span.fail())?;
+            // Block until the commit record is durable (one group-commit
+            // force may cover many committers). `false` means a simulated
+            // crash raced the force and our record is gone — the commit
+            // must NOT be reported as successful.
+            if !self.inner.wal.force_up_to(lsn) {
+                span.fail();
+                txn.state = TxnState::Aborted;
+                self.inner.lm.release_all(txn.id);
+                return Err(DbError::Offline);
+            }
         }
         // Slots of rows this transaction deleted become reusable only now:
         // until commit they are still X-locked under their old identity.
@@ -456,8 +471,10 @@ impl Database {
         };
         self.inner.storage.create_table(schema.id);
         self.inner.wal.append(ddl_txn.id, LogPayload::CreateTable { schema })?;
-        self.inner.wal.append(ddl_txn.id, LogPayload::Commit)?;
-        self.inner.wal.force();
+        let lsn = self.inner.wal.append(ddl_txn.id, LogPayload::Commit)?;
+        if !self.inner.wal.force_up_to(lsn) {
+            return Err(DbError::Offline);
+        }
         Ok(ExecResult::Unit)
     }
 
@@ -496,8 +513,10 @@ impl Database {
             })?;
         }
         self.inner.wal.append(ddl_txn.id, LogPayload::CreateIndex { schema })?;
-        self.inner.wal.append(ddl_txn.id, LogPayload::Commit)?;
-        self.inner.wal.force();
+        let lsn = self.inner.wal.append(ddl_txn.id, LogPayload::Commit)?;
+        if !self.inner.wal.force_up_to(lsn) {
+            return Err(DbError::Offline);
+        }
         Ok(ExecResult::Unit)
     }
 
@@ -512,8 +531,10 @@ impl Database {
             self.inner.storage.drop_index(ix);
         }
         self.inner.wal.append(ddl_txn.id, LogPayload::DropTable { table: tid.0 })?;
-        self.inner.wal.append(ddl_txn.id, LogPayload::Commit)?;
-        self.inner.wal.force();
+        let lsn = self.inner.wal.append(ddl_txn.id, LogPayload::Commit)?;
+        if !self.inner.wal.force_up_to(lsn) {
+            return Err(DbError::Offline);
+        }
         Ok(ExecResult::Unit)
     }
 
@@ -616,7 +637,7 @@ impl Database {
         self.inner
             .wal
             .append(txn.id, LogPayload::Insert { table: schema.id.0, rowid, row: row.clone() })?;
-        self.inner.storage.with_table_mut(schema.id, |t| t.put(rowid, row.clone()))?;
+        self.inner.storage.with_table_mut(schema.id, |t| t.put_reserved(rowid, row.clone()))?;
         for ix in indexes {
             let key = extract_key(ix, &row);
             self.inner.storage.with_index_mut(ix.id, |t| {
@@ -1091,6 +1112,21 @@ impl Database {
         self.inner.wal.set_force_latency(d);
     }
 
+    /// Toggle group commit.
+    pub fn set_group_commit(&self, on: bool) {
+        self.inner.wal.set_group_commit(on);
+    }
+
+    /// Is group commit enabled?
+    pub fn group_commit(&self) -> bool {
+        self.inner.wal.group_commit()
+    }
+
+    /// Change the group-commit leader accumulation window.
+    pub fn set_group_commit_wait(&self, d: std::time::Duration) {
+        self.inner.wal.set_group_commit_wait(d);
+    }
+
     /// Lock-manager counters.
     pub fn lock_metrics(&self) -> &LockMetrics {
         self.inner.lm.metrics()
@@ -1105,6 +1141,22 @@ impl Database {
     /// WAL force (simulated fsync) latency histogram, in microseconds.
     pub fn wal_force_hist(&self) -> &obs::Histogram {
         self.inner.wal.force_hist()
+    }
+
+    /// Histogram of commit records made durable per WAL force
+    /// (group-commit batch size).
+    pub fn wal_force_batch_hist(&self) -> &obs::Histogram {
+        self.inner.wal.batch_hist()
+    }
+
+    /// Total WAL forces performed (one simulated fsync each).
+    pub fn wal_forces_total(&self) -> u64 {
+        self.inner.wal.forces_total()
+    }
+
+    /// Total commit records appended to the WAL.
+    pub fn wal_commits_total(&self) -> u64 {
+        self.inner.wal.commits_total()
     }
 
     /// Locks currently held by a transaction (diagnostics, Figure 4 trace).

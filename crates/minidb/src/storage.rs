@@ -42,8 +42,12 @@ impl TableData {
         }
     }
 
-    /// Place a row at a previously reserved (or recovered) slot.
-    pub fn put(&mut self, rowid: u64, row: Row) {
+    /// Place a row at a slot just handed out by [`TableData::reserve`].
+    /// Skips the free-list scrub of [`TableData::put`]: `reserve` already
+    /// removed the slot from the free list, so scanning it again would make
+    /// every insert O(free-list size).
+    pub fn put_reserved(&mut self, rowid: u64, row: Row) {
+        debug_assert!(!self.free.contains(&rowid), "reserved slot still on free list");
         let idx = rowid as usize;
         if idx >= self.rows.len() {
             self.rows.resize(idx + 1, None);
@@ -52,7 +56,15 @@ impl TableData {
             self.live += 1;
         }
         self.rows[idx] = Some(row);
+    }
+
+    /// Place a row at a recovered or explicit slot (undo, redo replay).
+    /// Unlike [`TableData::put_reserved`] the slot may still sit on the
+    /// free list — e.g. replay putting a row whose id the checkpoint image
+    /// recorded as free — so it is scrubbed.
+    pub fn put(&mut self, rowid: u64, row: Row) {
         self.free.retain(|&f| f != rowid);
+        self.put_reserved(rowid, row);
     }
 
     /// Fetch a row by id.
@@ -378,6 +390,21 @@ mod tests {
         t.release_slot(r3);
         let r4 = t.reserve();
         assert_ne!(r4, r3);
+    }
+
+    #[test]
+    fn heap_put_reserved_skips_free_list_scrub() {
+        let mut t = TableData::default();
+        let r0 = t.reserve();
+        t.put_reserved(r0, vec![v(1)]);
+        t.remove(r0);
+        t.release_slot(r0);
+        // An explicit put at a slot that is on the free list must scrub it,
+        // or a later reserve would hand out a live row's id.
+        t.put(r0, vec![v(2)]);
+        let r1 = t.reserve();
+        assert_ne!(r1, r0);
+        assert_eq!(t.get(r0).unwrap()[0], v(2));
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Write-ahead log with a bounded active window and crash simulation.
+//! Write-ahead log with a bounded active window, group commit, and crash
+//! simulation.
 //!
 //! The log provides the two properties DLFM leans on (paper §1, §3.3):
 //! *persistence* (a forced record survives a crash) and *recoverability*
@@ -8,16 +9,27 @@
 //! `LogFull`, which is why DLFM chunks utility transactions into periodic
 //! local commits.
 //!
-//! Durability model: records are appended to a volatile tail; [`Wal::force`]
-//! advances the durable watermark. A simulated crash discards everything
-//! after the watermark. Checkpoints snapshot the storage so the log can be
-//! replayed from the snapshot LSN instead of from the beginning.
+//! Durability model: records are appended to a volatile tail;
+//! [`Wal::force_up_to`] advances the durable watermark. The simulated fsync
+//! device (`force_latency`) handles **one force at a time**, like a real log
+//! disk, so serial per-commit forces cost N × latency under N committers.
+//!
+//! Group commit closes that gap: a committer publishes its commit LSN and
+//! blocks until `durable_lsn` covers it; one *leader* performs a single
+//! force on behalf of every waiter that arrived meanwhile (classic
+//! leader/follower, condvar-based). An optional `group_commit_wait` window
+//! lets the leader linger before forcing to accumulate a bigger batch.
+//! A simulated crash discards everything after the watermark and wakes all
+//! waiters with a bumped epoch so no committer reports durability it never
+//! got. Checkpoints snapshot the storage so the log can be replayed from
+//! the snapshot LSN instead of from the beginning.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::thread;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use serde::{Deserialize, Serialize};
 
 use crate::error::{DbError, DbResult};
@@ -83,42 +95,92 @@ impl WalInner {
     }
 }
 
+/// Group-commit coordination: at most one leader forces at a time;
+/// followers park on the condvar until the durable watermark covers them.
+#[derive(Default)]
+struct GroupState {
+    leader_active: bool,
+}
+
 /// The write-ahead log.
 pub struct Wal {
     // Duration of each force (simulated fsync), in microseconds.
     force_hist: obs::Histogram,
+    /// Commit records made durable per force (group-commit batch size).
+    batch_hist: obs::Histogram,
     inner: Mutex<WalInner>,
-    capacity: Mutex<usize>,
-    force_latency: Mutex<Duration>,
+    capacity: AtomicUsize,
+    force_latency_nanos: AtomicU64,
+    /// Mirror of `inner.durable_lsn` for lock-free waiter checks.
+    durable: AtomicU64,
+    /// Bumped on crash so blocked committers never report false durability.
+    epoch: AtomicU64,
+    group_commit: AtomicBool,
+    group_wait_nanos: AtomicU64,
+    forces: AtomicU64,
+    commits: AtomicU64,
+    /// The simulated fsync device: one force in flight at a time.
+    device: Mutex<()>,
+    group: Mutex<GroupState>,
+    group_cv: Condvar,
 }
 
 impl Wal {
     /// New empty log with the given active-window capacity (in records).
+    /// Group commit starts enabled with a zero accumulation window.
     pub fn new(capacity: usize, force_latency: Duration) -> Wal {
         Wal {
             inner: Mutex::new(WalInner { next_lsn: 1, ..WalInner::default() }),
-            capacity: Mutex::new(capacity),
-            force_latency: Mutex::new(force_latency),
+            capacity: AtomicUsize::new(capacity),
+            force_latency_nanos: AtomicU64::new(force_latency.as_nanos() as u64),
+            durable: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            group_commit: AtomicBool::new(true),
+            group_wait_nanos: AtomicU64::new(0),
+            forces: AtomicU64::new(0),
+            commits: AtomicU64::new(0),
             force_hist: obs::Histogram::new(),
+            batch_hist: obs::Histogram::new(),
+            device: Mutex::new(()),
+            group: Mutex::new(GroupState::default()),
+            group_cv: Condvar::new(),
         }
     }
 
     /// Change the active-window capacity at runtime (E8 sweeps this).
     pub fn set_capacity(&self, capacity: usize) {
-        *self.capacity.lock() = capacity;
+        self.capacity.store(capacity, Ordering::Relaxed);
     }
 
     /// Change the per-force latency at runtime.
     pub fn set_force_latency(&self, d: Duration) {
-        *self.force_latency.lock() = d;
+        self.force_latency_nanos.store(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Toggle group commit at runtime (E11 compares both modes).
+    pub fn set_group_commit(&self, on: bool) {
+        self.group_commit.store(on, Ordering::Relaxed);
+    }
+
+    /// Is group commit enabled?
+    pub fn group_commit(&self) -> bool {
+        self.group_commit.load(Ordering::Relaxed)
+    }
+
+    /// Change the leader's batch-accumulation window at runtime.
+    pub fn set_group_commit_wait(&self, d: Duration) {
+        self.group_wait_nanos.store(d.as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Append a record for `txn`. Fails with `LogFull` when the active
     /// window would exceed capacity.
     pub fn append(&self, txn: TxnId, payload: LogPayload) -> DbResult<Lsn> {
-        let mut inner = self.inner.lock();
-        let capacity = *self.capacity.lock();
         let is_terminal = matches!(payload, LogPayload::Commit | LogPayload::Abort);
+        if matches!(payload, LogPayload::Commit) {
+            self.commits.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut inner = self.inner.lock();
+        let capacity = self.capacity.load(Ordering::Relaxed);
         if !is_terminal && inner.active_window() >= capacity {
             return Err(DbError::LogFull { pinned: inner.active_window(), capacity });
         }
@@ -132,23 +194,127 @@ impl Wal {
         Ok(lsn)
     }
 
-    /// Make everything appended so far durable.
-    pub fn force(&self) {
-        let started = std::time::Instant::now();
+    /// Make everything appended so far durable. Returns `false` when a
+    /// crash raced the force (see [`Wal::force_up_to`]).
+    pub fn force(&self) -> bool {
+        self.force_up_to(self.last_lsn())
+    }
+
+    /// Block until `durable_lsn >= lsn`. Returns `true` once that holds and
+    /// `false` if a simulated crash intervened (the caller's record may be
+    /// lost, so it must NOT report durability).
+    ///
+    /// With group commit on this is the leader/follower protocol: the first
+    /// committer to find no force in flight becomes leader, optionally
+    /// lingers for `group_commit_wait`, then performs one force covering
+    /// every record appended so far; followers park on a condvar. With
+    /// group commit off every caller performs (and pays for) its own force,
+    /// serialised at the device — the pre-group-commit behaviour.
+    pub fn force_up_to(&self, lsn: Lsn) -> bool {
+        if self.group_commit.load(Ordering::Relaxed) {
+            self.force_grouped(lsn)
+        } else {
+            self.force_serial(lsn)
+        }
+    }
+
+    fn force_serial(&self, lsn: Lsn) -> bool {
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let ok = self.force_device(epoch);
+        ok && self.durable.load(Ordering::Acquire) >= lsn
+    }
+
+    fn force_grouped(&self, lsn: Lsn) -> bool {
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let mut group = self.group.lock();
+        loop {
+            if self.durable.load(Ordering::Acquire) >= lsn {
+                return true;
+            }
+            if self.epoch.load(Ordering::Acquire) != epoch {
+                return false;
+            }
+            if group.leader_active {
+                // Follower: the in-flight (or next) force will cover us.
+                self.group_cv.wait(&mut group);
+                continue;
+            }
+            group.leader_active = true;
+            drop(group);
+            let window = self.group_wait_nanos.load(Ordering::Relaxed);
+            if window > 0 {
+                thread::sleep(Duration::from_nanos(window));
+            }
+            let ok = self.force_device(epoch);
+            group = self.group.lock();
+            group.leader_active = false;
+            self.group_cv.notify_all();
+            if !ok {
+                return false;
+            }
+            // Our own append happened before this force, so the captured
+            // target covers `lsn`; the loop re-check exits.
+        }
+    }
+
+    /// One pass over the simulated fsync device: capture the force target,
+    /// sleep the device latency, publish durability. Returns `false` if a
+    /// crash (epoch bump) raced the force, in which case nothing is
+    /// published.
+    fn force_device(&self, epoch: u64) -> bool {
         let _span = obs::span(obs::Layer::Minidb, "wal_force");
-        let latency = *self.force_latency.lock();
-        if latency > Duration::ZERO {
-            thread::sleep(latency);
+        let started = std::time::Instant::now();
+        let _device = self.device.lock();
+        // Records appended while the fsync is in flight are NOT covered.
+        let target = {
+            let inner = self.inner.lock();
+            inner.next_lsn.saturating_sub(1)
+        };
+        let latency = self.force_latency_nanos.load(Ordering::Relaxed);
+        if latency > 0 {
+            thread::sleep(Duration::from_nanos(latency));
         }
         let mut inner = self.inner.lock();
-        inner.durable_lsn = inner.next_lsn.saturating_sub(1);
+        if self.epoch.load(Ordering::Acquire) != epoch {
+            return false;
+        }
+        // A crash cannot have truncated past `target` (epoch unchanged),
+        // but clamp defensively so durability never outruns the records.
+        let target = target.min(inner.next_lsn.saturating_sub(1));
+        let covered = inner
+            .records
+            .iter()
+            .rev()
+            .take_while(|r| r.lsn > inner.durable_lsn)
+            .filter(|r| r.lsn <= target && matches!(r.payload, LogPayload::Commit))
+            .count();
+        inner.durable_lsn = inner.durable_lsn.max(target);
+        self.durable.store(inner.durable_lsn, Ordering::Release);
         drop(inner);
+        self.forces.fetch_add(1, Ordering::Relaxed);
+        self.batch_hist.record(covered as u64);
         self.force_hist.record_micros(started.elapsed());
+        true
     }
 
     /// Histogram of force (simulated fsync) durations (microseconds).
     pub fn force_hist(&self) -> &obs::Histogram {
         &self.force_hist
+    }
+
+    /// Histogram of commit records made durable per force (batch size).
+    pub fn batch_hist(&self) -> &obs::Histogram {
+        &self.batch_hist
+    }
+
+    /// Total forces performed (one simulated fsync each).
+    pub fn forces_total(&self) -> u64 {
+        self.forces.load(Ordering::Relaxed)
+    }
+
+    /// Total commit records appended.
+    pub fn commits_total(&self) -> u64 {
+        self.commits.load(Ordering::Relaxed)
     }
 
     /// Current size of the active (pinned) window, in records.
@@ -158,7 +324,7 @@ impl Wal {
 
     /// Highest durable LSN.
     pub fn durable_lsn(&self) -> Lsn {
-        self.inner.lock().durable_lsn
+        self.durable.load(Ordering::Acquire)
     }
 
     /// Highest appended LSN (durable or not).
@@ -178,7 +344,8 @@ impl Wal {
 
     /// Simulate a crash: discard the volatile tail (records past the durable
     /// watermark) and forget in-flight transaction tracking. Returns the
-    /// number of records lost.
+    /// number of records lost. Blocked committers are woken and observe the
+    /// epoch bump, so none of them reports a lost commit as durable.
     pub fn crash(&self) -> usize {
         let mut inner = self.inner.lock();
         let durable = inner.durable_lsn;
@@ -187,6 +354,9 @@ impl Wal {
         let lost = before - inner.records.len();
         inner.next_lsn = durable + 1;
         inner.active_first_lsn.clear();
+        self.epoch.fetch_add(1, Ordering::Release);
+        drop(inner);
+        self.group_cv.notify_all();
         lost
     }
 
@@ -258,7 +428,7 @@ mod tests {
         let w = wal(100);
         w.append(TxnId(1), LogPayload::Begin).unwrap();
         w.append(TxnId(1), LogPayload::Commit).unwrap();
-        w.force();
+        assert!(w.force());
         w.append(TxnId(2), LogPayload::Begin).unwrap();
         w.append(TxnId(2), LogPayload::Insert { table: 1, rowid: 0, row: vec![] }).unwrap();
         let lost = w.crash();
@@ -291,5 +461,54 @@ mod tests {
         assert_eq!(w.active_window(), 3);
         w.append(TxnId(1), LogPayload::Commit).unwrap();
         assert_eq!(w.active_window(), 0);
+    }
+
+    #[test]
+    fn force_up_to_advances_durability_and_counts() {
+        let w = wal(100);
+        w.append(TxnId(1), LogPayload::Begin).unwrap();
+        let c1 = w.append(TxnId(1), LogPayload::Commit).unwrap();
+        w.append(TxnId(2), LogPayload::Begin).unwrap();
+        let c2 = w.append(TxnId(2), LogPayload::Commit).unwrap();
+        // One force covers both commits (they were both appended already).
+        assert!(w.force_up_to(c2));
+        assert!(w.durable_lsn() >= c1);
+        assert_eq!(w.forces_total(), 1);
+        assert_eq!(w.commits_total(), 2);
+        assert_eq!(w.batch_hist().count(), 1);
+        assert_eq!(w.batch_hist().max(), 2);
+        // Already durable: no new force.
+        assert!(w.force_up_to(c1));
+        assert_eq!(w.forces_total(), 1);
+    }
+
+    #[test]
+    fn serial_mode_forces_every_call() {
+        let w = wal(100);
+        w.set_group_commit(false);
+        for t in 1..=3u64 {
+            w.append(TxnId(t), LogPayload::Begin).unwrap();
+            let lsn = w.append(TxnId(t), LogPayload::Commit).unwrap();
+            assert!(w.force_up_to(lsn));
+        }
+        assert_eq!(w.forces_total(), 3);
+        assert_eq!(w.commits_total(), 3);
+    }
+
+    #[test]
+    fn crash_wakes_waiters_without_false_durability() {
+        use std::sync::Arc;
+        let w = Arc::new(Wal::new(100, Duration::from_millis(50)));
+        w.append(TxnId(1), LogPayload::Begin).unwrap();
+        let lsn = w.append(TxnId(1), LogPayload::Commit).unwrap();
+        let w2 = w.clone();
+        let committer = thread::spawn(move || w2.force_up_to(lsn));
+        // Let the leader get into its simulated fsync, then crash.
+        thread::sleep(Duration::from_millis(10));
+        w.crash();
+        // The committer must NOT report durability for a lost record.
+        assert!(!committer.join().unwrap());
+        assert_eq!(w.durable_lsn(), 0);
+        assert!(w.records_from(0).is_empty());
     }
 }
