@@ -9,6 +9,11 @@
 //! Like the minidb WAL, forces go through a simulated single-force-at-a-time
 //! device (`force_latency`) and group commit batches concurrent commit
 //! decisions under one leader force (see `minidb::wal` for the protocol).
+//! Crash safety mirrors the WAL too: a crash truncates the volatile tail,
+//! after which sequence numbers are reused, so [`CoordLog::append`] returns
+//! an [`Appended`] receipt carrying the crash epoch (captured under the log
+//! lock) and [`CoordLog::force_up_to`] decides durability exactly from the
+//! receipt plus the final watermark each closed epoch ended with.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::thread;
@@ -33,10 +38,26 @@ pub enum CoordRecord {
     },
 }
 
+/// Receipt for one appended record: its sequence number plus the crash
+/// epoch the append happened in. Sequence numbers are reused after a
+/// crash truncates the tail, so the epoch is what ties the receipt to
+/// *this* record rather than a later namesake.
+#[derive(Debug, Clone, Copy)]
+pub struct Appended {
+    /// 1-based sequence number of the record.
+    pub seq: usize,
+    /// Crash epoch the record was appended in (captured under the log
+    /// lock, so it can never be stale with respect to a racing crash).
+    epoch: u64,
+}
+
 #[derive(Default)]
 struct Inner {
     records: Vec<CoordRecord>,
     durable: usize,
+    /// Final durable watermark of each closed (crashed) epoch — the exact
+    /// survival test for records appended in that epoch.
+    epoch_final: std::collections::HashMap<u64, usize>,
 }
 
 #[derive(Default)]
@@ -82,48 +103,55 @@ impl CoordLog {
         self.group_commit.store(on, Ordering::Relaxed);
     }
 
-    /// Append a record (volatile until forced). Returns its sequence
-    /// number (1-based count), usable with [`CoordLog::force_up_to`].
-    pub fn append(&self, rec: CoordRecord) -> usize {
+    /// Append a record (volatile until forced). The returned receipt
+    /// carries the 1-based sequence number and the append-time crash
+    /// epoch, usable with [`CoordLog::force_up_to`].
+    pub fn append(&self, rec: CoordRecord) -> Appended {
         if matches!(rec, CoordRecord::Commit { .. }) {
             self.decisions.fetch_add(1, Ordering::Relaxed);
         }
         let mut inner = self.inner.lock();
         inner.records.push(rec);
-        inner.records.len()
+        // Epoch captured under the log lock — `crash()` bumps it under the
+        // same lock, so the receipt can never carry a post-crash epoch for
+        // a pre-crash record.
+        Appended { seq: inner.records.len(), epoch: self.epoch.load(Ordering::Acquire) }
     }
 
     /// Append and force in one step (used for the commit decision).
-    /// Returns `false` when a simulated crash raced the force and the
-    /// record may be lost.
+    /// Returns `false` when a simulated crash destroyed the record.
     pub fn append_forced(&self, rec: CoordRecord) -> bool {
-        let seq = self.append(rec);
-        self.force_up_to(seq)
+        let rec = self.append(rec);
+        self.force_up_to(rec)
     }
 
     /// Make all appended records durable. Returns `false` when a crash
-    /// raced the force (see [`CoordLog::force_up_to`]).
+    /// destroyed part of that tail first (see [`CoordLog::force_up_to`]).
     pub fn force(&self) -> bool {
-        self.force_up_to(self.inner.lock().records.len())
+        // Bind outside the call so the guard drops before forcing —
+        // `force_device` re-locks `inner` on this thread.
+        let tail = {
+            let inner = self.inner.lock();
+            Appended { seq: inner.records.len(), epoch: self.epoch.load(Ordering::Acquire) }
+        };
+        self.force_up_to(tail)
     }
 
-    /// Block until the first `seq` records are durable: the same
+    /// Block until the record behind `rec` is durable: the same
     /// leader/follower group-commit protocol as `minidb::wal`. Returns
-    /// `false` if a simulated crash intervened.
-    pub fn force_up_to(&self, seq: usize) -> bool {
+    /// `false` if a simulated crash destroyed the record; the verdict is
+    /// exact either way (see [`CoordLog::durable_status`]).
+    pub fn force_up_to(&self, rec: Appended) -> bool {
         if !self.group_commit.load(Ordering::Relaxed) {
-            let epoch = self.epoch.load(Ordering::Acquire);
-            let ok = self.force_device(epoch);
-            return ok && self.durable.load(Ordering::Acquire) >= seq;
+            self.force_device(rec.epoch);
+            // Decide on the watermark, not on our own force's outcome:
+            // another force may already have covered `rec`.
+            return self.durable_status(rec).unwrap_or(false);
         }
-        let epoch = self.epoch.load(Ordering::Acquire);
         let mut group = self.group.lock();
         loop {
-            if self.durable.load(Ordering::Acquire) >= seq {
-                return true;
-            }
-            if self.epoch.load(Ordering::Acquire) != epoch {
-                return false;
+            if let Some(durable) = self.durable_status(rec) {
+                return durable;
             }
             if group.leader_active {
                 self.group_cv.wait(&mut group);
@@ -131,14 +159,30 @@ impl CoordLog {
             }
             group.leader_active = true;
             drop(group);
-            let ok = self.force_device(epoch);
+            self.force_device(rec.epoch);
             group = self.group.lock();
             group.leader_active = false;
             self.group_cv.notify_all();
-            if !ok {
-                return false;
-            }
         }
+    }
+
+    /// Exact durability status of `rec`: `Some(true)` once durable,
+    /// `Some(false)` once a crash provably destroyed it, `None` while
+    /// undecided. Same reasoning as `minidb::wal`: the watermark never
+    /// rewinds and a record appended in epoch E sits above E's starting
+    /// watermark, so covered-while-still-in-E means covered; once E is
+    /// over, the watermark E closed with is the precise survival test.
+    fn durable_status(&self, rec: Appended) -> Option<bool> {
+        if self.durable.load(Ordering::Acquire) >= rec.seq
+            && self.epoch.load(Ordering::Acquire) == rec.epoch
+        {
+            return Some(true);
+        }
+        if self.epoch.load(Ordering::Acquire) == rec.epoch {
+            return None;
+        }
+        let inner = self.inner.lock();
+        Some(inner.epoch_final.get(&rec.epoch).is_some_and(|&d| d >= rec.seq))
     }
 
     /// One pass over the simulated force device: capture the target, sleep
@@ -189,7 +233,10 @@ impl CoordLog {
         let lost = inner.records.len() - inner.durable;
         let durable = inner.durable;
         inner.records.truncate(durable);
-        self.epoch.fetch_add(1, Ordering::Release);
+        // Close the epoch under the log lock, recording the watermark it
+        // ended with — the exact survival test for its records.
+        let closed = self.epoch.fetch_add(1, Ordering::Release);
+        inner.epoch_final.insert(closed, durable);
         drop(inner);
         self.group_cv.notify_all();
         lost
@@ -273,7 +320,7 @@ mod tests {
         let log = CoordLog::new();
         let s1 = log.append(CoordRecord::Commit { xid: 1, servers: vec![] });
         let s2 = log.append(CoordRecord::Commit { xid: 2, servers: vec![] });
-        assert!(s1 < s2);
+        assert!(s1.seq < s2.seq);
         assert!(log.force_up_to(s2));
         assert_eq!(log.forces_total(), 1);
         assert_eq!(log.decisions_total(), 2);
@@ -281,6 +328,48 @@ mod tests {
         // Already durable: no new force.
         assert!(log.force_up_to(s1));
         assert_eq!(log.forces_total(), 1);
+    }
+
+    /// `force()` must not hold the inner lock across the force (it used to
+    /// self-deadlock on the very first real force).
+    #[test]
+    fn explicit_force_makes_the_tail_durable() {
+        let log = CoordLog::new();
+        log.append(CoordRecord::Commit { xid: 1, servers: vec![] });
+        log.append(CoordRecord::End { xid: 1 });
+        assert!(log.force());
+        assert_eq!(log.forces_total(), 1);
+        assert_eq!(log.crash(), 0, "forced tail must survive a crash");
+    }
+
+    /// A crash landing between append and force must report the decision
+    /// as lost — promptly, and even after reused sequence numbers regrow
+    /// past it and become durable.
+    #[test]
+    fn crash_between_append_and_force_reports_loss() {
+        for grouped in [true, false] {
+            let log = CoordLog::new();
+            log.set_group_commit(grouped);
+            let rec = log.append(CoordRecord::Commit { xid: 1, servers: vec![] });
+            log.crash();
+            let other = log.append(CoordRecord::Commit { xid: 2, servers: vec![] });
+            assert!(log.force_up_to(other));
+            assert!(!log.force_up_to(rec), "lost decision acknowledged as durable");
+        }
+    }
+
+    /// The mirror case: a decision that became durable before the crash
+    /// must still be acknowledged afterwards.
+    #[test]
+    fn durable_decision_acked_across_a_crash() {
+        for grouped in [true, false] {
+            let log = CoordLog::new();
+            log.set_group_commit(grouped);
+            let rec = log.append(CoordRecord::Commit { xid: 1, servers: vec![] });
+            assert!(log.force());
+            log.crash();
+            assert!(log.force_up_to(rec), "durable decision reported as lost");
+        }
     }
 
     #[test]

@@ -191,13 +191,14 @@ impl Database {
         txn.check_active().inspect_err(|_| span.fail())?;
         // A read-only transaction needs no log records.
         if !txn.undo.is_empty() {
-            let lsn =
+            let commit_rec =
                 self.inner.wal.append(txn.id, LogPayload::Commit).inspect_err(|_| span.fail())?;
             // Block until the commit record is durable (one group-commit
             // force may cover many committers). `false` means a simulated
-            // crash raced the force and our record is gone — the commit
-            // must NOT be reported as successful.
-            if !self.inner.wal.force_up_to(lsn) {
+            // crash destroyed our record — the commit must NOT be reported
+            // as successful. The receipt carries the append-time crash
+            // epoch, so the verdict is exact even across LSN reuse.
+            if !self.inner.wal.force_up_to(commit_rec) {
                 span.fail();
                 txn.state = TxnState::Aborted;
                 self.inner.lm.release_all(txn.id);
@@ -471,8 +472,8 @@ impl Database {
         };
         self.inner.storage.create_table(schema.id);
         self.inner.wal.append(ddl_txn.id, LogPayload::CreateTable { schema })?;
-        let lsn = self.inner.wal.append(ddl_txn.id, LogPayload::Commit)?;
-        if !self.inner.wal.force_up_to(lsn) {
+        let commit_rec = self.inner.wal.append(ddl_txn.id, LogPayload::Commit)?;
+        if !self.inner.wal.force_up_to(commit_rec) {
             return Err(DbError::Offline);
         }
         Ok(ExecResult::Unit)
@@ -513,8 +514,8 @@ impl Database {
             })?;
         }
         self.inner.wal.append(ddl_txn.id, LogPayload::CreateIndex { schema })?;
-        let lsn = self.inner.wal.append(ddl_txn.id, LogPayload::Commit)?;
-        if !self.inner.wal.force_up_to(lsn) {
+        let commit_rec = self.inner.wal.append(ddl_txn.id, LogPayload::Commit)?;
+        if !self.inner.wal.force_up_to(commit_rec) {
             return Err(DbError::Offline);
         }
         Ok(ExecResult::Unit)
@@ -531,8 +532,8 @@ impl Database {
             self.inner.storage.drop_index(ix);
         }
         self.inner.wal.append(ddl_txn.id, LogPayload::DropTable { table: tid.0 })?;
-        let lsn = self.inner.wal.append(ddl_txn.id, LogPayload::Commit)?;
-        if !self.inner.wal.force_up_to(lsn) {
+        let commit_rec = self.inner.wal.append(ddl_txn.id, LogPayload::Commit)?;
+        if !self.inner.wal.force_up_to(commit_rec) {
             return Err(DbError::Offline);
         }
         Ok(ExecResult::Unit)

@@ -19,10 +19,18 @@
 //! force on behalf of every waiter that arrived meanwhile (classic
 //! leader/follower, condvar-based). An optional `group_commit_wait` window
 //! lets the leader linger before forcing to accumulate a bigger batch.
+//!
 //! A simulated crash discards everything after the watermark and wakes all
-//! waiters with a bumped epoch so no committer reports durability it never
-//! got. Checkpoints snapshot the storage so the log can be replayed from
-//! the snapshot LSN instead of from the beginning.
+//! waiters, so no committer reports durability it never got. Because a
+//! crash rewinds `next_lsn`, LSNs are *reused* afterwards — an LSN alone
+//! cannot tell "my record became durable" from "a different record now
+//! owns my LSN". [`Wal::append`] therefore returns an [`Appended`] receipt
+//! carrying the crash epoch the record was born in (captured under the
+//! same lock `crash()` bumps it under), and [`Wal::force_up_to`] decides
+//! durability exactly from `(lsn, epoch)` plus the final watermark each
+//! closed epoch is buried with. Checkpoints snapshot the storage so the
+//! log can be replayed from the snapshot LSN instead of from the
+//! beginning.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -75,6 +83,19 @@ pub struct LogRecord {
     pub payload: LogPayload,
 }
 
+/// Receipt for one appended record: its LSN plus the crash epoch the
+/// append happened in. Both are needed to decide durability exactly:
+/// after a crash truncates the tail, LSNs are reused, so the epoch is
+/// what ties the receipt to *this* record rather than a later namesake.
+#[derive(Debug, Clone, Copy)]
+pub struct Appended {
+    /// The record's log sequence number.
+    pub lsn: Lsn,
+    /// Crash epoch the record was appended in (captured under the log
+    /// lock, so it can never be stale with respect to a racing crash).
+    epoch: u64,
+}
+
 #[derive(Default)]
 struct WalInner {
     records: Vec<LogRecord>,
@@ -82,6 +103,9 @@ struct WalInner {
     durable_lsn: Lsn,
     /// First LSN written by each in-flight transaction.
     active_first_lsn: HashMap<u64, Lsn>,
+    /// Final durable watermark of each closed (crashed) epoch — the exact
+    /// survival test for records appended in that epoch.
+    epoch_final: HashMap<u64, Lsn>,
 }
 
 impl WalInner {
@@ -174,7 +198,7 @@ impl Wal {
 
     /// Append a record for `txn`. Fails with `LogFull` when the active
     /// window would exceed capacity.
-    pub fn append(&self, txn: TxnId, payload: LogPayload) -> DbResult<Lsn> {
+    pub fn append(&self, txn: TxnId, payload: LogPayload) -> DbResult<Appended> {
         let is_terminal = matches!(payload, LogPayload::Commit | LogPayload::Abort);
         if matches!(payload, LogPayload::Commit) {
             self.commits.fetch_add(1, Ordering::Relaxed);
@@ -191,18 +215,29 @@ impl Wal {
         if is_terminal {
             inner.active_first_lsn.remove(&txn.0);
         }
-        Ok(lsn)
+        // Epoch captured under the log lock — `crash()` bumps it under the
+        // same lock, so the receipt can never carry a post-crash epoch for
+        // a pre-crash record (or vice versa).
+        Ok(Appended { lsn, epoch: self.epoch.load(Ordering::Acquire) })
     }
 
     /// Make everything appended so far durable. Returns `false` when a
-    /// crash raced the force (see [`Wal::force_up_to`]).
+    /// crash destroyed part of that tail first (see [`Wal::force_up_to`]).
     pub fn force(&self) -> bool {
-        self.force_up_to(self.last_lsn())
+        let tail = {
+            let inner = self.inner.lock();
+            Appended {
+                lsn: inner.next_lsn.saturating_sub(1),
+                epoch: self.epoch.load(Ordering::Acquire),
+            }
+        };
+        self.force_up_to(tail)
     }
 
-    /// Block until `durable_lsn >= lsn`. Returns `true` once that holds and
-    /// `false` if a simulated crash intervened (the caller's record may be
-    /// lost, so it must NOT report durability).
+    /// Block until the record behind `rec` is durable. Returns `true` once
+    /// that holds and `false` if a simulated crash destroyed the record
+    /// first (the caller must NOT report durability). The decision is
+    /// exact either way — see [`Wal::durable_status`].
     ///
     /// With group commit on this is the leader/follower protocol: the first
     /// committer to find no force in flight becomes leader, optionally
@@ -210,29 +245,54 @@ impl Wal {
     /// every record appended so far; followers park on a condvar. With
     /// group commit off every caller performs (and pays for) its own force,
     /// serialised at the device — the pre-group-commit behaviour.
-    pub fn force_up_to(&self, lsn: Lsn) -> bool {
+    pub fn force_up_to(&self, rec: Appended) -> bool {
         if self.group_commit.load(Ordering::Relaxed) {
-            self.force_grouped(lsn)
+            self.force_grouped(rec)
         } else {
-            self.force_serial(lsn)
+            self.force_serial(rec)
         }
     }
 
-    fn force_serial(&self, lsn: Lsn) -> bool {
-        let epoch = self.epoch.load(Ordering::Acquire);
-        let ok = self.force_device(epoch);
-        ok && self.durable.load(Ordering::Acquire) >= lsn
+    /// Exact durability status of `rec`: `Some(true)` once the record is
+    /// durable, `Some(false)` once a crash provably destroyed it, `None`
+    /// while still undecided (append epoch current, watermark short).
+    ///
+    /// Exactness rests on two monotonicity facts. The durable watermark
+    /// never rewinds (a crash truncates only records *past* it), and a
+    /// record appended in epoch E has an LSN strictly above the watermark
+    /// E started with (a crash rewinds `next_lsn` to `durable + 1`). So
+    /// `durable >= rec.lsn` observed while the epoch still equals
+    /// `rec.epoch` can only mean the record itself was covered; and once
+    /// the epoch has moved on, the watermark E was closed with — recorded
+    /// by `crash()` in `epoch_final` — is the precise survival test, no
+    /// matter how far reused LSNs have regrown since.
+    fn durable_status(&self, rec: Appended) -> Option<bool> {
+        if self.durable.load(Ordering::Acquire) >= rec.lsn
+            && self.epoch.load(Ordering::Acquire) == rec.epoch
+        {
+            return Some(true);
+        }
+        if self.epoch.load(Ordering::Acquire) == rec.epoch {
+            return None;
+        }
+        let inner = self.inner.lock();
+        Some(inner.epoch_final.get(&rec.epoch).is_some_and(|&d| d >= rec.lsn))
     }
 
-    fn force_grouped(&self, lsn: Lsn) -> bool {
-        let epoch = self.epoch.load(Ordering::Acquire);
+    fn force_serial(&self, rec: Appended) -> bool {
+        self.force_device(rec.epoch);
+        // Decide on the watermark, not on our own force's outcome: another
+        // committer's force may already have made `rec` durable (recovery
+        // will redo it even though our force lost an epoch race), and our
+        // own force succeeding implies it covered `rec`.
+        self.durable_status(rec).unwrap_or(false)
+    }
+
+    fn force_grouped(&self, rec: Appended) -> bool {
         let mut group = self.group.lock();
         loop {
-            if self.durable.load(Ordering::Acquire) >= lsn {
-                return true;
-            }
-            if self.epoch.load(Ordering::Acquire) != epoch {
-                return false;
+            if let Some(durable) = self.durable_status(rec) {
+                return durable;
             }
             if group.leader_active {
                 // Follower: the in-flight (or next) force will cover us.
@@ -245,15 +305,13 @@ impl Wal {
             if window > 0 {
                 thread::sleep(Duration::from_nanos(window));
             }
-            let ok = self.force_device(epoch);
+            // `durable_status` was undecided, so `rec.epoch` was current a
+            // moment ago: this force either covers `rec` or loses an epoch
+            // race to a crash — the loop re-check resolves either exactly.
+            self.force_device(rec.epoch);
             group = self.group.lock();
             group.leader_active = false;
             self.group_cv.notify_all();
-            if !ok {
-                return false;
-            }
-            // Our own append happened before this force, so the captured
-            // target covers `lsn`; the loop re-check exits.
         }
     }
 
@@ -354,7 +412,11 @@ impl Wal {
         let lost = before - inner.records.len();
         inner.next_lsn = durable + 1;
         inner.active_first_lsn.clear();
-        self.epoch.fetch_add(1, Ordering::Release);
+        // Close the epoch under the log lock: record the watermark it ended
+        // with (the exact survival test for its records), then bump. Held
+        // lock means no `append` can capture a half-crashed epoch.
+        let closed = self.epoch.fetch_add(1, Ordering::Release);
+        inner.epoch_final.insert(closed, durable);
         drop(inner);
         self.group_cv.notify_all();
         lost
@@ -385,8 +447,8 @@ mod tests {
         let w = wal(100);
         let a = w.append(TxnId(1), LogPayload::Begin).unwrap();
         let b = w.append(TxnId(1), LogPayload::Commit).unwrap();
-        assert_eq!(b, a + 1);
-        assert_eq!(w.last_lsn(), b);
+        assert_eq!(b.lsn, a.lsn + 1);
+        assert_eq!(w.last_lsn(), b.lsn);
     }
 
     #[test]
@@ -472,7 +534,7 @@ mod tests {
         let c2 = w.append(TxnId(2), LogPayload::Commit).unwrap();
         // One force covers both commits (they were both appended already).
         assert!(w.force_up_to(c2));
-        assert!(w.durable_lsn() >= c1);
+        assert!(w.durable_lsn() >= c1.lsn);
         assert_eq!(w.forces_total(), 1);
         assert_eq!(w.commits_total(), 2);
         assert_eq!(w.batch_hist().count(), 1);
@@ -480,6 +542,45 @@ mod tests {
         // Already durable: no new force.
         assert!(w.force_up_to(c1));
         assert_eq!(w.forces_total(), 1);
+    }
+
+    /// A crash landing between append and force must report the record as
+    /// lost — promptly (no live-lock as a leader forcing forever) and
+    /// permanently (reused LSNs regrowing past it must not be mistaken for
+    /// the destroyed record).
+    #[test]
+    fn crash_between_append_and_force_reports_loss() {
+        for grouped in [true, false] {
+            let w = wal(100);
+            w.set_group_commit(grouped);
+            w.append(TxnId(1), LogPayload::Begin).unwrap();
+            let rec = w.append(TxnId(1), LogPayload::Commit).unwrap();
+            w.crash();
+            // Regrow the log past the lost LSN and make it durable: the
+            // reused LSNs now cover `rec.lsn` with different records.
+            w.append(TxnId(2), LogPayload::Begin).unwrap();
+            let other = w.append(TxnId(2), LogPayload::Commit).unwrap();
+            w.append(TxnId(3), LogPayload::Begin).unwrap();
+            assert!(w.force_up_to(other));
+            assert!(w.durable_lsn() >= rec.lsn);
+            assert!(!w.force_up_to(rec), "lost record acknowledged as durable");
+        }
+    }
+
+    /// The mirror case: a record that *did* become durable before the crash
+    /// must be acknowledged even when the asker's own force loses the epoch
+    /// race — recovery redoes it, so reporting it aborted would be wrong.
+    #[test]
+    fn durable_record_acked_across_a_crash() {
+        for grouped in [true, false] {
+            let w = wal(100);
+            w.set_group_commit(grouped);
+            w.append(TxnId(1), LogPayload::Begin).unwrap();
+            let rec = w.append(TxnId(1), LogPayload::Commit).unwrap();
+            assert!(w.force()); // e.g. another committer's force covers it
+            w.crash(); // epoch bump: rec's own force can no longer succeed
+            assert!(w.force_up_to(rec), "durable record reported as lost");
+        }
     }
 
     #[test]
