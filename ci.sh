@@ -2,15 +2,16 @@
 # Local CI: everything must pass before a change merges.
 #   ./ci.sh            full gate (build, tests, clippy, fmt, commit-path smoke)
 #   ./ci.sh fast       skip the release build and the smoke benches
-#   ./ci.sh smoke      only the commit-path smoke benches (e5 + tiny e11)
+#   ./ci.sh smoke      only the commit-path smoke benches (e5 + tiny e11/e12)
 set -euo pipefail
 cd "$(dirname "$0")"
 
 step() { printf '\n==> %s\n' "$*"; }
 
 # Exercise the commit path end to end with tiny parameters: the E5
-# sync-commit scenario and a two-point E11 group-commit sweep. Bench JSON
-# summaries land in target/ so the tree stays clean.
+# sync-commit scenario, a two-point E11 group-commit sweep, and a small
+# E12 dedicated-vs-pooled agent sweep. Bench JSON summaries land in
+# target/ so the tree stays clean.
 smoke() {
   step "commit-path smoke: e11_group_commit (tiny sweep)"
   RUN_SECS=0.2 CLIENTS=8 FORCE_MS=1 BENCH_METRICS=0 BENCH_JSON_DIR=target \
@@ -18,6 +19,9 @@ smoke() {
   step "commit-path smoke: e5_sync_commit"
   BENCH_METRICS=0 BENCH_JSON_DIR=target \
     cargo run -q --offline --release -p bench --bin e5_sync_commit
+  step "agent-model smoke: e12_agent_scaling (tiny sweep)"
+  RUN_SECS=0.2 CLIENTS=8 BENCH_METRICS=0 BENCH_JSON_DIR=target \
+    cargo run -q --offline --release -p bench --bin e12_agent_scaling
 }
 
 if [[ "${1:-}" == "smoke" ]]; then

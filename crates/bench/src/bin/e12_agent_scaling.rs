@@ -1,0 +1,162 @@
+//! E12 — agent scaling: dedicated child agents vs a session-multiplexed pool.
+//!
+//! The paper's process model (§2, §3.5) spawns one dedicated child agent per
+//! host connection, so agent threads grow linearly with connections. This
+//! bench compares that model against the pooled agent model
+//! ([`dlfm::AgentModel::Pooled`]): a fixed set of workers pulling from one
+//! shared bounded run queue, with per-connection state parked in a session
+//! table so any worker can serve any connection, and with the bounded queue
+//! acting as admission control (`dlrpc::RpcError::Overloaded` when full).
+//!
+//! We sweep concurrent closed-loop clients 1→128 in both modes and report,
+//! per arm: agent threads actually spawned, committed-transaction
+//! throughput, p50/p99 latency, admission rejects, and errors. The claims
+//! under test:
+//!
+//! 1. dedicated mode spawns ~1 agent thread per client; pooled mode stays
+//!    at the fixed worker count no matter how many clients connect;
+//! 2. at the default knobs the pool serves the full 128-client sweep with
+//!    zero admission rejects (the queue is deep enough and drains fast);
+//! 3. pooled throughput stays in the same league as dedicated.
+//!
+//! Env: `RUN_SECS` per arm (default 1.0), `CLIENTS` caps the sweep
+//! (default 128), `POOL_WORKERS` (default 8), `POOL_QUEUE` (default 128).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bench::{banner, env_num, env_secs, row, JsonArm, Stand};
+use dlfm::{AccessControl, AgentModel, DlfmConfig};
+use workload::{run_dlfm_workload, DlfmWorkloadConfig, IdSource, OpMix};
+
+fn stand(model: AgentModel) -> Stand {
+    let mut config = DlfmConfig::default();
+    config.db.lock_timeout = Duration::from_millis(500);
+    config.daemon_poll_interval = Duration::from_millis(2);
+    config.commit_retry_backoff = Duration::from_millis(1);
+    config.agent_model = model;
+    Stand::new(config, AccessControl::Partial, false)
+}
+
+struct ArmResult {
+    threads: u64,
+    report: workload::WorkloadReport,
+    metrics: String,
+}
+
+fn run_arm(model: AgentModel, clients: usize, run: Duration) -> ArmResult {
+    let stand = stand(model);
+    let config = DlfmWorkloadConfig {
+        clients,
+        duration: run,
+        mix: OpMix::paper_mix(),
+        seed: 7,
+        grp_id: stand.grp_id,
+        base_dir: "/wl".into(),
+        think_time: Duration::ZERO,
+    };
+    let ids = Arc::new(IdSource::new(1_000));
+    let report = run_dlfm_workload(&stand.server.connector(), &stand.fs, &config, &ids);
+    ArmResult {
+        threads: stand.server.agents_spawned(),
+        report,
+        metrics: stand.server.metrics_text(),
+    }
+}
+
+fn main() {
+    banner(
+        "E12",
+        "agent scaling: dedicated child agents vs session-multiplexed pool",
+        "one agent process per connection (section 2, 3.5) vs a fixed worker pool with admission control",
+    );
+    let run = env_secs("RUN_SECS", 1.0);
+    let max_clients = env_num("CLIENTS", 128);
+    let workers = env_num("POOL_WORKERS", 8);
+    let queue_depth = env_num("POOL_QUEUE", 128);
+    println!(
+        "{:.2} s per arm, pool = {workers} workers / queue {queue_depth}, closed-loop paper mix\n",
+        run.as_secs_f64()
+    );
+
+    let w = [10, 8, 8, 10, 10, 10, 9, 8];
+    row(&["mode", "clients", "threads", "txn/s", "p50 ms", "p99 ms", "rejects", "errors"], &w);
+    row(&["----", "-------", "-------", "-----", "------", "------", "-------", "------"], &w);
+
+    let sweep: Vec<usize> =
+        [1usize, 2, 4, 8, 16, 32, 64, 128].iter().copied().filter(|&c| c <= max_clients).collect();
+    let mut arms = Vec::new();
+    let mut pooled_metrics = String::new();
+    let mut pooled_threads_max = 0u64;
+    let mut dedicated_threads_max = 0u64;
+    let mut pooled_rejects = 0u64;
+    let mut tput = [0.0f64; 2]; // [dedicated, pooled] at the widest sweep point
+    for &clients in &sweep {
+        for (slot, pooled) in [(0usize, false), (1usize, true)] {
+            let model = if pooled {
+                AgentModel::pooled(workers, queue_depth)
+            } else {
+                AgentModel::Dedicated
+            };
+            let r = run_arm(model, clients, run);
+            let per_sec = r.report.committed() as f64 / r.report.elapsed.as_secs_f64().max(1e-9);
+            tput[slot] = per_sec;
+            let rep = r.report.latency.report();
+            let mode = if pooled { "pooled" } else { "dedicated" };
+            row(
+                &[
+                    mode,
+                    &clients.to_string(),
+                    &r.threads.to_string(),
+                    &format!("{per_sec:.0}"),
+                    &format!("{:.2}", rep.p50 as f64 / 1000.0),
+                    &format!("{:.2}", rep.p99 as f64 / 1000.0),
+                    &r.report.rejects.to_string(),
+                    &r.report.errors.to_string(),
+                ],
+                &w,
+            );
+            arms.push(
+                JsonArm {
+                    label: format!("{mode}/{clients}cl"),
+                    ops_per_sec: per_sec,
+                    p50_us: rep.p50,
+                    p95_us: rep.p95,
+                    p99_us: rep.p99,
+                    extra: Vec::new(),
+                }
+                .with("clients", clients as f64)
+                .with("agent_threads", r.threads as f64)
+                .with("rejects", r.report.rejects as f64)
+                .with("errors", r.report.errors as f64),
+            );
+            if pooled {
+                pooled_threads_max = pooled_threads_max.max(r.threads);
+                pooled_rejects += r.report.rejects;
+                pooled_metrics = r.metrics;
+            } else {
+                dedicated_threads_max = dedicated_threads_max.max(r.threads);
+            }
+        }
+    }
+
+    let widest = sweep.last().copied().unwrap_or(1);
+    let bounded = pooled_threads_max <= workers as u64;
+    let linear = dedicated_threads_max as usize >= widest;
+    println!(
+        "\nagent threads at {widest} clients: dedicated {dedicated_threads_max} \
+         (one per connection), pooled {pooled_threads_max} (cap {workers})"
+    );
+    println!(
+        "verdict: {} — pooled workers bounded: {}, dedicated grows with clients: {}, \
+         admission rejects across the sweep: {pooled_rejects} (target 0), \
+         pooled/dedicated throughput at {widest} clients: {:.2}x",
+        if bounded && linear && pooled_rejects == 0 { "REPRODUCED" } else { "inconclusive" },
+        if bounded { "yes" } else { "NO" },
+        if linear { "yes" } else { "NO" },
+        tput[1] / tput[0].max(1e-9)
+    );
+
+    bench::write_json_summary("E12", "dedicated agents vs session-multiplexed pool", &arms);
+    bench::dump_metrics(&pooled_metrics);
+}

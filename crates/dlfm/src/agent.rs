@@ -7,6 +7,7 @@
 //! local commit, keeping the transaction marked in-flight in the
 //! transaction table (paper §4).
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use minidb::{Session, Value};
@@ -33,56 +34,140 @@ struct CurTxn {
     groups_deleted: i64,
 }
 
-/// A child agent serving one host connection.
+/// Per-connection mutable state: the local-database session (whose open
+/// sub-transaction spans requests) and the in-progress host transaction.
+/// In dedicated mode each child agent owns one; in pooled mode these live
+/// in the [`SessionTable`] keyed by the fabric session id, so any worker
+/// can pick up any connection's next request.
+pub struct SessionState {
+    /// Local-database session; its open transaction spans requests.
+    session: Session,
+    /// Host database id announced by Connect.
+    dbid: i64,
+    /// In-progress host transaction, if any.
+    cur: Option<CurTxn>,
+}
+
+impl SessionState {
+    /// Fresh state for a new connection.
+    pub fn new(shared: &DlfmShared) -> SessionState {
+        SessionState { session: Session::new(&shared.db), dbid: 0, cur: None }
+    }
+
+    /// Roll back whatever is open (the connection went away
+    /// mid-transaction).
+    fn abandon(&mut self) {
+        if self.cur.take().is_some() {
+            self.session.rollback();
+        }
+    }
+}
+
+/// Session-state table for pooled mode, keyed by fabric session id.
+/// Checkout hands back the per-session lock: concurrent requests on the
+/// same session serialize on it (the host issues one call at a time per
+/// connection anyway), while different sessions proceed in parallel on
+/// different workers.
+#[derive(Default)]
+pub struct SessionTable {
+    states: parking_lot::Mutex<HashMap<u64, Arc<parking_lot::Mutex<SessionState>>>>,
+}
+
+impl SessionTable {
+    /// State for `session`, created on first use.
+    pub fn checkout(
+        &self,
+        shared: &DlfmShared,
+        session: u64,
+    ) -> Arc<parking_lot::Mutex<SessionState>> {
+        self.states
+            .lock()
+            .entry(session)
+            .or_insert_with(|| Arc::new(parking_lot::Mutex::new(SessionState::new(shared))))
+            .clone()
+    }
+
+    /// Drop `session`'s state (the client hung up), rolling back any open
+    /// transaction — the connection-loss behaviour of a dedicated agent.
+    pub fn retire(&self, session: u64) {
+        let state = self.states.lock().remove(&session);
+        if let Some(state) = state {
+            state.lock().abandon();
+        }
+    }
+
+    /// Sessions with live state (gauge).
+    pub fn active(&self) -> usize {
+        self.states.lock().len()
+    }
+}
+
+/// A child agent serving one host connection (dedicated mode): one
+/// session's state bundled with the shared DLFM for the serve loop.
 pub struct Agent {
     shared: Arc<DlfmShared>,
-    session: Session,
-    dbid: i64,
-    cur: Option<CurTxn>,
+    state: SessionState,
 }
 
 impl Agent {
     /// New agent over the shared DLFM state.
     pub fn new(shared: Arc<DlfmShared>) -> Agent {
-        let session = Session::new(&shared.db);
-        Agent { shared, session, dbid: 0, cur: None }
+        let state = SessionState::new(&shared);
+        Agent { shared, state }
     }
 
     /// Dispatch one request, tracing it and recording per-op latency.
     pub fn handle(&mut self, req: DlfmRequest) -> DlfmResponse {
-        let op = op_name(&req);
-        let metrics = self.shared.metrics.clone();
-        let mut span = obs::span(obs::Layer::Dlfm, op);
-        let started = std::time::Instant::now();
-        let result = self.dispatch(req);
-        if let Some(hist) = op_hist(&metrics.op_hists, op) {
-            hist.record_micros(started.elapsed());
-        }
-        match result {
-            Ok(resp) => resp,
-            Err(e) => {
-                span.fail();
-                if let DlfmError::Db { retryable: true, .. } = &e {
-                    // A deadlock/timeout in the local database rolled back
-                    // the whole sub-transaction; the host must roll back the
-                    // full transaction (paper §3.2).
-                    obs::warn!(
-                        "dlfm::agent",
-                        "{op} hit retryable error, forcing host rollback: {e}"
-                    );
-                    self.cur = None;
-                    self.session.rollback();
-                    DlfmMetrics::bump(&metrics.forced_rollbacks);
-                }
-                DlfmResponse::Err(e)
+        handle_request(&self.shared, &mut self.state, req)
+    }
+}
+
+/// Dispatch one request against a session's state, tracing it and
+/// recording per-op latency. Both agent models funnel through here.
+pub fn handle_request(
+    shared: &DlfmShared,
+    state: &mut SessionState,
+    req: DlfmRequest,
+) -> DlfmResponse {
+    let op = op_name(&req);
+    let metrics = shared.metrics.clone();
+    let mut span = obs::span(obs::Layer::Dlfm, op);
+    let started = std::time::Instant::now();
+    let mut exec = Exec { shared, state };
+    let result = exec.dispatch(req);
+    if let Some(hist) = op_hist(&metrics.op_hists, op) {
+        hist.record_micros(started.elapsed());
+    }
+    match result {
+        Ok(resp) => resp,
+        Err(e) => {
+            span.fail();
+            if let DlfmError::Db { retryable: true, .. } = &e {
+                // A deadlock/timeout in the local database rolled back
+                // the whole sub-transaction; the host must roll back the
+                // full transaction (paper §3.2).
+                obs::warn!("dlfm::agent", "{op} hit retryable error, forcing host rollback: {e}");
+                state.cur = None;
+                state.session.rollback();
+                DlfmMetrics::bump(&metrics.forced_rollbacks);
             }
+            DlfmResponse::Err(e)
         }
     }
+}
 
+/// One request's execution context: the shared DLFM plus the session
+/// state it runs against.
+struct Exec<'a> {
+    shared: &'a DlfmShared,
+    state: &'a mut SessionState,
+}
+
+impl Exec<'_> {
     fn dispatch(&mut self, req: DlfmRequest) -> DlfmResult<DlfmResponse> {
         match req {
             DlfmRequest::Connect { dbid } => {
-                self.dbid = dbid;
+                self.state.dbid = dbid;
                 Ok(DlfmResponse::Ok)
             }
             DlfmRequest::BeginTxn { xid } => {
@@ -111,20 +196,20 @@ impl Agent {
             DlfmRequest::IssueToken { filename } => self.issue_token(&filename),
             DlfmRequest::ListIndoubt => self.list_indoubt(),
             DlfmRequest::BeginBackup { backup_id, rec_id } => {
-                crate::backup::begin_backup(&self.shared, self.dbid, backup_id, rec_id)?;
+                crate::backup::begin_backup(self.shared, self.state.dbid, backup_id, rec_id)?;
                 Ok(DlfmResponse::Ok)
             }
             DlfmRequest::EndBackup { backup_id, success } => {
-                crate::backup::end_backup(&self.shared, self.dbid, backup_id, success)?;
+                crate::backup::end_backup(self.shared, self.state.dbid, backup_id, success)?;
                 Ok(DlfmResponse::Ok)
             }
             DlfmRequest::RestoreTo { rec_id } => {
-                crate::backup::restore_to(&self.shared, self.dbid, rec_id)?;
+                crate::backup::restore_to(self.shared, self.state.dbid, rec_id)?;
                 Ok(DlfmResponse::Ok)
             }
             DlfmRequest::Reconcile { entries } => {
                 let (broken, orphans) =
-                    crate::backup::reconcile(&self.shared, self.dbid, &entries)?;
+                    crate::backup::reconcile(self.shared, self.state.dbid, &entries)?;
                 Ok(DlfmResponse::ReconcileReport {
                     broken_host_refs: broken,
                     orphans_unlinked: orphans,
@@ -132,7 +217,7 @@ impl Agent {
             }
             DlfmRequest::UpcallQuery { filename } => {
                 DlfmMetrics::bump(&self.shared.metrics.upcalls);
-                Ok(DlfmResponse::LinkState(query_link_state(&self.shared, &filename)))
+                Ok(DlfmResponse::LinkState(query_link_state(self.shared, &filename)))
             }
             DlfmRequest::PendingCopies => {
                 let stmts = self.shared.statements();
@@ -149,15 +234,15 @@ impl Agent {
     // ------------------------------------------------------------------
 
     fn ensure_txn(&mut self, xid: i64) -> DlfmResult<()> {
-        match &self.cur {
+        match &self.state.cur {
             Some(cur) if cur.xid == xid => Ok(()),
             Some(cur) => Err(DlfmError::Protocol(format!(
                 "transaction {} already open on this connection, got request for {}",
                 cur.xid, xid
             ))),
             None => {
-                self.session.begin()?;
-                self.cur = Some(CurTxn {
+                self.state.session.begin()?;
+                self.state.cur = Some(CurTxn {
                     xid,
                     ops_since_chunk: 0,
                     total_ops: 0,
@@ -173,14 +258,14 @@ impl Agent {
     /// long-transaction threshold is crossed (paper §4).
     fn account_op(&mut self, xid: i64) -> DlfmResult<()> {
         let Some(chunk_every) = self.shared.config.chunk_commit_every else {
-            if let Some(cur) = self.cur.as_mut() {
+            if let Some(cur) = self.state.cur.as_mut() {
                 cur.ops_since_chunk += 1;
                 cur.total_ops += 1;
             }
             return Ok(());
         };
         let (needs_chunk, first_chunk, groups_deleted) = {
-            let cur = self.cur.as_mut().ok_or(DlfmError::UnknownTxn(xid))?;
+            let cur = self.state.cur.as_mut().ok_or(DlfmError::UnknownTxn(xid))?;
             cur.ops_since_chunk += 1;
             cur.total_ops += 1;
             (cur.ops_since_chunk >= chunk_every, !cur.chunked, cur.groups_deleted)
@@ -192,21 +277,21 @@ impl Agent {
         if first_chunk {
             // First chunk commit: insert the in-flight transaction entry so
             // a crash can find and abort the hardened chunks.
-            self.session.exec_prepared(
+            self.state.session.exec_prepared(
                 &stmts.ins_xact,
                 &[
                     Value::Int(xid),
-                    Value::Int(self.dbid),
+                    Value::Int(self.state.dbid),
                     Value::Int(XS_INFLIGHT),
                     Value::Int(groups_deleted),
                     Value::Int(now_micros()),
                 ],
             )?;
         }
-        self.session.commit()?;
+        self.state.session.commit()?;
         DlfmMetrics::bump(&self.shared.metrics.chunk_commits);
-        self.session.begin()?;
-        if let Some(cur) = self.cur.as_mut() {
+        self.state.session.begin()?;
+        if let Some(cur) = self.state.cur.as_mut() {
             cur.ops_since_chunk = 0;
             cur.chunked = true;
         }
@@ -230,7 +315,8 @@ impl Agent {
         if in_backout {
             // Undo of a previous link in a savepoint backout: delete the
             // entry this transaction inserted.
-            self.session
+            self.state
+                .session
                 .exec_prepared(&stmts.del_backout_link, &[Value::str(filename), Value::Int(xid)])?;
             return Ok(());
         }
@@ -249,7 +335,8 @@ impl Agent {
         // Check 3: no unresolved unlink of the same file by another
         // transaction (re-linking before that outcome is known could make
         // its abort unrestorable).
-        let rows = self.session.exec_prepared(&stmts.sel_by_name, &[Value::str(filename)])?.rows();
+        let rows =
+            self.state.session.exec_prepared(&stmts.sel_by_name, &[Value::str(filename)])?.rows();
         for row in &rows {
             let e = FileEntry::from_row(row)?;
             if e.lnk_state == LNK_LINKED {
@@ -264,10 +351,10 @@ impl Agent {
 
         // Insert the linked entry; the unique (filename, check_flag) index
         // closes the race two concurrent linkers would otherwise have.
-        let result = self.session.exec_prepared(
+        let result = self.state.session.exec_prepared(
             &stmts.ins_file,
             &[
-                Value::Int(self.dbid),
+                Value::Int(self.state.dbid),
                 Value::str(filename),
                 Value::Int(grp_id),
                 Value::Int(LNK_LINKED),
@@ -305,7 +392,7 @@ impl Agent {
         let stmts = self.shared.statements();
         if in_backout {
             // Undo of a previous unlink: restore the entry to linked state.
-            self.session.exec_prepared(
+            self.state.session.exec_prepared(
                 &stmts.upd_backout_unlink,
                 &[Value::str(filename), Value::Int(xid)],
             )?;
@@ -314,7 +401,7 @@ impl Agent {
         // Delayed update (paper §4): mark the linked entry unlinked; the
         // physical delete happens in commit phase 2 (or never, if the file
         // needs point-in-time recovery).
-        let updated = self.session.exec_prepared(
+        let updated = self.state.session.exec_prepared(
             &stmts.upd_unlink,
             &[
                 Value::Int(rec_id), // check_flag becomes the unlink recovery id
@@ -336,8 +423,9 @@ impl Agent {
     fn unresolved(&mut self, xid: i64) -> DlfmResult<bool> {
         let stmts = self.shared.statements();
         let rows = self
+            .state
             .session
-            .exec_prepared(&stmts.sel_xact, &[Value::Int(self.dbid), Value::Int(xid)])?
+            .exec_prepared(&stmts.sel_xact, &[Value::Int(self.state.dbid), Value::Int(xid)])?
             .rows();
         match rows.first() {
             None => Ok(false), // fully resolved and cleaned up
@@ -349,7 +437,7 @@ impl Agent {
     }
 
     fn load_group(&mut self, grp_id: i64) -> DlfmResult<GroupInfo> {
-        let rows = self.session.exec_params(
+        let rows = self.state.session.exec_params(
             "SELECT grp_id, access_ctl, recovery, state FROM dfm_grp WHERE grp_id = ?",
             &[Value::Int(grp_id)],
         )?;
@@ -370,38 +458,38 @@ impl Agent {
     // ------------------------------------------------------------------
 
     fn prepare(&mut self, xid: i64) -> DlfmResult<DlfmResponse> {
-        let Some(cur) = self.cur.take() else {
+        let Some(cur) = self.state.cur.take() else {
             // No work arrived for this transaction: read-only vote.
             DlfmMetrics::bump(&self.shared.metrics.prepares);
             return Ok(DlfmResponse::Prepared { read_only: true });
         };
         if cur.xid != xid {
-            self.cur = Some(cur);
+            self.state.cur = Some(cur);
             return Err(DlfmError::UnknownTxn(xid));
         }
         if cur.total_ops == 0 && cur.groups_deleted == 0 && !cur.chunked {
-            self.session.rollback();
+            self.state.session.rollback();
             DlfmMetrics::bump(&self.shared.metrics.prepares);
             return Ok(DlfmResponse::Prepared { read_only: true });
         }
         let stmts = self.shared.statements();
         let result = (|| -> DlfmResult<()> {
             if cur.chunked {
-                self.session.exec_prepared(
+                self.state.session.exec_prepared(
                     &stmts.upd_xact_state,
                     &[
                         Value::Int(XS_PREPARED),
                         Value::Int(cur.groups_deleted),
-                        Value::Int(self.dbid),
+                        Value::Int(self.state.dbid),
                         Value::Int(xid),
                     ],
                 )?;
             } else {
-                self.session.exec_prepared(
+                self.state.session.exec_prepared(
                     &stmts.ins_xact,
                     &[
                         Value::Int(xid),
-                        Value::Int(self.dbid),
+                        Value::Int(self.state.dbid),
                         Value::Int(XS_PREPARED),
                         Value::Int(cur.groups_deleted),
                         Value::Int(now_micros()),
@@ -410,7 +498,7 @@ impl Agent {
             }
             // The local COMMIT is what makes the prepare durable ("changes
             // to metadata are hardened during the prepare phase", §4).
-            self.session.commit()?;
+            self.state.session.commit()?;
             Ok(())
         })();
         match result {
@@ -419,7 +507,7 @@ impl Agent {
                 Ok(DlfmResponse::Prepared { read_only: false })
             }
             Err(e) => {
-                self.session.rollback();
+                self.state.session.rollback();
                 // Chunk-committed work is already hardened; the host will
                 // send Abort, whose phase 2 undoes it.
                 Err(e)
@@ -430,31 +518,31 @@ impl Agent {
     fn commit(&mut self, xid: i64) -> DlfmResult<DlfmResponse> {
         // One-phase optimisation: commit on an open, unprepared transaction
         // prepares it first.
-        if self.cur.as_ref().map(|c| c.xid) == Some(xid) {
+        if self.state.cur.as_ref().map(|c| c.xid) == Some(xid) {
             match self.prepare(xid)? {
                 DlfmResponse::Prepared { read_only: true } => return Ok(DlfmResponse::Ok),
                 DlfmResponse::Prepared { read_only: false } => {}
                 other => return Ok(other),
             }
         }
-        twopc::run_phase2_commit(&self.shared, self.dbid, xid)?;
+        twopc::run_phase2_commit(self.shared, self.state.dbid, xid)?;
         Ok(DlfmResponse::Ok)
     }
 
     fn abort(&mut self, xid: i64) -> DlfmResult<DlfmResponse> {
-        if self.cur.as_ref().map(|c| c.xid) == Some(xid) {
+        if self.state.cur.as_ref().map(|c| c.xid) == Some(xid) {
             // Forward processing still open: a plain local rollback undoes
             // the unhardened tail ...
-            let cur = self.cur.take().expect("cur checked above");
-            self.session.rollback();
+            let cur = self.state.cur.take().expect("cur checked above");
+            self.state.session.rollback();
             // ... and phase 2 undoes any chunk-committed work.
             if cur.chunked {
-                twopc::run_phase2_abort(&self.shared, self.dbid, xid)?;
+                twopc::run_phase2_abort(self.shared, self.state.dbid, xid)?;
             }
             DlfmMetrics::bump(&self.shared.metrics.aborts);
             return Ok(DlfmResponse::Ok);
         }
-        twopc::run_phase2_abort(&self.shared, self.dbid, xid)?;
+        twopc::run_phase2_abort(self.shared, self.state.dbid, xid)?;
         Ok(DlfmResponse::Ok)
     }
 
@@ -489,7 +577,7 @@ impl Agent {
 
     fn delete_group(&mut self, xid: i64, grp_id: i64, rec_id: i64) -> DlfmResult<()> {
         self.ensure_txn(xid)?;
-        let updated = self.session.exec_params(
+        let updated = self.state.session.exec_params(
             "UPDATE dfm_grp SET state = ?, delete_xid = ?, delete_rec_id = ? \
              WHERE grp_id = ? AND state = ?",
             &[
@@ -503,7 +591,7 @@ impl Agent {
         if updated.count() == 0 {
             return Err(DlfmError::NoSuchGroup(grp_id));
         }
-        if let Some(cur) = self.cur.as_mut() {
+        if let Some(cur) = self.state.cur.as_mut() {
             cur.groups_deleted += 1;
             cur.total_ops += 1;
         }
@@ -536,7 +624,7 @@ impl Agent {
         let mut s = Session::new(&self.shared.db);
         let rows = s.query(
             "SELECT xid FROM dfm_xact WHERE state = ? AND dbid = ?",
-            &[Value::Int(XS_PREPARED), Value::Int(self.dbid)],
+            &[Value::Int(XS_PREPARED), Value::Int(self.state.dbid)],
         )?;
         let mut xids: Vec<i64> = rows.iter().map(|r| r[0].as_int()).collect::<Result<_, _>>()?;
         xids.sort_unstable();

@@ -4,6 +4,38 @@ use std::time::Duration;
 
 use minidb::DbConfig;
 
+/// How the DLFM executes agent work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AgentModel {
+    /// The paper's process model (§2, §3.5): the main daemon spawns one
+    /// dedicated child agent per host connection, and the request channel
+    /// is a rendezvous — a sender blocks until the agent issues its
+    /// receive. This is the default; the §4 synchronous-commit /
+    /// distributed-deadlock behaviour depends on it.
+    Dedicated,
+    /// Session-multiplexed agent pool: a fixed set of worker threads pulls
+    /// from one shared bounded run queue, and per-connection state lives in
+    /// a session table so any worker can serve any connection. The bounded
+    /// queue is the admission control: requests that cannot be enqueued
+    /// within `admission_timeout` are rejected with
+    /// `dlrpc::RpcError::Overloaded`.
+    Pooled {
+        /// Worker threads in the pool.
+        workers: usize,
+        /// Capacity of the shared run queue.
+        queue_depth: usize,
+        /// How long a sender waits for queue space before being rejected.
+        admission_timeout: Duration,
+    },
+}
+
+impl AgentModel {
+    /// A pooled model with the default admission timeout (250 ms).
+    pub fn pooled(workers: usize, queue_depth: usize) -> AgentModel {
+        AgentModel::Pooled { workers, queue_depth, admission_timeout: Duration::from_millis(250) }
+    }
+}
+
 /// Tunable DLFM behaviour. Defaults follow the paper's production settings
 /// (scaled for laptop experiments where noted).
 #[derive(Debug, Clone)]
@@ -39,6 +71,9 @@ pub struct DlfmConfig {
     /// binding the DLFM's SQL statements, and re-apply + rebind when a
     /// RUNSTATS overwrites them (§3.2.1, §4).
     pub hand_craft_stats: bool,
+    /// Agent execution model: dedicated child agents (the paper's process
+    /// model, default) or a session-multiplexed worker pool.
+    pub agent_model: AgentModel,
 }
 
 impl Default for DlfmConfig {
@@ -54,6 +89,7 @@ impl Default for DlfmConfig {
             backups_retained: 2,
             group_life_span_micros: 60_000_000,
             hand_craft_stats: true,
+            agent_model: AgentModel::Dedicated,
         }
     }
 }
@@ -86,6 +122,11 @@ mod tests {
         let c = DlfmConfig::default();
         assert!(!c.db.next_key_locking, "tuned DLFM disables next-key locking");
         assert!(c.hand_craft_stats);
+        assert_eq!(
+            c.agent_model,
+            AgentModel::Dedicated,
+            "the paper's dedicated-agent process model stays the default"
+        );
     }
 
     #[test]

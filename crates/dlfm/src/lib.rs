@@ -48,6 +48,6 @@ pub use api::{
     AccessControl, DbErrorKind, DlfmError, DlfmRequest, DlfmResponse, DlfmResult, GroupSpec,
     LinkStatus,
 };
-pub use config::DlfmConfig;
+pub use config::{AgentModel, DlfmConfig};
 pub use metrics::{DlfmMetrics, DlfmMetricsSnapshot};
 pub use server::{now_micros, DlfmServer, DlfmShared};

@@ -13,15 +13,15 @@ use std::time::{SystemTime, UNIX_EPOCH};
 
 use archive::ArchiveServer;
 use crossbeam::channel::{unbounded, Sender};
-use dlrpc::{fabric, serve, Connector, ServerHandle};
+use dlrpc::{fabric, pool_fabric, serve, serve_pool, Connector, PoolEvent, ServerHandle};
 use filesys::{Dlff, FileSystem};
 use minidb::{Database, Session, Value};
 use parking_lot::RwLock;
 
-use crate::agent::Agent;
+use crate::agent::{self, Agent, SessionTable};
 use crate::api::{DlfmRequest, DlfmResponse};
 use crate::chown::{ChownClient, ChownDaemon};
-use crate::config::DlfmConfig;
+use crate::config::{AgentModel, DlfmConfig};
 use crate::daemons;
 use crate::meta::{self, Statements, XS_INFLIGHT};
 use crate::metrics::DlfmMetrics;
@@ -51,6 +51,10 @@ pub struct DlfmShared {
     pub metrics: Arc<DlfmMetrics>,
     /// Bound SQL statements, swapped atomically on rebind.
     pub stmts: RwLock<Arc<Statements>>,
+    /// Per-connection session state, keyed by fabric session id (pooled
+    /// agent model; empty under the dedicated model, where each child
+    /// agent owns its state).
+    pub sessions: SessionTable,
     /// Work queue feeding the Delete-Group daemon.
     pub groupd_tx: Sender<(i64, i64)>,
     /// Shutdown flag polled by all daemons.
@@ -121,6 +125,7 @@ impl DlfmServer {
             config,
             metrics: Arc::new(DlfmMetrics::default()),
             stmts: RwLock::new(Arc::new(stmts)),
+            sessions: SessionTable::default(),
             groupd_tx,
             shutdown: AtomicBool::new(false),
             retrieve_tx,
@@ -137,16 +142,43 @@ impl DlfmServer {
             daemons::spawn_retrieve_daemon(shared.clone(), retrieve_rx),
         ];
 
-        // The main daemon: accept connections, one child agent each.
-        let (listener, connector) = fabric();
-        let agent_shared = shared.clone();
-        let rpc = serve(listener, move || {
-            let mut agent = Agent::new(agent_shared.clone());
-            move |req: DlfmRequest, slot: dlrpc::ReplySlot<DlfmResponse>| {
-                let resp = agent.handle(req);
-                slot.send(resp);
+        // The main daemon, in one of two agent models (paper §3.5 vs a
+        // session-multiplexed pool).
+        let (connector, rpc) = match shared.config.agent_model {
+            // Dedicated: accept connections, one child agent each.
+            AgentModel::Dedicated => {
+                let (listener, connector) = fabric();
+                let agent_shared = shared.clone();
+                let rpc = serve(listener, move || {
+                    let mut agent = Agent::new(agent_shared.clone());
+                    move |req: DlfmRequest, slot: dlrpc::ReplySlot<DlfmResponse>| {
+                        let resp = agent.handle(req);
+                        slot.send(resp);
+                    }
+                });
+                (connector, rpc)
             }
-        });
+            // Pooled: N workers share one bounded run queue; per-connection
+            // state lives in the session table, checked out by session id.
+            AgentModel::Pooled { workers, queue_depth, admission_timeout } => {
+                let (listener, connector) = pool_fabric(queue_depth, admission_timeout);
+                let agent_shared = shared.clone();
+                let rpc = serve_pool(listener, workers, move || {
+                    let shared = agent_shared.clone();
+                    move |ev: PoolEvent<DlfmRequest>, slot: dlrpc::ReplySlot<DlfmResponse>| match ev
+                    {
+                        PoolEvent::Request { session, req } => {
+                            let state = shared.sessions.checkout(&shared, session);
+                            let mut state = state.lock();
+                            let resp = agent::handle_request(&shared, &mut state, req);
+                            slot.send(resp);
+                        }
+                        PoolEvent::Hangup { session } => shared.sessions.retire(session),
+                    }
+                });
+                (connector, rpc)
+            }
+        };
 
         DlfmServer { shared, connector, rpc: Some(rpc), daemons: handles, _chown: chown_daemon }
     }
@@ -164,6 +196,17 @@ impl DlfmServer {
     /// The local database (diagnostics).
     pub fn db(&self) -> &Database {
         &self.shared.db
+    }
+
+    /// Agent threads spawned by the RPC server so far: one per connection
+    /// under [`AgentModel::Dedicated`], the fixed worker count under
+    /// [`AgentModel::Pooled`]. Benchmarks use this to show the thread-count
+    /// difference between the two models.
+    pub fn agents_spawned(&self) -> u64 {
+        self.rpc
+            .as_ref()
+            .map(|h| h.agents_spawned.load(std::sync::atomic::Ordering::Relaxed))
+            .unwrap_or(0)
     }
 
     /// Operation counters.
@@ -316,6 +359,51 @@ impl DlfmServer {
             &[],
             self.connector.accept_backlog() as i64,
         );
+
+        if let Some(pool) = self.connector.pool_stats() {
+            r.gauge(
+                "dlfm_pool_workers",
+                "Agent-pool worker threads (pooled agent model).",
+                &[],
+                pool.workers() as i64,
+            );
+            r.gauge(
+                "dlfm_pool_busy",
+                "Pool workers currently executing a request.",
+                &[],
+                pool.busy(),
+            );
+            r.gauge(
+                "dlfm_pool_queue_depth",
+                "Requests waiting in the shared run queue.",
+                &[],
+                self.connector.pool_queue_depth().unwrap_or(0) as i64,
+            );
+            r.counter(
+                "dlfm_pool_rejects_total",
+                "Requests rejected by admission control (run queue stayed full).",
+                &[],
+                pool.rejects(),
+            );
+            r.counter(
+                "dlfm_pool_served_total",
+                "Requests served by pool workers.",
+                &[],
+                pool.served(),
+            );
+            r.counter(
+                "dlfm_pool_hangups_total",
+                "Session hangups processed by the pool.",
+                &[],
+                pool.hangups(),
+            );
+            r.gauge(
+                "dlfm_sessions_active",
+                "Connections with live session state in the session table.",
+                &[],
+                self.shared.sessions.active() as i64,
+            );
+        }
 
         r.gauge(
             "dlfm_daemon_queue_depth",

@@ -50,6 +50,12 @@ pub struct HostConfig {
     /// Group commit for coordinator-log forces: one force covers every
     /// commit decision waiting at that moment.
     pub coord_group_commit: bool,
+    /// Maximum idle DLFM connections kept per server for reuse. Sessions
+    /// and the indoubt resolver check connections out of this pool instead
+    /// of opening a fresh one (a fresh dedicated-mode connection spawns a
+    /// whole child-agent thread); checked-in connections beyond the cap
+    /// are closed. `0` disables reuse.
+    pub conn_pool_size: usize,
 }
 
 impl Default for HostConfig {
@@ -60,6 +66,7 @@ impl Default for HostConfig {
             synchronous_commit: true,
             coord_force_latency: std::time::Duration::ZERO,
             coord_group_commit: true,
+            conn_pool_size: 8,
         }
     }
 }
@@ -110,6 +117,17 @@ pub struct HostMetrics {
     pub unlinks: AtomicU64,
     /// Indoubt transactions resolved after failures.
     pub indoubts_resolved: AtomicU64,
+    /// RPC failures (transport errors or DLFM-side errors) on the commit,
+    /// abort, backout, and indoubt-resolution paths — previously discarded
+    /// silently, now counted so partial-commit anomalies are visible.
+    pub host_rpc_errors: AtomicU64,
+    /// Connection-pool checkouts satisfied by an idle pooled connection.
+    pub conn_pool_hits: AtomicU64,
+    /// Connection-pool checkouts that had to open a fresh connection.
+    pub conn_pool_misses: AtomicU64,
+    /// Connections retired (dropped instead of pooled) after an RPC error
+    /// or because the pool was full.
+    pub conn_retired: AtomicU64,
 }
 
 struct HostInner {
@@ -124,6 +142,9 @@ struct HostInner {
     sync_commit: AtomicBool,
     metrics: HostMetrics,
     backups: Mutex<Vec<crate::utilities::HostBackup>>,
+    /// Idle DLFM connections kept for reuse, per server.
+    conn_pool: Mutex<HashMap<String, Vec<DlfmConn>>>,
+    conn_pool_size: usize,
 }
 
 /// A shared handle to the host database. Cheap to clone.
@@ -154,6 +175,8 @@ impl HostDb {
                 sync_commit: AtomicBool::new(config.synchronous_commit),
                 metrics: HostMetrics::default(),
                 backups: Mutex::new(Vec::new()),
+                conn_pool: Mutex::new(HashMap::new()),
+                conn_pool_size: config.conn_pool_size,
             }),
         };
         host.create_sys_tables();
@@ -289,6 +312,36 @@ impl HostDb {
             "Indoubt transactions resolved.",
             &[],
             m.indoubts_resolved.load(Ordering::Relaxed),
+        );
+        r.counter(
+            "hostdb_rpc_errors_total",
+            "RPC failures on commit/abort/backout/indoubt paths (possible partial-commit anomalies).",
+            &[],
+            m.host_rpc_errors.load(Ordering::Relaxed),
+        );
+        r.counter(
+            "hostdb_conn_pool_hits_total",
+            "DLFM connection checkouts served from the idle pool.",
+            &[],
+            m.conn_pool_hits.load(Ordering::Relaxed),
+        );
+        r.counter(
+            "hostdb_conn_pool_misses_total",
+            "DLFM connection checkouts that opened a fresh connection.",
+            &[],
+            m.conn_pool_misses.load(Ordering::Relaxed),
+        );
+        r.counter(
+            "hostdb_conn_retired_total",
+            "DLFM connections retired instead of pooled (error or pool full).",
+            &[],
+            m.conn_retired.load(Ordering::Relaxed),
+        );
+        r.gauge(
+            "hostdb_conn_pool_idle",
+            "Idle DLFM connections available for reuse.",
+            &[],
+            self.conn_pool_idle() as i64,
         );
         r.counter(
             "coordlog_forces_total",
@@ -468,16 +521,33 @@ impl HostDb {
                 servers.len()
             );
             for server in &servers {
-                let conn = self.fresh_conn(server)?;
-                let _ = conn.call(DlfmRequest::Commit { xid });
+                let conn = self.checkout_conn(server)?;
+                match conn.call(DlfmRequest::Commit { xid }) {
+                    Ok(DlfmResponse::Ok) => self.checkin_conn(server, conn),
+                    Ok(DlfmResponse::Err(e)) => {
+                        self.note_rpc_error("re-driven commit", server, &e);
+                        self.checkin_conn(server, conn);
+                    }
+                    Ok(other) => {
+                        self.note_rpc_error(
+                            "re-driven commit",
+                            server,
+                            &format!("unexpected response {other:?}"),
+                        );
+                        self.checkin_conn(server, conn);
+                    }
+                    // Transport failure: retire the connection.
+                    Err(e) => self.note_rpc_error("re-driven commit", server, &e),
+                }
                 resolved += 1;
             }
             self.inner.coord_log.append(CoordRecord::End { xid });
         }
         // Ask each DLFM for its indoubt list and resolve by presumed abort.
         for server in self.servers() {
-            let conn = self.fresh_conn(&server)?;
+            let conn = self.checkout_conn(&server)?;
             let resp = conn.call(DlfmRequest::ListIndoubt)?;
+            let mut transport_ok = true;
             if let DlfmResponse::Indoubt(xids) = resp {
                 for xid in xids {
                     let committed = self.inner.coord_log.committed(xid);
@@ -491,10 +561,27 @@ impl HostDb {
                     } else {
                         DlfmRequest::Abort { xid }
                     };
-                    let _ = conn.call(decision);
+                    match conn.call(decision) {
+                        Ok(DlfmResponse::Ok) => {}
+                        Ok(DlfmResponse::Err(e)) => {
+                            self.note_rpc_error("indoubt resolution", &server, &e)
+                        }
+                        Ok(other) => self.note_rpc_error(
+                            "indoubt resolution",
+                            &server,
+                            &format!("unexpected response {other:?}"),
+                        ),
+                        Err(e) => {
+                            self.note_rpc_error("indoubt resolution", &server, &e);
+                            transport_ok = false;
+                        }
+                    }
                     resolved += 1;
                     self.inner.metrics.indoubts_resolved.fetch_add(1, Ordering::Relaxed);
                 }
+            }
+            if transport_ok {
+                self.checkin_conn(&server, conn);
             }
         }
         Ok(resolved)
@@ -509,8 +596,17 @@ impl HostDb {
     ) -> std::thread::JoinHandle<()> {
         let host = self.clone();
         std::thread::spawn(move || {
-            while !shutdown.load(Ordering::SeqCst) {
-                std::thread::sleep(interval);
+            let slice = std::time::Duration::from_millis(5).min(interval);
+            'daemon: loop {
+                // Park in small slices so shutdown is prompt even when the
+                // resolver interval is long.
+                let deadline = std::time::Instant::now() + interval;
+                while std::time::Instant::now() < deadline {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break 'daemon;
+                    }
+                    std::thread::sleep(slice);
+                }
                 let _ = host.resolve_indoubts();
             }
         })
@@ -523,6 +619,50 @@ impl HostDb {
             DlfmResponse::Ok => Ok(conn),
             other => Err(HostError::Rpc(format!("connect failed: {other:?}"))),
         }
+    }
+
+    /// Check a connection to `server` out of the pool, opening a fresh one
+    /// only when no idle connection is available.
+    pub(crate) fn checkout_conn(&self, server: &str) -> HostResult<DlfmConn> {
+        let pooled = self.inner.conn_pool.lock().get_mut(server).and_then(Vec::pop);
+        if let Some(conn) = pooled {
+            self.inner.metrics.conn_pool_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(conn);
+        }
+        self.inner.metrics.conn_pool_misses.fetch_add(1, Ordering::Relaxed);
+        self.fresh_conn(server)
+    }
+
+    /// Return a connection for reuse. Health-checked with a quick Ping so
+    /// a broken connection is retired here instead of poisoning the next
+    /// checkout; also retired when the pool is at capacity.
+    pub(crate) fn checkin_conn(&self, server: &str, conn: DlfmConn) {
+        let healthy = self.inner.conn_pool_size > 0
+            && matches!(
+                conn.call_timeout(DlfmRequest::Ping, std::time::Duration::from_millis(200)),
+                Ok(DlfmResponse::Ok)
+            );
+        if healthy {
+            let mut pool = self.inner.conn_pool.lock();
+            let idle = pool.entry(server.to_string()).or_default();
+            if idle.len() < self.inner.conn_pool_size {
+                idle.push(conn);
+                return;
+            }
+        }
+        self.inner.metrics.conn_retired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Idle pooled connections across all servers (gauge).
+    pub fn conn_pool_idle(&self) -> usize {
+        self.inner.conn_pool.lock().values().map(Vec::len).sum()
+    }
+
+    /// Record (and log) an RPC failure on a path that must not abort the
+    /// caller — phase-2 commit, abort, backout, indoubt resolution.
+    fn note_rpc_error(&self, context: &str, server: &str, err: &dyn std::fmt::Display) {
+        self.inner.metrics.host_rpc_errors.fetch_add(1, Ordering::Relaxed);
+        obs::warn!("hostdb::rpc", "{context} failed on {server}: {err}");
     }
 }
 
@@ -661,7 +801,20 @@ impl HostSession {
         for server in &participants {
             let conn = self.conn(server)?;
             if synchronous {
-                let _ = conn.call(DlfmRequest::Commit { xid })?;
+                // The commit decision is already durable, so a DLFM-side
+                // failure here must not abort the (committed) host
+                // transaction — but it cannot be silent either: the
+                // participant stays prepared until the resolver re-drives
+                // it, and that anomaly should be visible.
+                match conn.call(DlfmRequest::Commit { xid })? {
+                    DlfmResponse::Ok => {}
+                    DlfmResponse::Err(e) => self.host.note_rpc_error("phase-2 commit", server, &e),
+                    other => self.host.note_rpc_error(
+                        "phase-2 commit",
+                        server,
+                        &format!("unexpected response {other:?}"),
+                    ),
+                }
             } else {
                 conn.post(DlfmRequest::Commit { xid })?;
             }
@@ -684,7 +837,20 @@ impl HostSession {
     fn abort_everywhere(&mut self, txn: &HostTxn) {
         for server in &txn.touched {
             if let Ok(conn) = self.conn(server) {
-                let _ = conn.call(DlfmRequest::Abort { xid: txn.xid });
+                match conn.call(DlfmRequest::Abort { xid: txn.xid }) {
+                    Ok(DlfmResponse::Ok) => {}
+                    Ok(DlfmResponse::Err(e)) => self.host.note_rpc_error("abort", server, &e),
+                    Ok(other) => self.host.note_rpc_error(
+                        "abort",
+                        server,
+                        &format!("unexpected response {other:?}"),
+                    ),
+                    Err(e) => {
+                        self.host.note_rpc_error("abort", server, &e);
+                        // Transport failure: this cached connection is dead.
+                        self.conns.remove(server);
+                    }
+                }
             }
         }
     }
@@ -1031,7 +1197,21 @@ impl HostSession {
                 }
             };
             if let Ok(conn) = self.conn(&op.url.server) {
-                let _ = conn.call(req);
+                match conn.call(req) {
+                    Ok(DlfmResponse::Ok) => {}
+                    Ok(DlfmResponse::Err(e)) => {
+                        self.host.note_rpc_error("backout", &op.url.server, &e)
+                    }
+                    Ok(other) => self.host.note_rpc_error(
+                        "backout",
+                        &op.url.server,
+                        &format!("unexpected response {other:?}"),
+                    ),
+                    Err(e) => {
+                        self.host.note_rpc_error("backout", &op.url.server, &e);
+                        self.conns.remove(&op.url.server);
+                    }
+                }
             }
         }
         if let Some(txn) = self.txn.as_mut() {
@@ -1124,7 +1304,9 @@ impl HostSession {
 
     pub(crate) fn conn(&mut self, server: &str) -> HostResult<&DlfmConn> {
         if !self.conns.contains_key(server) {
-            let conn = self.host.fresh_conn(server)?;
+            // Reuse an idle pooled connection when one exists; a fresh
+            // dedicated-mode connection costs a whole child-agent thread.
+            let conn = self.host.checkout_conn(server)?;
             self.conns.insert(server.to_string(), conn);
         }
         Ok(&self.conns[server])
@@ -1262,5 +1444,10 @@ impl HostSession {
 impl Drop for HostSession {
     fn drop(&mut self) {
         self.rollback();
+        // Hand the session's connections back for reuse (each is
+        // health-checked at checkin; broken ones are retired).
+        for (server, conn) in self.conns.drain() {
+            self.host.checkin_conn(&server, conn);
+        }
     }
 }

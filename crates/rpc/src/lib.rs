@@ -1,25 +1,33 @@
 //! # dlrpc — the agent connection fabric
 //!
 //! Models the remote-procedure-call mechanism between host-database agents
-//! and DLFM child agents (paper §2, §3.5):
+//! and DLFM child agents (paper §2, §3.5), in two server modes:
 //!
-//! * the DLFM **main daemon** listens for connects and spawns one **child
-//!   agent** per connection; all requests on that connection are served by
-//!   that agent;
-//! * requests are strictly **synchronous**: the request channel is a
+//! * **Dedicated** ([`serve`]) — the paper's process model: the DLFM **main
+//!   daemon** listens for connects and spawns one **child agent** per
+//!   connection; all requests on that connection are served by that agent.
+//!   Requests are strictly **synchronous**: the request channel is a
 //!   rendezvous, so a sender blocks until the child agent actually issues
 //!   its message receive. This is load-bearing — the distributed-deadlock
 //!   scenario of §4 hinges on "T11 is blocked on message send as the DLFM
 //!   child is still doing the commit processing for T1 (and has not issued
 //!   msg receive)";
-//! * [`ClientConn::post`] is a fire-and-forget send used to model the
-//!   **asynchronous commit** design the paper rejects.
+//! * **Pooled** ([`pool_fabric`] + [`serve_pool`]) — a fixed set of worker
+//!   threads pulls from one shared bounded run queue; any worker serves any
+//!   connection. Every connection carries a fabric-assigned **session id**
+//!   on each request so per-connection state can live server-side, keyed by
+//!   that id. The bounded queue is the admission control: when it stays
+//!   full past the admission timeout the sender gets
+//!   [`RpcError::Overloaded`] instead of queueing unboundedly.
+//!
+//! [`ClientConn::post`] is a fire-and-forget send used to model the
+//! **asynchronous commit** design the paper rejects.
 
 #![warn(missing_docs)]
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -33,6 +41,9 @@ pub enum RpcError {
     Disconnected,
     /// A timed call did not complete in time.
     Timeout,
+    /// The server's run queue stayed full past the admission timeout
+    /// (pooled mode only): the request was rejected, not queued.
+    Overloaded,
 }
 
 impl fmt::Display for RpcError {
@@ -40,19 +51,33 @@ impl fmt::Display for RpcError {
         match self {
             RpcError::Disconnected => f.write_str("peer disconnected"),
             RpcError::Timeout => f.write_str("rpc timeout"),
+            RpcError::Overloaded => f.write_str("server overloaded (run queue full)"),
         }
     }
 }
 
 impl std::error::Error for RpcError {}
 
-/// One request in flight. `reply` is `None` for posted (fire-and-forget)
+/// What a connection puts on the wire.
+enum Payload<Req> {
+    /// An ordinary request.
+    Request(Req),
+    /// The client endpoint was dropped (pooled mode sends this so the
+    /// server can retire the session's state; dedicated mode signals the
+    /// same by closing the per-connection channel).
+    Hangup,
+}
+
+/// One message in flight. `reply` is `None` for posted (fire-and-forget)
 /// requests. `ctx` is the sender's trace context, installed on the
 /// receiving agent's thread so spans on both sides share one trace id.
+/// `session` is the fabric-assigned connection id (pooled workers key
+/// server-side session state by it).
 struct Envelope<Req, Resp> {
-    req: Req,
+    payload: Payload<Req>,
     reply: Option<Sender<Resp>>,
     ctx: Option<TraceCtx>,
+    session: u64,
 }
 
 /// Fabric-wide instrumentation, shared by the connector, the listener,
@@ -95,6 +120,50 @@ impl RpcStats {
     }
 }
 
+/// Instrumentation of one agent pool ([`pool_fabric`] mode): admission
+/// and occupancy, shared by the connector, every client connection, and
+/// the worker threads.
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    /// Worker threads in the pool (set by [`serve_pool`]).
+    pub workers: AtomicU64,
+    /// Workers currently executing a request (gauge).
+    pub busy: AtomicI64,
+    /// Requests rejected by admission control (counter).
+    pub rejects: AtomicU64,
+    /// Requests a worker picked up and served (counter).
+    pub served: AtomicU64,
+    /// Session hangups processed (counter).
+    pub hangups: AtomicU64,
+}
+
+impl PoolStats {
+    /// Configured worker count.
+    pub fn workers(&self) -> u64 {
+        self.workers.load(Ordering::Relaxed)
+    }
+
+    /// Workers currently executing a request.
+    pub fn busy(&self) -> i64 {
+        self.busy.load(Ordering::Relaxed)
+    }
+
+    /// Requests rejected at admission.
+    pub fn rejects(&self) -> u64 {
+        self.rejects.load(Ordering::Relaxed)
+    }
+
+    /// Requests served by the pool.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Hangups processed.
+    pub fn hangups(&self) -> u64 {
+        self.hangups.load(Ordering::Relaxed)
+    }
+}
+
 /// Decrements a gauge on drop (covers every exit path, panics included).
 struct GaugeGuard<'a>(&'a AtomicI64);
 
@@ -111,32 +180,62 @@ impl Drop for GaugeGuard<'_> {
     }
 }
 
+/// Admission-control handle a pooled [`ClientConn`] carries: how long to
+/// wait for run-queue space before rejecting, and where to count rejects.
+struct Admission {
+    timeout: Duration,
+    pool: Arc<PoolStats>,
+}
+
 /// Client side of one connection (held by a host-database agent).
+///
+/// In dedicated mode `tx` is this connection's private rendezvous channel;
+/// in pooled mode it is a clone of the pool's shared run queue and every
+/// envelope carries this connection's session id.
 pub struct ClientConn<Req, Resp> {
     tx: Sender<Envelope<Req, Resp>>,
     stats: Arc<RpcStats>,
+    session: u64,
+    admission: Option<Admission>,
 }
 
 impl<Req, Resp> ClientConn<Req, Resp> {
-    fn envelope(&self, req: Req, reply: Option<Sender<Resp>>) -> Envelope<Req, Resp> {
-        Envelope { req, reply, ctx: trace::current_ctx() }
+    fn envelope(&self, payload: Payload<Req>, reply: Option<Sender<Resp>>) -> Envelope<Req, Resp> {
+        Envelope { payload, reply, ctx: trace::current_ctx(), session: self.session }
     }
 
-    /// Synchronous call: blocks until the child agent receives the request
-    /// *and* sends the response.
+    /// The fabric-assigned session id of this connection.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// Send one envelope, applying admission control in pooled mode.
+    fn send_env(&self, env: Envelope<Req, Resp>) -> Result<(), RpcError> {
+        let _blocked = GaugeGuard::enter(&self.stats.send_blocked);
+        match &self.admission {
+            None => self.tx.send(env).map_err(|_| RpcError::Disconnected),
+            Some(adm) => self.tx.send_timeout(env, adm.timeout).map_err(|e| match e {
+                crossbeam::channel::SendTimeoutError::Timeout(_) => {
+                    adm.pool.rejects.fetch_add(1, Ordering::Relaxed);
+                    RpcError::Overloaded
+                }
+                crossbeam::channel::SendTimeoutError::Disconnected(_) => RpcError::Disconnected,
+            }),
+        }
+    }
+
+    /// Synchronous call: blocks until the agent receives the request
+    /// *and* sends the response. In pooled mode the enqueue is bounded by
+    /// the admission timeout and may fail with [`RpcError::Overloaded`].
     pub fn call(&self, req: Req) -> Result<Resp, RpcError> {
         let mut span = trace::span(Layer::Rpc, "call");
         self.stats.calls.fetch_add(1, Ordering::Relaxed);
         let _in_flight = GaugeGuard::enter(&self.stats.in_flight);
         let (rtx, rrx) = bounded(1);
-        let env = self.envelope(req, Some(rtx));
-        let sent = {
-            let _blocked = GaugeGuard::enter(&self.stats.send_blocked);
-            self.tx.send(env)
-        };
-        if sent.is_err() {
+        let env = self.envelope(Payload::Request(req), Some(rtx));
+        if let Err(e) = self.send_env(env) {
             span.fail();
-            return Err(RpcError::Disconnected);
+            return Err(e);
         }
         rrx.recv().map_err(|_| {
             span.fail();
@@ -152,7 +251,7 @@ impl<Req, Resp> ClientConn<Req, Resp> {
         self.stats.calls.fetch_add(1, Ordering::Relaxed);
         let _in_flight = GaugeGuard::enter(&self.stats.in_flight);
         let (rtx, rrx) = bounded(1);
-        let env = self.envelope(req, Some(rtx));
+        let env = self.envelope(Payload::Request(req), Some(rtx));
         let sent = {
             let _blocked = GaugeGuard::enter(&self.stats.send_blocked);
             self.tx.send_timeout(env, timeout)
@@ -175,18 +274,37 @@ impl<Req, Resp> ClientConn<Req, Resp> {
     }
 
     /// Fire-and-forget post: returns as soon as the agent *receives* the
-    /// request, without waiting for processing (the unsafe asynchronous
+    /// request (dedicated mode) or it is admitted to the run queue (pooled
+    /// mode), without waiting for processing (the unsafe asynchronous
     /// commit mode of §4).
     pub fn post(&self, req: Req) -> Result<(), RpcError> {
         self.stats.posts.fetch_add(1, Ordering::Relaxed);
-        let env = self.envelope(req, None);
-        let _blocked = GaugeGuard::enter(&self.stats.send_blocked);
-        self.tx.send(env).map_err(|_| RpcError::Disconnected)
+        let env = self.envelope(Payload::Request(req), None);
+        self.send_env(env)
     }
 
     /// Fabric-wide instrumentation (shared with the connector).
     pub fn stats(&self) -> &Arc<RpcStats> {
         &self.stats
+    }
+}
+
+impl<Req, Resp> Drop for ClientConn<Req, Resp> {
+    fn drop(&mut self) {
+        // Pooled connections share the run queue, so the server cannot see
+        // a per-connection channel close: send an explicit hangup so it can
+        // retire this session's state. Best-effort — if the queue stays
+        // full past the admission timeout the state lingers until the
+        // server sweeps it.
+        if let Some(adm) = &self.admission {
+            let env = Envelope {
+                payload: Payload::Hangup,
+                reply: None,
+                ctx: None,
+                session: self.session,
+            };
+            let _ = self.tx.send_timeout(env, adm.timeout);
+        }
     }
 }
 
@@ -224,7 +342,12 @@ impl<Req, Resp> ServerConn<Req, Resp> {
     pub fn recv(&self) -> Result<(Req, ReplySlot<Resp>), RpcError> {
         let env = self.rx.recv().map_err(|_| RpcError::Disconnected)?;
         trace::set_current_ctx(env.ctx);
-        Ok((env.req, ReplySlot { tx: env.reply }))
+        match env.payload {
+            Payload::Request(req) => Ok((req, ReplySlot { tx: env.reply })),
+            // Dedicated connections signal hangup by closing the channel;
+            // an explicit hangup is equivalent.
+            Payload::Hangup => Err(RpcError::Disconnected),
+        }
     }
 
     /// Receive with a timeout (lets agent loops poll a shutdown flag).
@@ -236,7 +359,10 @@ impl<Req, Resp> ServerConn<Req, Resp> {
         match self.rx.recv_timeout(timeout) {
             Ok(env) => {
                 trace::set_current_ctx(env.ctx);
-                Ok(Some((env.req, ReplySlot { tx: env.reply })))
+                match env.payload {
+                    Payload::Request(req) => Ok(Some((req, ReplySlot { tx: env.reply }))),
+                    Payload::Hangup => Err(RpcError::Disconnected),
+                }
             }
             Err(RecvTimeoutError::Timeout) => Ok(None),
             Err(RecvTimeoutError::Disconnected) => Err(RpcError::Disconnected),
@@ -244,7 +370,7 @@ impl<Req, Resp> ServerConn<Req, Resp> {
     }
 }
 
-/// The listener held by the DLFM main daemon.
+/// The listener held by the DLFM main daemon (dedicated mode).
 pub struct Listener<Req, Resp> {
     rx: Receiver<ServerConn<Req, Resp>>,
     stats: Arc<RpcStats>,
@@ -280,20 +406,57 @@ impl<Req, Resp> Listener<Req, Resp> {
     }
 }
 
+/// How a connector hands out connections.
+enum ConnectorMode<Req, Resp> {
+    /// Each connect creates a private rendezvous channel served by a
+    /// dedicated child agent.
+    Dedicated(Sender<ServerConn<Req, Resp>>),
+    /// Each connect clones the pool's shared bounded run queue.
+    Pooled { tx: Sender<Envelope<Req, Resp>>, pool: Arc<PoolStats>, admission_timeout: Duration },
+}
+
 /// The connector endpoint host agents use to reach a DLFM.
-#[derive(Clone)]
 pub struct Connector<Req, Resp> {
-    tx: Sender<ServerConn<Req, Resp>>,
+    mode: ConnectorMode<Req, Resp>,
     stats: Arc<RpcStats>,
+    sessions: Arc<AtomicU64>,
+}
+
+impl<Req, Resp> Clone for Connector<Req, Resp> {
+    fn clone(&self) -> Self {
+        let mode = match &self.mode {
+            ConnectorMode::Dedicated(tx) => ConnectorMode::Dedicated(tx.clone()),
+            ConnectorMode::Pooled { tx, pool, admission_timeout } => ConnectorMode::Pooled {
+                tx: tx.clone(),
+                pool: pool.clone(),
+                admission_timeout: *admission_timeout,
+            },
+        };
+        Connector { mode, stats: self.stats.clone(), sessions: self.sessions.clone() }
+    }
 }
 
 impl<Req, Resp> Connector<Req, Resp> {
-    /// Establish a new connection, to be served by a fresh child agent.
+    /// Establish a new connection. Dedicated mode: a fresh child agent will
+    /// serve it. Pooled mode: a fresh session id is assigned and any pool
+    /// worker may serve its requests.
     pub fn connect(&self) -> Result<ClientConn<Req, Resp>, RpcError> {
-        // Rendezvous request channel: sends block until the agent receives.
-        let (tx, rx) = bounded(0);
-        self.tx.send(ServerConn { rx }).map_err(|_| RpcError::Disconnected)?;
-        Ok(ClientConn { tx, stats: self.stats.clone() })
+        let session = self.sessions.fetch_add(1, Ordering::Relaxed) + 1;
+        match &self.mode {
+            ConnectorMode::Dedicated(ctx) => {
+                // Rendezvous request channel: sends block until the agent
+                // receives.
+                let (tx, rx) = bounded(0);
+                ctx.send(ServerConn { rx }).map_err(|_| RpcError::Disconnected)?;
+                Ok(ClientConn { tx, stats: self.stats.clone(), session, admission: None })
+            }
+            ConnectorMode::Pooled { tx, pool, admission_timeout } => Ok(ClientConn {
+                tx: tx.clone(),
+                stats: self.stats.clone(),
+                session,
+                admission: Some(Admission { timeout: *admission_timeout, pool: pool.clone() }),
+            }),
+        }
     }
 
     /// Fabric-wide instrumentation (shared with the listener and every
@@ -302,36 +465,136 @@ impl<Req, Resp> Connector<Req, Resp> {
         &self.stats
     }
 
-    /// Connections waiting to be accepted (gauge).
+    /// Pool instrumentation, when this connector fronts an agent pool.
+    pub fn pool_stats(&self) -> Option<&Arc<PoolStats>> {
+        match &self.mode {
+            ConnectorMode::Dedicated(_) => None,
+            ConnectorMode::Pooled { pool, .. } => Some(pool),
+        }
+    }
+
+    /// Connections waiting to be accepted (dedicated mode) or requests
+    /// waiting in the shared run queue (pooled mode) — both are "work the
+    /// server has not picked up yet".
     pub fn accept_backlog(&self) -> usize {
-        self.tx.len()
+        match &self.mode {
+            ConnectorMode::Dedicated(tx) => tx.len(),
+            ConnectorMode::Pooled { tx, .. } => tx.len(),
+        }
+    }
+
+    /// Requests waiting in the shared run queue (pooled mode only).
+    pub fn pool_queue_depth(&self) -> Option<usize> {
+        match &self.mode {
+            ConnectorMode::Dedicated(_) => None,
+            ConnectorMode::Pooled { tx, .. } => Some(tx.len()),
+        }
     }
 }
 
-/// Create a listener/connector pair (one per DLFM instance).
+/// Create a dedicated-mode listener/connector pair (one per DLFM
+/// instance): every connect is served by its own child agent.
 pub fn fabric<Req, Resp>() -> (Listener<Req, Resp>, Connector<Req, Resp>) {
     let (tx, rx) = bounded(64);
     let stats = Arc::new(RpcStats::default());
-    (Listener { rx, stats: stats.clone() }, Connector { tx, stats })
+    (
+        Listener { rx, stats: stats.clone() },
+        Connector {
+            mode: ConnectorMode::Dedicated(tx),
+            stats,
+            sessions: Arc::new(AtomicU64::new(0)),
+        },
+    )
 }
 
-/// Handle to a running server (main daemon + child agents).
+/// The run-queue endpoint [`serve_pool`] drains (pooled mode).
+pub struct PoolListener<Req, Resp> {
+    rx: Receiver<Envelope<Req, Resp>>,
+    stats: Arc<RpcStats>,
+    pool: Arc<PoolStats>,
+}
+
+impl<Req, Resp> PoolListener<Req, Resp> {
+    /// Fabric-wide instrumentation.
+    pub fn stats(&self) -> &Arc<RpcStats> {
+        &self.stats
+    }
+
+    /// Pool instrumentation.
+    pub fn pool_stats(&self) -> &Arc<PoolStats> {
+        &self.pool
+    }
+}
+
+/// Create a pooled-mode fabric: one shared bounded run queue of depth
+/// `queue_depth`. Senders wait at most `admission_timeout` for queue space
+/// before their request is rejected with [`RpcError::Overloaded`].
+pub fn pool_fabric<Req, Resp>(
+    queue_depth: usize,
+    admission_timeout: Duration,
+) -> (PoolListener<Req, Resp>, Connector<Req, Resp>) {
+    let (tx, rx) = bounded(queue_depth.max(1));
+    let stats = Arc::new(RpcStats::default());
+    let pool = Arc::new(PoolStats::default());
+    (
+        PoolListener { rx, stats: stats.clone(), pool: pool.clone() },
+        Connector {
+            mode: ConnectorMode::Pooled { tx, pool, admission_timeout },
+            stats,
+            sessions: Arc::new(AtomicU64::new(0)),
+        },
+    )
+}
+
+/// What a pooled worker hands to its handler.
+pub enum PoolEvent<Req> {
+    /// A request from some session.
+    Request {
+        /// Fabric-assigned session (connection) id.
+        session: u64,
+        /// The request.
+        req: Req,
+    },
+    /// The session's client endpoint was dropped: retire its state.
+    Hangup {
+        /// Fabric-assigned session (connection) id.
+        session: u64,
+    },
+}
+
+/// Handle to a running server (dedicated main daemon + child agents, or an
+/// agent pool).
 pub struct ServerHandle {
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
-    /// Child agents spawned so far (diagnostics; matches the paper's
-    /// "separate child agent per connection" process model).
+    /// Child-agent threads (dedicated mode) or pool workers (pooled mode);
+    /// all joined on shutdown so no agent outlives the server.
+    threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    /// Agent threads spawned so far: one per connection in dedicated mode
+    /// (the paper's process model), the fixed worker count in pooled mode.
     pub agents_spawned: Arc<AtomicU64>,
 }
 
 impl ServerHandle {
-    /// Ask the main daemon and all child agents to stop, then join the
-    /// accept loop.
+    /// Ask the main daemon and all agent threads to stop, then join every
+    /// one of them: after this returns no agent thread is running.
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
+        let drained: Vec<JoinHandle<()>> = {
+            let mut threads = self.threads.lock().unwrap_or_else(|e| e.into_inner());
+            threads.drain(..).collect()
+        };
+        for h in drained {
+            let _ = h.join();
+        }
+    }
+
+    /// Agent threads still alive (diagnostics; 0 after [`Self::shutdown`]).
+    pub fn live_threads(&self) -> usize {
+        self.threads.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 }
 
@@ -341,9 +604,10 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Run a main daemon: accept connections and spawn one child-agent thread
-/// per connection. `factory` builds the per-connection handler, which is
-/// invoked once per request.
+/// Run a main daemon in dedicated mode: accept connections and spawn one
+/// child-agent thread per connection. `factory` builds the per-connection
+/// handler, which is invoked once per request. All child threads are
+/// joined by [`ServerHandle::shutdown`].
 pub fn serve<Req, Resp, H, F>(listener: Listener<Req, Resp>, mut factory: F) -> ServerHandle
 where
     Req: Send + 'static,
@@ -353,8 +617,10 @@ where
 {
     let shutdown = Arc::new(AtomicBool::new(false));
     let agents = Arc::new(AtomicU64::new(0));
+    let threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
     let sd = shutdown.clone();
     let ag = agents.clone();
+    let th = threads.clone();
     let accept_thread = std::thread::spawn(move || {
         while !sd.load(Ordering::SeqCst) {
             match listener.accept_timeout(Duration::from_millis(20)) {
@@ -362,7 +628,7 @@ where
                     ag.fetch_add(1, Ordering::Relaxed);
                     let mut handler = factory();
                     let child_sd = sd.clone();
-                    std::thread::spawn(move || loop {
+                    let child = std::thread::spawn(move || loop {
                         if child_sd.load(Ordering::SeqCst) {
                             break;
                         }
@@ -372,13 +638,91 @@ where
                             Err(_) => break,
                         }
                     });
+                    th.lock().unwrap_or_else(|e| e.into_inner()).push(child);
                 }
                 Ok(None) => continue,
                 Err(_) => break,
             }
         }
     });
-    ServerHandle { shutdown, accept_thread: Some(accept_thread), agents_spawned: agents }
+    ServerHandle { shutdown, accept_thread: Some(accept_thread), threads, agents_spawned: agents }
+}
+
+/// Run an agent pool: `workers` threads pull from the shared run queue and
+/// serve requests from any session. `factory` builds one handler per
+/// *worker* (not per connection — per-session state must live behind the
+/// handler, keyed by the session id of each [`PoolEvent`]).
+///
+/// Shutdown is a graceful drain: each worker first serves whatever is
+/// already queued, then exits; [`ServerHandle::shutdown`] joins them all.
+pub fn serve_pool<Req, Resp, H, F>(
+    listener: PoolListener<Req, Resp>,
+    workers: usize,
+    mut factory: F,
+) -> ServerHandle
+where
+    Req: Send + 'static,
+    Resp: Send + 'static,
+    H: FnMut(PoolEvent<Req>, ReplySlot<Resp>) + Send + 'static,
+    F: FnMut() -> H + Send + 'static,
+{
+    let workers = workers.max(1);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let agents = Arc::new(AtomicU64::new(workers as u64));
+    let threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let PoolListener { rx, stats: _, pool } = listener;
+    pool.workers.store(workers as u64, Ordering::Relaxed);
+    {
+        let mut th = threads.lock().unwrap_or_else(|e| e.into_inner());
+        for _ in 0..workers {
+            let rx = rx.clone();
+            let pool = pool.clone();
+            let sd = shutdown.clone();
+            let mut handler = factory();
+            th.push(std::thread::spawn(move || {
+                let mut draining = false;
+                loop {
+                    // On shutdown, finish what is already queued (graceful
+                    // drain), then exit.
+                    if !draining && sd.load(Ordering::SeqCst) {
+                        draining = true;
+                    }
+                    let timeout = if draining { Duration::ZERO } else { Duration::from_millis(10) };
+                    match rx.recv_timeout(timeout) {
+                        Ok(env) => {
+                            let _busy = GaugeGuard::enter(&pool.busy);
+                            trace::set_current_ctx(env.ctx);
+                            match env.payload {
+                                Payload::Request(req) => {
+                                    pool.served.fetch_add(1, Ordering::Relaxed);
+                                    handler(
+                                        PoolEvent::Request { session: env.session, req },
+                                        ReplySlot { tx: env.reply },
+                                    );
+                                }
+                                Payload::Hangup => {
+                                    pool.hangups.fetch_add(1, Ordering::Relaxed);
+                                    handler(
+                                        PoolEvent::Hangup { session: env.session },
+                                        ReplySlot { tx: None },
+                                    );
+                                }
+                            }
+                        }
+                        Err(RecvTimeoutError::Timeout) => {
+                            if draining {
+                                break;
+                            }
+                        }
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+            }));
+        }
+    }
+    // `rx` drops here: once every worker exits, all receivers are gone and
+    // blocked/queued senders observe Disconnected instead of hanging.
+    ServerHandle { shutdown, accept_thread: None, threads, agents_spawned: agents }
 }
 
 #[cfg(test)]
@@ -548,6 +892,211 @@ mod tests {
             started.elapsed() < Duration::from_millis(100),
             "post should return once the agent receives, not when it finishes"
         );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn dedicated_shutdown_joins_child_agents() {
+        // Regression for the detached-thread leak: every child agent must
+        // be joined by shutdown(), observable through a live-agent counter
+        // decremented as each child thread exits.
+        struct Live(Arc<AtomicI64>);
+        impl Drop for Live {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let live = Arc::new(AtomicI64::new(0));
+        let (listener, connector) = fabric::<u8, u8>();
+        let l = live.clone();
+        let mut handle = serve(listener, move || {
+            l.fetch_add(1, Ordering::SeqCst);
+            let guard = Live(l.clone());
+            move |req: u8, slot: ReplySlot<u8>| {
+                let _ = &guard;
+                slot.send(req)
+            }
+        });
+        let conns: Vec<_> = (0..4).map(|_| connector.connect().unwrap()).collect();
+        for c in &conns {
+            assert_eq!(c.call(7).unwrap(), 7);
+        }
+        assert_eq!(live.load(Ordering::SeqCst), 4);
+        handle.shutdown();
+        assert_eq!(
+            live.load(Ordering::SeqCst),
+            0,
+            "all child agents must have exited once shutdown() returns"
+        );
+        assert_eq!(handle.live_threads(), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Pooled mode
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn pool_roundtrip_and_worker_count() {
+        let (listener, connector) = pool_fabric::<i32, i32>(16, Duration::from_millis(100));
+        let pool = listener.pool_stats().clone();
+        let mut handle = serve_pool(listener, 3, || {
+            |ev: PoolEvent<i32>, slot: ReplySlot<i32>| {
+                if let PoolEvent::Request { req, .. } = ev {
+                    slot.send(req * 2)
+                }
+            }
+        });
+        let conn = connector.connect().unwrap();
+        assert_eq!(conn.call(21).unwrap(), 42);
+        assert_eq!(pool.workers(), 3);
+        assert_eq!(handle.agents_spawned.load(Ordering::Relaxed), 3);
+        assert!(pool.served() >= 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn pool_sessions_are_not_sticky() {
+        // One worker, many connections: every session is served, and the
+        // worker sees each session's own id (state can be keyed by it).
+        let (listener, connector) = pool_fabric::<u8, u64>(16, Duration::from_millis(100));
+        let mut handle = serve_pool(listener, 1, || {
+            |ev: PoolEvent<u8>, slot: ReplySlot<u64>| {
+                if let PoolEvent::Request { session, .. } = ev {
+                    slot.send(session)
+                }
+            }
+        });
+        let c1 = connector.connect().unwrap();
+        let c2 = connector.connect().unwrap();
+        let s1 = c1.call(0).unwrap();
+        let s2 = c2.call(0).unwrap();
+        assert_ne!(s1, s2, "each connection carries its own session id");
+        assert_eq!(c1.call(0).unwrap(), s1, "session id is stable per connection");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn pool_rejects_when_saturated() {
+        // Queue depth 1, one worker stuck processing: the first call
+        // occupies the worker, the second fills the queue, the third must
+        // be rejected with Overloaded within the admission timeout.
+        let (listener, connector) = pool_fabric::<u8, u8>(1, Duration::from_millis(40));
+        let pool = listener.pool_stats().clone();
+        let mut handle = serve_pool(listener, 1, || {
+            |ev: PoolEvent<u8>, slot: ReplySlot<u8>| {
+                if let PoolEvent::Request { req, .. } = ev {
+                    if req == 9 {
+                        thread::sleep(Duration::from_millis(300));
+                    }
+                    slot.send(req);
+                }
+            }
+        });
+        let conn = connector.connect().unwrap();
+        conn.post(9).unwrap(); // occupies the single worker
+        thread::sleep(Duration::from_millis(30));
+        conn.post(1).unwrap(); // fills the queue (depth 1)
+        let err = conn.call(2).unwrap_err();
+        assert_eq!(err, RpcError::Overloaded);
+        assert!(pool.rejects() >= 1, "admission rejects must be counted");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn pool_shutdown_drains_queue_and_joins_workers() {
+        struct Live(Arc<AtomicI64>);
+        impl Drop for Live {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let live = Arc::new(AtomicI64::new(0));
+        let served = Arc::new(AtomicU64::new(0));
+        let (listener, connector) = pool_fabric::<u8, u8>(64, Duration::from_millis(100));
+        let (l, s) = (live.clone(), served.clone());
+        let mut handle = serve_pool(listener, 2, move || {
+            l.fetch_add(1, Ordering::SeqCst);
+            let guard = Live(l.clone());
+            let s = s.clone();
+            move |ev: PoolEvent<u8>, slot: ReplySlot<u8>| {
+                let _ = &guard;
+                if let PoolEvent::Request { req, .. } = ev {
+                    s.fetch_add(1, Ordering::SeqCst);
+                    slot.send(req);
+                }
+            }
+        });
+        let conn = connector.connect().unwrap();
+        // Queue a burst of posts, then shut down immediately: the drain
+        // must serve everything already admitted before workers exit.
+        for i in 0..20 {
+            conn.post(i).unwrap();
+        }
+        handle.shutdown();
+        assert_eq!(live.load(Ordering::SeqCst), 0, "all workers joined");
+        assert_eq!(handle.live_threads(), 0);
+        assert_eq!(served.load(Ordering::SeqCst), 20, "queued requests served before exit");
+    }
+
+    #[test]
+    fn pool_hangup_reaches_handler() {
+        let hangups = Arc::new(AtomicU64::new(0));
+        let (listener, connector) = pool_fabric::<u8, u8>(16, Duration::from_millis(100));
+        let pool = listener.pool_stats().clone();
+        let h = hangups.clone();
+        let mut handle = serve_pool(listener, 1, move || {
+            let h = h.clone();
+            move |ev: PoolEvent<u8>, slot: ReplySlot<u8>| match ev {
+                PoolEvent::Request { req, .. } => slot.send(req),
+                PoolEvent::Hangup { .. } => {
+                    h.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        });
+        let conn = connector.connect().unwrap();
+        assert_eq!(conn.call(3).unwrap(), 3);
+        drop(conn);
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while hangups.load(Ordering::SeqCst) == 0 && std::time::Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(hangups.load(Ordering::SeqCst), 1, "drop must deliver a hangup event");
+        assert_eq!(pool.hangups(), 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn pool_no_rejects_below_capacity() {
+        let (listener, connector) = pool_fabric::<u8, u8>(32, Duration::from_millis(200));
+        let pool = listener.pool_stats().clone();
+        let mut handle = serve_pool(listener, 4, || {
+            |ev: PoolEvent<u8>, slot: ReplySlot<u8>| {
+                if let PoolEvent::Request { req, .. } = ev {
+                    slot.send(req)
+                }
+            }
+        });
+        let mut joins = Vec::new();
+        for t in 0..8u8 {
+            let connector = connector.clone();
+            joins.push(thread::spawn(move || {
+                let conn = connector.connect().unwrap();
+                for i in 0..50u8 {
+                    assert_eq!(conn.call(i.wrapping_add(t)).unwrap(), i.wrapping_add(t));
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(pool.rejects(), 0, "no rejects below capacity");
+        // The reply is sent from inside the handler, so a client can see
+        // its response a hair before the worker drops its busy guard.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while pool.busy() != 0 && std::time::Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(pool.busy(), 0, "busy gauge drains");
         handle.shutdown();
     }
 }

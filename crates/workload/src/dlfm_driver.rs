@@ -209,6 +209,7 @@ fn client_loop(
                 match conn.call(DlfmRequest::UpcallQuery { filename: path }) {
                     Ok(DlfmResponse::LinkState(_)) => Ok(OpClass::Select),
                     Ok(other) => Err(classify_other(&other)),
+                    Err(dlrpc::RpcError::Overloaded) => Err(Fail::Rejected),
                     Err(_) => Err(Fail::Error),
                 }
             }
@@ -237,6 +238,7 @@ fn client_loop(
             }
             Err(Fail::Deadlock) => report.deadlocks += 1,
             Err(Fail::Timeout) => report.timeouts += 1,
+            Err(Fail::Rejected) => report.rejects += 1,
             Err(Fail::Error) => report.errors += 1,
         }
         if config.think_time > Duration::ZERO {
@@ -259,6 +261,7 @@ enum OpClass {
 enum Fail {
     Deadlock,
     Timeout,
+    Rejected,
     Error,
 }
 
@@ -284,6 +287,7 @@ fn step(conn: &Conn, req: DlfmRequest) -> Result<DlfmResponse, Fail> {
     match conn.call(req) {
         Ok(DlfmResponse::Err(e)) => Err(classify(&e)),
         Ok(other) => Ok(other),
+        Err(dlrpc::RpcError::Overloaded) => Err(Fail::Rejected),
         Err(_) => Err(Fail::Error),
     }
 }

@@ -21,6 +21,8 @@ pub struct WorkloadReport {
     pub deadlocks: u64,
     /// Transactions rolled back by lock timeout.
     pub timeouts: u64,
+    /// Transactions rejected by admission control (pooled agent mode).
+    pub rejects: u64,
     /// Other failed transactions.
     pub errors: u64,
     /// Latency of committed transactions.
@@ -65,6 +67,7 @@ impl WorkloadReport {
         self.selects += other.selects;
         self.deadlocks += other.deadlocks;
         self.timeouts += other.timeouts;
+        self.rejects += other.rejects;
         self.errors += other.errors;
         self.latency.merge(&other.latency);
         self.elapsed = self.elapsed.max(other.elapsed);
@@ -74,7 +77,7 @@ impl WorkloadReport {
     pub fn summary(&self) -> String {
         format!(
             "{:.1}s: {} committed ({:.0} ins/min, {:.0} upd/min, {:.0} del/min), \
-             {} deadlocks, {} timeouts, {} errors, latency {}",
+             {} deadlocks, {} timeouts, {} rejects, {} errors, latency {}",
             self.elapsed.as_secs_f64(),
             self.committed(),
             self.inserts_per_min(),
@@ -82,6 +85,7 @@ impl WorkloadReport {
             self.per_minute(self.deletes),
             self.deadlocks,
             self.timeouts,
+            self.rejects,
             self.errors,
             self.latency.summary()
         )
