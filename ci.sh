@@ -13,6 +13,8 @@ step() { printf '\n==> %s\n' "$*"; }
 # E12 dedicated-vs-pooled agent sweep. Bench JSON summaries land in
 # target/ so the tree stays clean.
 smoke() {
+  step "fault-matrix smoke: seed slice of the fault-injection sweep"
+  FAULT_MATRIX_SEEDS=2 cargo test -q --offline -p datalinks --test fault_matrix
   step "commit-path smoke: e11_group_commit (tiny sweep)"
   RUN_SECS=0.2 CLIENTS=8 FORCE_MS=1 BENCH_METRICS=0 BENCH_JSON_DIR=target \
     cargo run -q --offline --release -p bench --bin e11_group_commit

@@ -96,9 +96,21 @@ impl ArchiveServer {
         &self.metrics
     }
 
-    /// Store a version. Idempotent per key (re-store overwrites).
-    pub fn store(&self, filename: &str, recovery_id: i64, content: &[u8], high_priority: bool) {
+    /// Store a version. Idempotent per key (re-store overwrites). Returns
+    /// `false` when the archive rejected the copy (injected I/O fault) —
+    /// callers must keep the source queued and retry later.
+    #[must_use = "a false return means the copy was NOT archived"]
+    pub fn store(
+        &self,
+        filename: &str,
+        recovery_id: i64,
+        content: &[u8],
+        high_priority: bool,
+    ) -> bool {
         self.pay_latency();
+        if obs::fault::fire("archive.store") {
+            return false;
+        }
         let key = VersionKey { filename: filename.to_string(), recovery_id };
         self.metrics.stores.fetch_add(1, Ordering::Relaxed);
         if high_priority {
@@ -107,6 +119,7 @@ impl ArchiveServer {
         self.objects
             .write()
             .insert(key.clone(), ArchivedObject { key, content: content.to_vec(), high_priority });
+        true
     }
 
     /// Is a version present?
@@ -181,8 +194,8 @@ mod tests {
     #[test]
     fn store_and_retrieve_exact_version() {
         let a = ArchiveServer::new();
-        a.store("/f", 10, b"v1", false);
-        a.store("/f", 20, b"v2", false);
+        assert!(a.store("/f", 10, b"v1", false));
+        assert!(a.store("/f", 20, b"v2", false));
         assert_eq!(a.retrieve("/f", 10).unwrap(), b"v1");
         assert_eq!(a.retrieve("/f", 20).unwrap(), b"v2");
         assert!(a.retrieve("/f", 15).is_none());
@@ -192,9 +205,9 @@ mod tests {
     #[test]
     fn retrieve_as_of_picks_latest_not_after() {
         let a = ArchiveServer::new();
-        a.store("/f", 10, b"v1", false);
-        a.store("/f", 20, b"v2", false);
-        a.store("/f", 30, b"v3", false);
+        assert!(a.store("/f", 10, b"v1", false));
+        assert!(a.store("/f", 20, b"v2", false));
+        assert!(a.store("/f", 30, b"v3", false));
         let (rid, content) = a.retrieve_as_of("/f", 25).unwrap();
         assert_eq!(rid, 20);
         assert_eq!(content, b"v2");
@@ -206,7 +219,7 @@ mod tests {
     #[test]
     fn delete_for_gc() {
         let a = ArchiveServer::new();
-        a.store("/f", 10, b"v1", false);
+        assert!(a.store("/f", 10, b"v1", false));
         assert!(a.delete("/f", 10));
         assert!(!a.delete("/f", 10));
         assert!(a.retrieve("/f", 10).is_none());
@@ -216,9 +229,9 @@ mod tests {
     #[test]
     fn versions_listing_sorted() {
         let a = ArchiveServer::new();
-        a.store("/f", 30, b"", false);
-        a.store("/f", 10, b"", false);
-        a.store("/g", 20, b"", false);
+        assert!(a.store("/f", 30, b"", false));
+        assert!(a.store("/f", 10, b"", false));
+        assert!(a.store("/g", 20, b"", false));
         assert_eq!(a.versions("/f"), vec![10, 30]);
         assert_eq!(a.versions("/g"), vec![20]);
         assert!(a.versions("/h").is_empty());
@@ -227,8 +240,8 @@ mod tests {
     #[test]
     fn priority_lane_counted() {
         let a = ArchiveServer::new();
-        a.store("/f", 1, b"", true);
-        a.store("/g", 2, b"", false);
+        assert!(a.store("/f", 1, b"", true));
+        assert!(a.store("/g", 2, b"", false));
         assert_eq!(a.metrics().stores.load(Ordering::Relaxed), 2);
         assert_eq!(a.metrics().priority_stores.load(Ordering::Relaxed), 1);
     }
@@ -240,7 +253,7 @@ mod tests {
         // different content may be linked and unlinked several times").
         let a = ArchiveServer::new();
         for (rid, content) in [(1, "a"), (5, "b"), (9, "c")] {
-            a.store("/report.doc", rid, content.as_bytes(), false);
+            assert!(a.store("/report.doc", rid, content.as_bytes(), false));
         }
         assert_eq!(a.versions("/report.doc").len(), 3);
         assert_eq!(a.retrieve_as_of("/report.doc", 6).unwrap().1, b"b");

@@ -13,7 +13,8 @@ use std::sync::Arc;
 use minidb::{Session, Value};
 
 use crate::api::{
-    AccessControl, DlfmError, DlfmRequest, DlfmResponse, DlfmResult, GroupSpec, LinkStatus,
+    AccessControl, DbErrorKind, DlfmError, DlfmRequest, DlfmResponse, DlfmResult, GroupSpec,
+    LinkStatus,
 };
 use crate::chown::encode_mode;
 use crate::meta::{FileEntry, G_DELETE_PENDING, G_NORMAL, LNK_LINKED, XS_INFLIGHT, XS_PREPARED};
@@ -55,10 +56,25 @@ impl SessionState {
     }
 
     /// Roll back whatever is open (the connection went away
-    /// mid-transaction).
-    fn abandon(&mut self) {
-        if self.cur.take().is_some() {
+    /// mid-transaction). Chunk-committed work is already hardened and a
+    /// plain rollback cannot undo it, so a chunked transaction also needs
+    /// its phase-2 abort here; when that fails the `dfm_xact` row stays
+    /// behind (counted, warned) and restart's presumed abort resolves it
+    /// in-doubt rather than leaking the hardened work.
+    fn abandon(&mut self, shared: &DlfmShared) {
+        if let Some(cur) = self.cur.take() {
             self.session.rollback();
+            if cur.chunked {
+                if let Err(e) = twopc::run_phase2_abort(shared, self.dbid, cur.xid) {
+                    DlfmMetrics::bump(&shared.metrics.phase2_abort_failures);
+                    obs::warn!(
+                        "dlfm::agent",
+                        "hangup abort of chunked xid#{} failed \
+                         (left in-doubt for restart/resolver): {e}",
+                        cur.xid
+                    );
+                }
+            }
         }
     }
 }
@@ -89,10 +105,10 @@ impl SessionTable {
 
     /// Drop `session`'s state (the client hung up), rolling back any open
     /// transaction — the connection-loss behaviour of a dedicated agent.
-    pub fn retire(&self, session: u64) {
+    pub fn retire(&self, shared: &DlfmShared, session: u64) {
         let state = self.states.lock().remove(&session);
         if let Some(state) = state {
-            state.lock().abandon();
+            state.lock().abandon(shared);
         }
     }
 
@@ -503,6 +519,17 @@ impl Exec<'_> {
         })();
         match result {
             Ok(()) => {
+                // Crash point: the prepare is locally hardened but the vote
+                // never reaches the coordinator — the classic in-doubt
+                // window the resolver must close after restart.
+                if obs::fault::fire("dlfm.prepare.crash_before_ack") {
+                    self.shared.db.crash();
+                    return Err(DlfmError::Db {
+                        msg: "injected: crashed after hardening prepare, before ack".into(),
+                        retryable: false,
+                        kind: DbErrorKind::Other,
+                    });
+                }
                 DlfmMetrics::bump(&self.shared.metrics.prepares);
                 Ok(DlfmResponse::Prepared { read_only: false })
             }
@@ -526,6 +553,17 @@ impl Exec<'_> {
             }
         }
         twopc::run_phase2_commit(self.shared, self.state.dbid, xid)?;
+        // Crash point: phase 2 completed locally but the Ok never reaches
+        // the coordinator, which must re-drive Commit on a later
+        // connection; the second delivery finds nothing left to do.
+        if obs::fault::fire("dlfm.phase2.crash_before_ack") {
+            self.shared.db.crash();
+            return Err(DlfmError::Db {
+                msg: "injected: crashed after phase-2 commit, before ack".into(),
+                retryable: false,
+                kind: DbErrorKind::Other,
+            });
+        }
         Ok(DlfmResponse::Ok)
     }
 

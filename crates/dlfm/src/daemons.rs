@@ -61,7 +61,13 @@ fn copy_pass(shared: &DlfmShared) -> DlfmResult<usize> {
         // Read the (now read-only) file; asynchronous copy is safe because
         // commit processing removed the write permission (§3.4).
         let content = shared.fs.read(&filename, &shared.config.dlfm_admin).unwrap_or_default();
-        shared.archive.store(&filename, rec_id, &content, priority > 0);
+        if !shared.archive.store(&filename, rec_id, &content, priority > 0) {
+            // Archive rejected the copy: keep the queue entry so the next
+            // pass retries it — dropping it here would lose the only
+            // record that this version still needs archiving.
+            obs::warn!("dlfm::daemons", "archive store of {filename} rejected, will retry");
+            continue;
+        }
         // Delete the queue entry in its own transaction: commit frequently,
         // never escalate (§4). Deadlocks with child agents inserting into
         // the same table are retried on the next pass.
@@ -111,14 +117,21 @@ pub fn spawn_group_delete_daemon(
     })
 }
 
-fn rescan(shared: &DlfmShared) -> DlfmResult<()> {
+/// One Delete-Group rescan pass: finds committed transactions whose
+/// deletion notification was lost (daemon exited, channel drop, crash) via
+/// the transaction table and processes them. Returns how many transactions
+/// it completed. Public so tests can drive the lost-notification recovery
+/// path deterministically.
+pub fn rescan(shared: &DlfmShared) -> DlfmResult<usize> {
     let mut s = Session::new(&shared.db);
     let rows =
         s.query("SELECT dbid, xid FROM dfm_xact WHERE state = 3 AND groups_deleted > 0", &[])?;
+    let mut processed = 0usize;
     for row in rows {
         process_deleted_groups(shared, row[0].as_int()?, row[1].as_int()?)?;
+        processed += 1;
     }
-    Ok(())
+    Ok(processed)
 }
 
 fn process_deleted_groups(shared: &DlfmShared, dbid: i64, xid: i64) -> DlfmResult<()> {

@@ -52,6 +52,16 @@ pub struct DlfmMetrics {
     /// Phase-2 attempts that hit a retryable local-database error and were
     /// retried (Figure 4's "retry until it succeeds").
     pub phase2_retries: AtomicU64,
+    /// Phase-2 operations abandoned at the retry-limit safety valve,
+    /// leaving the sub-transaction prepared for the resolver to re-drive.
+    pub phase2_abandoned: AtomicU64,
+    /// Phase-2 abort failures swallowed during session retirement/restart;
+    /// the sub-transaction stays in-doubt for the resolver.
+    pub phase2_abort_failures: AtomicU64,
+    /// Committed group-deletion notifications that could not be handed to
+    /// the Delete-Group daemon (daemon gone or injected drop); the work
+    /// stays in `dfm_xact` until a rescan picks it up.
+    pub groupd_notify_drops: AtomicU64,
     /// Chunked local commits issued inside long-running transactions.
     pub chunk_commits: AtomicU64,
     /// Files archived by the Copy daemon.
@@ -86,6 +96,9 @@ pub struct DlfmMetricsSnapshot {
     pub commits: u64,
     pub aborts: u64,
     pub phase2_retries: u64,
+    pub phase2_abandoned: u64,
+    pub phase2_abort_failures: u64,
+    pub groupd_notify_drops: u64,
     pub chunk_commits: u64,
     pub files_archived: u64,
     pub files_retrieved: u64,
@@ -117,6 +130,9 @@ impl DlfmMetrics {
             commits: self.commits.load(Ordering::Relaxed),
             aborts: self.aborts.load(Ordering::Relaxed),
             phase2_retries: self.phase2_retries.load(Ordering::Relaxed),
+            phase2_abandoned: self.phase2_abandoned.load(Ordering::Relaxed),
+            phase2_abort_failures: self.phase2_abort_failures.load(Ordering::Relaxed),
+            groupd_notify_drops: self.groupd_notify_drops.load(Ordering::Relaxed),
             chunk_commits: self.chunk_commits.load(Ordering::Relaxed),
             files_archived: self.files_archived.load(Ordering::Relaxed),
             files_retrieved: self.files_retrieved.load(Ordering::Relaxed),
@@ -142,6 +158,9 @@ impl DlfmMetricsSnapshot {
             commits: self.commits - earlier.commits,
             aborts: self.aborts - earlier.aborts,
             phase2_retries: self.phase2_retries - earlier.phase2_retries,
+            phase2_abandoned: self.phase2_abandoned - earlier.phase2_abandoned,
+            phase2_abort_failures: self.phase2_abort_failures - earlier.phase2_abort_failures,
+            groupd_notify_drops: self.groupd_notify_drops - earlier.groupd_notify_drops,
             chunk_commits: self.chunk_commits - earlier.chunk_commits,
             files_archived: self.files_archived - earlier.files_archived,
             files_retrieved: self.files_retrieved - earlier.files_retrieved,

@@ -173,7 +173,7 @@ impl DlfmServer {
                             let resp = agent::handle_request(&shared, &mut state, req);
                             slot.send(resp);
                         }
-                        PoolEvent::Hangup { session } => shared.sessions.retire(session),
+                        PoolEvent::Hangup { session } => shared.sessions.retire(&shared, session),
                     }
                 });
                 (connector, rpc)
@@ -241,6 +241,24 @@ impl DlfmServer {
             "Phase-2 attempts retried after a retryable local-database error (Figure 4).",
             &[],
             s.phase2_retries,
+        );
+        r.counter(
+            "dlfm_phase2_abandoned_total",
+            "Phase-2 operations abandoned at the retry limit, left prepared for the resolver.",
+            &[],
+            s.phase2_abandoned,
+        );
+        r.counter(
+            "dlfm_phase2_abort_failures_total",
+            "Phase-2 abort failures during session retirement/restart, left in-doubt.",
+            &[],
+            s.phase2_abort_failures,
+        );
+        r.counter(
+            "dlfm_groupd_notify_drops_total",
+            "Delete-group notifications dropped and deferred to the daemon rescan.",
+            &[],
+            s.groupd_notify_drops,
         );
         r.counter(
             "dlfm_chunk_commits_total",
@@ -453,13 +471,22 @@ impl DlfmServer {
         for row in inflight {
             let dbid = row[0].as_int()?;
             let xid = row[1].as_int()?;
-            let _ = twopc::run_phase2_abort(&self.shared, dbid, xid);
+            if let Err(e) = twopc::run_phase2_abort(&self.shared, dbid, xid) {
+                // Not silent: the xact row survives, so the next restart
+                // (or the host resolver's presumed abort) retries it.
+                DlfmMetrics::bump(&self.shared.metrics.phase2_abort_failures);
+                obs::warn!(
+                    "dlfm::server",
+                    "restart abort of in-flight db#{dbid} xid#{xid} failed \
+                     (left in-doubt for the resolver): {e}"
+                );
+            }
         }
         // Resume asynchronous group deletion for committed transactions.
         let pending = session
             .query("SELECT dbid, xid FROM dfm_xact WHERE state = 3 AND groups_deleted > 0", &[])?;
         for row in pending {
-            let _ = self.shared.groupd_tx.send((row[0].as_int()?, row[1].as_int()?));
+            twopc::notify_groupd(&self.shared, row[0].as_int()?, row[1].as_int()?);
         }
         Ok(())
     }

@@ -53,8 +53,7 @@ fn run_with_retry(
                     obs::debug!("dlfm::twopc", "phase-2 {what} succeeded after {retries} retries");
                 }
                 if let Some((dbid, xid)) = notify {
-                    // Hand committed group-deletion work to the daemon.
-                    let _ = shared.groupd_tx.send((dbid, xid));
+                    notify_groupd(shared, dbid, xid);
                 }
                 return Ok(retries);
             }
@@ -67,14 +66,23 @@ fn run_with_retry(
                 );
                 if retries as usize >= shared.config.commit_retry_limit {
                     span.fail();
+                    DlfmMetrics::bump(&shared.metrics.phase2_abandoned);
                     obs::error!(
                         "dlfm::twopc",
-                        "phase-2 {what} exceeded retry limit ({retries} attempts)"
+                        "phase-2 {what} abandoned at retry limit ({retries} attempts); \
+                         sub-transaction stays prepared for the resolver"
                     );
+                    // Do NOT report this as retryable: the decision is
+                    // final and nothing local changed. The sub-transaction
+                    // remains prepared/re-drivable; the coordinator's
+                    // resolver (or a restart) drives it to completion.
                     return Err(DlfmError::Db {
-                        msg: format!("phase-2 {what} exceeded retry limit"),
-                        retryable: true,
-                        kind: crate::api::DbErrorKind::LockTimeout,
+                        msg: format!(
+                            "phase-2 {what} abandoned after {retries} attempts; \
+                             sub-transaction remains prepared"
+                        ),
+                        retryable: false,
+                        kind: crate::api::DbErrorKind::Other,
                     });
                 }
                 std::thread::sleep(shared.config.commit_retry_backoff);
@@ -87,9 +95,34 @@ fn run_with_retry(
     }
 }
 
+/// Hand committed group-deletion work to the Delete-Group daemon. A drop
+/// (daemon exited, or the `dlfm.groupd.notify_drop` fault) is not silent:
+/// the `dfm_xact` row stays COMMITTED, so the daemon's periodic rescan —
+/// or the restart requeue — picks the work up, and the counter tells
+/// operators deletions are running on the slow path.
+pub(crate) fn notify_groupd(shared: &DlfmShared, dbid: i64, xid: i64) {
+    let dropped =
+        obs::fault::fire("dlfm.groupd.notify_drop") || shared.groupd_tx.send((dbid, xid)).is_err();
+    if dropped {
+        DlfmMetrics::bump(&shared.metrics.groupd_notify_drops);
+        obs::warn!(
+            "dlfm::twopc",
+            "delete-group notification dropped for db#{dbid} xid#{xid}; \
+             deferred to daemon rescan"
+        );
+    }
+}
+
 /// One commit attempt. Returns `Some((dbid, xid))` when the Delete-Group
 /// daemon must be notified after success.
 fn commit_attempt(shared: &DlfmShared, dbid: i64, xid: i64) -> DlfmResult<Option<(i64, i64)>> {
+    if obs::fault::fire("dlfm.phase2.deadlock") {
+        return Err(DlfmError::Db {
+            msg: "injected: phase-2 deadlock".into(),
+            retryable: true,
+            kind: crate::api::DbErrorKind::Deadlock,
+        });
+    }
     let stmts = shared.statements();
     let mut s = Session::new(&shared.db);
     s.begin()?;
@@ -167,12 +200,27 @@ fn commit_attempt(shared: &DlfmShared, dbid: i64, xid: i64) -> DlfmResult<Option
             s.exec_prepared(&stmts.del_xact, &[Value::Int(dbid), Value::Int(xid)])?;
         }
     }
+    // Crash point for the worst 2PC window: the file system already shows
+    // the takeover, but the local link-state commit has not happened. The
+    // session's work is lost with the crash; recovery must re-drive this
+    // commit (idempotently repeating the takeover) or the file would be
+    // owned by the DLFM with no committed link state behind it.
+    if obs::fault::fire("dlfm.phase2.crash_after_takeover") {
+        shared.db.crash();
+    }
     s.commit()?;
     Ok(notify)
 }
 
 /// One abort attempt: undo hardened work with the delayed-update scheme.
 fn abort_attempt(shared: &DlfmShared, dbid: i64, xid: i64) -> DlfmResult<Option<(i64, i64)>> {
+    if obs::fault::fire("dlfm.phase2.deadlock") {
+        return Err(DlfmError::Db {
+            msg: "injected: phase-2 deadlock".into(),
+            retryable: true,
+            kind: crate::api::DbErrorKind::Deadlock,
+        });
+    }
     let stmts = shared.statements();
     let mut s = Session::new(&shared.db);
     s.begin()?;

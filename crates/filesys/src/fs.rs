@@ -237,6 +237,9 @@ impl FileSystem {
     /// the daemon runs as root, paper §3.5).
     pub fn chown(&self, path: &str, owner: &str, group: &str) -> FsResult<()> {
         let path = Self::normalize(path)?;
+        if obs::fault::fire("fs.chown") {
+            return Err(FsError::PermissionDenied { path, op: "injected: chown".into() });
+        }
         let mut files = self.files.write();
         let f = files.get_mut(&path).ok_or_else(|| FsError::NotFound(path.clone()))?;
         f.meta.owner = owner.to_string();
@@ -247,6 +250,9 @@ impl FileSystem {
     /// Change permission bits (Chown-daemon privilege).
     pub fn chmod(&self, path: &str, mode: Mode) -> FsResult<()> {
         let path = Self::normalize(path)?;
+        if obs::fault::fire("fs.chmod") {
+            return Err(FsError::PermissionDenied { path, op: "injected: chmod".into() });
+        }
         let mut files = self.files.write();
         let f = files.get_mut(&path).ok_or_else(|| FsError::NotFound(path.clone()))?;
         f.meta.mode = mode;

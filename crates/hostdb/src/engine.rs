@@ -741,11 +741,34 @@ impl HostSession {
         // Phase 1: prepare every touched DLFM.
         let mut participants = Vec::new();
         for server in &txn.touched {
-            let conn = self.conn(server)?;
-            match conn.call(DlfmRequest::Prepare { xid })? {
-                DlfmResponse::Prepared { read_only: false } => participants.push(server.clone()),
-                DlfmResponse::Prepared { read_only: true } => {}
-                DlfmResponse::Err(e) => {
+            let vote =
+                self.conn(server).and_then(|conn| Ok(conn.call(DlfmRequest::Prepare { xid })?));
+            match vote {
+                Ok(DlfmResponse::Prepared { read_only: false }) => {
+                    participants.push(server.clone())
+                }
+                Ok(DlfmResponse::Prepared { read_only: true }) => {}
+                Err(e) => {
+                    // Transport failure: the vote is unknown, so abort
+                    // globally like a vote of "no". Skipping the global
+                    // abort here would leave every participant — including
+                    // this one, if the prepare never reached it — with an
+                    // open forward transaction holding locks, parked behind
+                    // a pooled connection. (A prepare that did land is
+                    // covered by presumed abort: no commit record exists.)
+                    self.host.inner.metrics.prepare_failures.fetch_add(1, Ordering::Relaxed);
+                    span.fail();
+                    obs::warn!(
+                        "hostdb::twopc",
+                        "prepare transport failure on {server} for xid {xid}, \
+                         aborting globally: {e}"
+                    );
+                    self.abort_everywhere(&txn);
+                    self.session.rollback();
+                    self.host.inner.metrics.rollbacks.fetch_add(1, Ordering::Relaxed);
+                    return Err(e);
+                }
+                Ok(DlfmResponse::Err(e)) => {
                     // Global abort: tell everyone (even already-prepared
                     // participants) and roll back locally (paper §3.3).
                     self.host.inner.metrics.prepare_failures.fetch_add(1, Ordering::Relaxed);
@@ -762,7 +785,7 @@ impl HostSession {
                         reason: e.to_string(),
                     });
                 }
-                other => {
+                Ok(other) => {
                     span.fail();
                     self.abort_everywhere(&txn);
                     self.session.rollback();

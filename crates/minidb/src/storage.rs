@@ -294,6 +294,9 @@ impl Storage {
         id: TableId,
         f: impl FnOnce(&mut TableData) -> R,
     ) -> DbResult<R> {
+        if obs::fault::fire("minidb.storage.write") {
+            return Err(DbError::Internal("injected: storage write I/O error".into()));
+        }
         let tables = self.tables.read();
         let t = tables
             .get(&id)

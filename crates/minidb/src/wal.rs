@@ -199,6 +199,9 @@ impl Wal {
     /// Append a record for `txn`. Fails with `LogFull` when the active
     /// window would exceed capacity.
     pub fn append(&self, txn: TxnId, payload: LogPayload) -> DbResult<Appended> {
+        if obs::fault::fire("minidb.wal.append") {
+            return Err(DbError::Internal("injected: wal append I/O error".into()));
+        }
         let is_terminal = matches!(payload, LogPayload::Commit | LogPayload::Abort);
         if matches!(payload, LogPayload::Commit) {
             self.commits.fetch_add(1, Ordering::Relaxed);

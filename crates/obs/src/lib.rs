@@ -13,7 +13,10 @@
 //!   histograms in the Prometheus text exposition format;
 //! * [`log`](crate::logging) — leveled event logging to stderr
 //!   (`error!`/`warn!`/`info!`/`debug!`), filterable with the `DLFM_LOG`
-//!   environment variable, prefixed with the current trace id.
+//!   environment variable, prefixed with the current trace id;
+//! * [`fault`] — deterministic, seeded fault injection: named fault
+//!   points threaded through WAL, storage, RPC, filesys, and 2PC code,
+//!   zero-cost when disabled, replayable from a seed when armed.
 //!
 //! The paper's lessons (§3.2.1, §4) were found in production telemetry;
 //! this crate is what lets the reproduction see the same pathologies —
@@ -21,11 +24,13 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod hist;
 pub mod logging;
 pub mod registry;
 pub mod trace;
 
+pub use fault::{FaultGuard, Trigger};
 pub use hist::{Histogram, Report};
 pub use registry::Registry;
 pub use trace::{

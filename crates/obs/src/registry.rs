@@ -85,33 +85,103 @@ impl Registry {
     }
 }
 
+/// One `name{labels} value` sample parsed back out of exposition text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name, without the label set.
+    pub name: String,
+    /// The raw `{...}` label block, or empty when the sample has none.
+    pub labels: String,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// Parse a single exposition line into a [`Sample`].
+///
+/// Returns `None` for anything that is not a well-formed sample: comments
+/// (`# HELP`/`# TYPE`), blank lines, lines with no space-separated value,
+/// unparseable values, bad metric names, or unbalanced label braces.
+/// Scrapers must tolerate such lines rather than die on them.
+pub fn parse_line(line: &str) -> Option<Sample> {
+    let line = line.trim_end();
+    if line.is_empty() || line.starts_with('#') {
+        return None;
+    }
+    let (metric, value) = line.rsplit_once(' ')?;
+    let value: f64 = value.parse().ok()?;
+    let name_end = metric.find('{').unwrap_or(metric.len());
+    let name = &metric[..name_end];
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':') {
+        return None;
+    }
+    let labels = &metric[name_end..];
+    if !(labels.is_empty() || (labels.starts_with('{') && labels.ends_with('}'))) {
+        return None;
+    }
+    Some(Sample { name: name.to_string(), labels: labels.to_string(), value })
+}
+
+/// Parse every well-formed sample out of exposition text, silently
+/// skipping comments, blanks, and malformed lines.
+pub fn parse_samples(text: &str) -> Vec<Sample> {
+    text.lines().filter_map(parse_line).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    /// A minimal Prometheus text-format line check: every non-comment,
-    /// non-blank line must be `name{labels}? value` with a parseable
-    /// float value and balanced braces.
+    /// Every non-comment, non-blank line the registry renders must parse
+    /// back as a sample — the renderer should never emit a line a scraper
+    /// would have to skip.
     pub fn assert_parseable(text: &str) {
         for line in text.lines() {
-            if line.is_empty() || line.starts_with('#') {
+            if line.trim_end().is_empty() || line.starts_with('#') {
                 continue;
             }
-            let (name_part, value) =
-                line.rsplit_once(' ').unwrap_or_else(|| panic!("no value in {line:?}"));
-            assert!(value.parse::<f64>().is_ok(), "unparseable value {value:?} in {line:?}");
-            let metric = name_part;
-            let name_end = metric.find('{').unwrap_or(metric.len());
-            let name = &metric[..name_end];
-            assert!(
-                !name.is_empty()
-                    && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
-                "bad metric name in {line:?}"
-            );
-            if name_end < metric.len() {
-                assert!(metric.ends_with('}'), "unbalanced braces in {line:?}");
-            }
+            assert!(parse_line(line).is_some(), "rendered unparseable sample line {line:?}");
         }
+    }
+
+    #[test]
+    fn parse_line_accepts_samples_and_skips_everything_else() {
+        // Well-formed samples, with and without labels.
+        let s = parse_line("dlfm_ops_total{op=\"link\"} 9").unwrap();
+        assert_eq!(
+            s,
+            Sample { name: "dlfm_ops_total".into(), labels: "{op=\"link\"}".into(), value: 9.0 }
+        );
+        let s = parse_line("rpc_in_flight 3").unwrap();
+        assert_eq!(s.name, "rpc_in_flight");
+        assert!(s.labels.is_empty());
+        let s = parse_line("op_latency_micros_bucket{op=\"link\",le=\"+Inf\"} 4").unwrap();
+        assert_eq!(s.value, 4.0);
+
+        // Comments, blanks, and malformed lines are skipped, not panicked on.
+        assert_eq!(parse_line("# HELP dlfm_ops_total Ops by kind."), None);
+        assert_eq!(parse_line("# TYPE op_latency_micros histogram"), None);
+        assert_eq!(parse_line(""), None);
+        assert_eq!(parse_line("   "), None);
+        assert_eq!(parse_line("lonely_token_without_a_value"), None);
+        assert_eq!(parse_line("dlfm_ops_total not_a_number"), None);
+        assert_eq!(parse_line("bad-metric-name 1"), None);
+        assert_eq!(parse_line("unbalanced{op=\"link\" 1"), None);
+    }
+
+    #[test]
+    fn parse_samples_survives_a_mixed_scrape() {
+        let text = "# HELP dlfm_links_total Files linked.\n\
+                    # TYPE dlfm_links_total counter\n\
+                    dlfm_links_total 17\n\
+                    \n\
+                    garbage_line_without_value\n\
+                    op_latency_micros_bucket{le=\"10\"} 1\n\
+                    op_latency_micros_sum 505055\n";
+        let samples = parse_samples(text);
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0].name, "dlfm_links_total");
+        assert_eq!(samples[0].value, 17.0);
+        assert_eq!(samples[1].labels, "{le=\"10\"}");
     }
 
     #[test]

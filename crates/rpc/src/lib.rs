@@ -197,6 +197,10 @@ pub struct ClientConn<Req, Resp> {
     stats: Arc<RpcStats>,
     session: u64,
     admission: Option<Admission>,
+    /// Set once the `rpc.call.disconnect` fault fires: the endpoint then
+    /// behaves like a real peer disconnect (server saw a hangup, every
+    /// later use fails) instead of a one-off error on a healthy channel.
+    severed: AtomicBool,
 }
 
 impl<Req, Resp> ClientConn<Req, Resp> {
@@ -207,6 +211,29 @@ impl<Req, Resp> ClientConn<Req, Resp> {
     /// The fabric-assigned session id of this connection.
     pub fn session(&self) -> u64 {
         self.session
+    }
+
+    /// Tear the connection down as an injected disconnect: notify the
+    /// server exactly like a dropped client (so it retires the session's
+    /// state — open transactions roll back, locks release) and make every
+    /// later use of this endpoint fail with [`RpcError::Disconnected`].
+    fn sever(&self) {
+        if !self.severed.swap(true, Ordering::Relaxed) {
+            let env = Envelope::<Req, Resp> {
+                payload: Payload::Hangup,
+                reply: None,
+                ctx: None,
+                session: self.session,
+            };
+            let _ = match &self.admission {
+                None => self.tx.send(env).is_ok(),
+                Some(adm) => self.tx.send_timeout(env, adm.timeout).is_ok(),
+            };
+        }
+    }
+
+    fn is_severed(&self) -> bool {
+        self.severed.load(Ordering::Relaxed)
     }
 
     /// Send one envelope, applying admission control in pooled mode.
@@ -227,15 +254,53 @@ impl<Req, Resp> ClientConn<Req, Resp> {
     /// Synchronous call: blocks until the agent receives the request
     /// *and* sends the response. In pooled mode the enqueue is bounded by
     /// the admission timeout and may fail with [`RpcError::Overloaded`].
-    pub fn call(&self, req: Req) -> Result<Resp, RpcError> {
+    ///
+    /// Fault points (`obs::fault`, no-ops unless a test arms them):
+    /// `rpc.call.disconnect` severs the connection for good — the server
+    /// observes a hangup (and rolls the session back) and every later use
+    /// of this endpoint fails; `rpc.call.overloaded` fails the call
+    /// before the send; `rpc.call.drop` loses the request on the wire
+    /// (the server never sees it, the caller observes a timeout);
+    /// `rpc.call.delay` stalls delivery; `rpc.call.duplicate` delivers
+    /// the request twice — the caller takes the first response, which is
+    /// exactly how a retried-after-lost-ack message looks to the server.
+    pub fn call(&self, req: Req) -> Result<Resp, RpcError>
+    where
+        Req: Clone,
+    {
         let mut span = trace::span(Layer::Rpc, "call");
         self.stats.calls.fetch_add(1, Ordering::Relaxed);
         let _in_flight = GaugeGuard::enter(&self.stats.in_flight);
-        let (rtx, rrx) = bounded(1);
+        if self.is_severed() || obs::fault::fire("rpc.call.disconnect") {
+            self.sever();
+            span.fail();
+            return Err(RpcError::Disconnected);
+        }
+        if obs::fault::fire("rpc.call.overloaded") {
+            span.fail();
+            return Err(RpcError::Overloaded);
+        }
+        if obs::fault::fire("rpc.call.drop") {
+            span.fail();
+            return Err(RpcError::Timeout);
+        }
+        if obs::fault::fire("rpc.call.delay") {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // The duplicate's reply needs buffer space: the agent serves both
+        // deliveries, and its second ReplySlot::send must never block on a
+        // caller that already returned with the first response.
+        let duplicate = obs::fault::fire("rpc.call.duplicate");
+        let (rtx, rrx) = bounded(if duplicate { 2 } else { 1 });
+        let dup_env =
+            duplicate.then(|| self.envelope(Payload::Request(req.clone()), Some(rtx.clone())));
         let env = self.envelope(Payload::Request(req), Some(rtx));
         if let Err(e) = self.send_env(env) {
             span.fail();
             return Err(e);
+        }
+        if let Some(env) = dup_env {
+            let _ = self.send_env(env);
         }
         rrx.recv().map_err(|_| {
             span.fail();
@@ -250,6 +315,10 @@ impl<Req, Resp> ClientConn<Req, Resp> {
         let mut span = trace::span(Layer::Rpc, "call_timeout");
         self.stats.calls.fetch_add(1, Ordering::Relaxed);
         let _in_flight = GaugeGuard::enter(&self.stats.in_flight);
+        if self.is_severed() {
+            span.fail();
+            return Err(RpcError::Disconnected);
+        }
         let (rtx, rrx) = bounded(1);
         let env = self.envelope(Payload::Request(req), Some(rtx));
         let sent = {
@@ -279,6 +348,9 @@ impl<Req, Resp> ClientConn<Req, Resp> {
     /// commit mode of §4).
     pub fn post(&self, req: Req) -> Result<(), RpcError> {
         self.stats.posts.fetch_add(1, Ordering::Relaxed);
+        if self.is_severed() {
+            return Err(RpcError::Disconnected);
+        }
         let env = self.envelope(Payload::Request(req), None);
         self.send_env(env)
     }
@@ -295,7 +367,11 @@ impl<Req, Resp> Drop for ClientConn<Req, Resp> {
         // a per-connection channel close: send an explicit hangup so it can
         // retire this session's state. Best-effort — if the queue stays
         // full past the admission timeout the state lingers until the
-        // server sweeps it.
+        // server sweeps it. A severed connection already delivered its
+        // hangup.
+        if self.is_severed() {
+            return;
+        }
         if let Some(adm) = &self.admission {
             let env = Envelope {
                 payload: Payload::Hangup,
@@ -448,13 +524,20 @@ impl<Req, Resp> Connector<Req, Resp> {
                 // receives.
                 let (tx, rx) = bounded(0);
                 ctx.send(ServerConn { rx }).map_err(|_| RpcError::Disconnected)?;
-                Ok(ClientConn { tx, stats: self.stats.clone(), session, admission: None })
+                Ok(ClientConn {
+                    tx,
+                    stats: self.stats.clone(),
+                    session,
+                    admission: None,
+                    severed: AtomicBool::new(false),
+                })
             }
             ConnectorMode::Pooled { tx, pool, admission_timeout } => Ok(ClientConn {
                 tx: tx.clone(),
                 stats: self.stats.clone(),
                 session,
                 admission: Some(Admission { timeout: *admission_timeout, pool: pool.clone() }),
+                severed: AtomicBool::new(false),
             }),
         }
     }

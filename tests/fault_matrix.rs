@@ -1,0 +1,564 @@
+//! Deterministic fault-injection matrix (`obs::fault`): sweep seeds ×
+//! fault points across the full host⇄DLFM stack and assert the paper's
+//! §3.3/§4 guarantees hold under injected RPC loss, duplicated delivery,
+//! phase-2 deadlock storms, file-system permission failures, storage I/O
+//! errors, and crashes at every 2PC boundary:
+//!
+//! * no acknowledged commit is ever lost;
+//! * every in-doubt sub-transaction is resolved by the resolver (commit
+//!   decisions re-driven, the rest presumed abort);
+//! * phase-2 commit/abort are idempotent under duplicated RPC delivery
+//!   and mid-attempt crashes;
+//! * no file is left taken-over without a matching committed link state.
+//!
+//! Each bug fixed alongside this harness has a pinned regression test
+//! here that fails if the fix is reverted.
+//!
+//! The fault registry is process-global, so every test takes `SERIAL`.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use datalinks::{dlfm, Deployment};
+use dlfm::{DlfmRequest, DlfmResponse};
+use minidb::{Session, Value};
+use obs::fault::{self, Trigger};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct Driver {
+    dep: Deployment,
+    grp_id: i64,
+}
+
+impl Driver {
+    fn new() -> Driver {
+        Driver::with_config(dlfm::DlfmConfig::for_tests())
+    }
+
+    fn with_config(config: dlfm::DlfmConfig) -> Driver {
+        let dep = Deployment::new("fs1", config, hostdb::HostConfig::for_tests());
+        let mut s = dep.host.session();
+        s.create_table(
+            "CREATE TABLE t (id BIGINT NOT NULL, doc DATALINK)",
+            &[hostdb::DatalinkSpec {
+                column: "doc".into(),
+                access: dlfm::AccessControl::Full,
+                recovery: true,
+            }],
+        )
+        .unwrap();
+        let grp_id = dep.host.dl_column("t", "doc").unwrap().grp_id;
+        Driver { dep, grp_id }
+    }
+
+    fn conn(&self) -> dlrpc::ClientConn<DlfmRequest, DlfmResponse> {
+        let c = self.dep.dlfm.connector().connect().unwrap();
+        c.call(DlfmRequest::Connect { dbid: self.dep.host.dbid() }).unwrap();
+        c
+    }
+
+    fn link(
+        &self,
+        conn: &dlrpc::ClientConn<DlfmRequest, DlfmResponse>,
+        xid: i64,
+        path: &str,
+    ) -> DlfmResponse {
+        if !self.dep.fs.exists(path) {
+            self.dep.fs.create(path, "u", b"x").unwrap();
+        }
+        conn.call(DlfmRequest::LinkFile {
+            xid,
+            rec_id: self.dep.host.next_rec_id(),
+            grp_id: self.grp_id,
+            filename: path.into(),
+            in_backout: false,
+        })
+        .unwrap()
+    }
+
+    fn count(&self, sql: &str) -> i64 {
+        let mut s = Session::new(self.dep.dlfm.db());
+        s.query_int(sql, &[]).unwrap()
+    }
+
+    fn linked_count(&self) -> i64 {
+        self.count("SELECT COUNT(*) FROM dfm_file WHERE lnk_state = 1")
+    }
+
+    fn xact_count(&self) -> i64 {
+        self.count("SELECT COUNT(*) FROM dfm_xact")
+    }
+
+    fn is_linked(&self, path: &str) -> bool {
+        let mut s = Session::new(self.dep.dlfm.db());
+        s.query_int(
+            "SELECT COUNT(*) FROM dfm_file WHERE filename = ? AND lnk_state = 1",
+            &[Value::str(path.to_string())],
+        )
+        .unwrap()
+            > 0
+    }
+
+    fn owner(&self, path: &str) -> String {
+        self.dep.fs.stat(path).unwrap().owner
+    }
+
+    /// Run the resolver until no in-doubt work remains. Abandoned agent
+    /// sessions may briefly hold locks while their threads wind down, so
+    /// the resolver is retried on a deadline rather than asserted once.
+    fn resolve_until_clean(&self) {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let resolved = self.dep.host.resolve_indoubts();
+            let mut s = Session::new(self.dep.dlfm.db());
+            if let (Ok(_), Ok(0)) = (resolved, s.query_int("SELECT COUNT(*) FROM dfm_xact", &[])) {
+                return;
+            }
+            assert!(Instant::now() < deadline, "in-doubt work failed to drain");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Seed sweep: probabilistic faults over the full stack, then heal and
+// check the paper's invariants.
+// ---------------------------------------------------------------------
+
+/// Expected converged link state of a path: `Some(linked?)` after an
+/// acknowledged operation; `None` once an operation on it failed (its
+/// decision may still be re-driven either way, so both outcomes are
+/// legal — only the global invariants apply).
+type Expectations = HashMap<String, Option<bool>>;
+
+fn sweep_one_seed(seed: u64) {
+    let d = Driver::new();
+    let guard = fault::install_guarded(
+        seed,
+        &[
+            ("rpc.call.drop", Trigger::Probability(0.06)),
+            ("rpc.call.delay", Trigger::Probability(0.15)),
+            ("rpc.call.duplicate", Trigger::Probability(0.08)),
+            ("rpc.call.disconnect", Trigger::Probability(0.03)),
+            ("rpc.call.overloaded", Trigger::Probability(0.03)),
+            ("dlfm.phase2.deadlock", Trigger::Probability(0.25)),
+            ("fs.chown", Trigger::Probability(0.08)),
+        ],
+    );
+
+    let mut expect: Expectations = HashMap::new();
+    // Phase A: link a batch of files, one host transaction each.
+    for i in 0..8i64 {
+        let path = format!("/f{i}");
+        d.dep.fs.create(&path, "u", b"x").unwrap();
+        let mut s = d.dep.host.session();
+        let acked = s
+            .exec_params(
+                "INSERT INTO t (id, doc) VALUES (?, ?)",
+                &[Value::Int(i), Value::str(d.dep.url(&path))],
+            )
+            .is_ok();
+        expect.insert(path, if acked { Some(true) } else { None });
+    }
+    // Phase B: unlink half of the successfully linked ones.
+    for i in 0..4i64 {
+        let path = format!("/f{i}");
+        if expect[&path] != Some(true) {
+            continue;
+        }
+        let mut s = d.dep.host.session();
+        let acked = s.exec_params("DELETE FROM t WHERE id = ?", &[Value::Int(i)]).is_ok();
+        expect.insert(path, if acked { Some(false) } else { None });
+    }
+
+    // Heal: disarm every fault and let the resolver finish what's left.
+    drop(guard);
+    d.resolve_until_clean();
+
+    // Invariant: acknowledged outcomes are never lost.
+    let mut host = d.dep.host.session();
+    for (path, state) in &expect {
+        match state {
+            Some(true) => {
+                assert!(d.is_linked(path), "seed {seed}: acked link of {path} lost");
+                assert_eq!(d.owner(path), "dlfm_admin", "seed {seed}: {path} not taken over");
+                let id: i64 = path.trim_start_matches("/f").parse().unwrap();
+                assert_eq!(
+                    host.query_int("SELECT COUNT(*) FROM t WHERE id = ?", &[Value::Int(id)])
+                        .unwrap(),
+                    1,
+                    "seed {seed}: acked host row {id} lost"
+                );
+            }
+            Some(false) => {
+                assert!(!d.is_linked(path), "seed {seed}: acked unlink of {path} lost");
+                assert_eq!(d.owner(path), "u", "seed {seed}: {path} not released");
+            }
+            None => {} // outcome legitimately unknown; global checks below
+        }
+    }
+
+    // Invariant: nothing stays in-doubt, and a file is owned by the DLFM
+    // admin if and only if a committed linked entry backs it.
+    assert_eq!(d.xact_count(), 0, "seed {seed}: in-doubt sub-transactions remain");
+    for path in d.dep.fs.list("/") {
+        let linked = d.is_linked(&path);
+        let owner = d.owner(&path);
+        assert_eq!(
+            owner == "dlfm_admin",
+            linked,
+            "seed {seed}: {path} owner={owner} linked={linked} — takeover without \
+             committed link state (or the reverse)"
+        );
+    }
+}
+
+#[test]
+fn seed_sweep_preserves_commit_and_takeover_invariants() {
+    let _s = serial();
+    let seeds: u64 =
+        std::env::var("FAULT_MATRIX_SEEDS").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
+    for seed in 0..seeds {
+        sweep_one_seed(seed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Crash points at the 2PC boundaries (targeted, nth-hit triggers).
+// ---------------------------------------------------------------------
+
+#[test]
+fn crash_after_prepare_before_ack_resolves_by_presumed_abort() {
+    let _s = serial();
+    let d = Driver::new();
+    d.dep.fs.create("/p", "u", b"x").unwrap();
+    let _g = fault::install_guarded(1, &[("dlfm.prepare.crash_before_ack", Trigger::Nth(1))]);
+
+    // The DLFM hardens the prepare, then crashes before the vote reaches
+    // the coordinator: the host sees a failed prepare and aborts globally.
+    let mut s = d.dep.host.session();
+    let err =
+        s.exec_params("INSERT INTO t (id, doc) VALUES (1, ?)", &[Value::str(d.dep.url("/p"))]);
+    assert!(err.is_err(), "prepare crashed; the commit must not be acknowledged");
+    assert_eq!(fault::fires("dlfm.prepare.crash_before_ack"), 1);
+
+    fault::clear();
+    d.dep.dlfm.restart().unwrap();
+    // The hardened prepare survived the crash as an in-doubt entry; with
+    // no commit record the resolver presumed-aborts it.
+    d.resolve_until_clean();
+    assert_eq!(d.linked_count(), 0);
+    assert_eq!(d.owner("/p"), "u");
+    let mut s2 = d.dep.host.session();
+    assert_eq!(s2.query_int("SELECT COUNT(*) FROM t", &[]).unwrap(), 0);
+}
+
+#[test]
+fn crash_between_takeover_and_local_commit_redrives_the_acked_commit() {
+    let _s = serial();
+    let d = Driver::new();
+    d.dep.fs.create("/w", "u", b"x").unwrap();
+    let _g = fault::install_guarded(1, &[("dlfm.phase2.crash_after_takeover", Trigger::Nth(1))]);
+
+    // The commit decision is durable before phase 2, so the host
+    // acknowledges this commit even though the DLFM crashed with the file
+    // taken over and no committed link state behind it — the worst
+    // window the re-drive must close.
+    let mut s = d.dep.host.session();
+    s.exec_params("INSERT INTO t (id, doc) VALUES (1, ?)", &[Value::str(d.dep.url("/w"))]).unwrap();
+    drop(s);
+    assert_eq!(fault::fires("dlfm.phase2.crash_after_takeover"), 1);
+    assert_eq!(d.owner("/w"), "dlfm_admin", "takeover precedes the crashed local commit");
+
+    fault::clear();
+    d.dep.dlfm.restart().unwrap();
+    d.resolve_until_clean();
+    assert!(d.is_linked("/w"), "acknowledged commit was lost");
+    assert_eq!(d.owner("/w"), "dlfm_admin");
+}
+
+#[test]
+fn crash_after_phase2_commit_before_ack_is_idempotent_on_redrive() {
+    let _s = serial();
+    let d = Driver::new();
+    d.dep.fs.create("/c", "u", b"x").unwrap();
+    let _g = fault::install_guarded(1, &[("dlfm.phase2.crash_before_ack", Trigger::Nth(1))]);
+
+    // Phase 2 completes locally; the crash eats the acknowledgement.
+    let mut s = d.dep.host.session();
+    s.exec_params("INSERT INTO t (id, doc) VALUES (1, ?)", &[Value::str(d.dep.url("/c"))]).unwrap();
+    drop(s);
+    assert_eq!(fault::fires("dlfm.phase2.crash_before_ack"), 1);
+
+    fault::clear();
+    d.dep.dlfm.restart().unwrap();
+    // The completed phase 2 was durable; any re-driven commit is a no-op.
+    d.resolve_until_clean();
+    let conn = d.conn();
+    assert_eq!(conn.call(DlfmRequest::Commit { xid: 0 }).unwrap(), DlfmResponse::Ok);
+    assert!(d.is_linked("/c"));
+    assert_eq!(d.owner("/c"), "dlfm_admin");
+    assert_eq!(d.xact_count(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Duplicate RPC delivery of phase-2 requests (satellite: idempotence is
+// claimed in twopc.rs docs but was never exercised).
+// ---------------------------------------------------------------------
+
+#[test]
+fn duplicate_commit_delivery_is_idempotent() {
+    let _s = serial();
+    let d = Driver::new();
+    let conn = d.conn();
+    let xid = d.dep.host.next_xid();
+    assert_eq!(d.link(&conn, xid, "/dup"), DlfmResponse::Ok);
+    assert_eq!(
+        conn.call(DlfmRequest::Prepare { xid }).unwrap(),
+        DlfmResponse::Prepared { read_only: false }
+    );
+
+    // The very next call — Commit — is delivered twice; the agent runs
+    // phase 2 twice back-to-back, exactly like a retry after a lost ack.
+    let _g = fault::install_guarded(7, &[("rpc.call.duplicate", Trigger::Nth(1))]);
+    assert_eq!(conn.call(DlfmRequest::Commit { xid }).unwrap(), DlfmResponse::Ok);
+    fault::clear();
+
+    assert_eq!(d.linked_count(), 1, "duplicated commit must not double-apply");
+    assert_eq!(d.xact_count(), 0);
+    assert_eq!(d.owner("/dup"), "dlfm_admin");
+}
+
+#[test]
+fn duplicate_abort_delivery_is_idempotent() {
+    let _s = serial();
+    let d = Driver::new();
+    let conn = d.conn();
+    let xid = d.dep.host.next_xid();
+    assert_eq!(d.link(&conn, xid, "/dab"), DlfmResponse::Ok);
+    conn.call(DlfmRequest::Prepare { xid }).unwrap();
+
+    let _g = fault::install_guarded(7, &[("rpc.call.duplicate", Trigger::Nth(1))]);
+    assert_eq!(conn.call(DlfmRequest::Abort { xid }).unwrap(), DlfmResponse::Ok);
+    fault::clear();
+
+    assert_eq!(d.linked_count(), 0, "duplicated abort must not double-apply");
+    assert_eq!(d.xact_count(), 0);
+    assert_eq!(d.owner("/dab"), "u", "aborted link leaves the file untouched");
+}
+
+// ---------------------------------------------------------------------
+// Storage-layer faults: WAL append and heap write errors fail the
+// operation cleanly and the retry succeeds.
+// ---------------------------------------------------------------------
+
+#[test]
+fn wal_append_fault_fails_the_link_cleanly() {
+    let _s = serial();
+    let d = Driver::new();
+    let conn = d.conn();
+    let xid = d.dep.host.next_xid();
+    d.dep.fs.create("/wal", "u", b"x").unwrap();
+
+    let g = fault::install_guarded(3, &[("minidb.wal.append", Trigger::Always)]);
+    let resp = d.link(&conn, xid, "/wal");
+    assert!(matches!(resp, DlfmResponse::Err(_)), "wal fault must surface, got {resp:?}");
+    drop(g);
+
+    // The failed transaction aborts; a fresh one succeeds end to end.
+    assert_eq!(conn.call(DlfmRequest::Abort { xid }).unwrap(), DlfmResponse::Ok);
+    let xid2 = d.dep.host.next_xid();
+    assert_eq!(d.link(&conn, xid2, "/wal"), DlfmResponse::Ok);
+    conn.call(DlfmRequest::Prepare { xid: xid2 }).unwrap();
+    assert_eq!(conn.call(DlfmRequest::Commit { xid: xid2 }).unwrap(), DlfmResponse::Ok);
+    assert_eq!(d.linked_count(), 1);
+}
+
+#[test]
+fn storage_write_fault_fails_the_link_cleanly() {
+    let _s = serial();
+    let d = Driver::new();
+    let conn = d.conn();
+    let xid = d.dep.host.next_xid();
+    d.dep.fs.create("/st", "u", b"x").unwrap();
+
+    let g = fault::install_guarded(3, &[("minidb.storage.write", Trigger::Nth(1))]);
+    let resp = d.link(&conn, xid, "/st");
+    assert!(matches!(resp, DlfmResponse::Err(_)), "storage fault must surface, got {resp:?}");
+    drop(g);
+
+    assert_eq!(conn.call(DlfmRequest::Abort { xid }).unwrap(), DlfmResponse::Ok);
+    let xid2 = d.dep.host.next_xid();
+    assert_eq!(d.link(&conn, xid2, "/st"), DlfmResponse::Ok);
+    conn.call(DlfmRequest::Prepare { xid: xid2 }).unwrap();
+    assert_eq!(conn.call(DlfmRequest::Commit { xid: xid2 }).unwrap(), DlfmResponse::Ok);
+    assert_eq!(d.linked_count(), 1);
+}
+
+#[test]
+fn chown_fault_leaves_commit_indoubt_until_redriven() {
+    let _s = serial();
+    let d = Driver::new();
+    let conn = d.conn();
+    let xid = d.dep.host.next_xid();
+    assert_eq!(d.link(&conn, xid, "/ch"), DlfmResponse::Ok);
+    conn.call(DlfmRequest::Prepare { xid }).unwrap();
+
+    // Takeover fails: phase-2 commit cannot complete, the sub-transaction
+    // stays prepared, and no half-taken-over state leaks.
+    let g = fault::install_guarded(3, &[("fs.chown", Trigger::Nth(1))]);
+    let resp = conn.call(DlfmRequest::Commit { xid }).unwrap();
+    assert!(matches!(resp, DlfmResponse::Err(_)), "chown fault must surface, got {resp:?}");
+    drop(g);
+    assert_eq!(d.count("SELECT COUNT(*) FROM dfm_xact WHERE state = 2"), 1);
+    assert_eq!(d.owner("/ch"), "u", "failed takeover must not leave partial ownership");
+
+    // The coordinator re-drives the commit; this time it completes.
+    assert_eq!(conn.call(DlfmRequest::Commit { xid }).unwrap(), DlfmResponse::Ok);
+    assert_eq!(d.linked_count(), 1);
+    assert_eq!(d.owner("/ch"), "dlfm_admin");
+    assert_eq!(d.xact_count(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Pinned regression: retry-limit exhaustion abandons (not fabricates).
+// ---------------------------------------------------------------------
+
+#[test]
+fn abandoned_phase2_commit_stays_prepared_and_the_resolver_completes_it() {
+    let _s = serial();
+    let mut config = dlfm::DlfmConfig::for_tests();
+    config.commit_retry_limit = 3;
+    let d = Driver::with_config(config);
+    d.dep.fs.create("/ab", "u", b"x").unwrap();
+
+    // Every phase-2 attempt deadlocks until the limit: the DLFM abandons
+    // the commit instead of pretending it hit a retryable LockTimeout.
+    let _g = fault::install_guarded(11, &[("dlfm.phase2.deadlock", Trigger::Times(3))]);
+    let mut s = d.dep.host.session();
+    // The commit decision is durable before phase 2 starts, so the host
+    // still acknowledges the transaction.
+    s.exec_params("INSERT INTO t (id, doc) VALUES (1, ?)", &[Value::str(d.dep.url("/ab"))])
+        .unwrap();
+    drop(s);
+
+    let snap = d.dep.dlfm.metrics().snapshot();
+    assert_eq!(snap.phase2_abandoned, 1, "abandonment must be counted");
+    assert_eq!(snap.phase2_retries, 3);
+    assert_eq!(
+        d.count("SELECT COUNT(*) FROM dfm_xact WHERE state = 2"),
+        1,
+        "the abandoned sub-transaction must stay prepared/re-drivable"
+    );
+
+    // The resolver's re-drive path completes it once the storm passes.
+    fault::clear();
+    d.resolve_until_clean();
+    assert!(d.is_linked("/ab"), "acked commit must be completed by the resolver");
+    assert_eq!(d.owner("/ab"), "dlfm_admin");
+}
+
+// ---------------------------------------------------------------------
+// Pinned regression: dropped delete-group notifications are counted and
+// recovered by rescan (twopc.rs and restart requeue call sites).
+// ---------------------------------------------------------------------
+
+#[test]
+fn dropped_group_delete_notification_is_counted_and_recovered_by_rescan() {
+    let _s = serial();
+    let mut config = dlfm::DlfmConfig::for_tests();
+    // Slow the daemons down so the background rescan cannot race the
+    // assertions; recovery below is driven explicitly.
+    config.daemon_poll_interval = Duration::from_millis(50);
+    let d = Driver::with_config(config);
+    let conn = d.conn();
+    let xid = d.dep.host.next_xid();
+    assert_eq!(d.link(&conn, xid, "/g0"), DlfmResponse::Ok);
+    conn.call(DlfmRequest::Prepare { xid }).unwrap();
+    conn.call(DlfmRequest::Commit { xid }).unwrap();
+
+    // Drop the table: the group-deletion commit hands work to the daemon,
+    // but every notification is dropped.
+    let _g = fault::install_guarded(5, &[("dlfm.groupd.notify_drop", Trigger::Always)]);
+    let mut s = d.dep.host.session();
+    s.drop_table("t").unwrap();
+    drop(s);
+    let drops_after_commit = d.dep.dlfm.metrics().snapshot().groupd_notify_drops;
+    assert!(drops_after_commit >= 1, "the dropped notification must be counted");
+    assert_eq!(
+        d.count("SELECT COUNT(*) FROM dfm_xact WHERE state = 3"),
+        1,
+        "committed group-deletion work must survive the dropped notification"
+    );
+
+    // A crash + restart requeues the work — and that notification is
+    // dropped too. The work entry still survives.
+    d.dep.dlfm.crash();
+    d.dep.dlfm.restart().unwrap();
+    assert!(d.dep.dlfm.metrics().snapshot().groupd_notify_drops > drops_after_commit);
+    assert_eq!(d.count("SELECT COUNT(*) FROM dfm_xact WHERE state = 3"), 1);
+
+    // Rescan finds the work through the transaction table and finishes it.
+    fault::clear();
+    let processed = dlfm::daemons::rescan(d.dep.dlfm.shared()).unwrap();
+    assert_eq!(processed, 1, "rescan must pick the dropped work up");
+    assert_eq!(d.xact_count(), 0);
+    assert_eq!(d.linked_count(), 0, "group files must be unlinked");
+    assert_eq!(d.owner("/g0"), "u", "unlinked group file must be released");
+}
+
+// ---------------------------------------------------------------------
+// Pinned regression: failed hangup-aborts are counted and resolved
+// in-doubt instead of leaking the chunked work.
+// ---------------------------------------------------------------------
+
+#[test]
+fn failed_hangup_abort_is_counted_and_resolved_after_restart() {
+    let _s = serial();
+    let mut config = dlfm::DlfmConfig::for_tests();
+    config.agent_model = dlfm::AgentModel::pooled(2, 16);
+    config.chunk_commit_every = Some(1); // every op hardens → chunked txn
+    config.commit_retry_limit = 2;
+    let d = Driver::with_config(config);
+
+    let conn = d.conn();
+    let xid = d.dep.host.next_xid();
+    assert_eq!(d.link(&conn, xid, "/h0"), DlfmResponse::Ok);
+    assert_eq!(d.link(&conn, xid, "/h1"), DlfmResponse::Ok);
+    assert!(d.dep.dlfm.metrics().snapshot().chunk_commits >= 1);
+
+    // The client hangs up mid-transaction while phase-2 aborts cannot
+    // succeed: retirement must count the failure and leave the chunked
+    // work in-doubt, not silently leak it.
+    let g = fault::install_guarded(9, &[("dlfm.phase2.deadlock", Trigger::Always)]);
+    drop(conn);
+    wait_until("hangup abort failure counted", || {
+        d.dep.dlfm.metrics().snapshot().phase2_abort_failures >= 1
+    });
+    drop(g);
+    assert_eq!(
+        d.count("SELECT COUNT(*) FROM dfm_xact WHERE state = 1"),
+        1,
+        "the chunked transaction must remain in-doubt for recovery"
+    );
+
+    // Restart's presumed abort finishes the job.
+    d.dep.dlfm.crash();
+    d.dep.dlfm.restart().unwrap();
+    assert_eq!(d.xact_count(), 0);
+    assert_eq!(d.count("SELECT COUNT(*) FROM dfm_file"), 0, "chunked links must be undone");
+}
