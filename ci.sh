@@ -15,6 +15,10 @@ step() { printf '\n==> %s\n' "$*"; }
 smoke() {
   step "fault-matrix smoke: seed slice of the fault-injection sweep"
   FAULT_MATRIX_SEEDS=2 cargo test -q --offline -p datalinks --test fault_matrix
+  step "observability smoke: dlfmtop status surfaces + Perfetto export"
+  # Stands up a live deployment, renders both status pages, and validates
+  # the Chrome-trace export; the example exits nonzero on any failure.
+  cargo run -q --offline --release -p datalinks --example dlfmtop
   step "commit-path smoke: e11_group_commit (tiny sweep)"
   RUN_SECS=0.2 CLIENTS=8 FORCE_MS=1 BENCH_METRICS=0 BENCH_JSON_DIR=target \
     cargo run -q --offline --release -p bench --bin e11_group_commit

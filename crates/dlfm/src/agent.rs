@@ -55,6 +55,25 @@ impl SessionState {
         SessionState { session: Session::new(&shared.db), dbid: 0, cur: None }
     }
 
+    /// One status-table line: host database and open-transaction progress.
+    pub fn status_line(&self) -> String {
+        match &self.cur {
+            Some(cur) => format!(
+                "dbid#{} xid#{} open: {} ops{}{}",
+                self.dbid,
+                cur.xid,
+                cur.total_ops,
+                if cur.chunked { ", chunked" } else { "" },
+                if cur.groups_deleted > 0 {
+                    format!(", {} groups deleted", cur.groups_deleted)
+                } else {
+                    String::new()
+                },
+            ),
+            None => format!("dbid#{} idle", self.dbid),
+        }
+    }
+
     /// Roll back whatever is open (the connection went away
     /// mid-transaction). Chunk-committed work is already hardened and a
     /// plain rollback cannot undo it, so a chunked transaction also needs
@@ -115,6 +134,25 @@ impl SessionTable {
     /// Sessions with live state (gauge).
     pub fn active(&self) -> usize {
         self.states.lock().len()
+    }
+
+    /// One status line per live session, sorted by session id. A session
+    /// currently executing on a worker reports `(busy)` rather than
+    /// blocking the status caller on its lock.
+    pub fn status_lines(&self) -> Vec<(u64, String)> {
+        let states: Vec<_> = self.states.lock().iter().map(|(id, s)| (*id, s.clone())).collect();
+        let mut lines: Vec<(u64, String)> = states
+            .into_iter()
+            .map(|(id, s)| {
+                let line = match s.try_lock() {
+                    Some(st) => st.status_line(),
+                    None => "(busy on a worker)".to_string(),
+                };
+                (id, line)
+            })
+            .collect();
+        lines.sort_by_key(|(id, _)| *id);
+        lines
     }
 }
 
@@ -264,6 +302,9 @@ impl Exec<'_> {
                     total_ops: 0,
                     chunked: false,
                     groups_deleted: 0,
+                });
+                obs::journal::record(obs::journal::JournalKind::TwoPc, xid, || {
+                    format!("xid#{xid} begun (forward processing)")
                 });
                 Ok(())
             }
@@ -477,6 +518,9 @@ impl Exec<'_> {
         let Some(cur) = self.state.cur.take() else {
             // No work arrived for this transaction: read-only vote.
             DlfmMetrics::bump(&self.shared.metrics.prepares);
+            obs::journal::record(obs::journal::JournalKind::TwoPc, xid, || {
+                format!("xid#{xid} voted read-only (no work arrived)")
+            });
             return Ok(DlfmResponse::Prepared { read_only: true });
         };
         if cur.xid != xid {
@@ -486,6 +530,9 @@ impl Exec<'_> {
         if cur.total_ops == 0 && cur.groups_deleted == 0 && !cur.chunked {
             self.state.session.rollback();
             DlfmMetrics::bump(&self.shared.metrics.prepares);
+            obs::journal::record(obs::journal::JournalKind::TwoPc, xid, || {
+                format!("xid#{xid} voted read-only (empty transaction)")
+            });
             return Ok(DlfmResponse::Prepared { read_only: true });
         }
         let stmts = self.shared.statements();
@@ -519,6 +566,13 @@ impl Exec<'_> {
         })();
         match result {
             Ok(()) => {
+                obs::journal::record(obs::journal::JournalKind::TwoPc, xid, || {
+                    format!(
+                        "xid#{xid} PREPARED (hardened by local commit, {} ops{})",
+                        cur.total_ops,
+                        if cur.chunked { ", chunked" } else { "" }
+                    )
+                });
                 // Crash point: the prepare is locally hardened but the vote
                 // never reaches the coordinator — the classic in-doubt
                 // window the resolver must close after restart.
@@ -573,6 +627,12 @@ impl Exec<'_> {
             // the unhardened tail ...
             let cur = self.state.cur.take().expect("cur checked above");
             self.state.session.rollback();
+            obs::journal::record(obs::journal::JournalKind::TwoPc, xid, || {
+                format!(
+                    "xid#{xid} ABORTED (forward rollback{})",
+                    if cur.chunked { " + phase-2 undo of chunked work" } else { "" }
+                )
+            });
             // ... and phase 2 undoes any chunk-committed work.
             if cur.chunked {
                 twopc::run_phase2_abort(self.shared, self.state.dbid, xid)?;

@@ -103,6 +103,9 @@ impl DlfmServer {
         fs: Arc<FileSystem>,
         archive_server: Arc<ArchiveServer>,
     ) -> DlfmServer {
+        // A running server always has its flight recorder on; the disarmed
+        // fast path only matters for library users who never start one.
+        obs::journal::arm();
         let db = Database::new(config.db.clone());
         let mut session = Session::new(&db);
         meta::create_schema(&mut session).expect("DLFM schema creation cannot fail");
@@ -436,7 +439,111 @@ impl DlfmServer {
             self.shared.retrieve_tx.len() as i64,
         );
 
+        let spans = obs::trace::global_ring();
+        r.counter(
+            "obs_spans_dropped_total",
+            "Span events overwritten in the trace ring before being read.",
+            &[],
+            spans.dropped(),
+        );
+        r.counter(
+            "obs_journal_events_total",
+            "Structured events recorded by the flight-recorder journal.",
+            &[],
+            obs::journal::recorded(),
+        );
+        r.counter(
+            "obs_journal_events_dropped_total",
+            "Journal events overwritten in the flight-recorder ring before being read.",
+            &[],
+            obs::journal::dropped(),
+        );
+
         r.render()
+    }
+
+    /// Human-readable live status: the session table, pool and daemon
+    /// backlogs, in-doubt transactions, and the local lock table — what an
+    /// operator tails while a workload runs (rendered by the `dlfmtop`
+    /// example).
+    pub fn status_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("=== dlfm status ===\n");
+
+        // Agent model + pool occupancy.
+        match self.shared.config.agent_model {
+            crate::config::AgentModel::Dedicated => {
+                out.push_str(&format!(
+                    "agent model: dedicated ({} agents spawned)\n",
+                    self.agents_spawned()
+                ));
+            }
+            crate::config::AgentModel::Pooled { workers, queue_depth, .. } => {
+                let busy = self.connector.pool_stats().map(|p| p.busy()).unwrap_or(0);
+                let queued = self.connector.pool_queue_depth().unwrap_or(0);
+                let rejects = self.connector.pool_stats().map(|p| p.rejects()).unwrap_or(0);
+                out.push_str(&format!(
+                    "agent model: pooled, {busy}/{workers} workers busy, \
+                     run queue {queued}/{queue_depth}, {rejects} admission rejects\n"
+                ));
+            }
+        }
+
+        // Session table (pooled mode; empty under dedicated agents).
+        let sessions = self.shared.sessions.status_lines();
+        out.push_str(&format!("sessions: {}\n", sessions.len()));
+        for (id, line) in sessions {
+            out.push_str(&format!("  session#{id}: {line}\n"));
+        }
+
+        // In-doubt (prepared) sub-transactions awaiting the resolver.
+        let mut s = Session::new(&self.shared.db);
+        match s.query(
+            "SELECT dbid, xid FROM dfm_xact WHERE state = ?",
+            &[Value::Int(meta::XS_PREPARED)],
+        ) {
+            Ok(rows) if rows.is_empty() => out.push_str("in-doubt: none\n"),
+            Ok(rows) => {
+                out.push_str(&format!("in-doubt: {}\n", rows.len()));
+                for row in rows {
+                    if let (Ok(dbid), Ok(xid)) = (row[0].as_int(), row[1].as_int()) {
+                        out.push_str(&format!("  db#{dbid} xid#{xid} PREPARED\n"));
+                    }
+                }
+            }
+            Err(e) => out.push_str(&format!("in-doubt: unavailable ({e})\n")),
+        }
+
+        // Daemon backlogs.
+        out.push_str(&format!(
+            "daemon backlogs: delete_group={} retrieve={}\n",
+            self.shared.groupd_tx.len(),
+            self.shared.retrieve_tx.len()
+        ));
+
+        // Local-database lock table, recent deadlocks, slow statements.
+        out.push_str(&self.shared.db.lock_table_summary());
+        let deadlocks = self.shared.db.recent_deadlocks();
+        out.push_str(&format!("recent deadlocks: {}\n", deadlocks.len()));
+        for report in deadlocks.iter().rev().take(3) {
+            for line in report.render().lines() {
+                out.push_str(&format!("  {line}\n"));
+            }
+        }
+        let slow = self.shared.db.recent_slow_statements();
+        out.push_str(&format!("recent slow statements: {}\n", slow.len()));
+        for stmt in slow.iter().rev().take(3) {
+            out.push_str(&format!("  {}\n", stmt.render()));
+        }
+
+        // Flight recorder health.
+        out.push_str(&format!(
+            "flight recorder: {} events recorded, {} dropped; span ring {} dropped\n",
+            obs::journal::recorded(),
+            obs::journal::dropped(),
+            obs::trace::global_ring().dropped(),
+        ));
+        out
     }
 
     /// Take a local-database checkpoint (bounds restart recovery work).

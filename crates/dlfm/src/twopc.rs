@@ -24,14 +24,14 @@ use crate::server::DlfmShared;
 /// Run phase-2 commit with the retry-until-success loop. Returns the number
 /// of retries that were needed.
 pub fn run_phase2_commit(shared: &DlfmShared, dbid: i64, xid: i64) -> DlfmResult<u64> {
-    run_with_retry(shared, "commit", || commit_attempt(shared, dbid, xid)).inspect(|_r| {
+    run_with_retry(shared, "commit", xid, || commit_attempt(shared, dbid, xid)).inspect(|_r| {
         DlfmMetrics::bump(&shared.metrics.commits);
     })
 }
 
 /// Run phase-2 abort with the retry-until-success loop.
 pub fn run_phase2_abort(shared: &DlfmShared, dbid: i64, xid: i64) -> DlfmResult<u64> {
-    run_with_retry(shared, "abort", || abort_attempt(shared, dbid, xid)).inspect(|_r| {
+    run_with_retry(shared, "abort", xid, || abort_attempt(shared, dbid, xid)).inspect(|_r| {
         DlfmMetrics::bump(&shared.metrics.aborts);
     })
 }
@@ -42,6 +42,7 @@ pub fn run_phase2_abort(shared: &DlfmShared, dbid: i64, xid: i64) -> DlfmResult<
 fn run_with_retry(
     shared: &DlfmShared,
     what: &str,
+    xid: i64,
     mut attempt: impl FnMut() -> DlfmResult<Option<(i64, i64)>>,
 ) -> DlfmResult<u64> {
     let mut span = obs::span(obs::Layer::Dlfm, "phase2");
@@ -52,6 +53,10 @@ fn run_with_retry(
                 if retries > 0 {
                     obs::debug!("dlfm::twopc", "phase-2 {what} succeeded after {retries} retries");
                 }
+                obs::journal::record(obs::journal::JournalKind::TwoPc, xid, || {
+                    let outcome = if what == "commit" { "COMMITTED" } else { "ABORTED" };
+                    format!("xid#{xid} {outcome} (phase-2 {what} done, {retries} retries)")
+                });
                 if let Some((dbid, xid)) = notify {
                     notify_groupd(shared, dbid, xid);
                 }
@@ -64,6 +69,9 @@ fn run_with_retry(
                     "dlfm::twopc",
                     "phase-2 {what} attempt {retries} hit retryable error, retrying: {msg}"
                 );
+                obs::journal::record(obs::journal::JournalKind::TwoPc, xid, || {
+                    format!("xid#{xid} phase-2 {what} attempt {retries} hit retryable error: {msg}")
+                });
                 if retries as usize >= shared.config.commit_retry_limit {
                     span.fail();
                     DlfmMetrics::bump(&shared.metrics.phase2_abandoned);
@@ -72,6 +80,12 @@ fn run_with_retry(
                         "phase-2 {what} abandoned at retry limit ({retries} attempts); \
                          sub-transaction stays prepared for the resolver"
                     );
+                    obs::journal::record(obs::journal::JournalKind::TwoPc, xid, || {
+                        format!(
+                            "xid#{xid} phase-2 {what} ABANDONED at retry limit \
+                             ({retries} attempts); stays prepared for the resolver"
+                        )
+                    });
                     // Do NOT report this as retryable: the decision is
                     // final and nothing local changed. The sub-transaction
                     // remains prepared/re-drivable; the coordinator's

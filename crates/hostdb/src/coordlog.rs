@@ -204,10 +204,14 @@ impl CoordLog {
             .filter(|r| matches!(r, CoordRecord::Commit { .. }))
             .count();
         inner.durable = inner.durable.max(target);
-        self.durable.store(inner.durable, Ordering::Release);
+        let durable = inner.durable;
+        self.durable.store(durable, Ordering::Release);
         drop(inner);
         self.forces.fetch_add(1, Ordering::Relaxed);
         self.batch_hist.record(covered as u64);
+        obs::journal::record(obs::journal::JournalKind::CoordForce, 0, || {
+            format!("coordinator log forced to seq {durable} covering {covered} decisions")
+        });
         true
     }
 

@@ -385,7 +385,75 @@ impl HostDb {
             &[],
             db.wal_force_batch_hist(),
         );
+        r.counter(
+            "obs_spans_dropped_total",
+            "Span events overwritten in the trace ring before being read.",
+            &[],
+            obs::trace::global_ring().dropped(),
+        );
+        r.counter(
+            "obs_journal_events_total",
+            "Structured events recorded by the flight-recorder journal.",
+            &[],
+            obs::journal::recorded(),
+        );
+        r.counter(
+            "obs_journal_events_dropped_total",
+            "Journal events overwritten in the flight-recorder ring before being read.",
+            &[],
+            obs::journal::dropped(),
+        );
         r.render()
+    }
+
+    /// Human-readable live status of the coordinator side: attached DLFM
+    /// servers, the connection pool, transactions whose phase 2 is still
+    /// outstanding, and the host-local lock table (rendered by the
+    /// `dlfmtop` example).
+    pub fn status_text(&self) -> String {
+        let m = &self.inner.metrics;
+        let mut out = String::new();
+        out.push_str("=== host status ===\n");
+        let servers = self.servers();
+        out.push_str(&format!(
+            "dlfm servers attached: {} ({})\n",
+            servers.len(),
+            servers.join(", ")
+        ));
+        out.push_str(&format!(
+            "conn pool: {} idle (hits {}, misses {}, retired {})\n",
+            self.conn_pool_idle(),
+            m.conn_pool_hits.load(Ordering::Relaxed),
+            m.conn_pool_misses.load(Ordering::Relaxed),
+            m.conn_retired.load(Ordering::Relaxed),
+        ));
+        out.push_str(&format!(
+            "transactions: {} committed, {} rolled back, {} via 2PC, {} in-doubt resolved\n",
+            m.commits.load(Ordering::Relaxed),
+            m.rollbacks.load(Ordering::Relaxed),
+            m.twopc_commits.load(Ordering::Relaxed),
+            m.indoubts_resolved.load(Ordering::Relaxed),
+        ));
+        let unfinished = self.inner.coord_log.unfinished_commits();
+        if unfinished.is_empty() {
+            out.push_str("phase-2 outstanding: none\n");
+        } else {
+            out.push_str(&format!("phase-2 outstanding: {}\n", unfinished.len()));
+            for (xid, servers) in unfinished {
+                out.push_str(&format!(
+                    "  xid#{xid} committed, awaiting end record (servers: {})\n",
+                    servers.join(", ")
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "coordinator log: {} records, {} decisions, {} forces\n",
+            self.inner.coord_log.len(),
+            self.inner.coord_log.decisions_total(),
+            self.inner.coord_log.forces_total(),
+        ));
+        out.push_str(&self.inner.db.lock_table_summary());
+        out
     }
 
     /// Toggle synchronous phase-2 commit (the §4 ablation knob).

@@ -59,6 +59,12 @@ pub struct DbConfig {
     /// the natural batching from the force latency itself is usually
     /// enough.
     pub group_commit_wait: Duration,
+    /// Statements running at least this long are recorded in the
+    /// slow-statement log with their plan text, optimizer cost/cardinality
+    /// estimates, and lock-wait breakdown — the paper's RUNSTATS lesson
+    /// (a silent table-scan plan) made directly visible. `None` (the
+    /// default) disables the log.
+    pub slow_statement_threshold: Option<Duration>,
 }
 
 impl Default for DbConfig {
@@ -74,6 +80,7 @@ impl Default for DbConfig {
             log_force_latency: Duration::ZERO,
             group_commit: true,
             group_commit_wait: Duration::ZERO,
+            slow_statement_threshold: None,
         }
     }
 }
@@ -94,6 +101,7 @@ impl DbConfig {
             log_force_latency: Duration::ZERO,
             group_commit: true,
             group_commit_wait: Duration::ZERO,
+            slow_statement_threshold: None,
         }
     }
 

@@ -99,6 +99,42 @@ impl Prepared {
     }
 }
 
+/// One entry of the slow-statement log: a statement that ran over the
+/// configured threshold, with the forensics needed to explain *why* — the
+/// access plan (with the optimizer's cost/cardinality estimates) and how
+/// much of the elapsed time was spent blocked in the lock manager.
+#[derive(Debug, Clone)]
+pub struct SlowStatement {
+    /// SQL text, when the statement came in as text (AST-level execution
+    /// has none).
+    pub sql: Option<String>,
+    /// Total statement wall-clock time, microseconds.
+    pub micros: u64,
+    /// Portion spent blocked waiting for locks, microseconds.
+    pub lock_wait_micros: u64,
+    /// EXPLAIN plan text with cost/rows estimates, when the statement has
+    /// an access plan.
+    pub plan: Option<String>,
+    /// Monotonic microseconds since process start (journal clock).
+    pub at_micros: u64,
+}
+
+impl SlowStatement {
+    /// One-line rendering for status surfaces and dumps.
+    pub fn render(&self) -> String {
+        format!(
+            "{}us (lock wait {}us) {} | plan: {}",
+            self.micros,
+            self.lock_wait_micros,
+            self.sql.as_deref().unwrap_or("(ast statement)"),
+            self.plan.as_deref().unwrap_or("(none)")
+        )
+    }
+}
+
+/// Slow statements retained per database (oldest evicted first).
+pub const SLOW_LOG_CAPACITY: usize = 32;
+
 /// A full backup image of a database: catalog plus all table/index data.
 /// Produced by [`Database::backup_image`], consumed by
 /// [`Database::restore_image`].
@@ -125,6 +161,8 @@ struct DbInner {
     isolation: Isolation,
     next_key_locking: AtomicBool,
     checkpoint: Mutex<Option<Checkpoint>>,
+    slow_threshold: Mutex<Option<std::time::Duration>>,
+    slow_log: Mutex<std::collections::VecDeque<SlowStatement>>,
 }
 
 /// A shared handle to one database. Cheap to clone; thread-safe.
@@ -157,6 +195,8 @@ impl Database {
                 isolation: config.isolation,
                 next_key_locking: AtomicBool::new(config.next_key_locking),
                 checkpoint: Mutex::new(None),
+                slow_threshold: Mutex::new(config.slow_statement_threshold),
+                slow_log: Mutex::new(std::collections::VecDeque::new()),
             }),
         }
     }
@@ -335,13 +375,13 @@ impl Database {
     /// Parse and execute `sql` inside `txn`.
     pub fn exec(&self, txn: &mut Txn, sql: &str, params: &[Value]) -> DbResult<ExecResult> {
         let stmt = parse(sql)?;
-        self.exec_stmt(txn, &stmt, params, None)
+        self.exec_stmt(txn, &stmt, params, None, Some(sql))
     }
 
     /// Execute an already-parsed statement inside `txn` (used by layers —
     /// like the datalink engine — that inspect and rewrite statements).
     pub fn execute(&self, txn: &mut Txn, stmt: &Stmt, params: &[Value]) -> DbResult<ExecResult> {
-        self.exec_stmt(txn, stmt, params, None)
+        self.exec_stmt(txn, stmt, params, None, None)
     }
 
     /// Schema of a table (public lookup for engine layers).
@@ -399,7 +439,13 @@ impl Database {
         p: &Prepared,
         params: &[Value],
     ) -> DbResult<ExecResult> {
-        self.exec_stmt(txn, &p.stmt, params, p.plan.clone().map(|pl| (pl, p.except_plan.clone())))
+        self.exec_stmt(
+            txn,
+            &p.stmt,
+            params,
+            p.plan.clone().map(|pl| (pl, p.except_plan.clone())),
+            Some(&p.sql),
+        )
     }
 
     fn exec_stmt(
@@ -408,10 +454,22 @@ impl Database {
         stmt: &Stmt,
         params: &[Value],
         pinned: Option<(TablePlan, Option<TablePlan>)>,
+        sql: Option<&str>,
     ) -> DbResult<ExecResult> {
         self.check_online()?;
         txn.check_active()?;
         txn.statements += 1;
+        // Register the SQL for deadlock forensics; reset the per-thread
+        // lock-wait accumulator so the slow-statement log can attribute
+        // blocked time to this statement alone.
+        if let Some(sql) = sql {
+            self.inner.lm.set_current_sql(txn.id, sql);
+        }
+        let _ = crate::lock::take_stmt_lock_wait();
+        let slow_threshold = *self.inner.slow_threshold.lock();
+        let pinned_plan_for_log =
+            if slow_threshold.is_some() { pinned.as_ref().map(|(p, _)| p.clone()) } else { None };
+        let started = std::time::Instant::now();
         let result = match stmt {
             Stmt::CreateTable { name, columns } => self.ddl_create_table(name, columns),
             Stmt::CreateIndex { name, table, columns, unique } => {
@@ -434,22 +492,106 @@ impl Database {
         if self.inner.isolation == Isolation::CursorStability {
             self.inner.lm.release_shared(txn.id);
         }
+        if let Some(threshold) = slow_threshold {
+            let elapsed = started.elapsed();
+            if elapsed >= threshold {
+                self.record_slow_statement(txn.id, stmt, sql, elapsed, pinned_plan_for_log);
+            }
+        }
         result
     }
 
-    fn exec_explain(&self, stmt: &Stmt) -> DbResult<ExecResult> {
-        let catalog = self.inner.catalog.read();
-        let plan = match stmt {
-            Stmt::Select(sel) => plan_access(&catalog, &sel.table, sel.filter.as_ref())?,
-            Stmt::Update { table, filter, .. } | Stmt::Delete { table, filter } => {
-                plan_access(&catalog, table, filter.as_ref())?
-            }
-            _ => return Err(DbError::Plan("EXPLAIN supports SELECT/UPDATE/DELETE".into())),
+    /// Append to the slow-statement log (and journal): plan text with the
+    /// optimizer's cost/cardinality estimates plus the lock-wait share of
+    /// the elapsed time.
+    fn record_slow_statement(
+        &self,
+        txn: TxnId,
+        stmt: &Stmt,
+        sql: Option<&str>,
+        elapsed: std::time::Duration,
+        pinned_plan: Option<TablePlan>,
+    ) {
+        let lock_wait_micros = crate::lock::take_stmt_lock_wait();
+        let plan = {
+            let catalog = self.inner.catalog.read();
+            let plan = match (pinned_plan, stmt) {
+                (Some(p), _) => Some(p),
+                (None, Stmt::Select(sel)) => {
+                    plan_access(&catalog, &sel.table, sel.filter.as_ref()).ok()
+                }
+                (None, Stmt::Update { table, filter, .. })
+                | (None, Stmt::Delete { table, filter }) => {
+                    plan_access(&catalog, table, filter.as_ref()).ok()
+                }
+                _ => None,
+            };
+            plan.map(|p| p.render(&catalog))
         };
+        let entry = SlowStatement {
+            sql: sql.map(str::to_string),
+            micros: elapsed.as_micros() as u64,
+            lock_wait_micros,
+            plan,
+            at_micros: obs::journal::now_micros(),
+        };
+        obs::journal::record(obs::journal::JournalKind::SlowStatement, txn.0 as i64, || {
+            entry.render()
+        });
+        let mut log = self.inner.slow_log.lock();
+        if log.len() >= SLOW_LOG_CAPACITY {
+            log.pop_front();
+        }
+        log.push_back(entry);
+    }
+
+    fn exec_explain(&self, stmt: &Stmt) -> DbResult<ExecResult> {
         Ok(ExecResult::Rows {
             columns: vec!["plan".into()],
-            rows: vec![vec![Value::Str(plan.render(&catalog))]],
+            rows: vec![vec![Value::Str(self.explain_text(stmt)?)]],
         })
+    }
+
+    /// EXPLAIN text for any plannable statement.
+    ///
+    /// Every DML shape the engine can run gets an answer: SELECT (both
+    /// arms when EXCEPT is present), UPDATE, DELETE, and INSERT (which has
+    /// no access path, only heap append plus index maintenance — stated
+    /// rather than rejected). DDL has no plan and errors clearly.
+    fn explain_text(&self, stmt: &Stmt) -> DbResult<String> {
+        let catalog = self.inner.catalog.read();
+        match stmt {
+            Stmt::Select(sel) => {
+                let mut text =
+                    plan_access(&catalog, &sel.table, sel.filter.as_ref())?.render(&catalog);
+                if let Some(e) = &sel.except {
+                    let ep = plan_access(&catalog, &e.table, e.filter.as_ref())?;
+                    text = format!("{text}\nEXCEPT\n{}", ep.render(&catalog));
+                }
+                Ok(text)
+            }
+            Stmt::Update { table, filter, .. } | Stmt::Delete { table, filter } => {
+                Ok(plan_access(&catalog, table, filter.as_ref())?.render(&catalog))
+            }
+            Stmt::Insert { table, .. } => {
+                let schema = catalog.table(table)?;
+                let n_idx = catalog.indexes_of(schema.id).len();
+                Ok(format!(
+                    "INSERT {} (heap append + {n_idx} index maintenance) cost=1.0 rows=1.0",
+                    schema.name
+                ))
+            }
+            Stmt::Explain(inner) => {
+                drop(catalog);
+                self.explain_text(inner)
+            }
+            Stmt::CreateTable { .. } | Stmt::CreateIndex { .. } | Stmt::DropTable { .. } => {
+                Err(DbError::Plan(
+                    "EXPLAIN does not support DDL: CREATE/DROP statements have no access plan"
+                        .into(),
+                ))
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1163,6 +1305,29 @@ impl Database {
     /// Locks currently held by a transaction (diagnostics, Figure 4 trace).
     pub fn locks_held(&self, txn: TxnId) -> usize {
         self.inner.lm.held_count(txn)
+    }
+
+    /// Recent deadlocks captured by the wait-for detector, oldest first:
+    /// each names the full cycle, the victim, and what every member held,
+    /// requested, and was running.
+    pub fn recent_deadlocks(&self) -> Vec<crate::lock::DeadlockReport> {
+        self.inner.lm.recent_deadlocks()
+    }
+
+    /// Recent statements over the slow-statement threshold, oldest first.
+    pub fn recent_slow_statements(&self) -> Vec<SlowStatement> {
+        self.inner.slow_log.lock().iter().cloned().collect()
+    }
+
+    /// Change the slow-statement threshold at runtime (`None` disables).
+    pub fn set_slow_statement_threshold(&self, t: Option<std::time::Duration>) {
+        *self.inner.slow_threshold.lock() = t;
+    }
+
+    /// Live lock-table summary (grants, waiters, per-transaction totals)
+    /// for the status surfaces.
+    pub fn lock_table_summary(&self) -> String {
+        self.inner.lm.summary_text()
     }
 
     /// WAL active-window size (records pinned by in-flight transactions).

@@ -54,9 +54,9 @@ pub mod value;
 pub mod wal;
 
 pub use config::{DbConfig, Isolation};
-pub use engine::{Database, DbImage, ExecResult, Prepared};
+pub use engine::{Database, DbImage, ExecResult, Prepared, SlowStatement};
 pub use error::{DbError, DbResult};
-pub use lock::{LockMetrics, LockMetricsSnapshot, LockMode};
+pub use lock::{DeadlockParty, DeadlockReport, LockMetrics, LockMetricsSnapshot, LockMode};
 pub use schema::{ColumnDef, IndexId, IndexSchema, TableId, TableSchema};
 pub use session::Session;
 pub use txn::{Savepoint, Txn, TxnId};

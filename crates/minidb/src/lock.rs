@@ -13,6 +13,7 @@
 //! * next-key locks are *requested by the index layer*; this module just
 //!   treats them as key-granularity resources.
 
+use std::cell::Cell;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
@@ -20,10 +21,29 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
+use obs::journal::{self, JournalKind};
+
 use crate::error::{DbError, DbResult};
 use crate::schema::{IndexId, TableId};
 use crate::txn::TxnId;
 use crate::value::Value;
+
+thread_local! {
+    /// Lock-wait time accumulated by the current thread since the last
+    /// [`take_stmt_lock_wait`]; the engine resets it per statement so the
+    /// slow-statement log can report a wait breakdown.
+    static STMT_WAIT_MICROS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Drain the calling thread's accumulated lock-wait time (microseconds)
+/// and reset the counter. Called by the engine at statement boundaries.
+pub fn take_stmt_lock_wait() -> u64 {
+    STMT_WAIT_MICROS.with(|c| c.replace(0))
+}
+
+fn add_stmt_wait(elapsed: Duration) {
+    STMT_WAIT_MICROS.with(|c| c.set(c.get().saturating_add(elapsed.as_micros() as u64)));
+}
 
 /// Lock modes. Row/key resources only use `S` and `X`; table resources use
 /// the full hierarchy.
@@ -185,6 +205,72 @@ impl LockMetricsSnapshot {
         }
     }
 }
+
+/// One transaction's standing in a captured deadlock cycle: what it was
+/// asking for, everything it held, and the SQL it was running.
+#[derive(Debug, Clone)]
+pub struct DeadlockParty {
+    /// Transaction id.
+    pub txn: u64,
+    /// The blocked request, e.g. `X on row 2 of table#1`.
+    pub requested: String,
+    /// Locks held at detection time, e.g. `X on row 1 of table#1`.
+    pub held: Vec<String>,
+    /// The statement this transaction was executing, when registered.
+    pub sql: Option<String>,
+}
+
+/// A deadlock captured by the wait-for detector at the moment the cycle
+/// was found — the forensic artifact §3.2.1 of the paper had to
+/// reconstruct from throughput dips.
+#[derive(Debug, Clone)]
+pub struct DeadlockReport {
+    /// Transaction ids forming the wait-for cycle, in edge order.
+    pub cycle: Vec<u64>,
+    /// The transaction rolled back (youngest in the cycle).
+    pub victim: u64,
+    /// Per-transaction forensics for every cycle member.
+    pub parties: Vec<DeadlockParty>,
+    /// Monotonic microseconds since process start (journal clock).
+    pub micros: u64,
+}
+
+impl DeadlockReport {
+    /// The cycle as `txn1 -> txn2 -> txn1`.
+    pub fn cycle_desc(&self) -> String {
+        let mut parts: Vec<String> = self.cycle.iter().map(|t| format!("txn{t}")).collect();
+        if let Some(first) = self.cycle.first() {
+            parts.push(format!("txn{first}"));
+        }
+        parts.join(" -> ")
+    }
+
+    /// Multi-line human-readable rendering.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "deadlock: {} (victim txn{})", self.cycle_desc(), self.victim);
+        for p in &self.parties {
+            let _ = writeln!(
+                out,
+                "  txn{}{} requested {}",
+                p.txn,
+                if p.txn == self.victim { " [victim]" } else { "" },
+                p.requested
+            );
+            if let Some(sql) = &p.sql {
+                let _ = writeln!(out, "    running: {sql}");
+            }
+            for h in &p.held {
+                let _ = writeln!(out, "    holds: {h}");
+            }
+        }
+        out
+    }
+}
+
+/// Deadlock reports retained per lock manager (oldest evicted first).
+pub const DEADLOCK_LOG_CAPACITY: usize = 16;
 
 /// One granted entry on a resource.
 #[derive(Debug, Clone)]
@@ -368,6 +454,11 @@ pub struct LockManager {
     escalation_threshold: Mutex<Option<usize>>,
     lock_list_capacity: usize,
     deadlock_detection: AtomicBool,
+    /// Recent [`DeadlockReport`]s, newest last (bounded).
+    deadlock_log: Mutex<VecDeque<DeadlockReport>>,
+    /// Current SQL per transaction, registered by the session layer so
+    /// deadlock reports can say what each cycle member was running.
+    sql_by_txn: Mutex<HashMap<TxnId, String>>,
 }
 
 impl LockManager {
@@ -387,7 +478,90 @@ impl LockManager {
             escalation_threshold: Mutex::new(escalation_threshold),
             lock_list_capacity,
             deadlock_detection: AtomicBool::new(deadlock_detection),
+            deadlock_log: Mutex::new(VecDeque::new()),
+            sql_by_txn: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Register the SQL a transaction is currently running (overwritten
+    /// per statement, cleared on release). Feeds [`DeadlockReport`]s.
+    pub fn set_current_sql(&self, txn: TxnId, sql: &str) {
+        self.sql_by_txn.lock().insert(txn, sql.to_string());
+    }
+
+    /// Recent deadlock reports, oldest first (bounded at
+    /// [`DEADLOCK_LOG_CAPACITY`]).
+    pub fn recent_deadlocks(&self) -> Vec<DeadlockReport> {
+        self.deadlock_log.lock().iter().cloned().collect()
+    }
+
+    /// Build the forensic report for a freshly detected cycle, journal it,
+    /// and append it to the bounded deadlock log. Called with the lock
+    /// table (`inner`) still held so held/requested sets are exact.
+    fn capture_deadlock(&self, inner: &Inner, cycle: &[TxnId], victim: TxnId) {
+        let sqls = self.sql_by_txn.lock();
+        let parties: Vec<DeadlockParty> = cycle
+            .iter()
+            .map(|t| {
+                let requested = inner
+                    .waiting
+                    .get(t)
+                    .map(|w| format!("{:?} on {}", w.mode, w.res))
+                    .unwrap_or_else(|| "(not waiting)".into());
+                let mut held: Vec<String> = inner
+                    .txns
+                    .get(t)
+                    .map(|tl| tl.held.iter().map(|(r, m)| format!("{m:?} on {r}")).collect())
+                    .unwrap_or_default();
+                held.sort();
+                DeadlockParty { txn: t.0, requested, held, sql: sqls.get(t).cloned() }
+            })
+            .collect();
+        drop(sqls);
+        let report = DeadlockReport {
+            cycle: cycle.iter().map(|t| t.0).collect(),
+            victim: victim.0,
+            parties,
+            micros: journal::now_micros(),
+        };
+        journal::record(JournalKind::Deadlock, victim.0 as i64, || {
+            format!("{}, victim txn{}", report.cycle_desc(), report.victim)
+        });
+        let mut log = self.deadlock_log.lock();
+        if log.len() >= DEADLOCK_LOG_CAPACITY {
+            log.pop_front();
+        }
+        log.push_back(report);
+    }
+
+    /// One-line-per-item summary of the live lock table: resource count,
+    /// grants, waiters, and per-transaction held totals. The status
+    /// surfaces (`dlfmtop`) render this.
+    pub fn summary_text(&self) -> String {
+        use std::fmt::Write;
+        let inner = self.inner.lock();
+        let resources = inner.locks.len();
+        let waiters: usize = inner.locks.values().map(|s| s.waiters.len()).sum();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "lock table: {} grants on {} resources, {} waiting, {} txns",
+            inner.total_locks,
+            resources,
+            waiters,
+            inner.txns.len()
+        );
+        let mut txns: Vec<(&TxnId, &TxnLocks)> = inner.txns.iter().collect();
+        txns.sort_by_key(|(t, _)| t.0);
+        for (t, tl) in txns {
+            let wait = inner
+                .waiting
+                .get(t)
+                .map(|w| format!(", waiting for {:?} on {}", w.mode, w.res))
+                .unwrap_or_default();
+            let _ = writeln!(out, "  txn{}: {} held{}", t.0, tl.held.len(), wait);
+        }
+        out
     }
 
     /// Exported counters.
@@ -501,11 +675,17 @@ impl LockManager {
             }
         }
         inner.waiting.insert(txn, WaitInfo { res: res.clone(), mode: target });
+        journal::record(JournalKind::LockWait, txn.0 as i64, || {
+            format!("txn{} waits for {:?} on {}", txn.0, target, res)
+        });
 
         // Deadlock check now that the graph has a new edge set.
         if self.deadlock_detection.load(AtomicOrdering::Relaxed) {
             if let Some(cycle) = inner.find_cycle(txn) {
                 let victim = cycle.iter().copied().max_by_key(|t| t.0).unwrap_or(txn);
+                // Capture the forensic report while the cycle is still live
+                // in the lock table (held/requested sets are exact here).
+                self.capture_deadlock(&inner, &cycle, victim);
                 let desc =
                     cycle.iter().map(|t| format!("txn{}", t.0)).collect::<Vec<_>>().join(" -> ");
                 if victim == txn {
@@ -527,6 +707,7 @@ impl LockManager {
                 LockMetrics::bump(&self.metrics.deadlocks);
                 self.cv.notify_all();
                 self.wait_hist.record_micros(started.elapsed());
+                add_stmt_wait(started.elapsed());
                 return Err(DbError::Deadlock { cycle: desc });
             }
             let ticket_opt = if is_conversion { None } else { Some(ticket) };
@@ -537,6 +718,16 @@ impl LockManager {
                 self.cv.notify_all();
                 drop(inner);
                 self.wait_hist.record_micros(started.elapsed());
+                add_stmt_wait(started.elapsed());
+                journal::record(JournalKind::LockGrant, txn.0 as i64, || {
+                    format!(
+                        "txn{} granted {:?} on {} after {}us",
+                        txn.0,
+                        target,
+                        res,
+                        started.elapsed().as_micros()
+                    )
+                });
                 return self.maybe_escalate_after_grant(txn, res, mode);
             }
             if Instant::now() >= deadline {
@@ -544,6 +735,16 @@ impl LockManager {
                 LockMetrics::bump(&self.metrics.timeouts);
                 self.cv.notify_all();
                 self.wait_hist.record_micros(started.elapsed());
+                add_stmt_wait(started.elapsed());
+                journal::record(JournalKind::LockTimeout, txn.0 as i64, || {
+                    format!(
+                        "txn{} timed out after {}ms waiting for {:?} on {}",
+                        txn.0,
+                        started.elapsed().as_millis(),
+                        target,
+                        res
+                    )
+                });
                 return Err(DbError::LockTimeout {
                     resource: res.to_string(),
                     waited_ms: started.elapsed().as_millis() as u64,
@@ -623,6 +824,9 @@ impl LockManager {
             t.fine_counts.insert(table, 0);
         }
         LockMetrics::bump(&self.metrics.escalations);
+        journal::record(JournalKind::LockEscalation, txn.0 as i64, || {
+            format!("txn{} escalated to {:?} on table#{}", txn.0, table_mode, table.0)
+        });
         self.cv.notify_all();
         Ok(())
     }
@@ -658,6 +862,8 @@ impl LockManager {
         inner.txns.remove(&txn);
         inner.victims.remove(&txn);
         self.cv.notify_all();
+        drop(inner);
+        self.sql_by_txn.lock().remove(&txn);
     }
 
     /// Release `txn`'s shared-only locks (cursor stability at statement end).
@@ -696,6 +902,8 @@ impl LockManager {
         let mut inner = self.inner.lock();
         *inner = Inner::default();
         self.cv.notify_all();
+        drop(inner);
+        self.sql_by_txn.lock().clear();
     }
 }
 
@@ -900,6 +1108,72 @@ mod tests {
         lm.lock(TxnId(2), Res::Key(T, IndexId(2), k.clone()), LockMode::X).unwrap();
         // Same index and key conflicts.
         assert!(lm.lock(TxnId(2), Res::Key(T, IndexId(1), k), LockMode::X).is_err());
+    }
+
+    #[test]
+    fn three_txn_deadlock_report_names_cycle_and_victim() {
+        // t1 holds row1 and wants row2; t2 holds row2 and wants row3;
+        // t3 holds row3 and closes the cycle wanting row1. The detector
+        // runs on t3's enqueue, so t3 (also the youngest) is the victim.
+        let lm = lm(10_000);
+        lm.lock(TxnId(1), Res::Row(T, 1), LockMode::X).unwrap();
+        lm.lock(TxnId(2), Res::Row(T, 2), LockMode::X).unwrap();
+        lm.lock(TxnId(3), Res::Row(T, 3), LockMode::X).unwrap();
+        lm.set_current_sql(TxnId(3), "UPDATE t SET n = 3 WHERE id = 1");
+        let lm_a = lm.clone();
+        let h1 = thread::spawn(move || lm_a.lock(TxnId(1), Res::Row(T, 2), LockMode::X));
+        thread::sleep(Duration::from_millis(50));
+        let lm_b = lm.clone();
+        let h2 = thread::spawn(move || lm_b.lock(TxnId(2), Res::Row(T, 3), LockMode::X));
+        thread::sleep(Duration::from_millis(50));
+        let err = lm.lock(TxnId(3), Res::Row(T, 1), LockMode::X).unwrap_err();
+        assert!(matches!(err, DbError::Deadlock { .. }), "got {err:?}");
+        lm.release_all(TxnId(3));
+        h2.join().unwrap().unwrap();
+        lm.release_all(TxnId(2));
+        h1.join().unwrap().unwrap();
+
+        let reports = lm.recent_deadlocks();
+        assert_eq!(reports.len(), 1, "exactly one deadlock captured");
+        let r = &reports[0];
+        assert_eq!(r.victim, 3, "youngest txn in the cycle is the victim");
+        let mut members = r.cycle.clone();
+        members.sort_unstable();
+        assert_eq!(members, vec![1, 2, 3], "full three-party cycle: {:?}", r.cycle);
+        assert_eq!(r.parties.len(), 3);
+        let victim_party = r.parties.iter().find(|p| p.txn == 3).unwrap();
+        assert!(
+            victim_party.requested.contains("row 1 of table#1"),
+            "victim's blocked request is named: {}",
+            victim_party.requested
+        );
+        assert!(
+            victim_party.held.iter().any(|h| h.contains("row 3 of table#1")),
+            "victim's held locks are listed: {:?}",
+            victim_party.held
+        );
+        assert_eq!(victim_party.sql.as_deref(), Some("UPDATE t SET n = 3 WHERE id = 1"));
+        let rendered = r.render();
+        assert!(rendered.contains("victim txn3"), "{rendered}");
+        assert!(r.cycle_desc().starts_with("txn"), "{}", r.cycle_desc());
+    }
+
+    #[test]
+    fn stmt_wait_accumulator_tracks_blocking() {
+        let lm = lm(5_000);
+        let _ = take_stmt_lock_wait();
+        lm.lock(TxnId(1), Res::Row(T, 1), LockMode::X).unwrap();
+        assert_eq!(take_stmt_lock_wait(), 0, "immediate grants add no wait");
+        let lm2 = lm.clone();
+        let h = thread::spawn(move || {
+            let _ = take_stmt_lock_wait();
+            lm2.lock(TxnId(2), Res::Row(T, 1), LockMode::X).unwrap();
+            take_stmt_lock_wait()
+        });
+        thread::sleep(Duration::from_millis(60));
+        lm.release_all(TxnId(1));
+        let waited = h.join().unwrap();
+        assert!(waited >= 40_000, "blocked thread accumulated wait micros: {waited}");
     }
 
     #[test]

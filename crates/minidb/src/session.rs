@@ -333,6 +333,52 @@ mod tests {
     }
 
     #[test]
+    fn explain_covers_every_plannable_dml() {
+        let db = db();
+        let mut s = Session::new(&db);
+        let explain = |s: &mut Session, sql: &str| -> String {
+            let rows = s.query(sql, &[]).unwrap();
+            rows[0][0].as_str().unwrap().to_string()
+        };
+        let plan = explain(&mut s, "EXPLAIN UPDATE t SET n = 0 WHERE id = 1");
+        assert!(plan.starts_with("TBSCAN") || plan.starts_with("IXSCAN"), "{plan}");
+        let plan = explain(&mut s, "EXPLAIN DELETE FROM t WHERE id = 1");
+        assert!(plan.starts_with("TBSCAN") || plan.starts_with("IXSCAN"), "{plan}");
+        let plan = explain(&mut s, "EXPLAIN INSERT INTO t (id, name, n) VALUES (9, 'x', 0)");
+        assert!(plan.starts_with("INSERT t"), "{plan}");
+        assert!(plan.contains("index maintenance"), "{plan}");
+        // Both arms of a set-difference query are planned.
+        let plan = explain(&mut s, "EXPLAIN SELECT name FROM t EXCEPT SELECT name FROM t");
+        assert!(plan.contains("\nEXCEPT\n"), "{plan}");
+        // Nested EXPLAIN unwraps to the innermost statement's plan.
+        let plan = explain(&mut s, "EXPLAIN EXPLAIN SELECT * FROM t WHERE id = 1");
+        assert!(plan.starts_with("TBSCAN") || plan.starts_with("IXSCAN"), "{plan}");
+        // DDL has no access plan: a clear error, not a panic or silence.
+        let err = s.query("EXPLAIN CREATE TABLE z (id BIGINT)", &[]).unwrap_err();
+        assert!(matches!(err, DbError::Plan(ref m) if m.contains("DDL")), "{err}");
+    }
+
+    #[test]
+    fn slow_statement_log_captures_plan_and_lock_waits() {
+        let db = db();
+        db.set_slow_statement_threshold(Some(std::time::Duration::ZERO));
+        let mut s = Session::new(&db);
+        s.exec("INSERT INTO t (id, name, n) VALUES (1, 'a', 10)").unwrap();
+        s.query("SELECT * FROM t WHERE id = 1", &[]).unwrap();
+        let slow = db.recent_slow_statements();
+        assert!(!slow.is_empty(), "threshold zero records every statement");
+        let last = slow.last().unwrap();
+        assert_eq!(last.sql.as_deref(), Some("SELECT * FROM t WHERE id = 1"));
+        let plan = last.plan.as_deref().unwrap();
+        assert!(plan.starts_with("TBSCAN") || plan.starts_with("IXSCAN"), "{plan}");
+        assert!(last.render().contains("lock wait"), "{}", last.render());
+        db.set_slow_statement_threshold(None);
+        let before = db.recent_slow_statements().len();
+        s.query("SELECT * FROM t WHERE id = 1", &[]).unwrap();
+        assert_eq!(db.recent_slow_statements().len(), before, "disabled log stays quiet");
+    }
+
+    #[test]
     fn prepared_statement_pins_plan_until_rebind() {
         let db = db();
         db.set_table_stats("t", 1_000_000).unwrap();

@@ -534,6 +534,22 @@ mod tests {
     }
 
     #[test]
+    fn parse_explain_wraps_any_statement() {
+        // The parser accepts EXPLAIN over every statement form; the engine
+        // decides which ones have a plan to show.
+        for sql in [
+            "EXPLAIN INSERT INTO t (a) VALUES (1)",
+            "EXPLAIN UPDATE t SET a = 1 WHERE a = 2",
+            "EXPLAIN DELETE FROM t WHERE a = 1",
+            "EXPLAIN CREATE TABLE t (a INT)",
+            "EXPLAIN EXPLAIN SELECT * FROM t",
+        ] {
+            let s = parse(sql).unwrap();
+            assert!(matches!(s, Stmt::Explain(_)), "{sql}");
+        }
+    }
+
+    #[test]
     fn parse_errors() {
         assert!(parse("SELECT FROM t").is_err());
         assert!(parse("CREATE UNIQUE TABLE t (a INT)").is_err());

@@ -351,10 +351,14 @@ impl Wal {
             .count();
         inner.durable_lsn = inner.durable_lsn.max(target);
         self.durable.store(inner.durable_lsn, Ordering::Release);
+        let durable = inner.durable_lsn;
         drop(inner);
         self.forces.fetch_add(1, Ordering::Relaxed);
         self.batch_hist.record(covered as u64);
         self.force_hist.record_micros(started.elapsed());
+        obs::journal::record(obs::journal::JournalKind::WalForce, 0, || {
+            format!("wal force to lsn {durable} covering {covered} commits")
+        });
         true
     }
 

@@ -1,0 +1,375 @@
+//! Chrome-trace / Perfetto JSON export over the span ring and the journal.
+//!
+//! [`export_chrome_trace`] renders the buffered spans as `ph:"X"` complete
+//! events and the journal timeline as `ph:"i"` instant events in the
+//! Chrome trace-event JSON format, which <https://ui.perfetto.dev> (and
+//! `chrome://tracing`) load directly. Both rings are *snapshotted*, not
+//! drained — exporting the evidence must not destroy it.
+//!
+//! The JSON is hand-rolled (the workspace has no serde_json);
+//! [`json_is_well_formed`] is the matching minimal syntax checker used by
+//! CI and the fault-matrix tests to validate an export without a parser
+//! dependency.
+
+use crate::journal::{self, JournalEvent};
+use crate::trace::{global_ring, Layer, Outcome, SpanEvent};
+
+/// Escape a string for a JSON string literal.
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Stable small process id per layer, so Perfetto groups spans by stack
+/// layer (named via `process_name` metadata events).
+fn layer_pid(layer: Layer) -> u32 {
+    match layer {
+        Layer::Host => 1,
+        Layer::Rpc => 2,
+        Layer::Dlfm => 3,
+        Layer::Minidb => 4,
+        Layer::Daemon => 5,
+    }
+}
+
+/// Render spans + journal events as a Chrome trace-event JSON document.
+pub fn chrome_trace(spans: &[SpanEvent], events: &[JournalEvent]) -> String {
+    let mut out = String::with_capacity(256 + 160 * (spans.len() + events.len()));
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let push_sep = |out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+    };
+    // Name the per-layer "processes" so the Perfetto track list reads as
+    // the stack: host / rpc / dlfm / minidb / daemon.
+    for layer in [Layer::Host, Layer::Rpc, Layer::Dlfm, Layer::Minidb, Layer::Daemon] {
+        push_sep(&mut out, &mut first);
+        out.push_str(&format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            layer_pid(layer),
+            layer.as_str()
+        ));
+    }
+    for s in spans {
+        push_sep(&mut out, &mut first);
+        // One thread track per trace: spans of one statement nest visually.
+        let tid = s.trace_id % 1_000_000;
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":{},\"tid\":{},\"args\":{{\"trace_id\":\"{:016x}\",\
+             \"span_id\":\"{:016x}\",\"outcome\":\"{}\"}}}}",
+            s.op,
+            s.layer.as_str(),
+            s.start_micros,
+            s.duration.as_micros().max(1),
+            layer_pid(s.layer),
+            tid,
+            s.trace_id,
+            s.span_id,
+            if s.outcome == Outcome::Ok { "ok" } else { "err" },
+        ));
+    }
+    for e in events {
+        push_sep(&mut out, &mut first);
+        let tid = e.trace_id % 1_000_000;
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"journal\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{},\
+             \"pid\":6,\"tid\":{},\"args\":{{\"txn\":{},\"trace_id\":\"{:016x}\",\"detail\":\"",
+            e.kind.as_str(),
+            e.micros,
+            tid,
+            e.txn,
+            e.trace_id,
+        ));
+        escape_into(&e.detail, &mut out);
+        out.push_str("\"}}");
+    }
+    // The journal's own pseudo-process.
+    push_sep(&mut out, &mut first);
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":6,\"tid\":0,\
+         \"args\":{\"name\":\"journal\"}}",
+    );
+    out.push_str("]}");
+    out
+}
+
+/// Export the global span ring and journal as a Chrome trace JSON
+/// document (non-destructive snapshots of both).
+pub fn export_chrome_trace() -> String {
+    chrome_trace(&global_ring().snapshot(), &journal::snapshot())
+}
+
+/// Minimal JSON well-formedness check: one value, correctly nested
+/// structures, valid string/number/literal tokens, nothing trailing.
+/// Enough to catch every way hand-rolled emission can go wrong (unescaped
+/// quotes, unbalanced brackets, stray commas producing empty members).
+pub fn json_is_well_formed(s: &str) -> bool {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let ok = parse_value(bytes, &mut pos);
+    skip_ws(bytes, &mut pos);
+    ok && pos == bytes.len()
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> bool {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_literal(b, pos, b"true"),
+        Some(b'f') => parse_literal(b, pos, b"false"),
+        Some(b'n') => parse_literal(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        _ => false,
+    }
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> bool {
+    if b.len() - *pos >= lit.len() && &b[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> bool {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |b: &[u8], pos: &mut usize| {
+        let s = *pos;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        *pos > s
+    };
+    if !digits(b, pos) {
+        return false;
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(b, pos) {
+            return false;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(b, pos) {
+            return false;
+        }
+    }
+    *pos > start
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> bool {
+    if b.get(*pos) != Some(&b'"') {
+        return false;
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return true;
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            if !b.get(*pos).is_some_and(u8::is_ascii_hexdigit) {
+                                return false;
+                            }
+                            *pos += 1;
+                        }
+                    }
+                    _ => return false,
+                }
+            }
+            0x00..=0x1f => return false, // control chars must be escaped
+            _ => *pos += 1,
+        }
+    }
+    false // unterminated
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // past '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        skip_ws(b, pos);
+        if !parse_string(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return false;
+        }
+        *pos += 1;
+        if !parse_value(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // past '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        if !parse_value(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{JournalEvent, JournalKind};
+    use std::time::Duration;
+
+    fn span(op: &'static str, layer: Layer, start: u64, dur: u64) -> SpanEvent {
+        SpanEvent {
+            seq: 0,
+            trace_id: 0xabcd,
+            span_id: 1,
+            parent_span_id: 0,
+            layer,
+            op,
+            outcome: Outcome::Ok,
+            start_micros: start,
+            duration: Duration::from_micros(dur),
+        }
+    }
+
+    fn event(kind: JournalKind, detail: &str) -> JournalEvent {
+        JournalEvent {
+            seq: 0,
+            micros: 42,
+            trace_id: 0xabcd,
+            txn: 7,
+            kind,
+            detail: detail.to_string(),
+        }
+    }
+
+    #[test]
+    fn export_is_well_formed_and_carries_both_sources() {
+        let spans = [span("stmt", Layer::Host, 10, 300), span("wal_force", Layer::Minidb, 50, 80)];
+        let events = [
+            event(JournalKind::Deadlock, "txn1 -> txn2 -> txn1, victim txn2"),
+            event(JournalKind::FaultFire, "fault point \"rpc.call.drop\"\nfired"),
+        ];
+        let json = chrome_trace(&spans, &events);
+        assert!(json_is_well_formed(&json), "export must be valid JSON: {json}");
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"wal_force\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("victim txn2"));
+        assert!(json.contains("\\\"rpc.call.drop\\\""), "quotes in details are escaped");
+    }
+
+    #[test]
+    fn empty_export_is_still_valid() {
+        let json = chrome_trace(&[], &[]);
+        assert!(json_is_well_formed(&json), "empty export must be valid JSON: {json}");
+        assert!(json.contains("traceEvents"));
+    }
+
+    #[test]
+    fn json_checker_accepts_and_rejects() {
+        for good in [
+            "{}",
+            "[]",
+            "{\"a\":[1,2.5,-3e4,true,false,null,\"s\\n\"]}",
+            "  {\"traceEvents\":[{\"ts\":1}]} ",
+        ] {
+            assert!(json_is_well_formed(good), "should accept: {good}");
+        }
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{'a':1}",
+            "{\"a\":1}x",
+            "{\"a\":\"unterminated}",
+            "{\"a\":01e}",
+            "[\"tab\tliteral\"]",
+        ] {
+            assert!(!json_is_well_formed(bad), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn global_export_includes_live_spans() {
+        crate::journal::arm();
+        {
+            let _s = crate::trace::span(Layer::Daemon, "export_test_span");
+        }
+        crate::journal::record(JournalKind::Info, 0, || "export test event".into());
+        let json = export_chrome_trace();
+        assert!(json_is_well_formed(&json));
+        assert!(json.contains("export_test_span"));
+        assert!(json.contains("export test event"));
+        crate::journal::disarm();
+    }
+}

@@ -146,6 +146,10 @@ fn fire_slow(point: &str) -> bool {
     if fired {
         st.fires += 1;
     }
+    drop(guard); // release the plan lock before journaling (it may dump)
+    if fired {
+        crate::journal::on_fault_fired(point);
+    }
     fired
 }
 

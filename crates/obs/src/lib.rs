@@ -16,7 +16,13 @@
 //!   environment variable, prefixed with the current trace id;
 //! * [`fault`] — deterministic, seeded fault injection: named fault
 //!   points threaded through WAL, storage, RPC, filesys, and 2PC code,
-//!   zero-cost when disabled, replayable from a seed when armed.
+//!   zero-cost when disabled, replayable from a seed when armed;
+//! * [`journal`] — the flight recorder: a bounded ring of structured
+//!   events (lock waits, deadlock victims, 2PC transitions, WAL forces,
+//!   admission rejects, fault fires) that dumps on panic, fault fire, or
+//!   `DLFM_JOURNAL_DUMP`; one relaxed atomic load when disarmed;
+//! * [`export`] — Chrome-trace/Perfetto JSON export over the span ring
+//!   and the journal, plus the minimal JSON checker CI validates it with.
 //!
 //! The paper's lessons (§3.2.1, §4) were found in production telemetry;
 //! this crate is what lets the reproduction see the same pathologies —
@@ -24,14 +30,18 @@
 
 #![warn(missing_docs)]
 
+pub mod export;
 pub mod fault;
 pub mod hist;
+pub mod journal;
 pub mod logging;
 pub mod registry;
 pub mod trace;
 
+pub use export::{export_chrome_trace, json_is_well_formed};
 pub use fault::{FaultGuard, Trigger};
 pub use hist::{Histogram, Report};
+pub use journal::{JournalEvent, JournalKind};
 pub use registry::Registry;
 pub use trace::{
     current_ctx, drain_spans, set_current_ctx, span, span_root, Layer, Outcome, SpanEvent,

@@ -108,16 +108,23 @@ pub struct SpanEvent {
     pub op: &'static str,
     /// How the span ended.
     pub outcome: Outcome,
+    /// Monotonic microseconds since process start when the span opened
+    /// (same clock as the journal, so spans and journal events share one
+    /// timeline in the Chrome-trace export).
+    pub start_micros: u64,
     /// Wall-clock duration.
     pub duration: Duration,
 }
 
 /// Bounded ring of finished spans: a lock-free slot claim (one
 /// `fetch_add`) plus a short per-slot latch for the write. Overflow
-/// overwrites the oldest events, keeping the newest.
+/// overwrites the oldest events, keeping the newest — and counts each
+/// overwrite, so drops are observable instead of silent.
 pub struct SpanRing {
     slots: Box<[Mutex<Option<SpanEvent>>]>,
     next: AtomicU64,
+    dropped: AtomicU64,
+    drained: AtomicU64,
 }
 
 impl SpanRing {
@@ -126,15 +133,37 @@ impl SpanRing {
         assert!(capacity > 0, "ring capacity must be positive");
         let slots: Vec<Mutex<Option<SpanEvent>>> =
             (0..capacity).map(|_| Mutex::new(None)).collect();
-        SpanRing { slots: slots.into_boxed_slice(), next: AtomicU64::new(0) }
+        SpanRing {
+            slots: slots.into_boxed_slice(),
+            next: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+        }
     }
 
-    /// Push one finished span, overwriting the oldest on overflow.
+    /// Push one finished span, overwriting (and counting) the oldest on
+    /// overflow.
     pub fn push(&self, mut event: SpanEvent) {
         let seq = self.next.fetch_add(1, Ordering::Relaxed);
         event.seq = seq;
         let slot = (seq % self.slots.len() as u64) as usize;
-        *self.slots[slot].lock().unwrap_or_else(|e| e.into_inner()) = Some(event);
+        let prev = self.slots[slot].lock().unwrap_or_else(|e| e.into_inner()).replace(event);
+        if prev.is_some() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Copy every buffered span, oldest first, leaving the ring intact
+    /// (exports must not destroy the evidence they report).
+    pub fn snapshot(&self) -> Vec<SpanEvent> {
+        let mut out: Vec<SpanEvent> = Vec::new();
+        for slot in self.slots.iter() {
+            if let Some(ev) = slot.lock().unwrap_or_else(|e| e.into_inner()).clone() {
+                out.push(ev);
+            }
+        }
+        out.sort_by_key(|e| e.seq);
+        out
     }
 
     /// Take every buffered span, oldest first, leaving the ring empty.
@@ -146,12 +175,23 @@ impl SpanRing {
             }
         }
         out.sort_by_key(|e| e.seq);
+        self.drained.fetch_add(out.len() as u64, Ordering::Relaxed);
         out
     }
 
     /// Spans pushed over the ring's lifetime (including overwritten ones).
     pub fn pushed(&self) -> u64 {
         self.next.load(Ordering::Relaxed)
+    }
+
+    /// Spans lost to ring overflow before anyone drained them.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Spans taken out via [`SpanRing::drain`].
+    pub fn drained(&self) -> u64 {
+        self.drained.load(Ordering::Relaxed)
     }
 }
 
@@ -179,6 +219,7 @@ pub struct SpanGuard {
     layer: Layer,
     op: &'static str,
     start: Instant,
+    start_micros: u64,
     outcome: Outcome,
 }
 
@@ -210,6 +251,7 @@ impl Drop for SpanGuard {
             layer: self.layer,
             op: self.op,
             outcome: self.outcome,
+            start_micros: self.start_micros,
             duration: self.start.elapsed(),
         });
     }
@@ -231,6 +273,7 @@ pub fn span(layer: Layer, op: &'static str) -> SpanGuard {
         layer,
         op,
         start: Instant::now(),
+        start_micros: crate::journal::now_micros(),
         outcome: Outcome::Ok,
     }
 }
@@ -248,6 +291,7 @@ pub fn span_root(layer: Layer, op: &'static str) -> SpanGuard {
         layer,
         op,
         start: Instant::now(),
+        start_micros: crate::journal::now_micros(),
         outcome: Outcome::Ok,
     }
 }
@@ -276,14 +320,18 @@ mod tests {
                 layer: Layer::Host,
                 op: "t",
                 outcome: Outcome::Ok,
+                start_micros: 0,
                 duration: Duration::ZERO,
             });
         }
+        assert_eq!(ring.dropped(), 6, "overwrites are counted exactly");
+        assert_eq!(ring.snapshot().len(), 4, "snapshot is non-destructive");
         let drained = ring.drain();
         assert_eq!(drained.len(), 4);
         let ids: Vec<u64> = drained.iter().map(|e| e.trace_id).collect();
         assert_eq!(ids, vec![6, 7, 8, 9], "only the newest events survive, oldest first");
         assert_eq!(ring.pushed(), 10);
+        assert_eq!(ring.drained(), 4);
         assert!(ring.drain().is_empty(), "drain empties the ring");
     }
 

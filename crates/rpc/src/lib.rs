@@ -244,6 +244,10 @@ impl<Req, Resp> ClientConn<Req, Resp> {
             Some(adm) => self.tx.send_timeout(env, adm.timeout).map_err(|e| match e {
                 crossbeam::channel::SendTimeoutError::Timeout(_) => {
                     adm.pool.rejects.fetch_add(1, Ordering::Relaxed);
+                    let timeout = adm.timeout;
+                    obs::journal::record(obs::journal::JournalKind::PoolReject, 0, || {
+                        format!("admission reject: run queue full past {timeout:?}")
+                    });
                     RpcError::Overloaded
                 }
                 crossbeam::channel::SendTimeoutError::Disconnected(_) => RpcError::Disconnected,

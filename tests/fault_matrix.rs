@@ -238,6 +238,60 @@ fn seed_sweep_preserves_commit_and_takeover_invariants() {
 }
 
 // ---------------------------------------------------------------------
+// Flight recorder: a seeded fault run must leave a journal containing the
+// fault fires and the matching 2PC transitions, and its Perfetto export
+// must be valid Chrome-trace JSON.
+// ---------------------------------------------------------------------
+
+#[test]
+fn journal_records_fault_fires_and_matching_twopc_transitions() {
+    let _s = serial();
+    obs::journal::arm();
+    // The journal is process-global; scope every assertion to events
+    // recorded after this point.
+    let baseline = obs::journal::snapshot().iter().map(|e| e.seq).max().map_or(0, |s| s + 1);
+
+    let d = Driver::new();
+    let conn = d.conn();
+    let xid = d.dep.host.next_xid();
+    assert_eq!(d.link(&conn, xid, "/jr"), DlfmResponse::Ok);
+    conn.call(DlfmRequest::Prepare { xid }).unwrap();
+    // Phase-2 commit deadlocks twice before succeeding: two fault fires,
+    // two journaled retry transitions, then the COMMITTED transition.
+    let _g = fault::install_guarded(13, &[("dlfm.phase2.deadlock", Trigger::Times(2))]);
+    assert_eq!(conn.call(DlfmRequest::Commit { xid }).unwrap(), DlfmResponse::Ok);
+    fault::clear();
+
+    let events: Vec<obs::JournalEvent> =
+        obs::journal::snapshot().into_iter().filter(|e| e.seq >= baseline).collect();
+    let fires = events
+        .iter()
+        .filter(|e| {
+            e.kind == obs::JournalKind::FaultFire && e.detail.contains("dlfm.phase2.deadlock")
+        })
+        .count();
+    assert_eq!(fires, 2, "both fault fires journaled: {events:#?}");
+    let mine: Vec<&obs::JournalEvent> =
+        events.iter().filter(|e| e.kind == obs::JournalKind::TwoPc && e.txn == xid).collect();
+    let retries = mine.iter().filter(|e| e.detail.contains("retryable error")).count();
+    assert_eq!(retries, 2, "each fire has a matching 2PC retry transition: {mine:#?}");
+    for needle in ["begun", "PREPARED", "COMMITTED"] {
+        assert!(
+            mine.iter().any(|e| e.detail.contains(needle)),
+            "2PC lifecycle transition {needle:?} journaled for xid#{xid}: {mine:#?}"
+        );
+    }
+
+    // The same evidence must survive the trip through the Perfetto export.
+    let trace = obs::export_chrome_trace();
+    assert!(obs::json_is_well_formed(&trace), "export must be valid Chrome-trace JSON");
+    assert!(trace.contains("\"traceEvents\""));
+    assert!(trace.contains("fault_fire"), "fault fires exported");
+    assert!(trace.contains("dlfm.phase2.deadlock"), "fault point named in the export");
+    assert!(trace.contains(&format!("xid#{xid} PREPARED")), "2PC transitions exported");
+}
+
+// ---------------------------------------------------------------------
 // Crash points at the 2PC boundaries (targeted, nth-hit triggers).
 // ---------------------------------------------------------------------
 
