@@ -3,15 +3,17 @@
 #   ./ci.sh            full gate (build, tests, clippy, fmt, commit-path smoke)
 #   ./ci.sh fast       skip the release build and the smoke benches
 #   ./ci.sh smoke      only the commit-path smoke benches (e5 + tiny e11/e12)
+#   ./ci.sh bench-gate tiny benches vs the committed baseline (perf-regression gate)
 set -euo pipefail
 cd "$(dirname "$0")"
 
 step() { printf '\n==> %s\n' "$*"; }
 
 # Exercise the commit path end to end with tiny parameters: the E5
-# sync-commit scenario, a two-point E11 group-commit sweep, and a small
-# E12 dedicated-vs-pooled agent sweep. Bench JSON summaries land in
-# target/ so the tree stays clean.
+# sync-commit scenario (telemetry watchdog armed on its healthy arm), a
+# two-point E11 group-commit sweep, and a small E12 dedicated-vs-pooled
+# agent sweep. Bench JSON summaries land in target/ so the tree stays
+# clean.
 smoke() {
   step "fault-matrix smoke: seed slice of the fault-injection sweep"
   FAULT_MATRIX_SEEDS=2 cargo test -q --offline -p datalinks --test fault_matrix
@@ -19,19 +21,56 @@ smoke() {
   # Stands up a live deployment, renders both status pages, and validates
   # the Chrome-trace export; the example exits nonzero on any failure.
   cargo run -q --offline --release -p datalinks --example dlfmtop
+  step "telemetry smoke: dlfmtop --watch (bounded live mode, zero alerts)"
+  # Live sampler over healthy traffic for three ticks; exits nonzero on
+  # any false-positive health alert.
+  cargo run -q --offline --release -p datalinks --example dlfmtop -- --watch 0.3 --ticks 3
   step "commit-path smoke: e11_group_commit (tiny sweep)"
   RUN_SECS=0.2 CLIENTS=8 FORCE_MS=1 BENCH_METRICS=0 BENCH_JSON_DIR=target \
     cargo run -q --offline --release -p bench --bin e11_group_commit
-  step "commit-path smoke: e5_sync_commit"
-  BENCH_METRICS=0 BENCH_JSON_DIR=target \
+  step "commit-path smoke: e5_sync_commit (watchdog armed)"
+  # WATCHDOG=1 samples the sync arm with the stock rules; e5 exits
+  # nonzero if the healthy arm trips any rule.
+  WATCHDOG=1 BENCH_METRICS=0 BENCH_JSON_DIR=target \
     cargo run -q --offline --release -p bench --bin e5_sync_commit
   step "agent-model smoke: e12_agent_scaling (tiny sweep)"
   RUN_SECS=0.2 CLIENTS=8 BENCH_METRICS=0 BENCH_JSON_DIR=target \
     cargo run -q --offline --release -p bench --bin e12_agent_scaling
 }
 
+# Perf-regression gate: re-run the smoke benches into target/bench-gate,
+# consolidate them into a BENCH_SUMMARY.json, and diff against the
+# committed baseline. Tolerances are deliberately loose (machines differ);
+# the gate exists to catch catastrophic regressions and arms that stopped
+# running, not 5% noise. Refresh the baseline with:
+#   BENCH_JSON_DIR=crates/bench/baselines ./ci.sh bench-gate  # then
+#   cp target/bench-gate/BENCH_SUMMARY.json crates/bench/baselines/smoke.json
+bench_gate() {
+  step "bench-gate: tiny benches into target/bench-gate"
+  rm -rf target/bench-gate
+  mkdir -p target/bench-gate
+  RUN_SECS=0.2 CLIENTS=8 FORCE_MS=1 BENCH_METRICS=0 BENCH_JSON_DIR=target/bench-gate \
+    cargo run -q --offline --release -p bench --bin e11_group_commit
+  BENCH_METRICS=0 BENCH_JSON_DIR=target/bench-gate \
+    cargo run -q --offline --release -p bench --bin e5_sync_commit
+  RUN_SECS=0.2 CLIENTS=8 BENCH_METRICS=0 BENCH_JSON_DIR=target/bench-gate \
+    cargo run -q --offline --release -p bench --bin e12_agent_scaling
+  step "bench-gate: consolidate + compare against crates/bench/baselines/smoke.json"
+  BENCH_JSON_DIR=target/bench-gate \
+    cargo run -q --offline --release -p bench --bin run_all -- --consolidate-only
+  cargo run -q --offline --release -p bench --bin bench_compare -- \
+    crates/bench/baselines/smoke.json target/bench-gate/BENCH_SUMMARY.json \
+    --tol-ops 0.85 --tol-p99 19.0 --min-ops 5 --min-p99-us 2000
+}
+
 if [[ "${1:-}" == "smoke" ]]; then
   smoke
+  step "OK"
+  exit 0
+fi
+
+if [[ "${1:-}" == "bench-gate" ]]; then
+  bench_gate
   step "OK"
   exit 0
 fi

@@ -1,0 +1,101 @@
+//! Diff two bench summaries and fail on perf regressions.
+//!
+//! ```text
+//! bench_compare <baseline.json> <current.json> \
+//!     [--tol-ops FRAC] [--tol-p99 FRAC] [--min-ops N] [--min-p99-us N]
+//! ```
+//!
+//! Both files may be `BENCH_SUMMARY.json` documents (as written by
+//! `run_all`) or single-experiment `BENCH_E*.json` files. Every arm in the
+//! baseline must still exist in the current run and stay within tolerance:
+//! throughput may drop at most `--tol-ops` (fraction, default 0.10) and
+//! p99 latency may inflate at most `--tol-p99` (default 0.50). Arms below
+//! the `--min-ops` / `--min-p99-us` floors are skipped as noise. Exits 1
+//! on any regression — this is the CI `bench-gate`.
+
+use std::path::Path;
+use std::process::exit;
+
+use bench::json::parse;
+use bench::summary::{compare, Tolerances};
+
+fn load(path: &str) -> bench::json::Json {
+    let text = std::fs::read_to_string(Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("bench_compare: cannot read {path}: {e}");
+        exit(2);
+    });
+    parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_compare: cannot parse {path}: {e}");
+        exit(2);
+    })
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_compare <baseline.json> <current.json> \
+         [--tol-ops FRAC] [--tol-p99 FRAC] [--min-ops N] [--min-p99-us N]"
+    );
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut tol = Tolerances::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut flag_value = |name: &str| -> f64 {
+            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("bench_compare: {name} needs a numeric value");
+                exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--tol-ops" => tol.ops_frac = flag_value("--tol-ops"),
+            "--tol-p99" => tol.p99_frac = flag_value("--tol-p99"),
+            "--min-ops" => tol.min_ops = flag_value("--min-ops"),
+            "--min-p99-us" => tol.min_p99_us = flag_value("--min-p99-us"),
+            "--help" | "-h" => usage(),
+            f if !f.starts_with('-') => files.push(f.to_string()),
+            _ => usage(),
+        }
+    }
+    if files.len() != 2 {
+        usage();
+    }
+    let baseline = load(&files[0]);
+    let current = load(&files[1]);
+
+    println!("bench_compare: {} vs {}", files[0], files[1]);
+    for (label, doc) in [("baseline", &baseline), ("current", &current)] {
+        if let Some(rev) = doc.get("git_rev").and_then(|v| v.as_str()) {
+            let date = doc.get("date").and_then(|v| v.as_str()).unwrap_or("?");
+            println!("  {label}: rev {rev} ({date})");
+        }
+    }
+    println!(
+        "  tolerances: ops -{:.0}%, p99 +{:.0}%, floors {} ops/s, {} us",
+        tol.ops_frac * 100.0,
+        tol.p99_frac * 100.0,
+        tol.min_ops,
+        tol.min_p99_us
+    );
+
+    let report = compare(&baseline, &current, tol);
+    for line in &report.checked {
+        println!("  ok   {line}");
+    }
+    for line in &report.regressions {
+        println!("  FAIL {line}");
+    }
+    if report.passed() {
+        println!("bench_compare: PASS ({} arms checked)", report.checked.len());
+    } else {
+        println!(
+            "bench_compare: FAIL ({} regressions over {} arms)",
+            report.regressions.len(),
+            report.checked.len() + report.regressions.len()
+        );
+        exit(1);
+    }
+}

@@ -35,9 +35,11 @@ struct Outcome {
     total: Duration,
     /// Prometheus text captured before the deployment is torn down.
     metrics: String,
+    /// Health alerts raised by the telemetry watchdog, if one was armed.
+    watch_alerts: u64,
 }
 
-fn run_arm(synchronous: bool) -> Outcome {
+fn run_arm(synchronous: bool, watchdog: bool) -> Outcome {
     let mut dlfm_config = dlfm::DlfmConfig::default();
     dlfm_config.db.lock_timeout = Duration::from_millis(300); // DLFM-side timeouts cycle fast
     dlfm_config.commit_retry_backoff = Duration::from_millis(10);
@@ -47,6 +49,16 @@ fn run_arm(synchronous: bool) -> Outcome {
     host_config.synchronous_commit = synchronous;
 
     let dep = Deployment::new("fs1", dlfm_config, host_config);
+    // WATCHDOG=1 arms the telemetry sampler over this arm with the stock
+    // rule set. Only the sync (healthy) arm is gated on zero alerts — the
+    // async arm livelocks by design, so its retry storm is a true positive.
+    let watch = watchdog.then(|| {
+        dep.spawn_watchdog(obs::WatchConfig {
+            interval: Duration::from_millis(250),
+            rules: dlfm::default_watch_rules(),
+            ..Default::default()
+        })
+    });
     let mut setup = dep.host.session();
     setup
         .create_table(
@@ -152,7 +164,8 @@ fn run_arm(synchronous: bool) -> Outcome {
     b_thread.join().unwrap();
     interloper.join().unwrap();
     let total = started.elapsed();
-    Outcome { livelocked, retries_in_window, total, metrics: dep.dlfm.metrics_text() }
+    let watch_alerts = watch.as_ref().map(|w| w.alerts()).unwrap_or(0);
+    Outcome { livelocked, retries_in_window, total, metrics: dep.dlfm.metrics_text(), watch_alerts }
 }
 
 /// Flight-recorder overhead guard: the journal's disarmed fast path is
@@ -185,6 +198,40 @@ fn journal_overhead_guard() -> (f64, f64) {
     (disarmed, armed)
 }
 
+/// Telemetry-sampler overhead guard, same shape as
+/// [`journal_overhead_guard`]: the watchdog samples on its own thread, so
+/// the workload should only pay for the shared metric counters it already
+/// maintains. Run the commit loop bare and with a 10 ms sampler scraping
+/// the engine's full snapshot, and report both rates and the delta.
+fn watch_overhead_guard() -> (f64, f64) {
+    const OPS: i64 = 2_000;
+    let run = |watch: bool| {
+        let db = minidb::Database::new(minidb::DbConfig::dlfm_tuned());
+        let _watch = watch.then(|| {
+            let scraped = db.clone();
+            obs::Watchdog::new(obs::WatchConfig {
+                interval: Duration::from_millis(10),
+                rules: dlfm::default_watch_rules(),
+                ..Default::default()
+            })
+            .provider("minidb", move || scraped.metrics_text())
+            .spawn()
+        });
+        let mut s = Session::new(&db);
+        s.exec("CREATE TABLE w (id BIGINT NOT NULL, n INTEGER)").unwrap();
+        s.exec("CREATE UNIQUE INDEX ix_w ON w (id)").unwrap();
+        let started = Instant::now();
+        for i in 0..OPS {
+            s.exec_params("INSERT INTO w (id, n) VALUES (?, 0)", &[Value::Int(i)]).unwrap();
+        }
+        OPS as f64 / started.elapsed().as_secs_f64()
+    };
+    let _ = run(false);
+    let bare = run(false);
+    let sampled = run(true);
+    (bare, sampled)
+}
+
 fn main() {
     banner(
         "E5",
@@ -199,10 +246,21 @@ fn main() {
          (armed delta {delta_pct:+.1}%); disarmed fast path is one relaxed load, \
          expected within noise (< 5%)\n"
     );
+    let (bare, sampled) = watch_overhead_guard();
+    let watch_delta_pct = (bare - sampled) / bare * 100.0;
+    println!(
+        "watch guard: {bare:.0} commits/s bare vs {sampled:.0} commits/s with a 10 ms \
+         sampler attached (sampler delta {watch_delta_pct:+.1}%); scraping runs on the \
+         sampler thread, expected within noise (< 5%)\n"
+    );
+    let watchdog_on = std::env::var("WATCHDOG").as_deref() == Ok("1");
+    if watchdog_on {
+        println!("WATCHDOG=1: telemetry watchdog armed on the sync arm (must stay silent)\n");
+    }
     let w = [14, 22, 20, 14];
     row(&["commit mode", "livelock observed", "phase-2 retries", "total time"], &w);
     row(&["-----------", "-----------------", "---------------", "----------"], &w);
-    let async_outcome = run_arm(false);
+    let async_outcome = run_arm(false, false);
     row(
         &[
             "ASYNCHRONOUS",
@@ -212,7 +270,7 @@ fn main() {
         ],
         &w,
     );
-    let sync_outcome = run_arm(true);
+    let sync_outcome = run_arm(true, watchdog_on);
     row(
         &[
             "SYNCHRONOUS",
@@ -245,15 +303,16 @@ fn main() {
             ("livelocked".into(), if o.livelocked { 1.0 } else { 0.0 }),
             ("phase2_retries".into(), o.retries_in_window as f64),
             ("total_secs".into(), o.total.as_secs_f64()),
+            ("watch_alerts".into(), o.watch_alerts as f64),
         ],
     };
-    let guard_arm = |label: &str, rate: f64| bench::JsonArm {
+    let guard_arm = |label: &str, rate: f64, key: &str, pct: f64| bench::JsonArm {
         label: label.to_string(),
         ops_per_sec: rate,
         p50_us: 0,
         p95_us: 0,
         p99_us: 0,
-        extra: vec![("journal_delta_pct".into(), delta_pct)],
+        extra: vec![(key.to_string(), pct)],
     };
     bench::write_json_summary(
         "E5",
@@ -261,9 +320,20 @@ fn main() {
         &[
             arm("async", &async_outcome),
             arm("sync", &sync_outcome),
-            guard_arm("journal_disarmed", disarmed),
-            guard_arm("journal_armed", armed),
+            guard_arm("journal_disarmed", disarmed, "journal_delta_pct", delta_pct),
+            guard_arm("journal_armed", armed, "journal_delta_pct", delta_pct),
+            guard_arm("watch_bare", bare, "watch_delta_pct", watch_delta_pct),
+            guard_arm("watch_sampled", sampled, "watch_delta_pct", watch_delta_pct),
         ],
     );
     bench::dump_metrics(&sync_outcome.metrics);
+    // With WATCHDOG=1 the sync arm is a correctness gate: the healthy arm
+    // must not trip any rule (the async arm's alerts are true positives).
+    if watchdog_on && sync_outcome.watch_alerts > 0 {
+        eprintln!(
+            "e5: watchdog raised {} false-positive alert(s) on the healthy sync arm",
+            sync_outcome.watch_alerts
+        );
+        std::process::exit(1);
+    }
 }

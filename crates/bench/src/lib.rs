@@ -11,6 +11,9 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+pub mod summary;
+
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -115,57 +118,11 @@ pub fn dump_metrics(text: &str) {
 }
 
 /// Render metrics for experiments that drive a raw minidb [`Database`]
-/// without a DLFM server (E4, E6): lock-manager counters and the
-/// lock-wait / WAL-force latency histograms.
+/// without a DLFM server (E4, E6). Now a thin wrapper over
+/// [`minidb::Database::metrics_text`], which renders the same `minidb_*`
+/// block every other layer exports.
 pub fn minidb_metrics_text(db: &minidb::Database) -> String {
-    let mut r = obs::Registry::new();
-    let lm = db.lock_metrics().snapshot();
-    for (kind, value) in [
-        ("immediate_grants", lm.immediate_grants),
-        ("waits", lm.waits),
-        ("deadlocks", lm.deadlocks),
-        ("timeouts", lm.timeouts),
-        ("escalations", lm.escalations),
-        ("acquisitions", lm.acquisitions),
-    ] {
-        r.counter(
-            "minidb_lock_events_total",
-            "Lock-manager events by kind (paper section 4).",
-            &[("kind", kind)],
-            value,
-        );
-    }
-    r.histogram(
-        "minidb_lock_wait_micros",
-        "Time spent blocked in the lock manager before grant, timeout, or deadlock abort.",
-        &[],
-        db.lock_wait_hist(),
-    );
-    r.histogram(
-        "minidb_wal_force_micros",
-        "WAL force (simulated fsync) latency.",
-        &[],
-        db.wal_force_hist(),
-    );
-    r.counter(
-        "minidb_wal_forces_total",
-        "WAL forces performed (one simulated fsync each).",
-        &[],
-        db.wal_forces_total(),
-    );
-    r.counter(
-        "minidb_wal_commits_total",
-        "Commit records appended to the WAL.",
-        &[],
-        db.wal_commits_total(),
-    );
-    r.histogram(
-        "minidb_wal_force_batch_commits",
-        "Commit records made durable per WAL force (group-commit batch size).",
-        &[],
-        db.wal_force_batch_hist(),
-    );
-    r.render()
+    db.metrics_text()
 }
 
 /// One arm of a benchmark in the machine-readable summary: a label, a

@@ -1,0 +1,354 @@
+//! Bench-summary consolidation and regression comparison.
+//!
+//! [`consolidate`] folds every per-experiment `BENCH_E*.json` in a
+//! directory into one `BENCH_SUMMARY.json`, stamped with the git
+//! revision, the UTC date, and the workload-scaling environment — the
+//! repo's perf-trajectory artifact. [`compare`] diffs two such summaries
+//! (or two single-experiment files) with per-metric tolerances; the
+//! `bench_compare` binary wraps it as the CI `bench-gate`.
+
+use std::path::{Path, PathBuf};
+
+use crate::json::{parse, Json};
+
+/// Name of the consolidated summary file.
+pub const SUMMARY_FILE: &str = "BENCH_SUMMARY.json";
+
+/// Consolidate every `BENCH_E*.json` under `dir` into one summary
+/// document and write it as [`SUMMARY_FILE`] in the same directory.
+/// Returns the path written and how many experiments went in.
+pub fn consolidate(dir: &Path) -> Result<(PathBuf, usize), String> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_E") && n.ends_with(".json"))
+        })
+        .collect();
+    // Numeric order (E1, E2, ... E10, E11), not lexicographic.
+    files.sort_by_key(|p| {
+        let name = p.file_name().unwrap().to_string_lossy().to_string();
+        let digits: String =
+            name.trim_start_matches("BENCH_E").chars().take_while(|c| c.is_ascii_digit()).collect();
+        (digits.parse::<u64>().unwrap_or(u64::MAX), name)
+    });
+
+    let mut experiments = Vec::new();
+    for path in &files {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let doc = parse(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))?;
+        experiments.push(doc);
+    }
+    if experiments.is_empty() {
+        return Err(format!("no BENCH_E*.json files under {}", dir.display()));
+    }
+
+    let unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let config = Json::Obj(
+        ["RUN_SECS", "CLIENTS", "SCALE"]
+            .iter()
+            .filter_map(|k| std::env::var(k).ok().map(|v| (k.to_string(), Json::Str(v))))
+            .collect(),
+    );
+    let summary = Json::Obj(vec![
+        ("git_rev".into(), Json::Str(git_rev())),
+        ("unix_time".into(), Json::Num(unix as f64)),
+        ("date".into(), Json::Str(utc_date(unix))),
+        ("config".into(), config),
+        ("experiments".into(), Json::Arr(experiments)),
+    ]);
+
+    let out = dir.join(SUMMARY_FILE);
+    std::fs::write(&out, summary.render() + "\n")
+        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    Ok((out, files.len()))
+}
+
+/// Short git revision of the working tree, or `"unknown"` outside a repo.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// `YYYY-MM-DD` (UTC) from a unix timestamp, via the standard
+/// civil-from-days calculation — no time dependency needed.
+pub fn utc_date(unix_secs: u64) -> String {
+    let days = (unix_secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Per-metric tolerances for [`compare`].
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerances {
+    /// Allowed fractional throughput drop (0.10 = current may be 10%
+    /// below baseline before it counts as a regression).
+    pub ops_frac: f64,
+    /// Allowed fractional p99 inflation (0.50 = current p99 may be 50%
+    /// above baseline).
+    pub p99_frac: f64,
+    /// Arms whose baseline throughput is below this are skipped for the
+    /// ops check (too small to be meaningful).
+    pub min_ops: f64,
+    /// p99 comparisons where both sides are below this many microseconds
+    /// are skipped (sub-millisecond jitter is noise).
+    pub min_p99_us: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances { ops_frac: 0.10, p99_frac: 0.50, min_ops: 1.0, min_p99_us: 1_000.0 }
+    }
+}
+
+/// One arm extracted from a summary: experiment id, label, and metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArmKey {
+    /// Experiment id, e.g. `"e5"`.
+    pub experiment: String,
+    /// Arm label, e.g. `"sync/4cl"`.
+    pub label: String,
+    /// Operations per second.
+    pub ops_per_sec: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+}
+
+/// Flatten a summary document (or a single-experiment document) into its
+/// arms. Experiments without an `arms` array contribute nothing.
+pub fn arms_of(doc: &Json) -> Vec<ArmKey> {
+    let experiments: Vec<&Json> = match doc.get("experiments").and_then(|e| e.as_arr()) {
+        Some(list) => list.iter().collect(),
+        None => vec![doc],
+    };
+    let mut out = Vec::new();
+    for exp in experiments {
+        let id = exp.get("experiment").and_then(|v| v.as_str()).unwrap_or("?").to_string();
+        let Some(arms) = exp.get("arms").and_then(|a| a.as_arr()) else { continue };
+        for arm in arms {
+            out.push(ArmKey {
+                experiment: id.clone(),
+                label: arm.get("label").and_then(|v| v.as_str()).unwrap_or("?").to_string(),
+                ops_per_sec: arm.get("ops_per_sec").and_then(|v| v.as_f64()).unwrap_or(0.0),
+                p99_us: arm.get("p99_us").and_then(|v| v.as_f64()).unwrap_or(0.0),
+            });
+        }
+    }
+    out
+}
+
+/// The outcome of a comparison: human-readable lines, split by severity.
+#[derive(Debug, Default)]
+pub struct CompareReport {
+    /// Hard failures: throughput/latency regressions past tolerance, or
+    /// baseline arms missing from the current run.
+    pub regressions: Vec<String>,
+    /// Informational lines for every arm checked.
+    pub checked: Vec<String>,
+}
+
+impl CompareReport {
+    /// Did the current run pass the gate?
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compare a current summary against a baseline with the given
+/// tolerances. Arms present only in the current run pass silently (new
+/// experiments are not regressions); baseline arms missing from the
+/// current run fail (the gate must notice a bench that stopped running).
+pub fn compare(baseline: &Json, current: &Json, tol: Tolerances) -> CompareReport {
+    let base_arms = arms_of(baseline);
+    let cur_arms = arms_of(current);
+    let mut report = CompareReport::default();
+    for base in &base_arms {
+        let key = format!("{}/{}", base.experiment, base.label);
+        let Some(cur) =
+            cur_arms.iter().find(|a| a.experiment == base.experiment && a.label == base.label)
+        else {
+            report.regressions.push(format!("{key}: arm missing from current run"));
+            continue;
+        };
+        let mut verdicts = Vec::new();
+        if base.ops_per_sec >= tol.min_ops {
+            let floor = base.ops_per_sec * (1.0 - tol.ops_frac);
+            if cur.ops_per_sec < floor {
+                report.regressions.push(format!(
+                    "{key}: throughput {:.1}/s fell below {:.1}/s (baseline {:.1}/s - {:.0}%)",
+                    cur.ops_per_sec,
+                    floor,
+                    base.ops_per_sec,
+                    tol.ops_frac * 100.0
+                ));
+            } else {
+                verdicts.push(format!("ops {:.1}/s vs {:.1}/s", cur.ops_per_sec, base.ops_per_sec));
+            }
+        }
+        if base.p99_us.max(cur.p99_us) >= tol.min_p99_us {
+            let ceil = base.p99_us * (1.0 + tol.p99_frac);
+            if cur.p99_us > ceil && base.p99_us > 0.0 {
+                report.regressions.push(format!(
+                    "{key}: p99 {:.0}us rose above {:.0}us (baseline {:.0}us + {:.0}%)",
+                    cur.p99_us,
+                    ceil,
+                    base.p99_us,
+                    tol.p99_frac * 100.0
+                ));
+            } else {
+                verdicts.push(format!("p99 {:.0}us vs {:.0}us", cur.p99_us, base.p99_us));
+            }
+        }
+        if verdicts.is_empty() {
+            verdicts.push("below measurement floors, skipped".to_string());
+        }
+        report.checked.push(format!("{key}: {}", verdicts.join(", ")));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(arms: &[(&str, &str, f64, f64)]) -> Json {
+        // Build via the real emit+parse path so the formats stay honest.
+        let mut by_exp: Vec<(String, Vec<crate::JsonArm>)> = Vec::new();
+        for (exp, label, ops, p99) in arms {
+            let arm = crate::JsonArm {
+                label: label.to_string(),
+                ops_per_sec: *ops,
+                p50_us: (*p99 / 2.0) as u64,
+                p95_us: (*p99 * 0.9) as u64,
+                p99_us: *p99 as u64,
+                extra: Vec::new(),
+            };
+            match by_exp.iter_mut().find(|(e, _)| e == exp) {
+                Some((_, list)) => list.push(arm),
+                None => by_exp.push((exp.to_string(), vec![arm])),
+            }
+        }
+        let experiments: Vec<Json> = by_exp
+            .iter()
+            .map(|(exp, arms)| parse(&crate::json_summary_string(exp, "t", arms)).unwrap())
+            .collect();
+        Json::Obj(vec![
+            ("git_rev".into(), Json::Str("test".into())),
+            ("experiments".into(), Json::Arr(experiments)),
+        ])
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let a =
+            summary(&[("e5", "sync", 1000.0, 20_000.0), ("e11", "grouped/8thr", 5000.0, 3_000.0)]);
+        let report = compare(&a, &a, Tolerances::default());
+        assert!(report.passed(), "{:?}", report.regressions);
+        assert_eq!(report.checked.len(), 2);
+    }
+
+    #[test]
+    fn twenty_percent_throughput_drop_fails() {
+        let base = summary(&[("e5", "sync", 1000.0, 20_000.0)]);
+        let cur = summary(&[("e5", "sync", 800.0, 20_000.0)]);
+        let report = compare(&base, &cur, Tolerances::default());
+        assert!(!report.passed());
+        assert!(report.regressions[0].contains("throughput"), "{:?}", report.regressions);
+        // The reverse direction (improvement) passes.
+        assert!(compare(&cur, &base, Tolerances::default()).passed());
+    }
+
+    #[test]
+    fn p99_inflation_fails_and_subms_noise_is_ignored() {
+        let base = summary(&[("e11", "grouped", 5000.0, 10_000.0)]);
+        let cur = summary(&[("e11", "grouped", 5000.0, 40_000.0)]);
+        let report = compare(&base, &cur, Tolerances::default());
+        assert!(!report.passed());
+        assert!(report.regressions[0].contains("p99"), "{:?}", report.regressions);
+
+        // Sub-millisecond p99s never gate, whatever the ratio.
+        let base = summary(&[("e11", "grouped", 5000.0, 100.0)]);
+        let cur = summary(&[("e11", "grouped", 5000.0, 900.0)]);
+        assert!(compare(&base, &cur, Tolerances::default()).passed());
+    }
+
+    #[test]
+    fn missing_arm_fails_extra_arm_passes() {
+        let base = summary(&[("e5", "sync", 1000.0, 20_000.0)]);
+        let cur = summary(&[("e5", "async", 900.0, 20_000.0)]);
+        let report = compare(&base, &cur, Tolerances::default());
+        assert!(!report.passed());
+        assert!(report.regressions[0].contains("missing"), "{:?}", report.regressions);
+        // Extra current arms are fine.
+        let cur2 = summary(&[("e5", "sync", 1000.0, 20_000.0), ("e5", "async", 1.0, 1.0)]);
+        assert!(compare(&base, &cur2, Tolerances::default()).passed());
+    }
+
+    #[test]
+    fn consolidate_stamps_and_collects() {
+        let dir = std::env::temp_dir().join(format!("bench-summary-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for (id, ops) in [("e2", 100.0), ("e11", 200.0)] {
+            let arm = crate::JsonArm {
+                label: "a".into(),
+                ops_per_sec: ops,
+                p50_us: 1,
+                p95_us: 2,
+                p99_us: 3,
+                extra: Vec::new(),
+            };
+            std::fs::write(
+                dir.join(format!("BENCH_{}.json", id.to_uppercase())),
+                crate::json_summary_string(id, "t", &[arm]),
+            )
+            .unwrap();
+        }
+        // A non-bench json must be ignored.
+        std::fs::write(dir.join("other.json"), "{}").unwrap();
+        let (path, n) = consolidate(&dir).unwrap();
+        assert_eq!(n, 2);
+        let doc = parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(doc.get("git_rev").is_some());
+        assert!(doc.get("date").unwrap().as_str().unwrap().len() == 10);
+        let exps = doc.get("experiments").unwrap().as_arr().unwrap();
+        // Numeric order: e2 before e11.
+        assert_eq!(exps[0].get("experiment").unwrap().as_str(), Some("e2"));
+        assert_eq!(exps[1].get("experiment").unwrap().as_str(), Some("e11"));
+        let arms = arms_of(&doc);
+        assert_eq!(arms.len(), 2);
+        assert_eq!(arms[0].experiment, "e2");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn utc_date_math() {
+        assert_eq!(utc_date(0), "1970-01-01");
+        assert_eq!(utc_date(951_782_400), "2000-02-29"); // leap day
+        assert_eq!(utc_date(1_754_611_200), "2025-08-08");
+        assert_eq!(utc_date(1_790_121_600), "2026-09-23");
+    }
+}

@@ -25,6 +25,7 @@ pub use dlrpc;
 pub use filesys;
 pub use hostdb;
 pub use minidb;
+pub use obs;
 pub use workload;
 
 use std::sync::Arc;
@@ -72,6 +73,21 @@ impl Deployment {
     /// Datalink URL for a path on this deployment's file server.
     pub fn url(&self, path: &str) -> String {
         format!("dlfs://{}{}", self.server_name, path)
+    }
+
+    /// Spawn a telemetry watchdog over the whole deployment: the DLFM and
+    /// host metric snapshots as providers (`dlfm:*` / `host:*` series)
+    /// and both status pages as incident-bundle sections. The caller owns
+    /// the handle; dropping it stops the sampler thread.
+    pub fn spawn_watchdog(&self, config: obs::WatchConfig) -> obs::WatchdogHandle {
+        let host = self.host.clone();
+        let host_status = self.host.clone();
+        obs::Watchdog::new(config)
+            .provider("dlfm", self.dlfm.metrics_provider())
+            .provider("host", move || host.metrics_text())
+            .section("dlfm_status", self.dlfm.status_provider())
+            .section("host_status", move || host_status.status_text())
+            .spawn()
     }
 }
 

@@ -74,6 +74,12 @@ pub struct DlfmConfig {
     /// Agent execution model: dedicated child agents (the paper's process
     /// model, default) or a session-multiplexed worker pool.
     pub agent_model: AgentModel,
+    /// Continuous-telemetry watchdog: when set, the server spawns an
+    /// `obs::watch` sampler over its own metrics at startup and stops it
+    /// at shutdown. `None` (default) runs without one — deployments that
+    /// watch several layers at once (see `datalinks::Deployment`) spawn
+    /// their own combined watchdog instead.
+    pub watch: Option<obs::WatchConfig>,
 }
 
 impl Default for DlfmConfig {
@@ -90,8 +96,44 @@ impl Default for DlfmConfig {
             group_life_span_micros: 60_000_000,
             hand_craft_stats: true,
             agent_model: AgentModel::Dedicated,
+            watch: None,
         }
     }
+}
+
+/// The stock health-rule set for a DLFM deployment: the pathologies the
+/// paper hit in production (§3.2.1, §4, §6), phrased as watchdog rules
+/// over the metric families every layer already exports.
+pub fn default_watch_rules() -> Vec<obs::Rule> {
+    use obs::{Cmp, Rule};
+    vec![
+        // Phase 2 must never give up: an abandoned sub-transaction means
+        // the retry limit was exhausted and a prepared xact is stranded.
+        Rule::threshold("phase2-abandoned", "dlfm_phase2_abandoned_total", Cmp::Gt, 0.0),
+        // A sustained retry storm is the paper's Figure-4 livelock
+        // signature: phase-2 attempts bouncing off local lock timeouts.
+        Rule::rate("phase2-retry-storm", "dlfm_phase2_retries_total", Cmp::Gt, 50.0, 2),
+        // WAL forces flat while RPC senders sit blocked: commits are
+        // queued behind something that is not the log.
+        Rule::stall("wal-stall", "minidb_wal_forces_total", "rpc_send_blocked", Cmp::Gt, 0.0, 5),
+        // Interval lock-wait p99 over a second: the §6 archive-queue
+        // pathology (~9000x wait inflation) as a live signal.
+        Rule::quantile("lock-wait-p99", "minidb_lock_wait_micros", 0.99, Cmp::Gt, 1_000_000.0, 2),
+        // Process memory runaway (8 GiB).
+        Rule::threshold(
+            "rss-runaway",
+            "process_resident_memory_bytes",
+            Cmp::Gt,
+            8.0 * 1024.0 * 1024.0 * 1024.0,
+        ),
+        // Delete-group backlog growing without bound.
+        Rule::threshold(
+            "delete-group-backlog",
+            "dlfm_daemon_queue_depth{daemon=\"delete_group\"}",
+            Cmp::Gt,
+            10_000.0,
+        ),
+    ]
 }
 
 impl DlfmConfig {

@@ -48,6 +48,6 @@ pub use api::{
     AccessControl, DbErrorKind, DlfmError, DlfmRequest, DlfmResponse, DlfmResult, GroupSpec,
     LinkStatus,
 };
-pub use config::{AgentModel, DlfmConfig};
+pub use config::{default_watch_rules, AgentModel, DlfmConfig};
 pub use metrics::{DlfmMetrics, DlfmMetricsSnapshot};
 pub use server::{now_micros, DlfmServer, DlfmShared};

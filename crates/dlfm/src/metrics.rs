@@ -207,6 +207,70 @@ mod tests {
     }
 
     #[test]
+    fn delta_covers_every_field() {
+        // Give every counter a distinct prime increment, then check the
+        // component-wise difference field by field. If a new counter is
+        // added to the snapshot but forgotten in `delta`, the final
+        // whole-struct equality here fails.
+        let m = DlfmMetrics::default();
+        let fields: &[(&AtomicU64, u64)] = &[
+            (&m.links, 2),
+            (&m.unlinks, 3),
+            (&m.prepares, 5),
+            (&m.commits, 7),
+            (&m.aborts, 11),
+            (&m.phase2_retries, 13),
+            (&m.phase2_abandoned, 17),
+            (&m.phase2_abort_failures, 19),
+            (&m.groupd_notify_drops, 23),
+            (&m.chunk_commits, 29),
+            (&m.files_archived, 31),
+            (&m.files_retrieved, 37),
+            (&m.group_files_unlinked, 41),
+            (&m.gc_entries_removed, 43),
+            (&m.gc_archive_removed, 47),
+            (&m.upcalls, 53),
+            (&m.forced_rollbacks, 59),
+            (&m.stats_reapplied, 61),
+        ];
+        // A non-zero floor so the subtraction is exercised on both sides.
+        for (counter, _) in fields {
+            DlfmMetrics::add(counter, 100);
+        }
+        let before = m.snapshot();
+        for (counter, n) in fields {
+            DlfmMetrics::add(counter, *n);
+        }
+        let d = m.snapshot().delta(&before);
+        let expected = DlfmMetricsSnapshot {
+            links: 2,
+            unlinks: 3,
+            prepares: 5,
+            commits: 7,
+            aborts: 11,
+            phase2_retries: 13,
+            phase2_abandoned: 17,
+            phase2_abort_failures: 19,
+            groupd_notify_drops: 23,
+            chunk_commits: 29,
+            files_archived: 31,
+            files_retrieved: 37,
+            group_files_unlinked: 41,
+            gc_entries_removed: 43,
+            gc_archive_removed: 47,
+            upcalls: 53,
+            forced_rollbacks: 59,
+            stats_reapplied: 61,
+        };
+        assert_eq!(d, expected);
+        // Deltas compose: (c - a) == (c - b) + (b - a).
+        let b2 = m.snapshot();
+        DlfmMetrics::add(&m.links, 9);
+        let c = m.snapshot();
+        assert_eq!(c.delta(&before).links, c.delta(&b2).links + b2.delta(&before).links);
+    }
+
+    #[test]
     fn op_hists_iter_names_every_histogram() {
         let m = DlfmMetrics::default();
         m.op_hists.link.record(5);

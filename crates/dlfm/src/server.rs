@@ -94,6 +94,7 @@ pub struct DlfmServer {
     rpc: Option<ServerHandle>,
     daemons: Vec<JoinHandle<()>>,
     _chown: ChownDaemon,
+    watchdog: Option<obs::WatchdogHandle>,
 }
 
 impl DlfmServer {
@@ -183,7 +184,28 @@ impl DlfmServer {
             }
         };
 
-        DlfmServer { shared, connector, rpc: Some(rpc), daemons: handles, _chown: chown_daemon }
+        let mut server = DlfmServer {
+            shared,
+            connector,
+            rpc: Some(rpc),
+            daemons: handles,
+            _chown: chown_daemon,
+            watchdog: None,
+        };
+        if let Some(watch) = server.shared.config.watch.clone() {
+            server.watchdog = Some(
+                obs::Watchdog::new(watch)
+                    .provider("dlfm", server.metrics_provider())
+                    .section("dlfm_status", server.status_provider())
+                    .spawn(),
+            );
+        }
+        server
+    }
+
+    /// The telemetry watchdog, when the config armed one.
+    pub fn watchdog(&self) -> Option<&obs::WatchdogHandle> {
+        self.watchdog.as_ref()
     }
 
     /// Endpoint host databases connect to.
@@ -224,11 +246,51 @@ impl DlfmServer {
 
     /// Render every DLFM-side metric in Prometheus text format: operation
     /// counters, per-op latency histograms, local-database lock and WAL
-    /// statistics, RPC-fabric gauges, and daemon queue depths.
+    /// statistics, RPC-fabric gauges, daemon queue depths, and process
+    /// self-metrics.
     pub fn metrics_text(&self) -> String {
+        render_metrics_text(&self.shared, &self.connector)
+    }
+
+    /// A `'static` snapshot provider rendering [`DlfmServer::metrics_text`]
+    /// — what the telemetry watchdog scrapes without borrowing the server.
+    pub fn metrics_provider(&self) -> impl Fn() -> String + Send + Sync + 'static {
+        let shared = self.shared.clone();
+        let connector = self.connector.clone();
+        move || render_metrics_text(&shared, &connector)
+    }
+
+    /// A `'static` status-page provider rendering
+    /// [`DlfmServer::status_text`] — the incident-bundle section source.
+    pub fn status_provider(&self) -> impl Fn() -> String + Send + Sync + 'static {
+        let shared = self.shared.clone();
+        let connector = self.connector.clone();
+        let agents = self
+            .rpc
+            .as_ref()
+            .map(|h| h.agents_spawned.clone())
+            .unwrap_or_else(|| Arc::new(std::sync::atomic::AtomicU64::new(0)));
+        move || {
+            render_status_text(
+                &shared,
+                &connector,
+                agents.load(std::sync::atomic::Ordering::Relaxed),
+            )
+        }
+    }
+}
+
+/// [`DlfmServer::metrics_text`] as a free function over the shared state
+/// and a connector clone, so watchdog provider closures can render it
+/// without holding a borrow of the server.
+fn render_metrics_text(
+    shared: &Arc<DlfmShared>,
+    connector: &Connector<DlfmRequest, DlfmResponse>,
+) -> String {
+    {
         let mut r = obs::Registry::new();
 
-        let s = self.shared.metrics.snapshot();
+        let s = shared.metrics.snapshot();
         for (op, value) in [
             ("link", s.links),
             ("unlink", s.unlinks),
@@ -302,7 +364,7 @@ impl DlfmServer {
         ] {
             r.counter(name, help, &[], value);
         }
-        for (op, hist) in self.shared.metrics.op_hists.iter() {
+        for (op, hist) in shared.metrics.op_hists.iter() {
             r.histogram(
                 "dlfm_op_latency_micros",
                 "DLFM per-operation latency in microseconds.",
@@ -311,77 +373,10 @@ impl DlfmServer {
             );
         }
 
-        let lm = self.shared.db.lock_metrics().snapshot();
-        for (kind, value) in [
-            ("immediate_grants", lm.immediate_grants),
-            ("waits", lm.waits),
-            ("deadlocks", lm.deadlocks),
-            ("timeouts", lm.timeouts),
-            ("escalations", lm.escalations),
-            ("acquisitions", lm.acquisitions),
-        ] {
-            r.counter(
-                "minidb_lock_events_total",
-                "Local-database lock-manager events by kind (paper section 4).",
-                &[("kind", kind)],
-                value,
-            );
-        }
-        r.histogram(
-            "minidb_lock_wait_micros",
-            "Time spent blocked in the lock manager before grant, timeout, or deadlock abort.",
-            &[],
-            self.shared.db.lock_wait_hist(),
-        );
-        r.histogram(
-            "minidb_wal_force_micros",
-            "WAL force (simulated fsync) latency.",
-            &[],
-            self.shared.db.wal_force_hist(),
-        );
-        r.counter(
-            "minidb_wal_forces_total",
-            "WAL forces performed (one simulated fsync each; group commit batches committers under one force).",
-            &[],
-            self.shared.db.wal_forces_total(),
-        );
-        r.counter(
-            "minidb_wal_commits_total",
-            "Commit records appended to the WAL.",
-            &[],
-            self.shared.db.wal_commits_total(),
-        );
-        r.histogram(
-            "minidb_wal_force_batch_commits",
-            "Commit records made durable per WAL force (group-commit batch size).",
-            &[],
-            self.shared.db.wal_force_batch_hist(),
-        );
-        r.gauge(
-            "minidb_wal_active_window",
-            "WAL records pinned by in-flight transactions.",
-            &[],
-            self.shared.db.log_active_window() as i64,
-        );
+        shared.db.render_metrics(&mut r);
+        connector.render_metrics(&mut r);
 
-        let rpc = self.connector.stats();
-        r.counter("rpc_calls_total", "Round-trip RPC calls issued.", &[], rpc.calls());
-        r.counter("rpc_posts_total", "One-way RPC posts issued.", &[], rpc.posts());
-        r.gauge("rpc_in_flight", "RPC calls currently awaiting a reply.", &[], rpc.in_flight());
-        r.gauge(
-            "rpc_send_blocked",
-            "Senders currently blocked on the rendezvous channel (paper section 4).",
-            &[],
-            rpc.send_blocked(),
-        );
-        r.gauge(
-            "rpc_accept_backlog",
-            "Connections queued at the main daemon's accept loop.",
-            &[],
-            self.connector.accept_backlog() as i64,
-        );
-
-        if let Some(pool) = self.connector.pool_stats() {
+        if let Some(pool) = connector.pool_stats() {
             r.gauge(
                 "dlfm_pool_workers",
                 "Agent-pool worker threads (pooled agent model).",
@@ -398,7 +393,7 @@ impl DlfmServer {
                 "dlfm_pool_queue_depth",
                 "Requests waiting in the shared run queue.",
                 &[],
-                self.connector.pool_queue_depth().unwrap_or(0) as i64,
+                connector.pool_queue_depth().unwrap_or(0) as i64,
             );
             r.counter(
                 "dlfm_pool_rejects_total",
@@ -422,7 +417,7 @@ impl DlfmServer {
                 "dlfm_sessions_active",
                 "Connections with live session state in the session table.",
                 &[],
-                self.shared.sessions.active() as i64,
+                shared.sessions.active() as i64,
             );
         }
 
@@ -430,13 +425,13 @@ impl DlfmServer {
             "dlfm_daemon_queue_depth",
             "Work items queued for a service daemon.",
             &[("daemon", "delete_group")],
-            self.shared.groupd_tx.len() as i64,
+            shared.groupd_tx.len() as i64,
         );
         r.gauge(
             "dlfm_daemon_queue_depth",
             "Work items queued for a service daemon.",
             &[("daemon", "retrieve")],
-            self.shared.retrieve_tx.len() as i64,
+            shared.retrieve_tx.len() as i64,
         );
 
         let spans = obs::trace::global_ring();
@@ -459,29 +454,45 @@ impl DlfmServer {
             obs::journal::dropped(),
         );
 
+        obs::render_process_metrics(&mut r);
+        obs::render_watch_metrics(&mut r);
+
         r.render()
     }
+}
 
+impl DlfmServer {
     /// Human-readable live status: the session table, pool and daemon
     /// backlogs, in-doubt transactions, and the local lock table — what an
     /// operator tails while a workload runs (rendered by the `dlfmtop`
     /// example).
     pub fn status_text(&self) -> String {
+        render_status_text(&self.shared, &self.connector, self.agents_spawned())
+    }
+}
+
+/// [`DlfmServer::status_text`] as a free function (see
+/// [`render_metrics_text`] for why).
+fn render_status_text(
+    shared: &Arc<DlfmShared>,
+    connector: &Connector<DlfmRequest, DlfmResponse>,
+    agents_spawned: u64,
+) -> String {
+    {
         let mut out = String::new();
         out.push_str("=== dlfm status ===\n");
 
         // Agent model + pool occupancy.
-        match self.shared.config.agent_model {
+        match shared.config.agent_model {
             crate::config::AgentModel::Dedicated => {
                 out.push_str(&format!(
-                    "agent model: dedicated ({} agents spawned)\n",
-                    self.agents_spawned()
+                    "agent model: dedicated ({agents_spawned} agents spawned)\n"
                 ));
             }
             crate::config::AgentModel::Pooled { workers, queue_depth, .. } => {
-                let busy = self.connector.pool_stats().map(|p| p.busy()).unwrap_or(0);
-                let queued = self.connector.pool_queue_depth().unwrap_or(0);
-                let rejects = self.connector.pool_stats().map(|p| p.rejects()).unwrap_or(0);
+                let busy = connector.pool_stats().map(|p| p.busy()).unwrap_or(0);
+                let queued = connector.pool_queue_depth().unwrap_or(0);
+                let rejects = connector.pool_stats().map(|p| p.rejects()).unwrap_or(0);
                 out.push_str(&format!(
                     "agent model: pooled, {busy}/{workers} workers busy, \
                      run queue {queued}/{queue_depth}, {rejects} admission rejects\n"
@@ -490,14 +501,14 @@ impl DlfmServer {
         }
 
         // Session table (pooled mode; empty under dedicated agents).
-        let sessions = self.shared.sessions.status_lines();
+        let sessions = shared.sessions.status_lines();
         out.push_str(&format!("sessions: {}\n", sessions.len()));
         for (id, line) in sessions {
             out.push_str(&format!("  session#{id}: {line}\n"));
         }
 
         // In-doubt (prepared) sub-transactions awaiting the resolver.
-        let mut s = Session::new(&self.shared.db);
+        let mut s = Session::new(&shared.db);
         match s.query(
             "SELECT dbid, xid FROM dfm_xact WHERE state = ?",
             &[Value::Int(meta::XS_PREPARED)],
@@ -517,20 +528,20 @@ impl DlfmServer {
         // Daemon backlogs.
         out.push_str(&format!(
             "daemon backlogs: delete_group={} retrieve={}\n",
-            self.shared.groupd_tx.len(),
-            self.shared.retrieve_tx.len()
+            shared.groupd_tx.len(),
+            shared.retrieve_tx.len()
         ));
 
         // Local-database lock table, recent deadlocks, slow statements.
-        out.push_str(&self.shared.db.lock_table_summary());
-        let deadlocks = self.shared.db.recent_deadlocks();
+        out.push_str(&shared.db.lock_table_summary());
+        let deadlocks = shared.db.recent_deadlocks();
         out.push_str(&format!("recent deadlocks: {}\n", deadlocks.len()));
         for report in deadlocks.iter().rev().take(3) {
             for line in report.render().lines() {
                 out.push_str(&format!("  {line}\n"));
             }
         }
-        let slow = self.shared.db.recent_slow_statements();
+        let slow = shared.db.recent_slow_statements();
         out.push_str(&format!("recent slow statements: {}\n", slow.len()));
         for stmt in slow.iter().rev().take(3) {
             out.push_str(&format!("  {}\n", stmt.render()));
@@ -545,7 +556,9 @@ impl DlfmServer {
         ));
         out
     }
+}
 
+impl DlfmServer {
     /// Take a local-database checkpoint (bounds restart recovery work).
     pub fn checkpoint(&self) {
         self.shared.db.checkpoint();
@@ -601,6 +614,11 @@ impl DlfmServer {
 
 impl Drop for DlfmServer {
     fn drop(&mut self) {
+        // Stop the watchdog first: its providers snapshot the shared state
+        // this drop is about to tear down.
+        if let Some(mut w) = self.watchdog.take() {
+            w.stop();
+        }
         self.shared.shutdown.store(true, Ordering::SeqCst);
         if let Some(mut rpc) = self.rpc.take() {
             rpc.shutdown();

@@ -361,30 +361,9 @@ impl HostDb {
             &[],
             coord.batch_hist(),
         );
-        r.counter(
-            "minidb_wal_forces_total",
-            "Host-local WAL forces (one simulated fsync each).",
-            &[],
-            db.wal_forces_total(),
-        );
-        r.counter(
-            "minidb_wal_commits_total",
-            "Commit records appended to the host-local WAL.",
-            &[],
-            db.wal_commits_total(),
-        );
-        r.histogram(
-            "minidb_wal_force_micros",
-            "Host-local WAL force durations.",
-            &[],
-            db.wal_force_hist(),
-        );
-        r.histogram(
-            "minidb_wal_force_batch_commits",
-            "Commit records made durable per host-local WAL force.",
-            &[],
-            db.wal_force_batch_hist(),
-        );
+        // The host-local storage engine renders the full minidb family
+        // (the same block DLFM's local database exports).
+        db.render_metrics(&mut r);
         r.counter(
             "obs_spans_dropped_total",
             "Span events overwritten in the trace ring before being read.",
@@ -403,6 +382,8 @@ impl HostDb {
             &[],
             obs::journal::dropped(),
         );
+        obs::render_process_metrics(&mut r);
+        obs::render_watch_metrics(&mut r);
         r.render()
     }
 

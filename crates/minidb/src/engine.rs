@@ -1335,6 +1335,76 @@ impl Database {
         self.inner.wal.active_window()
     }
 
+    /// Render every `minidb_*` metric into a registry: lock-manager event
+    /// counters, the lock-wait / WAL-force latency histograms, WAL force
+    /// and commit totals, the group-commit batch-size histogram, and the
+    /// active-window gauge. Every embedder (DLFM's local database, the
+    /// host database, raw benchmark databases) renders this one block so
+    /// scrapers see the same family everywhere.
+    pub fn render_metrics(&self, r: &mut obs::Registry) {
+        let lm = self.lock_metrics().snapshot();
+        for (kind, value) in [
+            ("immediate_grants", lm.immediate_grants),
+            ("waits", lm.waits),
+            ("deadlocks", lm.deadlocks),
+            ("timeouts", lm.timeouts),
+            ("escalations", lm.escalations),
+            ("acquisitions", lm.acquisitions),
+        ] {
+            r.counter(
+                "minidb_lock_events_total",
+                "Lock-manager events by kind (paper section 4).",
+                &[("kind", kind)],
+                value,
+            );
+        }
+        r.histogram(
+            "minidb_lock_wait_micros",
+            "Time spent blocked in the lock manager before grant, timeout, or deadlock abort.",
+            &[],
+            self.lock_wait_hist(),
+        );
+        r.histogram(
+            "minidb_wal_force_micros",
+            "WAL force (simulated fsync) latency.",
+            &[],
+            self.wal_force_hist(),
+        );
+        r.counter(
+            "minidb_wal_forces_total",
+            "WAL forces performed (one simulated fsync each; group commit batches committers under one force).",
+            &[],
+            self.wal_forces_total(),
+        );
+        r.counter(
+            "minidb_wal_commits_total",
+            "Commit records appended to the WAL.",
+            &[],
+            self.wal_commits_total(),
+        );
+        r.histogram(
+            "minidb_wal_force_batch_commits",
+            "Commit records made durable per WAL force (group-commit batch size).",
+            &[],
+            self.wal_force_batch_hist(),
+        );
+        r.gauge(
+            "minidb_wal_active_window",
+            "WAL records pinned by in-flight transactions.",
+            &[],
+            self.log_active_window() as i64,
+        );
+    }
+
+    /// [`Database::render_metrics`] as a standalone Prometheus-text
+    /// document — the snapshot provider for a raw database (benchmarks,
+    /// the telemetry watchdog).
+    pub fn metrics_text(&self) -> String {
+        let mut r = obs::Registry::new();
+        self.render_metrics(&mut r);
+        r.render()
+    }
+
     /// Number of live rows in a table (diagnostics).
     pub fn table_len(&self, table: &str) -> DbResult<usize> {
         let id = self.inner.catalog.read().table(table)?.id;

@@ -295,6 +295,60 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_track_exact_sorted_percentiles() {
+        // Cross-check the bucketed estimator against ground truth: sort
+        // the raw values and take exact rank statistics. A deterministic
+        // LCG spreads values over ~6 decades with a heavy skew, the shape
+        // latency distributions actually have. The estimator reports the
+        // lower bucket bound, so it may sit below truth by at most one
+        // sub-bucket (1/16 = 6.25% relative).
+        let h = Histogram::new();
+        let mut values = Vec::new();
+        let mut x = 0x2545f4914f6cdd1du64;
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // Skew: mostly small, a long tail up to ~10^7.
+            let magnitude = 1u64 << ((x >> 59) % 24);
+            let v = 1 + (x >> 33) % (magnitude * 100);
+            values.push(v);
+            h.record(v);
+        }
+        values.sort_unstable();
+        for q in [1.0, 5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9] {
+            let rank = ((q / 100.0) * values.len() as f64).ceil().max(1.0) as usize;
+            let exact = values[rank - 1];
+            let est = h.percentile(q);
+            assert!(est <= exact, "p{q}: estimate {est} above exact {exact}");
+            let rel_err = (exact - est) as f64 / exact as f64;
+            assert!(
+                rel_err <= 1.0 / SUB_BUCKETS as f64 + 1e-9,
+                "p{q}: estimate {est} is {rel_err:.4} below exact {exact} (bound 6.25%)"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_quantiles_match_the_single_histogram() {
+        // The watchdog merges per-thread shards; quantiles of the merged
+        // histogram must be identical to recording everything into one.
+        let shards: Vec<Histogram> = (0..4).map(|_| Histogram::new()).collect();
+        let whole = Histogram::new();
+        for i in 0..8_000u64 {
+            let v = (i * 131) % 50_000 + 1;
+            shards[(i % 4) as usize].record(v);
+            whole.record(v);
+        }
+        let merged = Histogram::new();
+        for s in &shards {
+            merged.merge(s);
+        }
+        for q in [10.0, 50.0, 90.0, 99.0, 99.9] {
+            assert_eq!(merged.percentile(q), whole.percentile(q), "p{q} diverges after merge");
+        }
+        assert_eq!(merged.report(), whole.report());
+    }
+
+    #[test]
     fn merge_equals_recording_into_one() {
         let a = Histogram::new();
         let b = Histogram::new();

@@ -49,6 +49,8 @@ pub enum JournalKind {
     FaultFire,
     /// A statement ran over the slow-statement threshold.
     SlowStatement,
+    /// A telemetry-watchdog health rule fired.
+    Alert,
     /// Anything else worth a timeline entry (restart, recovery, …).
     Info,
 }
@@ -68,6 +70,7 @@ impl JournalKind {
             JournalKind::PoolReject => "pool_reject",
             JournalKind::FaultFire => "fault_fire",
             JournalKind::SlowStatement => "slow_statement",
+            JournalKind::Alert => "alert",
             JournalKind::Info => "info",
         }
     }

@@ -22,7 +22,11 @@
 //!   admission rejects, fault fires) that dumps on panic, fault fire, or
 //!   `DLFM_JOURNAL_DUMP`; one relaxed atomic load when disarmed;
 //! * [`export`] — Chrome-trace/Perfetto JSON export over the span ring
-//!   and the journal, plus the minimal JSON checker CI validates it with.
+//!   and the journal, plus the minimal JSON checker CI validates it with;
+//! * [`watch`] — continuous telemetry: a background sampler over every
+//!   layer's metrics snapshot, per-interval rates/deltas, declarative
+//!   health rules (threshold / rate / stall / quantile), and
+//!   self-contained incident bundles written on breach.
 //!
 //! The paper's lessons (§3.2.1, §4) were found in production telemetry;
 //! this crate is what lets the reproduction see the same pathologies —
@@ -37,6 +41,7 @@ pub mod journal;
 pub mod logging;
 pub mod registry;
 pub mod trace;
+pub mod watch;
 
 pub use export::{export_chrome_trace, json_is_well_formed};
 pub use fault::{FaultGuard, Trigger};
@@ -46,6 +51,10 @@ pub use registry::Registry;
 pub use trace::{
     current_ctx, drain_spans, set_current_ctx, span, span_root, Layer, Outcome, SpanEvent,
     SpanGuard, TraceCtx,
+};
+pub use watch::{
+    render_process_metrics, render_watch_metrics, Cmp, Rule, RuleKind, WatchConfig, Watchdog,
+    WatchdogHandle,
 };
 
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -577,6 +577,28 @@ impl<Req, Resp> Connector<Req, Resp> {
             ConnectorMode::Pooled { tx, .. } => Some(tx.len()),
         }
     }
+
+    /// Render this fabric's base `rpc_*` metrics into a registry: call and
+    /// post totals, in-flight and send-blocked gauges, and the accept
+    /// backlog. Servers layer their own pool gauges on top.
+    pub fn render_metrics(&self, r: &mut obs::Registry) {
+        let stats = self.stats();
+        r.counter("rpc_calls_total", "Round-trip RPC calls issued.", &[], stats.calls());
+        r.counter("rpc_posts_total", "One-way RPC posts issued.", &[], stats.posts());
+        r.gauge("rpc_in_flight", "RPC calls currently awaiting a reply.", &[], stats.in_flight());
+        r.gauge(
+            "rpc_send_blocked",
+            "Senders currently blocked on the rendezvous channel (paper section 4).",
+            &[],
+            stats.send_blocked(),
+        );
+        r.gauge(
+            "rpc_accept_backlog",
+            "Connections queued at the main daemon's accept loop.",
+            &[],
+            self.accept_backlog() as i64,
+        );
+    }
 }
 
 /// Create a dedicated-mode listener/connector pair (one per DLFM

@@ -8,9 +8,18 @@
 //!
 //! Run with: `cargo run -p datalinks --example dlfmtop`
 //!
+//! `dlfmtop --watch <secs> [--ticks N]` switches to live mode: a telemetry
+//! watchdog samples the stack every `<secs>` seconds while a background
+//! loop drives committed link/unlink traffic, and each tick re-renders the
+//! per-interval rates and deltas (`top` for the DLFM). With `--ticks N`
+//! the run is bounded and exits nonzero if any health rule fired — a
+//! false positive on a healthy workload — so CI can smoke the sampler.
+//!
 //! Exits nonzero if the status surfaces or the trace export are broken,
 //! so CI can smoke-test the whole observability path by just running it.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use datalinks::{dlfm, hostdb, Deployment};
@@ -18,7 +27,104 @@ use dlfm::AccessControl;
 use hostdb::DatalinkSpec;
 use minidb::Value;
 
+/// Live-refresh mode: sample every `interval`, print rates/deltas per
+/// tick. `ticks == 0` runs until killed; otherwise the run is bounded and
+/// gated on zero alerts.
+fn watch_mode(interval: Duration, ticks: u64) {
+    let dep = Deployment::new(
+        "fs1",
+        dlfm::DlfmConfig { agent_model: dlfm::AgentModel::pooled(4, 64), ..Default::default() },
+        hostdb::HostConfig::default(),
+    );
+    let mut session = dep.host.session();
+    session
+        .create_table(
+            "CREATE TABLE media (id BIGINT NOT NULL, title VARCHAR, clip DATALINK)",
+            &[DatalinkSpec { column: "clip".into(), access: AccessControl::Full, recovery: false }],
+        )
+        .unwrap();
+
+    let watch = dep.spawn_watchdog(datalinks::obs::WatchConfig {
+        interval,
+        rules: dlfm::default_watch_rules(),
+        ..Default::default()
+    });
+
+    // Background committed traffic so the rates have something to show.
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_traffic = stop.clone();
+    let fs = dep.fs.clone();
+    let url_base = dep.url("");
+    let traffic = std::thread::spawn(move || {
+        let mut i = 0i64;
+        while !stop_traffic.load(Ordering::Relaxed) {
+            let path = format!("/video/clip{i}.mpg");
+            fs.create(&path, "alice", b"payload").unwrap();
+            session
+                .exec_params(
+                    "INSERT INTO media (id, title, clip) VALUES (?, 'clip', ?)",
+                    &[Value::Int(i), Value::str(format!("{url_base}{path}"))],
+                )
+                .unwrap();
+            if i % 16 == 15 {
+                session
+                    .exec_params("DELETE FROM media WHERE id < ?", &[Value::Int(i - 8)])
+                    .unwrap();
+            }
+            i += 1;
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    });
+
+    let mut tick = 0u64;
+    loop {
+        std::thread::sleep(interval);
+        tick += 1;
+        println!(
+            "\x1b[2J\x1b[H--- dlfmtop tick {tick} (interval {:.1}s) ---",
+            interval.as_secs_f64()
+        );
+        print!("{}", watch.rates_text());
+        println!(
+            "samples {}  alerts {}  bundles {}",
+            watch.samples(),
+            watch.alerts(),
+            watch.bundles()
+        );
+        if ticks > 0 && tick >= ticks {
+            break;
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    traffic.join().unwrap();
+
+    if watch.alerts() > 0 {
+        eprintln!("dlfmtop: watchdog raised {} alert(s) on a healthy workload", watch.alerts());
+        std::process::exit(1);
+    }
+    println!("dlfmtop --watch: ok ({tick} ticks, zero alerts)");
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--watch") {
+        let interval = args
+            .get(pos + 1)
+            .and_then(|v| v.parse::<f64>().ok())
+            .map(Duration::from_secs_f64)
+            .unwrap_or_else(|| {
+                eprintln!("usage: dlfmtop --watch <secs> [--ticks N]");
+                std::process::exit(2);
+            });
+        let ticks = args
+            .iter()
+            .position(|a| a == "--ticks")
+            .and_then(|p| args.get(p + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0u64);
+        watch_mode(interval, ticks);
+        return;
+    }
     // Pooled agents so the session table is live; a zero slow-statement
     // threshold so every statement lands in the slow log for the demo.
     let mut dlfm_config =
