@@ -36,6 +36,9 @@ smoke() {
   step "agent-model smoke: e12_agent_scaling (tiny sweep)"
   RUN_SECS=0.2 CLIENTS=8 BENCH_METRICS=0 BENCH_JSON_DIR=target \
     cargo run -q --offline --release -p bench --bin e12_agent_scaling
+  step "read-path smoke: e13_read_heavy (tiny sweep, MVCC vs 2PL)"
+  RUN_SECS=0.2 CLIENTS=4 BENCH_METRICS=0 BENCH_JSON_DIR=target \
+    cargo run -q --offline --release -p bench --bin e13_read_heavy
 }
 
 # Perf-regression gate: re-run the smoke benches into target/bench-gate,
@@ -55,6 +58,8 @@ bench_gate() {
     cargo run -q --offline --release -p bench --bin e5_sync_commit
   RUN_SECS=0.2 CLIENTS=8 BENCH_METRICS=0 BENCH_JSON_DIR=target/bench-gate \
     cargo run -q --offline --release -p bench --bin e12_agent_scaling
+  RUN_SECS=0.2 CLIENTS=4 BENCH_METRICS=0 BENCH_JSON_DIR=target/bench-gate \
+    cargo run -q --offline --release -p bench --bin e13_read_heavy
   step "bench-gate: consolidate + compare against crates/bench/baselines/smoke.json"
   BENCH_JSON_DIR=target/bench-gate \
     cargo run -q --offline --release -p bench --bin run_all -- --consolidate-only

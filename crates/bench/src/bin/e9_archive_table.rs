@@ -27,14 +27,19 @@ struct ArmOutcome {
     archived: u64,
     lm_deadlocks: u64,
     lock_waits: u64,
+    lock_wait_micros: u64,
     /// Prometheus text captured before the stand is torn down.
     metrics: String,
 }
 
-fn run_arm(next_key: bool, clients: usize, duration: Duration) -> ArmOutcome {
+fn run_arm(next_key: bool, mvcc: bool, clients: usize, duration: Duration) -> ArmOutcome {
     let mut config = DlfmConfig::default();
     config.db.lock_timeout = Duration::from_millis(200);
-    config.daemon_poll_interval = Duration::from_millis(1);
+    config.db.mvcc = mvcc;
+    // 5 ms poll: the queue accumulates a few entries between drains, so
+    // each Copy-daemon pass scans a real batch — the §3.4 interference
+    // pattern — instead of degenerating into empty-queue polling.
+    config.daemon_poll_interval = Duration::from_millis(5);
     config.commit_retry_backoff = Duration::from_millis(1);
     // Recovery on: every committed link queues an archive copy.
     let stand = Stand::new(config, AccessControl::Full, true);
@@ -62,6 +67,7 @@ fn run_arm(next_key: bool, clients: usize, duration: Duration) -> ArmOutcome {
         archived: m.files_archived,
         lm_deadlocks: lock.deadlocks,
         lock_waits: lock.waits,
+        lock_wait_micros: stand.server.db().lock_wait_hist().sum(),
         metrics: stand.server.metrics_text(),
     }
 }
@@ -76,43 +82,52 @@ fn main() {
     let clients = env_num("CLIENTS", 12);
     println!("{clients} clients, insert-heavy, Copy daemon draining continuously, {duration:?}\n");
 
-    let w = [10, 10, 14, 16, 12, 12, 12];
+    let w = [10, 6, 10, 14, 16, 10, 11, 12, 13];
     row(
         &[
             "next-key",
+            "mvcc",
             "txns/sec",
             "rollbacks/1k",
             "phase2 retries",
             "archived",
             "deadlocks",
             "lock waits",
+            "wait micros",
         ],
         &w,
     );
     row(
         &[
             "--------",
+            "----",
             "--------",
             "------------",
             "--------------",
             "--------",
             "---------",
             "----------",
+            "-----------",
         ],
         &w,
     );
-    let on = run_arm(true, clients, duration);
-    let off = run_arm(false, clients, duration);
-    for (label, o) in [("ON", &on), ("OFF", &off)] {
+    // 2PL-only arms isolate the next-key variable; the MVCC arm is the
+    // shipping configuration (snapshot reads + next-key off).
+    let on = run_arm(true, false, clients, duration);
+    let off = run_arm(false, false, clients, duration);
+    let mvcc = run_arm(false, true, clients, duration);
+    for (nk, mv, o) in [("ON", "OFF", &on), ("OFF", "OFF", &off), ("OFF", "ON", &mvcc)] {
         row(
             &[
-                label,
+                nk,
+                mv,
                 &format!("{:.0}", o.tps),
                 &format!("{:.2}", o.rollbacks_per_1k),
                 &o.phase2_retries.to_string(),
                 &o.archived.to_string(),
                 &o.lm_deadlocks.to_string(),
                 &o.lock_waits.to_string(),
+                &o.lock_wait_micros.to_string(),
             ],
             &w,
         );
@@ -135,6 +150,19 @@ fn main() {
         } else {
             "inconclusive at this scale — raise RUN_SECS/CLIENTS"
         }
+    );
+    println!(
+        "mvcc: snapshot reads cut lock-wait micros {:.0}x vs the 2PL blowup arm \
+         (next-key ON: {} -> {}) and {:.1}x vs the matched 2PL arm (next-key OFF: \
+         {} -> {}) — the Copy daemon's queue scan no longer locks against phase-2 \
+         inserts. Residual waits are writer-writer; on few-core hosts one \
+         descheduled holder can swing the matched ratio between runs.",
+        on.lock_wait_micros as f64 / mvcc.lock_wait_micros.max(1) as f64,
+        on.lock_wait_micros,
+        mvcc.lock_wait_micros,
+        off.lock_wait_micros as f64 / mvcc.lock_wait_micros.max(1) as f64,
+        off.lock_wait_micros,
+        mvcc.lock_wait_micros,
     );
     // Dump the contended (next-key ON) arm: the pathology under study.
     bench::dump_metrics(&on.metrics);

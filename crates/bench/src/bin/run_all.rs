@@ -25,6 +25,7 @@ const EXPERIMENTS: &[&str] = &[
     "e10_backup_restore",
     "e11_group_commit",
     "e12_agent_scaling",
+    "e13_read_heavy",
 ];
 
 fn consolidate(dir: &str) {

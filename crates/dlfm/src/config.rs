@@ -133,6 +133,17 @@ pub fn default_watch_rules() -> Vec<obs::Rule> {
             Cmp::Gt,
             10_000.0,
         ),
+        // MVCC garbage collection stalled: the watermark stopped advancing
+        // while version chains keep piling up — usually a long-running
+        // snapshot pinning history that GC cannot reclaim.
+        Rule::stall(
+            "mvcc-gc-stall",
+            "minidb_mvcc_gc_watermark",
+            "minidb_mvcc_version_chains",
+            Cmp::Gt,
+            10_000.0,
+            5,
+        ),
     ]
 }
 

@@ -244,11 +244,19 @@ pub fn hand_craft_stats(db: &Database) -> DbResult<()> {
 }
 
 /// All SQL statements DLFM executes on hot paths, prepared ("bound") once.
+///
+/// Reads that gate an integrity decision (link/unlink checks, the Upcall's
+/// deny-by-default probe) or drive non-transactional file-system actions
+/// (phase-2 takeover/release) use `FOR SHARE`: they must observe *locked
+/// current* state and conflict with in-flight writers, exactly as under
+/// plain 2PL. Everything else — daemon queue scans, counts — rides the
+/// MVCC snapshot path and never blocks.
 #[derive(Debug, Clone)]
 pub struct Statements {
     /// Insert a new linked file entry.
     pub ins_file: Prepared,
-    /// Fetch the linked entry for a file name.
+    /// Fetch the linked entry for a file name (locking read: the result
+    /// feeds link-state decisions and token issuance).
     pub sel_linked: Prepared,
     /// Fetch any entry (linked or not) for a file name.
     pub sel_by_name: Prepared,
@@ -298,9 +306,10 @@ impl Statements {
                  recovery, orig_owner, orig_mode, fsid, inode) \
                  VALUES (?, ?, ?, ?, ?, ?, ?, NULL, NULL, NULL, ?, ?, ?, ?, ?, ?)",
             )?,
-            sel_linked: db
-                .prepare("SELECT * FROM dfm_file WHERE filename = ? AND check_flag = 0")?,
-            sel_by_name: db.prepare("SELECT * FROM dfm_file WHERE filename = ?")?,
+            sel_linked: db.prepare(
+                "SELECT * FROM dfm_file WHERE filename = ? AND check_flag = 0 FOR SHARE",
+            )?,
+            sel_by_name: db.prepare("SELECT * FROM dfm_file WHERE filename = ? FOR SHARE")?,
             upd_unlink: db.prepare(
                 "UPDATE dfm_file SET lnk_state = 2, check_flag = ?, unlink_xid = ?, \
                  unlink_rec_id = ?, unlink_ts = ? WHERE filename = ? AND check_flag = 0",
@@ -314,9 +323,10 @@ impl Statements {
                  WHERE filename = ? AND unlink_xid = ? AND lnk_state = 2",
             )?,
             sel_by_link_xid: db
-                .prepare("SELECT * FROM dfm_file WHERE link_xid = ? AND lnk_state = 1")?,
-            sel_unlinked_by_xid: db
-                .prepare("SELECT * FROM dfm_file WHERE unlink_xid = ? AND lnk_state = 2")?,
+                .prepare("SELECT * FROM dfm_file WHERE link_xid = ? AND lnk_state = 1 FOR SHARE")?,
+            sel_unlinked_by_xid: db.prepare(
+                "SELECT * FROM dfm_file WHERE unlink_xid = ? AND lnk_state = 2 FOR SHARE",
+            )?,
             del_entry: db.prepare("DELETE FROM dfm_file WHERE filename = ? AND check_flag = ?")?,
             del_by_link_xid: db
                 .prepare("DELETE FROM dfm_file WHERE link_xid = ? AND lnk_state = 1")?,
@@ -333,7 +343,7 @@ impl Statements {
                 "UPDATE dfm_xact SET state = ?, groups_deleted = ? WHERE dbid = ? AND xid = ?",
             )?,
             del_xact: db.prepare("DELETE FROM dfm_xact WHERE dbid = ? AND xid = ?")?,
-            sel_xact: db.prepare("SELECT * FROM dfm_xact WHERE dbid = ? AND xid = ?")?,
+            sel_xact: db.prepare("SELECT * FROM dfm_xact WHERE dbid = ? AND xid = ? FOR SHARE")?,
             ins_archive: db.prepare(
                 "INSERT INTO dfm_archive (filename, rec_id, grp_id, priority) \
                  VALUES (?, ?, ?, ?)",

@@ -1234,6 +1234,7 @@ impl HostSession {
             filter: filter.cloned(),
             order_by: Vec::new(),
             for_update: true,
+            for_share: false,
             except: None,
         });
         let rows = self.session.exec_ast(&probe, params)?.rows();

@@ -65,6 +65,17 @@ pub struct DbConfig {
     /// (a silent table-scan plan) made directly visible. `None` (the
     /// default) disables the log.
     pub slow_statement_threshold: Option<Duration>,
+    /// Multi-version concurrency control for reads (default on): read-only
+    /// statements resolve against a commit-timestamp snapshot and take no
+    /// row/key locks, while DML keeps strict 2PL + next-key locking.
+    /// `false` restores the pure-2PL engine (locking reads) — kept as the
+    /// comparison/fallback arm. Toggle only on a quiesced database:
+    /// in-flight writers that predate enabling MVCC have no version
+    /// chains, so concurrent snapshot readers could see their dirty rows.
+    pub mvcc: bool,
+    /// Shards in the hash-sharded lock table (rounded up to a power of
+    /// two). `1` degenerates to the old single-mutex behaviour.
+    pub lock_shards: usize,
 }
 
 impl Default for DbConfig {
@@ -81,6 +92,8 @@ impl Default for DbConfig {
             group_commit: true,
             group_commit_wait: Duration::ZERO,
             slow_statement_threshold: None,
+            mvcc: true,
+            lock_shards: 16,
         }
     }
 }
@@ -102,6 +115,8 @@ impl DbConfig {
             group_commit: true,
             group_commit_wait: Duration::ZERO,
             slow_statement_threshold: None,
+            mvcc: true,
+            lock_shards: 16,
         }
     }
 

@@ -15,6 +15,7 @@
 //!   means X locks on the whole table's rows, the "havoc" of §4 when the
 //!   optimizer picks a table scan.
 
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
@@ -26,7 +27,7 @@ use crate::error::{DbError, DbResult};
 use crate::eval::{eval, eval_pred, eval_standalone};
 use crate::lock::{LockManager, LockMetrics, LockMode, Res};
 use crate::plan::{plan_access, AccessPath, TablePlan};
-use crate::schema::{ColumnDef, IndexSchema, TableId, TableSchema};
+use crate::schema::{ColumnDef, IndexId, IndexSchema, TableId, TableSchema};
 use crate::sql::ast::{AggFn, Expr, OrderKey, Projection, SelectItem, SelectStmt, Stmt};
 use crate::sql::parser::parse;
 use crate::stats::StatsRegistry;
@@ -151,6 +152,23 @@ struct Checkpoint {
     storage: StorageSnapshot,
 }
 
+/// An index entry superseded at commit timestamp `ts`. Snapshot scans may
+/// still need it to find the pre-image, so it is removed only once the GC
+/// watermark (oldest active snapshot) passes `ts`.
+struct PendingUnindex {
+    ts: u64,
+    table: TableId,
+    index: IndexId,
+    /// Key columns of the index at enqueue time, to re-extract the live
+    /// row's key for the resurrection check at removal time.
+    key_columns: Vec<usize>,
+    key: Vec<Value>,
+    rowid: u64,
+}
+
+/// Commits between automatic version-GC sweeps.
+const GC_COMMIT_INTERVAL: u64 = 64;
+
 struct DbInner {
     catalog: RwLock<Catalog>,
     storage: Storage,
@@ -163,6 +181,26 @@ struct DbInner {
     checkpoint: Mutex<Option<Checkpoint>>,
     slow_threshold: Mutex<Option<std::time::Duration>>,
     slow_log: Mutex<std::collections::VecDeque<SlowStatement>>,
+    // ---- MVCC ---------------------------------------------------------
+    mvcc: AtomicBool,
+    /// Latest fully-published commit timestamp. Monotonic, never reset, so
+    /// timestamps stay unique across crash/restart.
+    commit_ts: AtomicU64,
+    /// Serialises commit publication (timestamp assignment plus version
+    /// stamping), so a reader's snapshot never straddles half a commit.
+    publish: Mutex<()>,
+    /// Active snapshot timestamps, refcounted; the GC watermark is the
+    /// smallest key (or `commit_ts` when empty).
+    snapshots: Mutex<std::collections::BTreeMap<u64, usize>>,
+    /// Superseded index entries awaiting watermark-gated removal.
+    pending_unindex: Mutex<Vec<PendingUnindex>>,
+    commits_since_gc: AtomicU64,
+    mvcc_reads: AtomicU64,
+    mvcc_versions_scanned: obs::Histogram,
+    gc_watermark: AtomicU64,
+    gc_versions: AtomicU64,
+    gc_chains: AtomicU64,
+    gc_unindexed: AtomicU64,
 }
 
 /// A shared handle to one database. Cheap to clone; thread-safe.
@@ -178,11 +216,12 @@ impl Database {
             inner: Arc::new(DbInner {
                 catalog: RwLock::new(Catalog::default()),
                 storage: Storage::default(),
-                lm: LockManager::new(
+                lm: LockManager::with_shards(
                     config.lock_timeout,
                     config.lock_escalation_threshold,
                     config.lock_list_capacity,
                     config.deadlock_detection,
+                    config.lock_shards,
                 ),
                 wal: {
                     let wal = Wal::new(config.log_capacity_records, config.log_force_latency);
@@ -197,6 +236,18 @@ impl Database {
                 checkpoint: Mutex::new(None),
                 slow_threshold: Mutex::new(config.slow_statement_threshold),
                 slow_log: Mutex::new(std::collections::VecDeque::new()),
+                mvcc: AtomicBool::new(config.mvcc),
+                commit_ts: AtomicU64::new(0),
+                publish: Mutex::new(()),
+                snapshots: Mutex::new(std::collections::BTreeMap::new()),
+                pending_unindex: Mutex::new(Vec::new()),
+                commits_since_gc: AtomicU64::new(0),
+                mvcc_reads: AtomicU64::new(0),
+                mvcc_versions_scanned: obs::Histogram::new(),
+                gc_watermark: AtomicU64::new(0),
+                gc_versions: AtomicU64::new(0),
+                gc_chains: AtomicU64::new(0),
+                gc_unindexed: AtomicU64::new(0),
             }),
         }
     }
@@ -241,9 +292,16 @@ impl Database {
             if !self.inner.wal.force_up_to(commit_rec) {
                 span.fail();
                 txn.state = TxnState::Aborted;
+                self.mvcc_txn_cleanup(txn);
                 self.inner.lm.release_all(txn.id);
                 return Err(DbError::Offline);
             }
+        }
+        let mvcc_on = self.inner.mvcc.load(AtomicOrdering::Relaxed);
+        // Publish committed versions before any deleted slot can be reused:
+        // a reuser must find the chains clean.
+        if mvcc_on && !txn.undo.is_empty() {
+            self.mvcc_publish_commit(txn);
         }
         // Slots of rows this transaction deleted become reusable only now:
         // until commit they are still X-locked under their old identity.
@@ -254,7 +312,15 @@ impl Database {
         }
         txn.undo.clear();
         txn.state = TxnState::Committed;
+        self.mvcc_txn_cleanup(txn);
         self.inner.lm.release_all(txn.id);
+        if mvcc_on
+            && self.inner.commits_since_gc.fetch_add(1, AtomicOrdering::Relaxed)
+                % GC_COMMIT_INTERVAL
+                == GC_COMMIT_INTERVAL - 1
+        {
+            self.mvcc_gc();
+        }
         Ok(())
     }
 
@@ -269,7 +335,189 @@ impl Database {
             }
             txn.state = TxnState::Aborted;
         }
+        // Dirty markers clear only after the heap is restored, so snapshot
+        // readers never resolve a half-undone image.
+        self.mvcc_txn_cleanup(txn);
         self.inner.lm.release_all(txn.id);
+    }
+
+    // ------------------------------------------------------------------
+    // MVCC: snapshots, commit publication, version GC
+    // ------------------------------------------------------------------
+
+    /// The transaction's snapshot timestamp, assigned at its first snapshot
+    /// read and held for the transaction's lifetime (repeatable snapshot).
+    /// Registered so the GC watermark cannot advance past it.
+    fn snapshot_for(&self, txn: &mut Txn) -> u64 {
+        if let Some(ts) = txn.snapshot_ts {
+            return ts;
+        }
+        // Load `commit_ts` while holding the registry lock: the GC also
+        // computes its watermark under it, so a snapshot can never register
+        // below an already-computed watermark.
+        let mut snaps = self.inner.snapshots.lock();
+        let ts = self.inner.commit_ts.load(AtomicOrdering::Acquire);
+        *snaps.entry(ts).or_insert(0) += 1;
+        txn.snapshot_ts = Some(ts);
+        ts
+    }
+
+    /// Drop the transaction's snapshot registration, if any.
+    fn release_snapshot(&self, txn: &mut Txn) {
+        if let Some(ts) = txn.snapshot_ts.take() {
+            let mut snaps = self.inner.snapshots.lock();
+            if let Some(n) = snaps.get_mut(&ts) {
+                *n -= 1;
+                if *n == 0 {
+                    snaps.remove(&ts);
+                }
+            }
+        }
+    }
+
+    /// End-of-transaction MVCC bookkeeping: clear any dirty markers the
+    /// transaction still holds (rows whose writes were undone, or all rows
+    /// on abort) and release its snapshot. Idempotent.
+    fn mvcc_txn_cleanup(&self, txn: &mut Txn) {
+        for (table, rowid) in std::mem::take(&mut txn.mvcc_touched) {
+            let _ =
+                self.inner.storage.with_table_mut(table, |t| t.mvcc_clear_dirty(rowid, txn.id.0));
+        }
+        self.release_snapshot(txn);
+    }
+
+    /// Stamp the transaction's writes with a fresh commit timestamp and
+    /// queue deferred removals for the index entries its committed state no
+    /// longer needs (old keys of updates, keys of deleted rows).
+    fn mvcc_publish_commit(&self, txn: &Txn) {
+        // (table, rowid) -> superseded keys from undo old-images.
+        type StaleKeys = HashMap<(TableId, u64), Vec<(IndexSchema, Vec<Value>)>>;
+        let mut indexes_by_table: HashMap<TableId, Vec<IndexSchema>> = HashMap::new();
+        let mut rows: Vec<(TableId, u64)> = Vec::new();
+        let mut seen: HashSet<(TableId, u64)> = HashSet::new();
+        let mut stale = StaleKeys::new();
+        for op in &txn.undo {
+            let (table, rowid, old) = match op {
+                UndoOp::Insert { table, rowid } => (*table, *rowid, None),
+                UndoOp::Delete { table, rowid, row } => (*table, *rowid, Some(row)),
+                UndoOp::Update { table, rowid, old } => (*table, *rowid, Some(old)),
+            };
+            if seen.insert((table, rowid)) {
+                rows.push((table, rowid));
+            }
+            let Some(old) = old else { continue };
+            let idxs =
+                indexes_by_table.entry(table).or_insert_with(|| self.indexes_of_snapshot(table));
+            for ix in idxs.iter() {
+                let key = extract_key(ix, old);
+                let entries = stale.entry((table, rowid)).or_default();
+                if !entries.iter().any(|(e_ix, e_key)| e_ix.id == ix.id && *e_key == key) {
+                    entries.push((ix.clone(), key));
+                }
+            }
+        }
+        let publish = self.inner.publish.lock();
+        let ts = self.inner.commit_ts.load(AtomicOrdering::Relaxed) + 1;
+        for &(table, rowid) in &rows {
+            let _ = self.inner.storage.with_table_mut(table, |t| t.mvcc_publish(rowid, ts));
+        }
+        let mut queued: Vec<PendingUnindex> = Vec::new();
+        for ((table, rowid), entries) in stale {
+            let final_row =
+                self.inner.storage.with_table(table, |t| t.get(rowid).cloned()).ok().flatten();
+            for (ix, key) in entries {
+                // A later write in this transaction restored the key: the
+                // committed image still needs its entry.
+                if final_row.as_ref().is_some_and(|r| extract_key(&ix, r) == key) {
+                    continue;
+                }
+                queued.push(PendingUnindex {
+                    ts,
+                    table,
+                    index: ix.id,
+                    key_columns: ix.key_columns.clone(),
+                    key,
+                    rowid,
+                });
+            }
+        }
+        if !queued.is_empty() {
+            self.inner.pending_unindex.lock().extend(queued);
+        }
+        self.inner.commit_ts.store(ts, AtomicOrdering::Release);
+        drop(publish);
+    }
+
+    /// Garbage-collect version chains and apply ripe deferred index-entry
+    /// removals behind the oldest active snapshot. Runs automatically every
+    /// [`GC_COMMIT_INTERVAL`] commits; callable directly for tests and
+    /// quiesce points. Returns the watermark used.
+    pub fn mvcc_gc(&self) -> u64 {
+        let watermark = {
+            let snaps = self.inner.snapshots.lock();
+            snaps
+                .keys()
+                .next()
+                .copied()
+                .unwrap_or_else(|| self.inner.commit_ts.load(AtomicOrdering::Acquire))
+        };
+        let ripe: Vec<PendingUnindex> = {
+            let mut pending = self.inner.pending_unindex.lock();
+            let (ripe, keep) = std::mem::take(&mut *pending)
+                .into_iter()
+                .partition(|p: &PendingUnindex| p.ts <= watermark);
+            *pending = keep;
+            ripe
+        };
+        let mut requeue: Vec<PendingUnindex> = Vec::new();
+        for p in ripe {
+            // The apply mutex makes the check-and-remove atomic against
+            // writers mutating heap + index.
+            let guard = self.inner.storage.apply_guard(p.table);
+            let _g = guard.lock();
+            // 0 = row gone or key superseded (remove the entry), 1 = the
+            // live image carries the key again (entry needed, drop the
+            // tombstone), 2 = row mid-write (committed key unknown, retry).
+            let verdict = self.inner.storage.with_table(p.table, |t| {
+                if t.mvcc_row_dirty(p.rowid) {
+                    return 2u8;
+                }
+                let resurrected = t.get(p.rowid).is_some_and(|row| {
+                    p.key_columns.len() == p.key.len()
+                        && p.key_columns.iter().zip(&p.key).all(|(&c, k)| row.get(c) == Some(k))
+                });
+                u8::from(resurrected)
+            });
+            match verdict {
+                Ok(0) => {
+                    let _ = self.inner.storage.with_index_mut(p.index, |t| {
+                        t.remove(&p.key, p.rowid);
+                    });
+                    self.inner.gc_unindexed.fetch_add(1, AtomicOrdering::Relaxed);
+                }
+                Ok(2) => requeue.push(p),
+                // 1 (resurrected) or the table is gone: drop the tombstone.
+                _ => {}
+            }
+        }
+        if !requeue.is_empty() {
+            self.inner.pending_unindex.lock().extend(requeue);
+        }
+        let mut versions = 0u64;
+        let mut chains = 0u64;
+        for table in self.inner.storage.table_ids() {
+            let (v, c) = self
+                .inner
+                .storage
+                .with_table_mut(table, |t| t.mvcc_gc(watermark))
+                .unwrap_or((0, 0));
+            versions += v;
+            chains += c;
+        }
+        self.inner.gc_versions.fetch_add(versions, AtomicOrdering::Relaxed);
+        self.inner.gc_chains.fetch_add(chains, AtomicOrdering::Relaxed);
+        self.inner.gc_watermark.store(watermark, AtomicOrdering::Relaxed);
+        watermark
     }
 
     /// Roll back to a savepoint. Locks are retained (DB2 semantics).
@@ -281,7 +529,13 @@ impl Database {
     }
 
     /// Apply undo operations (newest-first) with compensation log records.
+    ///
+    /// Under MVCC, index entries are never removed eagerly: an entry this
+    /// transaction is backing out may coincide with one an older snapshot
+    /// still needs (a reused slot or a restored key), so removals are queued
+    /// behind the GC watermark instead.
     fn apply_undo(&self, txn: TxnId, ops: &[UndoOp]) {
+        let mvcc_on = self.inner.mvcc.load(AtomicOrdering::Relaxed);
         for op in ops {
             match op {
                 UndoOp::Insert { table, rowid } => {
@@ -295,9 +549,13 @@ impl Database {
                         }
                     });
                     for (ix, key) in keys {
-                        let _ = self.inner.storage.with_index_mut(ix, |t| {
-                            t.remove(&key, *rowid);
-                        });
+                        if mvcc_on {
+                            self.queue_unindex(*table, &ix, key, *rowid);
+                        } else {
+                            let _ = self.inner.storage.with_index_mut(ix.id, |t| {
+                                t.remove(&key, *rowid);
+                            });
+                        }
                     }
                 }
                 UndoOp::Delete { table, rowid, row } => {
@@ -334,9 +592,15 @@ impl Database {
                                 let ok = extract_key(ix, old);
                                 if ck != ok {
                                     let _ = self.inner.storage.with_index_mut(ix.id, |t| {
-                                        t.remove(&ck, *rowid);
                                         t.insert(ok.clone(), *rowid);
                                     });
+                                    if mvcc_on {
+                                        self.queue_unindex(*table, ix, ck, *rowid);
+                                    } else {
+                                        let _ = self.inner.storage.with_index_mut(ix.id, |t| {
+                                            t.remove(&ck, *rowid);
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -347,20 +611,29 @@ impl Database {
     }
 
     /// Index keys currently pointing at a row (for undo of insert).
-    fn index_keys_for_row(
-        &self,
-        table: TableId,
-        rowid: u64,
-    ) -> Vec<(crate::schema::IndexId, Vec<Value>)> {
+    fn index_keys_for_row(&self, table: TableId, rowid: u64) -> Vec<(IndexSchema, Vec<Value>)> {
         let row = self.inner.storage.with_table(table, |t| t.get(rowid).cloned()).ok().flatten();
         let Some(row) = row else { return Vec::new() };
         self.indexes_of_snapshot(table)
             .into_iter()
             .map(|ix| {
                 let k = extract_key(&ix, &row);
-                (ix.id, k)
+                (ix, k)
             })
             .collect()
+    }
+
+    /// Queue a deferred index-entry removal at the current commit horizon
+    /// (rollback paths — see [`Database::apply_undo`]).
+    fn queue_unindex(&self, table: TableId, ix: &IndexSchema, key: Vec<Value>, rowid: u64) {
+        self.inner.pending_unindex.lock().push(PendingUnindex {
+            ts: self.inner.commit_ts.load(AtomicOrdering::Acquire),
+            table,
+            index: ix.id,
+            key_columns: ix.key_columns.clone(),
+            key,
+            rowid,
+        });
     }
 
     fn indexes_of_snapshot(&self, table: TableId) -> Vec<IndexSchema> {
@@ -759,16 +1032,16 @@ impl Database {
 
         // Physical apply: atomic unique check + mutation under the table's
         // apply mutex.
+        let mvcc_on = self.inner.mvcc.load(AtomicOrdering::Relaxed);
         let guard = self.inner.storage.apply_guard(schema.id);
         let _g = guard.lock();
         for ix in indexes {
             if ix.unique {
                 let key = extract_key(ix, &row);
-                let clash = self.inner.storage.with_index(ix.id, |t| t.contains_key(&key))?;
-                if clash {
+                if self.unique_clash(schema.id, ix, &key, None)? {
                     return Err(DbError::UniqueViolation {
                         index: ix.name.clone(),
-                        key: render_key(&extract_key(ix, &row)),
+                        key: render_key(&key),
                     });
                 }
             }
@@ -780,7 +1053,18 @@ impl Database {
         self.inner
             .wal
             .append(txn.id, LogPayload::Insert { table: schema.id.0, rowid, row: row.clone() })?;
-        self.inner.storage.with_table_mut(schema.id, |t| t.put_reserved(rowid, row.clone()))?;
+        let mut first_touch = false;
+        self.inner.storage.with_table_mut(schema.id, |t| {
+            // Open the version chain under the same write latch as the heap
+            // mutation, so readers never see a dirty image without history.
+            if mvcc_on {
+                first_touch = t.mvcc_begin_write(rowid, txn.id.0);
+            }
+            t.put_reserved(rowid, row.clone())
+        })?;
+        if first_touch {
+            txn.mvcc_touched.push((schema.id, rowid));
+        }
         for ix in indexes {
             let key = extract_key(ix, &row);
             self.inner.storage.with_index_mut(ix.id, |t| {
@@ -809,6 +1093,7 @@ impl Database {
             sel.filter.as_ref(),
             params,
             sel.for_update,
+            sel.for_share,
             pinned_main,
         )?;
         sort_rows(&schema, &mut matched, &sel.order_by)?;
@@ -846,7 +1131,7 @@ impl Database {
         pinned: Option<TablePlan>,
     ) -> DbResult<ExecResult> {
         let (schema, indexes) = self.table_meta(table)?;
-        let matched = self.find_matching(txn, table, filter, params, true, pinned)?;
+        let matched = self.find_matching(txn, table, filter, params, true, false, pinned)?;
         let nkl = self.inner.next_key_locking.load(AtomicOrdering::Relaxed);
         let mut count = 0usize;
         for (rowid, old) in matched {
@@ -899,6 +1184,7 @@ impl Database {
                 }
             }
             // Physical apply with unique checks.
+            let mvcc_on = self.inner.mvcc.load(AtomicOrdering::Relaxed);
             let guard = self.inner.storage.apply_guard(schema.id);
             let _g = guard.lock();
             for ix in &indexes {
@@ -907,17 +1193,11 @@ impl Database {
                 }
                 let ok = extract_key(ix, &old);
                 let nk = extract_key(ix, &new);
-                if ok != nk {
-                    let clash = self
-                        .inner
-                        .storage
-                        .with_index(ix.id, |t| t.get(&nk).iter().any(|r| *r != rowid))?;
-                    if clash {
-                        return Err(DbError::UniqueViolation {
-                            index: ix.name.clone(),
-                            key: render_key(&nk),
-                        });
-                    }
+                if ok != nk && self.unique_clash(schema.id, ix, &nk, Some(rowid))? {
+                    return Err(DbError::UniqueViolation {
+                        index: ix.name.clone(),
+                        key: render_key(&nk),
+                    });
                 }
             }
             self.inner.wal.append(
@@ -929,13 +1209,27 @@ impl Database {
                     new: new.clone(),
                 },
             )?;
-            self.inner.storage.with_table_mut(schema.id, |t| t.replace(rowid, new.clone()))?;
+            let mut first_touch = false;
+            self.inner.storage.with_table_mut(schema.id, |t| {
+                if mvcc_on {
+                    first_touch = t.mvcc_begin_write(rowid, txn.id.0);
+                }
+                t.replace(rowid, new.clone())
+            })?;
+            if first_touch {
+                txn.mvcc_touched.push((schema.id, rowid));
+            }
             for ix in &indexes {
                 let ok = extract_key(ix, &old);
                 let nk = extract_key(ix, &new);
                 if ok != nk {
+                    // Under MVCC the old entry stays: snapshot scans still
+                    // resolve the pre-image through it. Commit queues its
+                    // removal behind the GC watermark.
                     self.inner.storage.with_index_mut(ix.id, |t| {
-                        t.remove(&ok, rowid);
+                        if !mvcc_on {
+                            t.remove(&ok, rowid);
+                        }
                         t.insert(nk.clone(), rowid);
                     })?;
                 }
@@ -955,7 +1249,7 @@ impl Database {
         pinned: Option<TablePlan>,
     ) -> DbResult<ExecResult> {
         let (schema, indexes) = self.table_meta(table)?;
-        let matched = self.find_matching(txn, table, filter, params, true, pinned)?;
+        let matched = self.find_matching(txn, table, filter, params, true, false, pinned)?;
         let nkl = self.inner.next_key_locking.load(AtomicOrdering::Relaxed);
         let mut count = 0usize;
         for (rowid, row) in matched {
@@ -983,6 +1277,7 @@ impl Database {
                     }
                 }
             }
+            let mvcc_on = self.inner.mvcc.load(AtomicOrdering::Relaxed);
             let guard = self.inner.storage.apply_guard(schema.id);
             let _g = guard.lock();
             let existed = self.inner.storage.with_table(schema.id, |t| t.get(rowid).is_some())?;
@@ -993,12 +1288,25 @@ impl Database {
                 txn.id,
                 LogPayload::Delete { table: schema.id.0, rowid, row: row.clone() },
             )?;
-            self.inner.storage.with_table_mut(schema.id, |t| t.remove(rowid))?;
-            for ix in &indexes {
-                let key = extract_key(ix, &row);
-                self.inner.storage.with_index_mut(ix.id, |t| {
-                    t.remove(&key, rowid);
-                })?;
+            let mut first_touch = false;
+            self.inner.storage.with_table_mut(schema.id, |t| {
+                if mvcc_on {
+                    first_touch = t.mvcc_begin_write(rowid, txn.id.0);
+                }
+                t.remove(rowid)
+            })?;
+            if first_touch {
+                txn.mvcc_touched.push((schema.id, rowid));
+            }
+            // Under MVCC the index entries stay until the GC watermark
+            // passes the delete's commit timestamp (queued at commit).
+            if !mvcc_on {
+                for ix in &indexes {
+                    let key = extract_key(ix, &row);
+                    self.inner.storage.with_index_mut(ix.id, |t| {
+                        t.remove(&key, rowid);
+                    })?;
+                }
             }
             txn.undo.push(UndoOp::Delete { table: schema.id, rowid, row });
             count += 1;
@@ -1006,14 +1314,43 @@ impl Database {
         Ok(ExecResult::Count(count))
     }
 
+    /// Does any *live* heap row other than `exclude` carry `key` in the
+    /// unique index `ix`? Under MVCC, index entries can be stale (their
+    /// removal is deferred behind the GC watermark), so candidates from the
+    /// index are validated against the current heap image. Callers hold the
+    /// table's apply mutex.
+    fn unique_clash(
+        &self,
+        table: TableId,
+        ix: &IndexSchema,
+        key: &[Value],
+        exclude: Option<u64>,
+    ) -> DbResult<bool> {
+        let rowids = self.inner.storage.with_index(ix.id, |t| t.get(key))?;
+        if rowids.is_empty() {
+            return Ok(false);
+        }
+        if !self.inner.mvcc.load(AtomicOrdering::Relaxed) {
+            return Ok(rowids.iter().any(|r| Some(*r) != exclude));
+        }
+        self.inner.storage.with_table(table, |t| {
+            rowids.iter().any(|&r| {
+                Some(r) != exclude && t.get(r).is_some_and(|row| extract_key(ix, row) == key)
+            })
+        })
+    }
+
     /// Locate rows matching `filter`, locking as it goes.
     ///
     /// `for_write` controls row lock mode (X vs S) and the table intent
-    /// lock (IX vs IS). Index scans additionally take key locks when
-    /// next-key locking is on — note the *order*: index key first, then
-    /// row; modifications lock row first, then index keys. Two access paths
-    /// to the same data with opposite acquisition orders is exactly the
-    /// multi-index deadlock generator of paper §3.2.1.
+    /// lock (IX vs IS); `for_share` forces a locking S read even when MVCC
+    /// is on (SELECT ... FOR SHARE). A plain read under MVCC takes the
+    /// lock-free snapshot path instead. Index scans additionally take key
+    /// locks when next-key locking is on — note the *order*: index key
+    /// first, then row; modifications lock row first, then index keys. Two
+    /// access paths to the same data with opposite acquisition orders is
+    /// exactly the multi-index deadlock generator of paper §3.2.1.
+    #[allow(clippy::too_many_arguments)]
     fn find_matching(
         &self,
         txn: &mut Txn,
@@ -1021,6 +1358,7 @@ impl Database {
         filter: Option<&Expr>,
         params: &[Value],
         for_write: bool,
+        for_share: bool,
         pinned: Option<TablePlan>,
     ) -> DbResult<Vec<(u64, Row)>> {
         let (schema, _) = self.table_meta(table)?;
@@ -1031,6 +1369,9 @@ impl Database {
             Some(p) => p,
             None => plan_access(&self.inner.catalog.read(), table, filter)?,
         };
+        if !for_write && !for_share && self.inner.mvcc.load(AtomicOrdering::Relaxed) {
+            return self.find_matching_snapshot(txn, &schema, filter, params, &plan);
+        }
         let nkl = self.inner.next_key_locking.load(AtomicOrdering::Relaxed);
         let table_mode = if for_write { LockMode::IX } else { LockMode::IS };
         let row_mode = if for_write { LockMode::X } else { LockMode::S };
@@ -1147,6 +1488,104 @@ impl Database {
         Ok(out)
     }
 
+    /// Snapshot-read arm of [`Database::find_matching`]: resolve the scan
+    /// against the transaction's snapshot timestamp. Takes **no** table,
+    /// row, or key locks — readers never wait on writers and never appear
+    /// in the wait-for graph. Stale index entries (removal deferred behind
+    /// the GC watermark) are harmless: the visible image is re-checked
+    /// against the filter, which subsumes the probe predicate.
+    fn find_matching_snapshot(
+        &self,
+        txn: &mut Txn,
+        schema: &TableSchema,
+        filter: Option<&Expr>,
+        params: &[Value],
+        plan: &TablePlan,
+    ) -> DbResult<Vec<(u64, Row)>> {
+        let snapshot = self.snapshot_for(txn);
+        let me = txn.id.0;
+        self.inner.mvcc_reads.fetch_add(1, AtomicOrdering::Relaxed);
+        let mut scanned = 0u64;
+        let mut out: Vec<(u64, Row)> = Vec::new();
+        let keep_visible =
+            |rowid: u64, row: Option<Row>, out: &mut Vec<(u64, Row)>| -> DbResult<()> {
+                let Some(row) = row else { return Ok(()) };
+                let keep = match filter {
+                    Some(f) => eval_pred(f, schema, &row, params)?,
+                    None => true,
+                };
+                if keep {
+                    out.push((rowid, row));
+                }
+                Ok(())
+            };
+        match &plan.path {
+            AccessPath::FullScan => {
+                // Union live heap rows with chain-only rowids: a committed
+                // delete empties the slot while older snapshots must still
+                // see the prior image.
+                let visible: Vec<(u64, Row)> = self.inner.storage.with_table(schema.id, |t| {
+                    let mut ids: Vec<u64> = t.iter().map(|(id, _)| id).collect();
+                    ids.extend(t.mvcc_rowids());
+                    ids.sort_unstable();
+                    ids.dedup();
+                    ids.into_iter()
+                        .filter_map(|id| {
+                            t.mvcc_visible(id, snapshot, me, &mut scanned).map(|r| (id, r.clone()))
+                        })
+                        .collect()
+                })?;
+                for (rowid, row) in visible {
+                    keep_visible(rowid, Some(row), &mut out)?;
+                }
+            }
+            AccessPath::IndexEq { index, probes, .. } => {
+                let prefix: Vec<Value> =
+                    probes.iter().map(|e| eval_standalone(e, params)).collect::<DbResult<_>>()?;
+                let hits = self.inner.storage.with_index(*index, |t| t.prefix_scan(&prefix))?;
+                for (_key, rowids) in hits {
+                    for rowid in rowids {
+                        let row = self.inner.storage.with_table(schema.id, |t| {
+                            t.mvcc_visible(rowid, snapshot, me, &mut scanned).cloned()
+                        })?;
+                        keep_visible(rowid, row, &mut out)?;
+                    }
+                }
+            }
+            AccessPath::IndexRange { index, probes, lo, hi } => {
+                let prefix: Vec<Value> =
+                    probes.iter().map(|e| eval_standalone(e, params)).collect::<DbResult<_>>()?;
+                let lo_v = match lo {
+                    Some(b) => Some((eval_standalone(&b.value, params)?, b.inclusive)),
+                    None => None,
+                };
+                let hi_v = match hi {
+                    Some(b) => Some((eval_standalone(&b.value, params)?, b.inclusive)),
+                    None => None,
+                };
+                let hits = self.inner.storage.with_index(*index, |t| {
+                    t.range_scan(
+                        &prefix,
+                        lo_v.as_ref().map(|(v, i)| (v, *i)),
+                        hi_v.as_ref().map(|(v, i)| (v, *i)),
+                    )
+                })?;
+                for (_key, rowids) in hits {
+                    for rowid in rowids {
+                        let row = self.inner.storage.with_table(schema.id, |t| {
+                            t.mvcc_visible(rowid, snapshot, me, &mut scanned).cloned()
+                        })?;
+                        keep_visible(rowid, row, &mut out)?;
+                    }
+                }
+            }
+        }
+        self.inner.mvcc_versions_scanned.record(scanned);
+        out.sort_by_key(|(id, _)| *id);
+        out.dedup_by_key(|(id, _)| *id);
+        Ok(out)
+    }
+
     fn table_meta(&self, table: &str) -> DbResult<(TableSchema, Vec<IndexSchema>)> {
         let catalog = self.inner.catalog.read();
         let schema = catalog.table(table)?.clone();
@@ -1224,6 +1663,54 @@ impl Database {
     // ------------------------------------------------------------------
     // Runtime knobs & metrics
     // ------------------------------------------------------------------
+
+    /// Toggle MVCC snapshot reads at runtime. Only safe on a quiesced
+    /// database: writers already in flight before enabling have no version
+    /// chains, so concurrent snapshot readers could observe their dirty
+    /// rows.
+    pub fn set_mvcc(&self, on: bool) {
+        self.inner.mvcc.store(on, AtomicOrdering::Relaxed);
+    }
+
+    /// Are reads resolved as lock-free snapshot scans?
+    pub fn mvcc(&self) -> bool {
+        self.inner.mvcc.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Statements resolved as lock-free snapshot reads so far.
+    pub fn mvcc_reads_total(&self) -> u64 {
+        self.inner.mvcc_reads.load(AtomicOrdering::Relaxed)
+    }
+
+    /// The GC watermark of the last version-GC sweep.
+    pub fn mvcc_watermark(&self) -> u64 {
+        self.inner.gc_watermark.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Latest published commit timestamp.
+    pub fn mvcc_commit_ts(&self) -> u64 {
+        self.inner.commit_ts.load(AtomicOrdering::Acquire)
+    }
+
+    /// Snapshot timestamps currently registered (distinct values).
+    pub fn mvcc_active_snapshots(&self) -> usize {
+        self.inner.snapshots.lock().len()
+    }
+
+    /// Rows currently carrying a version chain, across all tables.
+    pub fn mvcc_version_chains(&self) -> usize {
+        self.inner
+            .storage
+            .table_ids()
+            .into_iter()
+            .filter_map(|t| self.inner.storage.with_table(t, |t| t.mvcc_chain_count()).ok())
+            .sum()
+    }
+
+    /// Index entries queued for watermark-gated removal.
+    pub fn mvcc_pending_unindex(&self) -> usize {
+        self.inner.pending_unindex.lock().len()
+    }
 
     /// Toggle next-key locking at runtime (the paper's fix is turning it off).
     pub fn set_next_key_locking(&self, on: bool) {
@@ -1394,6 +1881,75 @@ impl Database {
             &[],
             self.log_active_window() as i64,
         );
+        r.counter(
+            "minidb_mvcc_reads_total",
+            "Statements resolved as lock-free snapshot reads.",
+            &[],
+            self.mvcc_reads_total(),
+        );
+        r.histogram(
+            "minidb_mvcc_versions_scanned",
+            "Version-chain entries examined per snapshot statement.",
+            &[],
+            &self.inner.mvcc_versions_scanned,
+        );
+        r.gauge(
+            "minidb_mvcc_gc_watermark",
+            "Oldest-active-snapshot watermark of the last version-GC sweep.",
+            &[],
+            self.mvcc_watermark() as i64,
+        );
+        r.gauge(
+            "minidb_mvcc_commit_ts",
+            "Latest published commit timestamp.",
+            &[],
+            self.mvcc_commit_ts() as i64,
+        );
+        r.gauge(
+            "minidb_mvcc_snapshots_active",
+            "Distinct snapshot timestamps currently pinned by transactions.",
+            &[],
+            self.mvcc_active_snapshots() as i64,
+        );
+        r.gauge(
+            "minidb_mvcc_version_chains",
+            "Rows currently carrying version history.",
+            &[],
+            self.mvcc_version_chains() as i64,
+        );
+        r.gauge(
+            "minidb_mvcc_pending_unindex",
+            "Superseded index entries awaiting watermark-gated removal.",
+            &[],
+            self.mvcc_pending_unindex() as i64,
+        );
+        for (kind, value) in [
+            ("versions", self.inner.gc_versions.load(AtomicOrdering::Relaxed)),
+            ("chains", self.inner.gc_chains.load(AtomicOrdering::Relaxed)),
+            ("index_entries", self.inner.gc_unindexed.load(AtomicOrdering::Relaxed)),
+        ] {
+            r.counter(
+                "minidb_mvcc_gc_collected_total",
+                "Objects reclaimed by version GC, by kind.",
+                &[("kind", kind)],
+                value,
+            );
+        }
+        for (i, st) in self.inner.lm.shard_stats().iter().enumerate() {
+            let shard = i.to_string();
+            r.counter(
+                "minidb_lock_shard_requests_total",
+                "Lock requests routed to each lock-table shard.",
+                &[("shard", shard.as_str())],
+                st.requests,
+            );
+            r.counter(
+                "minidb_lock_shard_contended_total",
+                "Requests that enqueued behind an incompatible holder, per shard.",
+                &[("shard", shard.as_str())],
+                st.contended,
+            );
+        }
     }
 
     /// [`Database::render_metrics`] as a standalone Prometheus-text
@@ -1429,6 +1985,8 @@ impl Database {
     pub fn restore_image(&self, image: &DbImage) {
         *self.inner.catalog.write() = image.catalog.clone();
         self.inner.storage.restore(image.storage.clone());
+        // Deferred index removals refer to pre-restore state.
+        self.inner.pending_unindex.lock().clear();
         self.checkpoint();
     }
 
@@ -1448,6 +2006,11 @@ impl Database {
         let lost = self.inner.wal.crash();
         self.inner.storage.clear();
         self.inner.lm.clear_all();
+        // Version history and deferred removals are volatile; snapshots of
+        // in-flight readers die with the crash. `commit_ts` is kept so
+        // timestamps stay unique across the restart.
+        self.inner.snapshots.lock().clear();
+        self.inner.pending_unindex.lock().clear();
         *self.inner.catalog.write() = Catalog::default();
         lost
     }

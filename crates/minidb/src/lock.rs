@@ -1,4 +1,4 @@
-//! Hierarchical strict-2PL lock manager.
+//! Hierarchical strict-2PL lock manager, hash-sharded for the hot path.
 //!
 //! Implements the DB2-like machinery every lesson in the paper turns on:
 //!
@@ -12,11 +12,30 @@
 //!   threshold or when the global lock list fills (§4);
 //! * next-key locks are *requested by the index layer*; this module just
 //!   treats them as key-granularity resources.
+//!
+//! Structure: the lock table is split into a power-of-two number of
+//! **resource shards** (each a `Mutex<HashMap<Res, LockState>>` plus a
+//! condvar waiters park on), selected by hashing the resource. Per-
+//! transaction bookkeeping (held set, escalation state, current SQL,
+//! pending wait) lives in separately hashed **transaction shards** — a
+//! transaction's entry is written by its own thread, so those mutexes are
+//! effectively uncontended. Commit/abort releases all locks with one pass
+//! per *touched* shard instead of one global-lock acquisition per resource.
+//! The deadlock detector assembles its wait-for graph from a cross-shard
+//! snapshot: it reads each blocked transaction's pending request from its
+//! transaction shard, then the grant/queue state from the one resource
+//! shard involved, locking shards one at a time (never nested).
+//!
+//! Lock-order discipline: a thread holds at most one resource-shard mutex
+//! at a time, and never acquires a transaction-shard mutex while holding a
+//! resource-shard mutex (or vice versa); the tiny global `victims` map is
+//! only locked on its own.
 
 use std::cell::Cell;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
@@ -295,15 +314,17 @@ struct LockState {
     waiters: VecDeque<Waiter>,
 }
 
-impl LockState {
-    fn holder_mode(&self, txn: TxnId) -> Option<LockMode> {
-        self.granted.iter().find(|g| g.txn == txn).map(|g| g.mode)
-    }
+#[derive(Debug, Clone)]
+struct WaitInfo {
+    res: Res,
+    mode: LockMode,
 }
 
-/// Per-transaction bookkeeping.
+/// Per-transaction bookkeeping (one entry per live transaction, stored in
+/// a transaction shard; written only by the owning thread, read by the
+/// deadlock detector and the status surfaces).
 #[derive(Debug, Default)]
-struct TxnLocks {
+struct TxnInfo {
     /// Every held resource with its mode.
     held: HashMap<Res, LockMode>,
     /// Fine-grained (row/key) lock counts per table, driving escalation.
@@ -311,71 +332,342 @@ struct TxnLocks {
     /// Tables this transaction has escalated on; further fine-grained
     /// requests there are no-ops.
     escalated: HashMap<TableId, LockMode>,
+    /// The pending blocked request, while waiting.
+    waiting: Option<WaitInfo>,
+    /// Current SQL (for deadlock forensics); dies with the entry at
+    /// commit/abort, so the map cannot grow across transactions.
+    sql: Option<String>,
 }
 
-#[derive(Debug)]
-struct WaitInfo {
-    res: Res,
+/// One resource shard: a slice of the lock table plus the condvar its
+/// waiters park on and its contention counters.
+struct ResShard {
+    state: Mutex<HashMap<Res, LockState>>,
+    cv: Condvar,
+    /// Lock requests routed to this shard.
+    requests: AtomicU64,
+    /// Requests that enqueued (found the resource busy).
+    contended: AtomicU64,
+}
+
+impl Default for ResShard {
+    fn default() -> Self {
+        ResShard {
+            state: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+            requests: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Per-shard contention counters, exported through `render_metrics`.
+#[derive(Debug, Clone, Copy)]
+pub struct LockShardStat {
+    /// Lock requests routed to the shard.
+    pub requests: u64,
+    /// Requests that had to enqueue behind an incompatible holder/waiter.
+    pub contended: u64,
+}
+
+/// Can `txn` be granted `mode` on the resource right now, given one
+/// shard's state? `ticket` is `None` for conversions (which jump the
+/// queue) and for first-touch probes.
+fn can_grant(
+    map: &HashMap<Res, LockState>,
+    res: &Res,
+    txn: TxnId,
     mode: LockMode,
-}
-
-#[derive(Default)]
-struct Inner {
-    locks: HashMap<Res, LockState>,
-    txns: HashMap<TxnId, TxnLocks>,
-    /// Currently blocked transactions and what they wait for.
-    waiting: HashMap<TxnId, WaitInfo>,
-    /// Transactions chosen as deadlock victims; they abort on next wake.
-    victims: HashMap<TxnId, String>,
-    next_ticket: u64,
-    total_locks: usize,
-}
-
-impl Inner {
-    /// Can `txn` be granted `mode` on the resource right now?
-    /// `ticket` is `None` for conversions (which jump the queue).
-    fn can_grant(&self, res: &Res, txn: TxnId, mode: LockMode, ticket: Option<u64>) -> bool {
-        let Some(state) = self.locks.get(res) else { return true };
-        for g in &state.granted {
-            if g.txn != txn && !g.mode.compatible(mode) {
+    ticket: Option<u64>,
+) -> bool {
+    let Some(state) = map.get(res) else { return true };
+    for g in &state.granted {
+        if g.txn != txn && !g.mode.compatible(mode) {
+            return false;
+        }
+    }
+    if let Some(ticket) = ticket {
+        // FIFO fairness: an earlier waiter with an incompatible mode
+        // blocks us even if the granted set would admit us.
+        for w in &state.waiters {
+            if w.ticket >= ticket || w.txn == txn {
+                continue;
+            }
+            if !w.mode.compatible(mode) {
                 return false;
             }
         }
-        if let Some(ticket) = ticket {
-            // FIFO fairness: an earlier waiter with an incompatible mode
-            // blocks us even if the granted set would admit us.
-            for w in &state.waiters {
-                if w.ticket >= ticket || w.txn == txn {
-                    continue;
-                }
-                if !w.mode.compatible(mode) {
-                    return false;
-                }
+    }
+    true
+}
+
+/// Add (or upgrade) a grant in one shard. Returns `(newly, effective)`:
+/// whether a new grant entry was created (drives the global lock count)
+/// and the mode now held.
+fn grant_in(
+    map: &mut HashMap<Res, LockState>,
+    res: &Res,
+    txn: TxnId,
+    mode: LockMode,
+) -> (bool, LockMode) {
+    let state = map.entry(res.clone()).or_default();
+    if let Some(g) = state.granted.iter_mut().find(|g| g.txn == txn) {
+        g.mode = g.mode.supremum(mode);
+        (false, g.mode)
+    } else {
+        state.granted.push(Grant { txn, mode });
+        (true, mode)
+    }
+}
+
+/// Remove `txn`'s grant on `res` in one shard; prunes empty entries.
+/// Returns whether a grant was actually removed.
+fn release_in(map: &mut HashMap<Res, LockState>, txn: TxnId, res: &Res) -> bool {
+    if let Some(state) = map.get_mut(res) {
+        let before = state.granted.len();
+        state.granted.retain(|g| g.txn != txn);
+        let removed = state.granted.len() < before;
+        if state.granted.is_empty() && state.waiters.is_empty() {
+            map.remove(res);
+        }
+        removed
+    } else {
+        false
+    }
+}
+
+/// Drop `txn` from `res`'s wait queue in one shard.
+fn unqueue_in(map: &mut HashMap<Res, LockState>, txn: TxnId, res: &Res) {
+    if let Some(state) = map.get_mut(res) {
+        state.waiters.retain(|w| w.txn != txn);
+        if state.granted.is_empty() && state.waiters.is_empty() {
+            map.remove(res);
+        }
+    }
+}
+
+/// The lock manager. One instance per database; shared by all sessions.
+pub struct LockManager {
+    /// Hash-sharded lock table (power-of-two length).
+    shards: Vec<ResShard>,
+    /// Per-transaction bookkeeping, hashed by transaction id.
+    txns: Vec<Mutex<HashMap<TxnId, TxnInfo>>>,
+    /// Transactions chosen as deadlock victims; they abort on next wake.
+    /// Touched only on the deadlock path and per wait-loop wake, never on
+    /// the grant fast path.
+    victims: Mutex<HashMap<TxnId, String>>,
+    metrics: LockMetrics,
+    // Time spent blocked waiting for a lock, in microseconds.
+    wait_hist: obs::Histogram,
+    /// Lock timeout in nanoseconds (atomic: read on every wait path).
+    timeout_nanos: AtomicU64,
+    /// Escalation threshold; `usize::MAX` means disabled.
+    escalation_threshold: AtomicUsize,
+    lock_list_capacity: usize,
+    /// Grants outstanding across all shards (lock-list pressure).
+    total_locks: AtomicUsize,
+    next_ticket: AtomicU64,
+    deadlock_detection: AtomicBool,
+    /// Recent [`DeadlockReport`]s, newest last (bounded).
+    deadlock_log: Mutex<VecDeque<DeadlockReport>>,
+}
+
+impl LockManager {
+    /// Build a lock manager from configuration with the default shard
+    /// count (16).
+    pub fn new(
+        timeout: Duration,
+        escalation_threshold: Option<usize>,
+        lock_list_capacity: usize,
+        deadlock_detection: bool,
+    ) -> LockManager {
+        Self::with_shards(timeout, escalation_threshold, lock_list_capacity, deadlock_detection, 16)
+    }
+
+    /// Build a lock manager with an explicit shard count (rounded up to a
+    /// power of two; `1` degenerates to a single global lock table).
+    pub fn with_shards(
+        timeout: Duration,
+        escalation_threshold: Option<usize>,
+        lock_list_capacity: usize,
+        deadlock_detection: bool,
+        shards: usize,
+    ) -> LockManager {
+        let n = shards.max(1).next_power_of_two();
+        LockManager {
+            shards: (0..n).map(|_| ResShard::default()).collect(),
+            txns: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            victims: Mutex::new(HashMap::new()),
+            metrics: LockMetrics::default(),
+            wait_hist: obs::Histogram::new(),
+            timeout_nanos: AtomicU64::new(timeout.as_nanos() as u64),
+            escalation_threshold: AtomicUsize::new(escalation_threshold.unwrap_or(usize::MAX)),
+            lock_list_capacity,
+            total_locks: AtomicUsize::new(0),
+            next_ticket: AtomicU64::new(0),
+            deadlock_detection: AtomicBool::new(deadlock_detection),
+            deadlock_log: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn shard_of(&self, res: &Res) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        res.hash(&mut h);
+        (h.finish() as usize) & (self.shards.len() - 1)
+    }
+
+    fn txn_shard(&self, txn: TxnId) -> &Mutex<HashMap<TxnId, TxnInfo>> {
+        &self.txns[(txn.0 as usize) & (self.txns.len() - 1)]
+    }
+
+    /// Read a value out of `txn`'s bookkeeping entry (None if absent).
+    fn with_txn<R>(&self, txn: TxnId, f: impl FnOnce(&TxnInfo) -> R) -> Option<R> {
+        self.txn_shard(txn).lock().get(&txn).map(f)
+    }
+
+    /// Mutate `txn`'s bookkeeping entry, creating it if needed.
+    fn with_txn_mut<R>(&self, txn: TxnId, f: impl FnOnce(&mut TxnInfo) -> R) -> R {
+        f(self.txn_shard(txn).lock().entry(txn).or_default())
+    }
+
+    fn timeout(&self) -> Duration {
+        Duration::from_nanos(self.timeout_nanos.load(AtomicOrdering::Relaxed))
+    }
+
+    fn threshold(&self) -> Option<usize> {
+        match self.escalation_threshold.load(AtomicOrdering::Relaxed) {
+            usize::MAX => None,
+            t => Some(t),
+        }
+    }
+
+    /// Register the SQL a transaction is currently running (overwritten
+    /// per statement, cleared on release). Feeds [`DeadlockReport`]s.
+    pub fn set_current_sql(&self, txn: TxnId, sql: &str) {
+        self.with_txn_mut(txn, |t| t.sql = Some(sql.to_string()));
+    }
+
+    /// Recent deadlock reports, oldest first (bounded at
+    /// [`DEADLOCK_LOG_CAPACITY`]).
+    pub fn recent_deadlocks(&self) -> Vec<DeadlockReport> {
+        self.deadlock_log.lock().iter().cloned().collect()
+    }
+
+    /// Number of live per-transaction bookkeeping entries (diagnostics;
+    /// the regression tests assert this does not grow across short
+    /// transactions — SQL text and held sets die with the entry).
+    pub fn tracked_txns(&self) -> usize {
+        self.txns.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Number of resource shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard request/contention counters, in shard order.
+    pub fn shard_stats(&self) -> Vec<LockShardStat> {
+        self.shards
+            .iter()
+            .map(|s| LockShardStat {
+                requests: s.requests.load(AtomicOrdering::Relaxed),
+                contended: s.contended.load(AtomicOrdering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// One-line-per-item summary of the live lock table: resource count,
+    /// grants, waiters, and per-transaction held totals. The status
+    /// surfaces (`dlfmtop`) render this.
+    pub fn summary_text(&self) -> String {
+        use std::fmt::Write;
+        let mut resources = 0usize;
+        let mut waiters = 0usize;
+        for s in &self.shards {
+            let map = s.state.lock();
+            resources += map.len();
+            waiters += map.values().map(|s| s.waiters.len()).sum::<usize>();
+        }
+        let mut txns: Vec<(TxnId, usize, Option<WaitInfo>)> = Vec::new();
+        for shard in &self.txns {
+            let map = shard.lock();
+            for (t, info) in map.iter() {
+                txns.push((*t, info.held.len(), info.waiting.clone()));
             }
         }
-        true
+        txns.sort_by_key(|(t, _, _)| t.0);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "lock table: {} grants on {} resources, {} waiting, {} txns",
+            self.total_locks.load(AtomicOrdering::Relaxed),
+            resources,
+            waiters,
+            txns.len()
+        );
+        for (t, held, waiting) in txns {
+            let wait = waiting
+                .map(|w| format!(", waiting for {:?} on {}", w.mode, w.res))
+                .unwrap_or_default();
+            let _ = writeln!(out, "  txn{}: {held} held{wait}", t.0);
+        }
+        out
     }
 
-    fn grant(&mut self, res: Res, txn: TxnId, mode: LockMode) {
-        let state = self.locks.entry(res.clone()).or_default();
-        if let Some(g) = state.granted.iter_mut().find(|g| g.txn == txn) {
-            g.mode = g.mode.supremum(mode);
-        } else {
-            state.granted.push(Grant { txn, mode });
-            self.total_locks += 1;
-        }
-        let t = self.txns.entry(txn).or_default();
-        let effective = state.granted.iter().find(|g| g.txn == txn).map(|g| g.mode).unwrap_or(mode);
-        let newly = t.held.insert(res.clone(), effective).is_none();
-        if newly && res.is_fine_grained() {
-            *t.fine_counts.entry(res.table()).or_insert(0) += 1;
-        }
+    /// Exported counters.
+    pub fn metrics(&self) -> &LockMetrics {
+        &self.metrics
     }
 
-    /// Transactions `txn` is directly waiting on, given its pending request.
+    /// Histogram of time spent blocked waiting for locks (microseconds).
+    pub fn wait_hist(&self) -> &obs::Histogram {
+        &self.wait_hist
+    }
+
+    /// Change the lock timeout at runtime (used by the timeout-sweep bench).
+    pub fn set_timeout(&self, d: Duration) {
+        self.timeout_nanos.store(d.as_nanos() as u64, AtomicOrdering::Relaxed);
+    }
+
+    /// Change the escalation threshold at runtime.
+    pub fn set_escalation_threshold(&self, t: Option<usize>) {
+        self.escalation_threshold.store(t.unwrap_or(usize::MAX), AtomicOrdering::Relaxed);
+    }
+
+    /// Enable/disable the local deadlock detector (when disabled, only the
+    /// timeout breaks cycles — how distributed deadlocks behave in §4).
+    pub fn set_deadlock_detection(&self, on: bool) {
+        self.deadlock_detection.store(on, AtomicOrdering::Relaxed);
+    }
+
+    /// Number of locks currently held by `txn`.
+    pub fn held_count(&self, txn: TxnId) -> usize {
+        self.with_txn(txn, |t| t.held.len()).unwrap_or(0)
+    }
+
+    /// Mode currently held by `txn` on `res`, if any.
+    pub fn held_mode(&self, txn: TxnId, res: &Res) -> Option<LockMode> {
+        self.with_txn(txn, |t| t.held.get(res).copied()).flatten()
+    }
+
+    /// Record a grant in the holder's bookkeeping.
+    fn record_held(&self, txn: TxnId, res: &Res, effective: LockMode) {
+        self.with_txn_mut(txn, |t| {
+            let newly = t.held.insert(res.clone(), effective).is_none();
+            if newly && res.is_fine_grained() {
+                *t.fine_counts.entry(res.table()).or_insert(0) += 1;
+            }
+        });
+    }
+
+    /// Transactions `txn` is directly waiting on, from a point-in-time
+    /// read of its pending request and the one resource shard involved.
     fn blockers(&self, txn: TxnId) -> Vec<TxnId> {
-        let Some(info) = self.waiting.get(&txn) else { return Vec::new() };
-        let Some(state) = self.locks.get(&info.res) else { return Vec::new() };
+        let Some(Some(info)) = self.with_txn(txn, |t| t.waiting.clone()) else {
+            return Vec::new();
+        };
+        let map = self.shards[self.shard_of(&info.res)].state.lock();
+        let Some(state) = map.get(&info.res) else { return Vec::new() };
         let my_ticket =
             state.waiters.iter().find(|w| w.txn == txn).map(|w| (w.ticket, w.is_conversion));
         let mut out = Vec::new();
@@ -396,8 +688,8 @@ impl Inner {
         out
     }
 
-    /// Find a cycle through `start` in the wait-for graph, returning the
-    /// member list if found.
+    /// Find a cycle through `start` in the wait-for graph, walking a
+    /// cross-shard snapshot (each edge set read under its own shard lock).
     fn find_cycle(&self, start: TxnId) -> Option<Vec<TxnId>> {
         let mut path = vec![start];
         let mut on_path: HashSet<TxnId> = [start].into_iter().collect();
@@ -432,92 +724,31 @@ impl Inner {
         None
     }
 
-    fn remove_waiter(&mut self, res: &Res, txn: TxnId) {
-        if let Some(state) = self.locks.get_mut(res) {
-            state.waiters.retain(|w| w.txn != txn);
-            if state.granted.is_empty() && state.waiters.is_empty() {
-                self.locks.remove(res);
-            }
-        }
-        self.waiting.remove(&txn);
-    }
-}
-
-/// The lock manager. One instance per database; shared by all sessions.
-pub struct LockManager {
-    inner: Mutex<Inner>,
-    cv: Condvar,
-    metrics: LockMetrics,
-    // Time spent blocked waiting for a lock, in microseconds.
-    wait_hist: obs::Histogram,
-    timeout: Mutex<Duration>,
-    escalation_threshold: Mutex<Option<usize>>,
-    lock_list_capacity: usize,
-    deadlock_detection: AtomicBool,
-    /// Recent [`DeadlockReport`]s, newest last (bounded).
-    deadlock_log: Mutex<VecDeque<DeadlockReport>>,
-    /// Current SQL per transaction, registered by the session layer so
-    /// deadlock reports can say what each cycle member was running.
-    sql_by_txn: Mutex<HashMap<TxnId, String>>,
-}
-
-impl LockManager {
-    /// Build a lock manager from configuration.
-    pub fn new(
-        timeout: Duration,
-        escalation_threshold: Option<usize>,
-        lock_list_capacity: usize,
-        deadlock_detection: bool,
-    ) -> LockManager {
-        LockManager {
-            inner: Mutex::new(Inner::default()),
-            cv: Condvar::new(),
-            metrics: LockMetrics::default(),
-            wait_hist: obs::Histogram::new(),
-            timeout: Mutex::new(timeout),
-            escalation_threshold: Mutex::new(escalation_threshold),
-            lock_list_capacity,
-            deadlock_detection: AtomicBool::new(deadlock_detection),
-            deadlock_log: Mutex::new(VecDeque::new()),
-            sql_by_txn: Mutex::new(HashMap::new()),
-        }
-    }
-
-    /// Register the SQL a transaction is currently running (overwritten
-    /// per statement, cleared on release). Feeds [`DeadlockReport`]s.
-    pub fn set_current_sql(&self, txn: TxnId, sql: &str) {
-        self.sql_by_txn.lock().insert(txn, sql.to_string());
-    }
-
-    /// Recent deadlock reports, oldest first (bounded at
-    /// [`DEADLOCK_LOG_CAPACITY`]).
-    pub fn recent_deadlocks(&self) -> Vec<DeadlockReport> {
-        self.deadlock_log.lock().iter().cloned().collect()
-    }
-
     /// Build the forensic report for a freshly detected cycle, journal it,
-    /// and append it to the bounded deadlock log. Called with the lock
-    /// table (`inner`) still held so held/requested sets are exact.
-    fn capture_deadlock(&self, inner: &Inner, cycle: &[TxnId], victim: TxnId) {
-        let sqls = self.sql_by_txn.lock();
+    /// and append it to the bounded deadlock log.
+    fn capture_deadlock(&self, cycle: &[TxnId], victim: TxnId) {
         let parties: Vec<DeadlockParty> = cycle
             .iter()
             .map(|t| {
-                let requested = inner
-                    .waiting
-                    .get(t)
-                    .map(|w| format!("{:?} on {}", w.mode, w.res))
-                    .unwrap_or_else(|| "(not waiting)".into());
-                let mut held: Vec<String> = inner
-                    .txns
-                    .get(t)
-                    .map(|tl| tl.held.iter().map(|(r, m)| format!("{m:?} on {r}")).collect())
-                    .unwrap_or_default();
-                held.sort();
-                DeadlockParty { txn: t.0, requested, held, sql: sqls.get(t).cloned() }
+                self.with_txn(*t, |info| {
+                    let requested = info
+                        .waiting
+                        .as_ref()
+                        .map(|w| format!("{:?} on {}", w.mode, w.res))
+                        .unwrap_or_else(|| "(not waiting)".into());
+                    let mut held: Vec<String> =
+                        info.held.iter().map(|(r, m)| format!("{m:?} on {r}")).collect();
+                    held.sort();
+                    DeadlockParty { txn: t.0, requested, held, sql: info.sql.clone() }
+                })
+                .unwrap_or(DeadlockParty {
+                    txn: t.0,
+                    requested: "(not waiting)".into(),
+                    held: Vec::new(),
+                    sql: None,
+                })
             })
             .collect();
-        drop(sqls);
         let report = DeadlockReport {
             cycle: cycle.iter().map(|t| t.0).collect(),
             victim: victim.0,
@@ -534,70 +765,17 @@ impl LockManager {
         log.push_back(report);
     }
 
-    /// One-line-per-item summary of the live lock table: resource count,
-    /// grants, waiters, and per-transaction held totals. The status
-    /// surfaces (`dlfmtop`) render this.
-    pub fn summary_text(&self) -> String {
-        use std::fmt::Write;
-        let inner = self.inner.lock();
-        let resources = inner.locks.len();
-        let waiters: usize = inner.locks.values().map(|s| s.waiters.len()).sum();
-        let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "lock table: {} grants on {} resources, {} waiting, {} txns",
-            inner.total_locks,
-            resources,
-            waiters,
-            inner.txns.len()
-        );
-        let mut txns: Vec<(&TxnId, &TxnLocks)> = inner.txns.iter().collect();
-        txns.sort_by_key(|(t, _)| t.0);
-        for (t, tl) in txns {
-            let wait = inner
-                .waiting
-                .get(t)
-                .map(|w| format!(", waiting for {:?} on {}", w.mode, w.res))
-                .unwrap_or_default();
-            let _ = writeln!(out, "  txn{}: {} held{}", t.0, tl.held.len(), wait);
+    /// Mark `victim` for abort and wake it. The shard lock+release before
+    /// the notify guarantees the victim is either parked (and gets the
+    /// notify) or has not yet re-checked the victims map (and will see the
+    /// entry) — no lost wakeup.
+    fn victimize(&self, victim: TxnId, desc: String) {
+        self.victims.lock().insert(victim, desc);
+        if let Some(Some(info)) = self.with_txn(victim, |t| t.waiting.clone()) {
+            let shard = &self.shards[self.shard_of(&info.res)];
+            drop(shard.state.lock());
+            shard.cv.notify_all();
         }
-        out
-    }
-
-    /// Exported counters.
-    pub fn metrics(&self) -> &LockMetrics {
-        &self.metrics
-    }
-
-    /// Histogram of time spent blocked waiting for locks (microseconds).
-    pub fn wait_hist(&self) -> &obs::Histogram {
-        &self.wait_hist
-    }
-
-    /// Change the lock timeout at runtime (used by the timeout-sweep bench).
-    pub fn set_timeout(&self, d: Duration) {
-        *self.timeout.lock() = d;
-    }
-
-    /// Change the escalation threshold at runtime.
-    pub fn set_escalation_threshold(&self, t: Option<usize>) {
-        *self.escalation_threshold.lock() = t;
-    }
-
-    /// Enable/disable the local deadlock detector (when disabled, only the
-    /// timeout breaks cycles — how distributed deadlocks behave in §4).
-    pub fn set_deadlock_detection(&self, on: bool) {
-        self.deadlock_detection.store(on, AtomicOrdering::Relaxed);
-    }
-
-    /// Number of locks currently held by `txn`.
-    pub fn held_count(&self, txn: TxnId) -> usize {
-        self.inner.lock().txns.get(&txn).map(|t| t.held.len()).unwrap_or(0)
-    }
-
-    /// Mode currently held by `txn` on `res`, if any.
-    pub fn held_mode(&self, txn: TxnId, res: &Res) -> Option<LockMode> {
-        self.inner.lock().txns.get(&txn).and_then(|t| t.held.get(res).copied())
     }
 
     /// Acquire `mode` on `res` for `txn`, blocking if necessary.
@@ -606,23 +784,22 @@ impl LockManager {
     /// `LockTimeout` if the configured timeout elapses. In both cases the
     /// caller must roll the transaction back.
     pub fn lock(&self, txn: TxnId, res: Res, mode: LockMode) -> DbResult<()> {
-        let timeout = *self.timeout.lock();
-        let mut inner = self.inner.lock();
+        let timeout = self.timeout();
 
         // Covered by a prior escalation to table granularity?
         if res.is_fine_grained() {
-            if let Some(t) = inner.txns.get(&txn) {
-                if let Some(table_mode) = t.escalated.get(&res.table()) {
-                    let needed = if mode == LockMode::X { LockMode::X } else { LockMode::S };
-                    if table_mode.covers(needed) {
-                        return Ok(());
-                    }
+            let table_mode =
+                self.with_txn(txn, |t| t.escalated.get(&res.table()).copied()).flatten();
+            if let Some(table_mode) = table_mode {
+                let needed = if mode == LockMode::X { LockMode::X } else { LockMode::S };
+                if table_mode.covers(needed) {
+                    return Ok(());
                 }
             }
         }
 
         // Already held in a covering mode?
-        let existing = inner.locks.get(&res).and_then(|s| s.holder_mode(txn));
+        let existing = self.with_txn(txn, |t| t.held.get(&res).copied()).flatten();
         if let Some(held) = existing {
             if held.covers(mode) {
                 return Ok(());
@@ -632,14 +809,15 @@ impl LockManager {
         let target = existing.map(|h| h.supremum(mode)).unwrap_or(mode);
 
         // Lock-list pressure: try to escalate this txn before refusing.
-        if !is_conversion && inner.total_locks >= self.lock_list_capacity {
+        if !is_conversion
+            && self.total_locks.load(AtomicOrdering::Relaxed) >= self.lock_list_capacity
+        {
             let table = res.table();
-            drop(inner);
             self.escalate(txn, table, mode)?;
-            inner = self.inner.lock();
-            if inner.total_locks >= self.lock_list_capacity {
+            let held_now = self.total_locks.load(AtomicOrdering::Relaxed);
+            if held_now >= self.lock_list_capacity {
                 return Err(DbError::LockListFull {
-                    held: inner.total_locks,
+                    held: held_now,
                     capacity: self.lock_list_capacity,
                 });
             }
@@ -649,24 +827,31 @@ impl LockManager {
             }
         }
 
-        if inner.can_grant(&res, txn, target, None)
-            && inner.locks.get(&res).map(|s| s.waiters.is_empty()).unwrap_or(true)
+        let shard = &self.shards[self.shard_of(&res)];
+        shard.requests.fetch_add(1, AtomicOrdering::Relaxed);
+        let ticket;
         {
-            inner.grant(res.clone(), txn, target);
-            LockMetrics::bump(&self.metrics.immediate_grants);
-            LockMetrics::bump(&self.metrics.acquisitions);
-            drop(inner);
-            return self.maybe_escalate_after_grant(txn, res, mode);
-        }
+            let mut map = shard.state.lock();
+            if can_grant(&map, &res, txn, target, None)
+                && map.get(&res).map(|s| s.waiters.is_empty()).unwrap_or(true)
+            {
+                let (newly, effective) = grant_in(&mut map, &res, txn, target);
+                drop(map);
+                if newly {
+                    self.total_locks.fetch_add(1, AtomicOrdering::Relaxed);
+                }
+                self.record_held(txn, &res, effective);
+                LockMetrics::bump(&self.metrics.immediate_grants);
+                LockMetrics::bump(&self.metrics.acquisitions);
+                return self.maybe_escalate_after_grant(txn, res, mode);
+            }
 
-        // Enqueue and wait.
-        LockMetrics::bump(&self.metrics.waits);
-        let ticket = {
-            inner.next_ticket += 1;
-            inner.next_ticket
-        };
-        {
-            let state = inner.locks.entry(res.clone()).or_default();
+            // Enqueue while the shard is still held, so no release slips
+            // between the failed grant check and the queue insert.
+            shard.contended.fetch_add(1, AtomicOrdering::Relaxed);
+            LockMetrics::bump(&self.metrics.waits);
+            ticket = self.next_ticket.fetch_add(1, AtomicOrdering::Relaxed) + 1;
+            let state = map.entry(res.clone()).or_default();
             let w = Waiter { txn, mode: target, ticket, is_conversion };
             if is_conversion {
                 state.waiters.push_front(w);
@@ -674,49 +859,59 @@ impl LockManager {
                 state.waiters.push_back(w);
             }
         }
-        inner.waiting.insert(txn, WaitInfo { res: res.clone(), mode: target });
+        self.with_txn_mut(txn, |t| t.waiting = Some(WaitInfo { res: res.clone(), mode: target }));
         journal::record(JournalKind::LockWait, txn.0 as i64, || {
             format!("txn{} waits for {:?} on {}", txn.0, target, res)
         });
 
         // Deadlock check now that the graph has a new edge set.
         if self.deadlock_detection.load(AtomicOrdering::Relaxed) {
-            if let Some(cycle) = inner.find_cycle(txn) {
+            if let Some(cycle) = self.find_cycle(txn) {
                 let victim = cycle.iter().copied().max_by_key(|t| t.0).unwrap_or(txn);
                 // Capture the forensic report while the cycle is still live
                 // in the lock table (held/requested sets are exact here).
-                self.capture_deadlock(&inner, &cycle, victim);
+                self.capture_deadlock(&cycle, victim);
                 let desc =
                     cycle.iter().map(|t| format!("txn{}", t.0)).collect::<Vec<_>>().join(" -> ");
                 if victim == txn {
-                    inner.remove_waiter(&res, txn);
+                    let mut map = shard.state.lock();
+                    unqueue_in(&mut map, txn, &res);
+                    drop(map);
+                    self.with_txn_mut(txn, |t| t.waiting = None);
                     LockMetrics::bump(&self.metrics.deadlocks);
-                    self.cv.notify_all();
+                    shard.cv.notify_all();
                     return Err(DbError::Deadlock { cycle: desc });
                 }
-                inner.victims.insert(victim, desc);
-                self.cv.notify_all();
+                self.victimize(victim, desc);
             }
         }
 
         let deadline = Instant::now() + timeout;
         let started = Instant::now();
+        let mut map = shard.state.lock();
         loop {
-            if let Some(desc) = inner.victims.remove(&txn) {
-                inner.remove_waiter(&res, txn);
+            if let Some(desc) = self.victims.lock().remove(&txn) {
+                unqueue_in(&mut map, txn, &res);
+                drop(map);
+                self.with_txn_mut(txn, |t| t.waiting = None);
                 LockMetrics::bump(&self.metrics.deadlocks);
-                self.cv.notify_all();
+                shard.cv.notify_all();
                 self.wait_hist.record_micros(started.elapsed());
                 add_stmt_wait(started.elapsed());
                 return Err(DbError::Deadlock { cycle: desc });
             }
             let ticket_opt = if is_conversion { None } else { Some(ticket) };
-            if inner.can_grant(&res, txn, target, ticket_opt) {
-                inner.remove_waiter(&res, txn);
-                inner.grant(res.clone(), txn, target);
+            if can_grant(&map, &res, txn, target, ticket_opt) {
+                unqueue_in(&mut map, txn, &res);
+                let (newly, effective) = grant_in(&mut map, &res, txn, target);
+                drop(map);
+                if newly {
+                    self.total_locks.fetch_add(1, AtomicOrdering::Relaxed);
+                }
+                self.with_txn_mut(txn, |t| t.waiting = None);
+                self.record_held(txn, &res, effective);
                 LockMetrics::bump(&self.metrics.acquisitions);
-                self.cv.notify_all();
-                drop(inner);
+                shard.cv.notify_all();
                 self.wait_hist.record_micros(started.elapsed());
                 add_stmt_wait(started.elapsed());
                 journal::record(JournalKind::LockGrant, txn.0 as i64, || {
@@ -731,9 +926,11 @@ impl LockManager {
                 return self.maybe_escalate_after_grant(txn, res, mode);
             }
             if Instant::now() >= deadline {
-                inner.remove_waiter(&res, txn);
+                unqueue_in(&mut map, txn, &res);
+                drop(map);
+                self.with_txn_mut(txn, |t| t.waiting = None);
                 LockMetrics::bump(&self.metrics.timeouts);
-                self.cv.notify_all();
+                shard.cv.notify_all();
                 self.wait_hist.record_micros(started.elapsed());
                 add_stmt_wait(started.elapsed());
                 journal::record(JournalKind::LockTimeout, txn.0 as i64, || {
@@ -750,7 +947,7 @@ impl LockManager {
                     waited_ms: started.elapsed().as_millis() as u64,
                 });
             }
-            let wait_result = self.cv.wait_until(&mut inner, deadline);
+            let wait_result = shard.cv.wait_until(&mut map, deadline);
             if wait_result.timed_out() {
                 // Loop once more to re-check victim/grant status before
                 // reporting the timeout.
@@ -764,36 +961,24 @@ impl LockManager {
         if !res.is_fine_grained() {
             return Ok(());
         }
-        let threshold = match *self.escalation_threshold.lock() {
+        let threshold = match self.threshold() {
             Some(t) => t,
             None => return Ok(()),
         };
         let table = res.table();
-        let over = {
-            let inner = self.inner.lock();
-            inner
-                .txns
-                .get(&txn)
-                .map(|t| {
-                    !t.escalated.contains_key(&table)
-                        && t.fine_counts.get(&table).copied().unwrap_or(0) > threshold
-                })
-                .unwrap_or(false)
-        };
+        let (over, wants_x) = self
+            .with_txn(txn, |t| {
+                let over = !t.escalated.contains_key(&table)
+                    && t.fine_counts.get(&table).copied().unwrap_or(0) > threshold;
+                let wants_x = t
+                    .held
+                    .iter()
+                    .any(|(r, m)| r.is_fine_grained() && r.table() == table && *m == LockMode::X);
+                (over, wants_x)
+            })
+            .unwrap_or((false, false));
         if over {
             // Escalate in the strongest fine-grained mode held on the table.
-            let wants_x = {
-                let inner = self.inner.lock();
-                inner
-                    .txns
-                    .get(&txn)
-                    .map(|t| {
-                        t.held.iter().any(|(r, m)| {
-                            r.is_fine_grained() && r.table() == table && *m == LockMode::X
-                        })
-                    })
-                    .unwrap_or(false)
-            };
             self.escalate(txn, table, if wants_x { LockMode::X } else { LockMode::S })?;
         }
         Ok(())
@@ -804,11 +989,8 @@ impl LockManager {
         let table_mode =
             if mode == LockMode::X || mode == LockMode::IX { LockMode::X } else { LockMode::S };
         self.lock(txn, Res::Table(table), table_mode)?;
-        let mut inner = self.inner.lock();
-        let fine: Vec<Res> = inner
-            .txns
-            .get(&txn)
-            .map(|t| {
+        let fine: Vec<Res> = self
+            .with_txn(txn, |t| {
                 t.held
                     .keys()
                     .filter(|r| r.is_fine_grained() && r.table() == table)
@@ -816,63 +998,85 @@ impl LockManager {
                     .collect()
             })
             .unwrap_or_default();
-        for r in fine {
-            Self::release_one(&mut inner, txn, &r);
-        }
-        if let Some(t) = inner.txns.get_mut(&txn) {
+        self.release_batch(txn, &fine);
+        self.with_txn_mut(txn, |t| {
             t.escalated.insert(table, table_mode);
             t.fine_counts.insert(table, 0);
-        }
+        });
         LockMetrics::bump(&self.metrics.escalations);
         journal::record(JournalKind::LockEscalation, txn.0 as i64, || {
             format!("txn{} escalated to {:?} on table#{}", txn.0, table_mode, table.0)
         });
-        self.cv.notify_all();
         Ok(())
     }
 
-    fn release_one(inner: &mut Inner, txn: TxnId, res: &Res) {
-        if let Some(state) = inner.locks.get_mut(res) {
-            let before = state.granted.len();
-            state.granted.retain(|g| g.txn != txn);
-            if state.granted.len() < before {
-                inner.total_locks -= 1;
-            }
-            if state.granted.is_empty() && state.waiters.is_empty() {
-                inner.locks.remove(res);
-            }
+    /// Release a set of resources for `txn` with one pass per touched
+    /// shard, then drop them from its bookkeeping.
+    fn release_batch(&self, txn: TxnId, resources: &[Res]) {
+        let mut by_shard: HashMap<usize, Vec<&Res>> = HashMap::new();
+        for r in resources {
+            by_shard.entry(self.shard_of(r)).or_default().push(r);
         }
-        if let Some(t) = inner.txns.get_mut(&txn) {
-            if t.held.remove(res).is_some() && res.is_fine_grained() {
-                if let Some(c) = t.fine_counts.get_mut(&res.table()) {
-                    *c = c.saturating_sub(1);
+        let mut removed = 0usize;
+        for (ix, group) in by_shard {
+            let shard = &self.shards[ix];
+            {
+                let mut map = shard.state.lock();
+                for r in group {
+                    if release_in(&mut map, txn, r) {
+                        removed += 1;
+                    }
                 }
             }
+            shard.cv.notify_all();
         }
+        if removed > 0 {
+            self.total_locks.fetch_sub(removed, AtomicOrdering::Relaxed);
+        }
+        self.with_txn_mut(txn, |t| {
+            for r in resources {
+                if t.held.remove(r).is_some() && r.is_fine_grained() {
+                    if let Some(c) = t.fine_counts.get_mut(&r.table()) {
+                        *c = c.saturating_sub(1);
+                    }
+                }
+            }
+        });
     }
 
-    /// Release every lock held by `txn` (commit/abort).
+    /// Release every lock held by `txn` (commit/abort): one pass per
+    /// touched shard. Per-transaction state — including the registered
+    /// SQL — dies here.
     pub fn release_all(&self, txn: TxnId) {
-        let mut inner = self.inner.lock();
-        let held: Vec<Res> =
-            inner.txns.get(&txn).map(|t| t.held.keys().cloned().collect()).unwrap_or_default();
-        for r in held {
-            Self::release_one(&mut inner, txn, &r);
+        let info = self.txn_shard(txn).lock().remove(&txn);
+        self.victims.lock().remove(&txn);
+        let Some(info) = info else { return };
+        let mut by_shard: HashMap<usize, Vec<Res>> = HashMap::new();
+        for r in info.held.into_keys() {
+            by_shard.entry(self.shard_of(&r)).or_default().push(r);
         }
-        inner.txns.remove(&txn);
-        inner.victims.remove(&txn);
-        self.cv.notify_all();
-        drop(inner);
-        self.sql_by_txn.lock().remove(&txn);
+        let mut removed = 0usize;
+        for (ix, group) in by_shard {
+            let shard = &self.shards[ix];
+            {
+                let mut map = shard.state.lock();
+                for r in &group {
+                    if release_in(&mut map, txn, r) {
+                        removed += 1;
+                    }
+                }
+            }
+            shard.cv.notify_all();
+        }
+        if removed > 0 {
+            self.total_locks.fetch_sub(removed, AtomicOrdering::Relaxed);
+        }
     }
 
     /// Release `txn`'s shared-only locks (cursor stability at statement end).
     pub fn release_shared(&self, txn: TxnId) {
-        let mut inner = self.inner.lock();
-        let shared: Vec<Res> = inner
-            .txns
-            .get(&txn)
-            .map(|t| {
+        let shared: Vec<Res> = self
+            .with_txn(txn, |t| {
                 t.held
                     .iter()
                     .filter(|(r, m)| {
@@ -883,15 +1087,12 @@ impl LockManager {
                     .collect()
             })
             .unwrap_or_default();
-        for r in shared {
-            Self::release_one(&mut inner, txn, &r);
-        }
-        self.cv.notify_all();
+        self.release_batch(txn, &shared);
     }
 
     /// Total locks currently held across all transactions.
     pub fn total_held(&self) -> usize {
-        self.inner.lock().total_locks
+        self.total_locks.load(AtomicOrdering::Relaxed)
     }
 
     /// Drop all lock state (crash simulation): locks are volatile, so a
@@ -899,11 +1100,15 @@ impl LockManager {
     /// and re-evaluate; victims of the wipe simply find their resources
     /// free.
     pub fn clear_all(&self) {
-        let mut inner = self.inner.lock();
-        *inner = Inner::default();
-        self.cv.notify_all();
-        drop(inner);
-        self.sql_by_txn.lock().clear();
+        for shard in &self.shards {
+            shard.state.lock().clear();
+            shard.cv.notify_all();
+        }
+        for shard in &self.txns {
+            shard.lock().clear();
+        }
+        self.victims.lock().clear();
+        self.total_locks.store(0, AtomicOrdering::Relaxed);
     }
 }
 
@@ -1191,5 +1396,120 @@ mod tests {
         let r1 = h.join().unwrap();
         assert!(r1.is_ok() || matches!(r1, Err(DbError::LockTimeout { .. })));
         assert_eq!(lm.metrics().snapshot().deadlocks, 0);
+    }
+
+    #[test]
+    fn per_txn_state_pruned_across_short_txns() {
+        // Regression (PR 8 satellite): the per-transaction map — which now
+        // carries the registered SQL — must not grow across short
+        // transactions; commit/abort/victim paths all remove the entry.
+        let lm = lm(100);
+        for i in 0..10_000u64 {
+            let t = TxnId(i + 100);
+            lm.set_current_sql(t, "SELECT 1 -- short txn");
+            lm.lock(t, Res::Row(T, i % 64), LockMode::S).unwrap();
+            lm.release_all(t);
+        }
+        assert_eq!(lm.tracked_txns(), 0, "per-txn state (incl. SQL) must not leak");
+        assert_eq!(lm.total_held(), 0);
+    }
+
+    #[test]
+    fn victim_entry_pruned_on_release() {
+        let lm = lm(10_000);
+        lm.lock(TxnId(1), Res::Row(T, 1), LockMode::X).unwrap();
+        lm.lock(TxnId(2), Res::Row(T, 2), LockMode::X).unwrap();
+        let lm2 = lm.clone();
+        let h = thread::spawn(move || lm2.lock(TxnId(1), Res::Row(T, 2), LockMode::X));
+        thread::sleep(Duration::from_millis(50));
+        let _ = lm.lock(TxnId(2), Res::Row(T, 1), LockMode::X).unwrap_err();
+        lm.release_all(TxnId(2));
+        h.join().unwrap().unwrap();
+        lm.release_all(TxnId(1));
+        assert_eq!(lm.tracked_txns(), 0);
+        assert!(lm.victims.lock().is_empty(), "victim markers die with the txn");
+    }
+
+    #[test]
+    fn knobs_are_atomic_and_effective() {
+        // Satellite: timeout/escalation-threshold are lock-free knobs.
+        let lm = lm(5_000);
+        lm.set_timeout(Duration::from_millis(40));
+        lm.lock(TxnId(1), Res::Row(T, 1), LockMode::X).unwrap();
+        let started = Instant::now();
+        let err = lm.lock(TxnId(2), Res::Row(T, 1), LockMode::X).unwrap_err();
+        assert!(matches!(err, DbError::LockTimeout { .. }));
+        assert!(started.elapsed() < Duration::from_secs(2), "new timeout applied");
+        lm.release_all(TxnId(1));
+        lm.release_all(TxnId(2));
+        lm.set_escalation_threshold(Some(2));
+        for i in 0..3 {
+            lm.lock(TxnId(9), Res::Row(T, i), LockMode::X).unwrap();
+        }
+        assert_eq!(lm.held_mode(TxnId(9), &Res::Table(T)), Some(LockMode::X));
+        assert_eq!(lm.metrics().snapshot().escalations, 1);
+    }
+
+    /// Run one deterministic grant/deny/deadlock script and collect the
+    /// outcome of every step.
+    fn scripted_outcomes(shards: usize) -> Vec<String> {
+        let lm = Arc::new(LockManager::with_shards(
+            Duration::from_millis(150),
+            Some(4),
+            1_000_000,
+            true,
+            shards,
+        ));
+        let mut out = Vec::new();
+        let label = |r: &DbResult<()>| match r {
+            Ok(()) => "ok".to_string(),
+            Err(DbError::LockTimeout { .. }) => "timeout".to_string(),
+            Err(DbError::Deadlock { .. }) => "deadlock".to_string(),
+            Err(e) => format!("other:{e:?}"),
+        };
+        // Plain grants and a shared/exclusive conflict.
+        out.push(label(&lm.lock(TxnId(1), Res::Row(T, 1), LockMode::X)));
+        out.push(label(&lm.lock(TxnId(2), Res::Row(T, 2), LockMode::X)));
+        out.push(label(&lm.lock(TxnId(2), Res::Row(T, 1), LockMode::S)));
+        // Deadlock: t1 blocks on row2 in a thread, t2 closes the cycle.
+        let lm2 = lm.clone();
+        let h = thread::spawn(move || lm2.lock(TxnId(1), Res::Row(T, 2), LockMode::X));
+        thread::sleep(Duration::from_millis(50));
+        out.push(label(&lm.lock(TxnId(2), Res::Row(T, 1), LockMode::X)));
+        lm.release_all(TxnId(2));
+        out.push(label(&h.join().unwrap()));
+        lm.release_all(TxnId(1));
+        // Escalation at the threshold, then table-level denial.
+        for i in 0..5 {
+            out.push(label(&lm.lock(TxnId(3), Res::Row(T, i), LockMode::X)));
+        }
+        out.push(format!("escalated={:?}", lm.held_mode(TxnId(3), &Res::Table(T))));
+        out.push(label(&lm.lock(TxnId(4), Res::Table(T), LockMode::IX)));
+        lm.release_all(TxnId(3));
+        lm.release_all(TxnId(4));
+        out.push(format!("held={}", lm.total_held()));
+        out
+    }
+
+    #[test]
+    fn shard_count_does_not_change_outcomes() {
+        // Satellite: a single-shard table and an 8-shard table must produce
+        // identical grant/deny/deadlock outcomes on a scripted interleaving.
+        let single = scripted_outcomes(1);
+        let sharded = scripted_outcomes(8);
+        assert_eq!(single, sharded, "sharding must not change lock semantics");
+        assert!(single.contains(&"deadlock".to_string()), "script exercises a deadlock");
+        assert!(single.contains(&"timeout".to_string()), "script exercises a denial");
+    }
+
+    #[test]
+    fn shard_stats_count_requests() {
+        let lm = lm(100);
+        lm.lock(TxnId(1), Res::Row(T, 1), LockMode::X).unwrap();
+        let _ = lm.lock(TxnId(2), Res::Row(T, 1), LockMode::X);
+        let stats = lm.shard_stats();
+        assert_eq!(stats.len(), lm.shard_count());
+        assert_eq!(stats.iter().map(|s| s.requests).sum::<u64>(), 2);
+        assert_eq!(stats.iter().map(|s| s.contended).sum::<u64>(), 1);
     }
 }

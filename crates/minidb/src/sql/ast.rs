@@ -135,6 +135,10 @@ pub struct SelectStmt {
     pub order_by: Vec<OrderKey>,
     /// FOR UPDATE takes X row locks instead of S.
     pub for_update: bool,
+    /// FOR SHARE forces a locking S read even when MVCC snapshot reads are
+    /// on (integrity checks that must observe — and block on — in-flight
+    /// writers, like DLFM's link-state upcall).
+    pub for_share: bool,
     /// `EXCEPT <select>` (set difference; used by the Reconcile utility).
     pub except: Option<Box<SelectStmt>>,
 }

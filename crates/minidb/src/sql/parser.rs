@@ -236,12 +236,17 @@ impl Parser {
             }
         }
         let mut for_update = false;
+        let mut for_share = false;
         if self.eat_keyword("FOR") {
-            self.keyword("UPDATE")?;
-            for_update = true;
+            if self.eat_keyword("SHARE") {
+                for_share = true;
+            } else {
+                self.keyword("UPDATE")?;
+                for_update = true;
+            }
         }
         let except = if self.eat_keyword("EXCEPT") { Some(Box::new(self.select()?)) } else { None };
-        Ok(SelectStmt { projection, table, filter, order_by, for_update, except })
+        Ok(SelectStmt { projection, table, filter, order_by, for_update, for_share, except })
     }
 
     fn select_item(&mut self) -> DbResult<SelectItem> {
@@ -448,6 +453,18 @@ mod tests {
     }
 
     #[test]
+    fn parse_select_for_share() {
+        let s = parse("SELECT * FROM dfm_file WHERE filename = ? FOR SHARE").unwrap();
+        match s {
+            Stmt::Select(sel) => {
+                assert!(sel.for_share);
+                assert!(!sel.for_update);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
     fn parse_select_full() {
         let s = parse(
             "SELECT filename, rec_id FROM dfm_file WHERE dbid = 3 AND lnk_state = 1 \
@@ -458,6 +475,7 @@ mod tests {
             Stmt::Select(sel) => {
                 assert_eq!(sel.table, "dfm_file");
                 assert!(sel.for_update);
+                assert!(!sel.for_share);
                 assert_eq!(sel.order_by.len(), 2);
                 assert!(sel.order_by[0].desc);
                 assert!(!sel.order_by[1].desc);

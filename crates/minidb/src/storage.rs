@@ -11,6 +11,33 @@ use crate::error::{DbError, DbResult};
 use crate::schema::{IndexId, TableId};
 use crate::value::{Row, Value};
 
+/// One committed version of a row: the image that became current at commit
+/// timestamp `ts` (`None` = the row did not exist / was deleted).
+#[derive(Debug, Clone)]
+pub struct Version {
+    /// Commit timestamp at which this image became the row's current state.
+    /// `0` seeds a chain with the pre-existing image (visible to every
+    /// snapshot).
+    pub ts: u64,
+    /// Row image; `None` records a deletion (or "not yet inserted").
+    pub row: Option<Row>,
+}
+
+/// MVCC history of one heap slot. The heap always holds the *newest* image
+/// (committed or in-flight); the chain holds prior committed images plus a
+/// dirty marker while an uncommitted writer has the row in flight.
+///
+/// Invariant: whenever `dirty_by` is `None`, the newest version's image
+/// equals the heap slot's content, so a chain whose newest version is below
+/// the GC watermark can be dropped entirely.
+#[derive(Debug, Clone, Default)]
+pub struct VersionChain {
+    /// Committed images, oldest first, strictly increasing `ts`.
+    pub versions: Vec<Version>,
+    /// Transaction currently holding the heap image dirty, if any.
+    pub dirty_by: Option<u64>,
+}
+
 /// Heap of one table. Row ids are slot positions and are stable for the
 /// table lifetime (slots are reused only after a delete).
 #[derive(Debug, Default, Clone, Serialize, Deserialize)]
@@ -18,6 +45,10 @@ pub struct TableData {
     rows: Vec<Option<Row>>,
     free: Vec<u64>,
     live: usize,
+    /// Per-row version chains (MVCC). Volatile: meaningless outside the
+    /// process that built them — [`Storage::restore`] clears them, so
+    /// after a crash/restore every snapshot starts from the recovered heap.
+    chains: HashMap<u64, VersionChain>,
 }
 
 impl TableData {
@@ -109,6 +140,123 @@ impl TableData {
     /// Iterate live `(rowid, row)` pairs in row-id order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &Row)> {
         self.rows.iter().enumerate().filter_map(|(i, r)| r.as_ref().map(|row| (i as u64, row)))
+    }
+
+    // ---- MVCC version chains -------------------------------------------
+
+    /// Open (or adopt) a version chain for `rowid` on behalf of writer
+    /// `txn`, seeding it with the current heap image when the row had no
+    /// history yet. Must be called under the same write latch as the heap
+    /// mutation it precedes, so readers never observe a dirty heap image
+    /// without a chain. Returns `true` on the first touch by this
+    /// transaction (callers record it for dirty-marker cleanup).
+    pub fn mvcc_begin_write(&mut self, rowid: u64, txn: u64) -> bool {
+        let chain = self.chains.entry(rowid).or_insert_with(|| VersionChain {
+            // ts 0 = "since forever": if no chain existed, the current heap
+            // image was visible to every active snapshot.
+            versions: vec![Version {
+                ts: 0,
+                row: self.rows.get(rowid as usize).cloned().flatten(),
+            }],
+            dirty_by: None,
+        });
+        if chain.dirty_by == Some(txn) {
+            false
+        } else {
+            chain.dirty_by = Some(txn);
+            true
+        }
+    }
+
+    /// Resolve the image of `rowid` visible to `snapshot`, counting chain
+    /// versions examined into `scanned`. The own-writes rule: a row dirtied
+    /// by `txn` itself reads from the heap.
+    pub fn mvcc_visible(
+        &self,
+        rowid: u64,
+        snapshot: u64,
+        txn: u64,
+        scanned: &mut u64,
+    ) -> Option<&Row> {
+        match self.chains.get(&rowid) {
+            None => self.get(rowid),
+            Some(chain) => {
+                if chain.dirty_by == Some(txn) {
+                    return self.get(rowid);
+                }
+                *scanned += chain.versions.len() as u64;
+                chain.versions.iter().rev().find(|v| v.ts <= snapshot).and_then(|v| v.row.as_ref())
+            }
+        }
+    }
+
+    /// Publish the committed heap image of `rowid` at commit timestamp `ts`
+    /// and clear the dirty marker. Called under the commit-publish lock.
+    pub fn mvcc_publish(&mut self, rowid: u64, ts: u64) {
+        if let Some(chain) = self.chains.get_mut(&rowid) {
+            chain
+                .versions
+                .push(Version { ts, row: self.rows.get(rowid as usize).cloned().flatten() });
+            chain.dirty_by = None;
+        }
+    }
+
+    /// Drop the dirty marker `txn` holds on `rowid`, if any (abort path, or
+    /// commit of a row whose writes were all undone to a savepoint).
+    pub fn mvcc_clear_dirty(&mut self, rowid: u64, txn: u64) {
+        if let Some(chain) = self.chains.get_mut(&rowid) {
+            if chain.dirty_by == Some(txn) {
+                chain.dirty_by = None;
+            }
+        }
+    }
+
+    /// Row ids that currently carry a version chain (a snapshot full scan
+    /// unions these with the live heap: a committed delete removes the heap
+    /// slot while old snapshots must still see the prior image).
+    pub fn mvcc_rowids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.chains.keys().copied()
+    }
+
+    /// Number of rows with live version chains (diagnostics/metrics).
+    pub fn mvcc_chain_count(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Is an uncommitted writer holding this row's heap image dirty?
+    pub fn mvcc_row_dirty(&self, rowid: u64) -> bool {
+        self.chains.get(&rowid).is_some_and(|c| c.dirty_by.is_some())
+    }
+
+    /// Garbage-collect versions superseded behind `watermark` (the oldest
+    /// active snapshot). Returns `(versions_dropped, chains_dropped)`.
+    pub fn mvcc_gc(&mut self, watermark: u64) -> (u64, u64) {
+        let mut versions_dropped = 0u64;
+        let mut chains_dropped = 0u64;
+        self.chains.retain(|_, chain| {
+            // Keep the newest version at or below the watermark: snapshots
+            // at the watermark still resolve to it. Everything older is
+            // invisible to every current and future snapshot.
+            let keep_from = chain.versions.iter().rposition(|v| v.ts <= watermark).unwrap_or(0);
+            versions_dropped += keep_from as u64;
+            chain.versions.drain(..keep_from);
+            if chain.dirty_by.is_none() && chain.versions.last().is_none_or(|v| v.ts <= watermark) {
+                // Clean chain fully behind the watermark: the heap image is
+                // the one every snapshot resolves to; drop the chain.
+                versions_dropped += chain.versions.len() as u64;
+                chains_dropped += 1;
+                false
+            } else {
+                true
+            }
+        });
+        (versions_dropped, chains_dropped)
+    }
+
+    /// Drop all version history (crash/restore: snapshots restart from the
+    /// recovered heap).
+    pub fn mvcc_reset(&mut self) {
+        self.chains.clear();
     }
 }
 
@@ -327,6 +475,11 @@ impl Storage {
         Ok(f(&mut guard))
     }
 
+    /// Ids of all registered tables (MVCC GC sweeps each heap's chains).
+    pub fn table_ids(&self) -> Vec<TableId> {
+        self.tables.read().keys().copied().collect()
+    }
+
     /// Deep-copy everything into a checkpoint snapshot.
     pub fn snapshot(&self) -> StorageSnapshot {
         let tables = self.tables.read();
@@ -345,7 +498,10 @@ impl Storage {
         tables.clear();
         indexes.clear();
         apply.clear();
-        for (id, data) in snap.tables {
+        for (id, mut data) in snap.tables {
+            // Version history is meaningless across a restore: snapshots of
+            // the restored database start from its heap.
+            data.mvcc_reset();
             tables.insert(TableId(id), RwLock::new(data));
             apply.insert(TableId(id), std::sync::Arc::new(parking_lot::Mutex::new(())));
         }

@@ -61,12 +61,28 @@ pub struct Txn {
     pub undo: Vec<UndoOp>,
     /// Number of statements executed (diagnostics only).
     pub statements: u64,
+    /// MVCC snapshot timestamp, assigned lazily at the first snapshot read
+    /// and held for the transaction's lifetime (repeatable snapshot). The
+    /// engine registers it with the active-snapshot set so the version GC
+    /// watermark cannot advance past it; commit/abort release it.
+    pub snapshot_ts: Option<u64>,
+    /// Rows this transaction opened a version chain on (first write per
+    /// row), so commit/abort can clear the dirty markers even for writes
+    /// later drained by a statement-level rollback. May contain duplicates.
+    pub mvcc_touched: Vec<(TableId, u64)>,
 }
 
 impl Txn {
     /// Create a fresh active transaction.
     pub fn new(id: TxnId) -> Txn {
-        Txn { id, state: TxnState::Active, undo: Vec::new(), statements: 0 }
+        Txn {
+            id,
+            state: TxnState::Active,
+            undo: Vec::new(),
+            statements: 0,
+            snapshot_ts: None,
+            mvcc_touched: Vec::new(),
+        }
     }
 
     /// Record the current undo position as a savepoint.

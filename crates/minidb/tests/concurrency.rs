@@ -8,8 +8,13 @@ use std::thread;
 use minidb::{Database, DbConfig, DbError, Session, Value};
 
 fn tuned(next_key: bool) -> Database {
+    tuned_mvcc(next_key, true)
+}
+
+fn tuned_mvcc(next_key: bool, mvcc: bool) -> Database {
     let mut config = DbConfig::for_tests();
     config.next_key_locking = next_key;
+    config.mvcc = mvcc;
     let db = Database::new(config);
     let mut s = Session::new(&db);
     s.exec("CREATE TABLE t (id BIGINT NOT NULL, a VARCHAR, b BIGINT)").unwrap();
@@ -25,13 +30,13 @@ fn tuned(next_key: bool) -> Database {
 
 #[test]
 fn uncommitted_writes_invisible_to_other_sessions_until_commit() {
-    let db = tuned(false);
+    // Pure-2PL arm: a reader blocks on the uncommitted row (strict 2PL, no
+    // dirty reads); with the short test timeout it gives up.
+    let db = tuned_mvcc(false, false);
     let mut w = Session::new(&db);
     w.begin().unwrap();
     w.exec("INSERT INTO t (id, a, b) VALUES (1, 'x', 0)").unwrap();
 
-    // A reader blocks on the uncommitted row (strict 2PL, no dirty reads);
-    // with the short test timeout it gives up.
     let db2 = db.clone();
     let r = thread::spawn(move || {
         let mut s = Session::new(&db2);
@@ -39,6 +44,28 @@ fn uncommitted_writes_invisible_to_other_sessions_until_commit() {
     });
     let result = r.join().unwrap();
     assert!(matches!(result, Err(DbError::LockTimeout { .. })), "{result:?}");
+
+    w.commit().unwrap();
+    let mut s = Session::new(&db);
+    assert_eq!(s.query_int("SELECT COUNT(*) FROM t WHERE id = 1", &[]).unwrap(), 1);
+}
+
+#[test]
+fn mvcc_reader_skips_uncommitted_write_without_blocking() {
+    // MVCC arm of the same scenario: the reader neither blocks nor sees the
+    // dirty row — it resolves the snapshot image (empty) immediately.
+    let db = tuned(false);
+    let mut w = Session::new(&db);
+    w.begin().unwrap();
+    w.exec("INSERT INTO t (id, a, b) VALUES (1, 'x', 0)").unwrap();
+
+    let db2 = db.clone();
+    let r = thread::spawn(move || {
+        let mut s = Session::new(&db2);
+        s.query_int("SELECT COUNT(*) FROM t WHERE id = 1", &[])
+    });
+    assert_eq!(r.join().unwrap().unwrap(), 0);
+    assert!(db.mvcc_reads_total() >= 1);
 
     w.commit().unwrap();
     let mut s = Session::new(&db);
@@ -157,6 +184,8 @@ fn escalation_covers_future_row_locks() {
     let mut config = DbConfig::for_tests();
     config.lock_escalation_threshold = Some(10);
     config.next_key_locking = false;
+    // Pure-2PL arm: escalation to a table X lock blocks even readers.
+    config.mvcc = false;
     let db = Database::new(config);
     let mut s = Session::new(&db);
     s.exec("CREATE TABLE t (id BIGINT NOT NULL)").unwrap();
@@ -179,6 +208,38 @@ fn escalation_covers_future_row_locks() {
     s.commit().unwrap();
     let mut s2 = Session::new(&db);
     assert_eq!(s2.query_int("SELECT COUNT(*) FROM t", &[]).unwrap(), 30);
+}
+
+#[test]
+fn mvcc_reader_ignores_escalated_table_lock() {
+    // MVCC arm: the same table X escalation does not slow a snapshot
+    // reader, which sees the pre-update images.
+    let mut config = DbConfig::for_tests();
+    config.lock_escalation_threshold = Some(10);
+    config.next_key_locking = false;
+    let db = Database::new(config);
+    let mut s = Session::new(&db);
+    s.exec("CREATE TABLE t (id BIGINT NOT NULL)").unwrap();
+    for i in 0..30 {
+        s.exec_params("INSERT INTO t (id) VALUES (?)", &[Value::Int(i)]).unwrap();
+    }
+    s.begin().unwrap();
+    s.exec("UPDATE t SET id = id + 1000 WHERE id >= 0").unwrap();
+    assert!(db.lock_metrics().snapshot().escalations >= 1);
+    let db2 = db.clone();
+    let r = thread::spawn(move || {
+        let mut s2 = Session::new(&db2);
+        (
+            s2.query_int("SELECT COUNT(*) FROM t", &[]).unwrap(),
+            s2.query_int("SELECT COUNT(*) FROM t WHERE id >= 1000", &[]).unwrap(),
+        )
+    })
+    .join()
+    .unwrap();
+    assert_eq!(r, (30, 0), "snapshot reader sees all pre-update rows");
+    s.commit().unwrap();
+    let mut s2 = Session::new(&db);
+    assert_eq!(s2.query_int("SELECT COUNT(*) FROM t WHERE id >= 1000", &[]).unwrap(), 30);
 }
 
 #[test]
