@@ -2,7 +2,7 @@
 # Local CI: everything must pass before a change merges.
 #   ./ci.sh            full gate (build, tests, clippy, fmt, commit-path smoke)
 #   ./ci.sh fast       skip the release build and the smoke benches
-#   ./ci.sh smoke      only the commit-path smoke benches (e5 + tiny e11/e12)
+#   ./ci.sh smoke      only the commit-path smoke stages (tiny benches + two-process wire)
 #   ./ci.sh bench-gate tiny benches vs the committed baseline (perf-regression gate)
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -39,6 +39,36 @@ smoke() {
   step "read-path smoke: e13_read_heavy (tiny sweep, MVCC vs 2PL)"
   RUN_SECS=0.2 CLIENTS=4 BENCH_METRICS=0 BENCH_JSON_DIR=target \
     cargo run -q --offline --release -p bench --bin e13_read_heavy
+  wire_smoke
+}
+
+# Two real OS processes over a real kernel socket: `dlfmd` (the standalone
+# DLFM daemon, telemetry watchdog armed) serves a Unix-domain socket and a
+# host workload dials in from a second process. The daemon treats stdin
+# EOF as its shutdown signal and exits nonzero if any watchdog health rule
+# fired during the run, so `wait` enforces both a clean run and a clean
+# shutdown.
+wire_smoke() {
+  step "wire smoke: two-process dlfmd + host workload over a Unix socket"
+  local sock out dpid
+  sock="$(mktemp -u /tmp/dlfmd-ci-XXXXXX.sock)"
+  out="$(mktemp)"
+  mkfifo "$sock.stdin"
+  cargo build -q --offline --release -p dlfm --bin dlfmd
+  cargo build -q --offline --release -p datalinks --example wire_host_smoke
+  target/release/dlfmd --listen "unix://$sock" --seed-files 32 --watch \
+    <"$sock.stdin" >"$out" &
+  dpid=$!
+  exec 9>"$sock.stdin" # hold the daemon's stdin open while the client runs
+  for _ in $(seq 1 100); do
+    grep -q READY "$out" 2>/dev/null && break
+    sleep 0.1
+  done
+  grep -q READY "$out" || { echo "dlfmd never came up:"; cat "$out"; exit 1; }
+  target/release/examples/wire_host_smoke "unix://$sock" 32
+  exec 9>&- # stdin EOF: clean shutdown
+  wait "$dpid"
+  rm -f "$sock" "$sock.stdin" "$out"
 }
 
 # Perf-regression gate: re-run the smoke benches into target/bench-gate,

@@ -70,6 +70,38 @@ impl Deployment {
         Deployment::new(server_name, dlfm::DlfmConfig::for_tests(), hostdb::HostConfig::for_tests())
     }
 
+    /// Like [`Deployment::new`], but the host dials the DLFM over a real
+    /// socket: the DLFM binds `listen` (which must be `Tcp` or `Unix`) and
+    /// the host attaches by URL through the wire transport — every RPC
+    /// crosses the frame codec and a kernel socket, even though both ends
+    /// live in this process. Tests and benches use this to exercise the
+    /// deployment shape of `dlfmd` without a second OS process.
+    pub fn new_wire(
+        server_name: &str,
+        mut dlfm_config: dlfm::DlfmConfig,
+        host_config: hostdb::HostConfig,
+        listen: dlfm::Transport,
+    ) -> Deployment {
+        assert!(!matches!(listen, dlfm::Transport::Inproc), "new_wire needs a socket Transport");
+        dlfm_config.listen = listen;
+        let fs = Arc::new(filesys::FileSystem::new());
+        let archive_server = Arc::new(archive::ArchiveServer::new());
+        let dlfm_server = dlfm::DlfmServer::start(dlfm_config, fs.clone(), archive_server.clone());
+        let url = dlfm_server
+            .listen_addr()
+            .expect("socket Transport always binds a listener")
+            .to_string();
+        let host = hostdb::HostDb::new(host_config);
+        host.attach_dlfm_url(server_name, &url).expect("wire attach cannot fail at bind time");
+        Deployment {
+            fs,
+            archive: archive_server,
+            dlfm: dlfm_server,
+            host,
+            server_name: server_name.to_string(),
+        }
+    }
+
     /// Datalink URL for a path on this deployment's file server.
     pub fn url(&self, path: &str) -> String {
         format!("dlfs://{}{}", self.server_name, path)

@@ -176,6 +176,17 @@ impl Agent {
     }
 }
 
+impl Drop for Agent {
+    /// A dedicated agent exits when its connection's channel closes — on a
+    /// graceful disconnect but also when a wire client dies mid-call. The
+    /// rollback (and phase-2 abort of chunk-hardened work) must not depend
+    /// on how the connection ended, so it runs here, mirroring
+    /// [`SessionTable::retire`] in pooled mode.
+    fn drop(&mut self) {
+        self.state.abandon(&self.shared);
+    }
+}
+
 /// Dispatch one request against a session's state, tracing it and
 /// recording per-op latency. Both agent models funnel through here.
 pub fn handle_request(

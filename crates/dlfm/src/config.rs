@@ -36,6 +36,33 @@ impl AgentModel {
     }
 }
 
+/// Which transport the DLFM server listens on.
+///
+/// `Inproc` keeps the historical behaviour: the server serves only the
+/// in-process fabric its `Connector` hands out. The socket variants
+/// additionally bridge a real listener into that same fabric, so one
+/// server can serve loopback and remote clients at once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Transport {
+    /// In-process fabric only (default; loopback and tests).
+    Inproc,
+    /// Listen on TCP at `host:port` (`0` picks an ephemeral port).
+    Tcp(String),
+    /// Listen on a Unix-domain socket at this path.
+    Unix(String),
+}
+
+impl Transport {
+    /// The wire address to bind, if this transport uses a socket.
+    pub fn wire_addr(&self) -> Option<dlrpc::WireAddr> {
+        match self {
+            Transport::Inproc => None,
+            Transport::Tcp(a) => Some(dlrpc::WireAddr::Tcp(a.clone())),
+            Transport::Unix(p) => Some(dlrpc::WireAddr::Unix(p.clone().into())),
+        }
+    }
+}
+
 /// Tunable DLFM behaviour. Defaults follow the paper's production settings
 /// (scaled for laptop experiments where noted).
 #[derive(Debug, Clone)]
@@ -80,6 +107,10 @@ pub struct DlfmConfig {
     /// watch several layers at once (see `datalinks::Deployment`) spawn
     /// their own combined watchdog instead.
     pub watch: Option<obs::WatchConfig>,
+    /// Listen transport: `Inproc` (default) serves only the in-process
+    /// fabric; `Tcp`/`Unix` additionally bind a socket listener and bridge
+    /// remote sessions into the same agent model.
+    pub listen: Transport,
 }
 
 impl Default for DlfmConfig {
@@ -97,6 +128,7 @@ impl Default for DlfmConfig {
             hand_craft_stats: true,
             agent_model: AgentModel::Dedicated,
             watch: None,
+            listen: Transport::Inproc,
         }
     }
 }
@@ -144,6 +176,11 @@ pub fn default_watch_rules() -> Vec<obs::Rule> {
             10_000.0,
             5,
         ),
+        // Wire-transport reconnect storm: the host pool redialing the DLFM
+        // over and over means the socket (or the server behind it) is
+        // flapping — a network partition, a crashing dlfmd, or a listener
+        // backlog collapse.
+        Rule::rate("wire-reconnect-storm", "rpc_wire_reconnects_total", Cmp::Gt, 5.0, 2),
     ]
 }
 

@@ -43,11 +43,12 @@ pub mod meta;
 pub mod metrics;
 pub mod server;
 pub mod twopc;
+pub mod wire;
 
 pub use api::{
     AccessControl, DbErrorKind, DlfmError, DlfmRequest, DlfmResponse, DlfmResult, GroupSpec,
     LinkStatus,
 };
-pub use config::{default_watch_rules, AgentModel, DlfmConfig};
+pub use config::{default_watch_rules, AgentModel, DlfmConfig, Transport};
 pub use metrics::{DlfmMetrics, DlfmMetricsSnapshot};
 pub use server::{now_micros, DlfmServer, DlfmShared};

@@ -92,6 +92,7 @@ pub struct DlfmServer {
     shared: Arc<DlfmShared>,
     connector: Connector<DlfmRequest, DlfmResponse>,
     rpc: Option<ServerHandle>,
+    wire: Option<dlrpc::WireServer>,
     daemons: Vec<JoinHandle<()>>,
     _chown: ChownDaemon,
     watchdog: Option<obs::WatchdogHandle>,
@@ -184,10 +185,19 @@ impl DlfmServer {
             }
         };
 
+        // Socket listener: bridge remote sessions into the same fabric the
+        // in-process connector serves, so agents never see the transport.
+        let wire = shared.config.listen.wire_addr().map(|addr| {
+            let listener = dlrpc::SocketListener::bind(&addr)
+                .unwrap_or_else(|e| panic!("dlfmd cannot bind {addr}: {e}"));
+            dlrpc::serve_wire(listener, &connector)
+        });
+
         let mut server = DlfmServer {
             shared,
             connector,
             rpc: Some(rpc),
+            wire,
             daemons: handles,
             _chown: chown_daemon,
             watchdog: None,
@@ -206,6 +216,18 @@ impl DlfmServer {
     /// The telemetry watchdog, when the config armed one.
     pub fn watchdog(&self) -> Option<&obs::WatchdogHandle> {
         self.watchdog.as_ref()
+    }
+
+    /// The socket address the wire listener bound, when `config.listen`
+    /// asked for one. `Tcp("host:0")` resolves to the actual port here.
+    pub fn listen_addr(&self) -> Option<dlrpc::WireAddr> {
+        self.wire.as_ref().map(|w| w.bound_addr().clone())
+    }
+
+    /// Server-side wire instrumentation (frames/bytes over the socket
+    /// listener), when one is running.
+    pub fn wire_stats(&self) -> Option<&Arc<dlrpc::WireStats>> {
+        self.wire.as_ref().map(|w| w.wire_stats())
     }
 
     /// Endpoint host databases connect to.
@@ -249,7 +271,7 @@ impl DlfmServer {
     /// statistics, RPC-fabric gauges, daemon queue depths, and process
     /// self-metrics.
     pub fn metrics_text(&self) -> String {
-        render_metrics_text(&self.shared, &self.connector)
+        render_metrics_text(&self.shared, &self.connector, self.wire_stats().cloned())
     }
 
     /// A `'static` snapshot provider rendering [`DlfmServer::metrics_text`]
@@ -257,7 +279,8 @@ impl DlfmServer {
     pub fn metrics_provider(&self) -> impl Fn() -> String + Send + Sync + 'static {
         let shared = self.shared.clone();
         let connector = self.connector.clone();
-        move || render_metrics_text(&shared, &connector)
+        let wire = self.wire_stats().cloned();
+        move || render_metrics_text(&shared, &connector, wire.clone())
     }
 
     /// A `'static` status-page provider rendering
@@ -286,6 +309,7 @@ impl DlfmServer {
 fn render_metrics_text(
     shared: &Arc<DlfmShared>,
     connector: &Connector<DlfmRequest, DlfmResponse>,
+    wire: Option<Arc<dlrpc::WireStats>>,
 ) -> String {
     {
         let mut r = obs::Registry::new();
@@ -375,6 +399,9 @@ fn render_metrics_text(
 
         shared.db.render_metrics(&mut r);
         connector.render_metrics(&mut r);
+        if let Some(w) = &wire {
+            w.render(&mut r);
+        }
 
         if let Some(pool) = connector.pool_stats() {
             r.gauge(
@@ -620,6 +647,11 @@ impl Drop for DlfmServer {
             w.stop();
         }
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Tear the wire bridge down before the fabric so no remote frame
+        // races a closing run queue.
+        if let Some(mut wire) = self.wire.take() {
+            wire.shutdown();
+        }
         if let Some(mut rpc) = self.rpc.take() {
             rpc.shutdown();
         }

@@ -33,6 +33,22 @@ use crate::url::DatalinkUrl;
 /// Connection type to a DLFM.
 pub type DlfmConn = ClientConn<DlfmRequest, DlfmResponse>;
 
+/// Process-global registry behind `inproc://name` URLs: in-process DLFM
+/// connectors published by whoever hosts the server in this process.
+fn inproc_registry() -> &'static Mutex<HashMap<String, Connector<DlfmRequest, DlfmResponse>>> {
+    static REGISTRY: std::sync::OnceLock<
+        Mutex<HashMap<String, Connector<DlfmRequest, DlfmResponse>>>,
+    > = std::sync::OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Publish an in-process DLFM connector under `name`, so
+/// [`HostDb::attach_dlfm_url`] can resolve `inproc://name`. Re-publishing
+/// a name replaces the previous connector.
+pub fn register_inproc(name: &str, connector: Connector<DlfmRequest, DlfmResponse>) {
+    inproc_registry().lock().insert(name.to_string(), connector);
+}
+
 /// Host configuration.
 #[derive(Debug, Clone)]
 pub struct HostConfig {
@@ -215,6 +231,27 @@ impl HostDb {
         self.inner.dlfms.write().insert(server.to_string(), connector);
     }
 
+    /// Register a DLFM by connection URL: `tcp://host:port` and
+    /// `unix:///path.sock` dial the wire transport (redialing on broken
+    /// sockets), `inproc://name` resolves a connector previously published
+    /// with [`register_inproc`]. This is how a host process attaches to a
+    /// DLFM it does not host in its own address space.
+    pub fn attach_dlfm_url(&self, server: &str, url: &str) -> HostResult<()> {
+        let connector = match dlrpc::Endpoint::parse(url)? {
+            dlrpc::Endpoint::Inproc(name) => inproc_registry()
+                .lock()
+                .get(&name)
+                .cloned()
+                .ok_or_else(|| HostError::Rpc(format!("no in-process DLFM named {name:?}")))?,
+            ep => {
+                let addr = ep.wire_addr().expect("tcp/unix endpoints have a wire address");
+                dlrpc::wire_connector::<DlfmRequest, DlfmResponse>(addr)
+            }
+        };
+        self.attach_dlfm(server, connector);
+        Ok(())
+    }
+
     /// Open an application session.
     pub fn session(&self) -> HostSession {
         HostSession {
@@ -364,6 +401,11 @@ impl HostDb {
         // The host-local storage engine renders the full minidb family
         // (the same block DLFM's local database exports).
         db.render_metrics(&mut r);
+        // Socket-backed DLFM connectors export the rpc_wire_* family (the
+        // reconnect-storm watch rule reads it from this provider).
+        for connector in self.inner.dlfms.read().values() {
+            connector.render_metrics(&mut r);
+        }
         r.counter(
             "obs_spans_dropped_total",
             "Span events overwritten in the trace ring before being read.",
@@ -490,6 +532,12 @@ impl HostDb {
             .get(server)
             .cloned()
             .ok_or_else(|| HostError::Usage(format!("no DLFM attached for server {server}")))
+    }
+
+    /// Wire-transport instrumentation of `server`'s connector, when it is
+    /// socket-backed (`None` for in-process connectors).
+    pub fn wire_stats(&self, server: &str) -> Option<Arc<dlrpc::WireStats>> {
+        self.inner.dlfms.read().get(server).and_then(|c| c.wire_stats().cloned())
     }
 
     /// Names of all attached DLFM servers.
@@ -671,10 +719,16 @@ impl HostDb {
     }
 
     /// Check a connection to `server` out of the pool, opening a fresh one
-    /// only when no idle connection is available.
+    /// only when no idle connection is available. Wire-backed connections
+    /// are ping-probed first: the peer may have died since checkin, and a
+    /// retired conn here lets `fresh_conn` redial the socket instead of
+    /// handing the caller a dead multiplexer.
     pub(crate) fn checkout_conn(&self, server: &str) -> HostResult<DlfmConn> {
-        let pooled = self.inner.conn_pool.lock().get_mut(server).and_then(Vec::pop);
-        if let Some(conn) = pooled {
+        while let Some(conn) = self.inner.conn_pool.lock().get_mut(server).and_then(Vec::pop) {
+            if conn.is_wire() && conn.ping(std::time::Duration::from_millis(200)).is_err() {
+                self.inner.metrics.conn_retired.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
             self.inner.metrics.conn_pool_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(conn);
         }
@@ -686,11 +740,16 @@ impl HostDb {
     /// a broken connection is retired here instead of poisoning the next
     /// checkout; also retired when the pool is at capacity.
     pub(crate) fn checkin_conn(&self, server: &str, conn: DlfmConn) {
+        // Wire-backed connections probe with a transport-level Ping frame
+        // (answered by the peer's reader thread, no agent round trip);
+        // in-process ones must go through the agent to prove it is alive.
+        let probe = std::time::Duration::from_millis(200);
         let healthy = self.inner.conn_pool_size > 0
-            && matches!(
-                conn.call_timeout(DlfmRequest::Ping, std::time::Duration::from_millis(200)),
-                Ok(DlfmResponse::Ok)
-            );
+            && if conn.is_wire() {
+                conn.ping(probe).is_ok()
+            } else {
+                matches!(conn.call_timeout(DlfmRequest::Ping, probe), Ok(DlfmResponse::Ok))
+            };
         if healthy {
             let mut pool = self.inner.conn_pool.lock();
             let idle = pool.entry(server.to_string()).or_default();

@@ -29,7 +29,8 @@ pub mod utilities;
 
 pub use coordlog::{CoordLog, CoordRecord};
 pub use engine::{
-    DatalinkSpec, DlColumn, HostConfig, HostDb, HostMetrics, HostSavepoint, HostSession,
+    register_inproc, DatalinkSpec, DlColumn, HostConfig, HostDb, HostMetrics, HostSavepoint,
+    HostSession,
 };
 pub use error::{HostError, HostResult};
 pub use load::{LoadReport, LoadRow};

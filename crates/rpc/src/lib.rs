@@ -1,17 +1,30 @@
 //! # dlrpc — the agent connection fabric
 //!
 //! Models the remote-procedure-call mechanism between host-database agents
-//! and DLFM child agents (paper §2, §3.5), in two server modes:
+//! and DLFM child agents (paper §2, §3.5). The crate splits into a
+//! **protocol core** — the `Listener`/`Connector`/`ClientConn`/`ServerConn`
+//! surface plus two server modes — and pluggable **transports**:
+//!
+//! * **in-process** (the default; [`fabric`]/[`pool_fabric`]) — channels
+//!   inside one process, used by tests, benches, and embedded deployments;
+//! * **wire** ([`socket`] + [`wire`]) — a length-prefixed frame codec over
+//!   real TCP or Unix-domain sockets, many sessions multiplexed per socket,
+//!   with [`wire_connector`] dialing out and [`serve_wire`] bridging
+//!   accepted sockets into an in-process fabric on the server.
+//!
+//! Server modes (transport-independent):
 //!
 //! * **Dedicated** ([`serve`]) — the paper's process model: the DLFM **main
 //!   daemon** listens for connects and spawns one **child agent** per
 //!   connection; all requests on that connection are served by that agent.
-//!   Requests are strictly **synchronous**: the request channel is a
-//!   rendezvous, so a sender blocks until the child agent actually issues
-//!   its message receive. This is load-bearing — the distributed-deadlock
-//!   scenario of §4 hinges on "T11 is blocked on message send as the DLFM
-//!   child is still doing the commit processing for T1 (and has not issued
-//!   msg receive)";
+//!   On the in-process transport requests are strictly **synchronous**: the
+//!   request channel is a rendezvous, so a sender blocks until the child
+//!   agent actually issues its message receive. This is load-bearing — the
+//!   distributed-deadlock scenario of §4 hinges on "T11 is blocked on
+//!   message send as the DLFM child is still doing the commit processing
+//!   for T1 (and has not issued msg receive)". (The wire transport buffers
+//!   per-session, so §4's send-blocking semantics are an in-process
+//!   property.)
 //! * **Pooled** ([`pool_fabric`] + [`serve_pool`]) — a fixed set of worker
 //!   threads pulls from one shared bounded run queue; any worker serves any
 //!   connection. Every connection carries a fabric-assigned **session id**
@@ -25,6 +38,9 @@
 
 #![warn(missing_docs)]
 
+pub mod socket;
+pub mod wire;
+
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -33,6 +49,9 @@ use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use obs::trace::{self, Layer, TraceCtx};
+
+pub use socket::{serve_wire, Endpoint, SocketListener, WireAddr, WireServer, WireStats};
+pub use wire::{Reader, Wire, WireError};
 
 /// RPC-level failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +63,9 @@ pub enum RpcError {
     /// The server's run queue stayed full past the admission timeout
     /// (pooled mode only): the request was rejected, not queued.
     Overloaded,
+    /// A wire-transport failure: dial error, frame corruption, or a
+    /// payload that did not decode.
+    Wire(String),
 }
 
 impl fmt::Display for RpcError {
@@ -52,6 +74,7 @@ impl fmt::Display for RpcError {
             RpcError::Disconnected => f.write_str("peer disconnected"),
             RpcError::Timeout => f.write_str("rpc timeout"),
             RpcError::Overloaded => f.write_str("server overloaded (run queue full)"),
+            RpcError::Wire(msg) => write!(f, "wire transport error: {msg}"),
         }
     }
 }
@@ -59,7 +82,7 @@ impl fmt::Display for RpcError {
 impl std::error::Error for RpcError {}
 
 /// What a connection puts on the wire.
-enum Payload<Req> {
+pub(crate) enum Payload<Req> {
     /// An ordinary request.
     Request(Req),
     /// The client endpoint was dropped (pooled mode sends this so the
@@ -68,16 +91,58 @@ enum Payload<Req> {
     Hangup,
 }
 
-/// One message in flight. `reply` is `None` for posted (fire-and-forget)
+/// Where a response should go. `None` means no reply is expected (posts
+/// and hangups). The channel form serves in-process callers; the wire form
+/// carries enough to encode a Reply frame back onto the caller's socket.
+pub(crate) enum ReplyDest<Resp> {
+    /// An in-process caller parked on a channel.
+    Chan(Sender<Resp>),
+    /// A remote caller parked behind the socket whose writer queue this is.
+    Wire {
+        /// The socket's writer queue (encoded frames).
+        writer: Sender<Vec<u8>>,
+        /// Wire session id (client-facing, not the server-local one).
+        session: u64,
+        /// Correlation id of the Call being answered.
+        corr: u64,
+        /// Response serializer, captured where `Resp: Wire` held.
+        encode: fn(&Resp, &mut Vec<u8>),
+    },
+}
+
+/// A reply destination with a safety net: if a wire destination is dropped
+/// unconsumed — the serving agent died, or a queued envelope was thrown
+/// away at shutdown — a `Disconnected` status Reply is sent so the remote
+/// caller fails cleanly instead of hanging. (An in-process caller gets the
+/// same for free when its channel sender drops.)
+pub(crate) struct ReplyTo<Resp>(pub(crate) Option<ReplyDest<Resp>>);
+
+impl<Resp> Drop for ReplyTo<Resp> {
+    fn drop(&mut self) {
+        if let Some(ReplyDest::Wire { writer, session, corr, .. }) = self.0.take() {
+            let frame = wire::Frame::new(
+                wire::FrameKind::Reply,
+                session,
+                corr,
+                vec![wire::status::DISCONNECTED],
+            );
+            let mut bytes = Vec::new();
+            wire::encode_frame(&frame, &mut bytes);
+            let _ = writer.send(bytes);
+        }
+    }
+}
+
+/// One message in flight. `reply` is empty for posted (fire-and-forget)
 /// requests. `ctx` is the sender's trace context, installed on the
 /// receiving agent's thread so spans on both sides share one trace id.
 /// `session` is the fabric-assigned connection id (pooled workers key
 /// server-side session state by it).
-struct Envelope<Req, Resp> {
-    payload: Payload<Req>,
-    reply: Option<Sender<Resp>>,
-    ctx: Option<TraceCtx>,
-    session: u64,
+pub(crate) struct Envelope<Req, Resp> {
+    pub(crate) payload: Payload<Req>,
+    pub(crate) reply: ReplyTo<Resp>,
+    pub(crate) ctx: Option<TraceCtx>,
+    pub(crate) session: u64,
 }
 
 /// Fabric-wide instrumentation, shared by the connector, the listener,
@@ -187,16 +252,46 @@ struct Admission {
     pool: Arc<PoolStats>,
 }
 
+/// Serializer function pointers a wire connection carries, captured at
+/// connector construction where `Req: Wire` and `Resp: Wire` held — so
+/// `ClientConn` itself needs no `Wire` bounds.
+pub(crate) struct WireVt<Req, Resp> {
+    encode_req: fn(&Req, &mut Vec<u8>),
+    decode_resp: fn(&[u8]) -> Result<Resp, WireError>,
+}
+
+impl<Req, Resp> Clone for WireVt<Req, Resp> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<Req, Resp> Copy for WireVt<Req, Resp> {}
+
+pub(crate) fn encode_val<T: Wire>(v: &T, out: &mut Vec<u8>) {
+    v.encode(out)
+}
+
+pub(crate) fn decode_val<T: Wire>(bytes: &[u8]) -> Result<T, WireError> {
+    let mut r = Reader::new(bytes);
+    T::decode(&mut r)
+}
+
+/// Which transport a [`ClientConn`] speaks.
+enum ConnInner<Req, Resp> {
+    /// In-process channels. In dedicated mode `tx` is this connection's
+    /// private rendezvous channel; in pooled mode it is a clone of the
+    /// pool's shared run queue and `admission` bounds the enqueue.
+    Local { tx: Sender<Envelope<Req, Resp>>, admission: Option<Admission> },
+    /// A session multiplexed over a shared socket.
+    Wire { mux: Arc<socket::Mux>, vt: WireVt<Req, Resp> },
+}
+
 /// Client side of one connection (held by a host-database agent).
-///
-/// In dedicated mode `tx` is this connection's private rendezvous channel;
-/// in pooled mode it is a clone of the pool's shared run queue and every
-/// envelope carries this connection's session id.
 pub struct ClientConn<Req, Resp> {
-    tx: Sender<Envelope<Req, Resp>>,
+    inner: ConnInner<Req, Resp>,
     stats: Arc<RpcStats>,
     session: u64,
-    admission: Option<Admission>,
     /// Set once the `rpc.call.disconnect` fault fires: the endpoint then
     /// behaves like a real peer disconnect (server saw a hangup, every
     /// later use fails) instead of a one-off error on a healthy channel.
@@ -204,7 +299,7 @@ pub struct ClientConn<Req, Resp> {
 }
 
 impl<Req, Resp> ClientConn<Req, Resp> {
-    fn envelope(&self, payload: Payload<Req>, reply: Option<Sender<Resp>>) -> Envelope<Req, Resp> {
+    fn envelope(&self, payload: Payload<Req>, reply: ReplyTo<Resp>) -> Envelope<Req, Resp> {
         Envelope { payload, reply, ctx: trace::current_ctx(), session: self.session }
     }
 
@@ -213,22 +308,32 @@ impl<Req, Resp> ClientConn<Req, Resp> {
         self.session
     }
 
+    /// Does this connection cross a real socket (vs in-process channels)?
+    pub fn is_wire(&self) -> bool {
+        matches!(self.inner, ConnInner::Wire { .. })
+    }
+
     /// Tear the connection down as an injected disconnect: notify the
     /// server exactly like a dropped client (so it retires the session's
     /// state — open transactions roll back, locks release) and make every
     /// later use of this endpoint fail with [`RpcError::Disconnected`].
     fn sever(&self) {
         if !self.severed.swap(true, Ordering::Relaxed) {
-            let env = Envelope::<Req, Resp> {
-                payload: Payload::Hangup,
-                reply: None,
-                ctx: None,
-                session: self.session,
-            };
-            let _ = match &self.admission {
-                None => self.tx.send(env).is_ok(),
-                Some(adm) => self.tx.send_timeout(env, adm.timeout).is_ok(),
-            };
+            match &self.inner {
+                ConnInner::Local { tx, admission } => {
+                    let env = Envelope::<Req, Resp> {
+                        payload: Payload::Hangup,
+                        reply: ReplyTo(None),
+                        ctx: None,
+                        session: self.session,
+                    };
+                    let _ = match admission {
+                        None => tx.send(env).is_ok(),
+                        Some(adm) => tx.send_timeout(env, adm.timeout).is_ok(),
+                    };
+                }
+                ConnInner::Wire { mux, .. } => mux.hangup(self.session),
+            }
         }
     }
 
@@ -236,12 +341,18 @@ impl<Req, Resp> ClientConn<Req, Resp> {
         self.severed.load(Ordering::Relaxed)
     }
 
-    /// Send one envelope, applying admission control in pooled mode.
-    fn send_env(&self, env: Envelope<Req, Resp>) -> Result<(), RpcError> {
+    /// Send one envelope over the local transport, applying admission
+    /// control in pooled mode.
+    fn send_env(
+        &self,
+        tx: &Sender<Envelope<Req, Resp>>,
+        admission: &Option<Admission>,
+        env: Envelope<Req, Resp>,
+    ) -> Result<(), RpcError> {
         let _blocked = GaugeGuard::enter(&self.stats.send_blocked);
-        match &self.admission {
-            None => self.tx.send(env).map_err(|_| RpcError::Disconnected),
-            Some(adm) => self.tx.send_timeout(env, adm.timeout).map_err(|e| match e {
+        match admission {
+            None => tx.send(env).map_err(|_| RpcError::Disconnected),
+            Some(adm) => tx.send_timeout(env, adm.timeout).map_err(|e| match e {
                 crossbeam::channel::SendTimeoutError::Timeout(_) => {
                     adm.pool.rejects.fetch_add(1, Ordering::Relaxed);
                     let timeout = adm.timeout;
@@ -255,19 +366,36 @@ impl<Req, Resp> ClientConn<Req, Resp> {
         }
     }
 
+    /// Round trip over the socket transport.
+    fn wire_call(
+        &self,
+        mux: &socket::Mux,
+        vt: &WireVt<Req, Resp>,
+        req: &Req,
+        timeout: Option<Duration>,
+    ) -> Result<Resp, RpcError> {
+        let mut payload = Vec::new();
+        (vt.encode_req)(req, &mut payload);
+        let bytes = mux.call(wire::FrameKind::Call, self.session, payload, timeout)?;
+        (vt.decode_resp)(&bytes).map_err(|e| RpcError::Wire(e.to_string()))
+    }
+
     /// Synchronous call: blocks until the agent receives the request
     /// *and* sends the response. In pooled mode the enqueue is bounded by
     /// the admission timeout and may fail with [`RpcError::Overloaded`].
     ///
-    /// Fault points (`obs::fault`, no-ops unless a test arms them):
-    /// `rpc.call.disconnect` severs the connection for good — the server
-    /// observes a hangup (and rolls the session back) and every later use
-    /// of this endpoint fails; `rpc.call.overloaded` fails the call
-    /// before the send; `rpc.call.drop` loses the request on the wire
-    /// (the server never sees it, the caller observes a timeout);
-    /// `rpc.call.delay` stalls delivery; `rpc.call.duplicate` delivers
-    /// the request twice — the caller takes the first response, which is
-    /// exactly how a retried-after-lost-ack message looks to the server.
+    /// Fault points (`obs::fault`, no-ops unless a test arms them) on the
+    /// in-process transport: `rpc.call.disconnect` severs the connection
+    /// for good — the server observes a hangup (and rolls the session
+    /// back) and every later use of this endpoint fails;
+    /// `rpc.call.overloaded` fails the call before the send;
+    /// `rpc.call.drop` loses the request on the wire (the server never
+    /// sees it, the caller observes a timeout); `rpc.call.delay` stalls
+    /// delivery; `rpc.call.duplicate` delivers the request twice — the
+    /// caller takes the first response, which is exactly how a
+    /// retried-after-lost-ack message looks to the server. The socket
+    /// transport has its own packet-level points (`rpc.wire.*`, see
+    /// [`socket`]) injected in the frame writer instead.
     pub fn call(&self, req: Req) -> Result<Resp, RpcError>
     where
         Req: Clone,
@@ -275,46 +403,67 @@ impl<Req, Resp> ClientConn<Req, Resp> {
         let mut span = trace::span(Layer::Rpc, "call");
         self.stats.calls.fetch_add(1, Ordering::Relaxed);
         let _in_flight = GaugeGuard::enter(&self.stats.in_flight);
-        if self.is_severed() || obs::fault::fire("rpc.call.disconnect") {
-            self.sever();
-            span.fail();
-            return Err(RpcError::Disconnected);
+        match &self.inner {
+            ConnInner::Wire { mux, vt } => {
+                if self.is_severed() {
+                    span.fail();
+                    return Err(RpcError::Disconnected);
+                }
+                let res = self.wire_call(mux, vt, &req, None);
+                if res.is_err() {
+                    span.fail();
+                }
+                res
+            }
+            ConnInner::Local { tx, admission } => {
+                if self.is_severed() || obs::fault::fire("rpc.call.disconnect") {
+                    self.sever();
+                    span.fail();
+                    return Err(RpcError::Disconnected);
+                }
+                if obs::fault::fire("rpc.call.overloaded") {
+                    span.fail();
+                    return Err(RpcError::Overloaded);
+                }
+                if obs::fault::fire("rpc.call.drop") {
+                    span.fail();
+                    return Err(RpcError::Timeout);
+                }
+                if obs::fault::fire("rpc.call.delay") {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                // The duplicate's reply needs buffer space: the agent
+                // serves both deliveries, and its second ReplySlot::send
+                // must never block on a caller that already returned with
+                // the first response.
+                let duplicate = obs::fault::fire("rpc.call.duplicate");
+                let (rtx, rrx) = bounded(if duplicate { 2 } else { 1 });
+                let dup_env = duplicate.then(|| {
+                    self.envelope(
+                        Payload::Request(req.clone()),
+                        ReplyTo(Some(ReplyDest::Chan(rtx.clone()))),
+                    )
+                });
+                let env = self.envelope(Payload::Request(req), ReplyTo(Some(ReplyDest::Chan(rtx))));
+                if let Err(e) = self.send_env(tx, admission, env) {
+                    span.fail();
+                    return Err(e);
+                }
+                if let Some(env) = dup_env {
+                    let _ = self.send_env(tx, admission, env);
+                }
+                rrx.recv().map_err(|_| {
+                    span.fail();
+                    RpcError::Disconnected
+                })
+            }
         }
-        if obs::fault::fire("rpc.call.overloaded") {
-            span.fail();
-            return Err(RpcError::Overloaded);
-        }
-        if obs::fault::fire("rpc.call.drop") {
-            span.fail();
-            return Err(RpcError::Timeout);
-        }
-        if obs::fault::fire("rpc.call.delay") {
-            std::thread::sleep(Duration::from_millis(2));
-        }
-        // The duplicate's reply needs buffer space: the agent serves both
-        // deliveries, and its second ReplySlot::send must never block on a
-        // caller that already returned with the first response.
-        let duplicate = obs::fault::fire("rpc.call.duplicate");
-        let (rtx, rrx) = bounded(if duplicate { 2 } else { 1 });
-        let dup_env =
-            duplicate.then(|| self.envelope(Payload::Request(req.clone()), Some(rtx.clone())));
-        let env = self.envelope(Payload::Request(req), Some(rtx));
-        if let Err(e) = self.send_env(env) {
-            span.fail();
-            return Err(e);
-        }
-        if let Some(env) = dup_env {
-            let _ = self.send_env(env);
-        }
-        rrx.recv().map_err(|_| {
-            span.fail();
-            RpcError::Disconnected
-        })
     }
 
-    /// Synchronous call with a deadline. Note the *send* still blocks until
-    /// the agent issues its receive (rendezvous); only the response wait is
-    /// bounded.
+    /// Synchronous call with a deadline. On the in-process transport the
+    /// *send* still blocks until the agent issues its receive (rendezvous);
+    /// only the response wait is bounded. On the socket transport the whole
+    /// round trip is bounded.
     pub fn call_timeout(&self, req: Req, timeout: Duration) -> Result<Resp, RpcError> {
         let mut span = trace::span(Layer::Rpc, "call_timeout");
         self.stats.calls.fetch_add(1, Ordering::Relaxed);
@@ -323,40 +472,77 @@ impl<Req, Resp> ClientConn<Req, Resp> {
             span.fail();
             return Err(RpcError::Disconnected);
         }
-        let (rtx, rrx) = bounded(1);
-        let env = self.envelope(Payload::Request(req), Some(rtx));
-        let sent = {
-            let _blocked = GaugeGuard::enter(&self.stats.send_blocked);
-            self.tx.send_timeout(env, timeout)
-        };
-        if sent.is_err() {
-            span.fail();
-            return Err(RpcError::Timeout);
-        }
-        match rrx.recv_timeout(timeout) {
-            Ok(r) => Ok(r),
-            Err(RecvTimeoutError::Timeout) => {
-                span.fail();
-                Err(RpcError::Timeout)
+        match &self.inner {
+            ConnInner::Wire { mux, vt } => {
+                let res = self.wire_call(mux, vt, &req, Some(timeout));
+                if res.is_err() {
+                    span.fail();
+                }
+                res
             }
-            Err(RecvTimeoutError::Disconnected) => {
-                span.fail();
-                Err(RpcError::Disconnected)
+            ConnInner::Local { tx, .. } => {
+                let (rtx, rrx) = bounded(1);
+                let env = self.envelope(Payload::Request(req), ReplyTo(Some(ReplyDest::Chan(rtx))));
+                let sent = {
+                    let _blocked = GaugeGuard::enter(&self.stats.send_blocked);
+                    tx.send_timeout(env, timeout)
+                };
+                if sent.is_err() {
+                    span.fail();
+                    return Err(RpcError::Timeout);
+                }
+                match rrx.recv_timeout(timeout) {
+                    Ok(r) => Ok(r),
+                    Err(RecvTimeoutError::Timeout) => {
+                        span.fail();
+                        Err(RpcError::Timeout)
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        span.fail();
+                        Err(RpcError::Disconnected)
+                    }
+                }
             }
         }
     }
 
     /// Fire-and-forget post: returns as soon as the agent *receives* the
-    /// request (dedicated mode) or it is admitted to the run queue (pooled
-    /// mode), without waiting for processing (the unsafe asynchronous
-    /// commit mode of §4).
+    /// request (dedicated mode), it is admitted to the run queue (pooled
+    /// mode), or it is queued on the socket writer (wire transport),
+    /// without waiting for processing (the unsafe asynchronous commit mode
+    /// of §4).
     pub fn post(&self, req: Req) -> Result<(), RpcError> {
         self.stats.posts.fetch_add(1, Ordering::Relaxed);
         if self.is_severed() {
             return Err(RpcError::Disconnected);
         }
-        let env = self.envelope(Payload::Request(req), None);
-        self.send_env(env)
+        match &self.inner {
+            ConnInner::Wire { mux, vt } => {
+                let mut payload = Vec::new();
+                (vt.encode_req)(&req, &mut payload);
+                mux.post(self.session, payload)
+            }
+            ConnInner::Local { tx, admission } => {
+                let env = self.envelope(Payload::Request(req), ReplyTo(None));
+                self.send_env(tx, admission, env)
+            }
+        }
+    }
+
+    /// Liveness probe. On the socket transport this is a wire-level
+    /// Ping/Pong round trip — it proves the socket, both mux threads, and
+    /// the server bridge are alive without touching any agent. In-process
+    /// connections are alive by construction, so this is a no-op there.
+    pub fn ping(&self, timeout: Duration) -> Result<(), RpcError> {
+        if self.is_severed() {
+            return Err(RpcError::Disconnected);
+        }
+        match &self.inner {
+            ConnInner::Local { .. } => Ok(()),
+            ConnInner::Wire { mux, .. } => {
+                mux.call(wire::FrameKind::Ping, self.session, Vec::new(), Some(timeout)).map(|_| ())
+            }
+        }
     }
 
     /// Fabric-wide instrumentation (shared with the connector).
@@ -367,48 +553,65 @@ impl<Req, Resp> ClientConn<Req, Resp> {
 
 impl<Req, Resp> Drop for ClientConn<Req, Resp> {
     fn drop(&mut self) {
-        // Pooled connections share the run queue, so the server cannot see
-        // a per-connection channel close: send an explicit hangup so it can
-        // retire this session's state. Best-effort — if the queue stays
-        // full past the admission timeout the state lingers until the
-        // server sweeps it. A severed connection already delivered its
-        // hangup.
+        // The server must learn the client is gone so it can retire this
+        // session's state (roll back the open transaction, release locks).
+        // Dedicated in-process connections signal it by the channel close
+        // itself; pooled ones share the run queue, so they send an explicit
+        // hangup; wire sessions share a socket, so they send a Hangup
+        // frame. Best-effort everywhere — if the transport is already dead
+        // the server-side cleanup ran (or runs) through its own teardown.
+        // A severed connection already delivered its hangup.
         if self.is_severed() {
             return;
         }
-        if let Some(adm) = &self.admission {
-            let env = Envelope {
-                payload: Payload::Hangup,
-                reply: None,
-                ctx: None,
-                session: self.session,
-            };
-            let _ = self.tx.send_timeout(env, adm.timeout);
+        match &self.inner {
+            ConnInner::Local { tx, admission: Some(adm) } => {
+                let env = Envelope {
+                    payload: Payload::Hangup,
+                    reply: ReplyTo(None),
+                    ctx: None,
+                    session: self.session,
+                };
+                let _ = tx.send_timeout(env, adm.timeout);
+            }
+            ConnInner::Local { .. } => {}
+            ConnInner::Wire { mux, .. } => mux.hangup(self.session),
         }
     }
 }
 
 /// Server side of one connection (held by a DLFM child agent).
 pub struct ServerConn<Req, Resp> {
-    rx: Receiver<Envelope<Req, Resp>>,
+    pub(crate) rx: Receiver<Envelope<Req, Resp>>,
 }
 
-/// Where to send the response for a received request (`None` for posts).
+/// Where to send the response for a received request (empty for posts).
 pub struct ReplySlot<Resp> {
-    tx: Option<Sender<Resp>>,
+    to: ReplyTo<Resp>,
 }
 
 impl<Resp> ReplySlot<Resp> {
     /// Send the response. A dropped client is not an error for the agent.
-    pub fn send(self, resp: Resp) {
-        if let Some(tx) = self.tx {
-            let _ = tx.send(resp);
+    pub fn send(mut self, resp: Resp) {
+        match self.to.0.take() {
+            None => {}
+            Some(ReplyDest::Chan(tx)) => {
+                let _ = tx.send(resp);
+            }
+            Some(ReplyDest::Wire { writer, session, corr, encode }) => {
+                let mut payload = vec![wire::status::OK];
+                encode(&resp, &mut payload);
+                let frame = wire::Frame::new(wire::FrameKind::Reply, session, corr, payload);
+                let mut bytes = Vec::new();
+                wire::encode_frame(&frame, &mut bytes);
+                let _ = writer.send(bytes);
+            }
         }
     }
 
     /// Was a reply requested (synchronous call) or not (post)?
     pub fn expects_reply(&self) -> bool {
-        self.tx.is_some()
+        self.to.0.is_some()
     }
 }
 
@@ -423,7 +626,7 @@ impl<Req, Resp> ServerConn<Req, Resp> {
         let env = self.rx.recv().map_err(|_| RpcError::Disconnected)?;
         trace::set_current_ctx(env.ctx);
         match env.payload {
-            Payload::Request(req) => Ok((req, ReplySlot { tx: env.reply })),
+            Payload::Request(req) => Ok((req, ReplySlot { to: env.reply })),
             // Dedicated connections signal hangup by closing the channel;
             // an explicit hangup is equivalent.
             Payload::Hangup => Err(RpcError::Disconnected),
@@ -440,7 +643,7 @@ impl<Req, Resp> ServerConn<Req, Resp> {
             Ok(env) => {
                 trace::set_current_ctx(env.ctx);
                 match env.payload {
-                    Payload::Request(req) => Ok(Some((req, ReplySlot { tx: env.reply }))),
+                    Payload::Request(req) => Ok(Some((req, ReplySlot { to: env.reply }))),
                     Payload::Hangup => Err(RpcError::Disconnected),
                 }
             }
@@ -486,20 +689,60 @@ impl<Req, Resp> Listener<Req, Resp> {
     }
 }
 
+/// Client end of a remote fabric: the dial address plus the (lazily
+/// established, re-established on death) socket multiplexer every
+/// connection from this connector shares.
+pub(crate) struct RemoteState {
+    addr: WireAddr,
+    mux: Mutex<Option<Arc<socket::Mux>>>,
+    stats: Arc<WireStats>,
+}
+
+impl RemoteState {
+    /// The live mux, dialing (or redialing a dead connection) as needed.
+    fn mux_or_dial(&self) -> Result<Arc<socket::Mux>, RpcError> {
+        let mut guard = self.mux.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(m) = guard.as_ref() {
+            if !m.is_dead() {
+                return Ok(m.clone());
+            }
+            self.stats.reconnects.fetch_add(1, Ordering::Relaxed);
+        }
+        let m = socket::Mux::dial(&self.addr, self.stats.clone())?;
+        *guard = Some(m.clone());
+        Ok(m)
+    }
+}
+
 /// How a connector hands out connections.
-enum ConnectorMode<Req, Resp> {
+pub(crate) enum ConnectorMode<Req, Resp> {
     /// Each connect creates a private rendezvous channel served by a
     /// dedicated child agent.
     Dedicated(Sender<ServerConn<Req, Resp>>),
     /// Each connect clones the pool's shared bounded run queue.
-    Pooled { tx: Sender<Envelope<Req, Resp>>, pool: Arc<PoolStats>, admission_timeout: Duration },
+    Pooled {
+        /// The shared run queue.
+        tx: Sender<Envelope<Req, Resp>>,
+        /// Pool instrumentation.
+        pool: Arc<PoolStats>,
+        /// How long senders wait for queue space before rejection.
+        admission_timeout: Duration,
+    },
+    /// Each connect is a fresh session multiplexed over the (shared,
+    /// lazily dialed) socket to a remote server.
+    Remote {
+        /// Dial state shared by clones of this connector.
+        state: Arc<RemoteState>,
+        /// Serializers captured at construction.
+        vt: WireVt<Req, Resp>,
+    },
 }
 
 /// The connector endpoint host agents use to reach a DLFM.
 pub struct Connector<Req, Resp> {
-    mode: ConnectorMode<Req, Resp>,
-    stats: Arc<RpcStats>,
-    sessions: Arc<AtomicU64>,
+    pub(crate) mode: ConnectorMode<Req, Resp>,
+    pub(crate) stats: Arc<RpcStats>,
+    pub(crate) sessions: Arc<AtomicU64>,
 }
 
 impl<Req, Resp> Clone for Connector<Req, Resp> {
@@ -511,6 +754,9 @@ impl<Req, Resp> Clone for Connector<Req, Resp> {
                 pool: pool.clone(),
                 admission_timeout: *admission_timeout,
             },
+            ConnectorMode::Remote { state, vt } => {
+                ConnectorMode::Remote { state: state.clone(), vt: *vt }
+            }
         };
         Connector { mode, stats: self.stats.clone(), sessions: self.sessions.clone() }
     }
@@ -519,7 +765,8 @@ impl<Req, Resp> Clone for Connector<Req, Resp> {
 impl<Req, Resp> Connector<Req, Resp> {
     /// Establish a new connection. Dedicated mode: a fresh child agent will
     /// serve it. Pooled mode: a fresh session id is assigned and any pool
-    /// worker may serve its requests.
+    /// worker may serve its requests. Remote mode: a fresh session over the
+    /// shared socket, dialing (or redialing) it if needed.
     pub fn connect(&self) -> Result<ClientConn<Req, Resp>, RpcError> {
         let session = self.sessions.fetch_add(1, Ordering::Relaxed) + 1;
         match &self.mode {
@@ -529,20 +776,30 @@ impl<Req, Resp> Connector<Req, Resp> {
                 let (tx, rx) = bounded(0);
                 ctx.send(ServerConn { rx }).map_err(|_| RpcError::Disconnected)?;
                 Ok(ClientConn {
-                    tx,
+                    inner: ConnInner::Local { tx, admission: None },
                     stats: self.stats.clone(),
                     session,
-                    admission: None,
                     severed: AtomicBool::new(false),
                 })
             }
             ConnectorMode::Pooled { tx, pool, admission_timeout } => Ok(ClientConn {
-                tx: tx.clone(),
+                inner: ConnInner::Local {
+                    tx: tx.clone(),
+                    admission: Some(Admission { timeout: *admission_timeout, pool: pool.clone() }),
+                },
                 stats: self.stats.clone(),
                 session,
-                admission: Some(Admission { timeout: *admission_timeout, pool: pool.clone() }),
                 severed: AtomicBool::new(false),
             }),
+            ConnectorMode::Remote { state, vt } => {
+                let mux = state.mux_or_dial()?;
+                Ok(ClientConn {
+                    inner: ConnInner::Wire { mux, vt: *vt },
+                    stats: self.stats.clone(),
+                    session,
+                    severed: AtomicBool::new(false),
+                })
+            }
         }
     }
 
@@ -555,32 +812,43 @@ impl<Req, Resp> Connector<Req, Resp> {
     /// Pool instrumentation, when this connector fronts an agent pool.
     pub fn pool_stats(&self) -> Option<&Arc<PoolStats>> {
         match &self.mode {
-            ConnectorMode::Dedicated(_) => None,
             ConnectorMode::Pooled { pool, .. } => Some(pool),
+            _ => None,
+        }
+    }
+
+    /// Wire-transport instrumentation, when this connector dials a socket.
+    pub fn wire_stats(&self) -> Option<&Arc<WireStats>> {
+        match &self.mode {
+            ConnectorMode::Remote { state, .. } => Some(&state.stats),
+            _ => None,
         }
     }
 
     /// Connections waiting to be accepted (dedicated mode) or requests
     /// waiting in the shared run queue (pooled mode) — both are "work the
-    /// server has not picked up yet".
+    /// server has not picked up yet". Always 0 for a remote connector (the
+    /// backlog lives on the server).
     pub fn accept_backlog(&self) -> usize {
         match &self.mode {
             ConnectorMode::Dedicated(tx) => tx.len(),
             ConnectorMode::Pooled { tx, .. } => tx.len(),
+            ConnectorMode::Remote { .. } => 0,
         }
     }
 
     /// Requests waiting in the shared run queue (pooled mode only).
     pub fn pool_queue_depth(&self) -> Option<usize> {
         match &self.mode {
-            ConnectorMode::Dedicated(_) => None,
             ConnectorMode::Pooled { tx, .. } => Some(tx.len()),
+            _ => None,
         }
     }
 
     /// Render this fabric's base `rpc_*` metrics into a registry: call and
     /// post totals, in-flight and send-blocked gauges, and the accept
-    /// backlog. Servers layer their own pool gauges on top.
+    /// backlog; a remote connector adds its `rpc_wire_*` family. Servers
+    /// layer their own pool gauges on top.
     pub fn render_metrics(&self, r: &mut obs::Registry) {
         let stats = self.stats();
         r.counter("rpc_calls_total", "Round-trip RPC calls issued.", &[], stats.calls());
@@ -598,6 +866,9 @@ impl<Req, Resp> Connector<Req, Resp> {
             &[],
             self.accept_backlog() as i64,
         );
+        if let ConnectorMode::Remote { state, .. } = &self.mode {
+            state.stats.render(r);
+        }
     }
 }
 
@@ -614,6 +885,31 @@ pub fn fabric<Req, Resp>() -> (Listener<Req, Resp>, Connector<Req, Resp>) {
             sessions: Arc::new(AtomicU64::new(0)),
         },
     )
+}
+
+/// Create a connector that dials a remote fabric over a socket. The
+/// connection is established lazily on the first [`Connector::connect`]
+/// and redialed transparently after a disconnect (counted in
+/// `rpc_wire_reconnects_total`). All sessions share one socket — the
+/// multiplexer runs one reader and one writer thread total, not per
+/// session.
+pub fn wire_connector<Req, Resp>(addr: WireAddr) -> Connector<Req, Resp>
+where
+    Req: Wire,
+    Resp: Wire,
+{
+    Connector {
+        mode: ConnectorMode::Remote {
+            state: Arc::new(RemoteState {
+                addr,
+                mux: Mutex::new(None),
+                stats: Arc::new(WireStats::default()),
+            }),
+            vt: WireVt { encode_req: encode_val::<Req>, decode_resp: decode_val::<Resp> },
+        },
+        stats: Arc::new(RpcStats::default()),
+        sessions: Arc::new(AtomicU64::new(0)),
+    }
 }
 
 /// The run-queue endpoint [`serve_pool`] drains (pooled mode).
@@ -806,14 +1102,14 @@ where
                                     pool.served.fetch_add(1, Ordering::Relaxed);
                                     handler(
                                         PoolEvent::Request { session: env.session, req },
-                                        ReplySlot { tx: env.reply },
+                                        ReplySlot { to: env.reply },
                                     );
                                 }
                                 Payload::Hangup => {
                                     pool.hangups.fetch_add(1, Ordering::Relaxed);
                                     handler(
                                         PoolEvent::Hangup { session: env.session },
-                                        ReplySlot { tx: None },
+                                        ReplySlot { to: ReplyTo(None) },
                                     );
                                 }
                             }

@@ -1,0 +1,1301 @@
+//! Socket transport: TCP and Unix-domain backends for the RPC fabric.
+//!
+//! One socket carries many logical connections (sessions). Each side runs
+//! exactly **one reader thread and one writer thread per socket** — 10k
+//! sessions do not need 10k sockets or threads:
+//!
+//! * the **client multiplexer** ([`Mux`]) assigns a correlation id to every
+//!   Call/Ping, parks the caller on a one-shot channel, and lets the reader
+//!   thread route each Reply/Pong frame back by correlation id;
+//! * the **server bridge** ([`serve_wire`]) decodes frames off the socket
+//!   and feeds them into the existing in-process fabric — a per-session
+//!   channel + `ServerConn` in dedicated mode, the shared run queue in
+//!   pooled mode — so `serve`/`serve_pool` and every agent above them are
+//!   transport-agnostic.
+//!
+//! Fault points (client-side writer, armed via `obs::fault`):
+//! `rpc.wire.stall` delays a frame on the wire; `rpc.wire.corrupt` flips a
+//! payload byte after the checksum is computed (the peer detects it per
+//! frame and fails only that call); `rpc.wire.truncate` writes a partial
+//! frame and drops the socket; `rpc.wire.reset` drops the socket without
+//! writing. The last two kill the connection exactly like a network
+//! partition: every parked caller gets `RpcError::Disconnected` and the
+//! next `connect()` redials.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+
+use crate::wire::{
+    encode_frame, read_frame, status, Frame, FrameKind, Wire, WireError, HEADER_TAIL,
+};
+use crate::{
+    Connector, ConnectorMode, Envelope, Payload, PoolStats, ReplyDest, ReplyTo, RpcError,
+    ServerConn,
+};
+
+/// How long blocking loops sleep between shutdown-flag polls.
+const POLL: Duration = Duration::from_millis(5);
+/// Depth of the per-socket writer queue (encoded frames).
+const WRITER_QUEUE: usize = 1024;
+/// Depth of a per-session request channel in dedicated mode. Buffered, not
+/// a rendezvous: the paper's §4 send-blocks-until-receive semantics are a
+/// property of the **in-process** backend only (see DESIGN.md).
+const SESSION_QUEUE: usize = 256;
+
+// ---------------------------------------------------------------------
+// Addresses
+// ---------------------------------------------------------------------
+
+/// A socket address the wire transport can bind or dial.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireAddr {
+    /// TCP `host:port`.
+    Tcp(String),
+    /// Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl std::fmt::Display for WireAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireAddr::Tcp(a) => write!(f, "tcp://{a}"),
+            WireAddr::Unix(p) => write!(f, "unix://{}", p.display()),
+        }
+    }
+}
+
+/// A parsed connection URL: the two socket schemes plus `inproc://name`,
+/// which upper layers resolve against a registry of in-process connectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `tcp://host:port`
+    Tcp(String),
+    /// `unix:///path/to.sock`
+    Unix(PathBuf),
+    /// `inproc://name` — an in-process fabric registered under `name`.
+    Inproc(String),
+}
+
+impl Endpoint {
+    /// Parse a `tcp://`, `unix://`, or `inproc://` URL.
+    pub fn parse(url: &str) -> Result<Endpoint, RpcError> {
+        if let Some(rest) = url.strip_prefix("tcp://") {
+            if rest.is_empty() {
+                return Err(RpcError::Wire(format!("empty tcp address in {url:?}")));
+            }
+            return Ok(Endpoint::Tcp(rest.to_string()));
+        }
+        if let Some(rest) = url.strip_prefix("unix://") {
+            if rest.is_empty() {
+                return Err(RpcError::Wire(format!("empty unix path in {url:?}")));
+            }
+            return Ok(Endpoint::Unix(PathBuf::from(rest)));
+        }
+        if let Some(rest) = url.strip_prefix("inproc://") {
+            if rest.is_empty() {
+                return Err(RpcError::Wire(format!("empty inproc name in {url:?}")));
+            }
+            return Ok(Endpoint::Inproc(rest.to_string()));
+        }
+        Err(RpcError::Wire(format!(
+            "unsupported url {url:?} (expected tcp://, unix://, or inproc://)"
+        )))
+    }
+
+    /// The socket address, if this endpoint is one.
+    pub fn wire_addr(&self) -> Option<WireAddr> {
+        match self {
+            Endpoint::Tcp(a) => Some(WireAddr::Tcp(a.clone())),
+            Endpoint::Unix(p) => Some(WireAddr::Unix(p.clone())),
+            Endpoint::Inproc(_) => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sockets
+// ---------------------------------------------------------------------
+
+/// A connected stream socket of either family.
+pub enum WireSocket {
+    /// TCP stream.
+    Tcp(TcpStream),
+    /// Unix-domain stream.
+    Unix(UnixStream),
+}
+
+impl WireSocket {
+    /// Dial `addr`.
+    pub fn connect(addr: &WireAddr) -> Result<WireSocket, RpcError> {
+        match addr {
+            WireAddr::Tcp(a) => TcpStream::connect(a)
+                .map(WireSocket::Tcp)
+                .map_err(|e| RpcError::Wire(format!("dial {addr}: {e}"))),
+            WireAddr::Unix(p) => UnixStream::connect(p)
+                .map(WireSocket::Unix)
+                .map_err(|e| RpcError::Wire(format!("dial {addr}: {e}"))),
+        }
+    }
+
+    fn try_clone(&self) -> std::io::Result<WireSocket> {
+        match self {
+            WireSocket::Tcp(s) => s.try_clone().map(WireSocket::Tcp),
+            WireSocket::Unix(s) => s.try_clone().map(WireSocket::Unix),
+        }
+    }
+
+    /// Shut down both directions; unblocks any thread parked in a read.
+    pub fn shutdown(&self) {
+        match self {
+            WireSocket::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            WireSocket::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for WireSocket {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            WireSocket::Tcp(s) => s.read(buf),
+            WireSocket::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for WireSocket {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            WireSocket::Tcp(s) => s.write(buf),
+            WireSocket::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            WireSocket::Tcp(s) => s.flush(),
+            WireSocket::Unix(s) => s.flush(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire instrumentation
+// ---------------------------------------------------------------------
+
+/// Byte- and frame-level instrumentation of one wire endpoint (a client
+/// connector or a server bridge).
+#[derive(Debug, Default)]
+pub struct WireStats {
+    /// Bytes written to the socket (counter).
+    pub bytes_tx: AtomicU64,
+    /// Bytes read off the socket (counter).
+    pub bytes_rx: AtomicU64,
+    /// Frames written (counter).
+    pub frames_tx: AtomicU64,
+    /// Frames read (counter).
+    pub frames_rx: AtomicU64,
+    /// Times a dead connection was redialed (counter; client side).
+    pub reconnects: AtomicU64,
+    /// Frames that failed checksum or payload decode (counter).
+    pub decode_errors: AtomicU64,
+    /// Session hangups delivered over the wire (counter; server side).
+    pub hangups: AtomicU64,
+}
+
+impl WireStats {
+    fn frame_rx(&self, frame: &Frame) {
+        self.bytes_rx.fetch_add((4 + HEADER_TAIL + frame.payload.len()) as u64, Ordering::Relaxed);
+        self.frames_rx.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Times a dead connection was redialed.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Frames that failed checksum or decode.
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors.load(Ordering::Relaxed)
+    }
+
+    /// Render the `rpc_wire_*` metric family into a registry.
+    pub fn render(&self, r: &mut obs::Registry) {
+        r.counter(
+            "rpc_wire_bytes_tx_total",
+            "Bytes written to wire transport sockets.",
+            &[],
+            self.bytes_tx.load(Ordering::Relaxed),
+        );
+        r.counter(
+            "rpc_wire_bytes_rx_total",
+            "Bytes read from wire transport sockets.",
+            &[],
+            self.bytes_rx.load(Ordering::Relaxed),
+        );
+        r.counter(
+            "rpc_wire_frames_total",
+            "Frames crossing the wire transport, by direction.",
+            &[("dir", "tx")],
+            self.frames_tx.load(Ordering::Relaxed),
+        );
+        r.counter(
+            "rpc_wire_frames_total",
+            "Frames crossing the wire transport, by direction.",
+            &[("dir", "rx")],
+            self.frames_rx.load(Ordering::Relaxed),
+        );
+        r.counter(
+            "rpc_wire_reconnects_total",
+            "Wire connections redialed after a disconnect.",
+            &[],
+            self.reconnects.load(Ordering::Relaxed),
+        );
+        r.counter(
+            "rpc_wire_decode_errors_total",
+            "Frames rejected by checksum or payload decode.",
+            &[],
+            self.decode_errors.load(Ordering::Relaxed),
+        );
+        r.counter(
+            "rpc_wire_hangups_total",
+            "Session hangups delivered over the wire.",
+            &[],
+            self.hangups.load(Ordering::Relaxed),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client multiplexer
+// ---------------------------------------------------------------------
+
+type PendingMap = Arc<Mutex<HashMap<u64, Sender<Result<Vec<u8>, RpcError>>>>>;
+
+/// Client end of one socket: many sessions share it. Callers enqueue
+/// encoded frames on the writer channel and park on a one-shot reply
+/// channel keyed by correlation id; the reader thread routes each
+/// Reply/Pong back by that id. When the socket dies, every parked caller
+/// is failed with `Disconnected` — nobody hangs.
+pub(crate) struct Mux {
+    writer: Sender<Vec<u8>>,
+    pending: PendingMap,
+    corr: AtomicU64,
+    dead: Arc<AtomicBool>,
+    sock: WireSocket,
+}
+
+impl Mux {
+    /// Dial `addr` and start the reader/writer threads.
+    pub(crate) fn dial(addr: &WireAddr, stats: Arc<WireStats>) -> Result<Arc<Mux>, RpcError> {
+        let sock = WireSocket::connect(addr)?;
+        let sock_w = sock.try_clone().map_err(|e| RpcError::Wire(format!("clone socket: {e}")))?;
+        let sock_r = sock.try_clone().map_err(|e| RpcError::Wire(format!("clone socket: {e}")))?;
+        let (wtx, wrx) = bounded::<Vec<u8>>(WRITER_QUEUE);
+        let pending: PendingMap = Arc::new(Mutex::new(HashMap::new()));
+        let dead = Arc::new(AtomicBool::new(false));
+
+        spawn_client_writer(sock_w, wrx, dead.clone(), stats.clone());
+        spawn_client_reader(sock_r, pending.clone(), dead.clone(), stats.clone());
+
+        Ok(Arc::new(Mux { writer: wtx, pending, corr: AtomicU64::new(0), dead, sock }))
+    }
+
+    pub(crate) fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Relaxed)
+    }
+
+    fn send_frame(&self, frame: &Frame) -> Result<(), RpcError> {
+        let mut bytes = Vec::with_capacity(4 + HEADER_TAIL + frame.payload.len());
+        encode_frame(frame, &mut bytes);
+        self.writer.send(bytes).map_err(|_| RpcError::Disconnected)
+    }
+
+    /// Round trip: send a Call (or Ping) and park until the matching
+    /// Reply (or Pong) arrives, the timeout fires, or the socket dies.
+    pub(crate) fn call(
+        &self,
+        kind: FrameKind,
+        session: u64,
+        payload: Vec<u8>,
+        timeout: Option<Duration>,
+    ) -> Result<Vec<u8>, RpcError> {
+        if self.is_dead() {
+            return Err(RpcError::Disconnected);
+        }
+        let corr = self.corr.fetch_add(1, Ordering::Relaxed) + 1;
+        let (rtx, rrx) = bounded(1);
+        self.pending.lock().unwrap_or_else(|e| e.into_inner()).insert(corr, rtx);
+        if let Err(e) = self.send_frame(&Frame::new(kind, session, corr, payload)) {
+            self.pending.lock().unwrap_or_else(|e2| e2.into_inner()).remove(&corr);
+            return Err(e);
+        }
+        // The reader may have died between the insert and here, after it
+        // drained `pending`: reclaim our entry so we never park forever.
+        if self.is_dead()
+            && self.pending.lock().unwrap_or_else(|e| e.into_inner()).remove(&corr).is_some()
+        {
+            return Err(RpcError::Disconnected);
+        }
+        match timeout {
+            None => rrx.recv().map_err(|_| RpcError::Disconnected)?,
+            Some(t) => match rrx.recv_timeout(t) {
+                Ok(r) => r,
+                Err(RecvTimeoutError::Timeout) => {
+                    self.pending.lock().unwrap_or_else(|e| e.into_inner()).remove(&corr);
+                    Err(RpcError::Timeout)
+                }
+                Err(RecvTimeoutError::Disconnected) => Err(RpcError::Disconnected),
+            },
+        }
+    }
+
+    /// Fire-and-forget: enqueue a Post frame.
+    pub(crate) fn post(&self, session: u64, payload: Vec<u8>) -> Result<(), RpcError> {
+        if self.is_dead() {
+            return Err(RpcError::Disconnected);
+        }
+        self.send_frame(&Frame::new(FrameKind::Post, session, 0, payload))
+    }
+
+    /// Tell the server this session's client is gone (best effort).
+    pub(crate) fn hangup(&self, session: u64) {
+        let _ = self.send_frame(&Frame::new(FrameKind::Hangup, session, 0, Vec::new()));
+    }
+}
+
+impl Drop for Mux {
+    fn drop(&mut self) {
+        // Unblocks the reader (EOF) and lets the writer's poll loop see a
+        // dead socket; both threads then exit on their own.
+        self.dead.store(true, Ordering::Relaxed);
+        self.sock.shutdown();
+    }
+}
+
+/// Drain encoded frames onto the socket. This is where the client-side
+/// `rpc.wire.*` faults bite — after the checksum is computed, exactly like
+/// a misbehaving network.
+fn spawn_client_writer(
+    mut sock: WireSocket,
+    wrx: Receiver<Vec<u8>>,
+    dead: Arc<AtomicBool>,
+    stats: Arc<WireStats>,
+) {
+    std::thread::spawn(move || loop {
+        let mut bytes = match wrx.recv_timeout(POLL) {
+            Ok(b) => b,
+            Err(RecvTimeoutError::Timeout) => {
+                if dead.load(Ordering::Relaxed) {
+                    return;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        if obs::fault::fire("rpc.wire.stall") {
+            std::thread::sleep(Duration::from_millis(3));
+        }
+        if obs::fault::fire("rpc.wire.corrupt") && bytes.len() > 4 + HEADER_TAIL {
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0x55;
+        }
+        if obs::fault::fire("rpc.wire.truncate") {
+            let cut = (bytes.len() / 2).max(1);
+            let _ = sock.write_all(&bytes[..cut]);
+            let _ = sock.flush();
+            sock.shutdown();
+            return;
+        }
+        if obs::fault::fire("rpc.wire.reset") {
+            sock.shutdown();
+            return;
+        }
+        if sock.write_all(&bytes).and_then(|_| sock.flush()).is_err() {
+            sock.shutdown();
+            return;
+        }
+        stats.bytes_tx.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        stats.frames_tx.fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+/// Route Reply/Pong frames to parked callers; on any stream death, fail
+/// every parked caller with `Disconnected`.
+fn spawn_client_reader(
+    mut sock: WireSocket,
+    pending: PendingMap,
+    dead: Arc<AtomicBool>,
+    stats: Arc<WireStats>,
+) {
+    std::thread::spawn(move || {
+        loop {
+            match read_frame(&mut sock) {
+                Ok(Some(frame)) => {
+                    stats.frame_rx(&frame);
+                    match frame.kind {
+                        FrameKind::Reply | FrameKind::Pong => {
+                            let waiter = pending
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .remove(&frame.corr);
+                            if let Some(tx) = waiter {
+                                let _ = tx.send(decode_reply(&frame, &stats));
+                            }
+                        }
+                        // A server never sends other kinds; ignore.
+                        _ => {}
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    if !matches!(e, WireError::Io(_)) {
+                        stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    break;
+                }
+            }
+        }
+        dead.store(true, Ordering::Relaxed);
+        sock.shutdown();
+        let drained: Vec<_> = {
+            let mut p = pending.lock().unwrap_or_else(|e| e.into_inner());
+            p.drain().map(|(_, tx)| tx).collect()
+        };
+        for tx in drained {
+            let _ = tx.send(Err(RpcError::Disconnected));
+        }
+    });
+}
+
+/// Map a Reply/Pong frame to what the parked caller should see.
+fn decode_reply(frame: &Frame, stats: &WireStats) -> Result<Vec<u8>, RpcError> {
+    if frame.corrupt {
+        stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+        return Err(RpcError::Wire("reply frame failed checksum".into()));
+    }
+    if frame.kind == FrameKind::Pong {
+        return Ok(Vec::new());
+    }
+    match frame.payload.first().copied() {
+        Some(status::OK) => Ok(frame.payload[1..].to_vec()),
+        Some(status::OVERLOADED) => Err(RpcError::Overloaded),
+        Some(status::DISCONNECTED) => Err(RpcError::Disconnected),
+        Some(status::DECODE) => Err(RpcError::Wire("peer failed to decode the request".into())),
+        _ => Err(RpcError::Wire("malformed reply status".into())),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server side
+// ---------------------------------------------------------------------
+
+/// A bound server socket of either family.
+pub enum SocketListener {
+    /// TCP listener.
+    Tcp(TcpListener),
+    /// Unix listener plus the path to unlink on shutdown.
+    Unix(UnixListener, PathBuf),
+}
+
+impl SocketListener {
+    /// Bind `addr`. A pre-existing Unix socket file is removed first
+    /// (stale from a crashed predecessor). TCP port 0 binds an ephemeral
+    /// port; read the real one back with [`SocketListener::bound_addr`].
+    pub fn bind(addr: &WireAddr) -> Result<SocketListener, RpcError> {
+        match addr {
+            WireAddr::Tcp(a) => {
+                let l = TcpListener::bind(a)
+                    .map_err(|e| RpcError::Wire(format!("bind {addr}: {e}")))?;
+                Ok(SocketListener::Tcp(l))
+            }
+            WireAddr::Unix(p) => {
+                let _ = std::fs::remove_file(p);
+                if let Some(dir) = p.parent() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+                let l = UnixListener::bind(p)
+                    .map_err(|e| RpcError::Wire(format!("bind {addr}: {e}")))?;
+                Ok(SocketListener::Unix(l, p.clone()))
+            }
+        }
+    }
+
+    /// The address actually bound (resolves TCP port 0).
+    pub fn bound_addr(&self) -> WireAddr {
+        match self {
+            SocketListener::Tcp(l) => {
+                WireAddr::Tcp(l.local_addr().map(|a| a.to_string()).unwrap_or_else(|_| "?".into()))
+            }
+            SocketListener::Unix(_, p) => WireAddr::Unix(p.clone()),
+        }
+    }
+
+    fn set_nonblocking(&self) -> std::io::Result<()> {
+        match self {
+            SocketListener::Tcp(l) => l.set_nonblocking(true),
+            SocketListener::Unix(l, _) => l.set_nonblocking(true),
+        }
+    }
+
+    fn accept(&self) -> std::io::Result<WireSocket> {
+        match self {
+            SocketListener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(false)?;
+                Ok(WireSocket::Tcp(s))
+            }
+            SocketListener::Unix(l, _) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(false)?;
+                Ok(WireSocket::Unix(s))
+            }
+        }
+    }
+}
+
+/// Where the server bridge pushes decoded requests: the accept channel of
+/// a dedicated fabric or the shared run queue of a pooled one.
+enum ServerSink<Req, Resp> {
+    Dedicated(Sender<ServerConn<Req, Resp>>),
+    Pooled { tx: Sender<Envelope<Req, Resp>>, pool: Arc<PoolStats>, admission: Duration },
+}
+
+impl<Req, Resp> Clone for ServerSink<Req, Resp> {
+    fn clone(&self) -> Self {
+        match self {
+            ServerSink::Dedicated(tx) => ServerSink::Dedicated(tx.clone()),
+            ServerSink::Pooled { tx, pool, admission } => {
+                ServerSink::Pooled { tx: tx.clone(), pool: pool.clone(), admission: *admission }
+            }
+        }
+    }
+}
+
+/// Handle to a running wire bridge: the accept loop plus one reader/writer
+/// thread pair per live socket. Dropping (or [`WireServer::shutdown`])
+/// closes every socket, hangs up every wire session, and joins all
+/// threads.
+pub struct WireServer {
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    socks: Arc<Mutex<Vec<WireSocket>>>,
+    stats: Arc<WireStats>,
+    bound: WireAddr,
+    unlink: Option<PathBuf>,
+}
+
+impl WireServer {
+    /// The address the bridge is serving on.
+    pub fn bound_addr(&self) -> &WireAddr {
+        &self.bound
+    }
+
+    /// Server-side wire instrumentation, shared across all sockets.
+    pub fn wire_stats(&self) -> &Arc<WireStats> {
+        &self.stats
+    }
+
+    /// Stop accepting, sever every live socket, and join all threads.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        {
+            let socks = self.socks.lock().unwrap_or_else(|e| e.into_inner());
+            for s in socks.iter() {
+                s.shutdown();
+            }
+        }
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        let drained: Vec<JoinHandle<()>> = {
+            let mut t = self.conn_threads.lock().unwrap_or_else(|e| e.into_inner());
+            t.drain(..).collect()
+        };
+        for h in drained {
+            let _ = h.join();
+        }
+        if let Some(p) = self.unlink.take() {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Bridge a bound socket listener onto an in-process fabric: frames
+/// arriving on accepted sockets become envelopes on `connector`'s fabric,
+/// and agent replies flow back as Reply frames. The fabric's own server
+/// loop (`serve` or `serve_pool`) must be running as usual — it cannot
+/// tell wire sessions from local ones.
+///
+/// Panics if `connector` is itself a remote (wire) connector: a bridge
+/// needs the server end of a local fabric.
+pub fn serve_wire<Req, Resp>(
+    listener: SocketListener,
+    connector: &Connector<Req, Resp>,
+) -> WireServer
+where
+    Req: Wire + Send + 'static,
+    Resp: Wire + Send + 'static,
+{
+    let sink = match &connector.mode {
+        ConnectorMode::Dedicated(tx) => ServerSink::Dedicated(tx.clone()),
+        ConnectorMode::Pooled { tx, pool, admission_timeout } => {
+            ServerSink::Pooled { tx: tx.clone(), pool: pool.clone(), admission: *admission_timeout }
+        }
+        ConnectorMode::Remote { .. } => {
+            panic!("serve_wire needs a local fabric connector, not a remote one")
+        }
+    };
+    let bound = listener.bound_addr();
+    let unlink = match &listener {
+        SocketListener::Unix(_, p) => Some(p.clone()),
+        SocketListener::Tcp(_) => None,
+    };
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let socks: Arc<Mutex<Vec<WireSocket>>> = Arc::new(Mutex::new(Vec::new()));
+    let stats = Arc::new(WireStats::default());
+    let rpc_stats = connector.stats.clone();
+    let sessions = connector.sessions.clone();
+
+    let sd = shutdown.clone();
+    let th = conn_threads.clone();
+    let sk = socks.clone();
+    let st = stats.clone();
+    let _ = listener.set_nonblocking();
+    let accept_thread = std::thread::spawn(move || {
+        while !sd.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok(sock) => {
+                    let (Ok(r_sock), Ok(w_sock)) = (sock.try_clone(), sock.try_clone()) else {
+                        continue;
+                    };
+                    sk.lock().unwrap_or_else(|e| e.into_inner()).push(sock);
+                    let (wtx, wrx) = bounded::<Vec<u8>>(WRITER_QUEUE);
+                    let writer = spawn_server_writer(w_sock, wrx, sd.clone(), st.clone());
+                    let reader = spawn_server_reader(
+                        r_sock,
+                        wtx,
+                        sink.clone(),
+                        sessions.clone(),
+                        rpc_stats.clone(),
+                        st.clone(),
+                    );
+                    let mut t = th.lock().unwrap_or_else(|e| e.into_inner());
+                    t.push(writer);
+                    t.push(reader);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL);
+                }
+                Err(_) => break,
+            }
+        }
+    });
+
+    WireServer {
+        shutdown,
+        accept_thread: Some(accept_thread),
+        conn_threads,
+        socks,
+        stats,
+        bound,
+        unlink,
+    }
+}
+
+/// Server writer: drain encoded reply frames onto the socket. No fault
+/// injection here — the client writer models the lossy network.
+fn spawn_server_writer(
+    mut sock: WireSocket,
+    wrx: Receiver<Vec<u8>>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<WireStats>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || loop {
+        match wrx.recv_timeout(POLL) {
+            Ok(bytes) => {
+                if sock.write_all(&bytes).and_then(|_| sock.flush()).is_err() {
+                    sock.shutdown();
+                    return;
+                }
+                stats.bytes_tx.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                stats.frames_tx.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    })
+}
+
+/// One live session behind a socket: its server-local fabric id, plus the
+/// per-session request channel in dedicated mode (dropping it closes the
+/// channel, which is how the child agent learns the client is gone).
+struct WireSession<Req, Resp> {
+    local: u64,
+    dedicated_tx: Option<Sender<Envelope<Req, Resp>>>,
+}
+
+fn reply_frame(session: u64, corr: u64, payload: Vec<u8>) -> Vec<u8> {
+    let frame = Frame::new(FrameKind::Reply, session, corr, payload);
+    let mut bytes = Vec::with_capacity(4 + HEADER_TAIL + frame.payload.len());
+    encode_frame(&frame, &mut bytes);
+    bytes
+}
+
+/// Server reader: decode frames, map wire sessions to server-local fabric
+/// sessions, and push envelopes into the fabric. On socket death every
+/// live session is hung up so its server-side state is retired (open
+/// transactions roll back) — a dropped client never leaks an agent.
+fn spawn_server_reader<Req, Resp>(
+    mut sock: WireSocket,
+    wtx: Sender<Vec<u8>>,
+    sink: ServerSink<Req, Resp>,
+    session_ids: Arc<AtomicU64>,
+    rpc_stats: Arc<crate::RpcStats>,
+    stats: Arc<WireStats>,
+) -> JoinHandle<()>
+where
+    Req: Wire + Send + 'static,
+    Resp: Wire + Send + 'static,
+{
+    std::thread::spawn(move || {
+        let mut sessions: HashMap<u64, WireSession<Req, Resp>> = HashMap::new();
+        loop {
+            let frame = match read_frame(&mut sock) {
+                Ok(Some(f)) => f,
+                Ok(None) => break,
+                Err(e) => {
+                    if !matches!(e, WireError::Io(_)) {
+                        stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    break;
+                }
+            };
+            stats.frame_rx(&frame);
+            match frame.kind {
+                FrameKind::Ping => {
+                    let pong = Frame::new(FrameKind::Pong, frame.session, frame.corr, Vec::new());
+                    let mut bytes = Vec::new();
+                    encode_frame(&pong, &mut bytes);
+                    let _ = wtx.send(bytes);
+                }
+                FrameKind::Hangup => {
+                    if let Some(sess) = sessions.remove(&frame.session) {
+                        hangup_session(&sink, sess);
+                        stats.hangups.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                FrameKind::Call | FrameKind::Post => {
+                    let is_call = frame.kind == FrameKind::Call;
+                    if is_call {
+                        rpc_stats.calls.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        rpc_stats.posts.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if frame.corrupt {
+                        stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                        if is_call {
+                            let _ = wtx.send(reply_frame(
+                                frame.session,
+                                frame.corr,
+                                vec![status::DECODE],
+                            ));
+                        }
+                        continue;
+                    }
+                    let req = match crate::decode_val::<Req>(&frame.payload) {
+                        Ok(r) => r,
+                        Err(_) => {
+                            stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                            if is_call {
+                                let _ = wtx.send(reply_frame(
+                                    frame.session,
+                                    frame.corr,
+                                    vec![status::DECODE],
+                                ));
+                            }
+                            continue;
+                        }
+                    };
+                    let reply = if is_call {
+                        ReplyTo(Some(ReplyDest::Wire {
+                            writer: wtx.clone(),
+                            session: frame.session,
+                            corr: frame.corr,
+                            encode: crate::encode_val::<Resp>,
+                        }))
+                    } else {
+                        ReplyTo(None)
+                    };
+                    deliver(&sink, &mut sessions, &session_ids, frame.session, req, reply, &wtx);
+                }
+                // Clients never send these; ignore.
+                FrameKind::Reply | FrameKind::Pong => {}
+            }
+        }
+        // Socket gone: hang up everything this socket was carrying.
+        for (_, sess) in sessions.drain() {
+            hangup_session(&sink, sess);
+            stats.hangups.fetch_add(1, Ordering::Relaxed);
+        }
+        sock.shutdown();
+    })
+}
+
+/// Deliver one decoded request into the fabric, creating the session's
+/// server-side identity on first sight.
+fn deliver<Req, Resp>(
+    sink: &ServerSink<Req, Resp>,
+    sessions: &mut HashMap<u64, WireSession<Req, Resp>>,
+    session_ids: &Arc<AtomicU64>,
+    wire_session: u64,
+    req: Req,
+    reply: ReplyTo<Resp>,
+    wtx: &Sender<Vec<u8>>,
+) where
+    Req: Send + 'static,
+    Resp: Send + 'static,
+{
+    let corr = reply_corr(&reply);
+    let sess = match sessions.get(&wire_session) {
+        Some(s) => s,
+        None => {
+            let local = session_ids.fetch_add(1, Ordering::Relaxed) + 1;
+            let dedicated_tx = match sink {
+                ServerSink::Dedicated(accept) => {
+                    let (tx, rx) = bounded(SESSION_QUEUE);
+                    if accept.send(ServerConn { rx }).is_err() {
+                        // The fabric's main daemon is gone.
+                        fail_reply(reply, wire_session, corr, wtx, status::DISCONNECTED);
+                        return;
+                    }
+                    Some(tx)
+                }
+                ServerSink::Pooled { .. } => None,
+            };
+            sessions.insert(wire_session, WireSession { local, dedicated_tx });
+            sessions.get(&wire_session).unwrap()
+        }
+    };
+    let env = Envelope { payload: Payload::Request(req), reply, ctx: None, session: sess.local };
+    match sink {
+        ServerSink::Dedicated(_) => {
+            let tx = sess.dedicated_tx.as_ref().expect("dedicated session has a channel");
+            if let Err(e) = tx.send(env) {
+                // Agent already exited; fail the call rather than hang it.
+                let crossbeam::channel::SendError(env) = e;
+                fail_reply(env.reply, wire_session, corr, wtx, status::DISCONNECTED);
+                sessions.remove(&wire_session);
+            }
+        }
+        ServerSink::Pooled { tx, pool, admission } => match tx.send_timeout(env, *admission) {
+            Ok(()) => {}
+            Err(crossbeam::channel::SendTimeoutError::Timeout(env)) => {
+                pool.rejects.fetch_add(1, Ordering::Relaxed);
+                obs::journal::record(obs::journal::JournalKind::PoolReject, 0, || {
+                    "admission reject: run queue full (wire bridge)".to_string()
+                });
+                fail_reply(env.reply, wire_session, corr, wtx, status::OVERLOADED);
+            }
+            Err(crossbeam::channel::SendTimeoutError::Disconnected(env)) => {
+                fail_reply(env.reply, wire_session, corr, wtx, status::DISCONNECTED);
+            }
+        },
+    }
+}
+
+fn reply_corr<Resp>(reply: &ReplyTo<Resp>) -> u64 {
+    match &reply.0 {
+        Some(ReplyDest::Wire { corr, .. }) => *corr,
+        _ => 0,
+    }
+}
+
+/// Consume a reply destination with an error status instead of letting its
+/// drop path send the generic Disconnected.
+fn fail_reply<Resp>(
+    mut reply: ReplyTo<Resp>,
+    session: u64,
+    corr: u64,
+    wtx: &Sender<Vec<u8>>,
+    code: u8,
+) {
+    if reply.0.take().is_some() && code != 0 {
+        let _ = wtx.send(reply_frame(session, corr, vec![code]));
+    }
+}
+
+/// Retire one session: dedicated mode drops the per-session channel (the
+/// child agent's receive fails, its loop exits, and its state — open
+/// transaction included — is torn down); pooled mode sends an explicit
+/// Hangup envelope so a worker retires the session's table entry.
+fn hangup_session<Req, Resp>(sink: &ServerSink<Req, Resp>, sess: WireSession<Req, Resp>) {
+    match sink {
+        ServerSink::Dedicated(_) => drop(sess.dedicated_tx),
+        ServerSink::Pooled { tx, admission, .. } => {
+            let env = Envelope {
+                payload: Payload::Hangup,
+                reply: ReplyTo(None),
+                ctx: None,
+                session: sess.local,
+            };
+            let _ = tx.send_timeout(env, *admission);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{put_u32, Reader};
+    use crate::{fabric, pool_fabric, serve, serve_pool, wire_connector, PoolEvent, ReplySlot};
+    use std::sync::atomic::AtomicI64;
+
+    impl Wire for i32 {
+        fn encode(&self, out: &mut Vec<u8>) {
+            put_u32(out, *self as u32)
+        }
+        fn decode(r: &mut Reader<'_>) -> Result<i32, WireError> {
+            Ok(r.u32()? as i32)
+        }
+    }
+
+    /// `obs::fault` is process-global: a one-shot trigger armed by one
+    /// test can be consumed by another test's writer thread. Every test
+    /// that moves wire traffic takes this lock.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn unique_unix_path(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("dlrpc-{tag}-{}-{n}.sock", std::process::id()))
+    }
+
+    /// Stand up a dedicated echo server bridged onto `addr`; returns what a
+    /// test needs plus the guards keeping it alive.
+    fn echo_server(addr: &WireAddr) -> (WireAddr, crate::ServerHandle, WireServer) {
+        let (listener, connector) = fabric::<i32, i32>();
+        let handle = serve(listener, || |req: i32, slot: ReplySlot<i32>| slot.send(req * 2));
+        let sock = SocketListener::bind(addr).unwrap();
+        let bound = sock.bound_addr();
+        let bridge = serve_wire(sock, &connector);
+        (bound, handle, bridge)
+    }
+
+    #[test]
+    fn tcp_call_roundtrip() {
+        let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let (addr, _srv, _bridge) = echo_server(&WireAddr::Tcp("127.0.0.1:0".into()));
+        let remote = wire_connector::<i32, i32>(addr);
+        let conn = remote.connect().unwrap();
+        assert_eq!(conn.call(21).unwrap(), 42);
+        assert_eq!(conn.call_timeout(5, Duration::from_secs(5)).unwrap(), 10);
+        assert!(conn.is_wire());
+        conn.ping(Duration::from_secs(2)).unwrap();
+    }
+
+    #[test]
+    fn unix_call_roundtrip_many_sessions_one_socket() {
+        let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let path = unique_unix_path("echo");
+        let (addr, _srv, bridge) = echo_server(&WireAddr::Unix(path.clone()));
+        let remote = wire_connector::<i32, i32>(addr);
+        // Many sessions, one socket: each connection gets its own dedicated
+        // agent server-side, all multiplexed over a single socket pair.
+        let conns: Vec<_> = (0..32).map(|_| remote.connect().unwrap()).collect();
+        let mut joins = Vec::new();
+        for (i, conn) in conns.into_iter().enumerate() {
+            joins.push(std::thread::spawn(move || {
+                for k in 0..20 {
+                    let v = (i * 100 + k) as i32;
+                    assert_eq!(conn.call(v).unwrap(), v * 2);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let stats = remote.wire_stats().unwrap();
+        assert!(stats.frames_tx.load(Ordering::Relaxed) >= 640);
+        assert!(bridge.wire_stats().frames_rx.load(Ordering::Relaxed) >= 640);
+        drop(bridge);
+        assert!(!path.exists(), "unix socket file unlinked on shutdown");
+    }
+
+    #[test]
+    fn wire_client_drop_releases_dedicated_agent() {
+        let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        struct Live(Arc<AtomicI64>);
+        impl Drop for Live {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let live = Arc::new(AtomicI64::new(0));
+        let (listener, connector) = fabric::<i32, i32>();
+        let l = live.clone();
+        let _srv = serve(listener, move || {
+            l.fetch_add(1, Ordering::SeqCst);
+            let guard = Live(l.clone());
+            move |req: i32, slot: ReplySlot<i32>| {
+                let _ = &guard;
+                slot.send(req)
+            }
+        });
+        let sock = SocketListener::bind(&WireAddr::Tcp("127.0.0.1:0".into())).unwrap();
+        let bound = sock.bound_addr();
+        let bridge = serve_wire(sock, &connector);
+        let remote = wire_connector::<i32, i32>(bound);
+        let conn = remote.connect().unwrap();
+        assert_eq!(conn.call(7).unwrap(), 7);
+        assert_eq!(live.load(Ordering::SeqCst), 1);
+        // Dropping the wire client sends a Hangup frame; the bridge drops
+        // the per-session channel and the child agent exits.
+        drop(conn);
+        let deadline = std::time::Instant::now() + Duration::from_secs(3);
+        while live.load(Ordering::SeqCst) != 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(live.load(Ordering::SeqCst), 0, "agent must exit after wire hangup");
+        assert!(bridge.wire_stats().hangups.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn wire_pooled_roundtrip_and_socket_death_hangs_up_sessions() {
+        let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let (listener, connector) = pool_fabric::<i32, i32>(64, Duration::from_millis(200));
+        let pool = listener.pool_stats().clone();
+        let _srv = serve_pool(listener, 2, || {
+            |ev: PoolEvent<i32>, slot: ReplySlot<i32>| {
+                if let PoolEvent::Request { req, .. } = ev {
+                    slot.send(req + 1)
+                }
+            }
+        });
+        let sock = SocketListener::bind(&WireAddr::Tcp("127.0.0.1:0".into())).unwrap();
+        let bound = sock.bound_addr();
+        let _bridge = serve_wire(sock, &connector);
+        let remote = wire_connector::<i32, i32>(bound);
+        {
+            let c1 = remote.connect().unwrap();
+            let c2 = remote.connect().unwrap();
+            assert_eq!(c1.call(1).unwrap(), 2);
+            assert_eq!(c2.call(10).unwrap(), 11);
+            // Dropping the *connector's* mux (all conns + remote) severs the
+            // socket; the server reader hangs up both live sessions.
+            drop(c1);
+            drop(c2);
+        }
+        drop(remote);
+        let deadline = std::time::Instant::now() + Duration::from_secs(3);
+        while pool.hangups() < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(pool.hangups() >= 2, "server must retire sessions when the socket dies");
+    }
+
+    #[test]
+    fn garbage_to_server_does_not_kill_the_listener() {
+        let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let (addr, _srv, bridge) = echo_server(&WireAddr::Tcp("127.0.0.1:0".into()));
+        let WireAddr::Tcp(tcp) = &addr else { unreachable!() };
+        // A rogue peer spews garbage: the bridge must drop that socket and
+        // keep serving everyone else.
+        {
+            let mut rogue = TcpStream::connect(tcp).unwrap();
+            rogue.write_all(b"GET / HTTP/1.1\r\nHost: nope\r\n\r\n").unwrap();
+            let mut buf = [0u8; 64];
+            let _ = rogue.read(&mut buf); // server closes on us
+        }
+        let remote = wire_connector::<i32, i32>(addr);
+        let conn = remote.connect().unwrap();
+        assert_eq!(conn.call(4).unwrap(), 8, "healthy clients unaffected by a rogue peer");
+        assert!(bridge.wire_stats().decode_errors.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn oversized_frame_to_server_is_rejected() {
+        let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let (addr, _srv, _bridge) = echo_server(&WireAddr::Tcp("127.0.0.1:0".into()));
+        let WireAddr::Tcp(tcp) = &addr else { unreachable!() };
+        let mut rogue = TcpStream::connect(tcp).unwrap();
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, crate::wire::MAX_FRAME + 7);
+        bytes.extend_from_slice(&[0u8; 128]);
+        rogue.write_all(&bytes).unwrap();
+        let mut buf = [0u8; 16];
+        // The server must close the connection (read returns 0/err), not
+        // allocate the claimed 16MiB+ or hang.
+        rogue.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        assert!(matches!(rogue.read(&mut buf), Ok(0) | Err(_)));
+    }
+
+    #[test]
+    fn garbage_from_server_fails_calls_cleanly() {
+        let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        // A fake "server" that answers every connection with garbage bytes:
+        // parked callers must get a clean error, never a hang or a panic.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let tcp = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            for stream in listener.incoming().take(2) {
+                let mut s = stream.unwrap();
+                let mut buf = [0u8; 256];
+                let _ = s.read(&mut buf); // swallow the Call frame
+                let _ = s.write_all(b"\xff\xfe\xfd\xfc not a frame at all");
+                // Keep the socket open a moment so the client parses the
+                // garbage rather than seeing an instant EOF.
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        });
+        let remote = wire_connector::<i32, i32>(WireAddr::Tcp(tcp));
+        let conn = remote.connect().unwrap();
+        let err = conn.call_timeout(1, Duration::from_secs(5)).unwrap_err();
+        assert!(
+            matches!(err, RpcError::Disconnected | RpcError::Wire(_)),
+            "garbage reply must surface as a clean error, got {err:?}"
+        );
+        let stats = remote.wire_stats().unwrap();
+        assert!(stats.decode_errors() >= 1);
+    }
+
+    #[test]
+    fn mid_frame_disconnect_fails_parked_caller() {
+        let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        // Fake server sends *half* a frame then drops the socket: the
+        // parked caller must observe Disconnected promptly.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let tcp = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 256];
+            let _ = s.read(&mut buf);
+            // A frame that claims 100 bytes but delivers only the header.
+            let mut partial = Vec::new();
+            put_u32(&mut partial, 100);
+            partial.extend_from_slice(&crate::wire::MAGIC.to_le_bytes());
+            partial.push(crate::wire::VERSION);
+            let _ = s.write_all(&partial);
+            // drop(s): mid-frame EOF
+        });
+        let remote = wire_connector::<i32, i32>(WireAddr::Tcp(tcp));
+        let conn = remote.connect().unwrap();
+        let started = std::time::Instant::now();
+        let err = conn.call_timeout(1, Duration::from_secs(10)).unwrap_err();
+        assert_eq!(err, RpcError::Disconnected);
+        assert!(started.elapsed() < Duration::from_secs(5), "must fail fast, not time out");
+    }
+
+    #[test]
+    fn reconnect_after_server_restart() {
+        let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let path = unique_unix_path("reconnect");
+        let addr = WireAddr::Unix(path.clone());
+        let (listener, connector) = fabric::<i32, i32>();
+        let _srv = serve(listener, || |req: i32, slot: ReplySlot<i32>| slot.send(req * 2));
+        let mut bridge = serve_wire(SocketListener::bind(&addr).unwrap(), &connector);
+        let remote = wire_connector::<i32, i32>(addr.clone());
+        let conn = remote.connect().unwrap();
+        assert_eq!(conn.call(1).unwrap(), 2);
+        // Server bridge goes away: in-flight endpoint dies...
+        bridge.shutdown();
+        assert!(conn.call(2).is_err());
+        // ...and comes back; a fresh connect() redials transparently.
+        let _bridge2 = serve_wire(SocketListener::bind(&addr).unwrap(), &connector);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut ok = false;
+        while std::time::Instant::now() < deadline {
+            if let Ok(c) = remote.connect() {
+                if c.call(3) == Ok(6) {
+                    ok = true;
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(ok, "reconnect must succeed once the server is back");
+        assert!(remote.wire_stats().unwrap().reconnects() >= 1);
+    }
+
+    #[test]
+    fn endpoint_parsing() {
+        assert_eq!(
+            Endpoint::parse("tcp://127.0.0.1:99").unwrap(),
+            Endpoint::Tcp("127.0.0.1:99".into())
+        );
+        assert_eq!(
+            Endpoint::parse("unix:///tmp/x.sock").unwrap(),
+            Endpoint::Unix(PathBuf::from("/tmp/x.sock"))
+        );
+        assert_eq!(Endpoint::parse("inproc://dlfm1").unwrap(), Endpoint::Inproc("dlfm1".into()));
+        assert!(Endpoint::parse("http://nope").is_err());
+        assert!(Endpoint::parse("tcp://").is_err());
+        assert!(matches!(Endpoint::parse("bogus"), Err(RpcError::Wire(_))));
+    }
+
+    #[test]
+    fn wire_fault_reset_and_truncate_sever_cleanly() {
+        let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let (addr, _srv, _bridge) = echo_server(&WireAddr::Tcp("127.0.0.1:0".into()));
+        let remote = wire_connector::<i32, i32>(addr);
+        let conn = remote.connect().unwrap();
+        assert_eq!(conn.call(1).unwrap(), 2);
+        // Arm a one-shot reset: the next frame never hits the wire and the
+        // socket drops; the caller gets a clean error.
+        let g =
+            obs::fault::install_guarded(1, &[("rpc.wire.reset", obs::fault::Trigger::Times(1))]);
+        let err = conn.call_timeout(2, Duration::from_secs(5)).unwrap_err();
+        assert!(matches!(err, RpcError::Disconnected | RpcError::Timeout), "got {err:?}");
+        drop(g);
+        // The connector redials on the next connect.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut ok = false;
+        while std::time::Instant::now() < deadline {
+            if let Ok(c) = remote.connect() {
+                if c.call(5) == Ok(10) {
+                    ok = true;
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(ok, "redial after injected reset");
+
+        // Corruption: the frame arrives, fails its checksum, and exactly
+        // that call fails; the session and socket survive.
+        let conn = remote.connect().unwrap();
+        // Let the previous session's queued Hangup frame drain first so the
+        // one-shot trigger bites our Call frame, not bookkeeping traffic.
+        std::thread::sleep(Duration::from_millis(50));
+        let g =
+            obs::fault::install_guarded(1, &[("rpc.wire.corrupt", obs::fault::Trigger::Times(1))]);
+        let err = conn.call_timeout(3, Duration::from_secs(5)).unwrap_err();
+        drop(g);
+        assert!(matches!(err, RpcError::Wire(_)), "corrupt frame must fail the call, got {err:?}");
+        assert_eq!(conn.call(4).unwrap(), 8, "stream survives a corrupt frame");
+    }
+}

@@ -1,0 +1,88 @@
+//! Host-process half of the two-process wire smoke test.
+//!
+//! Connects to a `dlfmd` started by someone else (see `ci.sh`), runs a
+//! short link/unlink workload over the socket — every RPC crosses the
+//! frame codec and a real kernel socket into another OS process — and
+//! exits nonzero on any failure:
+//!
+//! ```text
+//! dlfmd --listen unix:///tmp/d.sock --seed-files 32 &
+//! cargo run -p datalinks --example wire_host_smoke -- unix:///tmp/d.sock 32
+//! ```
+//!
+//! The workload: create a DATALINK table, link every seeded file (one 2PC
+//! commit each), read link state back through SQL, unlink half by DELETE,
+//! roll one transaction back, and run the indoubt resolver. Asserts the
+//! host ends with the expected row count and zero unresolved indoubts.
+
+use datalinks::{dlfm, hostdb};
+use dlfm::AccessControl;
+use hostdb::DatalinkSpec;
+use minidb::Value;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let url = args.next().unwrap_or_else(|| {
+        eprintln!("usage: wire_host_smoke <tcp://...|unix://...> [seeded-files]");
+        std::process::exit(2);
+    });
+    let files: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(16);
+
+    let host = hostdb::HostDb::new(hostdb::HostConfig::for_tests());
+    host.attach_dlfm_url("fs1", &url).expect("attach by URL");
+
+    let mut session = host.session();
+    session
+        .create_table(
+            "CREATE TABLE docs (id BIGINT NOT NULL, doc DATALINK)",
+            &[DatalinkSpec { column: "doc".into(), access: AccessControl::Full, recovery: true }],
+        )
+        .expect("create table over the wire");
+
+    // Link every seeded file, one two-phase commit per row.
+    for i in 0..files {
+        session
+            .exec_params(
+                "INSERT INTO docs (id, doc) VALUES (?, ?)",
+                &[Value::Int(i as i64), Value::str(format!("dlfs://fs1/seed/file{i}"))],
+            )
+            .unwrap_or_else(|e| panic!("link of /seed/file{i} failed: {e}"));
+    }
+
+    // Tokens come from the DLFM (IssueToken over the wire).
+    let rows = session.query("SELECT doc FROM docs WHERE id = 0", &[]).expect("select");
+    let linked_url = rows[0][0].as_str().expect("datalink value").to_string();
+    let token = session.read_token(&linked_url).expect("token over the wire");
+    assert!(!token.is_empty(), "token must be non-empty");
+
+    // A rolled-back link must leave no trace on either side.
+    session.begin().expect("begin");
+    session
+        .exec_params(
+            "INSERT INTO docs (id, doc) VALUES (?, ?)",
+            &[Value::Int(10_000), Value::str("dlfs://fs1/seed/file0".to_string())],
+        )
+        .expect_err("relinking an already-linked file must fail");
+    session.rollback();
+
+    // Unlink half by DELETE (one 2PC each).
+    for i in 0..files / 2 {
+        session
+            .exec_params("DELETE FROM docs WHERE id = ?", &[Value::Int(i as i64)])
+            .unwrap_or_else(|e| panic!("unlink of /seed/file{i} failed: {e}"));
+    }
+
+    // Nothing should be left in doubt after clean commits.
+    let resolved = host.resolve_indoubts().expect("resolver over the wire");
+    assert_eq!(resolved, 0, "clean run must leave no indoubt transactions");
+
+    let rows = session.query("SELECT id FROM docs", &[]).expect("final select");
+    assert_eq!(rows.len(), files - files / 2, "row count after links and unlinks");
+
+    println!(
+        "wire_host_smoke OK: {} links, {} unlinks, {} rows remain over {url}",
+        files,
+        files / 2,
+        rows.len()
+    );
+}

@@ -17,6 +17,7 @@
 //! The fault registry is process-global, so every test takes `SERIAL`.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -42,7 +43,31 @@ impl Driver {
     }
 
     fn with_config(config: dlfm::DlfmConfig) -> Driver {
-        let dep = Deployment::new("fs1", config, hostdb::HostConfig::for_tests());
+        Driver::from_dep(Deployment::new("fs1", config, hostdb::HostConfig::for_tests()))
+    }
+
+    /// Like [`Driver::new`], but the host dials the DLFM over a real
+    /// Unix-domain socket, so armed `rpc.wire.*` faults hit every RPC the
+    /// sweep makes (frames stalled, corrupted, truncated, sockets reset).
+    fn wire() -> Driver {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir()
+            .join(format!(
+                "dlfm-fm-{}-{}.sock",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            ))
+            .display()
+            .to_string();
+        Driver::from_dep(Deployment::new_wire(
+            "fs1",
+            dlfm::DlfmConfig::for_tests(),
+            hostdb::HostConfig::for_tests(),
+            dlfm::Transport::Unix(path),
+        ))
+    }
+
+    fn from_dep(dep: Deployment) -> Driver {
         let mut s = dep.host.session();
         s.create_table(
             "CREATE TABLE t (id BIGINT NOT NULL, doc DATALINK)",
@@ -146,8 +171,8 @@ fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
 type Expectations = HashMap<String, Option<bool>>;
 
 fn sweep_one_seed(seed: u64) {
-    let d = Driver::new();
-    let guard = fault::install_guarded(
+    sweep_with(
+        Driver::new(),
         seed,
         &[
             ("rpc.call.drop", Trigger::Probability(0.06)),
@@ -159,6 +184,30 @@ fn sweep_one_seed(seed: u64) {
             ("fs.chown", Trigger::Probability(0.08)),
         ],
     );
+}
+
+/// The same sweep with the host dialing the DLFM over a Unix socket and
+/// the wire fault points armed instead of the in-process ones. Transport
+/// faults surface as failed host transactions (outcome unknown) or
+/// in-doubt sub-transactions for the resolver — never as a lost
+/// acknowledged commit.
+fn sweep_one_seed_wire(seed: u64) {
+    sweep_with(
+        Driver::wire(),
+        seed,
+        &[
+            ("rpc.wire.stall", Trigger::Probability(0.10)),
+            ("rpc.wire.corrupt", Trigger::Probability(0.05)),
+            ("rpc.wire.truncate", Trigger::Probability(0.03)),
+            ("rpc.wire.reset", Trigger::Probability(0.03)),
+            ("dlfm.phase2.deadlock", Trigger::Probability(0.25)),
+            ("fs.chown", Trigger::Probability(0.08)),
+        ],
+    );
+}
+
+fn sweep_with(d: Driver, seed: u64, faults: &[(&str, Trigger)]) {
+    let guard = fault::install_guarded(seed, faults);
 
     let mut expect: Expectations = HashMap::new();
     // Phase A: link a batch of files, one host transaction each.
@@ -234,6 +283,16 @@ fn seed_sweep_preserves_commit_and_takeover_invariants() {
         std::env::var("FAULT_MATRIX_SEEDS").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
     for seed in 0..seeds {
         sweep_one_seed(seed);
+    }
+}
+
+#[test]
+fn wire_seed_sweep_preserves_commit_and_takeover_invariants() {
+    let _s = serial();
+    let seeds: u64 =
+        std::env::var("FAULT_MATRIX_SEEDS").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
+    for seed in 0..seeds {
+        sweep_one_seed_wire(seed);
     }
 }
 
