@@ -39,7 +39,12 @@ smoke() {
   step "read-path smoke: e13_read_heavy (tiny sweep, MVCC vs 2PL)"
   RUN_SECS=0.2 CLIENTS=4 BENCH_METRICS=0 BENCH_JSON_DIR=target \
     cargo run -q --offline --release -p bench --bin e13_read_heavy
+  step "shard smoke: e14_shard_scaling (tiny sweep + live migration)"
+  RUN_SECS=0.3 CLIENTS=16 SHARDS=2 MIGRATE_CLIENTS=8 FORCE_MS=1 \
+    BENCH_METRICS=0 BENCH_JSON_DIR=target \
+    cargo run -q --offline --release -p bench --bin e14_shard_scaling
   wire_smoke
+  shard_smoke
 }
 
 # Two real OS processes over a real kernel socket: `dlfmd` (the standalone
@@ -71,6 +76,41 @@ wire_smoke() {
   rm -f "$sock" "$sock.stdin" "$out"
 }
 
+# Two shards, three OS processes: two `dlfmd` daemons (telemetry watchdog
+# armed) each serve a Unix-domain socket, and a host process enables the
+# hash-routing ring over both, migrating the seeded directory between the
+# daemons mid-run (ExportLinks/ImportLinks over the wire). Both daemons
+# exit nonzero on watchdog alerts or an unclean shutdown.
+shard_smoke() {
+  step "shard smoke: two dlfmd daemons + host ring with a live prefix migration"
+  local sock_a sock_b out_a out_b pid_a pid_b
+  sock_a="$(mktemp -u /tmp/dlfmd-ci-a-XXXXXX.sock)"
+  sock_b="$(mktemp -u /tmp/dlfmd-ci-b-XXXXXX.sock)"
+  out_a="$(mktemp)"
+  out_b="$(mktemp)"
+  mkfifo "$sock_a.stdin" "$sock_b.stdin"
+  cargo build -q --offline --release -p dlfm --bin dlfmd
+  cargo build -q --offline --release -p datalinks --example shard_host_smoke
+  target/release/dlfmd --listen "unix://$sock_a" --seed-files 16 --watch \
+    <"$sock_a.stdin" >"$out_a" &
+  pid_a=$!
+  target/release/dlfmd --listen "unix://$sock_b" --seed-files 16 --watch \
+    <"$sock_b.stdin" >"$out_b" &
+  pid_b=$!
+  exec 7>"$sock_a.stdin" 8>"$sock_b.stdin"
+  for _ in $(seq 1 100); do
+    grep -q READY "$out_a" 2>/dev/null && grep -q READY "$out_b" 2>/dev/null && break
+    sleep 0.1
+  done
+  grep -q READY "$out_a" || { echo "dlfmd A never came up:"; cat "$out_a"; exit 1; }
+  grep -q READY "$out_b" || { echo "dlfmd B never came up:"; cat "$out_b"; exit 1; }
+  target/release/examples/shard_host_smoke "unix://$sock_a" "unix://$sock_b" 16
+  exec 7>&- 8>&- # stdin EOF on both: clean shutdown
+  wait "$pid_a"
+  wait "$pid_b"
+  rm -f "$sock_a" "$sock_b" "$sock_a.stdin" "$sock_b.stdin" "$out_a" "$out_b"
+}
+
 # Perf-regression gate: re-run the smoke benches into target/bench-gate,
 # consolidate them into a BENCH_SUMMARY.json, and diff against the
 # committed baseline. Tolerances are deliberately loose (machines differ);
@@ -90,6 +130,9 @@ bench_gate() {
     cargo run -q --offline --release -p bench --bin e12_agent_scaling
   RUN_SECS=0.2 CLIENTS=4 BENCH_METRICS=0 BENCH_JSON_DIR=target/bench-gate \
     cargo run -q --offline --release -p bench --bin e13_read_heavy
+  RUN_SECS=0.3 CLIENTS=16 SHARDS=2 MIGRATE_CLIENTS=8 FORCE_MS=1 \
+    BENCH_METRICS=0 BENCH_JSON_DIR=target/bench-gate \
+    cargo run -q --offline --release -p bench --bin e14_shard_scaling
   step "bench-gate: consolidate + compare against crates/bench/baselines/smoke.json"
   BENCH_JSON_DIR=target/bench-gate \
     cargo run -q --offline --release -p bench --bin run_all -- --consolidate-only

@@ -26,6 +26,7 @@ const EXPERIMENTS: &[&str] = &[
     "e11_group_commit",
     "e12_agent_scaling",
     "e13_read_heavy",
+    "e14_shard_scaling",
 ];
 
 fn consolidate(dir: &str) {

@@ -14,7 +14,7 @@ use minidb::{Session, Value};
 
 use crate::api::{
     AccessControl, DbErrorKind, DlfmError, DlfmRequest, DlfmResponse, DlfmResult, GroupSpec,
-    LinkStatus,
+    LinkRow, LinkStatus,
 };
 use crate::chown::encode_mode;
 use crate::meta::{FileEntry, G_DELETE_PENDING, G_NORMAL, LNK_LINKED, XS_INFLIGHT, XS_PREPARED};
@@ -290,6 +290,8 @@ impl Exec<'_> {
                 let n = s.exec_prepared(&stmts.cnt_archive, &[])?.rows()[0][0].as_int()?;
                 Ok(DlfmResponse::Count(n))
             }
+            DlfmRequest::ExportLinks { prefix, remove } => self.export_links(&prefix, remove),
+            DlfmRequest::ImportLinks { entries } => self.import_links(&entries),
             DlfmRequest::Ping => Ok(DlfmResponse::Ok),
         }
     }
@@ -739,6 +741,118 @@ impl Exec<'_> {
         xids.sort_unstable();
         Ok(DlfmResponse::Indoubt(xids))
     }
+
+    // ------------------------------------------------------------------
+    // Bulk link export/import (shard migration)
+    // ------------------------------------------------------------------
+
+    /// Export the linked entries under a path prefix, optionally deleting
+    /// them in the same local transaction. Rejected while a host
+    /// transaction is open on this connection — migration runs on an idle
+    /// (admin) connection so it cannot interleave with 2PC state.
+    fn export_links(&mut self, prefix: &str, remove: bool) -> DlfmResult<DlfmResponse> {
+        if let Some(cur) = &self.state.cur {
+            return Err(DlfmError::Protocol(format!(
+                "ExportLinks needs an idle connection, but xid#{} is open",
+                cur.xid
+            )));
+        }
+        // String-range prefix scan: '0' is '/' + 1 in ASCII, so
+        // [prefix + "/", prefix + "0") covers exactly the subtree.
+        let lo = format!("{prefix}/");
+        let hi = format!("{prefix}0");
+        let mut s = Session::new(&self.shared.db);
+        s.begin()?;
+        let result = (|| -> DlfmResult<Vec<LinkRow>> {
+            let rows = s.query(
+                "SELECT * FROM dfm_file \
+                 WHERE filename >= ? AND filename < ? AND lnk_state = ? FOR SHARE",
+                &[Value::str(&lo), Value::str(&hi), Value::Int(LNK_LINKED)],
+            )?;
+            let mut out = Vec::with_capacity(rows.len());
+            for row in &rows {
+                let e = FileEntry::from_row(row)?;
+                out.push(LinkRow {
+                    dbid: e.dbid,
+                    filename: e.filename,
+                    grp_id: e.grp_id,
+                    link_xid: e.link_xid,
+                    rec_id: e.rec_id,
+                    access_ctl: e.access_ctl,
+                    recovery: e.recovery,
+                    orig_owner: e.orig_owner.unwrap_or_default(),
+                    orig_mode: e.orig_mode.unwrap_or_default(),
+                    fsid: e.fsid.unwrap_or_default(),
+                    inode: e.inode.unwrap_or_default(),
+                });
+            }
+            if remove {
+                s.exec_params(
+                    "DELETE FROM dfm_file \
+                     WHERE filename >= ? AND filename < ? AND lnk_state = ?",
+                    &[Value::str(&lo), Value::str(&hi), Value::Int(LNK_LINKED)],
+                )?;
+            }
+            Ok(out)
+        })();
+        match result {
+            Ok(out) => {
+                s.commit()?;
+                Ok(DlfmResponse::Links(out))
+            }
+            Err(e) => {
+                s.rollback();
+                Err(e)
+            }
+        }
+    }
+
+    /// Import link rows exported from another shard. Idempotent: an
+    /// occupied `(filename, check_flag=0)` slot is skipped, so the
+    /// coordinator can safely retry a migration copy. Returns the count of
+    /// rows actually inserted.
+    fn import_links(&mut self, entries: &[LinkRow]) -> DlfmResult<DlfmResponse> {
+        if let Some(cur) = &self.state.cur {
+            return Err(DlfmError::Protocol(format!(
+                "ImportLinks needs an idle connection, but xid#{} is open",
+                cur.xid
+            )));
+        }
+        let stmts = self.shared.statements();
+        let mut s = Session::new(&self.shared.db);
+        s.begin()?;
+        let mut imported = 0i64;
+        for e in entries {
+            let result = s.exec_prepared(
+                &stmts.ins_file,
+                &[
+                    Value::Int(e.dbid),
+                    Value::str(&e.filename),
+                    Value::Int(e.grp_id),
+                    Value::Int(LNK_LINKED),
+                    Value::Int(0), // check_flag = 0 for linked entries
+                    Value::Int(e.link_xid),
+                    Value::Int(e.rec_id),
+                    Value::Int(e.access_ctl),
+                    Value::Int(e.recovery),
+                    Value::str(&e.orig_owner),
+                    Value::Int(e.orig_mode),
+                    Value::Int(e.fsid),
+                    Value::Int(e.inode),
+                ],
+            );
+            match result {
+                Ok(_) => imported += 1,
+                Err(minidb::DbError::UniqueViolation { .. }) => {} // retry-idempotent
+                Err(err) => {
+                    s.rollback();
+                    return Err(err.into());
+                }
+            }
+        }
+        s.commit()?;
+        Ok(DlfmResponse::Count(imported))
+    }
 }
 
 /// Stable span/metric operation name for a request.
@@ -761,6 +875,8 @@ fn op_name(req: &DlfmRequest) -> &'static str {
         DlfmRequest::Reconcile { .. } => "Reconcile",
         DlfmRequest::UpcallQuery { .. } => "UpcallQuery",
         DlfmRequest::PendingCopies => "PendingCopies",
+        DlfmRequest::ExportLinks { .. } => "ExportLinks",
+        DlfmRequest::ImportLinks { .. } => "ImportLinks",
         DlfmRequest::Ping => "Ping",
     }
 }

@@ -11,7 +11,8 @@ use dlrpc::wire::{put_bool, put_i64, put_str, put_u32, put_u8};
 use dlrpc::{Reader, Wire, WireError};
 
 use crate::api::{
-    AccessControl, DbErrorKind, DlfmError, DlfmRequest, DlfmResponse, GroupSpec, LinkStatus,
+    AccessControl, DbErrorKind, DlfmError, DlfmRequest, DlfmResponse, GroupSpec, LinkRow,
+    LinkStatus,
 };
 
 fn bad_tag(what: &str, tag: u8) -> WireError {
@@ -85,6 +86,44 @@ fn get_entries(r: &mut Reader) -> Result<Vec<(String, i64)>, WireError> {
         let s = r.str()?;
         let id = r.i64()?;
         v.push((s, id));
+    }
+    Ok(v)
+}
+
+fn put_link_rows(out: &mut Vec<u8>, v: &[LinkRow]) {
+    put_u32(out, v.len() as u32);
+    for row in v {
+        put_i64(out, row.dbid);
+        put_str(out, &row.filename);
+        put_i64(out, row.grp_id);
+        put_i64(out, row.link_xid);
+        put_i64(out, row.rec_id);
+        put_i64(out, row.access_ctl);
+        put_i64(out, row.recovery);
+        put_str(out, &row.orig_owner);
+        put_i64(out, row.orig_mode);
+        put_i64(out, row.fsid);
+        put_i64(out, row.inode);
+    }
+}
+
+fn get_link_rows(r: &mut Reader) -> Result<Vec<LinkRow>, WireError> {
+    let n = r.u32()? as usize;
+    let mut v = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        v.push(LinkRow {
+            dbid: r.i64()?,
+            filename: r.str()?,
+            grp_id: r.i64()?,
+            link_xid: r.i64()?,
+            rec_id: r.i64()?,
+            access_ctl: r.i64()?,
+            recovery: r.i64()?,
+            orig_owner: r.str()?,
+            orig_mode: r.i64()?,
+            fsid: r.i64()?,
+            inode: r.i64()?,
+        });
     }
     Ok(v)
 }
@@ -249,6 +288,15 @@ impl Wire for DlfmRequest {
             }
             DlfmRequest::PendingCopies => put_u8(out, 16),
             DlfmRequest::Ping => put_u8(out, 17),
+            DlfmRequest::ExportLinks { prefix, remove } => {
+                put_u8(out, 18);
+                put_str(out, prefix);
+                put_bool(out, *remove);
+            }
+            DlfmRequest::ImportLinks { entries } => {
+                put_u8(out, 19);
+                put_link_rows(out, entries);
+            }
         }
     }
 
@@ -285,6 +333,8 @@ impl Wire for DlfmRequest {
             15 => DlfmRequest::UpcallQuery { filename: r.str()? },
             16 => DlfmRequest::PendingCopies,
             17 => DlfmRequest::Ping,
+            18 => DlfmRequest::ExportLinks { prefix: r.str()?, remove: r.bool()? },
+            19 => DlfmRequest::ImportLinks { entries: get_link_rows(r)? },
             t => return Err(bad_tag("DlfmRequest", t)),
         })
     }
@@ -330,6 +380,10 @@ impl Wire for DlfmResponse {
                 put_u8(out, 7);
                 put_i64(out, *n);
             }
+            DlfmResponse::Links(rows) => {
+                put_u8(out, 8);
+                put_link_rows(out, rows);
+            }
         }
     }
 
@@ -352,6 +406,7 @@ impl Wire for DlfmResponse {
                 orphans_unlinked: get_vec_str(r)?,
             },
             7 => DlfmResponse::Count(r.i64()?),
+            8 => DlfmResponse::Links(get_link_rows(r)?),
             t => return Err(bad_tag("DlfmResponse", t)),
         })
     }
@@ -420,6 +475,25 @@ mod tests {
         roundtrip_req(DlfmRequest::UpcallQuery { filename: "/u".into() });
         roundtrip_req(DlfmRequest::PendingCopies);
         roundtrip_req(DlfmRequest::Ping);
+        roundtrip_req(DlfmRequest::ExportLinks { prefix: "/shard/h7".into(), remove: true });
+        roundtrip_req(DlfmRequest::ImportLinks { entries: vec![] });
+        roundtrip_req(DlfmRequest::ImportLinks { entries: vec![sample_link_row()] });
+    }
+
+    fn sample_link_row() -> LinkRow {
+        LinkRow {
+            dbid: 1,
+            filename: "/shard/h7/f0".into(),
+            grp_id: 4,
+            link_xid: 99,
+            rec_id: (1i64 << 48) | 12,
+            access_ctl: 2,
+            recovery: 1,
+            orig_owner: "user".into(),
+            orig_mode: 0o644,
+            fsid: 3,
+            inode: 41,
+        }
     }
 
     #[test]
@@ -455,6 +529,8 @@ mod tests {
             orphans_unlinked: vec!["/orphan".into()],
         });
         roundtrip_resp(DlfmResponse::Count(-1));
+        roundtrip_resp(DlfmResponse::Links(vec![]));
+        roundtrip_resp(DlfmResponse::Links(vec![sample_link_row(), sample_link_row()]));
     }
 
     #[test]

@@ -72,6 +72,12 @@ pub struct HostConfig {
     /// whole child-agent thread); checked-in connections beyond the cap
     /// are closed. `0` disables reuse.
     pub conn_pool_size: usize,
+    /// How long a datalink operation may block on an in-progress shard
+    /// migration of its prefix before failing.
+    pub shard_route_timeout: std::time::Duration,
+    /// How long a shard migration waits for transactions pinned to the
+    /// pre-migration epoch to finish before giving up.
+    pub shard_drain_timeout: std::time::Duration,
 }
 
 impl Default for HostConfig {
@@ -83,6 +89,8 @@ impl Default for HostConfig {
             coord_force_latency: std::time::Duration::ZERO,
             coord_group_commit: true,
             conn_pool_size: 8,
+            shard_route_timeout: std::time::Duration::from_secs(30),
+            shard_drain_timeout: std::time::Duration::from_secs(30),
         }
     }
 }
@@ -144,6 +152,21 @@ pub struct HostMetrics {
     /// Connections retired (dropped instead of pooled) after an RPC error
     /// or because the pool was full.
     pub conn_retired: AtomicU64,
+    /// Datalink operations routed through the shard map (ring or override).
+    pub shard_routes: AtomicU64,
+    /// Routes that had to wait out an in-progress prefix migration.
+    pub shard_route_waits: AtomicU64,
+    /// Prefix migrations completed.
+    pub shard_migrations: AtomicU64,
+    /// Link rows moved between shards by migrations.
+    pub shard_migrated_rows: AtomicU64,
+    /// Phase-2 commit transport failures survived: the commit decision was
+    /// already durable, so the error is absorbed (the resolver re-drives
+    /// phase 2) instead of surfacing a false abort to the application.
+    pub phase2_transport_errors: AtomicU64,
+    /// Resolver calls skipped because a server was unreachable; resolution
+    /// continued on the remaining servers (liveness fix).
+    pub resolver_partial_failures: AtomicU64,
 }
 
 struct HostInner {
@@ -161,6 +184,10 @@ struct HostInner {
     /// Idle DLFM connections kept for reuse, per server.
     conn_pool: Mutex<HashMap<String, Vec<DlfmConn>>>,
     conn_pool_size: usize,
+    /// Placement of link metadata over the attached DLFMs (ROADMAP 2).
+    shards: crate::shard::ShardMap,
+    shard_route_timeout: std::time::Duration,
+    shard_drain_timeout: std::time::Duration,
 }
 
 /// A shared handle to the host database. Cheap to clone.
@@ -193,6 +220,9 @@ impl HostDb {
                 backups: Mutex::new(Vec::new()),
                 conn_pool: Mutex::new(HashMap::new()),
                 conn_pool_size: config.conn_pool_size,
+                shards: crate::shard::ShardMap::new(),
+                shard_route_timeout: config.shard_route_timeout,
+                shard_drain_timeout: config.shard_drain_timeout,
             }),
         };
         host.create_sys_tables();
@@ -381,6 +411,54 @@ impl HostDb {
             self.conn_pool_idle() as i64,
         );
         r.counter(
+            "hostdb_shard_routes_total",
+            "Datalink operations routed through the shard map.",
+            &[],
+            m.shard_routes.load(Ordering::Relaxed),
+        );
+        r.counter(
+            "hostdb_shard_route_waits_total",
+            "Routes that waited out an in-progress prefix migration.",
+            &[],
+            m.shard_route_waits.load(Ordering::Relaxed),
+        );
+        r.counter(
+            "hostdb_shard_migrations_total",
+            "Prefix migrations completed.",
+            &[],
+            m.shard_migrations.load(Ordering::Relaxed),
+        );
+        r.counter(
+            "hostdb_shard_migrated_rows_total",
+            "Link rows moved between shards by migrations.",
+            &[],
+            m.shard_migrated_rows.load(Ordering::Relaxed),
+        );
+        r.gauge(
+            "hostdb_shard_epoch",
+            "Current shard-map epoch (bumped on every placement change).",
+            &[],
+            self.inner.shards.epoch() as i64,
+        );
+        r.gauge(
+            "hostdb_shard_count",
+            "Shards in the hash ring (0 = routing disabled).",
+            &[],
+            self.inner.shards.shards().len() as i64,
+        );
+        r.counter(
+            "hostdb_phase2_transport_errors_total",
+            "Phase-2 transport failures absorbed after a durable commit decision.",
+            &[],
+            m.phase2_transport_errors.load(Ordering::Relaxed),
+        );
+        r.counter(
+            "hostdb_resolver_partial_failures_total",
+            "Resolver calls skipped for unreachable servers (pass continued).",
+            &[],
+            m.resolver_partial_failures.load(Ordering::Relaxed),
+        );
+        r.counter(
             "coordlog_forces_total",
             "Coordinator-log forces (one per leader).",
             &[],
@@ -457,6 +535,37 @@ impl HostDb {
             m.twopc_commits.load(Ordering::Relaxed),
             m.indoubts_resolved.load(Ordering::Relaxed),
         ));
+        let shards = &self.inner.shards;
+        let ring = shards.shards();
+        if ring.is_empty() {
+            out.push_str("shard map: disabled (URL server names route directly)\n");
+        } else {
+            out.push_str(&format!(
+                "shard map: {} shards (epoch {}): {}\n",
+                ring.len(),
+                shards.epoch(),
+                ring.join(", ")
+            ));
+            out.push_str(&format!(
+                "  routes {} ({} waited on migration), migrations {} ({} rows moved)\n",
+                m.shard_routes.load(Ordering::Relaxed),
+                m.shard_route_waits.load(Ordering::Relaxed),
+                m.shard_migrations.load(Ordering::Relaxed),
+                m.shard_migrated_rows.load(Ordering::Relaxed),
+            ));
+            for (prefix, owner, migrating) in shards.overrides() {
+                out.push_str(&format!(
+                    "  prefix {prefix} -> {owner}{}\n",
+                    if migrating { " (migrating)" } else { "" }
+                ));
+            }
+            let inflight = shards.inflight();
+            if !inflight.is_empty() {
+                let pins: Vec<String> =
+                    inflight.iter().map(|(e, n)| format!("epoch {e} x{n}")).collect();
+                out.push_str(&format!("  in-flight pins: {}\n", pins.join(", ")));
+            }
+        }
         let unfinished = self.inner.coord_log.unfinished_commits();
         if unfinished.is_empty() {
             out.push_str("phase-2 outstanding: none\n");
@@ -608,8 +717,16 @@ impl HostDb {
     /// Resolve indoubt sub-transactions on every attached DLFM: commit
     /// those with a durable coordinator commit record, abort the rest
     /// (presumed abort). Also re-drives unfinished commits.
+    ///
+    /// A single unreachable server must not starve resolution on the
+    /// others: per-server failures are noted (counted in
+    /// `resolver_partial_failures`) and the pass continues. An unfinished
+    /// commit's `End` record is appended only once **all** its servers
+    /// acked the re-driven phase 2 — ending it earlier would stop the
+    /// resolver from ever retrying the servers that failed.
     pub fn resolve_indoubts(&self) -> HostResult<usize> {
         let mut resolved = 0usize;
+        let mut failed_calls = 0usize;
         // Re-drive commit decisions that never finished phase 2.
         for (xid, servers) in self.inner.coord_log.unfinished_commits() {
             obs::info!(
@@ -617,13 +734,27 @@ impl HostDb {
                 "re-driving unfinished commit for xid {xid} on {} server(s)",
                 servers.len()
             );
+            let mut all_acked = true;
             for server in &servers {
-                let conn = self.checkout_conn(server)?;
+                let conn = match self.checkout_conn(server) {
+                    Ok(conn) => conn,
+                    Err(e) => {
+                        self.note_rpc_error("re-driven commit", server, &e);
+                        all_acked = false;
+                        failed_calls += 1;
+                        continue;
+                    }
+                };
                 match conn.call(DlfmRequest::Commit { xid }) {
-                    Ok(DlfmResponse::Ok) => self.checkin_conn(server, conn),
+                    Ok(DlfmResponse::Ok) => {
+                        self.checkin_conn(server, conn);
+                        resolved += 1;
+                    }
                     Ok(DlfmResponse::Err(e)) => {
                         self.note_rpc_error("re-driven commit", server, &e);
                         self.checkin_conn(server, conn);
+                        all_acked = false;
+                        failed_calls += 1;
                     }
                     Ok(other) => {
                         self.note_rpc_error(
@@ -632,18 +763,40 @@ impl HostDb {
                             &format!("unexpected response {other:?}"),
                         );
                         self.checkin_conn(server, conn);
+                        all_acked = false;
+                        failed_calls += 1;
                     }
                     // Transport failure: retire the connection.
-                    Err(e) => self.note_rpc_error("re-driven commit", server, &e),
+                    Err(e) => {
+                        self.note_rpc_error("re-driven commit", server, &e);
+                        all_acked = false;
+                        failed_calls += 1;
+                    }
                 }
-                resolved += 1;
             }
-            self.inner.coord_log.append(CoordRecord::End { xid });
+            if all_acked {
+                self.inner.coord_log.append(CoordRecord::End { xid });
+            }
         }
         // Ask each DLFM for its indoubt list and resolve by presumed abort.
         for server in self.servers() {
-            let conn = self.checkout_conn(&server)?;
-            let resp = conn.call(DlfmRequest::ListIndoubt)?;
+            let conn = match self.checkout_conn(&server) {
+                Ok(conn) => conn,
+                Err(e) => {
+                    self.note_rpc_error("indoubt listing", &server, &e);
+                    failed_calls += 1;
+                    continue;
+                }
+            };
+            let resp = match conn.call(DlfmRequest::ListIndoubt) {
+                Ok(resp) => resp,
+                Err(e) => {
+                    // Transport failure: retire the connection, next server.
+                    self.note_rpc_error("indoubt listing", &server, &e);
+                    failed_calls += 1;
+                    continue;
+                }
+            };
             let mut transport_ok = true;
             if let DlfmResponse::Indoubt(xids) = resp {
                 for xid in xids {
@@ -671,6 +824,7 @@ impl HostDb {
                         Err(e) => {
                             self.note_rpc_error("indoubt resolution", &server, &e);
                             transport_ok = false;
+                            failed_calls += 1;
                         }
                     }
                     resolved += 1;
@@ -680,6 +834,16 @@ impl HostDb {
             if transport_ok {
                 self.checkin_conn(&server, conn);
             }
+        }
+        if failed_calls > 0 {
+            self.inner
+                .metrics
+                .resolver_partial_failures
+                .fetch_add(failed_calls as u64, Ordering::Relaxed);
+            obs::warn!(
+                "hostdb::resolver",
+                "resolution pass continued past {failed_calls} failed call(s)"
+            );
         }
         Ok(resolved)
     }
@@ -772,6 +936,207 @@ impl HostDb {
         self.inner.metrics.host_rpc_errors.fetch_add(1, Ordering::Relaxed);
         obs::warn!("hostdb::rpc", "{context} failed on {server}: {err}");
     }
+
+    // ------------------------------------------------------------------
+    // Shard map: hash-partitioned link placement (ROADMAP 2)
+    // ------------------------------------------------------------------
+
+    /// The shard map (placement of link metadata over the attached DLFMs).
+    pub fn shard_map(&self) -> &crate::shard::ShardMap {
+        &self.inner.shards
+    }
+
+    /// Enable hash routing over `shards` (each must already be attached).
+    /// The ring is fixed from here on; growing the deployment goes through
+    /// [`HostDb::migrate_prefix`]. Call before loading data: rows linked
+    /// under direct URL routing are not re-homed by enabling the ring.
+    pub fn set_shards(&self, shards: &[&str]) -> HostResult<()> {
+        for s in shards {
+            self.connector_for(s)?;
+        }
+        if shards.is_empty() {
+            return Err(HostError::Usage("set_shards needs at least one shard".into()));
+        }
+        self.inner.shards.set_shards(&shards.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        Ok(())
+    }
+
+    /// The shard owning a datalink for a transaction pinned at `epoch`:
+    /// the map's placement when the ring is enabled, otherwise the URL's
+    /// own server name (pre-shard behaviour). May block while the path's
+    /// prefix is mid-migration.
+    pub(crate) fn route_datalink(&self, url: &DatalinkUrl, epoch: u64) -> HostResult<String> {
+        let routed = self
+            .inner
+            .shards
+            .route(&url.path, epoch, self.inner.shard_route_timeout)
+            .map_err(|e| HostError::Usage(e.to_string()))?;
+        match routed {
+            Some(r) => {
+                self.inner.metrics.shard_routes.fetch_add(1, Ordering::Relaxed);
+                if r.waited {
+                    self.inner.metrics.shard_route_waits.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(r.shard)
+            }
+            None => Ok(url.server.clone()),
+        }
+    }
+
+    /// Migrate the link metadata of a path prefix onto shard `to` without
+    /// stopping traffic (online reconfiguration v1):
+    ///
+    /// 1. flip the prefix to *migrating* in the map (epoch bump) — new
+    ///    transactions touching it park until the copy settles, while
+    ///    transactions begun earlier keep the old placement;
+    /// 2. drain those pre-flip transactions;
+    /// 3. register every known file group on the target (idempotent — a
+    ///    runtime-attached shard has none yet);
+    /// 4. copy the prefix's link rows from every other shard
+    ///    (`ExportLinks` → `ImportLinks`, then a destructive export only
+    ///    after the import acked);
+    /// 5. re-home the host's `sys_datalinks` rows;
+    /// 6. settle the map and wake parked transactions.
+    ///
+    /// Returns the number of link rows moved. On any error the map entry
+    /// is rolled back to the pre-flip placement; already-imported rows are
+    /// harmless duplicates-in-waiting that a retry will skip
+    /// (`ImportLinks` is idempotent). Unlinked-history rows stay on their
+    /// original shard: only *linked* entries move, which is all routing
+    /// needs (history is consulted where the unlink ran).
+    pub fn migrate_prefix(&self, prefix: &str, to: &str) -> HostResult<u64> {
+        self.connector_for(to)?;
+        let prefix = prefix.trim_end_matches('/');
+        if prefix.is_empty() {
+            return Err(HostError::Usage("cannot migrate the root prefix".into()));
+        }
+        if !self.inner.shards.enabled() {
+            return Err(HostError::Usage(
+                "shard routing is not enabled (call set_shards first)".into(),
+            ));
+        }
+        let flip = self
+            .inner
+            .shards
+            .begin_migration(prefix, to)
+            .map_err(|e| HostError::Usage(e.to_string()))?;
+        obs::info!("hostdb::shard", "migrating prefix {prefix} to {to} (flip epoch {flip})");
+        let result = self.run_migration(prefix, to, flip);
+        match &result {
+            Ok(moved) => {
+                self.inner.shards.finish_migration(prefix);
+                self.inner.metrics.shard_migrations.fetch_add(1, Ordering::Relaxed);
+                self.inner.metrics.shard_migrated_rows.fetch_add(*moved, Ordering::Relaxed);
+                obs::info!("hostdb::shard", "prefix {prefix} now on {to} ({moved} rows moved)");
+            }
+            Err(e) => {
+                self.inner.shards.abort_migration(prefix);
+                obs::warn!("hostdb::shard", "migration of {prefix} to {to} failed: {e}");
+            }
+        }
+        result
+    }
+
+    fn run_migration(&self, prefix: &str, to: &str, flip: u64) -> HostResult<u64> {
+        self.inner
+            .shards
+            .drain_below(flip, self.inner.shard_drain_timeout)
+            .map_err(|e| HostError::Usage(e.to_string()))?;
+
+        // The target may have been attached after CREATE TABLE: make sure
+        // it knows every file group before rows referencing them arrive.
+        let specs: Vec<GroupSpec> = self
+            .inner
+            .dl_cols
+            .read()
+            .iter()
+            .map(|((tbl, col), info)| GroupSpec {
+                grp_id: info.grp_id,
+                dbid: self.inner.dbid,
+                table_name: tbl.clone(),
+                column_name: col.clone(),
+                access: info.access,
+                recovery: info.recovery,
+            })
+            .collect();
+        let to_conn = self.checkout_conn(to)?;
+        for spec in specs {
+            match to_conn.call(DlfmRequest::RegisterGroup(spec))? {
+                DlfmResponse::Ok => {}
+                DlfmResponse::Err(e) => {
+                    return Err(HostError::Dlfm { error: e, txn_rolled_back: false })
+                }
+                other => return Err(HostError::Rpc(format!("unexpected {other:?}"))),
+            }
+        }
+
+        // Copy from every other shard: the prefix's subtree may span
+        // several ring positions (one per directory).
+        let mut moved = 0u64;
+        for server in self.servers() {
+            if server == to {
+                continue;
+            }
+            let from_conn = self.checkout_conn(&server)?;
+            let rows = match from_conn
+                .call(DlfmRequest::ExportLinks { prefix: prefix.to_string(), remove: false })?
+            {
+                DlfmResponse::Links(rows) => rows,
+                DlfmResponse::Err(e) => {
+                    return Err(HostError::Dlfm { error: e, txn_rolled_back: false })
+                }
+                other => return Err(HostError::Rpc(format!("unexpected {other:?}"))),
+            };
+            if !rows.is_empty() {
+                moved += rows.len() as u64;
+                match to_conn.call(DlfmRequest::ImportLinks { entries: rows })? {
+                    DlfmResponse::Count(_) => {}
+                    DlfmResponse::Err(e) => {
+                        return Err(HostError::Dlfm { error: e, txn_rolled_back: false })
+                    }
+                    other => return Err(HostError::Rpc(format!("unexpected {other:?}"))),
+                }
+                // Destructive pass only now that the import acked.
+                match from_conn
+                    .call(DlfmRequest::ExportLinks { prefix: prefix.to_string(), remove: true })?
+                {
+                    DlfmResponse::Links(_) => {}
+                    DlfmResponse::Err(e) => {
+                        return Err(HostError::Dlfm { error: e, txn_rolled_back: false })
+                    }
+                    other => return Err(HostError::Rpc(format!("unexpected {other:?}"))),
+                }
+            }
+            self.checkin_conn(&server, from_conn);
+        }
+        self.checkin_conn(to, to_conn);
+
+        // Re-home the host's own bookkeeping so Reconcile/Restore keep
+        // querying the right server ('0' is '/' + 1: the subtree range).
+        // One UPDATE per source server: the equality on `server` lets the
+        // (server, filename) index bound the scan to the migrated rows —
+        // a bare filename range would full-scan sys_datalinks and convoy
+        // with every concurrent link/unlink on the X locks it accretes.
+        let mut s = Session::new(&self.inner.db);
+        s.begin()?;
+        for server in self.servers() {
+            if server == to {
+                continue;
+            }
+            s.exec_params(
+                "UPDATE sys_datalinks SET server = ? \
+                 WHERE server = ? AND filename >= ? AND filename < ?",
+                &[
+                    Value::str(to),
+                    Value::str(server),
+                    Value::str(format!("{prefix}/")),
+                    Value::str(format!("{prefix}0")),
+                ],
+            )?;
+        }
+        s.commit()?;
+        Ok(moved)
+    }
 }
 
 /// One datalink operation performed in the current transaction, tracked so
@@ -780,12 +1145,18 @@ impl HostDb {
 pub(crate) struct DlOp {
     pub link: bool,
     pub url: DatalinkUrl,
+    /// The shard the operation was routed to (the URL's server name when
+    /// hash routing is disabled); backout must target the same shard.
+    pub shard: String,
     pub rec_id: i64,
     pub grp_id: i64,
 }
 
 pub(crate) struct HostTxn {
     pub xid: i64,
+    /// Shard-map epoch pinned at begin: placement stays stable for the
+    /// transaction's lifetime, and migrations drain on it.
+    pub epoch: u64,
     pub touched: BTreeSet<String>,
     pub dl_ops: Vec<DlOp>,
 }
@@ -827,6 +1198,7 @@ impl HostSession {
         self.session.begin()?;
         self.txn = Some(HostTxn {
             xid: self.host.next_xid(),
+            epoch: self.host.inner.shards.begin_txn(),
             touched: BTreeSet::new(),
             dl_ops: Vec::new(),
         });
@@ -844,6 +1216,16 @@ impl HostSession {
             .take()
             .ok_or_else(|| HostError::Usage("no transaction open".into()))
             .inspect_err(|_| span.fail())?;
+        let epoch = txn.epoch;
+        let result = self.commit_txn(txn, &mut span);
+        // The shard-map pin ends only after the outcome is settled either
+        // way: a migration must not move rows this transaction's phase 2
+        // may still be writing.
+        self.host.inner.shards.end_txn(epoch);
+        result
+    }
+
+    fn commit_txn(&mut self, txn: HostTxn, span: &mut obs::trace::SpanGuard) -> HostResult<()> {
         let xid = txn.xid;
 
         // Phase 1: prepare every touched DLFM.
@@ -928,29 +1310,57 @@ impl HostSession {
 
         // Phase 2: synchronous by default — the paper found the commit
         // request *must* be synchronous or distributed deadlocks form (§4).
+        //
+        // The commit decision is already durable, so NOTHING past this
+        // point may surface an error to the application: the transaction
+        // IS committed. A transport failure here used to propagate `Err`
+        // out of `commit()` — the app saw an abort for a committed
+        // transaction and could retry into a double link. Instead, note
+        // the error, retire the broken connection, and leave the commit
+        // record unfinished so the resolver re-drives phase 2.
         let synchronous = self.host.synchronous_commit();
+        let mut all_acked = true;
         for server in &participants {
-            let conn = self.conn(server)?;
-            if synchronous {
-                // The commit decision is already durable, so a DLFM-side
-                // failure here must not abort the (committed) host
-                // transaction — but it cannot be silent either: the
-                // participant stays prepared until the resolver re-drives
-                // it, and that anomaly should be visible.
-                match conn.call(DlfmRequest::Commit { xid })? {
-                    DlfmResponse::Ok => {}
-                    DlfmResponse::Err(e) => self.host.note_rpc_error("phase-2 commit", server, &e),
-                    other => self.host.note_rpc_error(
+            let outcome = (|| -> HostResult<Option<DlfmResponse>> {
+                let conn = self.conn(server)?;
+                if synchronous {
+                    Ok(Some(conn.call(DlfmRequest::Commit { xid })?))
+                } else {
+                    conn.post(DlfmRequest::Commit { xid })?;
+                    Ok(None)
+                }
+            })();
+            match outcome {
+                // Posted asynchronously (the §4 ablation): no ack to await.
+                Ok(None) => {}
+                Ok(Some(DlfmResponse::Ok)) => {}
+                Ok(Some(DlfmResponse::Err(e))) => {
+                    // DLFM-side failure: the participant stays prepared
+                    // until the resolver re-drives it; keep that visible.
+                    self.host.note_rpc_error("phase-2 commit", server, &e);
+                    all_acked = false;
+                }
+                Ok(Some(other)) => {
+                    self.host.note_rpc_error(
                         "phase-2 commit",
                         server,
                         &format!("unexpected response {other:?}"),
-                    ),
+                    );
+                    all_acked = false;
                 }
-            } else {
-                conn.post(DlfmRequest::Commit { xid })?;
+                Err(e) => {
+                    self.host.inner.metrics.phase2_transport_errors.fetch_add(1, Ordering::Relaxed);
+                    self.host.note_rpc_error("phase-2 commit", server, &e);
+                    // The cached connection is dead; a later checkout
+                    // redials instead of reusing the broken multiplexer.
+                    self.conns.remove(server);
+                    all_acked = false;
+                }
             }
         }
-        self.host.inner.coord_log.append(CoordRecord::End { xid });
+        if all_acked {
+            self.host.inner.coord_log.append(CoordRecord::End { xid });
+        }
         self.host.inner.metrics.commits.fetch_add(1, Ordering::Relaxed);
         self.host.inner.metrics.twopc_commits.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -962,6 +1372,7 @@ impl HostSession {
             self.abort_everywhere(&txn);
             self.session.rollback();
             self.host.inner.metrics.rollbacks.fetch_add(1, Ordering::Relaxed);
+            self.host.inner.shards.end_txn(txn.epoch);
         }
     }
 
@@ -1022,7 +1433,7 @@ impl HostSession {
                     in_backout: true,
                 }
             };
-            let conn = self.conn(&op.url.server)?;
+            let conn = self.conn(&op.shard)?;
             match conn.call(req)? {
                 DlfmResponse::Ok => {}
                 DlfmResponse::Err(e) => {
@@ -1155,7 +1566,7 @@ impl HostSession {
                     &[
                         Value::str(table.clone()),
                         Value::str(cname.clone()),
-                        Value::str(url.server.clone()),
+                        Value::str(op.shard.clone()),
                         Value::str(url.path.clone()),
                         Value::Int(op.rec_id),
                     ],
@@ -1193,7 +1604,7 @@ impl HostSession {
                 performed.push(op.clone());
                 self.session.exec_params(
                     "DELETE FROM sys_datalinks WHERE server = ? AND filename = ?",
-                    &[Value::str(url.server.clone()), Value::str(url.path.clone())],
+                    &[Value::str(op.shard.clone()), Value::str(url.path.clone())],
                 )?;
                 let _ = cname;
             }
@@ -1234,7 +1645,7 @@ impl HostSession {
                 performed.push(op.clone());
                 self.session.exec_params(
                     "DELETE FROM sys_datalinks WHERE server = ? AND filename = ?",
-                    &[Value::str(url.server.clone()), Value::str(url.path.clone())],
+                    &[Value::str(op.shard.clone()), Value::str(url.path.clone())],
                 )?;
             }
             // Link the new values (once per matched row).
@@ -1253,7 +1664,7 @@ impl HostSession {
                         &[
                             Value::str(table),
                             Value::str(cname.clone()),
-                            Value::str(url.server.clone()),
+                            Value::str(op.shard.clone()),
                             Value::str(url.path.clone()),
                             Value::Int(op.rec_id),
                         ],
@@ -1328,20 +1739,18 @@ impl HostSession {
                     in_backout: true,
                 }
             };
-            if let Ok(conn) = self.conn(&op.url.server) {
+            if let Ok(conn) = self.conn(&op.shard) {
                 match conn.call(req) {
                     Ok(DlfmResponse::Ok) => {}
-                    Ok(DlfmResponse::Err(e)) => {
-                        self.host.note_rpc_error("backout", &op.url.server, &e)
-                    }
+                    Ok(DlfmResponse::Err(e)) => self.host.note_rpc_error("backout", &op.shard, &e),
                     Ok(other) => self.host.note_rpc_error(
                         "backout",
-                        &op.url.server,
+                        &op.shard,
                         &format!("unexpected response {other:?}"),
                     ),
                     Err(e) => {
-                        self.host.note_rpc_error("backout", &op.url.server, &e);
-                        self.conns.remove(&op.url.server);
+                        self.host.note_rpc_error("backout", &op.shard, &e);
+                        self.conns.remove(&op.shard);
                     }
                 }
             }
@@ -1357,10 +1766,11 @@ impl HostSession {
     // ------------------------------------------------------------------
 
     fn link(&mut self, url: &DatalinkUrl, info: &DlColumn) -> HostResult<DlOp> {
+        let shard = self.route(url)?;
         let rec_id = self.host.next_rec_id();
-        let op = DlOp { link: true, url: url.clone(), rec_id, grp_id: info.grp_id };
+        let op = DlOp { link: true, url: url.clone(), shard, rec_id, grp_id: info.grp_id };
         self.dl_request(
-            &url.server,
+            &op.shard,
             DlfmRequest::LinkFile {
                 xid: self.require_xid()?,
                 rec_id,
@@ -1377,10 +1787,11 @@ impl HostSession {
     }
 
     fn unlink(&mut self, url: &DatalinkUrl, info: &DlColumn) -> HostResult<DlOp> {
+        let shard = self.route(url)?;
         let rec_id = self.host.next_rec_id();
-        let op = DlOp { link: false, url: url.clone(), rec_id, grp_id: info.grp_id };
+        let op = DlOp { link: false, url: url.clone(), shard, rec_id, grp_id: info.grp_id };
         self.dl_request(
-            &url.server,
+            &op.shard,
             DlfmRequest::UnlinkFile {
                 xid: self.require_xid()?,
                 rec_id,
@@ -1394,6 +1805,17 @@ impl HostSession {
             txn.dl_ops.push(op.clone());
         }
         Ok(op)
+    }
+
+    /// The shard serving `url`: the shard map's placement under the
+    /// transaction's pinned epoch (the current epoch outside one), or the
+    /// URL's server name when hash routing is disabled.
+    fn route(&self, url: &DatalinkUrl) -> HostResult<String> {
+        let epoch = match self.txn.as_ref() {
+            Some(txn) => txn.epoch,
+            None => self.host.inner.shards.epoch(),
+        };
+        self.host.route_datalink(url, epoch)
     }
 
     fn require_xid(&self) -> HostResult<i64> {
@@ -1463,7 +1885,8 @@ impl HostSession {
     /// "direct file access" with an access token).
     pub fn read_token(&mut self, url: &str) -> HostResult<String> {
         let url = DatalinkUrl::parse(url)?;
-        let conn = self.conn(&url.server)?;
+        let shard = self.route(&url)?;
+        let conn = self.conn(&shard)?;
         match conn.call(DlfmRequest::IssueToken { filename: url.path.clone() })? {
             DlfmResponse::Token(t) => Ok(t),
             DlfmResponse::Err(e) => Err(HostError::Dlfm { error: e, txn_rolled_back: false }),

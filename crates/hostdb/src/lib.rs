@@ -24,6 +24,7 @@ pub mod coordlog;
 pub mod engine;
 pub mod error;
 pub mod load;
+pub mod shard;
 pub mod url;
 pub mod utilities;
 
@@ -34,5 +35,6 @@ pub use engine::{
 };
 pub use error::{HostError, HostResult};
 pub use load::{LoadReport, LoadRow};
+pub use shard::{route_key, Routed, ShardError, ShardMap};
 pub use url::DatalinkUrl;
 pub use utilities::{HostBackup, ReconcileOutcome};

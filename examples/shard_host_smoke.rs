@@ -1,0 +1,119 @@
+//! Host-process half of the two-process, two-shard wire smoke test.
+//!
+//! Connects to TWO `dlfmd` daemons started by someone else (see `ci.sh`),
+//! enables the hash-routing shard ring over both, links files across a
+//! live online prefix migration, and exits nonzero on any failure:
+//!
+//! ```text
+//! dlfmd --listen unix:///tmp/a.sock --seed-files 16 &
+//! dlfmd --listen unix:///tmp/b.sock --seed-files 16 &
+//! cargo run -p datalinks --example shard_host_smoke -- \
+//!     unix:///tmp/a.sock unix:///tmp/b.sock 16
+//! ```
+//!
+//! Both daemons seed the same `/seed/file{i}` set in their private file
+//! servers, so either shard can take a given file over. The workload:
+//! create a DATALINK table, link the first half of the files (the ring
+//! places the whole `/seed` directory on one daemon), migrate the `/seed`
+//! prefix to the *other* daemon while the table stays live — link rows
+//! cross the wire via `ExportLinks`/`ImportLinks` — then link the second
+//! half (now routed to the new owner), unlink a third by DELETE, and run
+//! the indoubt resolver. Asserts row counts, migrated-row counts, a clean
+//! resolver pass, and that the host status page shows the ring and the
+//! migrated prefix override.
+
+use std::time::Duration;
+
+use datalinks::{dlfm, hostdb};
+use dlfm::AccessControl;
+use hostdb::DatalinkSpec;
+use minidb::Value;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let usage = "usage: shard_host_smoke <url-a> <url-b> [seeded-files]";
+    let url_a = args.next().unwrap_or_else(|| {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    });
+    let url_b = args.next().unwrap_or_else(|| {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    });
+    let files: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(16);
+
+    let host = hostdb::HostDb::new(hostdb::HostConfig::for_tests());
+    host.attach_dlfm_url("sa", &url_a).expect("attach shard A by URL");
+    host.attach_dlfm_url("sb", &url_b).expect("attach shard B by URL");
+    host.set_shards(&["sa", "sb"]).expect("enable the shard ring");
+
+    let mut session = host.session();
+    session
+        .create_table(
+            "CREATE TABLE docs (id BIGINT NOT NULL, doc DATALINK)",
+            &[DatalinkSpec { column: "doc".into(), access: AccessControl::Full, recovery: true }],
+        )
+        .expect("create table across both shards");
+
+    // Where did the ring place the seeded directory?
+    let map = host.shard_map();
+    let home = map
+        .route("/seed/file0", map.epoch(), Duration::from_secs(5))
+        .expect("route")
+        .expect("ring is enabled")
+        .shard;
+    let target = if home == "sa" { "sb" } else { "sa" };
+
+    // Link the first half: one 2PC per row, all to the home daemon (the
+    // URL's server name is ignored once the ring is on).
+    for i in 0..files / 2 {
+        session
+            .exec_params(
+                "INSERT INTO docs (id, doc) VALUES (?, ?)",
+                &[Value::Int(i as i64), Value::str(format!("dlfs://sa/seed/file{i}"))],
+            )
+            .unwrap_or_else(|e| panic!("link of /seed/file{i} failed: {e}"));
+    }
+
+    // Move the whole directory to the other daemon while the table stays
+    // live: the link rows cross the wire via ExportLinks/ImportLinks.
+    let moved = host.migrate_prefix("/seed", target).expect("online prefix migration");
+    assert_eq!(moved as usize, files / 2, "every linked row must migrate");
+
+    // Link the second half: routed to the new owner by the override.
+    for i in files / 2..files {
+        session
+            .exec_params(
+                "INSERT INTO docs (id, doc) VALUES (?, ?)",
+                &[Value::Int(i as i64), Value::str(format!("dlfs://sa/seed/file{i}"))],
+            )
+            .unwrap_or_else(|e| panic!("post-migration link of /seed/file{i} failed: {e}"));
+    }
+
+    // Unlink a third by DELETE — including migrated rows, so the host
+    // metadata must have followed the move.
+    for i in 0..files / 3 {
+        session
+            .exec_params("DELETE FROM docs WHERE id = ?", &[Value::Int(i as i64)])
+            .unwrap_or_else(|e| panic!("unlink of /seed/file{i} failed: {e}"));
+    }
+
+    let resolved = host.resolve_indoubts().expect("resolver across both daemons");
+    assert_eq!(resolved, 0, "clean run must leave no indoubt transactions");
+
+    let rows = session.query("SELECT id FROM docs", &[]).expect("final select");
+    assert_eq!(rows.len(), files - files / 3, "row count after links, migration, unlinks");
+
+    let status = host.status_text();
+    assert!(status.contains("shard map: 2 shards"), "status must show the ring:\n{status}");
+    assert!(
+        status.contains(&format!("prefix /seed -> {target}")),
+        "status must show the migrated prefix override:\n{status}"
+    );
+
+    println!(
+        "shard_host_smoke OK: {files} links across 2 shards, {moved} rows migrated \
+         {home} -> {target}, {} rows remain",
+        rows.len()
+    );
+}

@@ -675,3 +675,435 @@ fn failed_hangup_abort_is_counted_and_resolved_after_restart() {
     assert_eq!(d.xact_count(), 0);
     assert_eq!(d.count("SELECT COUNT(*) FROM dfm_file"), 0, "chunked links must be undone");
 }
+
+// ---------------------------------------------------------------------
+// Multi-shard arm: the same §3.3 invariants must hold when link metadata
+// is hash-partitioned across three DLFM shards (one dialed over a Unix
+// socket), with transport and phase-2 faults armed on all of them.
+// ---------------------------------------------------------------------
+
+/// Three DLFM shards sharing one file server, attached to a single host
+/// with the shard ring enabled. Shard `s2` is dialed over a Unix-domain
+/// socket so wire faults bite a subset of the shards while in-process
+/// faults bite the rest.
+struct ShardedDriver {
+    fs: std::sync::Arc<filesys::FileSystem>,
+    #[allow(dead_code)]
+    archive: std::sync::Arc<archive::ArchiveServer>,
+    shards: Vec<dlfm::DlfmServer>,
+    names: Vec<&'static str>,
+    host: hostdb::HostDb,
+}
+
+impl ShardedDriver {
+    fn new() -> ShardedDriver {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let fs = std::sync::Arc::new(filesys::FileSystem::new());
+        let archive = std::sync::Arc::new(archive::ArchiveServer::new());
+        let host = hostdb::HostDb::new(hostdb::HostConfig::for_tests());
+        let names = vec!["s0", "s1", "s2"];
+        let mut shards = Vec::new();
+        for (i, name) in names.iter().enumerate() {
+            let mut config = dlfm::DlfmConfig::for_tests();
+            if i == 2 {
+                let sock = std::env::temp_dir()
+                    .join(format!(
+                        "dlfm-shard-{}-{}.sock",
+                        std::process::id(),
+                        SEQ.fetch_add(1, Ordering::Relaxed)
+                    ))
+                    .display()
+                    .to_string();
+                config.listen = dlfm::Transport::Unix(sock);
+            }
+            let server = dlfm::DlfmServer::start(config, fs.clone(), archive.clone());
+            if i == 2 {
+                let url = server.listen_addr().unwrap().to_string();
+                host.attach_dlfm_url(name, &url).unwrap();
+            } else {
+                host.attach_dlfm(name, server.connector());
+            }
+            shards.push(server);
+        }
+        host.set_shards(&names).unwrap();
+        let mut s = host.session();
+        s.create_table(
+            "CREATE TABLE t (id BIGINT NOT NULL, doc DATALINK)",
+            &[hostdb::DatalinkSpec {
+                column: "doc".into(),
+                access: dlfm::AccessControl::Full,
+                recovery: true,
+            }],
+        )
+        .unwrap();
+        drop(s);
+        ShardedDriver { fs, archive, shards, names, host }
+    }
+
+    /// A datalink URL for `path`. The server name in the URL is
+    /// irrelevant once the ring is enabled — routing goes by dirname.
+    fn url(&self, path: &str) -> String {
+        format!("dlfs://s0{path}")
+    }
+
+    fn linked_on(&self, i: usize, path: &str) -> bool {
+        let mut s = Session::new(self.shards[i].db());
+        s.query_int(
+            "SELECT COUNT(*) FROM dfm_file WHERE filename = ? AND lnk_state = 1",
+            &[Value::str(path.to_string())],
+        )
+        .unwrap()
+            > 0
+    }
+
+    /// Indices of the shards holding a linked entry for `path`.
+    fn linked_shards(&self, path: &str) -> Vec<usize> {
+        (0..self.shards.len()).filter(|&i| self.linked_on(i, path)).collect()
+    }
+
+    /// The shard index the map currently routes `path` to.
+    fn routed_shard(&self, path: &str) -> usize {
+        let map = self.host.shard_map();
+        let routed =
+            map.route(path, map.epoch(), Duration::from_secs(5)).unwrap().expect("ring is enabled");
+        self.names.iter().position(|n| *n == routed.shard).unwrap()
+    }
+
+    fn owner(&self, path: &str) -> String {
+        self.fs.stat(path).unwrap().owner
+    }
+
+    fn xact_total(&self) -> i64 {
+        (0..self.shards.len())
+            .map(|i| {
+                let mut s = Session::new(self.shards[i].db());
+                s.query_int("SELECT COUNT(*) FROM dfm_xact", &[]).unwrap()
+            })
+            .sum()
+    }
+
+    fn resolve_until_clean(&self) {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let resolved = self.host.resolve_indoubts();
+            if resolved.is_ok() && self.xact_total() == 0 {
+                return;
+            }
+            assert!(Instant::now() < deadline, "in-doubt work failed to drain across shards");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+fn sharded_sweep_one_seed(seed: u64) {
+    let d = ShardedDriver::new();
+    let guard = fault::install_guarded(
+        seed,
+        &[
+            ("rpc.call.drop", Trigger::Probability(0.05)),
+            ("rpc.call.duplicate", Trigger::Probability(0.06)),
+            ("rpc.call.disconnect", Trigger::Probability(0.03)),
+            ("rpc.wire.stall", Trigger::Probability(0.08)),
+            ("rpc.wire.reset", Trigger::Probability(0.03)),
+            ("dlfm.phase2.deadlock", Trigger::Probability(0.20)),
+            ("fs.chown", Trigger::Probability(0.06)),
+        ],
+    );
+
+    // Phase A: two files in each of six directories — dirnames spread the
+    // batch across the ring, so most statements are cross-shard relative
+    // to their neighbours while each one stays directory-local.
+    let mut expect: Expectations = HashMap::new();
+    for dir in 0..6i64 {
+        for f in 0..2i64 {
+            let path = format!("/d{dir}/f{f}");
+            d.fs.create(&path, "u", b"x").unwrap();
+            let mut s = d.host.session();
+            let acked = s
+                .exec_params(
+                    "INSERT INTO t (id, doc) VALUES (?, ?)",
+                    &[Value::Int(dir * 2 + f), Value::str(d.url(&path))],
+                )
+                .is_ok();
+            expect.insert(path, if acked { Some(true) } else { None });
+        }
+    }
+    // Phase B: unlink the first acked file of each directory.
+    for dir in 0..6i64 {
+        let path = format!("/d{dir}/f0");
+        if expect[&path] != Some(true) {
+            continue;
+        }
+        let mut s = d.host.session();
+        let acked = s.exec_params("DELETE FROM t WHERE id = ?", &[Value::Int(dir * 2)]).is_ok();
+        expect.insert(path, if acked { Some(false) } else { None });
+    }
+
+    drop(guard);
+    d.resolve_until_clean();
+
+    // §3.3 invariants, now *across* shards: an acked link lives on exactly
+    // the shard the map routes it to, an acked unlink lives nowhere.
+    let mut host = d.host.session();
+    for (path, state) in &expect {
+        let on = d.linked_shards(path);
+        match state {
+            Some(true) => {
+                assert_eq!(
+                    on,
+                    vec![d.routed_shard(path)],
+                    "seed {seed}: acked link of {path} must live on exactly its routed shard"
+                );
+                assert_eq!(d.owner(path), "dlfm_admin", "seed {seed}: {path} not taken over");
+                assert_eq!(
+                    host.query_int(
+                        "SELECT COUNT(*) FROM sys_datalinks WHERE filename = ?",
+                        &[Value::str(path.to_string())],
+                    )
+                    .unwrap(),
+                    1,
+                    "seed {seed}: acked host row for {path} lost"
+                );
+            }
+            Some(false) => {
+                assert!(on.is_empty(), "seed {seed}: acked unlink of {path} lost (on {on:?})");
+                assert_eq!(d.owner(path), "u", "seed {seed}: {path} not released");
+            }
+            None => {
+                assert!(on.len() <= 1, "seed {seed}: {path} linked on more than one shard: {on:?}");
+            }
+        }
+    }
+
+    // Nothing in-doubt anywhere; takeover ⟺ linked on some shard; no
+    // linked row strays off its routed shard.
+    assert_eq!(d.xact_total(), 0, "seed {seed}: in-doubt sub-transactions remain on a shard");
+    for path in d.fs.list("/") {
+        let on = d.linked_shards(&path);
+        assert!(on.len() <= 1, "seed {seed}: {path} linked on several shards: {on:?}");
+        let owner = d.owner(&path);
+        assert_eq!(
+            owner == "dlfm_admin",
+            !on.is_empty(),
+            "seed {seed}: {path} owner={owner} linked_on={on:?} — takeover without \
+             committed link state (or the reverse)"
+        );
+        if let Some(&i) = on.first() {
+            assert_eq!(
+                i,
+                d.routed_shard(&path),
+                "seed {seed}: linked row for {path} found on the wrong shard"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_seed_sweep_preserves_invariants_across_shards() {
+    let _s = serial();
+    let seeds: u64 =
+        std::env::var("FAULT_MATRIX_SEEDS").ok().and_then(|v| v.parse().ok()).unwrap_or(3);
+    for seed in 0..seeds {
+        sharded_sweep_one_seed(seed);
+    }
+}
+
+#[test]
+fn live_prefix_migration_preserves_links_and_reroutes() {
+    let _s = serial();
+    let d = ShardedDriver::new();
+
+    // Four files in one directory plus two elsewhere.
+    for (id, path) in [
+        (100, "/mv/h0/f0"),
+        (101, "/mv/h0/f1"),
+        (102, "/mv/h0/f2"),
+        (103, "/mv/h0/f3"),
+        (200, "/other/f0"),
+        (201, "/other/f1"),
+    ] {
+        d.fs.create(path, "u", b"x").unwrap();
+        let mut s = d.host.session();
+        s.exec_params(
+            "INSERT INTO t (id, doc) VALUES (?, ?)",
+            &[Value::Int(id), Value::str(d.url(path))],
+        )
+        .unwrap();
+    }
+    let home = d.routed_shard("/mv/h0/f0");
+    let target = (home + 1) % d.shards.len();
+    let moved = d.host.migrate_prefix("/mv/h0", d.names[target]).unwrap();
+    assert_eq!(moved, 4, "all four linked rows under the prefix must move");
+
+    // The rows moved and new routing follows the override.
+    for path in ["/mv/h0/f0", "/mv/h0/f1", "/mv/h0/f2", "/mv/h0/f3"] {
+        assert_eq!(d.linked_shards(path), vec![target], "{path} must live on the target shard");
+        assert_eq!(d.routed_shard(path), target, "{path} must route to the target shard");
+        assert_eq!(d.owner(path), "dlfm_admin");
+    }
+    // Untouched directory still routes and lives where it did.
+    assert_eq!(d.linked_shards("/other/f0"), vec![d.routed_shard("/other/f0")]);
+
+    // A new link under the migrated prefix lands on the target shard.
+    d.fs.create("/mv/h0/f9", "u", b"x").unwrap();
+    let mut s = d.host.session();
+    s.exec_params(
+        "INSERT INTO t (id, doc) VALUES (?, ?)",
+        &[Value::Int(109), Value::str(d.url("/mv/h0/f9"))],
+    )
+    .unwrap();
+    assert_eq!(d.linked_shards("/mv/h0/f9"), vec![target]);
+
+    // Unlinking a migrated file works: the host metadata followed the
+    // move, so the DELETE is sent to the new owner shard.
+    s.exec_params("DELETE FROM t WHERE id = ?", &[Value::Int(100)]).unwrap();
+    drop(s);
+    assert!(d.linked_shards("/mv/h0/f0").is_empty(), "unlink after migration must stick");
+    assert_eq!(d.owner("/mv/h0/f0"), "u");
+    d.resolve_until_clean();
+}
+
+// ---------------------------------------------------------------------
+// Pinned regression: a transport error during phase 2 — *after* the
+// forced coordinator commit record — must not surface as an application
+// abort. The decision stood; the resolver re-drives it.
+// ---------------------------------------------------------------------
+
+#[test]
+fn phase2_transport_error_does_not_false_abort_an_acked_commit() {
+    let _s = serial();
+    let mut fired_total = 0u64;
+    for seed in 0..12u64 {
+        let d = Driver::wire();
+        let guard = fault::install_guarded(seed, &[("rpc.wire.reset", Trigger::Probability(0.12))]);
+        let mut acked = Vec::new();
+        for i in 0..10i64 {
+            let path = format!("/fa{i}");
+            d.dep.fs.create(&path, "u", b"x").unwrap();
+            let mut s = d.dep.host.session();
+            if s.exec_params(
+                "INSERT INTO t (id, doc) VALUES (?, ?)",
+                &[Value::Int(i), Value::str(d.dep.url(&path))],
+            )
+            .is_ok()
+            {
+                acked.push(path);
+            }
+        }
+        drop(guard);
+        d.resolve_until_clean();
+
+        // Every statement that returned Ok reached a durable commit
+        // decision: after healing, its link must exist. Before the fix, a
+        // socket reset on the phase-2 Commit call surfaced as Err from
+        // commit() even though the forced commit record had been written —
+        // the application saw an abort for a transaction that commits.
+        for path in &acked {
+            assert!(
+                d.is_linked(path),
+                "seed {seed}: acked commit of {path} was reported aborted or lost \
+                 after a phase-2 transport error"
+            );
+            assert_eq!(d.owner(path), "dlfm_admin");
+        }
+        fired_total += d.dep.host.metrics().phase2_transport_errors.load(Ordering::Relaxed);
+        if fired_total > 0 {
+            break; // the interesting path fired and its invariant held
+        }
+    }
+    assert!(
+        fired_total > 0,
+        "no seed exercised the phase-2 transport-error path; widen the seed range"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Pinned regression: one unreachable shard must not stall resolution for
+// the others, and the coordinator End record must wait for *every*
+// participant's acknowledgement.
+// ---------------------------------------------------------------------
+
+#[test]
+fn resolver_continues_past_a_down_shard_and_gates_the_end_record() {
+    let _s = serial();
+    let fs = std::sync::Arc::new(filesys::FileSystem::new());
+    let archive = std::sync::Arc::new(archive::ArchiveServer::new());
+    let live = dlfm::DlfmServer::start(dlfm::DlfmConfig::for_tests(), fs.clone(), archive.clone());
+    let host = hostdb::HostDb::new(hostdb::HostConfig::for_tests());
+    host.attach_dlfm("zz-live", live.connector());
+    let mut s = host.session();
+    s.create_table(
+        "CREATE TABLE t (id BIGINT NOT NULL, doc DATALINK)",
+        &[hostdb::DatalinkSpec {
+            column: "doc".into(),
+            access: dlfm::AccessControl::Full,
+            recovery: true,
+        }],
+    )
+    .unwrap();
+    drop(s);
+    let grp_id = host.dl_column("t", "doc").unwrap().grp_id;
+
+    // Attach a shard whose socket nobody listens on. "aa-down" sorts
+    // *before* "zz-live", so the resolver visits the dead shard first —
+    // the order that used to abort the entire pass.
+    let sock = std::env::temp_dir()
+        .join(format!("dlfm-nobody-{}.sock", std::process::id()))
+        .display()
+        .to_string();
+    host.attach_dlfm_url("aa-down", &format!("unix://{sock}")).unwrap();
+
+    // An in-doubt sub-transaction on the live shard: prepared, never
+    // decided (its coordinator vanished).
+    fs.create("/r0", "u", b"x").unwrap();
+    let conn = live.connector().connect().unwrap();
+    conn.call(DlfmRequest::Connect { dbid: host.dbid() }).unwrap();
+    let xid = host.next_xid();
+    assert_eq!(
+        conn.call(DlfmRequest::LinkFile {
+            xid,
+            rec_id: host.next_rec_id(),
+            grp_id,
+            filename: "/r0".into(),
+            in_backout: false,
+        })
+        .unwrap(),
+        DlfmResponse::Ok
+    );
+    conn.call(DlfmRequest::Prepare { xid }).unwrap();
+
+    // And an unfinished commit decision naming BOTH shards.
+    let cxid = host.next_xid();
+    host.coord_log().append_forced(hostdb::CoordRecord::Commit {
+        xid: cxid,
+        servers: vec!["aa-down".into(), "zz-live".into()],
+    });
+
+    // The pass must survive the dead shard and still drain the live one.
+    host.resolve_indoubts().expect("a down shard must not fail the whole resolution pass");
+    let mut s = Session::new(live.db());
+    assert_eq!(
+        s.query_int("SELECT COUNT(*) FROM dfm_xact", &[]).unwrap(),
+        0,
+        "the live shard's in-doubt work must drain even with a sibling down"
+    );
+    assert!(
+        host.metrics().resolver_partial_failures.load(Ordering::Relaxed) > 0,
+        "partial failures must be counted"
+    );
+    // The End record must NOT land: "aa-down" never acknowledged.
+    assert!(
+        host.coord_log().unfinished_commits().iter().any(|(x, _)| *x == cxid),
+        "End must not be appended until every participant acked the re-driven commit"
+    );
+
+    // Heal: stand a server up under the dead name and resolve again.
+    let back = dlfm::DlfmServer::start(dlfm::DlfmConfig::for_tests(), fs.clone(), archive.clone());
+    host.attach_dlfm("aa-down", back.connector());
+    host.resolve_indoubts().unwrap();
+    assert!(
+        host.coord_log().unfinished_commits().is_empty(),
+        "once every participant acks, the decision is finished with an End record"
+    );
+    drop(conn);
+}
