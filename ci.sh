@@ -70,10 +70,15 @@ wire_smoke() {
     sleep 0.1
   done
   grep -q READY "$out" || { echo "dlfmd never came up:"; cat "$out"; exit 1; }
-  target/release/examples/wire_host_smoke "unix://$sock" 32
+  # The client ends by pulling a merged fleet trace over the telemetry
+  # RPC; it exits nonzero on malformed JSON or zero remote spans, and the
+  # sentinel grep makes sure that stage actually ran.
+  target/release/examples/wire_host_smoke "unix://$sock" 32 | tee "$out.client"
+  grep -q 'FLEET_TRACE ok' "$out.client" \
+    || { echo "wire smoke: no merged fleet trace pulled"; exit 1; }
   exec 9>&- # stdin EOF: clean shutdown
   wait "$dpid"
-  rm -f "$sock" "$sock.stdin" "$out"
+  rm -f "$sock" "$sock.stdin" "$out" "$out.client"
 }
 
 # Two shards, three OS processes: two `dlfmd` daemons (telemetry watchdog
@@ -104,11 +109,25 @@ shard_smoke() {
   done
   grep -q READY "$out_a" || { echo "dlfmd A never came up:"; cat "$out_a"; exit 1; }
   grep -q READY "$out_b" || { echo "dlfmd B never came up:"; cat "$out_b"; exit 1; }
-  target/release/examples/shard_host_smoke "unix://$sock_a" "unix://$sock_b" 16
+  target/release/examples/shard_host_smoke "unix://$sock_a" "unix://$sock_b" 16 \
+    | tee "$out_a.client"
+  grep -q 'FLEET_TRACE ok' "$out_a.client" \
+    || { echo "shard smoke: no merged fleet trace pulled"; exit 1; }
+  # Fleet view over both live daemons: per-shard rows scraped over the
+  # telemetry RPC (the example exits nonzero if the table breaks).
+  cargo build -q --offline --release -p datalinks --example dlfmtop
+  target/release/examples/dlfmtop --fleet "unix://$sock_a" "unix://$sock_b" --ticks 1
   exec 7>&- 8>&- # stdin EOF on both: clean shutdown
   wait "$pid_a"
   wait "$pid_b"
-  rm -f "$sock_a" "$sock_b" "$sock_a.stdin" "$sock_b.stdin" "$out_a" "$out_b"
+  # Graceful degradation: with both daemons gone every shard must render
+  # as a DOWN row — and the fleet view must still exit 0.
+  target/release/examples/dlfmtop --fleet "unix://$sock_a" "unix://$sock_b" --ticks 1 \
+    | tee "$out_b.client"
+  grep -q '2 shards, 2 down' "$out_b.client" \
+    || { echo "shard smoke: dead daemons did not render as DOWN rows"; exit 1; }
+  rm -f "$sock_a" "$sock_b" "$sock_a.stdin" "$sock_b.stdin" \
+    "$out_a" "$out_b" "$out_a.client" "$out_b.client"
 }
 
 # Perf-regression gate: re-run the smoke benches into target/bench-gate,

@@ -228,6 +228,30 @@ fn main() {
         if wire_ratio <= 2.0 { "yes" } else { "NO" },
     );
 
+    // The wire arms above run with trace propagation at its session
+    // default; price the stamping itself with the shared guard so the
+    // wire cost this experiment reports can't silently absorb a tracing
+    // regression.
+    let (wire_on, wire_off) = bench::wire_trace_guard(200);
+    let wire_delta_pct = (wire_off - wire_on) / wire_off * 100.0;
+    println!(
+        "wire-trace guard: {wire_off:.0} links/s propagation off vs {wire_on:.0} links/s \
+         on over loopback TCP (propagation delta {wire_delta_pct:+.1}%, expected < 5%)"
+    );
+    for label in ["wire_trace_on", "wire_trace_off"] {
+        arms.push(
+            JsonArm {
+                label: label.to_string(),
+                ops_per_sec: if label == "wire_trace_on" { wire_on } else { wire_off },
+                p50_us: 0,
+                p95_us: 0,
+                p99_us: 0,
+                extra: Vec::new(),
+            }
+            .with("wire_trace_delta_pct", wire_delta_pct),
+        );
+    }
     bench::write_json_summary("E12", "dedicated vs pooled vs Unix-socket wire", &arms);
     bench::dump_metrics(&pooled_metrics);
+    bench::wire_trace_gate("e12", wire_delta_pct);
 }

@@ -253,6 +253,14 @@ fn main() {
          sampler attached (sampler delta {watch_delta_pct:+.1}%); scraping runs on the \
          sampler thread, expected within noise (< 5%)\n"
     );
+    let (wire_on, wire_off) = bench::wire_trace_guard(200);
+    let wire_delta_pct = (wire_off - wire_on) / wire_off * 100.0;
+    println!(
+        "wire-trace guard: {wire_off:.0} links/s propagation off vs {wire_on:.0} links/s \
+         on over loopback TCP (propagation delta {wire_delta_pct:+.1}%); stamping is two \
+         header fields per frame, expected within noise (< 5%)\n"
+    );
+    bench::wire_trace_gate("e5", wire_delta_pct);
     let watchdog_on = std::env::var("WATCHDOG").as_deref() == Ok("1");
     if watchdog_on {
         println!("WATCHDOG=1: telemetry watchdog armed on the sync arm (must stay silent)\n");
@@ -324,6 +332,8 @@ fn main() {
             guard_arm("journal_armed", armed, "journal_delta_pct", delta_pct),
             guard_arm("watch_bare", bare, "watch_delta_pct", watch_delta_pct),
             guard_arm("watch_sampled", sampled, "watch_delta_pct", watch_delta_pct),
+            guard_arm("wire_trace_on", wire_on, "wire_trace_delta_pct", wire_delta_pct),
+            guard_arm("wire_trace_off", wire_off, "wire_trace_delta_pct", wire_delta_pct),
         ],
     );
     bench::dump_metrics(&sync_outcome.metrics);

@@ -226,6 +226,84 @@ pub fn json_summary_string(id: &str, title: &str, arms: &[JsonArm]) -> String {
     out
 }
 
+/// Wire-trace propagation overhead guard, shared by E5 and E12: run the
+/// same linked-insert workload through the host engine over a loopback
+/// TCP deployment ([`datalinks::Deployment::new_wire`]) with frame-header
+/// trace stamping on and off, and return `(on_rate, off_rate)` in
+/// links/sec. Stamping is two u64 header fields and one atomic load per
+/// frame against a socket round trip, so the delta should be measurement
+/// noise (< 5%). Each arm takes the best of two interleaved runs to damp
+/// scheduler noise on shared machines.
+pub fn wire_trace_guard(ops: usize) -> (f64, f64) {
+    let run = |tracing: bool| -> f64 {
+        let was = dlrpc::set_wire_tracing(tracing);
+        let dep = datalinks::Deployment::new_wire(
+            "fs1",
+            DlfmConfig::for_tests(),
+            hostdb::HostConfig::for_tests(),
+            dlfm::Transport::Tcp("127.0.0.1:0".into()),
+        );
+        let mut session = dep.host.session();
+        session
+            .create_table(
+                "CREATE TABLE g (id BIGINT NOT NULL, doc DATALINK)",
+                &[hostdb::DatalinkSpec {
+                    column: "doc".into(),
+                    access: AccessControl::Partial,
+                    recovery: false,
+                }],
+            )
+            .expect("create table over the wire");
+        for i in 0..ops {
+            dep.fs.create(&format!("/g/f{i}"), "bench", b"x").expect("seed file");
+        }
+        let started = std::time::Instant::now();
+        for i in 0..ops {
+            session
+                .exec_params(
+                    "INSERT INTO g (id, doc) VALUES (?, ?)",
+                    &[
+                        minidb::Value::Int(i as i64),
+                        minidb::Value::str(format!("dlfs://fs1/g/f{i}")),
+                    ],
+                )
+                .expect("link over the wire");
+        }
+        let rate = ops as f64 / started.elapsed().as_secs_f64().max(1e-9);
+        dlrpc::set_wire_tracing(was);
+        rate
+    };
+    // Warm-up deployment pays the one-time costs (allocator, listener).
+    let _ = run(true);
+    let mut on = 0.0f64;
+    let mut off = 0.0f64;
+    for _ in 0..2 {
+        on = on.max(run(true));
+        off = off.max(run(false));
+    }
+    (on, off)
+}
+
+/// Gate on the wire-trace guard's delta: exit nonzero when propagation
+/// costs more than the tolerance. The *expectation* is noise (< 5%); the
+/// gate trips at `WIRE_TRACE_TOL_PCT` percent (default 25) so shared CI
+/// machines don't flake on scheduler jitter. `WIRE_TRACE_GATE=0`
+/// disables the exit (the numbers still print and land in the JSON).
+pub fn wire_trace_gate(bin: &str, delta_pct: f64) {
+    let tol: f64 =
+        std::env::var("WIRE_TRACE_TOL_PCT").ok().and_then(|v| v.parse().ok()).unwrap_or(25.0);
+    if std::env::var("WIRE_TRACE_GATE").as_deref() == Ok("0") {
+        return;
+    }
+    if delta_pct > tol {
+        eprintln!(
+            "{bin}: wire-trace propagation overhead {delta_pct:+.1}% exceeds gate \
+             tolerance {tol:.0}% (expected noise)"
+        );
+        std::process::exit(1);
+    }
+}
+
 /// Normalise a rate to "per 1000 committed transactions".
 pub fn per_1k(count: u64, committed: u64) -> f64 {
     if committed == 0 {

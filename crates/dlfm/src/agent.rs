@@ -293,6 +293,9 @@ impl Exec<'_> {
             DlfmRequest::ExportLinks { prefix, remove } => self.export_links(&prefix, remove),
             DlfmRequest::ImportLinks { entries } => self.import_links(&entries),
             DlfmRequest::Ping => Ok(DlfmResponse::Ok),
+            DlfmRequest::FetchTelemetry { kind } => {
+                Ok(DlfmResponse::Telemetry(crate::server::render_telemetry(self.shared, kind)))
+            }
         }
     }
 
@@ -878,6 +881,7 @@ fn op_name(req: &DlfmRequest) -> &'static str {
         DlfmRequest::ExportLinks { .. } => "ExportLinks",
         DlfmRequest::ImportLinks { .. } => "ImportLinks",
         DlfmRequest::Ping => "Ping",
+        DlfmRequest::FetchTelemetry { .. } => "FetchTelemetry",
     }
 }
 

@@ -47,7 +47,7 @@ pub mod wire;
 
 pub use api::{
     AccessControl, DbErrorKind, DlfmError, DlfmRequest, DlfmResponse, DlfmResult, GroupSpec,
-    LinkStatus,
+    LinkStatus, TelemetryKind,
 };
 pub use config::{default_watch_rules, AgentModel, DlfmConfig, Transport};
 pub use metrics::{DlfmMetrics, DlfmMetricsSnapshot};

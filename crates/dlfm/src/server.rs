@@ -61,6 +61,35 @@ pub struct DlfmShared {
     pub shutdown: AtomicBool,
     /// Retrieve-daemon work queue.
     pub retrieve_tx: Sender<daemons::RetrieveJob>,
+    /// Late-bound telemetry renderers serving `FetchTelemetry` requests.
+    /// Empty until [`DlfmServer::start`] installs them — the renderers
+    /// need the connector, which is built after this struct.
+    pub telemetry: std::sync::OnceLock<TelemetryProviders>,
+}
+
+/// The renderers behind the `FetchTelemetry` RPC: the same closures the
+/// local watchdog scrapes, boxed so agents can call them through
+/// [`DlfmShared`] without borrowing the server.
+pub struct TelemetryProviders {
+    /// Prometheus text (as [`DlfmServer::metrics_text`]).
+    pub metrics: Box<dyn Fn() -> String + Send + Sync>,
+    /// Status page (as [`DlfmServer::status_text`]).
+    pub status: Box<dyn Fn() -> String + Send + Sync>,
+}
+
+/// Render one telemetry artifact for a `FetchTelemetry` request. Journal,
+/// spans, and clock come straight from `obs`; metrics and status go
+/// through the providers installed at server start (empty strings if the
+/// shared state was built without a server — unit-test harnesses).
+pub fn render_telemetry(shared: &DlfmShared, kind: crate::api::TelemetryKind) -> String {
+    use crate::api::TelemetryKind;
+    match kind {
+        TelemetryKind::Metrics => shared.telemetry.get().map(|t| (t.metrics)()).unwrap_or_default(),
+        TelemetryKind::Status => shared.telemetry.get().map(|t| (t.status)()).unwrap_or_default(),
+        TelemetryKind::Journal => obs::journal::dump_string(),
+        TelemetryKind::Spans => obs::export_span_dump(),
+        TelemetryKind::Clock => obs::journal::now_micros().to_string(),
+    }
 }
 
 impl DlfmShared {
@@ -134,6 +163,7 @@ impl DlfmServer {
             groupd_tx,
             shutdown: AtomicBool::new(false),
             retrieve_tx,
+            telemetry: std::sync::OnceLock::new(),
         });
 
         // Install the Upcall daemon as the DLFF's handler.
@@ -202,6 +232,39 @@ impl DlfmServer {
             _chown: chown_daemon,
             watchdog: None,
         };
+        // Arm the telemetry RPC. The closures capture Weak, not Arc: a
+        // strong reference here would make DlfmShared self-referential and
+        // immortal, and ChownDaemon::drop (which joins a thread that only
+        // exits when shared.chown's sender drops) would deadlock.
+        {
+            let weak = Arc::downgrade(&server.shared);
+            let connector = server.connector.clone();
+            let wire = server.wire_stats().cloned();
+            let metrics = Box::new(move || {
+                weak.upgrade()
+                    .map(|s| render_metrics_text(&s, &connector, wire.clone()))
+                    .unwrap_or_default()
+            });
+            let weak = Arc::downgrade(&server.shared);
+            let connector = server.connector.clone();
+            let agents = server
+                .rpc
+                .as_ref()
+                .map(|h| h.agents_spawned.clone())
+                .unwrap_or_else(|| Arc::new(std::sync::atomic::AtomicU64::new(0)));
+            let status = Box::new(move || {
+                weak.upgrade()
+                    .map(|s| {
+                        render_status_text(
+                            &s,
+                            &connector,
+                            agents.load(std::sync::atomic::Ordering::Relaxed),
+                        )
+                    })
+                    .unwrap_or_default()
+            });
+            let _ = server.shared.telemetry.set(TelemetryProviders { metrics, status });
+        }
         if let Some(watch) = server.shared.config.watch.clone() {
             server.watchdog = Some(
                 obs::Watchdog::new(watch)

@@ -12,7 +12,7 @@ use dlrpc::{Reader, Wire, WireError};
 
 use crate::api::{
     AccessControl, DbErrorKind, DlfmError, DlfmRequest, DlfmResponse, GroupSpec, LinkRow,
-    LinkStatus,
+    LinkStatus, TelemetryKind,
 };
 
 fn bad_tag(what: &str, tag: u8) -> WireError {
@@ -297,6 +297,10 @@ impl Wire for DlfmRequest {
                 put_u8(out, 19);
                 put_link_rows(out, entries);
             }
+            DlfmRequest::FetchTelemetry { kind } => {
+                put_u8(out, 20);
+                put_u8(out, kind.code());
+            }
         }
     }
 
@@ -335,6 +339,12 @@ impl Wire for DlfmRequest {
             17 => DlfmRequest::Ping,
             18 => DlfmRequest::ExportLinks { prefix: r.str()?, remove: r.bool()? },
             19 => DlfmRequest::ImportLinks { entries: get_link_rows(r)? },
+            20 => DlfmRequest::FetchTelemetry {
+                kind: {
+                    let c = r.u8()?;
+                    TelemetryKind::from_code(c).ok_or_else(|| bad_tag("TelemetryKind", c))?
+                },
+            },
             t => return Err(bad_tag("DlfmRequest", t)),
         })
     }
@@ -384,6 +394,10 @@ impl Wire for DlfmResponse {
                 put_u8(out, 8);
                 put_link_rows(out, rows);
             }
+            DlfmResponse::Telemetry(text) => {
+                put_u8(out, 9);
+                put_str(out, text);
+            }
         }
     }
 
@@ -407,6 +421,7 @@ impl Wire for DlfmResponse {
             },
             7 => DlfmResponse::Count(r.i64()?),
             8 => DlfmResponse::Links(get_link_rows(r)?),
+            9 => DlfmResponse::Telemetry(r.str()?),
             t => return Err(bad_tag("DlfmResponse", t)),
         })
     }
@@ -478,6 +493,15 @@ mod tests {
         roundtrip_req(DlfmRequest::ExportLinks { prefix: "/shard/h7".into(), remove: true });
         roundtrip_req(DlfmRequest::ImportLinks { entries: vec![] });
         roundtrip_req(DlfmRequest::ImportLinks { entries: vec![sample_link_row()] });
+        for kind in [
+            TelemetryKind::Metrics,
+            TelemetryKind::Status,
+            TelemetryKind::Journal,
+            TelemetryKind::Spans,
+            TelemetryKind::Clock,
+        ] {
+            roundtrip_req(DlfmRequest::FetchTelemetry { kind });
+        }
     }
 
     fn sample_link_row() -> LinkRow {
@@ -531,6 +555,15 @@ mod tests {
         roundtrip_resp(DlfmResponse::Count(-1));
         roundtrip_resp(DlfmResponse::Links(vec![]));
         roundtrip_resp(DlfmResponse::Links(vec![sample_link_row(), sample_link_row()]));
+        roundtrip_resp(DlfmResponse::Telemetry(String::new()));
+        roundtrip_resp(DlfmResponse::Telemetry("# HELP x\nx 1\n".into()));
+    }
+
+    #[test]
+    fn unknown_telemetry_kind_fails_cleanly() {
+        let buf = [20u8, 250u8];
+        let mut r = Reader::new(&buf);
+        assert!(matches!(DlfmRequest::decode(&mut r), Err(WireError::Decode(_))));
     }
 
     #[test]

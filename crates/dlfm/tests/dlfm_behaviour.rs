@@ -709,3 +709,39 @@ fn read_only_transactions_vote_read_only() {
         DlfmResponse::Prepared { read_only: true }
     );
 }
+
+#[test]
+fn telemetry_rpc_serves_metrics_spans_and_clock() {
+    use dlfm::TelemetryKind;
+    let rig = Rig::new(DlfmConfig::for_tests());
+    let conn = rig.connect(1);
+    // Do a little work so the span ring and metrics have something in them.
+    rig.group_full_recovery(&conn);
+    rig.fs.create("/tele/a.bin", "alice", b"x").unwrap();
+    assert_eq!(call(&conn, DlfmRequest::BeginTxn { xid: 900 }), DlfmResponse::Ok);
+    assert_eq!(link(&conn, 900, 1, 1, "/tele/a.bin"), DlfmResponse::Ok);
+    prepare_commit(&conn, 900);
+
+    let fetch = |kind: TelemetryKind| -> String {
+        match call(&conn, DlfmRequest::FetchTelemetry { kind }) {
+            DlfmResponse::Telemetry(text) => text,
+            other => panic!("expected Telemetry, got {other:?}"),
+        }
+    };
+
+    let metrics = fetch(TelemetryKind::Metrics);
+    assert!(metrics.contains("dlfm_"), "metrics text should have dlfm_ series: {metrics:?}");
+    let status = fetch(TelemetryKind::Status);
+    assert!(status.contains("dlfm status"), "status text: {status:?}");
+    let spans = fetch(TelemetryKind::Spans);
+    assert!(!spans.is_empty(), "span dump should be non-empty after work");
+    assert!(
+        obs::parse_span_dump(&spans).iter().any(|s| s.op.contains("LinkFile")),
+        "span dump should include the LinkFile agent span"
+    );
+    let clock: u64 = fetch(TelemetryKind::Clock).trim().parse().expect("clock is micros");
+    assert!(clock > 0);
+    // Journal dump renders (may be empty text if nothing recorded, but the
+    // RPC itself must succeed).
+    let _ = fetch(TelemetryKind::Journal);
+}

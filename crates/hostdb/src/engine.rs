@@ -20,7 +20,7 @@ use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use dlfm::{AccessControl, DlfmError, DlfmRequest, DlfmResponse, GroupSpec};
+use dlfm::{AccessControl, DlfmError, DlfmRequest, DlfmResponse, GroupSpec, TelemetryKind};
 use dlrpc::{ClientConn, Connector};
 use minidb::sql::ast::{Expr, Projection, SelectItem, SelectStmt, Stmt};
 use minidb::{Database, DbConfig, ExecResult, Row, Session, Value};
@@ -78,6 +78,19 @@ pub struct HostConfig {
     /// How long a shard migration waits for transactions pinned to the
     /// pre-migration epoch to finish before giving up.
     pub shard_drain_timeout: std::time::Duration,
+    /// Per-transaction autopsy: transactions that run slower than
+    /// [`autopsy_slow`](HostConfig::autopsy_slow) (or abort, with
+    /// [`autopsy_aborts`](HostConfig::autopsy_aborts)) get their
+    /// cross-process span tree and journal slice written as a bundle
+    /// under this directory. `None` disables autopsies.
+    pub autopsy_dir: Option<std::path::PathBuf>,
+    /// Latency threshold above which a finished transaction is autopsied.
+    pub autopsy_slow: std::time::Duration,
+    /// Autopsy aborted (rolled-back) transactions regardless of latency.
+    pub autopsy_aborts: bool,
+    /// At most this many autopsies per host (an abort storm must not
+    /// fill the disk).
+    pub autopsy_max: u64,
 }
 
 impl Default for HostConfig {
@@ -91,6 +104,10 @@ impl Default for HostConfig {
             conn_pool_size: 8,
             shard_route_timeout: std::time::Duration::from_secs(30),
             shard_drain_timeout: std::time::Duration::from_secs(30),
+            autopsy_dir: None,
+            autopsy_slow: std::time::Duration::from_secs(1),
+            autopsy_aborts: true,
+            autopsy_max: 16,
         }
     }
 }
@@ -167,6 +184,11 @@ pub struct HostMetrics {
     /// Resolver calls skipped because a server was unreachable; resolution
     /// continued on the remaining servers (liveness fix).
     pub resolver_partial_failures: AtomicU64,
+    /// Transaction autopsy bundles written (slow or aborted transactions).
+    pub autopsies: AtomicU64,
+    /// Telemetry scrapes of attached DLFMs that failed (server down or
+    /// mid-restart); fleet views render such shards as absent/DOWN.
+    pub telemetry_scrape_errors: AtomicU64,
 }
 
 struct HostInner {
@@ -188,6 +210,10 @@ struct HostInner {
     shards: crate::shard::ShardMap,
     shard_route_timeout: std::time::Duration,
     shard_drain_timeout: std::time::Duration,
+    autopsy_dir: Option<std::path::PathBuf>,
+    autopsy_slow: std::time::Duration,
+    autopsy_aborts: bool,
+    autopsy_max: u64,
 }
 
 /// A shared handle to the host database. Cheap to clone.
@@ -223,6 +249,10 @@ impl HostDb {
                 shards: crate::shard::ShardMap::new(),
                 shard_route_timeout: config.shard_route_timeout,
                 shard_drain_timeout: config.shard_drain_timeout,
+                autopsy_dir: config.autopsy_dir,
+                autopsy_slow: config.autopsy_slow,
+                autopsy_aborts: config.autopsy_aborts,
+                autopsy_max: config.autopsy_max,
             }),
         };
         host.create_sys_tables();
@@ -457,6 +487,18 @@ impl HostDb {
             "Resolver calls skipped for unreachable servers (pass continued).",
             &[],
             m.resolver_partial_failures.load(Ordering::Relaxed),
+        );
+        r.counter(
+            "hostdb_autopsies_total",
+            "Transaction autopsy bundles written (slow or aborted transactions).",
+            &[],
+            m.autopsies.load(Ordering::Relaxed),
+        );
+        r.counter(
+            "hostdb_telemetry_scrape_errors_total",
+            "Failed telemetry scrapes of attached DLFMs (shard down).",
+            &[],
+            m.telemetry_scrape_errors.load(Ordering::Relaxed),
         );
         r.counter(
             "coordlog_forces_total",
@@ -938,6 +980,243 @@ impl HostDb {
     }
 
     // ------------------------------------------------------------------
+    // Fleet telemetry: scraping attached DLFMs over the wire
+    // ------------------------------------------------------------------
+
+    /// Pull one telemetry document from an attached DLFM over its normal
+    /// RPC transport (pooled connection; a fresh dial when the pool is
+    /// empty). A transport failure retires the connection and surfaces as
+    /// an error — callers render the shard as DOWN rather than crashing.
+    pub fn fetch_telemetry(&self, server: &str, kind: TelemetryKind) -> HostResult<String> {
+        let result = (|| {
+            let conn = self.checkout_conn(server)?;
+            match conn.call(DlfmRequest::FetchTelemetry { kind }) {
+                Ok(DlfmResponse::Telemetry(text)) => {
+                    self.checkin_conn(server, conn);
+                    Ok(text)
+                }
+                Ok(other) => {
+                    self.checkin_conn(server, conn);
+                    Err(HostError::Rpc(format!("unexpected telemetry response {other:?}")))
+                }
+                // Transport error: the connection is dead, drop it.
+                Err(e) => Err(e.into()),
+            }
+        })();
+        if result.is_err() {
+            self.inner.metrics.telemetry_scrape_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// Scrape one telemetry document from every attached DLFM. Unreachable
+    /// shards yield `None` — fleet views (dlfmtop) render them as DOWN
+    /// instead of erroring mid-refresh.
+    pub fn fleet_telemetry(&self, kind: TelemetryKind) -> Vec<(String, Option<String>)> {
+        let mut out: Vec<(String, Option<String>)> = self
+            .servers()
+            .into_iter()
+            .map(|server| {
+                let text = self.fetch_telemetry(&server, kind).ok();
+                (server, text)
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Estimate the offset of `server`'s observability clock relative to
+    /// the local one: read the remote clock over the wire and assume the
+    /// reading was taken halfway through the round trip. Each process
+    /// timestamps spans with µs since its *own* start, so without this the
+    /// merged fleet trace would scatter processes across the timeline.
+    pub fn clock_offset_micros(&self, server: &str) -> HostResult<i64> {
+        let t0 = obs::journal::now_micros();
+        let text = self.fetch_telemetry(server, TelemetryKind::Clock)?;
+        let t1 = obs::journal::now_micros();
+        let remote: u64 = text
+            .trim()
+            .parse()
+            .map_err(|_| HostError::Rpc(format!("bad clock reading {text:?} from {server}")))?;
+        let local_mid = t0 + (t1 - t0) / 2;
+        Ok(local_mid as i64 - remote as i64)
+    }
+
+    /// Remote per-process span dumps from every attached DLFM, shifted
+    /// onto the local clock. Unreachable daemons are skipped (warned, not
+    /// fatal); `filter` keeps only spans of the given trace ids.
+    fn remote_traces(&self, filter: Option<&BTreeSet<u64>>) -> Vec<obs::ProcessTrace> {
+        let mut servers = self.servers();
+        servers.sort();
+        let mut out = Vec::new();
+        for server in servers {
+            let scraped = (|| -> HostResult<obs::ProcessTrace> {
+                let clock_offset_micros = self.clock_offset_micros(&server)?;
+                let dump = self.fetch_telemetry(&server, TelemetryKind::Spans)?;
+                let mut spans = obs::parse_span_dump(&dump);
+                if let Some(ids) = filter {
+                    spans.retain(|s| ids.contains(&s.trace_id));
+                }
+                Ok(obs::ProcessTrace {
+                    name: format!("dlfm[{server}]"),
+                    clock_offset_micros,
+                    spans,
+                })
+            })();
+            match scraped {
+                Ok(t) => out.push(t),
+                Err(e) => {
+                    obs::warn!("hostdb::fleet", "telemetry scrape of {server} failed: {e}")
+                }
+            }
+        }
+        out
+    }
+
+    /// Every attached daemon's clock-aligned spans (full ring).
+    pub fn fleet_remote_traces(&self) -> Vec<obs::ProcessTrace> {
+        self.remote_traces(None)
+    }
+
+    /// ONE merged Perfetto/Chrome trace for the whole deployment: the
+    /// local span ring and journal, plus every attached daemon's spans
+    /// pulled over the telemetry RPC and shifted onto the local timeline.
+    /// Daemons that are down are simply absent from the document.
+    pub fn fleet_trace(&self) -> String {
+        let remotes = self.remote_traces(None);
+        obs::merge_chrome_trace(
+            &obs::trace::global_ring().snapshot(),
+            &obs::journal::snapshot(),
+            &remotes,
+        )
+    }
+
+    /// Build a fleet watchdog: the host's own metrics under provider
+    /// `host`, plus one provider per attached DLFM scraped over the
+    /// telemetry RPC (an unreachable shard contributes no series that
+    /// tick, so rules simply don't see it). Callers append rules — e.g.
+    /// [`obs::Rule::skew_quantile`] over `dlfm_commit_micros` to catch one
+    /// shard's commit p99 running away from the ring median — then spawn
+    /// it. Attach every DLFM *before* building: the provider set is fixed
+    /// here.
+    pub fn fleet_watchdog(&self, config: obs::WatchConfig) -> obs::Watchdog {
+        let host = self.clone();
+        let mut w = obs::Watchdog::new(config).provider("host", move || host.metrics_text());
+        let host = self.clone();
+        w = w.section("host_status", move || host.status_text());
+        let mut servers = self.servers();
+        servers.sort();
+        for server in servers {
+            let host = self.clone();
+            let name = server.clone();
+            w = w.provider(&server, move || {
+                host.fetch_telemetry(&name, TelemetryKind::Metrics).unwrap_or_default()
+            });
+        }
+        w
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction autopsy
+    // ------------------------------------------------------------------
+
+    /// Called at the end of every transaction: write an autopsy bundle if
+    /// it was slow (or aborted, when configured) — the assembled
+    /// cross-process span tree plus the journal slice, so the question
+    /// "why was THIS transaction slow" is answerable after the fact
+    /// without reproducing it.
+    pub(crate) fn maybe_autopsy(
+        &self,
+        xid: i64,
+        start_micros: u64,
+        trace_ids: &BTreeSet<u64>,
+        aborted: bool,
+    ) {
+        let Some(root) = &self.inner.autopsy_dir else { return };
+        let elapsed = obs::journal::now_micros().saturating_sub(start_micros);
+        let slow = elapsed >= self.inner.autopsy_slow.as_micros() as u64;
+        let autopsy_abort = aborted && self.inner.autopsy_aborts;
+        if !slow && !autopsy_abort {
+            return;
+        }
+        if self.inner.metrics.autopsies.load(Ordering::Relaxed) >= self.inner.autopsy_max {
+            return;
+        }
+        let seq = self.inner.metrics.autopsies.fetch_add(1, Ordering::Relaxed);
+        let dir = root.join(format!("autopsy-{seq:04}-xid{xid}"));
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            obs::warn!("hostdb::autopsy", "cannot create {}: {e}", dir.display());
+            return;
+        }
+
+        // Local spans of this transaction's traces, and the matching
+        // remote spans from every reachable daemon (clock-aligned).
+        let local: Vec<obs::SpanEvent> = obs::trace::global_ring()
+            .snapshot()
+            .into_iter()
+            .filter(|s| trace_ids.contains(&s.trace_id))
+            .collect();
+        let remotes = self.remote_traces(Some(trace_ids));
+        let journal: Vec<obs::JournalEvent> = obs::journal::snapshot()
+            .into_iter()
+            .filter(|e| trace_ids.contains(&e.trace_id) || e.txn == xid)
+            .collect();
+
+        let outcome = if aborted { "aborted" } else { "slow-commit" };
+        let mut report = format!(
+            "transaction autopsy\nxid: {xid}\noutcome: {outcome}\nelapsed_micros: {elapsed}\n"
+        );
+        report.push_str(&format!(
+            "slow_threshold_micros: {}\ntraces: {}\n",
+            self.inner.autopsy_slow.as_micros(),
+            trace_ids.iter().map(|t| format!("{t:016x}")).collect::<Vec<_>>().join(" "),
+        ));
+        let down: Vec<String> = {
+            let mut servers = self.servers();
+            servers.sort();
+            servers
+                .into_iter()
+                .filter(|s| !remotes.iter().any(|r| r.name == format!("dlfm[{s}]")))
+                .collect()
+        };
+        report.push_str(&format!(
+            "processes: host + {} remote ({} unreachable{})\n\nspan tree:\n{}",
+            remotes.len(),
+            down.len(),
+            if down.is_empty() { String::new() } else { format!(": {}", down.join(" ")) },
+            render_span_tree(&local, &remotes),
+        ));
+
+        let mut journal_text = String::new();
+        for e in &journal {
+            journal_text.push_str(&format!(
+                "{:>12}us trace={:016x} txn={} {:<14} {}\n",
+                e.micros,
+                e.trace_id,
+                e.txn,
+                e.kind.as_str(),
+                e.detail
+            ));
+        }
+
+        let files = [
+            ("report.txt", report),
+            ("trace.json", obs::merge_chrome_trace(&local, &journal, &remotes)),
+            ("journal.txt", journal_text),
+        ];
+        for (name, content) in files {
+            if let Err(e) = std::fs::write(dir.join(name), content) {
+                obs::warn!("hostdb::autopsy", "cannot write {name}: {e}");
+            }
+        }
+        obs::warn!(
+            "hostdb::autopsy",
+            "{outcome} transaction xid {xid} ({elapsed}us): bundle at {}",
+            dir.display()
+        );
+    }
+
+    // ------------------------------------------------------------------
     // Shard map: hash-partitioned link placement (ROADMAP 2)
     // ------------------------------------------------------------------
 
@@ -1139,6 +1418,91 @@ impl HostDb {
     }
 }
 
+/// Render local + remote spans of one transaction as an indented tree.
+/// Cross-process edges come for free: the wire frame carries the parent
+/// span id, so a remote agent span's parent IS the host-side rpc span and
+/// the stitched tree reads top to bottom through the whole deployment.
+fn render_span_tree(local: &[obs::SpanEvent], remotes: &[obs::ProcessTrace]) -> String {
+    struct Node {
+        process: String,
+        layer: String,
+        op: String,
+        ok: bool,
+        start: i64,
+        dur_micros: u64,
+        span_id: u64,
+        parent: u64,
+    }
+    let mut nodes: Vec<Node> = Vec::new();
+    for s in local {
+        nodes.push(Node {
+            process: "host".into(),
+            layer: s.layer.as_str().into(),
+            op: s.op.into(),
+            ok: s.outcome == obs::Outcome::Ok,
+            start: s.start_micros as i64,
+            dur_micros: s.duration.as_micros() as u64,
+            span_id: s.span_id,
+            parent: s.parent_span_id,
+        });
+    }
+    for r in remotes {
+        for s in &r.spans {
+            nodes.push(Node {
+                process: r.name.clone(),
+                layer: s.layer.clone(),
+                op: s.op.clone(),
+                ok: s.ok,
+                start: (s.start_micros as i64).saturating_add(r.clock_offset_micros),
+                dur_micros: s.dur_micros,
+                span_id: s.span_id,
+                parent: s.parent_span_id,
+            });
+        }
+    }
+    let by_id: HashMap<u64, usize> =
+        nodes.iter().enumerate().map(|(i, n)| (n.span_id, i)).collect();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, n) in nodes.iter().enumerate() {
+        match by_id.get(&n.parent) {
+            Some(&p) if n.parent != 0 && p != i => children[p].push(i),
+            _ => roots.push(i),
+        }
+    }
+    let order = |xs: &mut Vec<usize>, nodes: &[Node]| {
+        xs.sort_by_key(|&i| (nodes[i].start, nodes[i].span_id));
+    };
+    for c in &mut children {
+        order(c, &nodes);
+    }
+    order(&mut roots, &nodes);
+    fn render(out: &mut String, nodes: &[Node], children: &[Vec<usize>], i: usize, depth: usize) {
+        let n = &nodes[i];
+        out.push_str(&format!(
+            "{:indent$}[{}/{}] {} {} {}us\n",
+            "",
+            n.process,
+            n.layer,
+            n.op,
+            if n.ok { "ok" } else { "err" },
+            n.dur_micros,
+            indent = depth * 2,
+        ));
+        for &c in &children[i] {
+            render(out, nodes, children, c, depth + 1);
+        }
+    }
+    let mut out = String::new();
+    for r in roots {
+        render(&mut out, &nodes, &children, r, 0);
+    }
+    if out.is_empty() {
+        out.push_str("(no spans retained — ring may have wrapped)\n");
+    }
+    out
+}
+
 /// One datalink operation performed in the current transaction, tracked so
 /// savepoint rollback can send the matching `in_backout` request (§3.2).
 #[derive(Debug, Clone)]
@@ -1159,6 +1523,12 @@ pub(crate) struct HostTxn {
     pub epoch: u64,
     pub touched: BTreeSet<String>,
     pub dl_ops: Vec<DlOp>,
+    /// When the transaction began (observability clock), for the autopsy
+    /// latency threshold.
+    pub start_micros: u64,
+    /// Trace ids of every statement (and the commit) this transaction
+    /// ran: the autopsy assembles the cross-process span tree from them.
+    pub trace_ids: BTreeSet<u64>,
 }
 
 /// A savepoint covering both local data and datalink operations.
@@ -1201,6 +1571,8 @@ impl HostSession {
             epoch: self.host.inner.shards.begin_txn(),
             touched: BTreeSet::new(),
             dl_ops: Vec::new(),
+            start_micros: obs::journal::now_micros(),
+            trace_ids: obs::current_ctx().map(|c| c.trace_id).into_iter().collect(),
         });
         Ok(())
     }
@@ -1211,17 +1583,20 @@ impl HostSession {
         // Child of the statement span under autocommit; a fresh root when
         // the application commits an explicit transaction.
         let mut span = obs::span(obs::Layer::Host, "commit");
-        let txn = self
+        let mut txn = self
             .txn
             .take()
             .ok_or_else(|| HostError::Usage("no transaction open".into()))
             .inspect_err(|_| span.fail())?;
+        txn.trace_ids.insert(span.ctx().trace_id);
         let epoch = txn.epoch;
+        let (xid, start_micros, trace_ids) = (txn.xid, txn.start_micros, txn.trace_ids.clone());
         let result = self.commit_txn(txn, &mut span);
         // The shard-map pin ends only after the outcome is settled either
         // way: a migration must not move rows this transaction's phase 2
         // may still be writing.
         self.host.inner.shards.end_txn(epoch);
+        self.host.maybe_autopsy(xid, start_micros, &trace_ids, result.is_err());
         result
     }
 
@@ -1373,6 +1748,7 @@ impl HostSession {
             self.session.rollback();
             self.host.inner.metrics.rollbacks.fetch_add(1, Ordering::Relaxed);
             self.host.inner.shards.end_txn(txn.epoch);
+            self.host.maybe_autopsy(txn.xid, txn.start_micros, &txn.trace_ids, true);
         }
     }
 
@@ -1475,6 +1851,11 @@ impl HostSession {
         let autocommit = self.txn.is_none();
         if autocommit {
             self.begin().inspect_err(|_| span.fail())?;
+        }
+        // Under an explicit transaction, every statement roots its own
+        // trace: the autopsy collects them all.
+        if let Some(t) = self.txn.as_mut() {
+            t.trace_ids.insert(span.ctx().trace_id);
         }
         let result = self.exec_stmt(&stmt, params);
         match result {

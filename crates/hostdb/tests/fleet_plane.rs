@@ -1,0 +1,209 @@
+//! The fleet telemetry plane end to end over real sockets: per-shard
+//! scraping with DOWN degradation, the per-shard-skew watchdog rule fed
+//! by wire-scraped providers, and the per-transaction autopsy bundles.
+//!
+//! Kept in its own integration-test binary: autopsy bundles read the
+//! process-global span ring, so the tests serialize on a mutex to keep
+//! each one's window clean.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use archive::ArchiveServer;
+use dlfm::{AccessControl, DlfmConfig, DlfmServer, TelemetryKind, Transport};
+use filesys::FileSystem;
+use hostdb::{DatalinkSpec, HostConfig, HostDb};
+use minidb::Value;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A scratch directory that starts empty.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dlfm-fleet-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One wire-listening DLFM on a fresh loopback TCP port.
+fn wire_dlfm() -> (Arc<FileSystem>, DlfmServer) {
+    let fs = Arc::new(FileSystem::new());
+    let mut config = DlfmConfig::for_tests();
+    config.listen = Transport::Tcp("127.0.0.1:0".into());
+    let dlfm = DlfmServer::start(config, fs.clone(), Arc::new(ArchiveServer::new()));
+    (fs, dlfm)
+}
+
+fn attach(host: &HostDb, name: &str, dlfm: &DlfmServer) {
+    host.attach_dlfm_url(name, &dlfm.listen_addr().unwrap().to_string()).unwrap();
+}
+
+fn make_table(host: &HostDb) -> hostdb::HostSession {
+    let mut s = host.session();
+    s.create_table(
+        "CREATE TABLE docs (id BIGINT NOT NULL, doc DATALINK)",
+        &[DatalinkSpec { column: "doc".into(), access: AccessControl::Full, recovery: false }],
+    )
+    .unwrap();
+    s
+}
+
+/// The only bundle directory under `root` (asserts there is exactly one).
+fn only_bundle(root: &PathBuf) -> PathBuf {
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(root).unwrap().map(|e| e.unwrap().path()).collect();
+    assert_eq!(entries.len(), 1, "expected exactly one autopsy bundle: {entries:?}");
+    entries.pop().unwrap()
+}
+
+#[test]
+fn slow_wire_transaction_writes_a_cross_process_autopsy_bundle() {
+    let _g = serial();
+    let (fs, dlfm) = wire_dlfm();
+    let dir = scratch("slow");
+    let mut config = HostConfig::for_tests();
+    config.autopsy_dir = Some(dir.clone());
+    config.autopsy_slow = Duration::ZERO; // every commit counts as slow
+    let host = HostDb::new(config);
+    attach(&host, "fs1", &dlfm);
+    let mut s = make_table(&host);
+
+    fs.create("/slow", "u", b"x").unwrap();
+    s.begin().unwrap();
+    s.exec_params("INSERT INTO docs (id, doc) VALUES (1, ?)", &[Value::str("dlfs://fs1/slow")])
+        .unwrap();
+    s.commit().unwrap();
+
+    let bundle = only_bundle(&dir);
+    assert!(
+        bundle.file_name().unwrap().to_string_lossy().starts_with("autopsy-0000-xid"),
+        "bundle dir is sequence-numbered and names the xid: {bundle:?}"
+    );
+    let report = std::fs::read_to_string(bundle.join("report.txt")).unwrap();
+    assert!(report.contains("outcome: slow-commit"), "report:\n{report}");
+    assert!(report.contains("span tree:"), "report:\n{report}");
+    // The tree stitched spans from the remote daemon into the host's —
+    // the remote process label only appears when the wire scrape worked.
+    assert!(report.contains("dlfm[fs1]"), "report must show remote spans:\n{report}");
+    assert!(report.contains("LinkFile"), "report must show the remote agent's work:\n{report}");
+    let trace = std::fs::read_to_string(bundle.join("trace.json")).unwrap();
+    assert!(obs::json_is_well_formed(&trace), "autopsy trace.json must be well-formed");
+    assert!(bundle.join("journal.txt").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn aborted_transaction_writes_an_autopsy_bundle() {
+    let _g = serial();
+    let (fs, dlfm) = wire_dlfm();
+    let dir = scratch("abort");
+    let mut config = HostConfig::for_tests();
+    config.autopsy_dir = Some(dir.clone());
+    config.autopsy_slow = Duration::from_secs(3600); // only the abort path
+    let host = HostDb::new(config);
+    attach(&host, "fs1", &dlfm);
+    let mut s = make_table(&host);
+
+    fs.create("/doomed", "u", b"x").unwrap();
+    s.begin().unwrap();
+    s.exec_params("INSERT INTO docs (id, doc) VALUES (1, ?)", &[Value::str("dlfs://fs1/doomed")])
+        .unwrap();
+    s.rollback();
+
+    let report = std::fs::read_to_string(only_bundle(&dir).join("report.txt")).unwrap();
+    assert!(report.contains("outcome: aborted"), "report:\n{report}");
+    assert_eq!(host.metrics().autopsies.load(std::sync::atomic::Ordering::Relaxed), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn autopsy_bundles_are_capped() {
+    let _g = serial();
+    let (fs, dlfm) = wire_dlfm();
+    let dir = scratch("cap");
+    let mut config = HostConfig::for_tests();
+    config.autopsy_dir = Some(dir.clone());
+    config.autopsy_slow = Duration::ZERO;
+    config.autopsy_max = 2;
+    let host = HostDb::new(config);
+    attach(&host, "fs1", &dlfm);
+    let mut s = make_table(&host);
+
+    for i in 0..4i64 {
+        let path = format!("/cap{i}");
+        fs.create(&path, "u", b"x").unwrap();
+        s.exec_params(
+            "INSERT INTO docs (id, doc) VALUES (?, ?)",
+            &[Value::Int(i), Value::str(format!("dlfs://fs1{path}"))],
+        )
+        .unwrap();
+    }
+    let bundles = std::fs::read_dir(&dir).unwrap().count();
+    assert_eq!(bundles, 2, "the bundle cap bounds disk usage on a pathological day");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fleet_telemetry_reports_down_shard_as_none() {
+    let _g = serial();
+    let (_fs, dlfm) = wire_dlfm();
+    let host = HostDb::new(HostConfig::for_tests());
+    attach(&host, "alive", &dlfm);
+    // tcp/unix attaches are lazy, so attaching a daemon that isn't there
+    // succeeds — it just scrapes as DOWN.
+    host.attach_dlfm_url("dead", "unix:///tmp/dlfm-fleet-no-such-daemon.sock").unwrap();
+
+    let scraped = host.fleet_telemetry(TelemetryKind::Metrics);
+    assert_eq!(scraped.len(), 2);
+    let get = |name: &str| scraped.iter().find(|(s, _)| s == name).unwrap().1.clone();
+    assert!(get("alive").is_some_and(|t| t.contains("dlfm_")), "live shard scrapes metrics");
+    assert!(get("dead").is_none(), "dead shard scrapes as None, not an error");
+    assert!(
+        host.metrics().telemetry_scrape_errors.load(std::sync::atomic::Ordering::Relaxed) > 0,
+        "the failed scrape is counted"
+    );
+}
+
+#[test]
+fn fleet_watchdog_skew_rule_flags_the_hot_shard() {
+    let _g = serial();
+    let stacks: Vec<(Arc<FileSystem>, DlfmServer)> = (0..3).map(|_| wire_dlfm()).collect();
+    let host = HostDb::new(HostConfig::for_tests());
+    for (i, (_, dlfm)) in stacks.iter().enumerate() {
+        attach(&host, &format!("shard{i}"), dlfm);
+    }
+    let mut s = make_table(&host);
+
+    // One link on each cold shard, a pile on shard0 (URL routing: the
+    // server name in the datalink URL picks the daemon).
+    for (i, (fs, _)) in stacks.iter().enumerate() {
+        let links = if i == 0 { 20 } else { 1 };
+        for j in 0..links {
+            let path = format!("/skew{j}");
+            if j == 0 || i == 0 {
+                fs.create(&path, "u", b"x").unwrap();
+            }
+            s.exec_params(
+                "INSERT INTO docs (id, doc) VALUES (?, ?)",
+                &[Value::Int((i * 100 + j) as i64), Value::str(format!("dlfs://shard{i}{path}"))],
+            )
+            .unwrap();
+        }
+    }
+
+    // The fleet watchdog scrapes every daemon over the telemetry RPC; the
+    // skew rule compares each shard's link count against the ring median.
+    let w = host
+        .fleet_watchdog(obs::WatchConfig {
+            interval: Duration::from_millis(10),
+            rules: vec![obs::Rule::skew("fleet-link-skew", "dlfm_ops_total", 3.0, 10.0, 1)],
+            ..Default::default()
+        })
+        .manual();
+    w.sample_now();
+    assert_eq!(w.alerts(), 1, "shard0 is a 20x link outlier and must trip the skew rule");
+}

@@ -115,6 +115,160 @@ pub fn export_chrome_trace() -> String {
     chrome_trace(&global_ring().snapshot(), &journal::snapshot())
 }
 
+// ---------------------------------------------------------------------
+// Multi-process merge (fleet tracing)
+// ---------------------------------------------------------------------
+
+/// A finished span received from another process (over the telemetry
+/// RPC). Same shape as [`SpanEvent`] but with owned strings: `op` is a
+/// `&'static str` locally and cannot cross a process boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteSpan {
+    /// Trace id shared with the originating host statement.
+    pub trace_id: u64,
+    /// This span's id.
+    pub span_id: u64,
+    /// Parent span id, 0 for roots.
+    pub parent_span_id: u64,
+    /// Stack layer name (`host`/`rpc`/`dlfm`/`minidb`/`daemon`).
+    pub layer: String,
+    /// Operation name.
+    pub op: String,
+    /// Whether the span finished without error.
+    pub ok: bool,
+    /// Start in the *origin process's* monotonic µs clock.
+    pub start_micros: u64,
+    /// Duration in µs.
+    pub dur_micros: u64,
+}
+
+/// Render spans in the line format `parse_span_dump` reads back:
+/// `<trace_id:x> <span_id:x> <parent:x> <layer> <ok|err> <start> <dur> <op>`
+/// one span per line. This is what the `Spans` telemetry RPC ships — a
+/// text format because `SpanEvent::op` is a `&'static str` and the
+/// workspace has no serde.
+pub fn span_dump(spans: &[SpanEvent]) -> String {
+    let mut out = String::with_capacity(64 * spans.len());
+    for s in spans {
+        out.push_str(&format!(
+            "{:016x} {:016x} {:016x} {} {} {} {} {}\n",
+            s.trace_id,
+            s.span_id,
+            s.parent_span_id,
+            s.layer.as_str(),
+            if s.outcome == Outcome::Ok { "ok" } else { "err" },
+            s.start_micros,
+            s.duration.as_micros(),
+            s.op,
+        ));
+    }
+    out
+}
+
+/// Render the global span ring in [`span_dump`] format (non-destructive).
+pub fn export_span_dump() -> String {
+    span_dump(&global_ring().snapshot())
+}
+
+/// Parse a [`span_dump`] document. Malformed lines are skipped, not
+/// fatal: a truncated dump from a crashing daemon still yields the spans
+/// that survived.
+pub fn parse_span_dump(text: &str) -> Vec<RemoteSpan> {
+    let mut spans = Vec::new();
+    for line in text.lines() {
+        let mut parts = line.splitn(8, ' ');
+        let parsed = (|| {
+            let trace_id = u64::from_str_radix(parts.next()?, 16).ok()?;
+            let span_id = u64::from_str_radix(parts.next()?, 16).ok()?;
+            let parent_span_id = u64::from_str_radix(parts.next()?, 16).ok()?;
+            let layer = parts.next()?.to_string();
+            let ok = match parts.next()? {
+                "ok" => true,
+                "err" => false,
+                _ => return None,
+            };
+            let start_micros = parts.next()?.parse().ok()?;
+            let dur_micros = parts.next()?.parse().ok()?;
+            let op = parts.next()?.to_string();
+            Some(RemoteSpan {
+                trace_id,
+                span_id,
+                parent_span_id,
+                layer,
+                op,
+                ok,
+                start_micros,
+                dur_micros,
+            })
+        })();
+        if let Some(s) = parsed {
+            spans.push(s);
+        }
+    }
+    spans
+}
+
+/// One remote process's contribution to a merged fleet trace.
+#[derive(Debug, Clone)]
+pub struct ProcessTrace {
+    /// Display name for the Perfetto process track (e.g. `dlfm[shard0]`).
+    pub name: String,
+    /// Estimated offset of this process's monotonic clock relative to the
+    /// local one, in µs (`local_now ≈ remote_now - offset`); added to each
+    /// span's `ts` so all processes share the local timeline.
+    pub clock_offset_micros: i64,
+    /// The process's finished spans.
+    pub spans: Vec<RemoteSpan>,
+}
+
+/// Merge the local spans + journal with remote per-process span dumps
+/// into ONE Chrome trace JSON document. Local spans keep the per-layer
+/// pseudo-processes of [`chrome_trace`]; each remote process gets its own
+/// pid (100, 101, …) named via `process_name` metadata, with timestamps
+/// shifted onto the local clock by its estimated offset.
+pub fn merge_chrome_trace(
+    spans: &[SpanEvent],
+    events: &[JournalEvent],
+    remotes: &[ProcessTrace],
+) -> String {
+    let local = chrome_trace(spans, events);
+    // Splice the remote events into the traceEvents array: drop the
+    // closing "]}" and append.
+    let mut out = local.strip_suffix("]}").expect("chrome_trace shape").to_string();
+    for (i, proc) in remotes.iter().enumerate() {
+        let pid = 100 + i as u32;
+        out.push(',');
+        out.push_str(&format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\""
+        ));
+        escape_into(&proc.name, &mut out);
+        out.push_str("\"}}");
+        for s in &proc.spans {
+            let ts = (s.start_micros as i64).saturating_add(proc.clock_offset_micros).max(0);
+            let tid = s.trace_id % 1_000_000;
+            out.push_str(",{\"name\":\"");
+            escape_into(&s.op, &mut out);
+            out.push_str("\",\"cat\":\"");
+            escape_into(&s.layer, &mut out);
+            out.push_str(&format!(
+                "\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":{},\"tid\":{},\"args\":{{\"trace_id\":\"{:016x}\",\
+                 \"span_id\":\"{:016x}\",\"outcome\":\"{}\"}}}}",
+                ts,
+                s.dur_micros.max(1),
+                pid,
+                tid,
+                s.trace_id,
+                s.span_id,
+                if s.ok { "ok" } else { "err" },
+            ));
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
 /// Minimal JSON well-formedness check: one value, correctly nested
 /// structures, valid string/number/literal tokens, nothing trailing.
 /// Enough to catch every way hand-rolled emission can go wrong (unescaped
@@ -357,6 +511,67 @@ mod tests {
         ] {
             assert!(!json_is_well_formed(bad), "should reject: {bad}");
         }
+    }
+
+    #[test]
+    fn span_dump_roundtrips_through_parse() {
+        let spans =
+            [span("stmt", Layer::Host, 10, 300), span("wal_force", Layer::Minidb, 50, 80), {
+                let mut s = span("lock_wait", Layer::Minidb, 70, 20);
+                s.outcome = Outcome::Err;
+                s.parent_span_id = 0x77;
+                s
+            }];
+        let dump = span_dump(&spans);
+        let parsed = parse_span_dump(&dump);
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed[0].op, "stmt");
+        assert_eq!(parsed[0].layer, "host");
+        assert_eq!(parsed[0].trace_id, 0xabcd);
+        assert!(parsed[0].ok);
+        assert_eq!(parsed[1].dur_micros, 80);
+        assert!(!parsed[2].ok);
+        assert_eq!(parsed[2].parent_span_id, 0x77);
+        // Garbage and truncated lines are skipped, not fatal.
+        let messy = format!("not a span line\n{dump}deadbeef 1 2 host ok\n");
+        assert_eq!(parse_span_dump(&messy).len(), 3);
+    }
+
+    #[test]
+    fn merged_trace_is_well_formed_and_aligned() {
+        let local = [span("stmt", Layer::Host, 1000, 500)];
+        let remote = ProcessTrace {
+            name: "dlfm[shard\"0\"]".into(),
+            clock_offset_micros: -400,
+            spans: vec![RemoteSpan {
+                trace_id: 0xabcd,
+                span_id: 9,
+                parent_span_id: 1,
+                layer: "dlfm".into(),
+                op: "link_file".into(),
+                ok: true,
+                start_micros: 1500,
+                dur_micros: 100,
+            }],
+        };
+        let json = merge_chrome_trace(&local, &[], &[remote]);
+        assert!(json_is_well_formed(&json), "merged export must be valid JSON: {json}");
+        assert!(json.contains("\"pid\":100"));
+        assert!(json.contains("link_file"));
+        assert!(json.contains("\\\"0\\\""), "remote process names are escaped");
+        // 1500 - 400 = 1100 on the local clock.
+        assert!(json.contains("\"ts\":1100"));
+        // A hugely negative offset clamps at 0 instead of emitting a
+        // negative timestamp Perfetto rejects.
+        let mut neg = ProcessTrace {
+            name: "x".into(),
+            clock_offset_micros: -1_000_000,
+            spans: parse_span_dump(&span_dump(&local)),
+        };
+        neg.spans[0].start_micros = 10;
+        let json = merge_chrome_trace(&[], &[], &[neg]);
+        assert!(json_is_well_formed(&json));
+        assert!(json.contains("\"ts\":0"));
     }
 
     #[test]

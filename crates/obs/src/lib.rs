@@ -43,7 +43,10 @@ pub mod registry;
 pub mod trace;
 pub mod watch;
 
-pub use export::{export_chrome_trace, json_is_well_formed};
+pub use export::{
+    export_chrome_trace, export_span_dump, json_is_well_formed, merge_chrome_trace,
+    parse_span_dump, span_dump, ProcessTrace, RemoteSpan,
+};
 pub use fault::{FaultGuard, Trigger};
 pub use hist::{Histogram, Report};
 pub use journal::{JournalEvent, JournalKind};

@@ -227,6 +227,26 @@ pub enum RuleKind {
         /// Bound, in the histogram's recorded unit (workspace: micros).
         bound: f64,
     },
+    /// One provider's reading of a series is an outlier against the same
+    /// series from the **other** providers — the fleet rule: every shard
+    /// exports the same metric under its own provider name, and one
+    /// shard's commit p99 far above the ring median means that shard is
+    /// sick even though no absolute bound was crossed. Needs at least
+    /// three providers reporting the series (with two there is no
+    /// majority to define "normal").
+    Skew {
+        /// Bare series selector (no provider prefix), compared across
+        /// providers. With `q`, the histogram family name instead.
+        metric: String,
+        /// `None` compares current values; `Some(q)` compares each
+        /// provider's per-interval quantile of histogram `metric`.
+        q: Option<f64>,
+        /// Breach when the outlier exceeds `factor` × the ring median …
+        factor: f64,
+        /// … and this absolute floor (so an idle fleet where the median
+        /// is ~0 does not alert on noise).
+        min: f64,
+    },
 }
 
 /// One declarative health rule.
@@ -299,6 +319,35 @@ impl Rule {
         Rule {
             name: name.into(),
             kind: RuleKind::Quantile { hist: hist.into(), q, cmp, bound },
+            intervals,
+        }
+    }
+
+    /// A cross-provider skew rule on current values: fires when one
+    /// provider's reading exceeds `factor` × the median across providers
+    /// and the absolute floor `min`.
+    pub fn skew(name: &str, metric: &str, factor: f64, min: f64, intervals: usize) -> Rule {
+        Rule {
+            name: name.into(),
+            kind: RuleKind::Skew { metric: metric.into(), q: None, factor, min },
+            intervals,
+        }
+    }
+
+    /// A cross-provider skew rule on per-interval histogram quantiles:
+    /// fires when one provider's interval p`q` of `hist` exceeds
+    /// `factor` × the median across providers and the floor `min`.
+    pub fn skew_quantile(
+        name: &str,
+        hist: &str,
+        q: f64,
+        factor: f64,
+        min: f64,
+        intervals: usize,
+    ) -> Rule {
+        Rule {
+            name: name.into(),
+            kind: RuleKind::Skew { metric: hist.into(), q: Some(q), factor, min },
             intervals,
         }
     }
@@ -877,6 +926,57 @@ fn check_rule(rule: &Rule, prev: Option<&TimePoint>, cur: &TimePoint) -> Option<
             }
             None
         }
+        RuleKind::Skew { metric, q, factor, min } => {
+            // One observation per provider: its worst matching series.
+            let mut per_provider: BTreeMap<String, f64> = BTreeMap::new();
+            match q {
+                None => {
+                    for (key, v) in &cur.values {
+                        if !selector_matches(metric, key) {
+                            continue;
+                        }
+                        let Some((provider, _)) = key.split_once(':') else { continue };
+                        let slot = per_provider.entry(provider.to_string()).or_insert(f64::MIN);
+                        *slot = slot.max(*v);
+                    }
+                }
+                Some(q) => {
+                    let prev = prev?;
+                    for (group, buckets) in bucket_deltas(metric, prev, cur) {
+                        let Some(v) = quantile_of_deltas(buckets, *q) else { continue };
+                        let Some((provider, _)) = group.split_once(':') else { continue };
+                        let slot = per_provider.entry(provider.to_string()).or_insert(f64::MIN);
+                        *slot = slot.max(v);
+                    }
+                }
+            }
+            if per_provider.len() < 3 {
+                return None;
+            }
+            let mut sorted: Vec<f64> = per_provider.values().copied().collect();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let mid = sorted.len() / 2;
+            let median = if sorted.len() % 2 == 1 {
+                sorted[mid]
+            } else {
+                (sorted[mid - 1] + sorted[mid]) / 2.0
+            };
+            let (worst, v) = per_provider
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))?;
+            if *v > factor * median && *v > *min {
+                let what = match q {
+                    Some(q) => format!("interval p{:.0} of {metric}", q * 100.0),
+                    None => metric.clone(),
+                };
+                return Some(format!(
+                    "{worst}: {what} = {v:.0} > {factor}x ring median {median:.0} \
+                     ({} providers)",
+                    per_provider.len()
+                ));
+            }
+            None
+        }
     }
 }
 
@@ -1088,6 +1188,97 @@ mod tests {
         std::thread::sleep(Duration::from_millis(2));
         w.sample_now();
         assert_eq!(w.alerts(), 1, "flat again for only one interval: no new alert");
+    }
+
+    #[test]
+    fn skew_rule_flags_the_outlier_shard() {
+        let shards: Vec<Script> = (0..3).map(|_| Script::default()).collect();
+        for s in &shards {
+            s.set("lock_waiting", 1.0);
+        }
+        let config = WatchConfig {
+            interval: Duration::from_millis(10),
+            rules: vec![Rule::skew("shard-skew", "lock_waiting", 3.0, 5.0, 1)],
+            ..Default::default()
+        };
+        let w = Watchdog::new(config)
+            .provider("shard0", shards[0].provider())
+            .provider("shard1", shards[1].provider())
+            .provider("shard2", shards[2].provider())
+            .manual();
+        w.sample_now();
+        assert_eq!(w.alerts(), 0, "uniform fleet is healthy");
+        // One shard 10x the ring median, but under the absolute floor.
+        shards[2].set("lock_waiting", 4.0);
+        w.sample_now();
+        assert_eq!(w.alerts(), 0, "below the min floor");
+        shards[2].set("lock_waiting", 40.0);
+        w.sample_now();
+        assert_eq!(w.alerts(), 1, "shard2 is a 40x outlier");
+    }
+
+    #[test]
+    fn skew_rule_needs_three_providers() {
+        let a = Script::default();
+        let b = Script::default();
+        a.set("depth", 1.0);
+        b.set("depth", 100.0);
+        let config = WatchConfig {
+            interval: Duration::from_millis(10),
+            rules: vec![Rule::skew("skew", "depth", 2.0, 0.0, 1)],
+            ..Default::default()
+        };
+        let w =
+            Watchdog::new(config).provider("a", a.provider()).provider("b", b.provider()).manual();
+        w.sample_now();
+        assert_eq!(w.alerts(), 0, "two providers cannot define a ring median");
+    }
+
+    #[test]
+    fn skew_quantile_rule_compares_interval_p99_across_shards() {
+        let shards: Vec<Script> = (0..3).map(|_| Script::default()).collect();
+        for s in &shards {
+            s.set("commit_micros_bucket{le=\"1000\"}", 0.0);
+            s.set("commit_micros_bucket{le=\"1000000\"}", 0.0);
+            s.set("commit_micros_bucket{le=\"+Inf\"}", 0.0);
+        }
+        let config = WatchConfig {
+            interval: Duration::from_millis(10),
+            rules: vec![Rule::skew_quantile(
+                "commit-skew",
+                "commit_micros",
+                0.99,
+                4.0,
+                10_000.0,
+                1,
+            )],
+            ..Default::default()
+        };
+        let w = Watchdog::new(config)
+            .provider("shard0", shards[0].provider())
+            .provider("shard1", shards[1].provider())
+            .provider("shard2", shards[2].provider())
+            .manual();
+        w.sample_now();
+        std::thread::sleep(Duration::from_millis(2));
+        // All shards commit fast this interval.
+        for s in &shards {
+            s.set("commit_micros_bucket{le=\"1000\"}", 50.0);
+            s.set("commit_micros_bucket{le=\"1000000\"}", 50.0);
+            s.set("commit_micros_bucket{le=\"+Inf\"}", 50.0);
+        }
+        w.sample_now();
+        assert_eq!(w.alerts(), 0, "uniform p99 across the ring");
+        std::thread::sleep(Duration::from_millis(2));
+        // shard1's commits land above 1ms this interval; the others stay fast.
+        for (i, s) in shards.iter().enumerate() {
+            let (fast, slow) = if i == 1 { (50.0, 100.0) } else { (100.0, 100.0) };
+            s.set("commit_micros_bucket{le=\"1000\"}", fast);
+            s.set("commit_micros_bucket{le=\"1000000\"}", slow);
+            s.set("commit_micros_bucket{le=\"+Inf\"}", slow);
+        }
+        w.sample_now();
+        assert_eq!(w.alerts(), 1, "shard1's interval p99 skews off the ring");
     }
 
     #[test]

@@ -50,7 +50,10 @@ use std::time::Duration;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use obs::trace::{self, Layer, TraceCtx};
 
-pub use socket::{serve_wire, Endpoint, SocketListener, WireAddr, WireServer, WireStats};
+pub use socket::{
+    serve_wire, set_wire_tracing, wire_tracing, Endpoint, SocketListener, WireAddr, WireServer,
+    WireStats,
+};
 pub use wire::{Reader, Wire, WireError};
 
 /// RPC-level failures.

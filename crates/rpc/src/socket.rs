@@ -44,6 +44,22 @@ use crate::{
 
 /// How long blocking loops sleep between shutdown-flag polls.
 const POLL: Duration = Duration::from_millis(5);
+
+/// Whether outgoing Call/Post frames carry the sender's trace context in
+/// the v2 header fields. On by default; benches flip it off to measure
+/// the propagation overhead (`e5`/`e12` wire-trace guard arm).
+static WIRE_TRACE: AtomicBool = AtomicBool::new(true);
+
+/// Enable or disable trace-context propagation on outgoing frames.
+/// Returns the previous setting. Process-global.
+pub fn set_wire_tracing(on: bool) -> bool {
+    WIRE_TRACE.swap(on, Ordering::Relaxed)
+}
+
+/// Is trace-context propagation on outgoing frames enabled?
+pub fn wire_tracing() -> bool {
+    WIRE_TRACE.load(Ordering::Relaxed)
+}
 /// Depth of the per-socket writer queue (encoded frames).
 const WRITER_QUEUE: usize = 1024;
 /// Depth of a per-session request channel in dedicated mode. Buffered, not
@@ -211,6 +227,8 @@ pub struct WireStats {
     pub reconnects: AtomicU64,
     /// Frames that failed checksum or payload decode (counter).
     pub decode_errors: AtomicU64,
+    /// Frames rejected because the peer speaks a different wire version.
+    pub version_mismatches: AtomicU64,
     /// Session hangups delivered over the wire (counter; server side).
     pub hangups: AtomicU64,
 }
@@ -270,6 +288,12 @@ impl WireStats {
             self.decode_errors.load(Ordering::Relaxed),
         );
         r.counter(
+            "rpc_wire_version_mismatch_total",
+            "Frames rejected because the peer speaks a different wire version.",
+            &[],
+            self.version_mismatches.load(Ordering::Relaxed),
+        );
+        r.counter(
             "rpc_wire_hangups_total",
             "Session hangups delivered over the wire.",
             &[],
@@ -294,6 +318,9 @@ pub(crate) struct Mux {
     pending: PendingMap,
     corr: AtomicU64,
     dead: Arc<AtomicBool>,
+    /// Why the connection died, when we know better than "disconnected"
+    /// (e.g. a wire version mismatch). Surfaced to parked and later callers.
+    death: Arc<Mutex<Option<RpcError>>>,
     sock: WireSocket,
 }
 
@@ -306,15 +333,37 @@ impl Mux {
         let (wtx, wrx) = bounded::<Vec<u8>>(WRITER_QUEUE);
         let pending: PendingMap = Arc::new(Mutex::new(HashMap::new()));
         let dead = Arc::new(AtomicBool::new(false));
+        let death: Arc<Mutex<Option<RpcError>>> = Arc::new(Mutex::new(None));
 
         spawn_client_writer(sock_w, wrx, dead.clone(), stats.clone());
-        spawn_client_reader(sock_r, pending.clone(), dead.clone(), stats.clone());
+        spawn_client_reader(sock_r, pending.clone(), dead.clone(), death.clone(), stats.clone());
 
-        Ok(Arc::new(Mux { writer: wtx, pending, corr: AtomicU64::new(0), dead, sock }))
+        Ok(Arc::new(Mux { writer: wtx, pending, corr: AtomicU64::new(0), dead, death, sock }))
     }
 
     pub(crate) fn is_dead(&self) -> bool {
         self.dead.load(Ordering::Relaxed)
+    }
+
+    /// The error callers should see for a dead connection: the recorded
+    /// death reason if the reader left one, else plain `Disconnected`.
+    fn death_error(&self) -> RpcError {
+        self.death
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+            .unwrap_or(RpcError::Disconnected)
+    }
+
+    /// Stamp the caller's trace context onto an outgoing frame so the
+    /// serving peer can parent its spans under ours (v2 header fields).
+    fn stamp_trace(frame: Frame) -> Frame {
+        if wire_tracing() {
+            if let Some(c) = obs::trace::current_ctx() {
+                return frame.traced(c.trace_id, c.span_id);
+            }
+        }
+        frame
     }
 
     fn send_frame(&self, frame: &Frame) -> Result<(), RpcError> {
@@ -333,12 +382,14 @@ impl Mux {
         timeout: Option<Duration>,
     ) -> Result<Vec<u8>, RpcError> {
         if self.is_dead() {
-            return Err(RpcError::Disconnected);
+            return Err(self.death_error());
         }
         let corr = self.corr.fetch_add(1, Ordering::Relaxed) + 1;
         let (rtx, rrx) = bounded(1);
         self.pending.lock().unwrap_or_else(|e| e.into_inner()).insert(corr, rtx);
-        if let Err(e) = self.send_frame(&Frame::new(kind, session, corr, payload)) {
+        if let Err(e) =
+            self.send_frame(&Self::stamp_trace(Frame::new(kind, session, corr, payload)))
+        {
             self.pending.lock().unwrap_or_else(|e2| e2.into_inner()).remove(&corr);
             return Err(e);
         }
@@ -347,7 +398,7 @@ impl Mux {
         if self.is_dead()
             && self.pending.lock().unwrap_or_else(|e| e.into_inner()).remove(&corr).is_some()
         {
-            return Err(RpcError::Disconnected);
+            return Err(self.death_error());
         }
         match timeout {
             None => rrx.recv().map_err(|_| RpcError::Disconnected)?,
@@ -365,9 +416,9 @@ impl Mux {
     /// Fire-and-forget: enqueue a Post frame.
     pub(crate) fn post(&self, session: u64, payload: Vec<u8>) -> Result<(), RpcError> {
         if self.is_dead() {
-            return Err(RpcError::Disconnected);
+            return Err(self.death_error());
         }
-        self.send_frame(&Frame::new(FrameKind::Post, session, 0, payload))
+        self.send_frame(&Self::stamp_trace(Frame::new(FrameKind::Post, session, 0, payload)))
     }
 
     /// Tell the server this session's client is gone (best effort).
@@ -433,11 +484,13 @@ fn spawn_client_writer(
 }
 
 /// Route Reply/Pong frames to parked callers; on any stream death, fail
-/// every parked caller with `Disconnected`.
+/// every parked caller. A version-mismatched peer produces a specific
+/// `RpcError::Wire` naming both versions instead of a bare `Disconnected`.
 fn spawn_client_reader(
     mut sock: WireSocket,
     pending: PendingMap,
     dead: Arc<AtomicBool>,
+    death: Arc<Mutex<Option<RpcError>>>,
     stats: Arc<WireStats>,
 ) {
     std::thread::spawn(move || {
@@ -464,18 +517,30 @@ fn spawn_client_reader(
                     if !matches!(e, WireError::Io(_)) {
                         stats.decode_errors.fetch_add(1, Ordering::Relaxed);
                     }
+                    if let WireError::BadVersion { .. } = e {
+                        stats.version_mismatches.fetch_add(1, Ordering::Relaxed);
+                        let msg = e.to_string();
+                        obs::warn!("rpc::wire", "dropping connection: {msg}");
+                        *death.lock().unwrap_or_else(|p| p.into_inner()) =
+                            Some(RpcError::Wire(msg));
+                    }
                     break;
                 }
             }
         }
         dead.store(true, Ordering::Relaxed);
         sock.shutdown();
+        let reason = death
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+            .unwrap_or(RpcError::Disconnected);
         let drained: Vec<_> = {
             let mut p = pending.lock().unwrap_or_else(|e| e.into_inner());
             p.drain().map(|(_, tx)| tx).collect()
         };
         for tx in drained {
-            let _ = tx.send(Err(RpcError::Disconnected));
+            let _ = tx.send(Err(reason.clone()));
         }
     });
 }
@@ -792,6 +857,10 @@ where
                     if !matches!(e, WireError::Io(_)) {
                         stats.decode_errors.fetch_add(1, Ordering::Relaxed);
                     }
+                    if let WireError::BadVersion { .. } = e {
+                        stats.version_mismatches.fetch_add(1, Ordering::Relaxed);
+                        obs::warn!("rpc::wire", "dropping connection: {e}");
+                    }
                     break;
                 }
             };
@@ -851,7 +920,19 @@ where
                     } else {
                         ReplyTo(None)
                     };
-                    deliver(&sink, &mut sessions, &session_ids, frame.session, req, reply, &wtx);
+                    let ctx = frame
+                        .trace()
+                        .map(|(trace_id, span_id)| obs::trace::TraceCtx { trace_id, span_id });
+                    deliver(
+                        &sink,
+                        &mut sessions,
+                        &session_ids,
+                        frame.session,
+                        req,
+                        reply,
+                        ctx,
+                        &wtx,
+                    );
                 }
                 // Clients never send these; ignore.
                 FrameKind::Reply | FrameKind::Pong => {}
@@ -867,7 +948,10 @@ where
 }
 
 /// Deliver one decoded request into the fabric, creating the session's
-/// server-side identity on first sight.
+/// server-side identity on first sight. `ctx` is the trace context the
+/// client stamped on the frame; the fabric installs it on the handling
+/// agent thread so remote spans parent under the caller's span.
+#[allow(clippy::too_many_arguments)]
 fn deliver<Req, Resp>(
     sink: &ServerSink<Req, Resp>,
     sessions: &mut HashMap<u64, WireSession<Req, Resp>>,
@@ -875,6 +959,7 @@ fn deliver<Req, Resp>(
     wire_session: u64,
     req: Req,
     reply: ReplyTo<Resp>,
+    ctx: Option<obs::trace::TraceCtx>,
     wtx: &Sender<Vec<u8>>,
 ) where
     Req: Send + 'static,
@@ -901,7 +986,7 @@ fn deliver<Req, Resp>(
             sessions.get(&wire_session).unwrap()
         }
     };
-    let env = Envelope { payload: Payload::Request(req), reply, ctx: None, session: sess.local };
+    let env = Envelope { payload: Payload::Request(req), reply, ctx, session: sess.local };
     match sink {
         ServerSink::Dedicated(_) => {
             let tx = sess.dedicated_tx.as_ref().expect("dedicated session has a channel");
@@ -1297,5 +1382,89 @@ mod tests {
         drop(g);
         assert!(matches!(err, RpcError::Wire(_)), "corrupt frame must fail the call, got {err:?}");
         assert_eq!(conn.call(4).unwrap(), 8, "stream survives a corrupt frame");
+    }
+
+    #[test]
+    fn trace_ctx_rides_the_wire_to_the_agent_thread() {
+        let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let seen: Arc<Mutex<Vec<Option<obs::TraceCtx>>>> = Arc::new(Mutex::new(Vec::new()));
+        let (listener, connector) = fabric::<i32, i32>();
+        let s = seen.clone();
+        let _srv = serve(listener, move || {
+            let s = s.clone();
+            move |req: i32, slot: ReplySlot<i32>| {
+                s.lock().unwrap().push(obs::current_ctx());
+                slot.send(req)
+            }
+        });
+        let sock = SocketListener::bind(&WireAddr::Tcp("127.0.0.1:0".into())).unwrap();
+        let bound = sock.bound_addr();
+        let _bridge = serve_wire(sock, &connector);
+        let remote = wire_connector::<i32, i32>(bound);
+        let conn = remote.connect().unwrap();
+
+        // 1: caller outside any host span — conn.call's own Rpc span roots
+        // a fresh trace, and that context crosses the wire.
+        assert_eq!(conn.call(1).unwrap(), 1);
+
+        // 2: traced caller — the remote agent joins the caller's trace.
+        let root = obs::span_root(obs::Layer::Host, "wire_test_stmt");
+        let root_ctx = root.ctx();
+        assert_eq!(conn.call(2).unwrap(), 2);
+
+        // 3: propagation disabled — same caller span, nothing crosses.
+        let prev = set_wire_tracing(false);
+        assert_eq!(conn.call(3).unwrap(), 3);
+        set_wire_tracing(prev);
+        drop(root);
+
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 3);
+        let fresh = seen[0].expect("a wire call always carries its Rpc span's context");
+        assert_ne!(fresh.trace_id, root_ctx.trace_id, "no host span: a fresh trace is rooted");
+        let ctx = seen[1].expect("traced call must install a context on the agent thread");
+        assert_eq!(ctx.trace_id, root_ctx.trace_id, "remote spans share the host trace id");
+        assert_ne!(ctx.span_id, 0);
+        assert!(seen[2].is_none(), "disabled propagation must not leak a context");
+    }
+
+    #[test]
+    fn version_mismatched_peer_fails_calls_with_both_versions_named() {
+        let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        // A fake server that answers with a well-formed frame from wire
+        // version 1 (24-byte header tail, no trace fields).
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let tcp = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 256];
+            let _ = s.read(&mut buf); // swallow the Call frame
+            let payload = [status::OK, 0, 0, 0, 0];
+            let mut tail = Vec::new();
+            tail.extend_from_slice(&crate::wire::MAGIC.to_le_bytes());
+            tail.push(1); // old wire version
+            tail.push(3); // FrameKind::Reply
+            tail.extend_from_slice(&1u64.to_le_bytes()); // session
+            tail.extend_from_slice(&1u64.to_le_bytes()); // corr
+            tail.extend_from_slice(&crate::wire::checksum(&payload).to_le_bytes());
+            tail.extend_from_slice(&payload);
+            let mut bytes = Vec::new();
+            put_u32(&mut bytes, tail.len() as u32);
+            bytes.extend_from_slice(&tail);
+            let _ = s.write_all(&bytes);
+            // Keep the socket open so the client parses the frame rather
+            // than seeing an instant EOF.
+            std::thread::sleep(Duration::from_millis(200));
+        });
+        let remote = wire_connector::<i32, i32>(WireAddr::Tcp(tcp));
+        let conn = remote.connect().unwrap();
+        let err = conn.call_timeout(1, Duration::from_secs(5)).unwrap_err();
+        let RpcError::Wire(msg) = &err else { panic!("want RpcError::Wire, got {err:?}") };
+        assert!(msg.contains("v1") && msg.contains("v2"), "must name both versions: {msg}");
+        // Subsequent calls on the dead connection report the same reason,
+        // not a bare Disconnected.
+        let err2 = conn.call_timeout(2, Duration::from_secs(1)).unwrap_err();
+        assert!(matches!(err2, RpcError::Wire(m) if m.contains("version mismatch")));
+        assert!(remote.wire_stats().unwrap().version_mismatches.load(Ordering::Relaxed) >= 1);
     }
 }

@@ -1,13 +1,16 @@
 //! Length-prefixed frame codec for the socket transport.
 //!
 //! Every message between a host process and a DLFM process is one
-//! **frame**:
+//! **frame** (protocol version 2):
 //!
 //! ```text
-//! +--------+-------+-----+------+-------------+----------+----------+----------+
-//! | len u32| magic | ver | kind | session u64 | corr u64 | cksum u32| payload  |
-//! |        | u16   | u8  | u8   |             |          |          | len - 24 |
-//! +--------+-------+-----+------+-------------+----------+----------+----------+
+//! +--------+-------+-----+------+-------------+----------+
+//! | len u32| magic | ver | kind | session u64 | corr u64 |
+//! |        | u16   | u8  | u8   |             |          |
+//! +--------+-------+-----+------+-------------+----------+
+//! | trace_id u64 | parent_span u64 | cksum u32| payload  |
+//! |              |                 |          | len - 40 |
+//! +--------------+-----------------+----------+----------+
 //! ```
 //!
 //! * `len` counts every byte after itself (header tail + payload), so a
@@ -17,9 +20,18 @@
 //! * `session` multiplexes many logical connections over one socket;
 //! * `corr` matches a Reply (or Pong) to the parked caller that sent the
 //!   Call (or Ping);
+//! * `trace_id`/`parent_span` (v2) carry the sender's trace context on
+//!   Call/Post frames — 0 when the sender had none — so spans opened by
+//!   the remote agent parent under the originating host statement and a
+//!   cross-process transaction renders as one coherent trace;
 //! * `cksum` is an FNV-1a digest of the payload: a corrupted frame is
 //!   detected *per frame* and surfaced as a clean error to exactly the
 //!   affected caller — the stream itself stays framed and alive.
+//!
+//! A version mismatch is detected after the whole frame was consumed (the
+//! length prefix keeps the stream framed regardless of version), so the
+//! transport can surface a clean [`WireError::BadVersion`] naming both
+//! versions instead of desynchronizing.
 //!
 //! Payload bytes are produced by the hand-rolled [`Wire`] serializer the
 //! envelope types implement (the workspace has no serde; the stand-in
@@ -30,10 +42,10 @@ use std::io::{Read, Write};
 
 /// Protocol magic ("DL" with the high bits set).
 pub const MAGIC: u16 = 0xD1FA;
-/// Protocol version.
-pub const VERSION: u8 = 1;
+/// Protocol version. v2 added the `trace_id`/`parent_span` header fields.
+pub const VERSION: u8 = 2;
 /// Bytes of header after the length prefix.
-pub const HEADER_TAIL: usize = 24;
+pub const HEADER_TAIL: usize = 40;
 /// Upper bound on a frame's declared length: a corrupted or hostile
 /// length prefix must not make the reader allocate unboundedly.
 pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
@@ -100,8 +112,15 @@ pub enum WireError {
     Truncated,
     /// The magic bytes did not match — not our protocol.
     BadMagic(u16),
-    /// Version mismatch.
-    BadVersion(u8),
+    /// Version mismatch: the peer framed a valid frame but speaks a
+    /// different protocol revision. Carries both versions so the error
+    /// shown to the operator names the skew exactly.
+    BadVersion {
+        /// Version the peer stamped on its frame.
+        peer: u8,
+        /// Version this end speaks ([`VERSION`]).
+        ours: u8,
+    },
     /// Unknown frame kind.
     BadKind(u8),
     /// Declared frame length exceeds [`MAX_FRAME`] (or is shorter than a
@@ -121,7 +140,9 @@ impl std::fmt::Display for WireError {
         match self {
             WireError::Truncated => f.write_str("stream ended mid-frame"),
             WireError::BadMagic(m) => write!(f, "bad frame magic {m:#06x}"),
-            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadVersion { peer, ours } => {
+                write!(f, "wire version mismatch: peer speaks v{peer}, this end speaks v{ours}")
+            }
             WireError::BadKind(k) => write!(f, "unknown frame kind {k}"),
             WireError::BadLength(l) => write!(f, "bad frame length {l}"),
             WireError::Checksum => f.write_str("frame payload checksum mismatch"),
@@ -142,6 +163,11 @@ pub struct Frame {
     pub session: u64,
     /// Correlation id matching replies to callers (0 for one-way kinds).
     pub corr: u64,
+    /// Trace id of the sender's current span context (0 = untraced).
+    pub trace_id: u64,
+    /// Span id of the sender's current span — the parent the receiving
+    /// agent's spans should hang under (0 = untraced).
+    pub parent_span: u64,
     /// Serialized message body.
     pub payload: Vec<u8>,
     /// The payload failed its checksum: header fields are trustworthy
@@ -150,9 +176,21 @@ pub struct Frame {
 }
 
 impl Frame {
-    /// Build a frame.
+    /// Build an untraced frame.
     pub fn new(kind: FrameKind, session: u64, corr: u64, payload: Vec<u8>) -> Frame {
-        Frame { kind, session, corr, payload, corrupt: false }
+        Frame { kind, session, corr, trace_id: 0, parent_span: 0, payload, corrupt: false }
+    }
+
+    /// Stamp a trace context onto the frame (builder style).
+    pub fn traced(mut self, trace_id: u64, parent_span: u64) -> Frame {
+        self.trace_id = trace_id;
+        self.parent_span = parent_span;
+        self
+    }
+
+    /// The trace context carried in the header, if any.
+    pub fn trace(&self) -> Option<(u64, u64)> {
+        (self.trace_id != 0).then_some((self.trace_id, self.parent_span))
     }
 }
 
@@ -176,6 +214,8 @@ pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
     out.push(frame.kind.code());
     out.extend_from_slice(&frame.session.to_le_bytes());
     out.extend_from_slice(&frame.corr.to_le_bytes());
+    out.extend_from_slice(&frame.trace_id.to_le_bytes());
+    out.extend_from_slice(&frame.parent_span.to_le_bytes());
     out.extend_from_slice(&checksum(&frame.payload).to_le_bytes());
     out.extend_from_slice(&frame.payload);
 }
@@ -212,7 +252,11 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
         return Ok(None);
     }
     let len = u32::from_le_bytes(len_buf);
-    if len < HEADER_TAIL as u32 || len > MAX_FRAME {
+    // The length floor is the *v1* header tail (24 bytes): an old-version
+    // peer's frames must still be consumable whole so the version skew
+    // surfaces as a clean BadVersion, not as length corruption.
+    const MIN_HEADER_TAIL: u32 = 24;
+    if !(MIN_HEADER_TAIL..=MAX_FRAME).contains(&len) {
         return Err(WireError::BadLength(len));
     }
     let mut rest = vec![0u8; len as usize];
@@ -222,15 +266,22 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
         return Err(WireError::BadMagic(magic));
     }
     if rest[2] != VERSION {
-        return Err(WireError::BadVersion(rest[2]));
+        // The frame is already consumed, so the stream stays framed; the
+        // caller decides whether (and how loudly) to drop the peer.
+        return Err(WireError::BadVersion { peer: rest[2], ours: VERSION });
+    }
+    if len < HEADER_TAIL as u32 {
+        return Err(WireError::BadLength(len));
     }
     let kind = FrameKind::from_code(rest[3]).ok_or(WireError::BadKind(rest[3]))?;
     let session = u64::from_le_bytes(rest[4..12].try_into().unwrap());
     let corr = u64::from_le_bytes(rest[12..20].try_into().unwrap());
-    let cksum = u32::from_le_bytes(rest[20..24].try_into().unwrap());
+    let trace_id = u64::from_le_bytes(rest[20..28].try_into().unwrap());
+    let parent_span = u64::from_le_bytes(rest[28..36].try_into().unwrap());
+    let cksum = u32::from_le_bytes(rest[36..40].try_into().unwrap());
     let payload = rest.split_off(HEADER_TAIL);
     let corrupt = checksum(&payload) != cksum;
-    Ok(Some(Frame { kind, session, corr, payload, corrupt }))
+    Ok(Some(Frame { kind, session, corr, trace_id, parent_span, payload, corrupt }))
 }
 
 /// Write pre-encoded frame bytes to the stream.
@@ -387,6 +438,17 @@ mod tests {
     }
 
     #[test]
+    fn trace_context_rides_the_header() {
+        let f = Frame::new(FrameKind::Call, 7, 42, b"body".to_vec()).traced(0xabcd, 0x1234);
+        let g = roundtrip(&f);
+        assert_eq!(g.trace(), Some((0xabcd, 0x1234)));
+        assert_eq!(g, f);
+        // Untraced frames decode to no context.
+        let g = roundtrip(&Frame::new(FrameKind::Post, 1, 0, Vec::new()));
+        assert_eq!(g.trace(), None);
+    }
+
+    #[test]
     fn frame_roundtrip_property_style() {
         // Deterministic pseudo-random payloads of many sizes, including
         // empty and larger-than-header bodies.
@@ -454,10 +516,50 @@ mod tests {
         ));
         let mut bad_ver = bytes.clone();
         bad_ver[6] = 99;
-        assert_eq!(read_frame(&mut Cursor::new(bad_ver)).unwrap_err(), WireError::BadVersion(99));
+        assert_eq!(
+            read_frame(&mut Cursor::new(bad_ver)).unwrap_err(),
+            WireError::BadVersion { peer: 99, ours: VERSION }
+        );
         let mut bad_kind = bytes;
         bad_kind[7] = 0;
         assert_eq!(read_frame(&mut Cursor::new(bad_kind)).unwrap_err(), WireError::BadKind(0));
+    }
+
+    /// A v1 peer's frame: 24-byte header tail (no trace fields), version
+    /// byte 1. Build it by hand exactly as the old encoder did.
+    fn encode_v1_frame(kind_code: u8, session: u64, corr: u64, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&((24 + payload.len()) as u32).to_le_bytes());
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.push(1); // v1
+        out.push(kind_code);
+        out.extend_from_slice(&session.to_le_bytes());
+        out.extend_from_slice(&corr.to_le_bytes());
+        out.extend_from_slice(&checksum(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    #[test]
+    fn old_version_peer_fails_cleanly_and_keeps_the_stream_framed() {
+        // Adversarial case: a v1 peer sends two frames — the first must
+        // surface BadVersion naming both versions, *after* consuming the
+        // whole frame, so the second (v2) frame still reads intact.
+        let mut bytes = encode_v1_frame(1, 9, 1, b"old wine");
+        // A v1 frame shorter than the v2 header tail (empty payload, len
+        // 24 < 40) must hit the version check, not the length check.
+        bytes.extend_from_slice(&encode_v1_frame(5, 9, 2, b""));
+        encode_frame(&Frame::new(FrameKind::Call, 9, 3, b"new bottle".to_vec()), &mut bytes);
+        let mut cur = Cursor::new(bytes);
+        for _ in 0..2 {
+            let err = read_frame(&mut cur).unwrap_err();
+            assert_eq!(err, WireError::BadVersion { peer: 1, ours: VERSION });
+            let msg = err.to_string();
+            assert!(msg.contains("v1") && msg.contains("v2"), "error names both versions: {msg}");
+        }
+        let f = read_frame(&mut cur).unwrap().unwrap();
+        assert_eq!(f.payload, b"new bottle", "stream stays framed across version-skewed frames");
+        assert!(read_frame(&mut cur).unwrap().is_none());
     }
 
     #[test]

@@ -15,6 +15,14 @@
 //! the run is bounded and exits nonzero if any health rule fired — a
 //! false positive on a healthy workload — so CI can smoke the sampler.
 //!
+//! `dlfmtop --fleet <url>... [--ticks N]` is the sharded-deployment view:
+//! every URL (tcp:// or unix://, one per running `dlfmd`) is attached as a
+//! shard and each tick renders one row per shard — op counters, live
+//! sessions, phase-2 retries, and the shard's observability-clock offset —
+//! scraped over the `FetchTelemetry` RPC. A shard that cannot be reached
+//! renders as `DOWN` instead of killing the screen; the whole point of a
+//! fleet view is surviving a dead member, so DOWN rows do not fail the run.
+//!
 //! Exits nonzero if the status surfaces or the trace export are broken,
 //! so CI can smoke-test the whole observability path by just running it.
 
@@ -105,8 +113,126 @@ fn watch_mode(interval: Duration, ticks: u64) {
     println!("dlfmtop --watch: ok ({tick} ticks, zero alerts)");
 }
 
+/// Pull one rendered value out of a Prometheus text page: the last token
+/// of the line that starts with `series` (name plus any label set).
+fn metric(text: &str, series: &str) -> String {
+    text.lines()
+        .find(|l| l.starts_with(series))
+        .and_then(|l| l.split_whitespace().last())
+        .unwrap_or("-")
+        .to_string()
+}
+
+/// Fleet mode: attach every URL as a shard of one host and render a
+/// per-shard table each tick, scraped over the telemetry RPC. Unreachable
+/// shards render as DOWN rows; only a fleet with *zero* reachable shards
+/// is still reported (as all-DOWN), never an error.
+fn fleet_mode(urls: &[String], ticks: u64) {
+    use dlfm::TelemetryKind;
+
+    let host = hostdb::HostDb::new(hostdb::HostConfig::for_tests());
+    let shards: Vec<String> = urls
+        .iter()
+        .enumerate()
+        .map(|(i, url)| {
+            let name = format!("shard{i}");
+            // tcp/unix attaches are lazy (dialing happens per scrape), so
+            // a currently-down daemon still gets its row.
+            if let Err(e) = host.attach_dlfm_url(&name, url) {
+                eprintln!("dlfmtop: attach {url} failed: {e} (shard will render DOWN)");
+            }
+            name
+        })
+        .collect();
+
+    let w = [8usize, 6, 7, 7, 8, 9, 9, 8, 12];
+    let mut down_last = 0usize;
+    for tick in 1..=ticks.max(1) {
+        if tick > 1 {
+            std::thread::sleep(Duration::from_secs(1));
+        }
+        println!("--- dlfmtop fleet tick {tick}/{} ({} shards) ---", ticks.max(1), urls.len());
+        row(
+            &[
+                "shard",
+                "state",
+                "links",
+                "unlinks",
+                "prepares",
+                "p2commit",
+                "p2aborts",
+                "sessions",
+                "clock_off_us",
+            ],
+            &w,
+        );
+        let scraped: std::collections::BTreeMap<String, Option<String>> =
+            host.fleet_telemetry(TelemetryKind::Metrics).into_iter().collect();
+        down_last = 0;
+        for shard in &shards {
+            match scraped.get(shard).and_then(|t| t.as_ref()) {
+                Some(text) => {
+                    let offset = host
+                        .clock_offset_micros(shard)
+                        .map(|o| o.to_string())
+                        .unwrap_or_else(|_| "-".into());
+                    row(
+                        &[
+                            shard,
+                            "up",
+                            &metric(text, "dlfm_ops_total{op=\"link\"}"),
+                            &metric(text, "dlfm_ops_total{op=\"unlink\"}"),
+                            &metric(text, "dlfm_ops_total{op=\"prepare\"}"),
+                            &metric(text, "dlfm_ops_total{op=\"phase2_commit\"}"),
+                            &metric(text, "dlfm_ops_total{op=\"phase2_abort\"}"),
+                            &metric(text, "dlfm_sessions_active"),
+                            &offset,
+                        ],
+                        &w,
+                    );
+                }
+                None => {
+                    down_last += 1;
+                    row(&[shard, "DOWN", "-", "-", "-", "-", "-", "-", "-"], &w);
+                }
+            }
+        }
+    }
+    println!(
+        "dlfmtop --fleet: ok ({} shards, {} down, {} scrape errors)",
+        urls.len(),
+        down_last,
+        host.metrics().telemetry_scrape_errors.load(Ordering::Relaxed),
+    );
+}
+
+/// Print one aligned table row (same shape as the bench tables).
+fn row(cols: &[&str], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cols.iter().zip(widths) {
+        line.push_str(&format!("{c:<w$}  ", w = w));
+    }
+    println!("{}", line.trim_end());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--fleet") {
+        let ticks = args
+            .iter()
+            .position(|a| a == "--ticks")
+            .and_then(|p| args.get(p + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1u64);
+        let urls: Vec<String> =
+            args[pos + 1..].iter().take_while(|a| !a.starts_with("--")).cloned().collect();
+        if urls.is_empty() {
+            eprintln!("usage: dlfmtop --fleet <tcp://...|unix://...>... [--ticks N]");
+            std::process::exit(2);
+        }
+        fleet_mode(&urls, ticks);
+        return;
+    }
     if let Some(pos) = args.iter().position(|a| a == "--watch") {
         let interval = args
             .get(pos + 1)

@@ -111,6 +111,22 @@ fn main() {
         "status must show the migrated prefix override:\n{status}"
     );
 
+    // Pull ONE merged fleet trace covering all three processes: this
+    // host plus both daemons' spans scraped over the telemetry RPC and
+    // clock-aligned. Both shards did 2PC work, so both must contribute.
+    let remotes = host.fleet_remote_traces();
+    assert_eq!(remotes.len(), 2, "both daemons must be reachable for the fleet trace");
+    let remote_spans: usize = remotes.iter().map(|r| r.spans.len()).sum();
+    for r in &remotes {
+        assert!(!r.spans.is_empty(), "daemon {} contributed zero spans", r.name);
+    }
+    let trace = host.fleet_trace();
+    assert!(
+        datalinks::obs::json_is_well_formed(&trace),
+        "merged fleet trace must be well-formed JSON"
+    );
+    println!("FLEET_TRACE ok remote_spans={remote_spans} bytes={}", trace.len());
+
     println!(
         "shard_host_smoke OK: {files} links across 2 shards, {moved} rows migrated \
          {home} -> {target}, {} rows remain",

@@ -79,6 +79,20 @@ fn main() {
     let rows = session.query("SELECT id FROM docs", &[]).expect("final select");
     assert_eq!(rows.len(), files - files / 2, "row count after links and unlinks");
 
+    // Pull the merged fleet trace over the telemetry RPC: the daemon is a
+    // separate OS process, so its spans can only get here through the
+    // wire. CI greps for the sentinel and the assertions make malformed
+    // output or an empty remote span set a hard failure.
+    let remotes = host.fleet_remote_traces();
+    let remote_spans: usize = remotes.iter().map(|r| r.spans.len()).sum();
+    let trace = host.fleet_trace();
+    assert!(
+        datalinks::obs::json_is_well_formed(&trace),
+        "merged fleet trace must be well-formed JSON"
+    );
+    assert!(remote_spans > 0, "merged fleet trace carried zero remote spans");
+    println!("FLEET_TRACE ok remote_spans={remote_spans} bytes={}", trace.len());
+
     println!(
         "wire_host_smoke OK: {} links, {} unlinks, {} rows remain over {url}",
         files,
